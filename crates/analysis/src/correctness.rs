@@ -1,0 +1,144 @@
+//! Equation 3: the correctness (precision) guarantee of the max protocol.
+
+use crate::RandomizationParams;
+
+/// Equation 3: a lower bound on `P(g(r) = v_max)` — the probability that
+/// the global value equals the true maximum after `r` rounds:
+///
+/// `P(g(r) = v_max) >= 1 − p0^r · d^(r(r−1)/2)`
+///
+/// The bound is independent of the number of nodes and increases
+/// monotonically with `r` for any valid `(p0, d)` with `d < 1`.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_analysis::correctness::precision_lower_bound;
+/// use privtopk_analysis::RandomizationParams;
+///
+/// let params = RandomizationParams::new(1.0, 0.5)?;
+/// let p4 = precision_lower_bound(params, 4);
+/// let p8 = precision_lower_bound(params, 8);
+/// assert!(p8 > p4);
+/// assert!(p8 > 0.999);
+/// # Ok::<(), privtopk_analysis::AnalysisError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rounds == 0` (rounds are 1-based).
+#[must_use]
+pub fn precision_lower_bound(params: RandomizationParams, rounds: u32) -> f64 {
+    assert!(rounds >= 1, "rounds are 1-based");
+    let r = f64::from(rounds);
+    let failure = params.p0().powf(r) * params.d().powf(r * (r - 1.0) / 2.0);
+    (1.0 - failure).clamp(0.0, 1.0)
+}
+
+/// The exact failure product `∏_{j=1..r} P_r(j)` from which Equation 3 is
+/// derived: the probability that a node owning the maximum randomized in
+/// *every* one of the first `r` rounds.
+///
+/// Algebraically identical to `p0^r · d^(r(r−1)/2)`; computing it as a
+/// product doubles as a numerical cross-check in tests.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+#[must_use]
+pub fn failure_probability_product(params: RandomizationParams, rounds: u32) -> f64 {
+    assert!(rounds >= 1, "rounds are 1-based");
+    (1..=rounds)
+        .map(|j| params.probability_at_round(j))
+        .product()
+}
+
+/// The full analytic precision-vs-rounds series used for Figure 3.
+#[must_use]
+pub fn precision_series(params: RandomizationParams, max_rounds: u32) -> Vec<(u32, f64)> {
+    (1..=max_rounds)
+        .map(|r| (r, precision_lower_bound(params, r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(p0: f64, d: f64) -> RandomizationParams {
+        RandomizationParams::new(p0, d).unwrap()
+    }
+
+    #[test]
+    fn matches_product_form() {
+        for (p0, d) in [(1.0, 0.5), (0.5, 0.25), (0.75, 0.9)] {
+            let p = params(p0, d);
+            for r in 1..12 {
+                let closed = 1.0 - failure_probability_product(p, r);
+                let bound = precision_lower_bound(p, r);
+                assert!(
+                    (closed - bound).abs() < 1e-12,
+                    "mismatch at p0={p0} d={d} r={r}: {closed} vs {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_rounds() {
+        let p = params(1.0, 0.5);
+        let mut prev = 0.0;
+        for r in 1..=20 {
+            let cur = precision_lower_bound(p, r);
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn first_round_bound_is_one_minus_p0() {
+        assert!((precision_lower_bound(params(1.0, 0.5), 1) - 0.0).abs() < 1e-12);
+        assert!((precision_lower_bound(params(0.25, 0.5), 1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_p0_converges_faster() {
+        // Figure 3(a): "a smaller p0 with a fixed d results in a higher
+        // precision in the earlier round".
+        for r in 1..8 {
+            let high = precision_lower_bound(params(1.0, 0.5), r);
+            let low = precision_lower_bound(params(0.25, 0.5), r);
+            assert!(low >= high, "round {r}");
+        }
+    }
+
+    #[test]
+    fn smaller_d_converges_faster() {
+        // Figure 3(b): "a smaller d with a fixed p0 makes the protocol
+        // reach the near-perfect precision of 100% even faster".
+        for r in 2..8 {
+            let slow = precision_lower_bound(params(1.0, 0.9), r);
+            let fast = precision_lower_bound(params(1.0, 0.25), r);
+            assert!(fast >= slow, "round {r}");
+        }
+    }
+
+    #[test]
+    fn reaches_near_one() {
+        assert!(precision_lower_bound(params(1.0, 0.5), 10) > 0.999_999);
+    }
+
+    #[test]
+    fn degenerate_constant_schedule_never_converges_with_p0_one() {
+        let p = params(1.0, 1.0);
+        assert_eq!(precision_lower_bound(p, 50), 0.0);
+    }
+
+    #[test]
+    fn series_has_requested_length() {
+        let s = precision_series(params(1.0, 0.5), 15);
+        assert_eq!(s.len(), 15);
+        assert_eq!(s[0].0, 1);
+        assert_eq!(s[14].0, 15);
+    }
+}

@@ -1,0 +1,221 @@
+//! Equation 4: rounds required for a precision target, and the
+//! communication-cost model of Section 4.2.
+
+use crate::{AnalysisError, RandomizationParams};
+
+/// Equation 4: the minimum number of rounds `r_min` such that the protocol
+/// returns the true maximum with probability at least `1 − epsilon`.
+///
+/// Derived from requiring `p0 · d^(r(r−1)/2) <= epsilon` (the paper's
+/// slightly weakened form of Equation 3), i.e.
+///
+/// `r_min = ceil( (1 + sqrt(1 + 8·L)) / 2 )` with `L = ln(ε/p0) / ln(d)`.
+///
+/// For `d = 1` the dampening never decays, so the bound must come from
+/// `p0^r <= epsilon` instead (possible only when `p0 < 1`); `p0 = d = 1`
+/// is unreachable.
+///
+/// The result is independent of the number of nodes — a key property the
+/// paper emphasizes — and grows like `O(sqrt(log 1/ε))`.
+///
+/// # Errors
+///
+/// - [`AnalysisError::InvalidEpsilon`] if `epsilon` is outside `(0, 1)`.
+/// - [`AnalysisError::Unreachable`] if `p0 = d = 1`.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_analysis::efficiency::min_rounds_for_precision;
+/// use privtopk_analysis::RandomizationParams;
+///
+/// let params = RandomizationParams::new(1.0, 0.5)?;
+/// let r = min_rounds_for_precision(params, 1e-3)?;
+/// assert!(r >= 4 && r <= 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn min_rounds_for_precision(
+    params: RandomizationParams,
+    epsilon: f64,
+) -> Result<u32, AnalysisError> {
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(AnalysisError::InvalidEpsilon { epsilon });
+    }
+    let p0 = params.p0();
+    let d = params.d();
+    if p0 <= epsilon {
+        // Already satisfied in the first round.
+        return Ok(1);
+    }
+    if (d - 1.0).abs() < f64::EPSILON {
+        if (p0 - 1.0).abs() < f64::EPSILON {
+            return Err(AnalysisError::Unreachable);
+        }
+        // Constant schedule: need p0^r <= epsilon.
+        let r = (epsilon.ln() / p0.ln()).ceil();
+        return Ok(r.max(1.0) as u32);
+    }
+    // ln(eps/p0) and ln(d) are both negative, so l > 0.
+    let l = (epsilon / p0).ln() / d.ln();
+    let r = (1.0 + (1.0 + 8.0 * l).sqrt()) / 2.0;
+    Ok(r.ceil().max(1.0) as u32)
+}
+
+/// The Figure 4 series: `r_min` for each error bound in `epsilons`.
+///
+/// # Errors
+///
+/// Propagates [`min_rounds_for_precision`] errors.
+pub fn min_rounds_series(
+    params: RandomizationParams,
+    epsilons: &[f64],
+) -> Result<Vec<(f64, u32)>, AnalysisError> {
+    epsilons
+        .iter()
+        .map(|&e| Ok((e, min_rounds_for_precision(params, e)?)))
+        .collect()
+}
+
+/// Communication-cost model of Section 4.2: one message per node per round
+/// (plus the final result circulation), so total messages are
+/// `n · (rounds + 1)`.
+#[must_use]
+pub fn total_messages(n: usize, rounds: u32) -> u64 {
+    n as u64 * (u64::from(rounds) + 1)
+}
+
+/// Cost model for the group-parallel optimization of Section 4.2: `groups`
+/// subrings of `n/groups` nodes run in parallel, then the designated nodes
+/// run a final ring. Returns `(messages, critical_path_hops)` — total
+/// traffic is essentially unchanged, but the sequential hop count (latency)
+/// drops from `n·(r+1)` to roughly `(n/groups + groups)·(r+1)`.
+#[must_use]
+pub fn grouped_cost(n: usize, groups: usize, rounds: u32) -> (u64, u64) {
+    assert!(groups >= 1 && groups <= n, "1 <= groups <= n");
+    let group_size = n.div_ceil(groups);
+    let per_round = u64::from(rounds) + 1;
+    let messages = n as u64 * per_round + groups as u64 * per_round;
+    let critical_path = (group_size as u64 + groups as u64) * per_round;
+    (messages, critical_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correctness::precision_lower_bound;
+
+    fn params(p0: f64, d: f64) -> RandomizationParams {
+        RandomizationParams::new(p0, d).unwrap()
+    }
+
+    #[test]
+    fn min_rounds_actually_achieves_epsilon() {
+        for (p0, d) in [(1.0, 0.5), (0.5, 0.5), (1.0, 0.25), (0.75, 0.9)] {
+            for eps in [0.1, 0.01, 1e-3, 1e-6] {
+                let p = params(p0, d);
+                let r = min_rounds_for_precision(p, eps).unwrap();
+                let achieved = precision_lower_bound(p, r);
+                assert!(
+                    achieved >= 1.0 - eps - 1e-12,
+                    "p0={p0} d={d} eps={eps}: r={r} gives {achieved}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_rounds_is_tight_within_one() {
+        // One fewer round should not satisfy the *weakened* bound
+        // p0 * d^(r(r-1)/2) <= eps that Equation 4 is derived from.
+        let p = params(1.0, 0.5);
+        for eps in [0.01, 1e-4] {
+            let r = min_rounds_for_precision(p, eps).unwrap();
+            assert!(r >= 2);
+            let rm1 = f64::from(r - 1);
+            let weak = p.p0() * p.d().powf(rm1 * (rm1 - 1.0) / 2.0);
+            assert!(weak > eps, "r_min not tight for eps={eps}");
+        }
+    }
+
+    #[test]
+    fn independent_of_node_count_by_construction() {
+        // The signature takes no n; this test documents the paper's claim.
+        let r = min_rounds_for_precision(params(1.0, 0.5), 1e-3).unwrap();
+        assert!(r > 0);
+    }
+
+    #[test]
+    fn smaller_epsilon_needs_more_rounds() {
+        let p = params(1.0, 0.5);
+        let r1 = min_rounds_for_precision(p, 0.1).unwrap();
+        let r2 = min_rounds_for_precision(p, 1e-4).unwrap();
+        let r3 = min_rounds_for_precision(p, 1e-8).unwrap();
+        assert!(r1 <= r2 && r2 <= r3);
+        assert!(r3 > r1);
+    }
+
+    #[test]
+    fn smaller_d_needs_fewer_rounds() {
+        // Figure 4(b): d has the dominant effect.
+        let slow = min_rounds_for_precision(params(1.0, 0.9), 1e-3).unwrap();
+        let fast = min_rounds_for_precision(params(1.0, 0.25), 1e-3).unwrap();
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn growth_is_subquadratic_in_log_epsilon() {
+        // O(sqrt(log 1/eps)): squaring the exponent range should roughly
+        // double r, not square it.
+        let p = params(1.0, 0.5);
+        let r_small = min_rounds_for_precision(p, 1e-4).unwrap();
+        let r_large = min_rounds_for_precision(p, 1e-16).unwrap();
+        assert!(r_large < r_small * 3, "r({r_large}) vs r({r_small})");
+    }
+
+    #[test]
+    fn constant_schedule_handled() {
+        // d = 1, p0 = 0.5: need 0.5^r <= 1e-3 -> r = 10.
+        let r = min_rounds_for_precision(params(0.5, 1.0), 1e-3).unwrap();
+        assert_eq!(r, 10);
+        assert!(matches!(
+            min_rounds_for_precision(params(1.0, 1.0), 1e-3),
+            Err(AnalysisError::Unreachable)
+        ));
+    }
+
+    #[test]
+    fn tiny_p0_satisfied_immediately() {
+        let r = min_rounds_for_precision(params(1e-4, 0.5), 1e-3).unwrap();
+        assert_eq!(r, 1);
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        for eps in [0.0, 1.0, -0.5, f64::NAN] {
+            assert!(min_rounds_for_precision(params(1.0, 0.5), eps).is_err());
+        }
+    }
+
+    #[test]
+    fn series_matches_pointwise() {
+        let p = params(1.0, 0.5);
+        let s = min_rounds_series(p, &[0.1, 0.01]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].1, min_rounds_for_precision(p, 0.1).unwrap());
+    }
+
+    #[test]
+    fn message_cost_linear_in_nodes() {
+        assert_eq!(total_messages(10, 5), 60);
+        assert_eq!(total_messages(20, 5), 120);
+    }
+
+    #[test]
+    fn grouping_shortens_critical_path() {
+        let (flat_msgs, flat_path) = grouped_cost(100, 1, 6);
+        let (grp_msgs, grp_path) = grouped_cost(100, 10, 6);
+        assert!(grp_path < flat_path / 2);
+        // Traffic overhead of the second stage is small.
+        assert!(grp_msgs < flat_msgs + 100);
+    }
+}

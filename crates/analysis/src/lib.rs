@@ -1,0 +1,32 @@
+//! Closed-form analysis of the probabilistic top-k protocol (Section 4 of
+//! the paper).
+//!
+//! Everything in this crate is pure arithmetic — no randomness, no
+//! protocol state — implementing the paper's equations:
+//!
+//! - **Equation 2** ([`RandomizationParams::probability_at_round`]): the
+//!   per-round randomization probability `P_r(r) = p0 · d^(r−1)`.
+//! - **Equation 3** ([`correctness::precision_lower_bound`]): the
+//!   probability that the protocol has converged to the true maximum after
+//!   `r` rounds.
+//! - **Equation 4** ([`efficiency::min_rounds_for_precision`]): the minimum
+//!   number of rounds guaranteeing precision `1 − ε`.
+//! - **Equation 5** ([`privacy_bounds::naive_average_lop_bound`]): the
+//!   harmonic lower bound `ln(n)/n` on the naive protocol's average loss of
+//!   privacy.
+//! - **Equation 6** ([`privacy_bounds::probabilistic_lop_round_term`] /
+//!   [`privacy_bounds::probabilistic_peak_lop_bound`]): the expected loss
+//!   of privacy of the probabilistic protocol per round, and its peak.
+//!
+//! These functions regenerate the paper's analytical Figures 3, 4 and 5 and
+//! drive the parameter-selection study of Figure 9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correctness;
+pub mod efficiency;
+mod params;
+pub mod privacy_bounds;
+
+pub use params::{AnalysisError, ParameterStudy, RandomizationParams, TradeoffPoint};

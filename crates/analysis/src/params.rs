@@ -1,0 +1,318 @@
+//! Validated randomization parameters and the privacy/efficiency
+//! parameter study of Figure 9.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors from the analysis layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// `p0` must lie in `(0, 1]`.
+    InvalidInitialProbability {
+        /// The rejected value.
+        p0: f64,
+    },
+    /// `d` must lie in `(0, 1]`.
+    InvalidDampening {
+        /// The rejected value.
+        d: f64,
+    },
+    /// `epsilon` must lie in `(0, 1)`.
+    InvalidEpsilon {
+        /// The rejected value.
+        epsilon: f64,
+    },
+    /// The requested precision can never be reached (e.g. `p0 = 1` with
+    /// `d = 1`: the randomization probability never decays).
+    Unreachable,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::InvalidInitialProbability { p0 } => {
+                write!(f, "initial randomization probability {p0} outside (0, 1]")
+            }
+            AnalysisError::InvalidDampening { d } => {
+                write!(f, "dampening factor {d} outside (0, 1]")
+            }
+            AnalysisError::InvalidEpsilon { epsilon } => {
+                write!(f, "error bound {epsilon} outside (0, 1)")
+            }
+            AnalysisError::Unreachable => {
+                write!(
+                    f,
+                    "requested precision unreachable: randomization never decays"
+                )
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+/// The `(p0, d)` pair of Equation 2, validated at construction.
+///
+/// `P_r(r) = p0 · d^(r−1)` with `r` 1-based.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_analysis::RandomizationParams;
+///
+/// let params = RandomizationParams::new(1.0, 0.5)?;
+/// assert_eq!(params.probability_at_round(1), 1.0);
+/// assert_eq!(params.probability_at_round(3), 0.25);
+/// # Ok::<(), privtopk_analysis::AnalysisError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomizationParams {
+    p0: f64,
+    d: f64,
+}
+
+impl RandomizationParams {
+    /// The paper's recommended default `(p0, d) = (1, 1/2)` (Figure 9:
+    /// "the (p0, d) pair of (1, 1/2) in the lower left corner gives a nice
+    /// tradeoff of privacy and efficiency").
+    pub const PAPER_DEFAULT: RandomizationParams = RandomizationParams { p0: 1.0, d: 0.5 };
+
+    /// Validates and wraps `(p0, d)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `p0` outside `(0, 1]` and `d` outside `(0, 1]`. (A `p0` of
+    /// zero is representable in the protocol — it degenerates to the naive
+    /// protocol — but the analysis formulas divide by it, so the protocol
+    /// crate models that case separately.)
+    pub fn new(p0: f64, d: f64) -> Result<Self, AnalysisError> {
+        if !(p0 > 0.0 && p0 <= 1.0) {
+            return Err(AnalysisError::InvalidInitialProbability { p0 });
+        }
+        if !(d > 0.0 && d <= 1.0) {
+            return Err(AnalysisError::InvalidDampening { d });
+        }
+        Ok(RandomizationParams { p0, d })
+    }
+
+    /// Initial randomization probability `p0`.
+    #[must_use]
+    pub fn p0(&self) -> f64 {
+        self.p0
+    }
+
+    /// Dampening factor `d`.
+    #[must_use]
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+
+    /// Equation 2: `P_r(r) = p0 · d^(r−1)` for 1-based round `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0` (rounds are 1-based in the paper).
+    #[must_use]
+    pub fn probability_at_round(&self, round: u32) -> f64 {
+        assert!(round >= 1, "rounds are 1-based");
+        self.p0 * self.d.powi(round as i32 - 1)
+    }
+}
+
+impl Default for RandomizationParams {
+    fn default() -> Self {
+        RandomizationParams::PAPER_DEFAULT
+    }
+}
+
+impl fmt::Display for RandomizationParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(p0 = {}, d = {})", self.p0, self.d)
+    }
+}
+
+/// One point of the Figure 9 privacy-vs-efficiency scatter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// The parameter pair.
+    pub params: RandomizationParams,
+    /// Peak expected loss of privacy (Equation 6 bound).
+    pub peak_lop_bound: f64,
+    /// Rounds required for the target precision (Equation 4).
+    pub min_rounds: u32,
+}
+
+/// Sweeps a grid of `(p0, d)` pairs and evaluates both sides of the
+/// tradeoff, reproducing the shape of Figure 9 analytically.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_analysis::ParameterStudy;
+///
+/// let study = ParameterStudy::new(1e-3)?;
+/// let points = study.sweep(&[0.5, 1.0], &[0.25, 0.5])?;
+/// assert_eq!(points.len(), 4);
+/// # Ok::<(), privtopk_analysis::AnalysisError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ParameterStudy {
+    epsilon: f64,
+}
+
+impl ParameterStudy {
+    /// Creates a study targeting precision `1 − epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidEpsilon`] for `epsilon` outside
+    /// `(0, 1)`.
+    pub fn new(epsilon: f64) -> Result<Self, AnalysisError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(AnalysisError::InvalidEpsilon { epsilon });
+        }
+        Ok(ParameterStudy { epsilon })
+    }
+
+    /// The target error bound.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Evaluates every `(p0, d)` pair in the cross product.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation errors; pairs whose precision is
+    /// unreachable (`p0 = d = 1`) are skipped rather than failing the whole
+    /// sweep.
+    pub fn sweep(&self, p0s: &[f64], ds: &[f64]) -> Result<Vec<TradeoffPoint>, AnalysisError> {
+        let mut out = Vec::with_capacity(p0s.len() * ds.len());
+        for &p0 in p0s {
+            for &d in ds {
+                let params = RandomizationParams::new(p0, d)?;
+                let min_rounds =
+                    match crate::efficiency::min_rounds_for_precision(params, self.epsilon) {
+                        Ok(r) => r,
+                        Err(AnalysisError::Unreachable) => continue,
+                        Err(e) => return Err(e),
+                    };
+                out.push(TradeoffPoint {
+                    params,
+                    peak_lop_bound: crate::privacy_bounds::probabilistic_peak_lop_bound(
+                        params, min_rounds,
+                    ),
+                    min_rounds,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// The pair from `points` minimizing `lop_weight · LoP + round_weight ·
+    /// rounds` after min-max normalization — a simple scalarization of the
+    /// Figure 9 "lower left corner" argument.
+    #[must_use]
+    pub fn recommend(points: &[TradeoffPoint]) -> Option<TradeoffPoint> {
+        if points.is_empty() {
+            return None;
+        }
+        let max_lop = points.iter().map(|p| p.peak_lop_bound).fold(0.0, f64::max);
+        let max_rounds = points.iter().map(|p| p.min_rounds).max().unwrap_or(1) as f64;
+        points.iter().copied().min_by(|a, b| {
+            let score = |p: &TradeoffPoint| {
+                let lop = if max_lop > 0.0 {
+                    p.peak_lop_bound / max_lop
+                } else {
+                    0.0
+                };
+                let rounds = p.min_rounds as f64 / max_rounds;
+                lop + rounds
+            };
+            score(a).partial_cmp(&score(b)).expect("finite scores")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_p0_and_d() {
+        assert!(RandomizationParams::new(0.0, 0.5).is_err());
+        assert!(RandomizationParams::new(1.1, 0.5).is_err());
+        assert!(RandomizationParams::new(0.5, 0.0).is_err());
+        assert!(RandomizationParams::new(0.5, 1.1).is_err());
+        assert!(RandomizationParams::new(1.0, 1.0).is_ok());
+        assert!(RandomizationParams::new(f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn equation_2_schedule() {
+        let p = RandomizationParams::new(1.0, 0.5).unwrap();
+        assert_eq!(p.probability_at_round(1), 1.0);
+        assert_eq!(p.probability_at_round(2), 0.5);
+        assert_eq!(p.probability_at_round(4), 0.125);
+        let q = RandomizationParams::new(0.75, 0.25).unwrap();
+        assert!((q.probability_at_round(2) - 0.1875).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn round_zero_rejected() {
+        let _ = RandomizationParams::PAPER_DEFAULT.probability_at_round(0);
+    }
+
+    #[test]
+    fn paper_default_matches_figure_9() {
+        let p = RandomizationParams::default();
+        assert_eq!(p.p0(), 1.0);
+        assert_eq!(p.d(), 0.5);
+    }
+
+    #[test]
+    fn study_sweep_covers_grid_and_skips_unreachable() {
+        let study = ParameterStudy::new(1e-3).unwrap();
+        // (1.0, 1.0) never decays -> skipped.
+        let points = study.sweep(&[0.5, 1.0], &[0.5, 1.0]).unwrap();
+        assert_eq!(points.len(), 3);
+    }
+
+    #[test]
+    fn study_rejects_bad_epsilon() {
+        assert!(ParameterStudy::new(0.0).is_err());
+        assert!(ParameterStudy::new(1.0).is_err());
+        assert!(ParameterStudy::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn recommend_prefers_dominating_point() {
+        let a = TradeoffPoint {
+            params: RandomizationParams::new(1.0, 0.5).unwrap(),
+            peak_lop_bound: 0.1,
+            min_rounds: 5,
+        };
+        let b = TradeoffPoint {
+            params: RandomizationParams::new(0.5, 0.5).unwrap(),
+            peak_lop_bound: 0.5,
+            min_rounds: 10,
+        };
+        let rec = ParameterStudy::recommend(&[a, b]).unwrap();
+        assert_eq!(rec.params, a.params);
+        assert!(ParameterStudy::recommend(&[]).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            RandomizationParams::PAPER_DEFAULT.to_string(),
+            "(p0 = 1, d = 0.5)"
+        );
+        assert!(!AnalysisError::Unreachable.to_string().is_empty());
+    }
+}

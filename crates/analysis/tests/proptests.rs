@@ -1,0 +1,91 @@
+//! Property-based tests for the closed-form analysis.
+
+use privtopk_analysis::{
+    correctness, efficiency, privacy_bounds, ParameterStudy, RandomizationParams,
+};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = RandomizationParams> {
+    (0.01f64..=1.0, 0.01f64..=0.99)
+        .prop_map(|(p0, d)| RandomizationParams::new(p0, d).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Equation 3 is a probability, monotone in rounds, and agrees with
+    /// the exact failure product.
+    #[test]
+    fn precision_bound_properties(params in arb_params(), rounds in 1u32..30) {
+        let p = correctness::precision_lower_bound(params, rounds);
+        prop_assert!((0.0..=1.0).contains(&p));
+        if rounds > 1 {
+            prop_assert!(p >= correctness::precision_lower_bound(params, rounds - 1) - 1e-12);
+        }
+        let product = 1.0 - correctness::failure_probability_product(params, rounds);
+        prop_assert!((p - product).abs() < 1e-9);
+    }
+
+    /// Equation 4 round counts actually achieve the bound they promise,
+    /// and one round less does not satisfy the weakened inequality.
+    #[test]
+    fn min_rounds_sound_and_tight(params in arb_params(), exp in 1u32..10) {
+        let epsilon = 10f64.powi(-(exp as i32));
+        let r = efficiency::min_rounds_for_precision(params, epsilon).unwrap();
+        prop_assert!(correctness::precision_lower_bound(params, r) >= 1.0 - epsilon - 1e-12);
+        if r > 1 {
+            // The weakened bound p0 * d^(r(r-1)/2) used by Eq. 4 must not
+            // already hold at r - 1.
+            let rm1 = f64::from(r - 1);
+            let weak = params.p0() * params.d().powf(rm1 * (rm1 - 1.0) / 2.0);
+            prop_assert!(weak > epsilon);
+        }
+    }
+
+    /// Equation 4 is monotone: tighter epsilon never needs fewer rounds.
+    #[test]
+    fn min_rounds_monotone_in_epsilon(params in arb_params(), e1 in 1u32..8, e2 in 1u32..8) {
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let r_loose = efficiency::min_rounds_for_precision(params, 10f64.powi(-(lo as i32))).unwrap();
+        let r_tight = efficiency::min_rounds_for_precision(params, 10f64.powi(-(hi as i32))).unwrap();
+        prop_assert!(r_tight >= r_loose);
+    }
+
+    /// Equation 6 terms are valid probabilities that vanish as rounds grow.
+    #[test]
+    fn lop_terms_bounded_and_vanishing(params in arb_params()) {
+        for r in 1..=40u32 {
+            let t = privacy_bounds::probabilistic_lop_round_term(params, r);
+            prop_assert!((0.0..=1.0).contains(&t));
+        }
+        prop_assert!(privacy_bounds::probabilistic_lop_round_term(params, 40) < 1e-9);
+    }
+
+    /// The naive closed forms stay consistent: exact average = (H_n − 1)/n
+    /// and per-node values telescope correctly.
+    #[test]
+    fn naive_lop_closed_forms(n in 1usize..200) {
+        let exact = privacy_bounds::naive_average_lop(n);
+        let harmonic = privacy_bounds::harmonic(n);
+        prop_assert!((exact - (harmonic - 1.0) / n as f64).abs() < 1e-12);
+        // Per-node values are non-negative and sum to n * average.
+        let sum: f64 = (1..=n).map(|i| privacy_bounds::naive_node_lop(i, n)).sum();
+        prop_assert!((sum / n as f64 - exact).abs() < 1e-12);
+    }
+
+    /// Parameter-study sweeps always produce achievable points, and the
+    /// recommendation is one of them.
+    #[test]
+    fn study_recommendation_is_member(
+        (p0s, ds) in (
+            prop::collection::vec(0.1f64..=1.0, 1..4),
+            prop::collection::vec(0.1f64..=0.9, 1..4),
+        )
+    ) {
+        let study = ParameterStudy::new(1e-3).unwrap();
+        let points = study.sweep(&p0s, &ds).unwrap();
+        prop_assert_eq!(points.len(), p0s.len() * ds.len());
+        let rec = ParameterStudy::recommend(&points).unwrap();
+        prop_assert!(points.iter().any(|p| p.params == rec.params));
+    }
+}

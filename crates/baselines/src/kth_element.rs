@@ -1,0 +1,211 @@
+//! The kth-ranked-element baseline: binary search over the public domain
+//! with privately aggregated counts.
+//!
+//! Each iteration probes a candidate value `m` and computes — via the
+//! secure ring sum — how many values across all databases are `>= m`.
+//! The search narrows until the kth largest value is pinned. Disclosure
+//! per iteration is a single aggregate count; total cost is
+//! `O(log |domain|)` secure sums of `n` messages each.
+
+use privtopk_domain::{Value, ValueDomain};
+use privtopk_knn::secure_sum::secure_sum;
+use privtopk_knn::KnnError;
+
+/// Result of a kth-ranked-element computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KthElementOutcome {
+    /// The kth largest value across all databases.
+    pub value: Value,
+    /// Binary-search iterations performed.
+    pub iterations: u32,
+    /// Total ring messages (one per node per secure sum).
+    pub messages: u64,
+    /// The aggregate counts revealed, one per iteration — the protocol's
+    /// entire information disclosure beyond the result.
+    pub revealed_counts: Vec<u64>,
+}
+
+/// Computes the kth largest value over per-node value sets.
+///
+/// `rank` is 1-based: `rank = 1` is the maximum. If fewer than `rank`
+/// values exist in total, the domain floor is returned (consistent with
+/// the top-k protocol's floor padding).
+///
+/// # Errors
+///
+/// - [`KnnError::ZeroK`] if `rank == 0`.
+/// - [`KnnError::TooFewParties`] for fewer than 3 participants (the
+///   secure sum's requirement).
+///
+/// # Example
+///
+/// ```
+/// use privtopk_baselines::kth_largest;
+/// use privtopk_domain::{Value, ValueDomain};
+///
+/// let domain = ValueDomain::paper_default();
+/// let shards = vec![
+///     vec![Value::new(10), Value::new(70)],
+///     vec![Value::new(40)],
+///     vec![Value::new(90), Value::new(20)],
+/// ];
+/// let out = kth_largest(&shards, 2, &domain, 42)?;
+/// assert_eq!(out.value, Value::new(70));
+/// # Ok::<(), privtopk_knn::KnnError>(())
+/// ```
+pub fn kth_largest(
+    shards: &[Vec<Value>],
+    rank: usize,
+    domain: &ValueDomain,
+    seed: u64,
+) -> Result<KthElementOutcome, KnnError> {
+    if rank == 0 {
+        return Err(KnnError::ZeroK);
+    }
+    if shards.len() < 3 {
+        return Err(KnnError::TooFewParties { got: shards.len() });
+    }
+    let n = shards.len() as u64;
+    let mut lo = domain.min().get();
+    let mut hi = domain.max().get();
+    let mut iterations = 0u32;
+    let mut revealed = Vec::new();
+
+    // Invariant: the answer (if rank values exist) lies in [lo, hi];
+    // count(>= lo) >= rank or lo == domain.min.
+    while lo < hi {
+        iterations += 1;
+        // Ceiling midpoint so the loop always shrinks [lo, hi].
+        let mid = lo + (hi - lo + 1) / 2;
+        let counts: Vec<u64> = shards
+            .iter()
+            .map(|s| s.iter().filter(|v| v.get() >= mid).count() as u64)
+            .collect();
+        let total = secure_sum(&counts, seed.wrapping_add(u64::from(iterations)))?.sum;
+        revealed.push(total);
+        if total >= rank as u64 {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+
+    // If fewer than `rank` values exist at all, report the domain floor.
+    let have: usize = shards.iter().map(Vec::len).sum();
+    let value = if have < rank {
+        domain.min()
+    } else {
+        Value::new(lo)
+    };
+    Ok(KthElementOutcome {
+        value,
+        iterations,
+        messages: u64::from(iterations) * n,
+        revealed_counts: revealed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> ValueDomain {
+        ValueDomain::paper_default()
+    }
+
+    fn shards(data: &[&[i64]]) -> Vec<Vec<Value>> {
+        data.iter()
+            .map(|s| s.iter().copied().map(Value::new).collect())
+            .collect()
+    }
+
+    #[test]
+    fn finds_every_rank() {
+        let s = shards(&[&[10, 70], &[40], &[90, 20]]);
+        let sorted = [90i64, 70, 40, 20, 10];
+        for (i, &expect) in sorted.iter().enumerate() {
+            let out = kth_largest(&s, i + 1, &domain(), 1).unwrap();
+            assert_eq!(out.value, Value::new(expect), "rank {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let s = shards(&[&[500, 500], &[500], &[100]]);
+        assert_eq!(
+            kth_largest(&s, 3, &domain(), 2).unwrap().value,
+            Value::new(500)
+        );
+        assert_eq!(
+            kth_largest(&s, 4, &domain(), 2).unwrap().value,
+            Value::new(100)
+        );
+    }
+
+    #[test]
+    fn rank_beyond_population_returns_floor() {
+        let s = shards(&[&[5], &[7], &[9]]);
+        let out = kth_largest(&s, 10, &domain(), 3).unwrap();
+        assert_eq!(out.value, domain().min());
+    }
+
+    #[test]
+    fn iteration_count_is_logarithmic() {
+        let s = shards(&[&[1234], &[9876], &[5432]]);
+        let out = kth_largest(&s, 1, &domain(), 4).unwrap();
+        // |domain| = 10^4 -> at most ceil(log2(10^4)) = 14 iterations.
+        assert!(out.iterations <= 14, "iterations {}", out.iterations);
+        assert_eq!(out.messages, u64::from(out.iterations) * 3);
+        assert_eq!(out.revealed_counts.len(), out.iterations as usize);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let s = shards(&[&[1], &[2], &[3]]);
+        assert!(matches!(
+            kth_largest(&s, 0, &domain(), 0),
+            Err(KnnError::ZeroK)
+        ));
+        let two = shards(&[&[1], &[2]]);
+        assert!(matches!(
+            kth_largest(&two, 1, &domain(), 0),
+            Err(KnnError::TooFewParties { got: 2 })
+        ));
+    }
+
+    #[test]
+    fn matches_topk_protocol_on_random_data() {
+        use privtopk_core::{true_topk, ProtocolConfig, RoundPolicy, SimulationEngine};
+        use privtopk_datagen::DatasetBuilder;
+
+        for seed in 0..10 {
+            let locals = DatasetBuilder::new(5)
+                .rows_per_node(4)
+                .seed(seed)
+                .build_local_topk(3)
+                .unwrap();
+            let truth = true_topk(&locals, 3, &domain()).unwrap();
+            // Baseline: the 3rd ranked element should equal truth[3].
+            let shards: Vec<Vec<Value>> = locals.iter().map(|l| l.iter().collect()).collect();
+            let baseline = kth_largest(&shards, 3, &domain(), seed).unwrap();
+            assert_eq!(baseline.value, truth.kth(), "seed {seed}");
+            // And the probabilistic protocol agrees end to end.
+            let t = SimulationEngine::new(
+                ProtocolConfig::topk(3).with_rounds(RoundPolicy::Precision { epsilon: 1e-9 }),
+            )
+            .run(&locals, seed)
+            .unwrap();
+            assert_eq!(t.result().kth(), baseline.value);
+        }
+    }
+
+    #[test]
+    fn deterministic_result_independent_of_seed() {
+        // The seed only masks the sums; the answer is deterministic.
+        let s = shards(&[&[10, 70], &[40], &[90, 20]]);
+        let a = kth_largest(&s, 2, &domain(), 1).unwrap();
+        let b = kth_largest(&s, 2, &domain(), 999).unwrap();
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

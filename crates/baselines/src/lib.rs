@@ -1,0 +1,25 @@
+//! Comparison baselines for the privtopk protocol.
+//!
+//! The paper compares against its own naive/anonymous-naive ring
+//! protocols (implemented in `privtopk-core`). This crate adds the two
+//! external reference points discussed in its introduction and related
+//! work:
+//!
+//! - [`kth_element`]: a binary-search **kth-ranked-element** protocol in
+//!   the spirit of Aggarwal–Mishra–Pinkas (the paper's reference \[1\]),
+//!   built on the secure ring sum: each probe of the public domain
+//!   reveals only one aggregate count. Useful both as a baseline and as a
+//!   different privacy/efficiency point (O(log |domain|) rounds of
+//!   counting instead of O(r_min) rounds of value passing).
+//! - [`third_party`]: the **trusted third party** strawman the paper
+//!   argues against — exact and fast, but every participant fully
+//!   discloses its data to the collector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kth_element;
+pub mod third_party;
+
+pub use kth_element::{kth_largest, KthElementOutcome};
+pub use third_party::{TrustedThirdParty, TtpAudit};

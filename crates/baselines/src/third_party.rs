@@ -1,0 +1,156 @@
+//! The trusted-third-party strawman.
+//!
+//! "One technique is to use a trusted third party ... However, finding
+//! such a trusted third party is not always feasible. ... Compromise of
+//! the server by hackers could lead to a complete privacy loss for all
+//! participating parties" (Section 1). This module implements that
+//! strawman faithfully — including an audit of exactly how much every
+//! participant disclosed — so experiments can anchor the privacy axis at
+//! its worst point.
+
+use privtopk_domain::{DomainError, NodeId, TopKVector, ValueDomain};
+
+/// What the third party learned from one query — which is *everything*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtpAudit {
+    /// Values disclosed per node (all of them).
+    pub disclosed: Vec<(NodeId, usize)>,
+    /// Per-node loss of privacy under Equation 1: every non-result value
+    /// is provably exposed to the collector, so the per-item loss is 1
+    /// for each value outside the final result.
+    pub per_node_lop: Vec<f64>,
+}
+
+/// The centralized collector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrustedThirdParty;
+
+impl TrustedThirdParty {
+    /// Creates the collector.
+    #[must_use]
+    pub fn new() -> Self {
+        TrustedThirdParty
+    }
+
+    /// Computes the exact top-k by collecting every party's local vector,
+    /// returning the result together with the disclosure audit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DomainError`] for `k == 0`.
+    pub fn topk(
+        &self,
+        locals: &[TopKVector],
+        k: usize,
+        domain: &ValueDomain,
+    ) -> Result<(TopKVector, TtpAudit), DomainError> {
+        let result = TopKVector::from_values(k, locals.iter().flat_map(TopKVector::iter), domain)?;
+        let n = locals.len();
+        let mut disclosed = Vec::with_capacity(n);
+        let mut per_node_lop = Vec::with_capacity(n);
+        // Multiset bookkeeping: each result slot absolves one disclosed
+        // copy of that value.
+        let mut result_pool: Vec<_> = result.iter().collect();
+        for (i, local) in locals.iter().enumerate() {
+            disclosed.push((NodeId::new(i), local.k()));
+            let mut exposed = 0usize;
+            for v in local.iter() {
+                if let Some(pos) = result_pool.iter().position(|&x| x == v) {
+                    result_pool.remove(pos);
+                } else {
+                    exposed += 1;
+                }
+            }
+            per_node_lop.push(exposed as f64 / local.k() as f64);
+        }
+        Ok((
+            result,
+            TtpAudit {
+                disclosed,
+                per_node_lop,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::Value;
+
+    fn domain() -> ValueDomain {
+        ValueDomain::paper_default()
+    }
+
+    fn vk(k: usize, vals: &[i64]) -> TopKVector {
+        TopKVector::from_values(k, vals.iter().copied().map(Value::new), &domain()).unwrap()
+    }
+
+    #[test]
+    fn result_is_exact() {
+        let locals = vec![vk(2, &[10, 70]), vk(2, &[40, 1]), vk(2, &[90, 20])];
+        let (result, _) = TrustedThirdParty::new()
+            .topk(&locals, 2, &domain())
+            .unwrap();
+        assert_eq!(result.as_slice(), &[Value::new(90), Value::new(70)]);
+    }
+
+    #[test]
+    fn audit_reports_total_disclosure() {
+        let locals = vec![vk(2, &[10, 70]), vk(2, &[40, 1]), vk(2, &[90, 20])];
+        let (_, audit) = TrustedThirdParty::new()
+            .topk(&locals, 2, &domain())
+            .unwrap();
+        // Every node disclosed both of its values.
+        assert!(audit.disclosed.iter().all(|&(_, c)| c == 2));
+        // Node 0: 70 ends up public, 10 does not -> LoP 1/2.
+        assert_eq!(audit.per_node_lop[0], 0.5);
+        // Node 1: neither 40 nor 1 is in the result -> LoP 1.
+        assert_eq!(audit.per_node_lop[1], 1.0);
+        // Node 2: 90 public, 20 not -> 1/2.
+        assert_eq!(audit.per_node_lop[2], 0.5);
+    }
+
+    #[test]
+    fn audit_handles_duplicates_as_multiset() {
+        // Two nodes hold 500; only one copy fits the k=1 result, so one
+        // node is still fully exposed... but neither is attributable:
+        // the audit charges the first holder's copy to the result slot.
+        let locals = vec![vk(1, &[500]), vk(1, &[500]), vk(1, &[3])];
+        let (_, audit) = TrustedThirdParty::new()
+            .topk(&locals, 1, &domain())
+            .unwrap();
+        assert_eq!(audit.per_node_lop, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn ttp_lop_dominates_probabilistic_protocol() {
+        use privtopk_core::{ProtocolConfig, RoundPolicy, SimulationEngine};
+        use privtopk_privacy::{LopAccumulator, SuccessorAdversary};
+
+        let locals = vec![
+            vk(1, &[3000]),
+            vk(1, &[7000]),
+            vk(1, &[5000]),
+            vk(1, &[100]),
+        ];
+        let (_, audit) = TrustedThirdParty::new()
+            .topk(&locals, 1, &domain())
+            .unwrap();
+        let ttp_avg: f64 = audit.per_node_lop.iter().sum::<f64>() / audit.per_node_lop.len() as f64;
+
+        let mut acc = LopAccumulator::new();
+        for seed in 0..40 {
+            let t =
+                SimulationEngine::new(ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(10)))
+                    .run(&locals, seed)
+                    .unwrap();
+            acc.add(&SuccessorAdversary::estimate(&t, &locals));
+        }
+        let prob_avg = acc.summarize().average_peak;
+        assert!(
+            prob_avg < ttp_avg / 3.0,
+            "probabilistic {prob_avg} vs ttp {ttp_avg}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! - randomization schedule family (exponential vs linear vs constant),
+//! - per-round ring remapping vs a fixed ring,
+//! - group-parallel max vs the flat ring,
+//! - Algorithm 2's δ (minimum randomization range).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use privtopk_bench::bench_locals;
+use privtopk_core::groups::grouped_max;
+use privtopk_core::{ProtocolConfig, RoundPolicy, Schedule, SimulationEngine};
+use privtopk_domain::Value;
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_schedule");
+    let locals = bench_locals(8, 1, 5);
+    let schedules = [
+        ("exponential", Schedule::exponential(1.0, 0.5).unwrap()),
+        ("linear", Schedule::linear(1.0, 0.2).unwrap()),
+        ("constant", Schedule::constant(0.5).unwrap()),
+        ("never", Schedule::Never),
+    ];
+    for (name, schedule) in schedules {
+        let config = ProtocolConfig::max()
+            .with_schedule(schedule)
+            .with_rounds(RoundPolicy::Precision { epsilon: 1e-6 });
+        let engine = SimulationEngine::new(config);
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                engine.run(&locals, seed).expect("valid run")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_remap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_remap");
+    let locals = bench_locals(16, 1, 6);
+    for (name, remap) in [("fixed_ring", false), ("remap_each_round", true)] {
+        let config = ProtocolConfig::max()
+            .with_remap_each_round(remap)
+            .with_rounds(RoundPolicy::Fixed(8));
+        let engine = SimulationEngine::new(config);
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                engine.run(&locals, seed).expect("valid run")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_groups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_groups");
+    let values: Vec<Value> = (0..120).map(|i| Value::new(i * 83 % 9999 + 1)).collect();
+    let config = ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-6 });
+    for groups in [1usize, 4, 10] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(groups),
+            &groups,
+            |b, &groups| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    grouped_max(&config, &values, groups, seed).expect("valid run")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_delta");
+    let locals = bench_locals(8, 8, 7);
+    for delta in [1u64, 100, 10_000] {
+        let config = ProtocolConfig::topk(8)
+            .with_delta(delta)
+            .with_rounds(RoundPolicy::Fixed(8));
+        let engine = SimulationEngine::new(config);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                engine.run(&locals, seed).expect("valid run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedules,
+    bench_remap,
+    bench_groups,
+    bench_delta
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Baseline comparison benches: the probabilistic protocol vs the
+//! kth-ranked-element binary search vs the trusted third party, plus the
+//! latency-model estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use privtopk_baselines::{kth_largest, TrustedThirdParty};
+use privtopk_bench::bench_locals;
+use privtopk_core::latency::{estimate_makespan, LatencyModel};
+use privtopk_core::{ProtocolConfig, RoundPolicy, SimulationEngine};
+use privtopk_domain::{Value, ValueDomain};
+
+fn bench_query_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_strategy");
+    let domain = ValueDomain::paper_default();
+    for n in [8usize, 64] {
+        let locals = bench_locals(n, 1, 3);
+        let shards: Vec<Vec<Value>> = locals.iter().map(|l| l.iter().collect()).collect();
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-3 }),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("probabilistic", n),
+            &locals,
+            |b, locals| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    engine.run(locals, seed).expect("valid run")
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("kth_element", n), &shards, |b, shards| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                kth_largest(shards, 1, &domain, seed).expect("valid baseline")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("third_party", n), &locals, |b, locals| {
+            b.iter(|| {
+                TrustedThirdParty::new()
+                    .topk(locals, 1, &domain)
+                    .expect("valid k")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency_model");
+    let config = ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-3 });
+    for n in [100usize, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let groups = (n as f64).sqrt().round() as usize;
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                estimate_makespan(&config, n, groups, LatencyModel::wan(), seed)
+                    .expect("valid grouping")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_strategies, bench_latency_model);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regeneration cost of every paper figure, one benchmark per artifact.
+//!
+//! Trial counts are reduced (benchmarks measure cost, not statistics); the
+//! full 100-trial regeneration is `cargo run --release -p
+//! privtopk-experiments --bin all_figures`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use privtopk_experiments::figures::{self, Variant};
+
+const TRIALS: usize = 5;
+const SEED: u64 = 0xBE7C;
+
+fn bench_analytic_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_analytic");
+    group.bench_function("fig03", |b| {
+        b.iter(|| {
+            (
+                figures::fig03_precision_bound(Variant::A),
+                figures::fig03_precision_bound(Variant::B),
+            )
+        });
+    });
+    group.bench_function("fig04", |b| {
+        b.iter(|| {
+            (
+                figures::fig04_min_rounds(Variant::A),
+                figures::fig04_min_rounds(Variant::B),
+            )
+        });
+    });
+    group.bench_function("fig05", |b| {
+        b.iter(|| {
+            (
+                figures::fig05_lop_bound(Variant::A),
+                figures::fig05_lop_bound(Variant::B),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_measured_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_measured");
+    group.sample_size(10);
+    group.bench_function("fig06", |b| {
+        b.iter(|| figures::fig06_precision_vs_rounds(Variant::A, TRIALS, SEED));
+    });
+    group.bench_function("fig07", |b| {
+        b.iter(|| figures::fig07_lop_per_round(Variant::A, TRIALS, SEED));
+    });
+    group.bench_function("fig08", |b| {
+        b.iter(|| figures::fig08_lop_vs_n(Variant::A, TRIALS, SEED));
+    });
+    group.bench_function("fig09", |b| {
+        b.iter(|| figures::fig09_tradeoff(TRIALS, SEED));
+    });
+    group.bench_function("fig10", |b| {
+        b.iter(|| figures::fig10_protocol_comparison(Variant::A, TRIALS, SEED));
+    });
+    group.bench_function("fig11", |b| {
+        b.iter(|| figures::fig11_topk_precision(TRIALS, SEED));
+    });
+    group.bench_function("fig12", |b| {
+        b.iter(|| figures::fig12_topk_lop(Variant::A, TRIALS, SEED));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytic_figures, bench_measured_figures);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Private vs centralized kNN classification cost, and the secure-sum
+//! substrate in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+use privtopk_domain::rng::seeded_rng;
+use privtopk_knn::secure_sum::secure_sum;
+use privtopk_knn::{centralized_knn, KnnConfig, LabeledPoint, PrivateKnnClassifier};
+
+fn make_shards(parties: usize, per_party: usize, seed: u64) -> Vec<Vec<LabeledPoint>> {
+    let mut rng = seeded_rng(seed);
+    (0..parties)
+        .map(|_| {
+            (0..per_party)
+                .map(|_| {
+                    let label = usize::from(rng.gen_bool(0.5));
+                    let c = if label == 0 { 0.0 } else { 5.0 };
+                    LabeledPoint::new(
+                        vec![c + rng.gen_range(-1.0..1.0), c + rng.gen_range(-1.0..1.0)],
+                        label,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_classify");
+    group.sample_size(20);
+    for parties in [3usize, 8] {
+        let shards = make_shards(parties, 50, 1);
+        let flat: Vec<LabeledPoint> = shards.iter().flatten().cloned().collect();
+        let config = KnnConfig::new(7);
+        let clf = PrivateKnnClassifier::new(config, shards).expect("valid shards");
+        group.bench_with_input(BenchmarkId::new("private", parties), &parties, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                clf.classify(&[2.5, 2.5], seed).expect("valid query")
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("centralized", parties),
+            &parties,
+            |b, _| {
+                b.iter(|| centralized_knn(&flat, &[2.5, 2.5], &config));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_secure_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secure_sum");
+    for n in [4usize, 64, 1024] {
+        let values: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, values| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                secure_sum(values, seed).expect("valid ring")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification, bench_secure_sum);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared helpers for the privtopk benchmark suite.
+//!
+//! The actual benchmarks live under `benches/`:
+//!
+//! - `protocols` — protocol execution cost vs `n`, `k` and protocol kind
+//!   (the Section 4.2 efficiency claims).
+//! - `figures` — regeneration cost of every paper figure (reduced trial
+//!   counts; the full-fidelity run is the `all_figures` binary in
+//!   `privtopk-experiments`).
+//! - `transport` — wire codec and in-memory vs TCP messaging costs.
+//! - `ablations` — the DESIGN.md ablations: randomization schedule
+//!   family, per-round ring remapping, group-parallel max, and δ
+//!   sensitivity.
+//! - `knn` — private vs centralized kNN classification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use privtopk_datagen::DatasetBuilder;
+use privtopk_domain::TopKVector;
+
+/// Builds deterministic local top-k vectors for benchmarking.
+///
+/// # Panics
+///
+/// Panics on invalid shapes (benchmarks only pass valid ones).
+#[must_use]
+pub fn bench_locals(n: usize, k: usize, seed: u64) -> Vec<TopKVector> {
+    DatasetBuilder::new(n)
+        .rows_per_node(k)
+        .seed(seed)
+        .build_local_topk(k)
+        .expect("valid benchmark dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_locals_shape() {
+        let locals = bench_locals(5, 3, 1);
+        assert_eq!(locals.len(), 5);
+        assert!(locals.iter().all(|l| l.k() == 3));
+    }
+}

@@ -1,0 +1,219 @@
+//! Hand-rolled argument parsing (the offline dependency set has no CLI
+//! crate, and the surface is small enough that one is not missed).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// CLI-level errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// No subcommand or an unknown one.
+    UnknownCommand {
+        /// What was typed.
+        got: String,
+    },
+    /// A flag was missing its value or unknown.
+    BadFlag {
+        /// The offending token.
+        flag: String,
+    },
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The unparseable value.
+        value: String,
+    },
+    /// Anything from the underlying library, stringified at the boundary.
+    Execution(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand { got } => {
+                write!(f, "unknown command `{got}` (try `privtopk help`)")
+            }
+            CliError::BadFlag { flag } => write!(f, "unknown or incomplete flag `{flag}`"),
+            CliError::BadValue { flag, value } => {
+                write!(f, "invalid value `{value}` for `{flag}`")
+            }
+            CliError::Execution(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+/// The parsed subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `privtopk query ...` / `privtopk audit ...` (audit = query +
+    /// privacy report).
+    Query {
+        /// Whether to attach the LoP audit.
+        audit: bool,
+    },
+    /// `privtopk analyze ...`
+    Analyze,
+    /// `privtopk knn ...` — federated kNN classification.
+    Knn,
+    /// `privtopk help`
+    Help,
+}
+
+/// Parsed command line: the subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arguments {
+    /// The subcommand.
+    pub command: Command,
+    flags: HashMap<String, String>,
+}
+
+impl Arguments {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for unknown commands or malformed flags.
+    pub fn parse<I, S>(raw: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = raw.into_iter().map(Into::into);
+        let command = match iter.next().as_deref() {
+            Some("query") => Command::Query { audit: false },
+            Some("audit") => Command::Query { audit: true },
+            Some("analyze") => Command::Analyze,
+            Some("knn") => Command::Knn,
+            Some("help") | None => Command::Help,
+            Some(other) => {
+                return Err(CliError::UnknownCommand {
+                    got: other.to_string(),
+                })
+            }
+        };
+        let mut flags = HashMap::new();
+        let rest: Vec<String> = iter.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let token = &rest[i];
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(CliError::BadFlag {
+                    flag: token.clone(),
+                });
+            };
+            let Some(value) = rest.get(i + 1) else {
+                return Err(CliError::BadFlag {
+                    flag: token.clone(),
+                });
+            };
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Arguments { command, flags })
+    }
+
+    /// A string flag with a default.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.flags.get(flag).map_or(default, String::as_str)
+    }
+
+    /// An optional string flag.
+    #[must_use]
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] if present but unparseable.
+    pub fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError::BadValue {
+                flag: format!("--{flag}"),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+/// The help text printed by `privtopk help`.
+#[must_use]
+pub fn usage() -> String {
+    "privtopk — privacy-preserving top-k queries across private databases\n\
+     \n\
+     USAGE:\n\
+     privtopk query   [--kind max|min|topk|bottomk|kth] [--k K] [--attribute NAME]\n\
+     \u{20}                [--csv-dir DIR | --nodes N --rows R --dist uniform|normal|zipf]\n\
+     \u{20}                [--epsilon E] [--seed S]\n\
+     privtopk audit   (same flags; also prints the privacy audit)\n\
+     privtopk analyze [--p0 P] [--d D] [--epsilon E] [--rounds R]\n\
+     privtopk knn     --query X,Y[,...] [--k K] [--csv-dir DIR | --nodes N]\n\
+     \u{20}                (CSV: feature columns + a `label` column)\n\
+     privtopk help\n\
+     \n\
+     query over CSV: --csv-dir must contain one <name>.csv per participant\n\
+     (header row with column names; integer cells).\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(
+            Arguments::parse(["query"]).unwrap().command,
+            Command::Query { audit: false }
+        );
+        assert_eq!(
+            Arguments::parse(["audit"]).unwrap().command,
+            Command::Query { audit: true }
+        );
+        assert_eq!(
+            Arguments::parse(["analyze"]).unwrap().command,
+            Command::Analyze
+        );
+        assert_eq!(Arguments::parse(["knn"]).unwrap().command, Command::Knn);
+        assert_eq!(Arguments::parse(["help"]).unwrap().command, Command::Help);
+        assert_eq!(
+            Arguments::parse(Vec::<String>::new()).unwrap().command,
+            Command::Help
+        );
+        assert!(Arguments::parse(["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn parses_flags() {
+        let args = Arguments::parse(["query", "--k", "5", "--kind", "topk"]).unwrap();
+        assert_eq!(args.get_or("kind", "max"), "topk");
+        assert_eq!(args.parse_or("k", 1usize).unwrap(), 5);
+        assert_eq!(args.parse_or("nodes", 4usize).unwrap(), 4);
+        assert_eq!(args.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(Arguments::parse(["query", "k", "5"]).is_err());
+        assert!(Arguments::parse(["query", "--k"]).is_err());
+        let args = Arguments::parse(["query", "--k", "banana"]).unwrap();
+        assert!(args.parse_or("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_all_commands() {
+        let u = usage();
+        for cmd in ["query", "audit", "analyze", "knn", "help"] {
+            assert!(u.contains(cmd));
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Command execution.
+
+use std::io::Write;
+use std::path::Path;
+
+use privtopk_analysis::{correctness, efficiency, privacy_bounds, RandomizationParams};
+use privtopk_datagen::{DataDistribution, DatasetBuilder, PrivateDatabase};
+use privtopk_domain::{NodeId, TopKVector, ValueDomain};
+use privtopk_federation::{Federation, QueryKind, QuerySpec};
+use privtopk_knn::{centralized_knn, KnnConfig, LabeledPoint, PrivateKnnClassifier};
+use privtopk_privacy::{LopAccumulator, SuccessorAdversary};
+
+use crate::args::usage;
+use crate::csv::load_csv_dir;
+use crate::{Arguments, CliError, Command};
+
+/// Executes a parsed command, writing human output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad flags or execution failures.
+pub fn run(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    match args.command {
+        Command::Help => {
+            write_out(out, &usage())?;
+            Ok(())
+        }
+        Command::Analyze => run_analyze(args, out),
+        Command::Knn => run_knn(args, out),
+        Command::Query { audit } => run_query(args, audit, out),
+    }
+}
+
+fn run_knn(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    let k: usize = args.parse_or("k", 5)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let query: Vec<f64> = args
+        .get("query")
+        .ok_or(CliError::BadFlag {
+            flag: "--query".into(),
+        })?
+        .split(',')
+        .map(|c| {
+            c.trim().parse().map_err(|_| CliError::BadValue {
+                flag: "--query".into(),
+                value: c.trim().into(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let shards: Vec<Vec<LabeledPoint>> = if let Some(dir) = args.get("csv-dir") {
+        let tables = load_csv_dir(Path::new(dir))?;
+        write_out(
+            out,
+            &format!("loaded {} participants from {dir}\n", tables.len()),
+        )?;
+        tables
+            .into_iter()
+            .map(|(name, table)| {
+                let label_col = table
+                    .column_by_name("label")
+                    .map_err(|_| CliError::Execution(format!("{name}: missing `label` column")))?;
+                Ok(table
+                    .iter()
+                    .map(|row| {
+                        let features: Vec<f64> = row
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != label_col.get())
+                            .map(|(_, v)| v.get() as f64)
+                            .collect();
+                        let label = row[label_col.get()].get().unsigned_abs() as usize;
+                        LabeledPoint::new(features, label)
+                    })
+                    .collect())
+            })
+            .collect::<Result<_, CliError>>()?
+    } else {
+        // Synthetic two-blob demo data, dimension = query dimension.
+        let nodes: usize = args.parse_or("nodes", 4)?;
+        let mut rng = privtopk_domain::rng::seeded_rng(seed ^ 0x1234);
+        write_out(
+            out,
+            &format!("synthetic training data across {nodes} parties\n"),
+        )?;
+        (0..nodes)
+            .map(|_| {
+                (0..20)
+                    .map(|_| {
+                        let label = usize::from(rand::Rng::gen_bool(&mut rng, 0.5));
+                        let c = if label == 0 { 0.0 } else { 100.0 };
+                        let features = query
+                            .iter()
+                            .map(|_| c + rand::Rng::gen_range(&mut rng, -30.0..30.0))
+                            .collect();
+                        LabeledPoint::new(features, label)
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    let flat: Vec<LabeledPoint> = shards.iter().flatten().cloned().collect();
+    let config = KnnConfig::new(k);
+    let classifier = PrivateKnnClassifier::new(config, shards)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    let label = classifier
+        .classify(&query, seed)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    let reference = centralized_knn(&flat, &query, &config);
+    write_out(
+        out,
+        &format!(
+            "\nfederated {k}-NN over {} parties, {} training points\nquery {query:?} -> label {label}\ncentralized reference agrees: {}\n",
+            classifier.parties(),
+            flat.len(),
+            label == reference,
+        ),
+    )
+}
+
+fn write_out(out: &mut impl Write, text: &str) -> Result<(), CliError> {
+    out.write_all(text.as_bytes())
+        .map_err(|e| CliError::Execution(format!("write failed: {e}")))
+}
+
+fn run_analyze(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    let p0: f64 = args.parse_or("p0", 1.0)?;
+    let d: f64 = args.parse_or("d", 0.5)?;
+    let epsilon: f64 = args.parse_or("epsilon", 1e-3)?;
+    let rounds: u32 = args.parse_or("rounds", 10)?;
+    let params = RandomizationParams::new(p0, d).map_err(|e| CliError::Execution(e.to_string()))?;
+
+    let mut text = format!("analysis for (p0 = {p0}, d = {d})\n\n");
+    text.push_str("round  precision_bound(Eq.3)  expected_lop(Eq.6)\n");
+    for r in 1..=rounds {
+        text.push_str(&format!(
+            "{r:>5}  {:>21.6}  {:>18.6}\n",
+            correctness::precision_lower_bound(params, r),
+            privacy_bounds::probabilistic_lop_round_term(params, r),
+        ));
+    }
+    match efficiency::min_rounds_for_precision(params, epsilon) {
+        Ok(r_min) => text.push_str(&format!(
+            "\nrounds needed for precision {} (Eq.4): {r_min}\n",
+            1.0 - epsilon
+        )),
+        Err(e) => text.push_str(&format!("\nprecision {} unreachable: {e}\n", 1.0 - epsilon)),
+    }
+    write_out(out, &text)
+}
+
+fn parse_kind(args: &Arguments) -> Result<QueryKind, CliError> {
+    let k: usize = args.parse_or("k", 1)?;
+    match args.get_or("kind", "max") {
+        "max" => Ok(QueryKind::Max),
+        "min" => Ok(QueryKind::Min),
+        "topk" => Ok(QueryKind::TopK(k)),
+        "bottomk" => Ok(QueryKind::BottomK(k)),
+        "kth" => Ok(QueryKind::KthLargest(k)),
+        other => Err(CliError::BadValue {
+            flag: "--kind".into(),
+            value: other.into(),
+        }),
+    }
+}
+
+fn parse_distribution(args: &Arguments) -> Result<DataDistribution, CliError> {
+    match args.get_or("dist", "uniform") {
+        "uniform" => Ok(DataDistribution::Uniform),
+        "normal" => Ok(DataDistribution::centered_normal()),
+        "zipf" => Ok(DataDistribution::classic_zipf()),
+        other => Err(CliError::BadValue {
+            flag: "--dist".into(),
+            value: other.into(),
+        }),
+    }
+}
+
+fn build_members(
+    args: &Arguments,
+    attribute: &str,
+    out: &mut impl Write,
+) -> Result<Vec<PrivateDatabase>, CliError> {
+    let domain = ValueDomain::paper_default();
+    if let Some(dir) = args.get("csv-dir") {
+        let tables = load_csv_dir(Path::new(dir))?;
+        write_out(
+            out,
+            &format!("loaded {} participants from {dir}\n", tables.len()),
+        )?;
+        tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, table))| {
+                write_out(
+                    out,
+                    &format!("  node#{i} = {name} ({} rows)\n", table.len()),
+                )?;
+                PrivateDatabase::new(NodeId::new(i), domain, table, attribute)
+                    .map_err(|e| CliError::Execution(format!("{name}: {e}")))
+            })
+            .collect()
+    } else {
+        let nodes: usize = args.parse_or("nodes", 4)?;
+        let rows: usize = args.parse_or("rows", 20)?;
+        let seed: u64 = args.parse_or("seed", 0x5EED)?;
+        write_out(
+            out,
+            &format!("synthetic federation: {nodes} nodes x {rows} rows\n"),
+        )?;
+        DatasetBuilder::new(nodes)
+            .rows_per_node(rows)
+            .distribution(parse_distribution(args)?)
+            .seed(seed)
+            .build()
+            .map_err(|e| CliError::Execution(e.to_string()))
+    }
+}
+
+fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), CliError> {
+    let attribute = args.get_or("attribute", "value").to_string();
+    let kind = parse_kind(args)?;
+    let epsilon: f64 = args.parse_or("epsilon", 1e-6)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+
+    let members = build_members(args, &attribute, out)?;
+    let federation =
+        Federation::new(members.clone()).map_err(|e| CliError::Execution(e.to_string()))?;
+    let spec = match kind {
+        QueryKind::Max => QuerySpec::max(&attribute),
+        QueryKind::Min => QuerySpec::min(&attribute),
+        QueryKind::TopK(k) => QuerySpec::top_k(&attribute, k),
+        QueryKind::BottomK(k) => QuerySpec::bottom_k(&attribute, k),
+        QueryKind::KthLargest(rank) => QuerySpec::kth_largest(&attribute, rank),
+    }
+    .with_epsilon(epsilon);
+    let outcome = federation
+        .execute(&spec, seed)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+
+    let rendered: Vec<String> = outcome.values().iter().map(ToString::to_string).collect();
+    write_out(
+        out,
+        &format!(
+            "\nquery: {:?} over `{attribute}` (epsilon {epsilon})\nresult: [{}]\nrounds: {}  messages: {}\n",
+            kind,
+            rendered.join(", "),
+            outcome.rounds(),
+            outcome.messages(),
+        ),
+    )?;
+
+    if audit {
+        if kind.is_mirrored() {
+            return Err(CliError::Execution(
+                "audit currently supports max/topk kinds only".into(),
+            ));
+        }
+        let k = kind.k();
+        let domain = federation.domain();
+        let locals: Vec<TopKVector> = members
+            .iter()
+            .map(|m| {
+                let col = m
+                    .table()
+                    .column_by_name(&attribute)
+                    .map_err(|e| CliError::Execution(e.to_string()))?;
+                TopKVector::from_values(k, m.table().column_values(col), &domain)
+                    .map_err(|e| CliError::Execution(e.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut acc = LopAccumulator::new();
+        acc.add(&SuccessorAdversary::estimate(outcome.transcript(), &locals));
+        let summary = acc.summarize();
+        let mut text = String::from("\nprivacy audit (semi-honest successor adversary):\n");
+        for (i, lop) in summary.per_node_peak.iter().enumerate() {
+            text.push_str(&format!("  node#{i}: peak LoP {lop:.4}\n"));
+        }
+        text.push_str(&format!(
+            "  average {:.4}, worst {:.4}\n",
+            summary.average_peak, summary.worst_peak
+        ));
+        write_out(out, &text)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Arguments;
+
+    fn run_to_string(argv: &[&str]) -> Result<String, CliError> {
+        let args = Arguments::parse(argv.iter().copied())?;
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf-8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_to_string(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn analyze_prints_bounds() {
+        let out = run_to_string(&["analyze", "--p0", "1.0", "--d", "0.5"]).unwrap();
+        assert!(out.contains("precision_bound"));
+        assert!(out.contains("rounds needed"));
+    }
+
+    #[test]
+    fn analyze_reports_unreachable_precision() {
+        let out = run_to_string(&["analyze", "--p0", "1.0", "--d", "1.0"]).unwrap();
+        assert!(out.contains("unreachable"));
+    }
+
+    #[test]
+    fn synthetic_query_runs() {
+        let out = run_to_string(&[
+            "query", "--kind", "topk", "--k", "3", "--nodes", "5", "--rows", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("result: ["));
+        assert!(out.contains("rounds:"));
+    }
+
+    #[test]
+    fn min_query_runs() {
+        let out = run_to_string(&["query", "--kind", "min"]).unwrap();
+        assert!(out.contains("result: ["));
+    }
+
+    #[test]
+    fn audit_adds_privacy_report() {
+        let out = run_to_string(&["audit", "--kind", "max", "--nodes", "4"]).unwrap();
+        assert!(out.contains("privacy audit"));
+        assert!(out.contains("average"));
+    }
+
+    #[test]
+    fn audit_refuses_mirrored_kinds() {
+        assert!(run_to_string(&["audit", "--kind", "min"]).is_err());
+    }
+
+    #[test]
+    fn csv_query_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("privtopk_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("acme.csv"), "sales\n3200\n210\n").unwrap();
+        std::fs::write(dir.join("bolt.csv"), "sales\n1100\n").unwrap();
+        std::fs::write(dir.join("crate.csv"), "sales\n4800\n99\n").unwrap();
+        let out = run_to_string(&[
+            "query",
+            "--attribute",
+            "sales",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("result: [4800]"), "output: {out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kth_query_runs() {
+        let out = run_to_string(&["query", "--kind", "kth", "--k", "2", "--nodes", "4"]).unwrap();
+        assert!(out.contains("result: ["));
+    }
+
+    #[test]
+    fn knn_synthetic_classifies() {
+        let out = run_to_string(&["knn", "--query", "2,3", "--k", "3"]).unwrap();
+        assert!(out.contains("-> label 0"), "output: {out}");
+        assert!(out.contains("agrees: true"));
+        let out = run_to_string(&["knn", "--query", "101,99", "--k", "3"]).unwrap();
+        assert!(out.contains("-> label 1"), "output: {out}");
+    }
+
+    #[test]
+    fn knn_requires_query_flag() {
+        assert!(run_to_string(&["knn"]).is_err());
+        assert!(run_to_string(&["knn", "--query", "a,b"]).is_err());
+    }
+
+    #[test]
+    fn knn_from_csv_with_labels() {
+        let dir = std::env::temp_dir().join(format!("privtopk_knn_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, rows) in [
+            ("a.csv", "x,y,label\n0,0,0\n1,1,0\n"),
+            ("b.csv", "x,y,label\n100,100,1\n99,101,1\n"),
+            ("c.csv", "x,y,label\n2,0,0\n98,99,1\n"),
+        ] {
+            std::fs::write(dir.join(name), rows).unwrap();
+        }
+        let out = run_to_string(&[
+            "knn",
+            "--query",
+            "1,2",
+            "--k",
+            "3",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("-> label 0"), "output: {out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        assert!(matches!(
+            run_to_string(&["query", "--kind", "median"]),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(run_to_string(&["query", "--dist", "cauchy"]).is_err());
+    }
+}

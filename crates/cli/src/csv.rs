@@ -1,0 +1,127 @@
+//! Minimal CSV loading for participant tables.
+//!
+//! Format: first row is the header (column names), subsequent rows are
+//! integer cells. No quoting or escaping — these are numeric tables.
+
+use std::fs;
+use std::path::Path;
+
+use privtopk_datagen::Table;
+use privtopk_domain::Value;
+
+use crate::CliError;
+
+/// Loads one participant's table from a CSV file.
+///
+/// # Errors
+///
+/// Returns [`CliError::Execution`] for I/O failures, ragged rows, or
+/// non-integer cells.
+pub fn load_csv_table(path: &Path) -> Result<Table, CliError> {
+    let raw = fs::read_to_string(path)
+        .map_err(|e| CliError::Execution(format!("cannot read {}: {e}", path.display())))?;
+    parse_csv(&raw).map_err(|msg| CliError::Execution(format!("{}: {msg}", path.display())))
+}
+
+fn parse_csv(raw: &str) -> Result<Table, String> {
+    let mut lines = raw.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty csv")?;
+    let columns: Vec<&str> = header.split(',').map(str::trim).collect();
+    let mut table = Table::new(columns.iter().copied()).map_err(|e| format!("bad header: {e}"))?;
+    for (lineno, line) in lines.enumerate() {
+        let mut row = Vec::with_capacity(columns.len());
+        for cell in line.split(',') {
+            let v: i64 = cell
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: non-integer cell `{}`", lineno + 2, cell.trim()))?;
+            row.push(Value::new(v));
+        }
+        table
+            .push_row(row)
+            .map_err(|e| format!("line {}: {e}", lineno + 2))?;
+    }
+    Ok(table)
+}
+
+/// Loads every `*.csv` in a directory, sorted by file name (file order
+/// defines node ids).
+///
+/// # Errors
+///
+/// Returns [`CliError::Execution`] for I/O or parse failures, or when the
+/// directory holds no CSV files.
+pub fn load_csv_dir(dir: &Path) -> Result<Vec<(String, Table)>, CliError> {
+    let mut paths: Vec<_> = fs::read_dir(dir)
+        .map_err(|e| CliError::Execution(format!("cannot read {}: {e}", dir.display())))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Execution(format!(
+            "no .csv files in {}",
+            dir.display()
+        )));
+    }
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            Ok((name, load_csv_table(&p)?))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_csv() {
+        let t = parse_csv("region,sales\n1, 870\n2,430\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.columns(), &["region".to_string(), "sales".to_string()]);
+        assert_eq!(t.row(1).unwrap()[1], Value::new(430));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let t = parse_csv("a\n1\n\n2\n\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("a,b\n1\n").is_err()); // ragged
+        assert!(parse_csv("a\nbanana\n").is_err()); // non-integer
+        assert!(parse_csv("a,a\n1,2\n").is_err()); // duplicate column
+    }
+
+    #[test]
+    fn loads_directory_in_name_order() {
+        let dir = std::env::temp_dir().join(format!("privtopk_csv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("b_corp.csv"), "sales\n100\n").unwrap();
+        std::fs::write(dir.join("a_corp.csv"), "sales\n200\n").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let tables = load_csv_dir(&dir).unwrap();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].0, "a_corp");
+        assert_eq!(tables[1].0, "b_corp");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_rejected() {
+        let dir = std::env::temp_dir().join(format!("privtopk_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_csv_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! Library backing the `privtopk` command-line tool.
+//!
+//! The binary (`src/main.rs`) is a thin shell over this crate so every
+//! piece — argument parsing, CSV loading, command execution — is unit
+//! tested. Subcommands:
+//!
+//! - `query` — run a federated max/min/top-k/bottom-k query over CSV
+//!   tables (one file per participant) or synthetic data.
+//! - `analyze` — print the paper's closed-form bounds for a `(p0, d)`
+//!   pair.
+//! - `audit` — run a query and report the Loss-of-Privacy audit alongside
+//!   the answer.
+//!
+//! Run `privtopk help` for the full usage text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod csv;
+
+pub use args::{Arguments, CliError, Command};
+pub use commands::run;
+pub use csv::load_csv_table;

@@ -1,0 +1,216 @@
+//! Malicious-model extensions: spoofing, hiding and jamming attacks.
+//!
+//! The paper's analysis assumes semi-honest parties and explicitly defers
+//! the malicious model to future work, naming two concrete attacks: "a
+//! spoofing attack and hiding attack where an adversary sends a spoofed
+//! dataset or deliberately hides all or part of its dataset and leads to
+//! a polluted query result" (Section 2.1). This module implements that
+//! future work so the pollution can be *measured*:
+//!
+//! - [`Misbehavior::Spoof`] — the attacker enters the protocol with a
+//!   fabricated local vector (input substitution).
+//! - [`Misbehavior::Hide`] — the attacker withholds its data,
+//!   participating with the domain floor.
+//! - [`Misbehavior::Jam`] — a protocol-deviation attack: the node ignores
+//!   the local algorithm and always emits the domain ceiling, poisoning
+//!   every downstream computation.
+//!
+//! [`run_with_behaviors`] executes the protocol under a behavior
+//! assignment and [`pollution`] quantifies the damage as `1 − precision`
+//! against the honest ground truth.
+
+use privtopk_domain::{DomainError, TopKVector};
+
+use crate::{ProtocolConfig, ProtocolError, SimulationEngine, Transcript};
+
+/// How a participant behaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Misbehavior {
+    /// Follows the protocol with its true data (semi-honest).
+    Honest,
+    /// Substitutes a fabricated local vector before entering the
+    /// protocol.
+    Spoof(TopKVector),
+    /// Withholds its dataset: participates with the domain floor, which
+    /// contributes nothing.
+    Hide,
+    /// Ignores the protocol and always emits the domain ceiling vector.
+    Jam,
+}
+
+impl Misbehavior {
+    /// Convenience: a spoof that claims the domain's largest values — the
+    /// most damaging input-substitution attack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates vector-construction errors for `k = 0`.
+    pub fn ceiling_spoof(
+        k: usize,
+        domain: &privtopk_domain::ValueDomain,
+    ) -> Result<Self, DomainError> {
+        Ok(Misbehavior::Spoof(TopKVector::from_values(
+            k,
+            std::iter::repeat_n(domain.max(), k),
+            domain,
+        )?))
+    }
+}
+
+/// Runs the protocol with per-node behaviors (`behaviors[i]` controls
+/// `NodeId(i)`).
+///
+/// Input-level attacks (`Spoof`, `Hide`) substitute the attacker's local
+/// vector; the protocol itself runs unmodified, exactly as the paper
+/// describes ("it can change its input before entering the protocol").
+/// `Jam` is modelled as the strongest input substitution — a ceiling
+/// spoof — because under the ring protocol an always-emit-ceiling node
+/// and a ceiling-spoofing node produce the same polluted fixed point.
+///
+/// # Errors
+///
+/// - [`ProtocolError::InconsistentK`] if behaviors and locals disagree on
+///   `k`, or their lengths differ.
+/// - Engine errors as usual.
+pub fn run_with_behaviors(
+    config: &ProtocolConfig,
+    locals: &[TopKVector],
+    behaviors: &[Misbehavior],
+    seed: u64,
+) -> Result<Transcript, ProtocolError> {
+    if behaviors.len() != locals.len() {
+        return Err(ProtocolError::InconsistentK {
+            expected: locals.len(),
+            got: behaviors.len(),
+        });
+    }
+    let domain = config.domain();
+    let effective: Vec<TopKVector> = locals
+        .iter()
+        .zip(behaviors)
+        .map(|(real, b)| match b {
+            Misbehavior::Honest => Ok(real.clone()),
+            Misbehavior::Spoof(fake) => Ok(fake.clone()),
+            Misbehavior::Hide => Ok(TopKVector::floor(real.k(), &domain)),
+            Misbehavior::Jam => Ok(TopKVector::from_values(
+                real.k(),
+                std::iter::repeat_n(domain.max(), real.k()),
+                &domain,
+            )?),
+        })
+        .collect::<Result<_, DomainError>>()?;
+    SimulationEngine::new(config.clone()).run(&effective, seed)
+}
+
+/// Pollution of a result relative to the honest truth: `1 − precision`.
+///
+/// # Errors
+///
+/// Returns a domain error on mismatched `k`.
+pub fn pollution(result: &TopKVector, honest_truth: &TopKVector) -> Result<f64, DomainError> {
+    Ok(1.0 - result.precision_against(honest_truth)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{true_topk, RoundPolicy};
+    use privtopk_domain::{Value, ValueDomain};
+
+    fn domain() -> ValueDomain {
+        ValueDomain::paper_default()
+    }
+
+    fn locals(data: &[&[i64]], k: usize) -> Vec<TopKVector> {
+        data.iter()
+            .map(|vals| {
+                TopKVector::from_values(k, vals.iter().copied().map(Value::new), &domain()).unwrap()
+            })
+            .collect()
+    }
+
+    fn config(k: usize) -> ProtocolConfig {
+        let base = if k == 1 {
+            ProtocolConfig::max()
+        } else {
+            ProtocolConfig::topk(k)
+        };
+        base.with_rounds(RoundPolicy::Precision { epsilon: 1e-9 })
+    }
+
+    #[test]
+    fn all_honest_matches_normal_run() {
+        let ls = locals(&[&[100], &[900], &[500], &[300]], 1);
+        let behaviors = vec![Misbehavior::Honest; 4];
+        let t = run_with_behaviors(&config(1), &ls, &behaviors, 3).unwrap();
+        assert_eq!(t.result_value(), Value::new(900));
+        assert_eq!(
+            pollution(t.result(), &true_topk(&ls, 1, &domain()).unwrap()).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn spoofing_pollutes_the_maximum() {
+        let ls = locals(&[&[100], &[900], &[500], &[300]], 1);
+        let mut behaviors = vec![Misbehavior::Honest; 4];
+        behaviors[0] = Misbehavior::ceiling_spoof(1, &domain()).unwrap();
+        let t = run_with_behaviors(&config(1), &ls, &behaviors, 3).unwrap();
+        // The spoofed ceiling wins; the honest answer 900 is displaced.
+        assert_eq!(t.result_value(), domain().max());
+        let truth = true_topk(&ls, 1, &domain()).unwrap();
+        assert_eq!(pollution(t.result(), &truth).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn hiding_the_top_holder_drops_the_true_maximum() {
+        let ls = locals(&[&[100], &[900], &[500], &[300]], 1);
+        let mut behaviors = vec![Misbehavior::Honest; 4];
+        behaviors[1] = Misbehavior::Hide; // the node holding 900
+        let t = run_with_behaviors(&config(1), &ls, &behaviors, 5).unwrap();
+        assert_eq!(t.result_value(), Value::new(500));
+    }
+
+    #[test]
+    fn hiding_a_non_contributor_is_harmless() {
+        let ls = locals(&[&[100], &[900], &[500], &[300]], 1);
+        let mut behaviors = vec![Misbehavior::Honest; 4];
+        behaviors[0] = Misbehavior::Hide; // held 100, not the max anyway
+        let t = run_with_behaviors(&config(1), &ls, &behaviors, 5).unwrap();
+        assert_eq!(t.result_value(), Value::new(900));
+    }
+
+    #[test]
+    fn topk_pollution_is_proportional_to_attackers() {
+        let ls = locals(&[&[900, 800], &[700, 600], &[500, 400], &[300, 200]], 2);
+        let truth = true_topk(&ls, 2, &domain()).unwrap();
+        // One jammer with k = 2 displaces both top slots.
+        let mut behaviors = vec![Misbehavior::Honest; 4];
+        behaviors[3] = Misbehavior::Jam;
+        let t = run_with_behaviors(&config(2), &ls, &behaviors, 7).unwrap();
+        let p = pollution(t.result(), &truth).unwrap();
+        assert_eq!(p, 1.0, "jammer fills the whole top-2");
+    }
+
+    #[test]
+    fn partial_spoof_partially_pollutes() {
+        let ls = locals(&[&[900, 800], &[700, 600], &[500, 400], &[300, 200]], 2);
+        let truth = true_topk(&ls, 2, &domain()).unwrap();
+        // Spoof one plausible-but-fake high value and one low value: only
+        // one slot of the top-2 is displaced.
+        let fake =
+            TopKVector::from_values(2, [Value::new(9999), Value::new(5)], &domain()).unwrap();
+        let mut behaviors = vec![Misbehavior::Honest; 4];
+        behaviors[2] = Misbehavior::Spoof(fake);
+        let t = run_with_behaviors(&config(2), &ls, &behaviors, 9).unwrap();
+        let p = pollution(t.result(), &truth).unwrap();
+        assert_eq!(p, 0.5);
+    }
+
+    #[test]
+    fn behavior_length_validated() {
+        let ls = locals(&[&[1], &[2], &[3]], 1);
+        let behaviors = vec![Misbehavior::Honest; 2];
+        assert!(run_with_behaviors(&config(1), &ls, &behaviors, 0).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Post-hoc transcript verification.
+//!
+//! A party that receives a [`Transcript`] — from the distributed driver,
+//! from a log, from another implementation — can check that the recorded
+//! execution actually obeys the protocol before trusting its result.
+//! [`verify_transcript`] re-derives every structural invariant of
+//! Algorithms 1 and 2 from the transcript alone (plus the ground-truth
+//! local vectors where available) and reports the first violation.
+
+use std::fmt;
+
+use privtopk_domain::TopKVector;
+
+use crate::local::LocalAction;
+use crate::{AlgorithmKind, ProtocolConfig, Transcript};
+
+/// A protocol invariant a transcript failed to satisfy.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A step's incoming vector is not its predecessor step's outgoing.
+    BrokenTokenChain {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// A step's round/position does not follow the ring schedule.
+    ScheduleViolation {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// The max protocol's global value decreased.
+    MonotonicityViolation {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// An output vector exceeds the merge of its inputs (values appeared
+    /// from nowhere).
+    Overshoot {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// A step labelled `PassedOn` changed the vector, or a labelled
+    /// insertion does not match the real merge.
+    ActionMismatch {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// The recorded result does not equal the last step's output.
+    ResultMismatch,
+    /// The transcript's shape disagrees with the configuration.
+    ShapeMismatch,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BrokenTokenChain { step } => {
+                write!(f, "step {step}: incoming does not match previous outgoing")
+            }
+            Violation::ScheduleViolation { step } => {
+                write!(f, "step {step}: out-of-order round or position")
+            }
+            Violation::MonotonicityViolation { step } => {
+                write!(f, "step {step}: global max value decreased")
+            }
+            Violation::Overshoot { step } => {
+                write!(f, "step {step}: output exceeds merge of inputs")
+            }
+            Violation::ActionMismatch { step } => {
+                write!(f, "step {step}: recorded action inconsistent with data")
+            }
+            Violation::ResultMismatch => write!(f, "result differs from final output"),
+            Violation::ShapeMismatch => write!(f, "transcript shape mismatches configuration"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Verifies every structural invariant of a transcript.
+///
+/// `locals` are the ground-truth local vectors (available to the auditor
+/// in tests/experiments; pass what you have — the per-step merge bound is
+/// only checked when they are supplied).
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn verify_transcript(
+    transcript: &Transcript,
+    locals: Option<&[TopKVector]>,
+    config: &ProtocolConfig,
+) -> Result<(), Violation> {
+    let n = transcript.n();
+    let steps = transcript.steps();
+    let rounds = transcript.rounds();
+    if steps.len() != n * rounds as usize {
+        return Err(Violation::ShapeMismatch);
+    }
+    if let Some(locals) = locals {
+        if locals.len() != n {
+            return Err(Violation::ShapeMismatch);
+        }
+    }
+
+    for (i, step) in steps.iter().enumerate() {
+        // Schedule: steps proceed in (round, position) lockstep.
+        let expect_round = (i / n) as u32 + 1;
+        let expect_pos = i % n;
+        if step.round != expect_round || step.position.get() != expect_pos {
+            return Err(Violation::ScheduleViolation { step: i });
+        }
+        // Token chain.
+        if i > 0 && step.incoming != steps[i - 1].outgoing {
+            return Err(Violation::BrokenTokenChain { step: i });
+        }
+        // Monotone global value for the max protocol.
+        if config.algorithm() == AlgorithmKind::Max
+            && step.outgoing.first() < step.incoming.first()
+        {
+            return Err(Violation::MonotonicityViolation { step: i });
+        }
+        if let Some(locals) = locals {
+            let local = &locals[step.node.get()];
+            let merged = step.incoming.merged_with(local);
+            // No value can exceed the true merge, at any rank.
+            for rank in 1..=step.outgoing.k() {
+                if step.outgoing.get(rank) > merged.get(rank) {
+                    return Err(Violation::Overshoot { step: i });
+                }
+            }
+            // Action consistency.
+            match step.action {
+                LocalAction::PassedOn => {
+                    // Forwarding: unchanged vector (the insert-once rule
+                    // also labels its forwarding as PassedOn).
+                    if step.outgoing != step.incoming {
+                        return Err(Violation::ActionMismatch { step: i });
+                    }
+                }
+                LocalAction::InsertedReal => {
+                    if step.outgoing != merged {
+                        return Err(Violation::ActionMismatch { step: i });
+                    }
+                }
+                LocalAction::Randomized => {
+                    // A randomized step must differ from the real merge
+                    // (the whole point is not to reveal it) unless the
+                    // random draw coincided — possible only when the
+                    // random range is a single point, which δ >= 1 and an
+                    // open upper bound make impossible for the tail.
+                    if step.outgoing == merged {
+                        return Err(Violation::ActionMismatch { step: i });
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(last) = steps.last() {
+        if &last.outgoing != transcript.result() {
+            return Err(Violation::ResultMismatch);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProtocolConfig, RoundPolicy, SimulationEngine};
+    use privtopk_domain::{Value, ValueDomain};
+
+    fn locals_k(k: usize, data: &[&[i64]]) -> Vec<TopKVector> {
+        let domain = ValueDomain::paper_default();
+        data.iter()
+            .map(|vals| {
+                TopKVector::from_values(k, vals.iter().copied().map(Value::new), &domain).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn genuine_transcripts_verify() {
+        for k in [1usize, 3] {
+            let config = if k == 1 {
+                ProtocolConfig::max()
+            } else {
+                ProtocolConfig::topk(k)
+            }
+            .with_rounds(RoundPolicy::Fixed(6));
+            let locals = locals_k(
+                k,
+                &[&[900, 400, 100], &[850, 300, 50], &[700, 650, 10], &[20, 15, 12]],
+            );
+            for seed in 0..10 {
+                let t = SimulationEngine::new(config.clone()).run(&locals, seed).unwrap();
+                verify_transcript(&t, Some(&locals), &config)
+                    .unwrap_or_else(|v| panic!("k={k} seed={seed}: {v}"));
+                // Also verifiable without ground truth.
+                verify_transcript(&t, None, &config).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn naive_transcripts_verify() {
+        let config = ProtocolConfig::naive(2);
+        let locals = locals_k(2, &[&[10, 20], &[90, 80], &[50, 60]]);
+        let t = SimulationEngine::new(config.clone()).run(&locals, 0).unwrap();
+        verify_transcript(&t, Some(&locals), &config).unwrap();
+    }
+
+    #[test]
+    fn tampered_value_detected() {
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(4));
+        let locals = locals_k(1, &[&[300], &[900], &[100]]);
+        let t = SimulationEngine::new(config.clone()).run(&locals, 1).unwrap();
+        // Tamper: inflate one step's outgoing value beyond any input.
+        let mut steps = t.steps().to_vec();
+        steps[5].outgoing =
+            TopKVector::from_sorted(vec![Value::new(9999)]).unwrap();
+        let tampered = Transcript::new(
+            3,
+            1,
+            4,
+            vec![t.ring_order(1).unwrap().to_vec()],
+            steps,
+            t.result().clone(),
+        );
+        let err = verify_transcript(&tampered, Some(&locals), &config).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Violation::BrokenTokenChain { .. } | Violation::Overshoot { .. }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn broken_chain_detected() {
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3));
+        let locals = locals_k(1, &[&[300], &[900], &[100]]);
+        let t = SimulationEngine::new(config.clone()).run(&locals, 2).unwrap();
+        let mut steps = t.steps().to_vec();
+        // Rewrite a mid-stream incoming so the chain no longer links up.
+        steps[4].incoming = TopKVector::from_sorted(vec![Value::new(1)]).unwrap();
+        let tampered = Transcript::new(
+            3,
+            1,
+            3,
+            vec![t.ring_order(1).unwrap().to_vec()],
+            steps,
+            t.result().clone(),
+        );
+        assert!(matches!(
+            verify_transcript(&tampered, None, &config),
+            Err(Violation::BrokenTokenChain { step: 4 })
+                | Err(Violation::MonotonicityViolation { step: 4 })
+        ));
+    }
+
+    #[test]
+    fn wrong_result_detected() {
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3));
+        let locals = locals_k(1, &[&[300], &[900], &[100]]);
+        let t = SimulationEngine::new(config.clone()).run(&locals, 3).unwrap();
+        let forged = Transcript::new(
+            3,
+            1,
+            3,
+            vec![t.ring_order(1).unwrap().to_vec()],
+            t.steps().to_vec(),
+            TopKVector::from_sorted(vec![Value::new(1)]).unwrap(),
+        );
+        assert_eq!(
+            verify_transcript(&forged, None, &config),
+            Err(Violation::ResultMismatch)
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3));
+        let locals = locals_k(1, &[&[300], &[900], &[100]]);
+        let t = SimulationEngine::new(config.clone()).run(&locals, 4).unwrap();
+        // Drop a step.
+        let steps = t.steps()[..t.steps().len() - 1].to_vec();
+        let truncated = Transcript::new(
+            3,
+            1,
+            3,
+            vec![t.ring_order(1).unwrap().to_vec()],
+            steps,
+            t.result().clone(),
+        );
+        assert_eq!(
+            verify_transcript(&truncated, None, &config),
+            Err(Violation::ShapeMismatch)
+        );
+        // Wrong locals length.
+        assert_eq!(
+            verify_transcript(&t, Some(&locals[..2]), &config),
+            Err(Violation::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn violations_display() {
+        for v in [
+            Violation::BrokenTokenChain { step: 1 },
+            Violation::ScheduleViolation { step: 2 },
+            Violation::MonotonicityViolation { step: 3 },
+            Violation::Overshoot { step: 4 },
+            Violation::ActionMismatch { step: 5 },
+            Violation::ResultMismatch,
+            Violation::ShapeMismatch,
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Protocol configuration: query parameters, schedules and policies.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use privtopk_domain::ValueDomain;
+
+use crate::{ProtocolError, Schedule};
+
+/// How many rounds the protocol runs before terminating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoundPolicy {
+    /// A fixed number of computation rounds.
+    Fixed(u32),
+    /// Enough rounds to guarantee the true result with probability at
+    /// least `1 − epsilon` (Equation 4, generalized to any schedule).
+    Precision {
+        /// Error bound in `(0, 1)`.
+        epsilon: f64,
+    },
+}
+
+impl Default for RoundPolicy {
+    /// The paper's experimental precision target `ε = 0.001` (Figure 9).
+    fn default() -> Self {
+        RoundPolicy::Precision { epsilon: 1e-3 }
+    }
+}
+
+/// How the starting node is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum StartPolicy {
+    /// Node 0 always starts and the ring is laid out in node order — the
+    /// worst case for privacy; used by the naive baseline.
+    Fixed,
+    /// The ring arrangement (and hence the starting node) is drawn
+    /// uniformly at random — the paper's "randomized starting scheme",
+    /// which "preserves the anonymity of the starting node".
+    #[default]
+    RandomAnonymous,
+}
+
+/// Which local algorithm runs at each node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// Algorithm 1 — the scalar max/min protocol (`k = 1`).
+    Max,
+    /// Algorithm 2 — the general top-k protocol.
+    TopK,
+}
+
+/// Complete configuration of a protocol execution.
+///
+/// Construct with [`ProtocolConfig::max`] or [`ProtocolConfig::topk`] and
+/// chain the builder methods; `validate` is called by the engines before
+/// execution.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_core::{ProtocolConfig, Schedule, RoundPolicy};
+///
+/// let config = ProtocolConfig::topk(5)
+///     .with_schedule(Schedule::exponential(1.0, 0.5)?)
+///     .with_rounds(RoundPolicy::Fixed(8));
+/// assert_eq!(config.k(), 5);
+/// # Ok::<(), privtopk_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    algorithm: AlgorithmKind,
+    k: usize,
+    domain: ValueDomain,
+    schedule: Schedule,
+    rounds: RoundPolicy,
+    /// Algorithm 2's minimum randomization range `δ` (in value steps).
+    delta: u64,
+    start: StartPolicy,
+    /// Section 4.3 extension: re-randomize the ring arrangement each round.
+    remap_each_round: bool,
+}
+
+impl ProtocolConfig {
+    /// A max-selection protocol (Algorithm 1, `k = 1`) with the paper's
+    /// default schedule.
+    #[must_use]
+    pub fn max() -> Self {
+        ProtocolConfig {
+            algorithm: AlgorithmKind::Max,
+            k: 1,
+            domain: ValueDomain::paper_default(),
+            schedule: Schedule::paper_default(),
+            rounds: RoundPolicy::default(),
+            delta: 1,
+            start: StartPolicy::RandomAnonymous,
+            remap_each_round: false,
+        }
+    }
+
+    /// A general top-k protocol (Algorithm 2) with the paper's default
+    /// schedule.
+    #[must_use]
+    pub fn topk(k: usize) -> Self {
+        ProtocolConfig {
+            algorithm: AlgorithmKind::TopK,
+            k,
+            ..ProtocolConfig::max()
+        }
+    }
+
+    /// The deterministic naive baseline: one round, no randomization, a
+    /// fixed starting node.
+    #[must_use]
+    pub fn naive(k: usize) -> Self {
+        ProtocolConfig {
+            algorithm: if k == 1 {
+                AlgorithmKind::Max
+            } else {
+                AlgorithmKind::TopK
+            },
+            k,
+            schedule: Schedule::Never,
+            rounds: RoundPolicy::Fixed(1),
+            start: StartPolicy::Fixed,
+            ..ProtocolConfig::max()
+        }
+    }
+
+    /// The anonymous naive baseline: like [`ProtocolConfig::naive`] but
+    /// with a random starting node.
+    #[must_use]
+    pub fn anonymous_naive(k: usize) -> Self {
+        ProtocolConfig {
+            start: StartPolicy::RandomAnonymous,
+            ..ProtocolConfig::naive(k)
+        }
+    }
+
+    /// Overrides the randomization schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the round policy.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: RoundPolicy) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Overrides the public value domain.
+    #[must_use]
+    pub fn with_domain(mut self, domain: ValueDomain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Overrides Algorithm 2's minimum randomization range `δ`.
+    #[must_use]
+    pub fn with_delta(mut self, delta: u64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Overrides the starting-node policy.
+    #[must_use]
+    pub fn with_start(mut self, start: StartPolicy) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Enables per-round ring remapping (Section 4.3).
+    #[must_use]
+    pub fn with_remap_each_round(mut self, remap: bool) -> Self {
+        self.remap_each_round = remap;
+        self
+    }
+
+    /// The local algorithm in use.
+    #[must_use]
+    pub fn algorithm(&self) -> AlgorithmKind {
+        self.algorithm
+    }
+
+    /// The query's `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The public value domain.
+    #[must_use]
+    pub fn domain(&self) -> ValueDomain {
+        self.domain
+    }
+
+    /// The randomization schedule.
+    #[must_use]
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// The round policy.
+    #[must_use]
+    pub fn rounds(&self) -> RoundPolicy {
+        self.rounds
+    }
+
+    /// Algorithm 2's `δ`.
+    #[must_use]
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// The starting-node policy.
+    #[must_use]
+    pub fn start(&self) -> StartPolicy {
+        self.start
+    }
+
+    /// Whether the ring is remapped every round.
+    #[must_use]
+    pub fn remap_each_round(&self) -> bool {
+        self.remap_each_round
+    }
+
+    /// Resolves the round policy into a concrete round count.
+    ///
+    /// # Errors
+    ///
+    /// - [`ProtocolError::InvalidProbability`] for a zero fixed round count
+    ///   or an epsilon outside `(0, 1)`.
+    /// - [`ProtocolError::UnreachablePrecision`] if the schedule never
+    ///   decays enough.
+    pub fn resolve_rounds(&self) -> Result<u32, ProtocolError> {
+        match self.rounds {
+            RoundPolicy::Fixed(r) if r >= 1 => Ok(r),
+            RoundPolicy::Fixed(_) => Err(ProtocolError::InvalidProbability {
+                what: "rounds",
+                value: 0.0,
+            }),
+            RoundPolicy::Precision { epsilon } => self.schedule.min_rounds_for_precision(epsilon),
+        }
+    }
+
+    /// Validates the configuration against a participant count.
+    ///
+    /// # Errors
+    ///
+    /// - [`ProtocolError::TooFewNodes`]: the paper requires `n > 2` for the
+    ///   probabilistic protocol and at least 2 parties for any query.
+    /// - [`ProtocolError::MaxRequiresKOne`] if Algorithm 1 is configured
+    ///   with `k != 1`.
+    /// - [`ProtocolError::ZeroDelta`] if `δ == 0`.
+    /// - [`ProtocolError::Domain`] if `k == 0`.
+    pub fn validate(&self, n: usize) -> Result<(), ProtocolError> {
+        if self.k == 0 {
+            return Err(privtopk_domain::DomainError::ZeroK.into());
+        }
+        if self.algorithm == AlgorithmKind::Max && self.k != 1 {
+            return Err(ProtocolError::MaxRequiresKOne { got: self.k });
+        }
+        if self.delta == 0 {
+            return Err(ProtocolError::ZeroDelta);
+        }
+        let minimum = if self.schedule.is_probabilistic() {
+            3
+        } else {
+            2
+        };
+        if n < minimum {
+            return Err(ProtocolError::TooFewNodes { got: n, minimum });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig::max()
+    }
+}
+
+impl fmt::Display for ProtocolConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} k={} schedule={} domain={}",
+            self.algorithm, self.k, self.schedule, self.domain
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_defaults() {
+        let m = ProtocolConfig::max();
+        assert_eq!(m.k(), 1);
+        assert_eq!(m.algorithm(), AlgorithmKind::Max);
+        assert_eq!(m.schedule(), Schedule::paper_default());
+        assert_eq!(m.start(), StartPolicy::RandomAnonymous);
+
+        let t = ProtocolConfig::topk(6);
+        assert_eq!(t.k(), 6);
+        assert_eq!(t.algorithm(), AlgorithmKind::TopK);
+
+        let n = ProtocolConfig::naive(1);
+        assert_eq!(n.schedule(), Schedule::Never);
+        assert_eq!(n.start(), StartPolicy::Fixed);
+        assert_eq!(n.resolve_rounds().unwrap(), 1);
+
+        let a = ProtocolConfig::anonymous_naive(3);
+        assert_eq!(a.start(), StartPolicy::RandomAnonymous);
+        assert_eq!(a.algorithm(), AlgorithmKind::TopK);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = ProtocolConfig::topk(2)
+            .with_delta(50)
+            .with_remap_each_round(true)
+            .with_rounds(RoundPolicy::Fixed(7));
+        assert_eq!(c.delta(), 50);
+        assert!(c.remap_each_round());
+        assert_eq!(c.resolve_rounds().unwrap(), 7);
+    }
+
+    #[test]
+    fn validate_enforces_paper_constraints() {
+        let c = ProtocolConfig::max();
+        assert!(c.validate(3).is_ok());
+        assert!(matches!(
+            c.validate(2),
+            Err(ProtocolError::TooFewNodes { minimum: 3, .. })
+        ));
+        // Naive protocol works with 2 parties.
+        assert!(ProtocolConfig::naive(1).validate(2).is_ok());
+        assert!(ProtocolConfig::naive(1).validate(1).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        assert!(ProtocolConfig::topk(0).validate(4).is_err());
+        assert!(ProtocolConfig::topk(3).with_delta(0).validate(4).is_err());
+        let bad_max = ProtocolConfig {
+            k: 2,
+            ..ProtocolConfig::max()
+        };
+        assert!(matches!(
+            bad_max.validate(4),
+            Err(ProtocolError::MaxRequiresKOne { got: 2 })
+        ));
+    }
+
+    #[test]
+    fn precision_policy_resolves_via_schedule() {
+        let c = ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-3 });
+        let r = c.resolve_rounds().unwrap();
+        assert!((4..=8).contains(&r), "r = {r}");
+    }
+
+    #[test]
+    fn zero_fixed_rounds_rejected() {
+        let c = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(0));
+        assert!(c.resolve_rounds().is_err());
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = ProtocolConfig::topk(4).to_string();
+        assert!(s.contains("k=4"));
+        assert!(s.contains("exponential"));
+    }
+}

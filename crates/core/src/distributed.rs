@@ -1,0 +1,798 @@
+//! The distributed protocol driver: one thread per private database,
+//! communicating only through a [`Transport`].
+//!
+//! This runs the *same* local algorithms as the
+//! [`SimulationEngine`](crate::SimulationEngine) — with the same seed
+//! derivation — so, over a losslessly ordered transport, a distributed
+//! execution produces a transcript identical to the simulated one. That
+//! equivalence is asserted by integration tests and is what justifies
+//! running the large experiment sweeps in-process.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use privtopk_domain::rng::SeedSpec;
+use privtopk_domain::{NodeId, RingPosition, TopKVector};
+use privtopk_ring::faults::{FaultyEndpoint, ReliableEndpoint};
+use privtopk_ring::transport::{send_value, InMemoryNetwork, TcpNetwork, Transport};
+use privtopk_ring::{RingError, RingTopology, TransportMetrics};
+
+use crate::local::{max_step, topk_step};
+use crate::{
+    AlgorithmKind, ProtocolConfig, ProtocolError, StartPolicy, StepRecord, TokenMessage, Transcript,
+};
+
+/// Seed stream tags — shared with the simulation engine so both drivers
+/// derive identical randomness.
+const STREAM_TOPOLOGY: u64 = 0x10;
+const STREAM_NODE: u64 = 0x20;
+
+/// How long a worker waits for its predecessor before giving up.
+const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Which substrate carries the messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkKind {
+    /// Crossbeam channels inside the current process.
+    InMemory,
+    /// Real TCP sockets on loopback.
+    Tcp,
+    /// In-process channels that drop each frame with the given
+    /// probability, healed by a stop-and-wait reliability layer — the
+    /// protocol runs unmodified over a lossy network.
+    LossyInMemory {
+        /// Per-frame drop probability in `[0, 1)`.
+        drop_probability: f64,
+    },
+}
+
+/// Result of a distributed execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedOutcome {
+    /// The assembled global transcript (merged from all workers).
+    pub transcript: Transcript,
+    /// The final result as learned by each node (indexed by `NodeId`);
+    /// the termination circulation guarantees these are all equal.
+    pub per_node_results: Vec<TopKVector>,
+    /// Total frames sent on the transport.
+    pub messages_sent: u64,
+    /// Total payload bytes sent on the transport.
+    pub bytes_sent: u64,
+}
+
+/// Runs the configured protocol with one worker thread per node.
+///
+/// `locals[i]` is the local top-k vector of `NodeId(i)`.
+///
+/// # Errors
+///
+/// - Configuration errors, as for the simulation engine.
+/// - [`ProtocolError::Ring`] on transport failures or timeouts.
+/// - [`ProtocolError::WorkerFailed`] if a worker thread panics.
+///
+/// Per-round ring remapping is a simulation-only extension; requesting it
+/// here returns [`ProtocolError::Ring`] with a decode reason.
+pub fn run_distributed(
+    config: &ProtocolConfig,
+    locals: &[TopKVector],
+    network: NetworkKind,
+    seed: u64,
+) -> Result<DistributedOutcome, ProtocolError> {
+    run_once(
+        config,
+        locals,
+        network,
+        seed,
+        &CrashSchedule::none(),
+        RECV_TIMEOUT,
+    )
+    .map_err(RunFailure::into_error)
+}
+
+/// Scheduled mid-protocol crashes, for failure-recovery testing: node ->
+/// the round at whose start it dies (before receiving or sending).
+#[derive(Debug, Clone, Default)]
+pub struct CrashSchedule {
+    at_round: std::collections::HashMap<NodeId, u32>,
+}
+
+impl CrashSchedule {
+    /// No crashes.
+    #[must_use]
+    pub fn none() -> Self {
+        CrashSchedule::default()
+    }
+
+    /// Schedules `node` to crash at the start of `round`.
+    #[must_use]
+    pub fn crash(mut self, node: NodeId, round: u32) -> Self {
+        self.at_round.insert(node, round);
+        self
+    }
+
+    /// The scheduled crash round for `node`, if any.
+    #[must_use]
+    pub fn round_for(&self, node: NodeId) -> Option<u32> {
+        self.at_round.get(&node).copied()
+    }
+
+    /// Whether any crash is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.at_round.is_empty()
+    }
+}
+
+/// Why a distributed attempt failed, with enough structure for a
+/// supervisor to react.
+#[derive(Debug)]
+pub(crate) struct RunFailure {
+    /// Nodes that died mid-protocol.
+    pub crashed: Vec<NodeId>,
+    /// The first non-crash error observed (e.g. a survivor's timeout).
+    pub error: ProtocolError,
+}
+
+impl RunFailure {
+    fn into_error(self) -> ProtocolError {
+        self.error
+    }
+}
+
+pub(crate) fn run_once(
+    config: &ProtocolConfig,
+    locals: &[TopKVector],
+    network: NetworkKind,
+    seed: u64,
+    crashes: &CrashSchedule,
+    recv_timeout: Duration,
+) -> Result<DistributedOutcome, RunFailure> {
+    let fail = |error: ProtocolError| RunFailure {
+        crashed: Vec::new(),
+        error,
+    };
+    let n = locals.len();
+    config.validate(n).map_err(fail)?;
+    for local in locals {
+        if local.k() != config.k() {
+            return Err(fail(ProtocolError::InconsistentK {
+                expected: config.k(),
+                got: local.k(),
+            }));
+        }
+    }
+    if config.remap_each_round() {
+        return Err(fail(ProtocolError::Ring(RingError::Decode {
+            reason: "per-round remapping is not supported by the distributed driver",
+        })));
+    }
+    let rounds = config.resolve_rounds().map_err(fail)?;
+    let spec = SeedSpec::new(seed);
+    let topology = Arc::new(
+        match config.start() {
+            StartPolicy::Fixed => RingTopology::identity(n),
+            StartPolicy::RandomAnonymous => {
+                RingTopology::random(n, &mut spec.stream(STREAM_TOPOLOGY).rng())
+            }
+        }
+        .map_err(|e| fail(e.into()))?,
+    );
+
+    let (endpoints, metrics): (Vec<Box<dyn Transport>>, TransportMetrics) = match network {
+        NetworkKind::InMemory => {
+            let net = InMemoryNetwork::new(n);
+            let metrics = net.metrics();
+            (
+                net.endpoints()
+                    .into_iter()
+                    .map(|e| Box::new(e) as Box<dyn Transport>)
+                    .collect(),
+                metrics,
+            )
+        }
+        NetworkKind::Tcp => {
+            let net = TcpNetwork::bind(n).map_err(|e| fail(e.into()))?;
+            let metrics = net.metrics();
+            (
+                net.endpoints()
+                    .map_err(|e| fail(e.into()))?
+                    .into_iter()
+                    .map(|e| Box::new(e) as Box<dyn Transport>)
+                    .collect(),
+                metrics,
+            )
+        }
+        NetworkKind::LossyInMemory { drop_probability } => {
+            let net = InMemoryNetwork::new(n);
+            let metrics = net.metrics();
+            (
+                net.endpoints()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, e)| {
+                        let faulty =
+                            FaultyEndpoint::new(e, drop_probability, seed ^ (i as u64) << 8);
+                        Box::new(ReliableEndpoint::new(faulty)) as Box<dyn Transport>
+                    })
+                    .collect(),
+                metrics,
+            )
+        }
+    };
+
+    // Lossy transports need a shutdown drain: a finished worker keeps
+    // re-acknowledging retransmissions for a grace window so a peer whose
+    // ACK was dropped does not retry into a closed endpoint.
+    let drain_on_exit = match network {
+        NetworkKind::LossyInMemory { .. } => Some(Duration::from_secs(1)),
+        _ => None,
+    };
+    let config = Arc::new(config.clone());
+    let mut handles = Vec::with_capacity(n);
+    for (i, endpoint) in endpoints.into_iter().enumerate() {
+        let me = NodeId::new(i);
+        let local = locals[i].clone();
+        let topology = Arc::clone(&topology);
+        let config = Arc::clone(&config);
+        let node_seed = spec.stream(STREAM_NODE).stream(i as u64);
+        let crash_at = crashes.round_for(me);
+        handles.push(std::thread::spawn(move || {
+            worker(
+                me,
+                local,
+                endpoint,
+                &topology,
+                &config,
+                rounds,
+                node_seed,
+                drain_on_exit,
+                crash_at,
+                recv_timeout,
+            )
+        }));
+    }
+
+    let mut reports: Vec<WorkerReport> = Vec::with_capacity(n);
+    let mut crashed: Vec<NodeId> = Vec::new();
+    let mut first_error: Option<ProtocolError> = None;
+    for (i, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(report)) => reports.push(report),
+            Ok(Err(ProtocolError::WorkerCrashed { node })) => crashed.push(node),
+            Ok(Err(e)) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+            Err(_) => {
+                if first_error.is_none() {
+                    first_error = Some(ProtocolError::WorkerFailed { position: i });
+                }
+            }
+        }
+    }
+    if let Some(error) = first_error {
+        return Err(RunFailure { crashed, error });
+    }
+    if !crashed.is_empty() {
+        // Every survivor somehow finished despite crashes (cannot happen
+        // on a ring, but be defensive).
+        let node = crashed[0];
+        return Err(RunFailure {
+            crashed,
+            error: ProtocolError::WorkerCrashed { node },
+        });
+    }
+
+    reports.sort_by_key(|r| r.node.get());
+    let per_node_results: Vec<TopKVector> = reports.iter().map(|r| r.result.clone()).collect();
+    let mut steps: Vec<StepRecord> = reports.into_iter().flat_map(|r| r.steps).collect();
+    steps.sort_by_key(|s| (s.round, s.position.get()));
+    let result = per_node_results[0].clone();
+    let transcript = Transcript::new(
+        n,
+        config.k(),
+        rounds,
+        vec![topology.order().to_vec()],
+        steps,
+        result,
+    );
+    Ok(DistributedOutcome {
+        transcript,
+        per_node_results,
+        messages_sent: metrics.messages_sent(),
+        bytes_sent: metrics.bytes_sent(),
+    })
+}
+
+/// Outcome of a failure-recovered execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// The successful run over the surviving nodes. NodeIds inside the
+    /// transcript are *survivor-space* indices; `survivors` maps them
+    /// back to the original ids.
+    pub outcome: DistributedOutcome,
+    /// Original ids of nodes excluded after crashing, in exclusion order.
+    pub excluded: Vec<NodeId>,
+    /// Original ids of the survivors, indexed by survivor-space NodeId.
+    pub survivors: Vec<NodeId>,
+    /// Number of protocol attempts (1 = no failures encountered).
+    pub attempts: u32,
+}
+
+/// Runs the protocol with failure recovery: when nodes die mid-protocol,
+/// the survivors time out, the ring is reconstructed without the failed
+/// nodes ("the ring can be reconstructed ... simply by connecting the
+/// predecessor and successor of the failed node", Section 3.2), and the
+/// query re-runs from scratch over the survivors' data.
+///
+/// `worker_timeout` is how long a worker waits on its predecessor before
+/// declaring the round lost (keep it small in tests).
+///
+/// # Errors
+///
+/// - Any non-crash execution error, immediately.
+/// - [`ProtocolError::TooFewNodes`] if crashes leave fewer than 3
+///   survivors.
+/// - [`ProtocolError::WorkerCrashed`] if `max_attempts` is exhausted.
+pub fn run_with_recovery(
+    config: &ProtocolConfig,
+    locals: &[TopKVector],
+    network: NetworkKind,
+    seed: u64,
+    crashes: &CrashSchedule,
+    worker_timeout: Duration,
+    max_attempts: u32,
+) -> Result<RecoveryOutcome, ProtocolError> {
+    let mut current_ids: Vec<NodeId> = (0..locals.len()).map(NodeId::new).collect();
+    let mut current_locals: Vec<TopKVector> = locals.to_vec();
+    let mut excluded: Vec<NodeId> = Vec::new();
+    for attempt in 1..=max_attempts.max(1) {
+        // Project the original-id crash schedule into survivor space.
+        let mut projected = CrashSchedule::none();
+        for (idx, original) in current_ids.iter().enumerate() {
+            if let Some(round) = crashes.round_for(*original) {
+                projected = projected.crash(NodeId::new(idx), round);
+            }
+        }
+        match run_once(
+            config,
+            &current_locals,
+            network,
+            seed.wrapping_add(u64::from(attempt)),
+            &projected,
+            worker_timeout,
+        ) {
+            Ok(outcome) => {
+                return Ok(RecoveryOutcome {
+                    outcome,
+                    excluded,
+                    survivors: current_ids,
+                    attempts: attempt,
+                })
+            }
+            Err(failure) if !failure.crashed.is_empty() => {
+                // Map survivor-space crash ids back to original ids and
+                // reconstruct the ring without them.
+                let dead: std::collections::HashSet<usize> =
+                    failure.crashed.iter().map(|n| n.get()).collect();
+                let mut next_ids = Vec::with_capacity(current_ids.len() - dead.len());
+                let mut next_locals = Vec::with_capacity(next_ids.capacity());
+                for (idx, original) in current_ids.iter().enumerate() {
+                    if dead.contains(&idx) {
+                        excluded.push(*original);
+                    } else {
+                        next_ids.push(*original);
+                        next_locals.push(current_locals[idx].clone());
+                    }
+                }
+                current_ids = next_ids;
+                current_locals = next_locals;
+                config
+                    .validate(current_ids.len())
+                    .map_err(|_| ProtocolError::TooFewNodes {
+                        got: current_ids.len(),
+                        minimum: 3,
+                    })?;
+            }
+            Err(failure) => return Err(failure.error),
+        }
+    }
+    Err(ProtocolError::WorkerCrashed {
+        node: *excluded.last().unwrap_or(&NodeId::new(0)),
+    })
+}
+
+struct WorkerReport {
+    node: NodeId,
+    steps: Vec<StepRecord>,
+    result: TopKVector,
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn worker(
+    me: NodeId,
+    local: TopKVector,
+    mut endpoint: Box<dyn Transport>,
+    topology: &RingTopology,
+    config: &ProtocolConfig,
+    rounds: u32,
+    node_seed: SeedSpec,
+    drain_on_exit: Option<Duration>,
+    crash_at: Option<u32>,
+    recv_timeout: Duration,
+) -> Result<WorkerReport, ProtocolError> {
+    let n = topology.len();
+    let position = topology.position_of(me)?;
+    let successor = topology.successor_of(me)?;
+    let predecessor = topology.predecessor_of(me)?;
+    let domain = config.domain();
+    let mut rng = node_seed.rng();
+    let mut has_inserted = false;
+    let mut steps = Vec::with_capacity(rounds as usize);
+
+    let recv_token = |endpoint: &mut Box<dyn Transport>,
+                      expect_round: u32|
+     -> Result<TopKVector, ProtocolError> {
+        let (from, msg): (NodeId, TokenMessage) =
+            recv_with_timeout(endpoint.as_mut(), recv_timeout)?;
+        match msg {
+            TokenMessage::Token { round, vector } if round == expect_round => {
+                debug_assert_eq!(from, predecessor, "token must come from predecessor");
+                Ok(vector)
+            }
+            // Out-of-protocol round labels or premature termination: a
+            // semi-honest network never produces these.
+            TokenMessage::Token { .. } => Err(ProtocolError::Ring(RingError::Decode {
+                reason: "unexpected round label",
+            })),
+            TokenMessage::Finished { .. } => Err(ProtocolError::Ring(RingError::Decode {
+                reason: "premature termination message",
+            })),
+        }
+    };
+
+    for round in 1..=rounds {
+        if crash_at == Some(round) {
+            // Simulated node failure: die silently, mid-protocol.
+            return Err(ProtocolError::WorkerCrashed { node: me });
+        }
+        let incoming = if round == 1 && position.is_start() {
+            TopKVector::floor(config.k(), &domain)
+        } else {
+            // Position 0 consumes the previous round's closing token.
+            let expect = if position.is_start() {
+                round - 1
+            } else {
+                round
+            };
+            recv_token(&mut endpoint, expect)?
+        };
+        let probability = config.schedule().probability(round);
+        let (outgoing, action) = match config.algorithm() {
+            AlgorithmKind::Max => {
+                let step = max_step(
+                    &mut rng,
+                    probability,
+                    incoming.first(),
+                    local.first(),
+                    &domain,
+                )?;
+                (TopKVector::from_sorted(vec![step.output])?, step.action)
+            }
+            AlgorithmKind::TopK => {
+                let step = topk_step(
+                    &mut rng,
+                    probability,
+                    &incoming,
+                    &local,
+                    has_inserted,
+                    config.delta(),
+                    &domain,
+                )?;
+                has_inserted = step.has_inserted;
+                (step.output, step.action)
+            }
+        };
+        steps.push(StepRecord {
+            round,
+            position,
+            node: me,
+            incoming,
+            outgoing: outgoing.clone(),
+            action,
+        });
+        send_value(
+            endpoint.as_mut(),
+            successor,
+            &TokenMessage::Token {
+                round,
+                vector: outgoing,
+            },
+        )?;
+    }
+
+    // Termination: the starting node collects the closing token of the
+    // final round and circulates the result once around the ring.
+    let result = if position.is_start() {
+        let result = recv_token(&mut endpoint, rounds)?;
+        send_value(
+            endpoint.as_mut(),
+            successor,
+            &TokenMessage::Finished {
+                vector: result.clone(),
+            },
+        )?;
+        result
+    } else {
+        let (_, msg): (NodeId, TokenMessage) = recv_with_timeout(endpoint.as_mut(), recv_timeout)?;
+        let TokenMessage::Finished { vector } = msg else {
+            return Err(ProtocolError::Ring(RingError::Decode {
+                reason: "expected termination message",
+            }));
+        };
+        // Forward unless the successor is the starting node (which
+        // initiated the circulation and already has the result).
+        if position.get() + 1 < n {
+            send_value(
+                endpoint.as_mut(),
+                successor,
+                &TokenMessage::Finished {
+                    vector: vector.clone(),
+                },
+            )?;
+        }
+        vector
+    };
+
+    // Over lossy transports, keep re-acknowledging retransmissions for a
+    // grace window so peers whose ACKs were dropped can finish cleanly.
+    if let Some(window) = drain_on_exit {
+        let deadline = std::time::Instant::now() + window;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match endpoint.recv_timeout(remaining) {
+                Ok(_) => {} // duplicate already re-acked inside the layer
+                Err(RingError::Timeout) | Err(RingError::Disconnected) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    Ok(WorkerReport {
+        node: me,
+        steps,
+        result,
+    })
+}
+
+fn recv_with_timeout(
+    endpoint: &mut dyn Transport,
+    timeout: Duration,
+) -> Result<(NodeId, TokenMessage), ProtocolError> {
+    let (from, frame) = endpoint.recv_timeout(timeout)?;
+    let msg = privtopk_ring::wire::decode_from_bytes(&frame)?;
+    Ok((from, msg))
+}
+
+// Keep the unused import warning away when building without debug
+// assertions (predecessor is only read in a debug_assert).
+#[allow(dead_code)]
+fn _use_ring_position(p: RingPosition) -> usize {
+    p.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RoundPolicy, SimulationEngine};
+    use privtopk_domain::{Value, ValueDomain};
+
+    fn locals_k(k: usize, data: &[&[i64]]) -> Vec<TopKVector> {
+        let domain = ValueDomain::paper_default();
+        data.iter()
+            .map(|vals| {
+                TopKVector::from_values(k, vals.iter().copied().map(Value::new), &domain).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distributed_max_matches_simulation_exactly() {
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(6));
+        let locals = locals_k(1, &[&[300], &[100], &[900], &[500]]);
+        let sim = SimulationEngine::new(config.clone())
+            .run(&locals, 77)
+            .unwrap();
+        let dist = run_distributed(&config, &locals, NetworkKind::InMemory, 77).unwrap();
+        assert_eq!(dist.transcript.steps(), sim.steps());
+        assert_eq!(dist.transcript.result(), sim.result());
+    }
+
+    #[test]
+    fn distributed_topk_matches_simulation_exactly() {
+        let config = ProtocolConfig::topk(3).with_rounds(RoundPolicy::Fixed(7));
+        let locals = locals_k(
+            3,
+            &[
+                &[900, 400, 100],
+                &[850, 300, 50],
+                &[700, 650, 10],
+                &[20, 15, 12],
+            ],
+        );
+        let sim = SimulationEngine::new(config.clone())
+            .run(&locals, 5)
+            .unwrap();
+        let dist = run_distributed(&config, &locals, NetworkKind::InMemory, 5).unwrap();
+        assert_eq!(dist.transcript.steps(), sim.steps());
+    }
+
+    #[test]
+    fn all_nodes_learn_the_same_result() {
+        let config = ProtocolConfig::topk(2).with_rounds(RoundPolicy::Fixed(5));
+        let locals = locals_k(2, &[&[10, 20], &[90, 80], &[50, 60], &[70, 1], &[2, 3]]);
+        let out = run_distributed(&config, &locals, NetworkKind::InMemory, 9).unwrap();
+        assert_eq!(out.per_node_results.len(), 5);
+        for r in &out.per_node_results {
+            assert_eq!(r, out.transcript.result());
+        }
+        assert_eq!(
+            out.transcript.result().as_slice(),
+            &[Value::new(90), Value::new(80)]
+        );
+    }
+
+    #[test]
+    fn message_count_matches_cost_model() {
+        // n messages per round, plus the termination circulation: the
+        // starting node's Finished plus n-2 forwards (the last node does
+        // not forward back to the start).
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(4));
+        let locals = locals_k(1, &[&[1], &[2], &[3]]);
+        let out = run_distributed(&config, &locals, NetworkKind::InMemory, 1).unwrap();
+        assert_eq!(out.messages_sent, 3 * 4 + 2);
+        assert!(out.bytes_sent > 0);
+    }
+
+    #[test]
+    fn distributed_over_tcp_converges() {
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(5));
+        let locals = locals_k(1, &[&[42], &[17], &[99], &[3]]);
+        let out = run_distributed(&config, &locals, NetworkKind::Tcp, 13).unwrap();
+        assert_eq!(out.transcript.result_value(), Value::new(99));
+        for r in &out.per_node_results {
+            assert_eq!(r.first(), Value::new(99));
+        }
+    }
+
+    #[test]
+    fn remap_rejected_by_distributed_driver() {
+        let config = ProtocolConfig::max()
+            .with_remap_each_round(true)
+            .with_rounds(RoundPolicy::Fixed(3));
+        let locals = locals_k(1, &[&[1], &[2], &[3]]);
+        assert!(run_distributed(&config, &locals, NetworkKind::InMemory, 0).is_err());
+    }
+
+    #[test]
+    fn protocol_survives_lossy_network() {
+        // 20% frame loss in every direction; the reliability layer heals
+        // it and the transcript is identical to the lossless run.
+        let config = ProtocolConfig::topk(2).with_rounds(RoundPolicy::Fixed(6));
+        let locals = locals_k(2, &[&[900, 100], &[800, 50], &[700, 25], &[600, 10]]);
+        let clean = run_distributed(&config, &locals, NetworkKind::InMemory, 21).unwrap();
+        let lossy = run_distributed(
+            &config,
+            &locals,
+            NetworkKind::LossyInMemory {
+                drop_probability: 0.2,
+            },
+            21,
+        )
+        .unwrap();
+        assert_eq!(clean.transcript.steps(), lossy.transcript.steps());
+        // The healed run necessarily sent more frames (retransmits + acks).
+        assert!(lossy.messages_sent > clean.messages_sent);
+    }
+
+    #[test]
+    fn recovery_reconstructs_after_single_crash() {
+        // Node 2 dies at the start of round 3; survivors time out, the
+        // ring is rebuilt without it, and the query completes over the
+        // remaining data.
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(5));
+        let locals = locals_k(1, &[&[300], &[100], &[900], &[500], &[200]]);
+        let crashes = CrashSchedule::none().crash(NodeId::new(2), 3);
+        let out = run_with_recovery(
+            &config,
+            &locals,
+            NetworkKind::InMemory,
+            7,
+            &crashes,
+            Duration::from_millis(200),
+            3,
+        )
+        .unwrap();
+        assert_eq!(out.attempts, 2);
+        assert_eq!(out.excluded, vec![NodeId::new(2)]);
+        assert_eq!(out.survivors.len(), 4);
+        assert!(!out.survivors.contains(&NodeId::new(2)));
+        // The maximum among survivors is 500 (900 died with node 2).
+        assert_eq!(out.outcome.transcript.result_value(), Value::new(500));
+    }
+
+    #[test]
+    fn recovery_handles_multiple_crashes_across_attempts() {
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(4));
+        let locals = locals_k(1, &[&[10], &[20], &[30], &[40], &[50], &[60]]);
+        // Two nodes die in the first attempt (both hit their round), and
+        // the retry succeeds.
+        let crashes = CrashSchedule::none()
+            .crash(NodeId::new(0), 2)
+            .crash(NodeId::new(5), 2);
+        let out = run_with_recovery(
+            &config,
+            &locals,
+            NetworkKind::InMemory,
+            3,
+            &crashes,
+            Duration::from_millis(200),
+            4,
+        )
+        .unwrap();
+        assert!(out.excluded.contains(&NodeId::new(0)));
+        assert!(out.excluded.contains(&NodeId::new(5)));
+        assert_eq!(out.outcome.transcript.result_value(), Value::new(50));
+    }
+
+    #[test]
+    fn recovery_without_crashes_is_single_attempt() {
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3));
+        let locals = locals_k(1, &[&[1], &[2], &[3]]);
+        let out = run_with_recovery(
+            &config,
+            &locals,
+            NetworkKind::InMemory,
+            1,
+            &CrashSchedule::none(),
+            Duration::from_secs(5),
+            3,
+        )
+        .unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.excluded.is_empty());
+    }
+
+    #[test]
+    fn recovery_refuses_to_shrink_below_three() {
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3));
+        let locals = locals_k(1, &[&[1], &[2], &[3]]);
+        let crashes = CrashSchedule::none().crash(NodeId::new(1), 2);
+        assert!(matches!(
+            run_with_recovery(
+                &config,
+                &locals,
+                NetworkKind::InMemory,
+                1,
+                &crashes,
+                Duration::from_millis(200),
+                3,
+            ),
+            Err(ProtocolError::TooFewNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn validates_node_count() {
+        let config = ProtocolConfig::max();
+        let locals = locals_k(1, &[&[1], &[2]]);
+        assert!(matches!(
+            run_distributed(&config, &locals, NetworkKind::InMemory, 0),
+            Err(ProtocolError::TooFewNodes { .. })
+        ));
+    }
+}

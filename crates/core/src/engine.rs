@@ -1,0 +1,415 @@
+//! The synchronous simulation engine: runs any configured protocol over an
+//! in-process ring and records a full [`Transcript`].
+
+use privtopk_domain::rng::SeedSpec;
+use privtopk_domain::{TopKVector, Value};
+use privtopk_ring::RingTopology;
+
+use crate::local::{max_step, topk_step};
+use crate::{AlgorithmKind, ProtocolConfig, ProtocolError, StartPolicy, StepRecord, Transcript};
+
+/// Seed stream tags.
+const STREAM_TOPOLOGY: u64 = 0x10;
+const STREAM_NODE: u64 = 0x20;
+const STREAM_REMAP: u64 = 0x30;
+
+/// Executes a protocol configuration over in-process nodes, deterministic
+/// under a seed.
+///
+/// This driver is what the experiments use: it is exact (same local
+/// algorithms as the distributed runner), single-threaded, allocation-light
+/// and fully reproducible. For execution over real transports see
+/// [`crate::distributed`].
+///
+/// # Example
+///
+/// ```
+/// use privtopk_core::{ProtocolConfig, RoundPolicy, SimulationEngine};
+/// use privtopk_domain::Value;
+///
+/// let engine = SimulationEngine::new(
+///     ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-6 }),
+/// );
+/// let values = [30i64, 10, 40, 20].map(Value::new);
+/// let transcript = engine.run_values(&values, 7)?;
+/// assert_eq!(transcript.result_value(), Value::new(40));
+/// # Ok::<(), privtopk_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationEngine {
+    config: ProtocolConfig,
+}
+
+impl SimulationEngine {
+    /// Wraps a configuration.
+    #[must_use]
+    pub fn new(config: ProtocolConfig) -> Self {
+        SimulationEngine { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Runs the protocol over one local top-k vector per node
+    /// (`locals[i]` belongs to `NodeId(i)`).
+    ///
+    /// # Errors
+    ///
+    /// - Configuration errors from [`ProtocolConfig::validate`] /
+    ///   [`ProtocolConfig::resolve_rounds`].
+    /// - [`ProtocolError::InconsistentK`] if a local vector's `k` differs
+    ///   from the configured `k`.
+    pub fn run(&self, locals: &[TopKVector], seed: u64) -> Result<Transcript, ProtocolError> {
+        let n = locals.len();
+        self.config.validate(n)?;
+        for local in locals {
+            if local.k() != self.config.k() {
+                return Err(ProtocolError::InconsistentK {
+                    expected: self.config.k(),
+                    got: local.k(),
+                });
+            }
+        }
+        let rounds = self.config.resolve_rounds()?;
+        let spec = SeedSpec::new(seed);
+
+        let mut topology = match self.config.start() {
+            StartPolicy::Fixed => RingTopology::identity(n)?,
+            StartPolicy::RandomAnonymous => {
+                RingTopology::random(n, &mut spec.stream(STREAM_TOPOLOGY).rng())?
+            }
+        };
+        let mut remap_rng = spec.stream(STREAM_REMAP).rng();
+        let mut node_rngs: Vec<_> = (0..n)
+            .map(|i| spec.stream(STREAM_NODE).stream(i as u64).rng())
+            .collect();
+        let mut has_inserted = vec![false; n];
+
+        let domain = self.config.domain();
+        let k = self.config.k();
+        let mut global = TopKVector::floor(k, &domain);
+        let mut steps = Vec::with_capacity(n * rounds as usize);
+        let mut ring_orders: Vec<Vec<privtopk_domain::NodeId>> = vec![topology.order().to_vec()];
+
+        for round in 1..=rounds {
+            if round > 1 && self.config.remap_each_round() {
+                topology.remap(&mut remap_rng);
+                ring_orders.push(topology.order().to_vec());
+            }
+            let probability = self.config.schedule().probability(round);
+            for position in 0..n {
+                let node = topology.node_at(privtopk_domain::RingPosition::new(position))?;
+                let idx = node.get();
+                let incoming = global.clone();
+                let (outgoing, action) = match self.config.algorithm() {
+                    AlgorithmKind::Max => {
+                        let step = max_step(
+                            &mut node_rngs[idx],
+                            probability,
+                            incoming.first(),
+                            locals[idx].first(),
+                            &domain,
+                        )?;
+                        (TopKVector::from_sorted(vec![step.output])?, step.action)
+                    }
+                    AlgorithmKind::TopK => {
+                        let step = topk_step(
+                            &mut node_rngs[idx],
+                            probability,
+                            &incoming,
+                            &locals[idx],
+                            has_inserted[idx],
+                            self.config.delta(),
+                            &domain,
+                        )?;
+                        has_inserted[idx] = step.has_inserted;
+                        (step.output, step.action)
+                    }
+                };
+                global = outgoing.clone();
+                steps.push(StepRecord {
+                    round,
+                    position: privtopk_domain::RingPosition::new(position),
+                    node,
+                    incoming,
+                    outgoing,
+                    action,
+                });
+            }
+        }
+
+        Ok(Transcript::new(n, k, rounds, ring_orders, steps, global))
+    }
+
+    /// Convenience for `k = 1` protocols: one scalar per node.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SimulationEngine::run`], plus domain errors if a value
+    /// lies outside the configured domain.
+    pub fn run_values(&self, values: &[Value], seed: u64) -> Result<Transcript, ProtocolError> {
+        let domain = self.config.domain();
+        let locals = values
+            .iter()
+            .map(|&v| TopKVector::from_values(self.config.k(), [v], &domain))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.run(&locals, seed)
+    }
+}
+
+/// Ground truth for tests and experiments: the true global top-k over all
+/// nodes' full value multisets.
+///
+/// # Errors
+///
+/// Returns a domain error if `k == 0` or values fall outside `domain`.
+pub fn true_topk(
+    locals: &[TopKVector],
+    k: usize,
+    domain: &privtopk_domain::ValueDomain,
+) -> Result<TopKVector, privtopk_domain::DomainError> {
+    TopKVector::from_values(k, locals.iter().flat_map(TopKVector::iter), domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalAction;
+    use crate::{RoundPolicy, Schedule};
+    use privtopk_domain::ValueDomain;
+
+    fn domain() -> ValueDomain {
+        ValueDomain::paper_default()
+    }
+
+    fn locals_k(k: usize, data: &[&[i64]]) -> Vec<TopKVector> {
+        data.iter()
+            .map(|vals| {
+                TopKVector::from_values(k, vals.iter().copied().map(Value::new), &domain()).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn max_converges_to_true_maximum() {
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-9 }),
+        );
+        for seed in 0..30 {
+            let t = engine
+                .run_values(&[30, 10, 40, 20].map(Value::new), seed)
+                .unwrap();
+            assert_eq!(t.result_value(), Value::new(40), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn paper_walkthrough_figure_1() {
+        // The Section 3.3 example: 4 nodes with values 30, 10, 40, 20 on a
+        // fixed ring starting at node 0, p0 = 1, d = 1/2. The randomized
+        // values differ from the paper's illustration (different RNG), but
+        // the structure must match: round 1 is fully randomized, and the
+        // result converges to 40.
+        let config = ProtocolConfig::max()
+            .with_start(StartPolicy::Fixed)
+            .with_rounds(RoundPolicy::Fixed(12));
+        let engine = SimulationEngine::new(config);
+        let t = engine
+            .run_values(&[30, 10, 40, 20].map(Value::new), 1)
+            .unwrap();
+        // Round 1, node 0 receives the domain floor and must randomize
+        // below its value 30.
+        let first = &t.steps()[0];
+        assert_eq!(first.action, LocalAction::Randomized);
+        assert!(first.outgoing.first() < Value::new(30));
+        assert_eq!(t.result_value(), Value::new(40));
+    }
+
+    #[test]
+    fn monotone_global_value_in_max_protocol() {
+        let engine =
+            SimulationEngine::new(ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(6)));
+        let t = engine
+            .run_values(&[500, 100, 900, 300, 700].map(Value::new), 3)
+            .unwrap();
+        let mut prev = Value::MIN;
+        for s in t.steps() {
+            assert!(s.outgoing.first() >= prev, "global value regressed");
+            prev = s.outgoing.first();
+        }
+    }
+
+    #[test]
+    fn naive_protocol_single_round_exact() {
+        let engine = SimulationEngine::new(ProtocolConfig::naive(1));
+        let t = engine.run_values(&[5, 25, 15].map(Value::new), 0).unwrap();
+        assert_eq!(t.rounds(), 1);
+        assert_eq!(t.result_value(), Value::new(25));
+        // Every step is deterministic: pass-on or real insert.
+        assert!(t
+            .steps()
+            .iter()
+            .all(|s| s.action != LocalAction::Randomized));
+        // Fixed start: ring order is node order.
+        assert_eq!(t.ring_order(1).unwrap()[0].get(), 0);
+    }
+
+    #[test]
+    fn anonymous_naive_randomizes_start() {
+        let engine = SimulationEngine::new(ProtocolConfig::anonymous_naive(1));
+        let mut starts = std::collections::HashSet::new();
+        for seed in 0..50 {
+            let t = engine
+                .run_values(&[5, 25, 15, 35].map(Value::new), seed)
+                .unwrap();
+            assert_eq!(t.result_value(), Value::new(35));
+            starts.insert(t.ring_order(1).unwrap()[0]);
+        }
+        assert!(starts.len() >= 3, "start node should vary");
+    }
+
+    #[test]
+    fn topk_converges_to_true_topk() {
+        let locals = locals_k(
+            3,
+            &[
+                &[900, 400, 100],
+                &[850, 300, 50],
+                &[700, 650, 10],
+                &[200, 150, 120],
+            ],
+        );
+        let truth = true_topk(&locals, 3, &domain()).unwrap();
+        assert_eq!(
+            truth.as_slice(),
+            &[Value::new(900), Value::new(850), Value::new(700)]
+        );
+        let engine = SimulationEngine::new(
+            ProtocolConfig::topk(3).with_rounds(RoundPolicy::Precision { epsilon: 1e-9 }),
+        );
+        for seed in 0..30 {
+            let t = engine.run(&locals, seed).unwrap();
+            assert_eq!(t.result(), &truth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn topk_with_duplicates_across_nodes() {
+        // Two nodes hold the same value; the true top-2 contains it twice.
+        let locals = locals_k(2, &[&[500, 1], &[500, 1], &[400, 1]]);
+        let engine = SimulationEngine::new(
+            ProtocolConfig::topk(2).with_rounds(RoundPolicy::Precision { epsilon: 1e-9 }),
+        );
+        let t = engine.run(&locals, 11).unwrap();
+        assert_eq!(t.result().as_slice(), &[Value::new(500), Value::new(500)]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let engine = SimulationEngine::new(ProtocolConfig::max());
+        let values = [3, 14, 15, 92, 65].map(Value::new);
+        let a = engine.run_values(&values, 99).unwrap();
+        let b = engine.run_values(&values, 99).unwrap();
+        assert_eq!(a, b);
+        let c = engine.run_values(&values, 100).unwrap();
+        assert!(a.steps() != c.steps(), "different seed, different path");
+    }
+
+    #[test]
+    fn transcript_shape_matches_configuration() {
+        let engine =
+            SimulationEngine::new(ProtocolConfig::topk(2).with_rounds(RoundPolicy::Fixed(5)));
+        let locals = locals_k(2, &[&[1, 2], &[3, 4], &[5, 6], &[7, 8]]);
+        let t = engine.run(&locals, 4).unwrap();
+        assert_eq!(t.n(), 4);
+        assert_eq!(t.k(), 2);
+        assert_eq!(t.rounds(), 5);
+        assert_eq!(t.message_count(), 20);
+        assert_eq!(t.steps_in_round(3).count(), 4);
+    }
+
+    #[test]
+    fn rejects_inconsistent_local_k() {
+        let engine = SimulationEngine::new(ProtocolConfig::topk(3));
+        let locals = locals_k(2, &[&[1], &[2], &[3]]);
+        assert!(matches!(
+            engine.run(&locals, 0),
+            Err(ProtocolError::InconsistentK {
+                expected: 3,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_too_few_nodes_for_probabilistic() {
+        let engine = SimulationEngine::new(ProtocolConfig::max());
+        assert!(matches!(
+            engine.run_values(&[1, 2].map(Value::new), 0),
+            Err(ProtocolError::TooFewNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn remap_each_round_changes_ring_orders() {
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max()
+                .with_remap_each_round(true)
+                .with_rounds(RoundPolicy::Fixed(6)),
+        );
+        let t = engine
+            .run_values(&[10, 20, 30, 40, 50, 60, 70, 80].map(Value::new), 5)
+            .unwrap();
+        let orders: Vec<_> = (1..=6).map(|r| t.ring_order(r).unwrap().to_vec()).collect();
+        assert!(
+            orders.windows(2).any(|w| w[0] != w[1]),
+            "remapping should change the ring at least once"
+        );
+        assert_eq!(t.result_value(), Value::new(80));
+    }
+
+    #[test]
+    fn p0_zero_equivalent_schedule_reduces_to_naive() {
+        // "if we set the initial randomization probability to be 0, the
+        // protocol is reduced to the naive deterministic protocol".
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max()
+                .with_schedule(Schedule::Never)
+                .with_rounds(RoundPolicy::Fixed(1))
+                .with_start(StartPolicy::Fixed),
+        );
+        let t = engine.run_values(&[8, 6, 7, 5].map(Value::new), 0).unwrap();
+        assert_eq!(t.result_value(), Value::new(8));
+        assert!(t
+            .steps()
+            .iter()
+            .all(|s| s.action != LocalAction::Randomized));
+    }
+
+    #[test]
+    fn all_equal_values_resolve_without_randomizing_forever() {
+        let engine =
+            SimulationEngine::new(ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(8)));
+        let t = engine
+            .run_values(&[100, 100, 100].map(Value::new), 2)
+            .unwrap();
+        assert_eq!(t.result_value(), Value::new(100));
+    }
+
+    #[test]
+    fn single_value_nodes_with_floor_padding() {
+        // Nodes with fewer than k values participate with floor padding.
+        let locals = locals_k(3, &[&[500], &[400, 300], &[200]]);
+        let engine = SimulationEngine::new(
+            ProtocolConfig::topk(3).with_rounds(RoundPolicy::Precision { epsilon: 1e-9 }),
+        );
+        let t = engine.run(&locals, 8).unwrap();
+        assert_eq!(
+            t.result().as_slice(),
+            &[Value::new(500), Value::new(400), Value::new(300)]
+        );
+    }
+}

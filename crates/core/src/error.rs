@@ -1,0 +1,164 @@
+//! Errors for protocol construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use privtopk_domain::DomainError;
+use privtopk_ring::RingError;
+
+/// Errors produced while configuring or executing a protocol.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The probabilistic protocol requires at least three participants
+    /// (`n > 2` in the paper's problem statement).
+    TooFewNodes {
+        /// Number of participants supplied.
+        got: usize,
+        /// Minimum required by the selected protocol.
+        minimum: usize,
+    },
+    /// A probability parameter was outside its valid range.
+    InvalidProbability {
+        /// Which parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The round policy cannot terminate (randomization never decays below
+    /// the requested error bound).
+    UnreachablePrecision,
+    /// Participants supplied local vectors of inconsistent `k`.
+    InconsistentK {
+        /// Expected `k` (from the configuration).
+        expected: usize,
+        /// Offending vector's `k`.
+        got: usize,
+    },
+    /// The max protocol requires `k = 1`.
+    MaxRequiresKOne {
+        /// The configured `k`.
+        got: usize,
+    },
+    /// `delta` (the minimum randomization range of Algorithm 2) must be at
+    /// least 1 so random tails never equal the real kth value.
+    ZeroDelta,
+    /// An underlying domain error.
+    Domain(DomainError),
+    /// A transport/topology error from the ring substrate.
+    Ring(RingError),
+    /// A distributed worker thread panicked or disconnected.
+    WorkerFailed {
+        /// Ring position of the failed worker.
+        position: usize,
+    },
+    /// A node died mid-protocol (simulated failure; recoverable by ring
+    /// reconstruction — see `distributed::run_with_recovery`).
+    WorkerCrashed {
+        /// The node that died.
+        node: privtopk_domain::NodeId,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::TooFewNodes { got, minimum } => {
+                write!(f, "protocol needs at least {minimum} nodes, got {got}")
+            }
+            ProtocolError::InvalidProbability { what, value } => {
+                write!(f, "invalid probability for {what}: {value}")
+            }
+            ProtocolError::UnreachablePrecision => {
+                write!(f, "requested precision unreachable under this schedule")
+            }
+            ProtocolError::InconsistentK { expected, got } => {
+                write!(
+                    f,
+                    "local vector has k = {got}, protocol configured with k = {expected}"
+                )
+            }
+            ProtocolError::MaxRequiresKOne { got } => {
+                write!(f, "max protocol requires k = 1, got k = {got}")
+            }
+            ProtocolError::ZeroDelta => write!(f, "delta must be at least 1"),
+            ProtocolError::Domain(e) => write!(f, "domain error: {e}"),
+            ProtocolError::Ring(e) => write!(f, "ring error: {e}"),
+            ProtocolError::WorkerFailed { position } => {
+                write!(f, "distributed worker at position {position} failed")
+            }
+            ProtocolError::WorkerCrashed { node } => {
+                write!(f, "{node} crashed mid-protocol")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Domain(e) => Some(e),
+            ProtocolError::Ring(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DomainError> for ProtocolError {
+    fn from(e: DomainError) -> Self {
+        ProtocolError::Domain(e)
+    }
+}
+
+impl From<RingError> for ProtocolError {
+    fn from(e: RingError) -> Self {
+        ProtocolError::Ring(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let variants: Vec<ProtocolError> = vec![
+            ProtocolError::TooFewNodes { got: 2, minimum: 3 },
+            ProtocolError::InvalidProbability {
+                what: "p0",
+                value: 1.5,
+            },
+            ProtocolError::UnreachablePrecision,
+            ProtocolError::InconsistentK {
+                expected: 3,
+                got: 2,
+            },
+            ProtocolError::MaxRequiresKOne { got: 4 },
+            ProtocolError::ZeroDelta,
+            ProtocolError::Domain(DomainError::ZeroK),
+            ProtocolError::Ring(RingError::Disconnected),
+            ProtocolError::WorkerFailed { position: 2 },
+            ProtocolError::WorkerCrashed {
+                node: privtopk_domain::NodeId::new(1),
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: ProtocolError = DomainError::ZeroK.into();
+        assert!(Error::source(&e).is_some());
+        let e: ProtocolError = RingError::Timeout.into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&ProtocolError::ZeroDelta).is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ProtocolError>();
+    }
+}

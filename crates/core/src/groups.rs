@@ -1,0 +1,221 @@
+//! The Section 4.2 scaling optimization: group-parallel max selection.
+//!
+//! "One possible way to improve the efficiency for a system with a larger
+//! number of nodes is to break the set of n nodes into a number of small
+//! groups and have each group compute their group maximum value in
+//! parallel and then compute the global maximum value at designated
+//! nodes, which could be randomly selected from each small group."
+
+use privtopk_domain::rng::SeedSpec;
+use privtopk_domain::{NodeId, Value};
+use privtopk_ring::RingTopology;
+
+use crate::{ProtocolConfig, ProtocolError, SimulationEngine};
+
+/// Seed stream tags.
+const STREAM_PARTITION: u64 = 0x40;
+const STREAM_GROUP: u64 = 0x50;
+const STREAM_LEADERS: u64 = 0x60;
+
+/// Result of a group-parallel max execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedMaxOutcome {
+    /// The global maximum.
+    pub result: Value,
+    /// Each group's locally computed maximum (one per group, in group
+    /// order).
+    pub group_results: Vec<Value>,
+    /// Which nodes acted as the designated second-stage participants.
+    pub leaders: Vec<NodeId>,
+    /// Total messages across all sub-protocols.
+    pub total_messages: usize,
+    /// Sequential hops on the critical path: the slowest group's messages
+    /// plus the leader ring's messages — the latency the optimization
+    /// reduces.
+    pub critical_path_messages: usize,
+}
+
+/// Runs max selection in `groups` parallel subrings followed by a leader
+/// ring, using the same probabilistic protocol at both stages.
+///
+/// Both stages need at least 3 participants for the probabilistic
+/// protocol, so `groups >= 3` and `values.len() >= 3 * groups` are
+/// required (or `groups == 1`, which degenerates to the flat protocol).
+///
+/// # Errors
+///
+/// - [`ProtocolError::TooFewNodes`] if the grouping constraints fail.
+/// - [`ProtocolError::MaxRequiresKOne`] if `config` is not a max
+///   configuration.
+/// - Execution errors from the underlying engine.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_core::groups::grouped_max;
+/// use privtopk_core::{ProtocolConfig, RoundPolicy};
+/// use privtopk_domain::Value;
+///
+/// let values: Vec<Value> = (1..=30).map(|i| Value::new(i * 10)).collect();
+/// let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(8));
+/// let outcome = grouped_max(&config, &values, 3, 42)?;
+/// assert_eq!(outcome.result, Value::new(300));
+/// # Ok::<(), privtopk_core::ProtocolError>(())
+/// ```
+pub fn grouped_max(
+    config: &ProtocolConfig,
+    values: &[Value],
+    groups: usize,
+    seed: u64,
+) -> Result<GroupedMaxOutcome, ProtocolError> {
+    if config.k() != 1 {
+        return Err(ProtocolError::MaxRequiresKOne { got: config.k() });
+    }
+    let n = values.len();
+    let engine = SimulationEngine::new(config.clone());
+    let spec = SeedSpec::new(seed);
+
+    if groups == 1 {
+        let t = engine.run_values(values, spec.stream(STREAM_GROUP).base())?;
+        return Ok(GroupedMaxOutcome {
+            result: t.result_value(),
+            group_results: vec![t.result_value()],
+            leaders: vec![t.ring_order(1).expect("round 1 exists")[0]],
+            total_messages: t.message_count(),
+            critical_path_messages: t.message_count(),
+        });
+    }
+    if groups < 3 || n < 3 * groups {
+        return Err(ProtocolError::TooFewNodes {
+            got: n,
+            minimum: 3 * groups.max(3),
+        });
+    }
+
+    // Random partition of the nodes into contiguous groups of a random
+    // arrangement (the paper's random grouping).
+    let arrangement = RingTopology::random(n, &mut spec.stream(STREAM_PARTITION).rng())?;
+    let partitions = arrangement.split_into_groups(groups)?;
+
+    let mut group_results = Vec::with_capacity(groups);
+    let mut leaders = Vec::with_capacity(groups);
+    let mut total_messages = 0usize;
+    let mut slowest_group = 0usize;
+    for (g, part) in partitions.iter().enumerate() {
+        let group_values: Vec<Value> = part.order().iter().map(|id| values[id.get()]).collect();
+        let t = engine.run_values(
+            &group_values,
+            spec.stream(STREAM_GROUP).stream(g as u64).base(),
+        )?;
+        group_results.push(t.result_value());
+        total_messages += t.message_count();
+        slowest_group = slowest_group.max(t.message_count());
+        // Designated node: randomly selected member of the group — take
+        // the group subring's own starting node.
+        let local_start = t.ring_order(1).expect("round 1 exists")[0];
+        leaders.push(part.order()[local_start.get() % part.len()]);
+    }
+
+    // Second stage: the designated nodes run the same protocol over the
+    // group maxima.
+    let leader_transcript =
+        engine.run_values(&group_results, spec.stream(STREAM_LEADERS).base())?;
+    total_messages += leader_transcript.message_count();
+
+    Ok(GroupedMaxOutcome {
+        result: leader_transcript.result_value(),
+        group_results,
+        leaders,
+        total_messages,
+        critical_path_messages: slowest_group + leader_transcript.message_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoundPolicy;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-9 })
+    }
+
+    fn values(n: usize) -> Vec<Value> {
+        (0..n)
+            .map(|i| Value::new(((i * 37) % 9000 + 1) as i64))
+            .collect()
+    }
+
+    #[test]
+    fn grouped_max_is_correct() {
+        let vals = values(30);
+        let truth = vals.iter().copied().max().unwrap();
+        for groups in [3, 5] {
+            let out = grouped_max(&config(), &vals, groups, 7).unwrap();
+            assert_eq!(out.result, truth, "groups = {groups}");
+            assert_eq!(out.group_results.len(), groups);
+            assert_eq!(out.leaders.len(), groups);
+        }
+    }
+
+    #[test]
+    fn single_group_degenerates_to_flat() {
+        let vals = values(9);
+        let out = grouped_max(&config(), &vals, 1, 3).unwrap();
+        assert_eq!(out.result, vals.iter().copied().max().unwrap());
+        assert_eq!(out.total_messages, out.critical_path_messages);
+    }
+
+    #[test]
+    fn group_results_are_group_maxima() {
+        let vals = values(12);
+        let out = grouped_max(&config(), &vals, 3, 11).unwrap();
+        let global = vals.iter().copied().max().unwrap();
+        assert!(out.group_results.contains(&global));
+        assert!(out.group_results.iter().all(|&g| g <= global));
+    }
+
+    #[test]
+    fn critical_path_shorter_than_flat() {
+        let vals = values(60);
+        let flat = SimulationEngine::new(config())
+            .run_values(&vals, 1)
+            .unwrap()
+            .message_count();
+        let out = grouped_max(&config(), &vals, 6, 1).unwrap();
+        assert!(
+            out.critical_path_messages < flat,
+            "grouped {} vs flat {flat}",
+            out.critical_path_messages
+        );
+    }
+
+    #[test]
+    fn rejects_undersized_groupings() {
+        let vals = values(8);
+        assert!(grouped_max(&config(), &vals, 3, 0).is_err()); // 8 < 9
+        assert!(grouped_max(&config(), &vals, 2, 0).is_err()); // stage 2 too small
+    }
+
+    #[test]
+    fn rejects_topk_configuration() {
+        let vals = values(9);
+        let bad = ProtocolConfig::topk(2);
+        assert!(matches!(
+            grouped_max(&bad, &vals, 3, 0),
+            Err(ProtocolError::MaxRequiresKOne { got: 2 })
+        ));
+    }
+
+    #[test]
+    fn leaders_are_members_of_their_groups() {
+        let vals = values(15);
+        let out = grouped_max(&config(), &vals, 3, 21).unwrap();
+        for leader in &out.leaders {
+            assert!(leader.get() < vals.len());
+        }
+        // All leaders distinct.
+        let set: std::collections::HashSet<_> = out.leaders.iter().collect();
+        assert_eq!(set.len(), out.leaders.len());
+    }
+}

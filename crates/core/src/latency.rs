@@ -1,0 +1,224 @@
+//! Latency modelling for the ring protocol (Section 4.2).
+//!
+//! The paper argues "the computation at each node ... should be negligible
+//! compared to the communication cost" and proposes group-parallel
+//! execution to cut latency for large `n`. The token ring is strictly
+//! sequential — one message in flight at a time — so wall-clock latency is
+//! the *sum* of per-hop delays for a flat ring, and the *max over parallel
+//! subrings plus the leader ring* for the grouped variant. This module
+//! samples per-hop delays from a configurable distribution and computes
+//! both makespans, quantifying the §4.2 claim in (simulated) time rather
+//! than message counts.
+
+use rand::Rng;
+
+use privtopk_domain::rng::SeedSpec;
+
+use crate::{ProtocolConfig, ProtocolError};
+
+/// Per-hop network delay model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every hop takes exactly `ms` milliseconds.
+    Constant {
+        /// Per-hop delay.
+        ms: f64,
+    },
+    /// Hop delays are uniform in `[min_ms, max_ms]` — a simple jitter
+    /// model.
+    Uniform {
+        /// Fastest hop.
+        min_ms: f64,
+        /// Slowest hop.
+        max_ms: f64,
+    },
+    /// A heavy-ish tail: base delay plus an exponential component with
+    /// the given mean — occasional slow hops dominate, which is what
+    /// makes the parallel variant attractive.
+    LongTail {
+        /// Deterministic floor.
+        base_ms: f64,
+        /// Mean of the exponential excess.
+        tail_mean_ms: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A WAN-ish default: 20ms floor with a 10ms-mean exponential tail.
+    #[must_use]
+    pub fn wan() -> Self {
+        LatencyModel::LongTail {
+            base_ms: 20.0,
+            tail_mean_ms: 10.0,
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            LatencyModel::Constant { ms } => ms,
+            LatencyModel::Uniform { min_ms, max_ms } => rng.gen_range(min_ms..=max_ms),
+            LatencyModel::LongTail {
+                base_ms,
+                tail_mean_ms,
+            } => {
+                // Inverse-CDF exponential sample.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                base_ms - tail_mean_ms * u.ln()
+            }
+        }
+    }
+}
+
+/// Predicted wall-clock makespans (milliseconds) for one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MakespanEstimate {
+    /// Flat ring: all hops strictly sequential.
+    pub flat_ms: f64,
+    /// Group-parallel (§4.2): slowest subring plus the leader ring.
+    pub grouped_ms: f64,
+    /// Number of groups the grouped estimate used.
+    pub groups: usize,
+}
+
+impl MakespanEstimate {
+    /// The speedup factor the grouping buys.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.grouped_ms <= 0.0 {
+            return 1.0;
+        }
+        self.flat_ms / self.grouped_ms
+    }
+}
+
+/// Estimates query makespan for `n` nodes under `config`'s round policy,
+/// comparing the flat ring against `groups` parallel subrings
+/// (`groups = 1` compares flat against itself).
+///
+/// Hops include the termination circulation, matching the distributed
+/// driver's message accounting.
+///
+/// # Errors
+///
+/// - Round-policy resolution errors from the configuration.
+/// - [`ProtocolError::TooFewNodes`] if `groups` is zero or exceeds `n`.
+pub fn estimate_makespan(
+    config: &ProtocolConfig,
+    n: usize,
+    groups: usize,
+    model: LatencyModel,
+    seed: u64,
+) -> Result<MakespanEstimate, ProtocolError> {
+    if groups == 0 || groups > n {
+        return Err(ProtocolError::TooFewNodes {
+            got: groups,
+            minimum: 1,
+        });
+    }
+    let rounds = config.resolve_rounds()?;
+    let hops_per_node = rounds as usize + 1; // computation + termination
+    let spec = SeedSpec::new(seed);
+
+    // Flat ring: n * (rounds + 1) sequential hops.
+    let mut rng = spec.stream(1).rng();
+    let flat_ms: f64 = (0..n * hops_per_node).map(|_| model.sample(&mut rng)).sum();
+
+    // Grouped: each subring of ~n/groups nodes runs in parallel; the
+    // leader ring then runs over `groups` nodes.
+    let base = n / groups;
+    let extra = n % groups;
+    let mut slowest_group = 0.0f64;
+    for g in 0..groups {
+        let size = base + usize::from(g < extra);
+        let mut grng = spec.stream(2).stream(g as u64).rng();
+        let total: f64 = (0..size * hops_per_node)
+            .map(|_| model.sample(&mut grng))
+            .sum();
+        slowest_group = slowest_group.max(total);
+    }
+    let mut lrng = spec.stream(3).rng();
+    let leader_ms: f64 = (0..groups * hops_per_node)
+        .map(|_| model.sample(&mut lrng))
+        .sum();
+    let grouped_ms = if groups == 1 {
+        flat_ms
+    } else {
+        slowest_group + leader_ms
+    };
+
+    Ok(MakespanEstimate {
+        flat_ms,
+        grouped_ms,
+        groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoundPolicy;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(5))
+    }
+
+    #[test]
+    fn constant_model_is_exact() {
+        let est =
+            estimate_makespan(&config(), 10, 1, LatencyModel::Constant { ms: 2.0 }, 0).unwrap();
+        // 10 nodes * 6 hops * 2ms.
+        assert_eq!(est.flat_ms, 120.0);
+        assert_eq!(est.grouped_ms, est.flat_ms);
+        assert_eq!(est.speedup(), 1.0);
+    }
+
+    #[test]
+    fn grouping_speeds_up_large_rings() {
+        let est =
+            estimate_makespan(&config(), 100, 10, LatencyModel::Constant { ms: 1.0 }, 0).unwrap();
+        // Flat: 100*6 = 600ms. Grouped: 10*6 + 10*6 = 120ms -> 5x.
+        assert_eq!(est.flat_ms, 600.0);
+        assert_eq!(est.grouped_ms, 120.0);
+        assert!((est.speedup() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_models_stay_positive_and_deterministic() {
+        for model in [
+            LatencyModel::Uniform {
+                min_ms: 1.0,
+                max_ms: 5.0,
+            },
+            LatencyModel::wan(),
+        ] {
+            let a = estimate_makespan(&config(), 20, 4, model, 7).unwrap();
+            let b = estimate_makespan(&config(), 20, 4, model, 7).unwrap();
+            assert_eq!(a, b, "deterministic under seed");
+            assert!(a.flat_ms > 0.0 && a.grouped_ms > 0.0);
+            assert!(a.speedup() > 1.0, "grouping should win at n=20");
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_plausible() {
+        let est = estimate_makespan(
+            &config(),
+            50,
+            1,
+            LatencyModel::Uniform {
+                min_ms: 10.0,
+                max_ms: 20.0,
+            },
+            3,
+        )
+        .unwrap();
+        // 300 hops with mean 15ms: expect ~4500 +- noise.
+        assert!((est.flat_ms - 4500.0).abs() < 500.0, "{}", est.flat_ms);
+    }
+
+    #[test]
+    fn rejects_bad_groupings() {
+        assert!(estimate_makespan(&config(), 5, 0, LatencyModel::wan(), 0).is_err());
+        assert!(estimate_makespan(&config(), 5, 6, LatencyModel::wan(), 0).is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! The randomized local computation algorithms (Algorithms 1 and 2).
+//!
+//! These are pure functions of `(rng, randomization probability, incoming
+//! global state, local state)`; all protocol drivers — the synchronous
+//! simulation engine and the threaded distributed runner — call into the
+//! same code, so correctness and privacy properties are established once.
+
+use rand::Rng;
+
+use privtopk_domain::{DomainError, TopKVector, Value, ValueDomain};
+
+use serde::{Deserialize, Serialize};
+
+/// What the local algorithm did with the node's own data this step —
+/// ground-truth annotation for transcripts and tests. A protocol adversary
+/// never sees this; it observes only the output value/vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalAction {
+    /// The node forwarded the incoming global state unchanged (its own
+    /// values contributed nothing).
+    PassedOn,
+    /// The node revealed its real contribution (the `1 − P_r` branch).
+    InsertedReal,
+    /// The node injected random values (the `P_r` branch).
+    Randomized,
+}
+
+/// Output of one local step of the scalar max protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxStep {
+    /// The value passed to the successor, `g_i(r)`.
+    pub output: Value,
+    /// Ground-truth annotation of the branch taken.
+    pub action: LocalAction,
+}
+
+/// Algorithm 1: the local algorithm of the probabilistic max protocol,
+/// executed by node `i` at round `r`.
+///
+/// - If `g_{i-1}(r) >= v_i`: pass the global value on (no disclosure).
+/// - Otherwise, with probability `P_r(r)` output a uniform random value in
+///   `[g_{i-1}(r), v_i)` — open at the top so the node's real value is
+///   never emitted by the randomization branch — and with probability
+///   `1 − P_r(r)` output `v_i` itself.
+///
+/// The output is always `>= g_{i-1}(r)` (the global value increases
+/// monotonically along the ring) and always `<= max(g_{i-1}(r), v_i)`
+/// (randomization can never overshoot the true maximum).
+///
+/// # Errors
+///
+/// Returns [`DomainError::EmptyRange`] only if `probability` is outside
+/// `[0, 1]` — propagated as a defensive check; valid protocol
+/// configurations cannot trigger it.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_core::local::{max_step, LocalAction};
+/// use privtopk_domain::{rng::seeded_rng, Value, ValueDomain};
+///
+/// let domain = ValueDomain::paper_default();
+/// let mut rng = seeded_rng(7);
+/// // Randomization probability 1: the node must emit a masked value.
+/// let step = max_step(&mut rng, 1.0, Value::new(10), Value::new(30), &domain)?;
+/// assert_eq!(step.action, LocalAction::Randomized);
+/// assert!(step.output >= Value::new(10) && step.output < Value::new(30));
+/// # Ok::<(), privtopk_domain::DomainError>(())
+/// ```
+pub fn max_step<R: Rng + ?Sized>(
+    rng: &mut R,
+    probability: f64,
+    incoming: Value,
+    own: Value,
+    domain: &ValueDomain,
+) -> Result<MaxStep, DomainError> {
+    if incoming >= own {
+        return Ok(MaxStep {
+            output: incoming,
+            action: LocalAction::PassedOn,
+        });
+    }
+    if rng.gen_bool(probability.clamp(0.0, 1.0)) {
+        // Uniform over [g_{i-1}(r), v_i); non-empty because incoming < own.
+        let masked = domain.sample_half_open(rng, incoming, own)?;
+        Ok(MaxStep {
+            output: masked,
+            action: LocalAction::Randomized,
+        })
+    } else {
+        Ok(MaxStep {
+            output: own,
+            action: LocalAction::InsertedReal,
+        })
+    }
+}
+
+/// Output of one local step of the general top-k protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopkStep {
+    /// The vector passed to the successor, `G_i(r)`.
+    pub output: TopKVector,
+    /// Ground-truth annotation of the branch taken.
+    pub action: LocalAction,
+    /// Whether the node has (now or previously) really inserted its values.
+    pub has_inserted: bool,
+}
+
+/// Algorithm 2: the local algorithm of the probabilistic top-k protocol,
+/// executed by node `i` at round `r`.
+///
+/// Computes the real merged top-k `G'_i(r) = topK(G_{i-1}(r) ∪ V_i)` and
+/// the node's contribution `V'_i = G'_i(r) − G_{i-1}(r)` (multiset
+/// difference), `m = |V'_i|`, then:
+///
+/// - `m = 0`: pass `G_{i-1}(r)` on unchanged.
+/// - `m > 0`, with probability `1 − P_r(r)`: output the real `G'_i(r)` and
+///   set the *inserted* flag — per the paper, "a node only does this once".
+/// - `m > 0`, with probability `P_r(r)`: copy the first `k − m` entries of
+///   `G_{i-1}(r)` and fill the last `m` entries with independent uniform
+///   values from `[min(G'_i(r)[k] − δ, G_{i-1}(r)[k−m+1]), G'_i(r)[k])`,
+///   sorted. The upper bound keeps every random value strictly below the
+///   real current `k`-th value, so junk is always eventually displaced.
+///
+/// **Insert-once semantics.** Once the flag is set, the node "will simply
+/// pass on the global vector in the rest of the rounds" — *unchanged*.
+/// Re-merging instead would be wrong: the multiset union would count the
+/// node's own values a second time (its data is already inside
+/// `G_{i-1}(r)`), inflating duplicates into the final result. The price of
+/// the strict rule is a vanishingly rare corner case where another node's
+/// random tail displaces an already-inserted true value and the emitter's
+/// later real insertion does not restore it; the experiments (Figure 11
+/// reproduction) confirm precision still converges to 100%.
+///
+/// # Errors
+///
+/// Returns a [`DomainError`] only on internal arithmetic violations;
+/// validated configurations cannot trigger one.
+///
+/// # Panics
+///
+/// Panics if `delta == 0` (validated away by `ProtocolConfig`).
+pub fn topk_step<R: Rng + ?Sized>(
+    rng: &mut R,
+    probability: f64,
+    incoming: &TopKVector,
+    own: &TopKVector,
+    has_inserted: bool,
+    delta: u64,
+    domain: &ValueDomain,
+) -> Result<TopkStep, DomainError> {
+    assert!(delta >= 1, "delta must be at least 1");
+    let k = incoming.k();
+    let merged = incoming.merged_with(own);
+    let contribution = merged.multiset_subtract(incoming);
+    let m = contribution.len();
+
+    if m == 0 {
+        // Case 1: nothing to contribute — forward unchanged.
+        return Ok(TopkStep {
+            output: incoming.clone(),
+            action: LocalAction::PassedOn,
+            has_inserted,
+        });
+    }
+
+    if has_inserted {
+        // Insert-once: forward unchanged. Re-merging would double-count
+        // this node's values (they are already inside the vector); see the
+        // function docs.
+        return Ok(TopkStep {
+            output: incoming.clone(),
+            action: LocalAction::PassedOn,
+            has_inserted,
+        });
+    }
+
+    if !rng.gen_bool(probability.clamp(0.0, 1.0)) {
+        // The 1 − P_r branch: reveal the real merged top-k, at most once.
+        return Ok(TopkStep {
+            output: merged,
+            action: LocalAction::InsertedReal,
+            has_inserted: true,
+        });
+    }
+
+    // The P_r branch: keep the predecessor's prefix, randomize the tail.
+    let kth_real = merged.kth(); // G'_i(r)[k]
+    let prefix_anchor = incoming
+        .get(k - m + 1)
+        .expect("k - m + 1 is within 1..=k because 0 < m <= k"); // G_{i-1}(r)[k-m+1]
+    let lower = kth_real.saturating_sub(delta).min(prefix_anchor);
+    let mut tail = Vec::with_capacity(m);
+    for _ in 0..m {
+        tail.push(domain.sample_half_open(rng, lower, kth_real)?);
+    }
+    let output = TopKVector::with_randomized_tail(incoming, m, tail)?;
+    Ok(TopkStep {
+        output,
+        action: LocalAction::Randomized,
+        has_inserted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::rng::seeded_rng;
+
+    fn domain() -> ValueDomain {
+        ValueDomain::paper_default()
+    }
+
+    fn vk(k: usize, vals: &[i64]) -> TopKVector {
+        TopKVector::from_values(k, vals.iter().copied().map(Value::new), &domain()).unwrap()
+    }
+
+    // ---- Algorithm 1 ----
+
+    #[test]
+    fn max_passes_on_when_not_larger() {
+        let mut rng = seeded_rng(1);
+        for own in [5, 10] {
+            let s = max_step(&mut rng, 1.0, Value::new(10), Value::new(own), &domain()).unwrap();
+            assert_eq!(s.output, Value::new(10));
+            assert_eq!(s.action, LocalAction::PassedOn);
+        }
+    }
+
+    #[test]
+    fn max_reveals_with_zero_probability() {
+        let mut rng = seeded_rng(2);
+        let s = max_step(&mut rng, 0.0, Value::new(10), Value::new(30), &domain()).unwrap();
+        assert_eq!(s.output, Value::new(30));
+        assert_eq!(s.action, LocalAction::InsertedReal);
+    }
+
+    #[test]
+    fn max_randomizes_with_probability_one() {
+        let mut rng = seeded_rng(3);
+        for _ in 0..200 {
+            let s = max_step(&mut rng, 1.0, Value::new(10), Value::new(30), &domain()).unwrap();
+            assert_eq!(s.action, LocalAction::Randomized);
+            assert!(s.output >= Value::new(10), "monotone: {}", s.output);
+            assert!(s.output < Value::new(30), "never reveals v_i: {}", s.output);
+        }
+    }
+
+    #[test]
+    fn max_random_value_never_equals_own() {
+        // Adjacent values: the only possible random value is g itself.
+        let mut rng = seeded_rng(4);
+        for _ in 0..50 {
+            let s = max_step(&mut rng, 1.0, Value::new(10), Value::new(11), &domain()).unwrap();
+            assert_eq!(s.output, Value::new(10));
+        }
+    }
+
+    #[test]
+    fn max_branch_frequency_tracks_probability() {
+        let mut rng = seeded_rng(5);
+        let mut randomized = 0;
+        let trials = 10_000;
+        for _ in 0..trials {
+            let s = max_step(&mut rng, 0.3, Value::new(10), Value::new(30), &domain()).unwrap();
+            if s.action == LocalAction::Randomized {
+                randomized += 1;
+            }
+        }
+        let freq = f64::from(randomized) / f64::from(trials);
+        assert!((freq - 0.3).abs() < 0.02, "freq = {freq}");
+    }
+
+    // ---- Algorithm 2 ----
+
+    #[test]
+    fn topk_passes_on_when_no_contribution() {
+        let mut rng = seeded_rng(6);
+        let g = vk(3, &[100, 90, 80]);
+        let v = vk(3, &[70, 60, 50]);
+        let s = topk_step(&mut rng, 1.0, &g, &v, false, 1, &domain()).unwrap();
+        assert_eq!(s.output, g);
+        assert_eq!(s.action, LocalAction::PassedOn);
+        assert!(!s.has_inserted);
+    }
+
+    #[test]
+    fn topk_reveals_real_merge_with_zero_probability() {
+        let mut rng = seeded_rng(7);
+        let g = vk(3, &[100, 50, 40]);
+        let v = vk(3, &[90, 30, 20]);
+        let s = topk_step(&mut rng, 0.0, &g, &v, false, 1, &domain()).unwrap();
+        assert_eq!(s.output, vk(3, &[100, 90, 50]));
+        assert_eq!(s.action, LocalAction::InsertedReal);
+        assert!(s.has_inserted);
+    }
+
+    #[test]
+    fn topk_randomized_tail_respects_paper_bounds() {
+        // Figure 2 shape: k = 6, node contributes m = 3.
+        let mut rng = seeded_rng(8);
+        let g = vk(6, &[900, 800, 700, 600, 500, 400]);
+        let v = vk(6, &[850, 750, 650, 1, 1, 1]);
+        // merged = [900, 850, 800, 750, 700, 650]; m = 3; G'[k] = 650;
+        // G_{i-1}[k-m+1] = G[4] = 600; lower = min(650-δ, 600) = 600.
+        for _ in 0..100 {
+            let s = topk_step(&mut rng, 1.0, &g, &v, false, 1, &domain()).unwrap();
+            assert_eq!(s.action, LocalAction::Randomized);
+            // Prefix copied from predecessor.
+            assert_eq!(
+                &s.output.as_slice()[..3],
+                vk(3, &[900, 800, 700]).as_slice()
+            );
+            // Tail: three values in [600, 650), sorted descending.
+            let tail = &s.output.as_slice()[3..];
+            assert!(tail.windows(2).all(|w| w[0] >= w[1]));
+            for t in tail {
+                assert!(*t >= Value::new(600) && *t < Value::new(650), "tail {t}");
+            }
+            assert!(!s.has_inserted);
+        }
+    }
+
+    #[test]
+    fn topk_delta_widens_narrow_ranges() {
+        // Predecessor anchor equals the real kth value: without δ the
+        // range would be empty.
+        let mut rng = seeded_rng(9);
+        let g = vk(2, &[100, 90]);
+        let v = vk(2, &[95, 1]);
+        // merged = [100, 95], m = 1, G'[2] = 95, anchor = G[2] = 90,
+        // lower = min(95-δ, 90).
+        let s = topk_step(&mut rng, 1.0, &g, &v, false, 10, &domain()).unwrap();
+        let tail = s.output.get(2).unwrap();
+        assert!(tail >= Value::new(85) && tail < Value::new(95));
+    }
+
+    #[test]
+    fn topk_full_replacement_when_m_equals_k() {
+        // "In an extreme case when m = k ... replace all k values ...
+        // randomly picked from the range between the first item of
+        // G_{i-1}(r) and the kth (last) item of V_i."
+        let mut rng = seeded_rng(10);
+        let g = vk(3, &[50, 40, 30]);
+        let v = vk(3, &[100, 90, 80]);
+        for _ in 0..100 {
+            let s = topk_step(&mut rng, 1.0, &g, &v, false, 1, &domain()).unwrap();
+            assert_eq!(s.action, LocalAction::Randomized);
+            for x in s.output.iter() {
+                // lower = min(80-1, G[1]=50) = 50, upper = 80.
+                assert!(x >= Value::new(50) && x < Value::new(80), "{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_insert_once_flag_suppresses_randomization() {
+        let mut rng = seeded_rng(11);
+        let g = vk(2, &[100, 40]);
+        let v = vk(2, &[90, 1]);
+        // Even with probability 1, a flagged node passes the vector on
+        // unchanged — no randomization, no re-merge (which would
+        // double-count its own data).
+        let s = topk_step(&mut rng, 1.0, &g, &v, true, 1, &domain()).unwrap();
+        assert_eq!(s.output, g);
+        assert_eq!(s.action, LocalAction::PassedOn);
+        assert!(s.has_inserted);
+    }
+
+    #[test]
+    fn topk_flag_set_exactly_on_real_insert() {
+        let mut rng = seeded_rng(12);
+        let g = vk(2, &[100, 40]);
+        let v = vk(2, &[90, 1]);
+        let randomized = topk_step(&mut rng, 1.0, &g, &v, false, 1, &domain()).unwrap();
+        assert!(!randomized.has_inserted);
+        let inserted = topk_step(&mut rng, 0.0, &g, &v, false, 1, &domain()).unwrap();
+        assert!(inserted.has_inserted);
+    }
+
+    #[test]
+    fn topk_randomized_never_emits_real_contribution() {
+        // The randomized branch must never place the node's actual values
+        // in the output (that is the whole point of masking).
+        let mut rng = seeded_rng(13);
+        let g = vk(3, &[500, 400, 300]);
+        let v = vk(3, &[450, 350, 1]);
+        for _ in 0..200 {
+            let s = topk_step(&mut rng, 1.0, &g, &v, false, 1, &domain()).unwrap();
+            // merged = [500, 450, 400], m=1 (just 450), G'[3]=400:
+            // tail < 400 < 450, so 450 can never appear.
+            assert!(!s.output.contains(Value::new(450)));
+        }
+    }
+
+    #[test]
+    fn topk_with_k_one_matches_max_monotonicity_in_common_case() {
+        // For k = 1 with delta not exceeding the gap, Algorithm 2's range
+        // [min(v−δ, g), v) includes [g, v); outputs stay below v.
+        let mut rng = seeded_rng(14);
+        let g = vk(1, &[10]);
+        let v = vk(1, &[30]);
+        for _ in 0..100 {
+            let s = topk_step(&mut rng, 1.0, &g, &v, false, 1, &domain()).unwrap();
+            let out = s.output.first();
+            assert!(out < Value::new(30));
+            assert!(out >= Value::new(10)); // lower = min(29, 10) = 10
+        }
+    }
+
+    #[test]
+    fn topk_duplicate_values_counted_as_multiset() {
+        let mut rng = seeded_rng(15);
+        // Node holds the same value twice; both copies contribute.
+        let g = vk(2, &[50, 1]);
+        let v = vk(2, &[80, 80]);
+        let s = topk_step(&mut rng, 0.0, &g, &v, false, 1, &domain()).unwrap();
+        assert_eq!(s.output, vk(2, &[80, 80]));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn topk_rejects_zero_delta() {
+        let mut rng = seeded_rng(16);
+        let g = vk(1, &[10]);
+        let v = vk(1, &[30]);
+        let _ = topk_step(&mut rng, 1.0, &g, &v, false, 0, &domain());
+    }
+}

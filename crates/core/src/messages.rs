@@ -1,0 +1,109 @@
+//! Wire messages exchanged by the distributed protocol drivers.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use privtopk_domain::TopKVector;
+use privtopk_ring::wire::{WireDecode, WireEncode};
+use privtopk_ring::RingError;
+
+/// A message circulating on the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenMessage {
+    /// The global top-k vector in flight during computation round `round`.
+    Token {
+        /// 1-based round number.
+        round: u32,
+        /// The current global top-k vector.
+        vector: TopKVector,
+    },
+    /// The termination circulation: the final result, passed once around
+    /// the ring so every node learns it ("in the termination round all
+    /// nodes simply passes on the final result").
+    Finished {
+        /// The final global top-k vector.
+        vector: TopKVector,
+    },
+}
+
+const TAG_TOKEN: u8 = 1;
+const TAG_FINISHED: u8 = 2;
+
+impl WireEncode for TokenMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            TokenMessage::Token { round, vector } => {
+                buf.put_u8(TAG_TOKEN);
+                round.encode(buf);
+                vector.encode(buf);
+            }
+            TokenMessage::Finished { vector } => {
+                buf.put_u8(TAG_FINISHED);
+                vector.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for TokenMessage {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        let tag = u8::decode(buf)?;
+        match tag {
+            TAG_TOKEN => Ok(TokenMessage::Token {
+                round: u32::decode(buf)?,
+                vector: TopKVector::decode(buf)?,
+            }),
+            TAG_FINISHED => Ok(TokenMessage::Finished {
+                vector: TopKVector::decode(buf)?,
+            }),
+            _ => Err(RingError::Decode {
+                reason: "unknown token message tag",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::{Value, ValueDomain};
+    use privtopk_ring::wire::{decode_from_bytes, encode_to_bytes};
+
+    fn vector() -> TopKVector {
+        TopKVector::from_values(3, [9, 5, 5].map(Value::new), &ValueDomain::paper_default())
+            .unwrap()
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        let msg = TokenMessage::Token {
+            round: 7,
+            vector: vector(),
+        };
+        let frame = encode_to_bytes(&msg);
+        assert_eq!(decode_from_bytes::<TokenMessage>(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn finished_roundtrip() {
+        let msg = TokenMessage::Finished { vector: vector() };
+        let frame = encode_to_bytes(&msg);
+        assert_eq!(decode_from_bytes::<TokenMessage>(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let frame = Bytes::from_static(&[99]);
+        assert!(decode_from_bytes::<TokenMessage>(&frame).is_err());
+    }
+
+    #[test]
+    fn truncated_token_rejected() {
+        let msg = TokenMessage::Token {
+            round: 1,
+            vector: vector(),
+        };
+        let frame = encode_to_bytes(&msg);
+        let short = frame.slice(0..frame.len() - 3);
+        assert!(decode_from_bytes::<TokenMessage>(&short).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Randomization schedules: when, and with what probability, a node
+//! injects a random value instead of revealing its own.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use privtopk_analysis::RandomizationParams;
+
+use crate::ProtocolError;
+
+/// Cap on the round search in [`Schedule::min_rounds_for_precision`]; a
+/// schedule that has not decayed below the error bound by then is treated
+/// as unreachable.
+const MAX_SEARCH_ROUNDS: u32 = 100_000;
+
+/// The per-round randomization probability `P_r(r)`.
+///
+/// The paper uses the exponentially dampened schedule of Equation 2
+/// (`P_r(r) = p0 · d^(r−1)`); the linear and constant variants are
+/// ablations for the "other forms of randomization probability" the paper
+/// lists as future work, and [`Schedule::Never`] (always reveal) turns the
+/// probabilistic protocol into the deterministic naive protocol ("if we
+/// set the initial randomization probability to be 0, the protocol is
+/// reduced to the naive deterministic protocol").
+///
+/// # Example
+///
+/// ```
+/// use privtopk_core::Schedule;
+///
+/// let s = Schedule::exponential(1.0, 0.5)?;
+/// assert_eq!(s.probability(1), 1.0);
+/// assert_eq!(s.probability(3), 0.25);
+/// # Ok::<(), privtopk_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Equation 2: `p0 · d^(r−1)`.
+    Exponential {
+        /// Initial randomization probability, in `(0, 1]`.
+        p0: f64,
+        /// Dampening factor, in `(0, 1]`. `d = 1` never decays — the paper
+        /// still plots it (Figures 5b, 7b); fixed-round policies accept it
+        /// and precision policies report it unreachable.
+        d: f64,
+    },
+    /// Ablation: `max(0, p0 − step·(r−1))` — reaches zero in finitely many
+    /// rounds.
+    Linear {
+        /// Initial randomization probability, in `(0, 1]`.
+        p0: f64,
+        /// Per-round decrement, `> 0`.
+        step: f64,
+    },
+    /// Ablation: a fixed probability every round.
+    Constant {
+        /// The fixed probability, in `[0, 1)`.
+        p: f64,
+    },
+    /// Never randomize: the naive deterministic protocol.
+    Never,
+}
+
+impl Schedule {
+    /// The paper's default schedule, `(p0, d) = (1, 1/2)`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Schedule::Exponential { p0: 1.0, d: 0.5 }
+    }
+
+    /// Validated constructor for the exponential schedule of Equation 2.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `p0` outside `(0, 1]` and `d` outside `(0, 1]`.
+    pub fn exponential(p0: f64, d: f64) -> Result<Self, ProtocolError> {
+        if !(p0 > 0.0 && p0 <= 1.0) {
+            return Err(ProtocolError::InvalidProbability {
+                what: "p0",
+                value: p0,
+            });
+        }
+        if !(d > 0.0 && d <= 1.0) {
+            return Err(ProtocolError::InvalidProbability {
+                what: "d",
+                value: d,
+            });
+        }
+        Ok(Schedule::Exponential { p0, d })
+    }
+
+    /// Validated constructor for the linear ablation schedule.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `p0` outside `(0, 1]` and non-positive `step`.
+    pub fn linear(p0: f64, step: f64) -> Result<Self, ProtocolError> {
+        if !(p0 > 0.0 && p0 <= 1.0) {
+            return Err(ProtocolError::InvalidProbability {
+                what: "p0",
+                value: p0,
+            });
+        }
+        if step.is_nan() || !step.is_finite() || step <= 0.0 {
+            return Err(ProtocolError::InvalidProbability {
+                what: "step",
+                value: step,
+            });
+        }
+        Ok(Schedule::Linear { p0, step })
+    }
+
+    /// Validated constructor for the constant ablation schedule.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `p` outside `[0, 1)` — a constant probability of 1 would
+    /// never reveal anything and the protocol could not terminate.
+    pub fn constant(p: f64) -> Result<Self, ProtocolError> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(ProtocolError::InvalidProbability {
+                what: "p",
+                value: p,
+            });
+        }
+        Ok(Schedule::Constant { p })
+    }
+
+    /// The randomization probability at 1-based `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0`.
+    #[must_use]
+    pub fn probability(&self, round: u32) -> f64 {
+        assert!(round >= 1, "rounds are 1-based");
+        match *self {
+            Schedule::Exponential { p0, d } => p0 * d.powi(round as i32 - 1),
+            Schedule::Linear { p0, step } => (p0 - step * f64::from(round - 1)).max(0.0),
+            Schedule::Constant { p } => p,
+            Schedule::Never => 0.0,
+        }
+    }
+
+    /// Whether the schedule ever randomizes at all.
+    #[must_use]
+    pub fn is_probabilistic(&self) -> bool {
+        !matches!(self, Schedule::Never) && self.probability(1) > 0.0
+    }
+
+    /// The minimum rounds `r` such that the probability of *never* having
+    /// revealed — `∏_{j=1..r} P_r(j)` — drops to `epsilon` or below
+    /// (generalizing Equation 4 to every schedule).
+    ///
+    /// For the exponential schedule this agrees with the closed form in
+    /// `privtopk_analysis::efficiency::min_rounds_for_precision` up to the
+    /// paper's deliberate weakening of the bound (the closed form drops the
+    /// `p0^r` factor, so it may require one round more — never fewer).
+    ///
+    /// # Errors
+    ///
+    /// - [`ProtocolError::InvalidProbability`] for `epsilon` outside
+    ///   `(0, 1)`.
+    /// - [`ProtocolError::UnreachablePrecision`] if the product has not
+    ///   dropped below `epsilon` after a very large number of rounds.
+    pub fn min_rounds_for_precision(&self, epsilon: f64) -> Result<u32, ProtocolError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(ProtocolError::InvalidProbability {
+                what: "epsilon",
+                value: epsilon,
+            });
+        }
+        let mut failure = 1.0f64;
+        for r in 1..=MAX_SEARCH_ROUNDS {
+            failure *= self.probability(r);
+            if failure <= epsilon {
+                return Ok(r);
+            }
+        }
+        Err(ProtocolError::UnreachablePrecision)
+    }
+
+    /// Exposes the exponential parameters when applicable (for interop
+    /// with the closed-form analysis crate).
+    #[must_use]
+    pub fn as_randomization_params(&self) -> Option<RandomizationParams> {
+        match *self {
+            Schedule::Exponential { p0, d } => RandomizationParams::new(p0, d).ok(),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::paper_default()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Schedule::Exponential { p0, d } => write!(f, "exponential(p0={p0}, d={d})"),
+            Schedule::Linear { p0, step } => write!(f, "linear(p0={p0}, step={step})"),
+            Schedule::Constant { p } => write!(f, "constant(p={p})"),
+            Schedule::Never => write!(f, "never"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_matches_equation_2() {
+        let s = Schedule::exponential(1.0, 0.5).unwrap();
+        assert_eq!(s.probability(1), 1.0);
+        assert_eq!(s.probability(2), 0.5);
+        assert_eq!(s.probability(4), 0.125);
+    }
+
+    #[test]
+    fn exponential_validation() {
+        assert!(Schedule::exponential(0.0, 0.5).is_err());
+        assert!(Schedule::exponential(1.5, 0.5).is_err());
+        assert!(Schedule::exponential(1.0, 0.0).is_err());
+        assert!(Schedule::exponential(1.0, 1.01).is_err());
+        // d = 1 is representable (Figures 5b/7b plot it) even though a
+        // precision round policy can never be satisfied under it.
+        let flat = Schedule::exponential(1.0, 1.0).unwrap();
+        assert_eq!(flat.probability(10), 1.0);
+        assert!(flat.min_rounds_for_precision(1e-3).is_err());
+    }
+
+    #[test]
+    fn linear_reaches_zero() {
+        let s = Schedule::linear(1.0, 0.3).unwrap();
+        assert_eq!(s.probability(1), 1.0);
+        assert!((s.probability(2) - 0.7).abs() < 1e-12);
+        assert_eq!(s.probability(5), 0.0);
+        assert_eq!(s.probability(100), 0.0);
+    }
+
+    #[test]
+    fn constant_and_never() {
+        let c = Schedule::constant(0.4).unwrap();
+        assert_eq!(c.probability(1), 0.4);
+        assert_eq!(c.probability(50), 0.4);
+        assert!(Schedule::constant(1.0).is_err());
+        assert_eq!(Schedule::Never.probability(3), 0.0);
+        assert!(!Schedule::Never.is_probabilistic());
+        assert!(c.is_probabilistic());
+        assert!(!Schedule::constant(0.0).unwrap().is_probabilistic());
+    }
+
+    #[test]
+    fn min_rounds_exponential_close_to_closed_form() {
+        let s = Schedule::exponential(1.0, 0.5).unwrap();
+        let product = s.min_rounds_for_precision(1e-3).unwrap();
+        let closed = privtopk_analysis::efficiency::min_rounds_for_precision(
+            RandomizationParams::new(1.0, 0.5).unwrap(),
+            1e-3,
+        )
+        .unwrap();
+        // The closed form weakens the bound, so it may exceed the exact
+        // product-based answer, never undershoot it.
+        assert!(product <= closed);
+        assert!(closed - product <= 1);
+    }
+
+    #[test]
+    fn min_rounds_never_is_one() {
+        // A deterministic protocol converges in a single round.
+        assert_eq!(Schedule::Never.min_rounds_for_precision(1e-9).unwrap(), 1);
+    }
+
+    #[test]
+    fn min_rounds_linear_terminates() {
+        let s = Schedule::linear(1.0, 0.25).unwrap();
+        // Probability hits 0 at round 5, so failure product becomes 0.
+        assert!(s.min_rounds_for_precision(1e-12).unwrap() <= 5);
+    }
+
+    #[test]
+    fn min_rounds_constant() {
+        let s = Schedule::constant(0.5).unwrap();
+        assert_eq!(s.min_rounds_for_precision(0.26).unwrap(), 2);
+        // p = 0 -> immediately below epsilon.
+        let z = Schedule::constant(0.0).unwrap();
+        assert_eq!(z.min_rounds_for_precision(0.5).unwrap(), 1);
+    }
+
+    #[test]
+    fn min_rounds_rejects_bad_epsilon() {
+        let s = Schedule::paper_default();
+        assert!(s.min_rounds_for_precision(0.0).is_err());
+        assert!(s.min_rounds_for_precision(1.0).is_err());
+    }
+
+    #[test]
+    fn randomization_params_interop() {
+        assert!(Schedule::paper_default()
+            .as_randomization_params()
+            .is_some());
+        assert!(Schedule::Never.as_randomization_params().is_none());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(
+            Schedule::paper_default().to_string(),
+            "exponential(p0=1, d=0.5)"
+        );
+        assert_eq!(Schedule::Never.to_string(), "never");
+    }
+}

@@ -1,0 +1,261 @@
+//! Execution transcripts: every intermediate result, for privacy analysis.
+//!
+//! The Loss-of-Privacy metric (Equation 1) is defined over "the
+//! intermediate result set during the execution"; a [`Transcript`] is that
+//! set, recorded with ground truth (who computed what, from which input,
+//! taking which branch). Adversary models in `privtopk-privacy` restrict
+//! themselves to the subset of this record a real adversary would see.
+
+use serde::{Deserialize, Serialize};
+
+use privtopk_domain::{NodeId, RingPosition, TopKVector, Value};
+
+use crate::local::LocalAction;
+
+/// One node's computation at one position of one round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// 1-based round number.
+    pub round: u32,
+    /// The node's position on the ring *during this round* (position 0 is
+    /// the starting node).
+    pub position: RingPosition,
+    /// The node that executed the step.
+    pub node: NodeId,
+    /// The global state received from the predecessor, `G_{i-1}(r)`.
+    pub incoming: TopKVector,
+    /// The global state passed to the successor, `G_i(r)`.
+    pub outgoing: TopKVector,
+    /// Ground-truth branch annotation (never visible to adversaries).
+    pub action: LocalAction,
+}
+
+/// The complete record of one protocol execution.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_core::{ProtocolConfig, RoundPolicy, SimulationEngine};
+/// use privtopk_domain::{TopKVector, Value, ValueDomain};
+///
+/// let domain = ValueDomain::paper_default();
+/// let locals: Vec<TopKVector> = [30i64, 10, 40, 20]
+///     .iter()
+///     .map(|&v| TopKVector::from_values(1, [Value::new(v)], &domain).unwrap())
+///     .collect();
+/// let engine = SimulationEngine::new(ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(8)));
+/// let transcript = engine.run(&locals, 42)?;
+/// assert_eq!(transcript.result().first(), Value::new(40));
+/// # Ok::<(), privtopk_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transcript {
+    n: usize,
+    k: usize,
+    rounds: u32,
+    /// Ring order used in each round (index 0 = round 1); more than one
+    /// entry only when per-round remapping is enabled.
+    ring_orders: Vec<Vec<NodeId>>,
+    steps: Vec<StepRecord>,
+    result: TopKVector,
+}
+
+impl Transcript {
+    /// Assembles a transcript (used by the protocol drivers).
+    #[must_use]
+    pub fn new(
+        n: usize,
+        k: usize,
+        rounds: u32,
+        ring_orders: Vec<Vec<NodeId>>,
+        steps: Vec<StepRecord>,
+        result: TopKVector,
+    ) -> Self {
+        Transcript {
+            n,
+            k,
+            rounds,
+            ring_orders,
+            steps,
+            result,
+        }
+    }
+
+    /// Number of participating nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The query's `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of computation rounds executed.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The final global top-k vector.
+    #[must_use]
+    pub fn result(&self) -> &TopKVector {
+        &self.result
+    }
+
+    /// The final result as a scalar (for max protocols, `k = 1`).
+    #[must_use]
+    pub fn result_value(&self) -> Value {
+        self.result.first()
+    }
+
+    /// All steps, in execution order.
+    #[must_use]
+    pub fn steps(&self) -> &[StepRecord] {
+        &self.steps
+    }
+
+    /// The ring order used in `round` (1-based).
+    #[must_use]
+    pub fn ring_order(&self, round: u32) -> Option<&[NodeId]> {
+        if round == 0 {
+            return None;
+        }
+        // A single stored order means the ring was fixed for all rounds.
+        if self.ring_orders.len() == 1 {
+            return self.ring_orders.first().map(Vec::as_slice);
+        }
+        self.ring_orders.get(round as usize - 1).map(Vec::as_slice)
+    }
+
+    /// Steps executed by `node`, in round order.
+    pub fn steps_of(&self, node: NodeId) -> impl Iterator<Item = &StepRecord> {
+        self.steps.iter().filter(move |s| s.node == node)
+    }
+
+    /// Steps of round `round` (1-based), in ring order.
+    pub fn steps_in_round(&self, round: u32) -> impl Iterator<Item = &StepRecord> {
+        self.steps.iter().filter(move |s| s.round == round)
+    }
+
+    /// The vector `node` emitted in `round`, if it acted that round.
+    #[must_use]
+    pub fn outgoing_of(&self, node: NodeId, round: u32) -> Option<&TopKVector> {
+        self.steps
+            .iter()
+            .find(|s| s.node == node && s.round == round)
+            .map(|s| &s.outgoing)
+    }
+
+    /// The vector `node` received in `round`, if it acted that round.
+    #[must_use]
+    pub fn incoming_of(&self, node: NodeId, round: u32) -> Option<&TopKVector> {
+        self.steps
+            .iter()
+            .find(|s| s.node == node && s.round == round)
+            .map(|s| &s.incoming)
+    }
+
+    /// Ground truth: did `node` ever take the `InsertedReal` branch?
+    #[must_use]
+    pub fn node_inserted_real(&self, node: NodeId) -> bool {
+        self.steps_of(node)
+            .any(|s| s.action == LocalAction::InsertedReal)
+    }
+
+    /// Total messages exchanged during computation rounds (one per step).
+    #[must_use]
+    pub fn message_count(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::ValueDomain;
+
+    fn v1(x: i64) -> TopKVector {
+        TopKVector::from_values(1, [Value::new(x)], &ValueDomain::paper_default()).unwrap()
+    }
+
+    fn record(round: u32, pos: usize, node: usize, inc: i64, out: i64) -> StepRecord {
+        StepRecord {
+            round,
+            position: RingPosition::new(pos),
+            node: NodeId::new(node),
+            incoming: v1(inc),
+            outgoing: v1(out),
+            action: LocalAction::PassedOn,
+        }
+    }
+
+    fn sample() -> Transcript {
+        Transcript::new(
+            2,
+            1,
+            2,
+            vec![vec![NodeId::new(1), NodeId::new(0)]],
+            vec![
+                record(1, 0, 1, 1, 5),
+                record(1, 1, 0, 5, 9),
+                record(2, 0, 1, 9, 9),
+                record(2, 1, 0, 9, 9),
+            ],
+            v1(9),
+        )
+    }
+
+    #[test]
+    fn accessors_report_shape() {
+        let t = sample();
+        assert_eq!(t.n(), 2);
+        assert_eq!(t.k(), 1);
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.result_value(), Value::new(9));
+        assert_eq!(t.message_count(), 4);
+    }
+
+    #[test]
+    fn per_node_and_per_round_filters() {
+        let t = sample();
+        assert_eq!(t.steps_of(NodeId::new(0)).count(), 2);
+        assert_eq!(t.steps_in_round(1).count(), 2);
+        assert_eq!(t.steps_in_round(3).count(), 0);
+    }
+
+    #[test]
+    fn incoming_outgoing_lookup() {
+        let t = sample();
+        assert_eq!(
+            t.incoming_of(NodeId::new(0), 1).unwrap().first(),
+            Value::new(5)
+        );
+        assert_eq!(
+            t.outgoing_of(NodeId::new(0), 1).unwrap().first(),
+            Value::new(9)
+        );
+        assert!(t.outgoing_of(NodeId::new(5), 1).is_none());
+    }
+
+    #[test]
+    fn ring_order_fixed_ring_answers_all_rounds() {
+        let t = sample();
+        assert_eq!(t.ring_order(1).unwrap()[0], NodeId::new(1));
+        assert_eq!(t.ring_order(2).unwrap()[0], NodeId::new(1));
+        assert!(t.ring_order(0).is_none());
+    }
+
+    #[test]
+    fn inserted_real_detection() {
+        let mut t = sample();
+        assert!(!t.node_inserted_real(NodeId::new(0)));
+        t.steps.push(StepRecord {
+            action: LocalAction::InsertedReal,
+            ..record(3, 1, 0, 9, 9)
+        });
+        assert!(t.node_inserted_real(NodeId::new(0)));
+    }
+}

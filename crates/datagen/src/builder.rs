@@ -1,0 +1,228 @@
+//! Builder for whole synthetic datasets (one private database per node).
+
+use rand::Rng;
+
+use privtopk_domain::rng::SeedSpec;
+use privtopk_domain::{NodeId, Value, ValueDomain};
+
+use crate::{DataDistribution, DatagenError, PrivateDatabase};
+
+/// Stream tags for [`SeedSpec`] derivation inside the builder.
+const STREAM_NODE_DATA: u64 = 0x01;
+
+/// Builds a fleet of synthetic [`PrivateDatabase`]s matching the paper's
+/// experiment setup (Section 5.1): `n` nodes, values drawn i.i.d. from a
+/// chosen distribution over a public domain.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_datagen::{DataDistribution, DatasetBuilder};
+///
+/// let dbs = DatasetBuilder::new(8)
+///     .rows_per_node(50)
+///     .distribution(DataDistribution::classic_zipf())
+///     .seed(7)
+///     .build()?;
+/// assert_eq!(dbs.len(), 8);
+/// assert!(dbs.iter().all(|db| db.len() == 50));
+/// # Ok::<(), privtopk_datagen::DatagenError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    nodes: usize,
+    rows_min: usize,
+    rows_max: usize,
+    domain: ValueDomain,
+    distribution: DataDistribution,
+    seed: u64,
+}
+
+impl DatasetBuilder {
+    /// Starts a builder for `nodes` private databases.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        DatasetBuilder {
+            nodes,
+            rows_min: 100,
+            rows_max: 100,
+            domain: ValueDomain::paper_default(),
+            distribution: DataDistribution::Uniform,
+            seed: 0,
+        }
+    }
+
+    /// Every node holds exactly `rows` rows (the paper's setup).
+    #[must_use]
+    pub fn rows_per_node(mut self, rows: usize) -> Self {
+        self.rows_min = rows;
+        self.rows_max = rows;
+        self
+    }
+
+    /// Node sizes drawn uniformly from `[min, max]` — heterogeneous
+    /// databases, a more realistic variation.
+    #[must_use]
+    pub fn rows_between(mut self, min: usize, max: usize) -> Self {
+        self.rows_min = min;
+        self.rows_max = max;
+        self
+    }
+
+    /// Overrides the public value domain (default: `[1, 10000]`).
+    #[must_use]
+    pub fn domain(mut self, domain: ValueDomain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Chooses the value distribution (default: uniform).
+    #[must_use]
+    pub fn distribution(mut self, distribution: DataDistribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+
+    /// Sets the master seed; everything derives deterministically from it.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the databases.
+    ///
+    /// # Errors
+    ///
+    /// - [`DatagenError::InvalidParameter`] if `nodes == 0` or the row range
+    ///   is inverted, or if the distribution parameters are invalid.
+    pub fn build(&self) -> Result<Vec<PrivateDatabase>, DatagenError> {
+        if self.nodes == 0 {
+            return Err(DatagenError::InvalidParameter {
+                what: "dataset needs at least one node",
+            });
+        }
+        if self.rows_min > self.rows_max {
+            return Err(DatagenError::InvalidParameter {
+                what: "rows_between requires min <= max",
+            });
+        }
+        let sampler = self.distribution.sampler(self.domain)?;
+        let spec = SeedSpec::new(self.seed);
+        let mut out = Vec::with_capacity(self.nodes);
+        for i in 0..self.nodes {
+            let mut rng = spec.stream(STREAM_NODE_DATA).stream(i as u64).rng();
+            let rows = if self.rows_min == self.rows_max {
+                self.rows_min
+            } else {
+                rng.gen_range(self.rows_min..=self.rows_max)
+            };
+            let values: Vec<Value> = sampler.sample_many(&mut rng, rows);
+            out.push(PrivateDatabase::from_values(
+                NodeId::new(i),
+                self.domain,
+                values,
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Convenience: generate and immediately extract each node's local
+    /// top-k vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DatagenError`] from [`DatasetBuilder::build`] plus
+    /// domain errors from top-k extraction.
+    pub fn build_local_topk(
+        &self,
+        k: usize,
+    ) -> Result<Vec<privtopk_domain::TopKVector>, DatagenError> {
+        let dbs = self.build()?;
+        let mut out = Vec::with_capacity(dbs.len());
+        for db in &dbs {
+            out.push(db.local_topk(k)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_shape() {
+        let dbs = DatasetBuilder::new(5)
+            .rows_per_node(30)
+            .seed(1)
+            .build()
+            .unwrap();
+        assert_eq!(dbs.len(), 5);
+        assert!(dbs.iter().all(|d| d.len() == 30));
+        // NodeIds are sequential.
+        assert_eq!(dbs[4].owner(), NodeId::new(4));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DatasetBuilder::new(3).seed(9).build().unwrap();
+        let b = DatasetBuilder::new(3).seed(9).build().unwrap();
+        let c = DatasetBuilder::new(3).seed(10).build().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nodes_have_independent_data() {
+        let dbs = DatasetBuilder::new(2)
+            .rows_per_node(20)
+            .seed(3)
+            .build()
+            .unwrap();
+        assert_ne!(dbs[0].sensitive_values(), dbs[1].sensitive_values());
+    }
+
+    #[test]
+    fn heterogeneous_row_counts() {
+        let dbs = DatasetBuilder::new(40)
+            .rows_between(10, 50)
+            .seed(4)
+            .build()
+            .unwrap();
+        let sizes: Vec<usize> = dbs.iter().map(PrivateDatabase::len).collect();
+        assert!(sizes.iter().all(|&s| (10..=50).contains(&s)));
+        assert!(sizes.iter().any(|&s| s != sizes[0]), "sizes should vary");
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(DatasetBuilder::new(0).build().is_err());
+        assert!(DatasetBuilder::new(2).rows_between(5, 4).build().is_err());
+    }
+
+    #[test]
+    fn local_topk_extraction_shortcut() {
+        let vecs = DatasetBuilder::new(4)
+            .rows_per_node(10)
+            .seed(5)
+            .build_local_topk(3)
+            .unwrap();
+        assert_eq!(vecs.len(), 4);
+        assert!(vecs.iter().all(|v| v.k() == 3));
+    }
+
+    #[test]
+    fn custom_domain_respected() {
+        let domain = ValueDomain::new(Value::new(100), Value::new(200)).unwrap();
+        let dbs = DatasetBuilder::new(2)
+            .domain(domain)
+            .rows_per_node(50)
+            .seed(6)
+            .build()
+            .unwrap();
+        for db in dbs {
+            assert!(db.sensitive_values().iter().all(|v| domain.contains(*v)));
+        }
+    }
+}

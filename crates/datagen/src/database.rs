@@ -1,0 +1,238 @@
+//! The private database a node contributes to the protocol.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use privtopk_domain::{DomainError, NodeId, TopKVector, Value, ValueDomain};
+
+use crate::{ColumnId, DatagenError, Table};
+
+/// One organization's private database: a [`Table`] plus the designated
+/// sensitive column the top-k query ranges over.
+///
+/// The only artifact that ever leaves a `PrivateDatabase` is the *local
+/// top-k vector* of the sensitive column ("each node first sorts its values
+/// and takes the local set of topk values as its local topk vector", §3.4).
+/// Everything else stays private by construction.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_datagen::PrivateDatabase;
+/// use privtopk_domain::{NodeId, Value, ValueDomain};
+///
+/// let db = PrivateDatabase::from_values(
+///     NodeId::new(0),
+///     ValueDomain::paper_default(),
+///     [Value::new(30), Value::new(12)],
+/// )?;
+/// assert_eq!(db.local_max()?, Value::new(30));
+/// # Ok::<(), privtopk_datagen::DatagenError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivateDatabase {
+    owner: NodeId,
+    domain: ValueDomain,
+    table: Table,
+    sensitive: ColumnId,
+}
+
+impl PrivateDatabase {
+    /// Wraps an existing table, designating `sensitive_column` as the
+    /// attribute queried by the protocol.
+    ///
+    /// # Errors
+    ///
+    /// - [`DatagenError::UnknownColumn`] if the column does not exist.
+    /// - [`DatagenError::Domain`] if any sensitive value falls outside
+    ///   `domain` (the paper assumes a publicly known domain).
+    pub fn new(
+        owner: NodeId,
+        domain: ValueDomain,
+        table: Table,
+        sensitive_column: &str,
+    ) -> Result<Self, DatagenError> {
+        let sensitive = table.column_by_name(sensitive_column)?;
+        for v in table.column_values(sensitive) {
+            if !domain.contains(v) {
+                return Err(DomainError::OutOfDomain { value: v }.into());
+            }
+        }
+        Ok(PrivateDatabase {
+            owner,
+            domain,
+            table,
+            sensitive,
+        })
+    }
+
+    /// Builds a single-column database directly from values — the common
+    /// case in experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatagenError::Domain`] if a value is outside `domain`.
+    pub fn from_values<I>(
+        owner: NodeId,
+        domain: ValueDomain,
+        values: I,
+    ) -> Result<Self, DatagenError>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let mut table = Table::new(["value"])?;
+        for v in values {
+            table.push_row(vec![v])?;
+        }
+        PrivateDatabase::new(owner, domain, table, "value")
+    }
+
+    /// The owning node.
+    #[must_use]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// The public value domain of the sensitive attribute.
+    #[must_use]
+    pub fn domain(&self) -> ValueDomain {
+        self.domain
+    }
+
+    /// Number of rows held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the database holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Read-only access to the underlying table (local use only — handing
+    /// this to another party is precisely the disclosure the protocol
+    /// exists to avoid).
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The sensitive column's values, unsorted.
+    #[must_use]
+    pub fn sensitive_values(&self) -> Vec<Value> {
+        self.table.column_values(self.sensitive)
+    }
+
+    /// The node's local top-k vector for the protocol: its `k` largest
+    /// sensitive values, padded with the domain floor if it holds fewer
+    /// than `k` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::ZeroK`] if `k == 0`.
+    pub fn local_topk(&self, k: usize) -> Result<TopKVector, DomainError> {
+        TopKVector::from_values(k, self.sensitive_values(), &self.domain)
+    }
+
+    /// The node's local maximum (`k = 1` special case).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a non-empty database; an empty database yields the
+    /// domain floor, which is correct protocol behavior (it contributes
+    /// nothing).
+    pub fn local_max(&self) -> Result<Value, DomainError> {
+        Ok(self.local_topk(1)?.first())
+    }
+}
+
+impl fmt::Display for PrivateDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} private database ({} rows, domain {})",
+            self.owner,
+            self.table.len(),
+            self.domain
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(values: &[i64]) -> PrivateDatabase {
+        PrivateDatabase::from_values(
+            NodeId::new(1),
+            ValueDomain::paper_default(),
+            values.iter().copied().map(Value::new),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn local_topk_sorts_and_pads() {
+        let d = db(&[500, 100, 900]);
+        let top2 = d.local_topk(2).unwrap();
+        assert_eq!(top2.as_slice(), &[Value::new(900), Value::new(500)]);
+        let top5 = d.local_topk(5).unwrap();
+        assert_eq!(top5.get(4), Some(Value::new(1))); // domain floor pad
+    }
+
+    #[test]
+    fn local_max_is_largest_value() {
+        assert_eq!(db(&[3, 9, 7]).local_max().unwrap(), Value::new(9));
+    }
+
+    #[test]
+    fn empty_database_contributes_floor() {
+        let d = db(&[]);
+        assert!(d.is_empty());
+        assert_eq!(d.local_max().unwrap(), Value::new(1));
+    }
+
+    #[test]
+    fn rejects_out_of_domain_values() {
+        let err = PrivateDatabase::from_values(
+            NodeId::new(0),
+            ValueDomain::paper_default(),
+            [Value::new(0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DatagenError::Domain(_)));
+    }
+
+    #[test]
+    fn multi_column_table_uses_designated_column() {
+        let mut t = Table::new(["region", "sales"]).unwrap();
+        t.push_row(vec![Value::new(1), Value::new(700)]).unwrap();
+        t.push_row(vec![Value::new(2), Value::new(300)]).unwrap();
+        let d =
+            PrivateDatabase::new(NodeId::new(3), ValueDomain::paper_default(), t, "sales").unwrap();
+        assert_eq!(d.local_max().unwrap(), Value::new(700));
+        assert_eq!(d.owner(), NodeId::new(3));
+        // The region column (value 1, 2) is not part of the query.
+        assert_eq!(d.sensitive_values(), vec![Value::new(700), Value::new(300)]);
+    }
+
+    #[test]
+    fn unknown_sensitive_column_rejected() {
+        let t = Table::new(["a"]).unwrap();
+        assert!(
+            PrivateDatabase::new(NodeId::new(0), ValueDomain::paper_default(), t, "missing")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn display_mentions_owner_and_rows() {
+        let d = db(&[5, 6]);
+        let s = d.to_string();
+        assert!(s.contains("node#1"));
+        assert!(s.contains("2 rows"));
+    }
+}

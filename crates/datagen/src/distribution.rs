@@ -1,0 +1,373 @@
+//! Samplers for the data distributions used in the paper's evaluation.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use privtopk_domain::{Value, ValueDomain};
+
+use crate::DatagenError;
+
+/// The data distributions the paper experiments with (Section 5.1).
+///
+/// Results in the paper "are similar" across distributions, so uniform is
+/// the default; normal and Zipf are provided to reproduce that robustness
+/// claim.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum DataDistribution {
+    /// Uniform over the whole domain.
+    #[default]
+    Uniform,
+    /// Normal with the given mean and standard deviation *as fractions of
+    /// the domain width*, clamped into the domain.
+    ///
+    /// `mean_frac = 0.5, stddev_frac = 0.15` puts the bell in the middle of
+    /// the domain with ~3σ spanning it.
+    Normal {
+        /// Mean position as a fraction of the domain width in `[0, 1]`.
+        mean_frac: f64,
+        /// Standard deviation as a fraction of the domain width, `> 0`.
+        stddev_frac: f64,
+    },
+    /// Zipf-distributed *ranks*: domain value `max − r + 1` is sampled with
+    /// probability proportional to `1 / r^exponent`, so large values are
+    /// rare — the adversarially interesting case for top-k queries.
+    Zipf {
+        /// Skew exponent `s > 0`; `s = 1` is classic Zipf.
+        exponent: f64,
+    },
+}
+
+impl DataDistribution {
+    /// A centered normal matching the usual "bell over the domain" setup.
+    #[must_use]
+    pub fn centered_normal() -> Self {
+        DataDistribution::Normal {
+            mean_frac: 0.5,
+            stddev_frac: 0.15,
+        }
+    }
+
+    /// Classic Zipf with exponent 1.
+    #[must_use]
+    pub fn classic_zipf() -> Self {
+        DataDistribution::Zipf { exponent: 1.0 }
+    }
+
+    /// Creates a sampler for this distribution over `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatagenError::InvalidParameter`] for non-positive standard
+    /// deviations or exponents, out-of-range means, or a Zipf domain too
+    /// wide to tabulate.
+    pub fn sampler(&self, domain: ValueDomain) -> Result<Sampler, DatagenError> {
+        match *self {
+            DataDistribution::Uniform => Ok(Sampler {
+                domain,
+                inner: SamplerInner::Uniform,
+            }),
+            DataDistribution::Normal {
+                mean_frac,
+                stddev_frac,
+            } => {
+                if !(0.0..=1.0).contains(&mean_frac) {
+                    return Err(DatagenError::InvalidParameter {
+                        what: "normal mean_frac must be within [0, 1]",
+                    });
+                }
+                if stddev_frac.is_nan() || !stddev_frac.is_finite() || stddev_frac <= 0.0 {
+                    return Err(DatagenError::InvalidParameter {
+                        what: "normal stddev_frac must be positive and finite",
+                    });
+                }
+                let width = domain.width() as f64;
+                Ok(Sampler {
+                    domain,
+                    inner: SamplerInner::Normal {
+                        mean: domain.min().get() as f64 + mean_frac * (width - 1.0),
+                        stddev: stddev_frac * width,
+                    },
+                })
+            }
+            DataDistribution::Zipf { exponent } => {
+                let zipf = ZipfSampler::new(domain, exponent)?;
+                Ok(Sampler {
+                    domain,
+                    inner: SamplerInner::Zipf(zipf),
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for DataDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataDistribution::Uniform => write!(f, "uniform"),
+            DataDistribution::Normal {
+                mean_frac,
+                stddev_frac,
+            } => write!(f, "normal(mean={mean_frac}, stddev={stddev_frac})"),
+            DataDistribution::Zipf { exponent } => write!(f, "zipf(s={exponent})"),
+        }
+    }
+}
+
+/// A materialized sampler: a distribution bound to a concrete domain.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    domain: ValueDomain,
+    inner: SamplerInner,
+}
+
+#[derive(Debug, Clone)]
+enum SamplerInner {
+    Uniform,
+    Normal { mean: f64, stddev: f64 },
+    Zipf(ZipfSampler),
+}
+
+impl Sampler {
+    /// The domain samples are drawn from.
+    #[must_use]
+    pub fn domain(&self) -> ValueDomain {
+        self.domain
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Value {
+        match &self.inner {
+            SamplerInner::Uniform => self.domain.sample_uniform(rng),
+            SamplerInner::Normal { mean, stddev } => {
+                let z = sample_standard_normal(rng);
+                let raw = (mean + stddev * z).round() as i64;
+                self.domain.clamp(Value::new(raw))
+            }
+            SamplerInner::Zipf(zipf) => zipf.sample(rng),
+        }
+    }
+
+    /// Draws `count` values.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Value> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// One draw from the standard normal via the Box–Muller transform.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Inverse-CDF Zipf sampler over the *ranks* of a bounded integer domain.
+///
+/// Rank 1 (most probable) maps to the domain *minimum* and the last rank to
+/// the domain maximum, so large attribute values — the ones a top-k query
+/// hunts for — are the rare tail, which is the realistic shape for, e.g.,
+/// sales figures.
+///
+/// The cumulative table costs `O(width)` memory; construction refuses
+/// domains wider than [`ZipfSampler::MAX_WIDTH`].
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    domain: ValueDomain,
+    /// `cdf[i]` = P(rank <= i+1), normalized to end at exactly 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Largest domain width the sampler will tabulate (16 Mi values).
+    pub const MAX_WIDTH: u64 = 1 << 24;
+
+    /// Builds the cumulative table for `domain` with skew `exponent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatagenError::InvalidParameter`] if `exponent <= 0` or the
+    /// domain is wider than [`ZipfSampler::MAX_WIDTH`].
+    pub fn new(domain: ValueDomain, exponent: f64) -> Result<Self, DatagenError> {
+        if exponent.is_nan() || !exponent.is_finite() || exponent <= 0.0 {
+            return Err(DatagenError::InvalidParameter {
+                what: "zipf exponent must be positive and finite",
+            });
+        }
+        let width = domain.width();
+        if width > Self::MAX_WIDTH {
+            return Err(DatagenError::InvalidParameter {
+                what: "zipf domain too wide to tabulate",
+            });
+        }
+        let mut cdf = Vec::with_capacity(width as usize);
+        let mut acc = 0.0f64;
+        for rank in 1..=width {
+            acc += 1.0 / (rank as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating point leaving the last entry below 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(ZipfSampler { domain, cdf })
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Value {
+        let u: f64 = rng.gen();
+        // First index with cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        // Rank 1 -> domain.min(), last rank -> domain.max().
+        Value::new(self.domain.min().get() + idx as i64)
+    }
+
+    /// Probability mass of the value at 1-based `rank`.
+    #[must_use]
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 || rank > self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank - 1] - self.cdf[rank - 2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::rng::seeded_rng;
+
+    fn domain() -> ValueDomain {
+        ValueDomain::paper_default()
+    }
+
+    #[test]
+    fn uniform_sampler_covers_domain() {
+        let s = DataDistribution::Uniform.sampler(domain()).unwrap();
+        let mut rng = seeded_rng(1);
+        let values = s.sample_many(&mut rng, 20_000);
+        assert!(values.iter().all(|v| domain().contains(*v)));
+        // Empirical mean of U[1,10000] should be near 5000.5.
+        let mean: f64 = values.iter().map(|v| v.get() as f64).sum::<f64>() / values.len() as f64;
+        assert!((mean - 5000.5).abs() < 100.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_sampler_concentrates_near_mean() {
+        let s = DataDistribution::centered_normal()
+            .sampler(domain())
+            .unwrap();
+        let mut rng = seeded_rng(2);
+        let values = s.sample_many(&mut rng, 20_000);
+        let mean: f64 = values.iter().map(|v| v.get() as f64).sum::<f64>() / values.len() as f64;
+        assert!((mean - 5000.0).abs() < 100.0, "mean was {mean}");
+        // ~68% within one sigma (1500).
+        let within: f64 = values
+            .iter()
+            .filter(|v| (v.get() as f64 - 5000.0).abs() <= 1500.0)
+            .count() as f64
+            / values.len() as f64;
+        assert!((within - 0.68).abs() < 0.05, "within-1-sigma was {within}");
+    }
+
+    #[test]
+    fn normal_sampler_clamps_to_domain() {
+        // Extreme sigma: lots of mass outside, all clamped back in.
+        let dist = DataDistribution::Normal {
+            mean_frac: 0.0,
+            stddev_frac: 3.0,
+        };
+        let s = dist.sampler(domain()).unwrap();
+        let mut rng = seeded_rng(3);
+        for v in s.sample_many(&mut rng, 5000) {
+            assert!(domain().contains(v));
+        }
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(DataDistribution::Normal {
+            mean_frac: 1.5,
+            stddev_frac: 0.1
+        }
+        .sampler(domain())
+        .is_err());
+        assert!(DataDistribution::Normal {
+            mean_frac: 0.5,
+            stddev_frac: 0.0
+        }
+        .sampler(domain())
+        .is_err());
+    }
+
+    #[test]
+    fn zipf_small_values_dominate() {
+        let s = DataDistribution::classic_zipf().sampler(domain()).unwrap();
+        let mut rng = seeded_rng(4);
+        let values = s.sample_many(&mut rng, 20_000);
+        assert!(values.iter().all(|v| domain().contains(*v)));
+        let low = values.iter().filter(|v| v.get() <= 100).count() as f64;
+        let high = values.iter().filter(|v| v.get() > 9900).count() as f64;
+        assert!(
+            low > 10.0 * (high + 1.0),
+            "zipf head should dominate: low={low}, high={high}"
+        );
+    }
+
+    #[test]
+    fn zipf_pmf_is_decreasing_and_normalized() {
+        let z = ZipfSampler::new(
+            ValueDomain::new(Value::new(1), Value::new(100)).unwrap(),
+            1.2,
+        )
+        .unwrap();
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for rank in 1..=100 {
+            let p = z.pmf(rank);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+            total += p;
+        }
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(101), 0.0);
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(ZipfSampler::new(domain(), 0.0).is_err());
+        assert!(ZipfSampler::new(domain(), f64::NAN).is_err());
+        let huge = ValueDomain::new(Value::new(0), Value::new(i64::MAX / 2)).unwrap();
+        assert!(ZipfSampler::new(huge, 1.0).is_err());
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_seed() {
+        for dist in [
+            DataDistribution::Uniform,
+            DataDistribution::centered_normal(),
+            DataDistribution::classic_zipf(),
+        ] {
+            let s = dist.sampler(domain()).unwrap();
+            let a = s.sample_many(&mut seeded_rng(9), 50);
+            let b = s.sample_many(&mut seeded_rng(9), 50);
+            assert_eq!(a, b, "distribution {dist} not deterministic");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataDistribution::Uniform.to_string(), "uniform");
+        assert_eq!(DataDistribution::classic_zipf().to_string(), "zipf(s=1)");
+    }
+}

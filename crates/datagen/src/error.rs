@@ -1,0 +1,98 @@
+//! Errors for data generation.
+
+use std::error::Error;
+use std::fmt;
+
+use privtopk_domain::DomainError;
+
+/// Errors produced while generating synthetic datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DatagenError {
+    /// A distribution or builder parameter was invalid.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+    /// A referenced column does not exist in the table.
+    UnknownColumn {
+        /// The requested column name.
+        name: String,
+    },
+    /// A row had the wrong number of columns.
+    RowArity {
+        /// Expected number of columns.
+        expected: usize,
+        /// Number of values actually supplied.
+        got: usize,
+    },
+    /// An underlying domain error (empty domain, zero k, ...).
+    Domain(DomainError),
+}
+
+impl fmt::Display for DatagenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatagenError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            DatagenError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            DatagenError::RowArity { expected, got } => {
+                write!(f, "row has {got} values but table has {expected} columns")
+            }
+            DatagenError::Domain(e) => write!(f, "domain error: {e}"),
+        }
+    }
+}
+
+impl Error for DatagenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatagenError::Domain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DomainError> for DatagenError {
+    fn from(e: DomainError) -> Self {
+        DatagenError::Domain(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::Value;
+
+    #[test]
+    fn display_all_variants() {
+        let variants: Vec<DatagenError> = vec![
+            DatagenError::InvalidParameter { what: "boom" },
+            DatagenError::UnknownColumn {
+                name: "sales".into(),
+            },
+            DatagenError::RowArity {
+                expected: 3,
+                got: 2,
+            },
+            DatagenError::Domain(DomainError::OutOfDomain {
+                value: Value::new(-1),
+            }),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn domain_error_converts_and_chains() {
+        let e: DatagenError = DomainError::ZeroK.into();
+        assert!(matches!(e, DatagenError::Domain(DomainError::ZeroK)));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DatagenError>();
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic private databases for the `privtopk` reproduction.
+//!
+//! The paper's evaluation (Section 5.1) generates attribute values "randomly
+//! ... over the integer domain `[1,10000]`" and experiments "with various
+//! distributions of data, such as uniform distribution, normal distribution,
+//! and zipf distribution". The offline dependency set has no `rand_distr`,
+//! so normal (Box–Muller) and Zipf (inverse-CDF) sampling are implemented
+//! here from first principles.
+//!
+//! The crate also models the *private database* itself: a small relational
+//! [`Table`] with named columns, wrapped in a [`PrivateDatabase`] that knows
+//! how to extract the local top-k vector of a sensitive attribute — the only
+//! thing a node ever feeds into the protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use privtopk_datagen::{DatasetBuilder, DataDistribution};
+//!
+//! let dbs = DatasetBuilder::new(4)
+//!     .rows_per_node(100)
+//!     .distribution(DataDistribution::Uniform)
+//!     .seed(42)
+//!     .build()?;
+//! assert_eq!(dbs.len(), 4);
+//! let local_top3 = dbs[0].local_topk(3)?;
+//! assert_eq!(local_top3.k(), 3);
+//! # Ok::<(), privtopk_datagen::DatagenError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod database;
+mod distribution;
+mod error;
+mod table;
+
+pub use builder::DatasetBuilder;
+pub use database::PrivateDatabase;
+pub use distribution::{DataDistribution, Sampler, ZipfSampler};
+pub use error::DatagenError;
+pub use table::{ColumnId, Table};

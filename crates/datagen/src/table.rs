@@ -1,0 +1,224 @@
+//! A minimal relational table: the "private database" behind each node.
+//!
+//! The protocol only ever touches one sensitive column, but modelling a real
+//! multi-column table keeps the examples honest (a retailer's database has
+//! more than one number in it) and exercises the paper's assumption that
+//! "database schemas and attribute names are known and well matched across
+//! n nodes".
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use privtopk_domain::Value;
+
+use crate::DatagenError;
+
+/// Index of a column within a [`Table`] schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnId(usize);
+
+impl ColumnId {
+    /// Raw column index.
+    #[must_use]
+    pub const fn get(self) -> usize {
+        self.0
+    }
+}
+
+/// An in-memory table with a fixed schema of named integer columns.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_datagen::Table;
+/// use privtopk_domain::Value;
+///
+/// let mut t = Table::new(["region", "sales"])?;
+/// t.push_row(vec![Value::new(1), Value::new(870)])?;
+/// t.push_row(vec![Value::new(2), Value::new(430)])?;
+/// let sales = t.column_by_name("sales")?;
+/// assert_eq!(t.column_values(sales), vec![Value::new(870), Value::new(430)]);
+/// # Ok::<(), privtopk_datagen::DatagenError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    columns: Vec<String>,
+    /// Row-major storage; every row has exactly `columns.len()` values.
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatagenError::InvalidParameter`] if no columns are given or
+    /// names are duplicated.
+    pub fn new<I, S>(columns: I) -> Result<Self, DatagenError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        if columns.is_empty() {
+            return Err(DatagenError::InvalidParameter {
+                what: "table needs at least one column",
+            });
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].contains(c) {
+                return Err(DatagenError::InvalidParameter {
+                    what: "duplicate column name",
+                });
+            }
+        }
+        Ok(Table {
+            columns,
+            rows: Vec::new(),
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The schema's column names, in order.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Resolves a column name to its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatagenError::UnknownColumn`] if no column has that name.
+    pub fn column_by_name(&self, name: &str) -> Result<ColumnId, DatagenError> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .map(ColumnId)
+            .ok_or_else(|| DatagenError::UnknownColumn { name: name.into() })
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatagenError::RowArity`] if the row length does not match
+    /// the schema.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), DatagenError> {
+        if row.len() != self.columns.len() {
+            return Err(DatagenError::RowArity {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Returns a row by index.
+    #[must_use]
+    pub fn row(&self, idx: usize) -> Option<&[Value]> {
+        self.rows.get(idx).map(Vec::as_slice)
+    }
+
+    /// Extracts all values of one column (in row order).
+    #[must_use]
+    pub fn column_values(&self, col: ColumnId) -> Vec<Value> {
+        self.rows.iter().map(|r| r[col.0]).collect()
+    }
+
+    /// Iterates over rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vec<Value>> {
+        self.rows.iter()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(["quarter", "sales"]).unwrap();
+        t.push_row(vec![Value::new(1), Value::new(100)]).unwrap();
+        t.push_row(vec![Value::new(2), Value::new(250)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(Table::new(Vec::<String>::new()).is_err());
+        assert!(Table::new(["a", "a"]).is_err());
+        assert!(Table::new(["a", "b"]).is_ok());
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let t = sample_table();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.row(0).unwrap()[1], Value::new(100));
+        assert_eq!(t.row(5), None);
+    }
+
+    #[test]
+    fn row_arity_enforced() {
+        let mut t = sample_table();
+        let err = t.push_row(vec![Value::new(1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            DatagenError::RowArity {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn column_lookup_and_extraction() {
+        let t = sample_table();
+        let sales = t.column_by_name("sales").unwrap();
+        assert_eq!(sales.get(), 1);
+        assert_eq!(
+            t.column_values(sales),
+            vec![Value::new(100), Value::new(250)]
+        );
+        assert!(t.column_by_name("profit").is_err());
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let rendered = sample_table().to_string();
+        assert!(rendered.contains("quarter | sales"));
+        assert!(rendered.contains("2 | 250"));
+    }
+
+    #[test]
+    fn iteration_in_row_order() {
+        let t = sample_table();
+        let firsts: Vec<i64> = t.iter().map(|r| r[0].get()).collect();
+        assert_eq!(firsts, vec![1, 2]);
+    }
+}

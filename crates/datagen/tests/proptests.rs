@@ -1,0 +1,94 @@
+//! Property-based tests for data generation.
+
+use privtopk_datagen::{DataDistribution, DatasetBuilder, PrivateDatabase};
+use privtopk_domain::rng::seeded_rng;
+use privtopk_domain::{Value, ValueDomain};
+use proptest::prelude::*;
+
+fn arb_distribution() -> impl Strategy<Value = DataDistribution> {
+    prop_oneof![
+        Just(DataDistribution::Uniform),
+        (0.0f64..=1.0, 0.01f64..=0.5).prop_map(|(m, s)| DataDistribution::Normal {
+            mean_frac: m,
+            stddev_frac: s,
+        }),
+        (0.5f64..=2.5).prop_map(|e| DataDistribution::Zipf { exponent: e }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sampler respects the domain for arbitrary parameters.
+    #[test]
+    fn samples_always_in_domain(
+        dist in arb_distribution(),
+        min in -1000i64..1000,
+        width in 1i64..5000,
+        seed in any::<u64>(),
+    ) {
+        let domain = ValueDomain::new(Value::new(min), Value::new(min + width)).unwrap();
+        let sampler = dist.sampler(domain).unwrap();
+        let mut rng = seeded_rng(seed);
+        for v in sampler.sample_many(&mut rng, 200) {
+            prop_assert!(domain.contains(v), "{dist}: {v} outside {domain}");
+        }
+    }
+
+    /// Builders are pure functions of their configuration.
+    #[test]
+    fn builder_is_deterministic(
+        dist in arb_distribution(),
+        n in 1usize..8,
+        rows in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let build = || {
+            DatasetBuilder::new(n)
+                .rows_per_node(rows)
+                .distribution(dist)
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        prop_assert_eq!(build(), build());
+    }
+
+    /// Local top-k extraction always returns the k largest values the
+    /// database holds (cross-checked against a plain sort).
+    #[test]
+    fn local_topk_matches_sort(
+        values in prop::collection::vec(1i64..=10_000, 1..40),
+        k in 1usize..8,
+    ) {
+        let domain = ValueDomain::paper_default();
+        let db = PrivateDatabase::from_values(
+            privtopk_domain::NodeId::new(0),
+            domain,
+            values.iter().copied().map(Value::new),
+        )
+        .unwrap();
+        let topk = db.local_topk(k).unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        for (rank, &expect) in sorted.iter().take(k).enumerate() {
+            prop_assert_eq!(topk.get(rank + 1).unwrap(), Value::new(expect));
+        }
+        // Padding applies beyond the population.
+        if values.len() < k {
+            prop_assert_eq!(topk.kth(), domain.min());
+        }
+    }
+
+    /// Zipf's head dominates its tail for any exponent above 1.
+    #[test]
+    fn zipf_head_heavier_than_tail(exponent in 1.0f64..=2.5, seed in any::<u64>()) {
+        let domain = ValueDomain::new(Value::new(1), Value::new(1000)).unwrap();
+        let sampler = DataDistribution::Zipf { exponent }.sampler(domain).unwrap();
+        let mut rng = seeded_rng(seed);
+        let samples = sampler.sample_many(&mut rng, 3000);
+        let head = samples.iter().filter(|v| v.get() <= 100).count();
+        let tail = samples.iter().filter(|v| v.get() > 900).count();
+        prop_assert!(head > tail, "head {head} vs tail {tail} at s={exponent}");
+    }
+}

@@ -1,0 +1,312 @@
+//! The privacy taxonomy of Section 2: claims, exposure kinds, and the
+//! probabilistic privacy spectrum.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, Value};
+
+/// The kind of knowledge an adversary may deduce about a node's value
+/// (Section 2.2).
+///
+/// Data value exposure is a special case of data range exposure, which is in
+/// turn a special case of probability-distribution exposure; the paper (and
+/// this reproduction) focuses its quantitative analysis on *value* exposure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExposureKind {
+    /// The adversary can prove the exact value (`v_i = a`).
+    Value,
+    /// The adversary can prove a range (`a <= v_i <= b`).
+    Range,
+    /// The adversary can prove the probability distribution of the value.
+    Distribution,
+}
+
+impl fmt::Display for ExposureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExposureKind::Value => "value exposure",
+            ExposureKind::Range => "range exposure",
+            ExposureKind::Distribution => "distribution exposure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete claim an adversary makes about a node's private data.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_domain::{Claim, NodeId, Value};
+///
+/// let c = Claim::value_is(NodeId::new(2), Value::new(40));
+/// assert_eq!(c.kind(), privtopk_domain::ExposureKind::Value);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Claim {
+    /// `v_target = value`.
+    ValueIs {
+        /// The node the claim is about.
+        target: NodeId,
+        /// The claimed exact value.
+        value: Value,
+    },
+    /// `lo <= v_target <= hi` (inclusive bounds).
+    ValueInRange {
+        /// The node the claim is about.
+        target: NodeId,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// `v_target <= bound` — the range exposure the naive ring protocol
+    /// inflicts on every node with respect to its successor.
+    ValueAtMost {
+        /// The node the claim is about.
+        target: NodeId,
+        /// Inclusive upper bound.
+        bound: Value,
+    },
+    /// `v_target > bound` — what a successor learns about a *known* starting
+    /// node that emitted a randomized value (the Section 3.3 walk-through
+    /// discussion).
+    ValueAbove {
+        /// The node the claim is about.
+        target: NodeId,
+        /// Exclusive lower bound.
+        bound: Value,
+    },
+}
+
+impl Claim {
+    /// Convenience constructor for an exact-value claim.
+    #[must_use]
+    pub fn value_is(target: NodeId, value: Value) -> Self {
+        Claim::ValueIs { target, value }
+    }
+
+    /// The node the claim targets.
+    #[must_use]
+    pub fn target(&self) -> NodeId {
+        match *self {
+            Claim::ValueIs { target, .. }
+            | Claim::ValueInRange { target, .. }
+            | Claim::ValueAtMost { target, .. }
+            | Claim::ValueAbove { target, .. } => target,
+        }
+    }
+
+    /// Which exposure category the claim falls in.
+    #[must_use]
+    pub fn kind(&self) -> ExposureKind {
+        match self {
+            Claim::ValueIs { .. } => ExposureKind::Value,
+            Claim::ValueInRange { .. } | Claim::ValueAtMost { .. } | Claim::ValueAbove { .. } => {
+                ExposureKind::Range
+            }
+        }
+    }
+
+    /// Evaluates the claim against the node's actual value.
+    #[must_use]
+    pub fn holds_for(&self, actual: Value) -> bool {
+        match *self {
+            Claim::ValueIs { value, .. } => actual == value,
+            Claim::ValueInRange { lo, hi, .. } => lo <= actual && actual <= hi,
+            Claim::ValueAtMost { bound, .. } => actual <= bound,
+            Claim::ValueAbove { bound, .. } => actual > bound,
+        }
+    }
+}
+
+impl fmt::Display for Claim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Claim::ValueIs { target, value } => write!(f, "v[{target}] = {value}"),
+            Claim::ValueInRange { target, lo, hi } => {
+                write!(f, "{lo} <= v[{target}] <= {hi}")
+            }
+            Claim::ValueAtMost { target, bound } => write!(f, "v[{target}] <= {bound}"),
+            Claim::ValueAbove { target, bound } => write!(f, "v[{target}] > {bound}"),
+        }
+    }
+}
+
+/// The probabilistic privacy spectrum of Reiter & Rubin (Crowds), which the
+/// paper reviews — and improves on — in Section 2.3.
+///
+/// Classification is a function of the probability `p` that a claim is true
+/// and the group size `n`:
+///
+/// - `p == 1`: **provably exposed**;
+/// - `p == 0`: **absolute privacy**;
+/// - `p <= 1/n`: **beyond suspicion** (no more likely than any other node,
+///   i.e. m-anonymity holds);
+/// - `p <= 1/2`: **probable innocence** (more likely innocent than not);
+/// - otherwise: **possible innocence**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PrivacySpectrum {
+    /// The claim cannot be true (`p = 0`).
+    AbsolutePrivacy,
+    /// The node is no more likely than any other to satisfy the claim.
+    BeyondSuspicion,
+    /// The claim is less likely to be true than false.
+    ProbableInnocence,
+    /// The claim is more likely to be true than false, but not certain.
+    PossibleInnocence,
+    /// The adversary can prove the claim (`p = 1`).
+    ProvablyExposed,
+}
+
+impl PrivacySpectrum {
+    /// Classifies a claim-probability `p` within a system of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]` or `n == 0`.
+    #[must_use]
+    pub fn classify(p: f64, n: usize) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        assert!(n > 0, "group must be non-empty");
+        if p == 0.0 {
+            PrivacySpectrum::AbsolutePrivacy
+        } else if p >= 1.0 {
+            PrivacySpectrum::ProvablyExposed
+        } else if p <= 1.0 / n as f64 {
+            PrivacySpectrum::BeyondSuspicion
+        } else if p <= 0.5 {
+            PrivacySpectrum::ProbableInnocence
+        } else {
+            PrivacySpectrum::PossibleInnocence
+        }
+    }
+}
+
+impl fmt::Display for PrivacySpectrum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrivacySpectrum::AbsolutePrivacy => "absolute privacy",
+            PrivacySpectrum::BeyondSuspicion => "beyond suspicion",
+            PrivacySpectrum::ProbableInnocence => "probable innocence",
+            PrivacySpectrum::PossibleInnocence => "possible innocence",
+            PrivacySpectrum::ProvablyExposed => "provably exposed",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_kind_classification() {
+        let n = NodeId::new(1);
+        assert_eq!(
+            Claim::value_is(n, Value::new(3)).kind(),
+            ExposureKind::Value
+        );
+        assert_eq!(
+            Claim::ValueAtMost {
+                target: n,
+                bound: Value::new(3)
+            }
+            .kind(),
+            ExposureKind::Range
+        );
+    }
+
+    #[test]
+    fn claim_evaluation() {
+        let n = NodeId::new(0);
+        assert!(Claim::value_is(n, Value::new(5)).holds_for(Value::new(5)));
+        assert!(!Claim::value_is(n, Value::new(5)).holds_for(Value::new(6)));
+        let range = Claim::ValueInRange {
+            target: n,
+            lo: Value::new(2),
+            hi: Value::new(4),
+        };
+        assert!(range.holds_for(Value::new(2)));
+        assert!(range.holds_for(Value::new(4)));
+        assert!(!range.holds_for(Value::new(5)));
+        let at_most = Claim::ValueAtMost {
+            target: n,
+            bound: Value::new(10),
+        };
+        assert!(at_most.holds_for(Value::new(10)));
+        assert!(!at_most.holds_for(Value::new(11)));
+        let above = Claim::ValueAbove {
+            target: n,
+            bound: Value::new(16),
+        };
+        assert!(above.holds_for(Value::new(17)));
+        assert!(!above.holds_for(Value::new(16)));
+    }
+
+    #[test]
+    fn claim_target_and_display() {
+        let c = Claim::value_is(NodeId::new(3), Value::new(40));
+        assert_eq!(c.target(), NodeId::new(3));
+        assert_eq!(c.to_string(), "v[node#3] = 40");
+    }
+
+    #[test]
+    fn spectrum_extremes() {
+        assert_eq!(
+            PrivacySpectrum::classify(0.0, 4),
+            PrivacySpectrum::AbsolutePrivacy
+        );
+        assert_eq!(
+            PrivacySpectrum::classify(1.0, 4),
+            PrivacySpectrum::ProvablyExposed
+        );
+    }
+
+    #[test]
+    fn spectrum_beyond_suspicion_at_one_over_n() {
+        assert_eq!(
+            PrivacySpectrum::classify(0.25, 4),
+            PrivacySpectrum::BeyondSuspicion
+        );
+        assert_eq!(
+            PrivacySpectrum::classify(0.26, 4),
+            PrivacySpectrum::ProbableInnocence
+        );
+    }
+
+    #[test]
+    fn spectrum_innocence_boundary() {
+        assert_eq!(
+            PrivacySpectrum::classify(0.5, 100),
+            PrivacySpectrum::ProbableInnocence
+        );
+        assert_eq!(
+            PrivacySpectrum::classify(0.51, 100),
+            PrivacySpectrum::PossibleInnocence
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn spectrum_rejects_bad_probability() {
+        let _ = PrivacySpectrum::classify(1.5, 4);
+    }
+
+    #[test]
+    fn spectrum_orders_from_private_to_exposed() {
+        assert!(PrivacySpectrum::AbsolutePrivacy < PrivacySpectrum::ProvablyExposed);
+        assert!(PrivacySpectrum::BeyondSuspicion < PrivacySpectrum::PossibleInnocence);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(ExposureKind::Value.to_string(), "value exposure");
+        assert_eq!(
+            PrivacySpectrum::BeyondSuspicion.to_string(),
+            "beyond suspicion"
+        );
+    }
+}

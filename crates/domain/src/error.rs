@@ -1,0 +1,106 @@
+//! Error types for domain-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Value;
+
+/// Errors produced by domain-level constructors and sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DomainError {
+    /// A [`crate::ValueDomain`] was constructed with `min > max`.
+    EmptyDomain {
+        /// Requested lower endpoint.
+        min: Value,
+        /// Requested upper endpoint.
+        max: Value,
+    },
+    /// A half-open sampling range `[lo, hi)` was empty (`lo >= hi`).
+    EmptyRange {
+        /// Requested (inclusive) lower bound.
+        lo: Value,
+        /// Requested (exclusive) upper bound.
+        hi: Value,
+    },
+    /// A top-k vector was requested with `k == 0`.
+    ZeroK,
+    /// A value fell outside the public domain.
+    OutOfDomain {
+        /// The offending value.
+        value: Value,
+    },
+    /// A top-k vector operation received vectors of mismatched `k`.
+    MismatchedK {
+        /// `k` of the left operand.
+        left: usize,
+        /// `k` of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::EmptyDomain { min, max } => {
+                write!(f, "empty value domain: min {min} exceeds max {max}")
+            }
+            DomainError::EmptyRange { lo, hi } => {
+                write!(f, "empty sampling range [{lo}, {hi})")
+            }
+            DomainError::ZeroK => write!(f, "top-k parameter k must be at least 1"),
+            DomainError::OutOfDomain { value } => {
+                write!(f, "value {value} lies outside the public domain")
+            }
+            DomainError::MismatchedK { left, right } => {
+                write!(f, "mismatched top-k sizes: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl Error for DomainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = DomainError::EmptyDomain {
+            min: Value::new(5),
+            max: Value::new(1),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("empty value domain"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants: Vec<DomainError> = vec![
+            DomainError::EmptyDomain {
+                min: Value::new(2),
+                max: Value::new(1),
+            },
+            DomainError::EmptyRange {
+                lo: Value::new(3),
+                hi: Value::new(3),
+            },
+            DomainError::ZeroK,
+            DomainError::OutOfDomain {
+                value: Value::new(-1),
+            },
+            DomainError::MismatchedK { left: 3, right: 4 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DomainError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! Foundation types for the `privtopk` workspace.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! reproduction of *"Topk Queries across Multiple Private Databases"*
+//! (Xiong, Chitti, Liu — ICDCS 2005):
+//!
+//! - [`Value`]: an attribute value drawn from a publicly known, bounded
+//!   integer domain (the paper evaluates on `[1, 10000]`).
+//! - [`ValueDomain`]: the public domain itself, with uniform sampling helpers
+//!   used by the protocol's randomization step.
+//! - [`TopKVector`]: the ordered multiset of `k` values passed around the
+//!   ring (the "global top-k vector" of Algorithm 2).
+//! - [`NodeId`] / [`RingPosition`]: identities of participating databases.
+//! - [`Claim`], [`ExposureKind`], [`PrivacySpectrum`]: the privacy
+//!   taxonomy of Section 2.
+//! - [`rng`]: deterministic seed derivation so that every experiment in the
+//!   workspace is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use privtopk_domain::{TopKVector, Value, ValueDomain};
+//!
+//! let domain = ValueDomain::new(Value::new(1), Value::new(10_000))?;
+//! let mut global = TopKVector::floor(3, &domain);
+//! let local = TopKVector::from_values(3, [Value::new(42), Value::new(7)], &domain)?;
+//! let merged = global.merged_with(&local);
+//! assert_eq!(merged.get(1), Some(Value::new(42)));
+//! # Ok::<(), privtopk_domain::DomainError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod claim;
+mod error;
+mod node;
+pub mod rng;
+mod topk;
+mod value;
+
+pub use claim::{Claim, ExposureKind, PrivacySpectrum};
+pub use error::DomainError;
+pub use node::{NodeId, RingPosition};
+pub use topk::TopKVector;
+pub use value::{Value, ValueDomain};

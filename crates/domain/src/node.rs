@@ -1,0 +1,162 @@
+//! Identities of participating private databases.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identity of a participating private database (a "node").
+///
+/// A `NodeId` identifies the *organization*; its location on the ring for a
+/// given protocol execution is a separate [`RingPosition`], because the
+/// protocol maps nodes onto the ring randomly (Section 3.2) and the
+/// collusion-mitigation extension (Section 4.3) remaps the ring every round.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from its raw index.
+    #[must_use]
+    pub const fn new(raw: usize) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw index.
+    #[must_use]
+    pub const fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(raw: usize) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Zero-based position of a node on the ring for one protocol execution.
+///
+/// Position `0` is the starting node; messages flow from position `p` to
+/// position `(p + 1) % n`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct RingPosition(usize);
+
+impl RingPosition {
+    /// Creates a ring position from its raw index.
+    #[must_use]
+    pub const fn new(raw: usize) -> Self {
+        RingPosition(raw)
+    }
+
+    /// Returns the raw index.
+    #[must_use]
+    pub const fn get(self) -> usize {
+        self.0
+    }
+
+    /// The successor position on a ring of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn successor(self, n: usize) -> RingPosition {
+        assert!(n > 0, "ring must have at least one node");
+        RingPosition((self.0 + 1) % n)
+    }
+
+    /// The predecessor position on a ring of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn predecessor(self, n: usize) -> RingPosition {
+        assert!(n > 0, "ring must have at least one node");
+        RingPosition((self.0 + n - 1) % n)
+    }
+
+    /// Whether this is the starting position of the ring walk.
+    #[must_use]
+    pub const fn is_start(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for RingPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pos#{}", self.0)
+    }
+}
+
+impl From<usize> for RingPosition {
+    fn from(raw: usize) -> Self {
+        RingPosition(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(7);
+        assert_eq!(id.get(), 7);
+        assert_eq!(NodeId::from(7usize), id);
+        assert_eq!(id.to_string(), "node#7");
+    }
+
+    #[test]
+    fn successor_wraps_around() {
+        let n = 4;
+        assert_eq!(RingPosition::new(0).successor(n), RingPosition::new(1));
+        assert_eq!(RingPosition::new(3).successor(n), RingPosition::new(0));
+    }
+
+    #[test]
+    fn predecessor_wraps_around() {
+        let n = 4;
+        assert_eq!(RingPosition::new(0).predecessor(n), RingPosition::new(3));
+        assert_eq!(RingPosition::new(2).predecessor(n), RingPosition::new(1));
+    }
+
+    #[test]
+    fn successor_and_predecessor_are_inverse() {
+        let n = 9;
+        for p in 0..n {
+            let pos = RingPosition::new(p);
+            assert_eq!(pos.successor(n).predecessor(n), pos);
+            assert_eq!(pos.predecessor(n).successor(n), pos);
+        }
+    }
+
+    #[test]
+    fn start_detection() {
+        assert!(RingPosition::new(0).is_start());
+        assert!(!RingPosition::new(1).is_start());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn successor_panics_on_empty_ring() {
+        let _ = RingPosition::new(0).successor(0);
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(RingPosition::new(0) < RingPosition::new(5));
+    }
+}

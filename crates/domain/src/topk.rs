@@ -1,0 +1,503 @@
+//! The ordered top-k multiset vector passed around the ring.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DomainError, Value, ValueDomain};
+
+/// An ordered multiset of exactly `k` values, sorted descending.
+///
+/// This is the "global top-k vector" `G_i(r)` and "local top-k vector" `V_i`
+/// of Algorithm 2 in the paper. It is a *multiset*: duplicate values are
+/// meaningful and preserved ("the global vector is an ordered multiset that
+/// may include duplicate values").
+///
+/// The vector always holds exactly `k` entries. Construction from fewer than
+/// `k` values pads with the domain floor ([`ValueDomain::min`]), which is
+/// exactly how the protocol initializes the global vector ("initializes the
+/// global topk vector to the lowest possible values in the corresponding
+/// data domain").
+///
+/// Ranks are 1-based to mirror the paper's notation: `get(1)` is the largest
+/// element (`G[1]`), `get(k)` the smallest (`G[k]`).
+///
+/// # Example
+///
+/// ```
+/// use privtopk_domain::{TopKVector, Value, ValueDomain};
+///
+/// let domain = ValueDomain::paper_default();
+/// let v = TopKVector::from_values(3, [10, 40, 20, 5].map(Value::new), &domain)?;
+/// assert_eq!(v.get(1), Some(Value::new(40)));
+/// assert_eq!(v.kth(), Value::new(10));
+/// # Ok::<(), privtopk_domain::DomainError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TopKVector {
+    /// Invariant: `values.len() == k`, sorted descending.
+    values: Vec<Value>,
+}
+
+impl TopKVector {
+    /// Creates the all-floor vector used to initialize the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`; use [`TopKVector::from_values`] for fallible
+    /// construction.
+    #[must_use]
+    pub fn floor(k: usize, domain: &ValueDomain) -> Self {
+        assert!(k > 0, "top-k parameter k must be at least 1");
+        TopKVector {
+            values: vec![domain.min(); k],
+        }
+    }
+
+    /// Builds a local top-k vector from a node's attribute values.
+    ///
+    /// Sorts `values` descending, keeps the largest `k`, and pads with the
+    /// domain floor if fewer than `k` values were supplied.
+    ///
+    /// # Errors
+    ///
+    /// - [`DomainError::ZeroK`] if `k == 0`.
+    /// - [`DomainError::OutOfDomain`] if any value lies outside `domain`.
+    pub fn from_values<I>(k: usize, values: I, domain: &ValueDomain) -> Result<Self, DomainError>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        if k == 0 {
+            return Err(DomainError::ZeroK);
+        }
+        let mut vs: Vec<Value> = Vec::new();
+        for v in values {
+            if !domain.contains(v) {
+                return Err(DomainError::OutOfDomain { value: v });
+            }
+            vs.push(v);
+        }
+        vs.sort_unstable_by(|a, b| b.cmp(a));
+        vs.truncate(k);
+        while vs.len() < k {
+            vs.push(domain.min());
+        }
+        Ok(TopKVector { values: vs })
+    }
+
+    /// Builds a vector from parts already known to be sorted descending.
+    ///
+    /// # Errors
+    ///
+    /// - [`DomainError::ZeroK`] if `parts` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `parts` is not sorted descending.
+    pub fn from_sorted(parts: Vec<Value>) -> Result<Self, DomainError> {
+        if parts.is_empty() {
+            return Err(DomainError::ZeroK);
+        }
+        debug_assert!(
+            parts.windows(2).all(|w| w[0] >= w[1]),
+            "from_sorted requires descending input"
+        );
+        Ok(TopKVector { values: parts })
+    }
+
+    /// The `k` parameter (vector length).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The element at 1-based `rank` (`rank = 1` is the largest).
+    ///
+    /// Returns `None` if `rank == 0` or `rank > k`.
+    #[must_use]
+    pub fn get(&self, rank: usize) -> Option<Value> {
+        if rank == 0 {
+            return None;
+        }
+        self.values.get(rank - 1).copied()
+    }
+
+    /// The largest element, `G[1]`.
+    #[must_use]
+    pub fn first(&self) -> Value {
+        self.values[0]
+    }
+
+    /// The smallest element, `G[k]`.
+    #[must_use]
+    pub fn kth(&self) -> Value {
+        *self.values.last().expect("invariant: k >= 1")
+    }
+
+    /// A view of the values, sorted descending.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterates over the values in descending order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Value>> {
+        self.values.iter().copied()
+    }
+
+    /// Multiset membership count of `v`.
+    #[must_use]
+    pub fn count_of(&self, v: Value) -> usize {
+        self.values.iter().filter(|&&x| x == v).count()
+    }
+
+    /// Whether `v` occurs at least once.
+    #[must_use]
+    pub fn contains(&self, v: Value) -> bool {
+        self.count_of(v) > 0
+    }
+
+    /// The real merged top-k: `topK(self ∪ other)` as a multiset union.
+    ///
+    /// This computes `G'_i(r) = topK(G_{i-1}(r) ∪ V_i)` of Algorithm 2.
+    /// Both operands keep their own `k`; the result has `self.k()` entries
+    /// (the global vector's width).
+    #[must_use]
+    pub fn merged_with(&self, other: &TopKVector) -> TopKVector {
+        let mut merged: Vec<Value> = Vec::with_capacity(self.values.len() + other.values.len());
+        // Merge two descending runs (merge sort step, as the paper suggests).
+        let (mut i, mut j) = (0, 0);
+        while merged.len() < self.values.len() && (i < self.values.len() || j < other.values.len())
+        {
+            let take_left = match (self.values.get(i), other.values.get(j)) {
+                (Some(a), Some(b)) => a >= b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_left {
+                merged.push(self.values[i]);
+                i += 1;
+            } else {
+                merged.push(other.values[j]);
+                j += 1;
+            }
+        }
+        TopKVector { values: merged }
+    }
+
+    /// Multiset difference `self − other`: the values of `self` that are
+    /// *not* covered by occurrences in `other`.
+    ///
+    /// This computes `V'_i = G'_i(r) − G_{i-1}(r)` of Algorithm 2 — the
+    /// values the node would newly contribute. The result is sorted
+    /// descending and may be empty.
+    #[must_use]
+    pub fn multiset_subtract(&self, other: &TopKVector) -> Vec<Value> {
+        let mut remaining: Vec<Value> = other.values.clone(); // descending
+        let mut out = Vec::new();
+        for &v in &self.values {
+            if let Some(pos) = remaining.iter().position(|&x| x == v) {
+                remaining.remove(pos);
+            } else {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Number of elements of `self` that also occur in `other`, counting
+    /// multiplicity (multiset intersection size).
+    #[must_use]
+    pub fn multiset_intersection_size(&self, other: &TopKVector) -> usize {
+        let mut remaining: Vec<Value> = other.values.clone();
+        let mut count = 0;
+        for &v in &self.values {
+            if let Some(pos) = remaining.iter().position(|&x| x == v) {
+                remaining.remove(pos);
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// The paper's precision metric: `|R ∩ TopK| / k` where `self` is the
+    /// returned set `R` and `truth` the real top-k (Section 5.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::MismatchedK`] if the two vectors have
+    /// different `k`.
+    pub fn precision_against(&self, truth: &TopKVector) -> Result<f64, DomainError> {
+        if self.k() != truth.k() {
+            return Err(DomainError::MismatchedK {
+                left: self.k(),
+                right: truth.k(),
+            });
+        }
+        Ok(self.multiset_intersection_size(truth) as f64 / self.k() as f64)
+    }
+
+    /// Builds the randomized output of Algorithm 2's `P_r` branch: the first
+    /// `k − m` entries copied from `prefix_source` and the last `m` entries
+    /// replaced by `tail` (sorted descending internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::MismatchedK`] if `tail.len() != m` or
+    /// `m > k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would not be sorted descending
+    /// (the caller must draw tail values at or below `prefix_source[k−m]`).
+    pub fn with_randomized_tail(
+        prefix_source: &TopKVector,
+        m: usize,
+        mut tail: Vec<Value>,
+    ) -> Result<TopKVector, DomainError> {
+        let k = prefix_source.k();
+        if tail.len() != m || m > k {
+            return Err(DomainError::MismatchedK {
+                left: m,
+                right: tail.len(),
+            });
+        }
+        tail.sort_unstable_by(|a, b| b.cmp(a));
+        let mut values = Vec::with_capacity(k);
+        values.extend_from_slice(&prefix_source.values[..k - m]);
+        values.extend_from_slice(&tail);
+        debug_assert!(
+            values.windows(2).all(|w| w[0] >= w[1]),
+            "randomized tail broke descending order"
+        );
+        Ok(TopKVector { values })
+    }
+
+    /// Consumes the vector and returns its values, sorted descending.
+    #[must_use]
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Whether every element equals the domain floor (i.e. the vector still
+    /// carries no real information).
+    #[must_use]
+    pub fn is_floor(&self, domain: &ValueDomain) -> bool {
+        self.values.iter().all(|&v| v == domain.min())
+    }
+}
+
+impl fmt::Display for TopKVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<'a> IntoIterator for &'a TopKVector {
+    type Item = Value;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Value>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> ValueDomain {
+        ValueDomain::paper_default()
+    }
+
+    fn vk(k: usize, vals: &[i64]) -> TopKVector {
+        TopKVector::from_values(k, vals.iter().copied().map(Value::new), &domain()).unwrap()
+    }
+
+    #[test]
+    fn floor_vector_is_all_domain_min() {
+        let v = TopKVector::floor(4, &domain());
+        assert_eq!(v.k(), 4);
+        assert!(v.is_floor(&domain()));
+        assert_eq!(v.first(), Value::new(1));
+    }
+
+    #[test]
+    fn from_values_sorts_and_truncates() {
+        let v = vk(3, &[10, 40, 20, 5]);
+        assert_eq!(
+            v.as_slice(),
+            &[Value::new(40), Value::new(20), Value::new(10)]
+        );
+    }
+
+    #[test]
+    fn from_values_pads_with_floor() {
+        let v = vk(4, &[100]);
+        assert_eq!(v.get(1), Some(Value::new(100)));
+        assert_eq!(v.get(2), Some(Value::new(1)));
+        assert_eq!(v.kth(), Value::new(1));
+    }
+
+    #[test]
+    fn from_values_rejects_zero_k() {
+        let err = TopKVector::from_values(0, [], &domain()).unwrap_err();
+        assert_eq!(err, DomainError::ZeroK);
+    }
+
+    #[test]
+    fn from_values_rejects_out_of_domain() {
+        let err = TopKVector::from_values(2, [Value::new(20_000)], &domain()).unwrap_err();
+        assert!(matches!(err, DomainError::OutOfDomain { .. }));
+    }
+
+    #[test]
+    fn one_based_rank_accessors() {
+        let v = vk(3, &[30, 20, 10]);
+        assert_eq!(v.get(0), None);
+        assert_eq!(v.get(1), Some(Value::new(30)));
+        assert_eq!(v.get(3), Some(Value::new(10)));
+        assert_eq!(v.get(4), None);
+    }
+
+    #[test]
+    fn merged_with_takes_global_topk() {
+        let g = vk(3, &[50, 30, 10]);
+        let v = vk(3, &[40, 20, 5]);
+        let merged = g.merged_with(&v);
+        assert_eq!(
+            merged.as_slice(),
+            &[Value::new(50), Value::new(40), Value::new(30)]
+        );
+    }
+
+    #[test]
+    fn merged_with_preserves_duplicates() {
+        let g = vk(3, &[50, 50, 10]);
+        let v = vk(3, &[50, 20, 5]);
+        let merged = g.merged_with(&v);
+        assert_eq!(
+            merged.as_slice(),
+            &[Value::new(50), Value::new(50), Value::new(50)]
+        );
+    }
+
+    #[test]
+    fn merged_with_differing_local_k() {
+        // Local vector may conceptually be shorter; padding keeps it k-wide,
+        // but merging with a wider global vector must still work.
+        let g = vk(4, &[9, 8, 7, 6]);
+        let v = vk(4, &[10]);
+        let merged = g.merged_with(&v);
+        assert_eq!(merged.get(1), Some(Value::new(10)));
+        assert_eq!(merged.kth(), Value::new(7));
+    }
+
+    #[test]
+    fn multiset_subtract_counts_multiplicity() {
+        let a = vk(4, &[50, 40, 40, 10]);
+        let b = vk(4, &[40, 10, 5, 1]);
+        let diff = a.multiset_subtract(&b);
+        assert_eq!(diff, vec![Value::new(50), Value::new(40)]);
+    }
+
+    #[test]
+    fn multiset_subtract_identical_is_empty() {
+        let a = vk(3, &[7, 7, 3]);
+        assert!(a.multiset_subtract(&a).is_empty());
+    }
+
+    #[test]
+    fn intersection_size_multiset_semantics() {
+        let a = vk(4, &[9, 9, 5, 2]);
+        let b = vk(4, &[9, 5, 5, 2]);
+        assert_eq!(a.multiset_intersection_size(&b), 3); // one 9, one 5, one 2
+    }
+
+    #[test]
+    fn precision_is_fraction_of_truth_recovered() {
+        let truth = vk(4, &[100, 90, 80, 70]);
+        let exact = vk(4, &[100, 90, 80, 70]);
+        let half = vk(4, &[100, 90, 3, 2]);
+        assert_eq!(exact.precision_against(&truth).unwrap(), 1.0);
+        assert_eq!(half.precision_against(&truth).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn precision_rejects_mismatched_k() {
+        let a = vk(3, &[3, 2, 1]);
+        let b = vk(4, &[4, 3, 2, 1]);
+        assert!(matches!(
+            a.precision_against(&b),
+            Err(DomainError::MismatchedK { .. })
+        ));
+    }
+
+    #[test]
+    fn with_randomized_tail_copies_prefix() {
+        let g_prev = vk(6, &[90, 80, 70, 60, 50, 40]);
+        let tail = vec![Value::new(55), Value::new(45), Value::new(58)];
+        let out = TopKVector::with_randomized_tail(&g_prev, 3, tail).unwrap();
+        assert_eq!(out.get(1), Some(Value::new(90)));
+        assert_eq!(out.get(3), Some(Value::new(70)));
+        // Tail sorted descending.
+        assert_eq!(
+            &out.as_slice()[3..],
+            &[Value::new(58), Value::new(55), Value::new(45)]
+        );
+    }
+
+    #[test]
+    fn with_randomized_tail_full_replacement() {
+        let g_prev = vk(3, &[30, 20, 10]);
+        let tail = vec![Value::new(25), Value::new(15), Value::new(28)];
+        let out = TopKVector::with_randomized_tail(&g_prev, 3, tail).unwrap();
+        assert_eq!(
+            out.as_slice(),
+            &[Value::new(28), Value::new(25), Value::new(15)]
+        );
+    }
+
+    #[test]
+    fn with_randomized_tail_rejects_bad_m() {
+        let g_prev = vk(3, &[30, 20, 10]);
+        assert!(TopKVector::with_randomized_tail(&g_prev, 2, vec![Value::new(1)]).is_err());
+        assert!(TopKVector::with_randomized_tail(&g_prev, 4, vec![Value::new(1); 4]).is_err());
+    }
+
+    #[test]
+    fn display_formats_as_list() {
+        let v = vk(3, &[3, 2, 1]);
+        assert_eq!(v.to_string(), "[3, 2, 1]");
+    }
+
+    #[test]
+    fn iteration_is_descending() {
+        let v = vk(4, &[1, 9, 4, 6]);
+        let collected: Vec<i64> = v.iter().map(Value::get).collect();
+        assert_eq!(collected, vec![9, 6, 4, 1]);
+    }
+
+    #[test]
+    fn from_sorted_roundtrip() {
+        let v = TopKVector::from_sorted(vec![Value::new(5), Value::new(3)]).unwrap();
+        assert_eq!(v.k(), 2);
+        assert_eq!(v.into_values(), vec![Value::new(5), Value::new(3)]);
+    }
+
+    #[test]
+    fn from_sorted_rejects_empty() {
+        assert_eq!(
+            TopKVector::from_sorted(Vec::new()).unwrap_err(),
+            DomainError::ZeroK
+        );
+    }
+}

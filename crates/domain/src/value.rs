@@ -1,0 +1,345 @@
+//! Attribute values and the public value domain.
+
+use std::fmt;
+use std::ops::RangeInclusive;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::DomainError;
+
+/// A single attribute value held by a private database.
+///
+/// The paper assumes "all data values of the attribute belong to a publicly
+/// known data domain" and evaluates on the integer domain `[1, 10000]`.
+/// `Value` is therefore a thin newtype over `i64`, ordered in the usual way.
+/// Real-valued attributes can be represented by fixed-point scaling (the
+/// kNN extension crate does exactly that for distances).
+///
+/// # Example
+///
+/// ```
+/// use privtopk_domain::Value;
+///
+/// let a = Value::new(30);
+/// let b = Value::new(40);
+/// assert!(a < b);
+/// assert_eq!(b.get(), 40);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Value(i64);
+
+impl Value {
+    /// Smallest representable value; used as an absolute sentinel floor.
+    pub const MIN: Value = Value(i64::MIN);
+    /// Largest representable value.
+    pub const MAX: Value = Value(i64::MAX);
+
+    /// Creates a value from a raw integer.
+    #[must_use]
+    pub const fn new(raw: i64) -> Self {
+        Value(raw)
+    }
+
+    /// Returns the raw integer.
+    #[must_use]
+    pub const fn get(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the value one step below `self`, saturating at [`Value::MIN`].
+    #[must_use]
+    pub const fn pred(self) -> Self {
+        Value(self.0.saturating_sub(1))
+    }
+
+    /// Returns the value one step above `self`, saturating at [`Value::MAX`].
+    #[must_use]
+    pub const fn succ(self) -> Self {
+        Value(self.0.saturating_add(1))
+    }
+
+    /// Subtracts `delta` steps, saturating at [`Value::MIN`].
+    ///
+    /// Used by Algorithm 2 to compute the `G'_i(r)[k] − δ` lower bound for
+    /// random-value generation.
+    #[must_use]
+    pub const fn saturating_sub(self, delta: u64) -> Self {
+        let wide = self.0 as i128 - delta as i128;
+        if wide < i64::MIN as i128 {
+            Value(i64::MIN)
+        } else {
+            Value(wide as i64)
+        }
+    }
+
+    /// Minimum of two values.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two values.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(raw: i64) -> Self {
+        Value(raw)
+    }
+}
+
+impl From<Value> for i64 {
+    fn from(v: Value) -> Self {
+        v.0
+    }
+}
+
+/// The publicly known, bounded domain all attribute values are drawn from.
+///
+/// Both endpoints are inclusive. The protocol initializes the global value
+/// (or vector) to [`ValueDomain::min`], and the randomized local algorithms
+/// sample uniformly from half-open sub-ranges of the domain.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_domain::{Value, ValueDomain};
+///
+/// let d = ValueDomain::new(Value::new(1), Value::new(10_000))?;
+/// assert!(d.contains(Value::new(500)));
+/// assert!(!d.contains(Value::new(0)));
+/// assert_eq!(d.width(), 10_000);
+/// # Ok::<(), privtopk_domain::DomainError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ValueDomain {
+    min: Value,
+    max: Value,
+}
+
+impl ValueDomain {
+    /// Creates a domain with inclusive endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::EmptyDomain`] if `min > max`.
+    pub fn new(min: Value, max: Value) -> Result<Self, DomainError> {
+        if min > max {
+            return Err(DomainError::EmptyDomain { min, max });
+        }
+        Ok(ValueDomain { min, max })
+    }
+
+    /// The integer domain `[1, 10000]` used throughout the paper's
+    /// experimental evaluation (Section 5.1).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ValueDomain {
+            min: Value::new(1),
+            max: Value::new(10_000),
+        }
+    }
+
+    /// Inclusive lower endpoint.
+    #[must_use]
+    pub const fn min(&self) -> Value {
+        self.min
+    }
+
+    /// Inclusive upper endpoint.
+    #[must_use]
+    pub const fn max(&self) -> Value {
+        self.max
+    }
+
+    /// Number of distinct values in the domain.
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        (self.max.0 as i128 - self.min.0 as i128 + 1) as u64
+    }
+
+    /// Whether `v` lies inside the domain.
+    #[must_use]
+    pub fn contains(&self, v: Value) -> bool {
+        self.min <= v && v <= self.max
+    }
+
+    /// The domain as an inclusive range of raw integers.
+    #[must_use]
+    pub fn as_range(&self) -> RangeInclusive<i64> {
+        self.min.0..=self.max.0
+    }
+
+    /// Clamps `v` into the domain.
+    #[must_use]
+    pub fn clamp(&self, v: Value) -> Value {
+        v.max(self.min).min(self.max)
+    }
+
+    /// Samples a value uniformly from the whole domain (inclusive).
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Value {
+        Value(rng.gen_range(self.min.0..=self.max.0))
+    }
+
+    /// Samples uniformly from the half-open range `[lo, hi)`.
+    ///
+    /// This is the randomization primitive of Algorithm 1: the random value
+    /// replacing `v_i` is drawn from `[g_{i-1}(r), v_i)` — open at the top so
+    /// the node never accidentally reveals its true value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::EmptyRange`] if `lo >= hi`.
+    pub fn sample_half_open<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        lo: Value,
+        hi: Value,
+    ) -> Result<Value, DomainError> {
+        if lo >= hi {
+            return Err(DomainError::EmptyRange { lo, hi });
+        }
+        Ok(Value(rng.gen_range(lo.0..hi.0)))
+    }
+}
+
+impl Default for ValueDomain {
+    fn default() -> Self {
+        ValueDomain::paper_default()
+    }
+}
+
+impl fmt::Display for ValueDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn value_ordering_and_accessors() {
+        let a = Value::new(-5);
+        let b = Value::new(3);
+        assert!(a < b);
+        assert_eq!(a.get(), -5);
+        assert_eq!(b.max(a), b);
+        assert_eq!(b.min(a), a);
+    }
+
+    #[test]
+    fn value_pred_succ_saturate() {
+        assert_eq!(Value::MIN.pred(), Value::MIN);
+        assert_eq!(Value::MAX.succ(), Value::MAX);
+        assert_eq!(Value::new(10).pred(), Value::new(9));
+        assert_eq!(Value::new(10).succ(), Value::new(11));
+    }
+
+    #[test]
+    fn value_saturating_sub() {
+        assert_eq!(Value::new(100).saturating_sub(30), Value::new(70));
+        assert_eq!(Value::MIN.saturating_sub(1), Value::MIN);
+        assert_eq!(Value::new(0).saturating_sub(u64::MAX), Value::MIN);
+    }
+
+    #[test]
+    fn value_display_and_conversions() {
+        assert_eq!(Value::new(42).to_string(), "42");
+        assert_eq!(Value::from(7i64), Value::new(7));
+        assert_eq!(i64::from(Value::new(7)), 7);
+    }
+
+    #[test]
+    fn domain_construction_rejects_empty() {
+        let err = ValueDomain::new(Value::new(5), Value::new(4)).unwrap_err();
+        assert!(matches!(err, DomainError::EmptyDomain { .. }));
+    }
+
+    #[test]
+    fn domain_width_and_contains() {
+        let d = ValueDomain::new(Value::new(1), Value::new(10)).unwrap();
+        assert_eq!(d.width(), 10);
+        assert!(d.contains(Value::new(1)));
+        assert!(d.contains(Value::new(10)));
+        assert!(!d.contains(Value::new(11)));
+    }
+
+    #[test]
+    fn paper_default_matches_section_5() {
+        let d = ValueDomain::paper_default();
+        assert_eq!(d.min(), Value::new(1));
+        assert_eq!(d.max(), Value::new(10_000));
+        assert_eq!(d.width(), 10_000);
+    }
+
+    #[test]
+    fn clamp_pins_to_endpoints() {
+        let d = ValueDomain::new(Value::new(0), Value::new(9)).unwrap();
+        assert_eq!(d.clamp(Value::new(-3)), Value::new(0));
+        assert_eq!(d.clamp(Value::new(12)), Value::new(9));
+        assert_eq!(d.clamp(Value::new(5)), Value::new(5));
+    }
+
+    #[test]
+    fn sample_uniform_stays_in_domain() {
+        let d = ValueDomain::new(Value::new(-4), Value::new(4)).unwrap();
+        let mut rng = seeded_rng(7);
+        for _ in 0..1000 {
+            assert!(d.contains(d.sample_uniform(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn sample_half_open_excludes_upper_bound() {
+        let d = ValueDomain::paper_default();
+        let mut rng = seeded_rng(11);
+        let lo = Value::new(10);
+        let hi = Value::new(12);
+        for _ in 0..200 {
+            let v = d.sample_half_open(&mut rng, lo, hi).unwrap();
+            assert!(v >= lo && v < hi);
+        }
+    }
+
+    #[test]
+    fn sample_half_open_rejects_empty_range() {
+        let d = ValueDomain::paper_default();
+        let mut rng = seeded_rng(13);
+        let err = d
+            .sample_half_open(&mut rng, Value::new(5), Value::new(5))
+            .unwrap_err();
+        assert!(matches!(err, DomainError::EmptyRange { .. }));
+    }
+
+    #[test]
+    fn single_point_domain_is_valid() {
+        let d = ValueDomain::new(Value::new(3), Value::new(3)).unwrap();
+        assert_eq!(d.width(), 1);
+        let mut rng = seeded_rng(1);
+        assert_eq!(d.sample_uniform(&mut rng), Value::new(3));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the domain foundation types.
+
+use privtopk_domain::rng::{derive_seed, seeded_rng};
+use privtopk_domain::{PrivacySpectrum, TopKVector, Value, ValueDomain};
+use proptest::prelude::*;
+
+fn arb_domain() -> impl Strategy<Value = ValueDomain> {
+    (-10_000i64..10_000, 0i64..20_000).prop_map(|(min, width)| {
+        ValueDomain::new(Value::new(min), Value::new(min + width)).expect("non-empty")
+    })
+}
+
+fn arb_values(domain: ValueDomain, max_len: usize) -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(
+        (domain.min().get()..=domain.max().get()).prop_map(Value::new),
+        0..max_len,
+    )
+}
+
+proptest! {
+    #[test]
+    fn topk_vector_is_always_sorted_descending(
+        (domain, values, k) in arb_domain().prop_flat_map(|d| {
+            (Just(d), arb_values(d, 32), 1usize..8)
+        })
+    ) {
+        let v = TopKVector::from_values(k, values, &domain).unwrap();
+        prop_assert_eq!(v.k(), k);
+        let s = v.as_slice();
+        prop_assert!(s.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(s.iter().all(|&x| domain.contains(x)));
+    }
+
+    #[test]
+    fn merge_is_commutative_on_equal_k(
+        (domain, a, b, k) in arb_domain().prop_flat_map(|d| {
+            (Just(d), arb_values(d, 16), arb_values(d, 16), 1usize..6)
+        })
+    ) {
+        let va = TopKVector::from_values(k, a, &domain).unwrap();
+        let vb = TopKVector::from_values(k, b, &domain).unwrap();
+        prop_assert_eq!(va.merged_with(&vb), vb.merged_with(&va));
+    }
+
+    #[test]
+    fn self_merge_duplicates_each_element(
+        (domain, a, k) in arb_domain().prop_flat_map(|d| {
+            (Just(d), arb_values(d, 16), 1usize..6)
+        })
+    ) {
+        // Multiset-union semantics: merging a vector with itself doubles the
+        // multiplicity of every element, so rank r of the merge equals rank
+        // ceil(r/2) of the original. (This is why Algorithm 2's inputs are
+        // disjoint data sources — duplicates are real data items.)
+        let va = TopKVector::from_values(k, a, &domain).unwrap();
+        let merged = va.merged_with(&va);
+        for rank in 1..=k {
+            prop_assert_eq!(merged.get(rank), va.get(rank.div_ceil(2)));
+        }
+    }
+
+    #[test]
+    fn merge_dominates_both_operands(
+        (domain, a, b, k) in arb_domain().prop_flat_map(|d| {
+            (Just(d), arb_values(d, 16), arb_values(d, 16), 1usize..6)
+        })
+    ) {
+        let va = TopKVector::from_values(k, a, &domain).unwrap();
+        let vb = TopKVector::from_values(k, b, &domain).unwrap();
+        let merged = va.merged_with(&vb);
+        // Element-wise, the merged vector dominates each operand.
+        for rank in 1..=k {
+            prop_assert!(merged.get(rank).unwrap() >= va.get(rank).unwrap());
+            prop_assert!(merged.get(rank).unwrap() >= vb.get(rank).unwrap());
+        }
+    }
+
+    #[test]
+    fn subtract_then_count_adds_up(
+        (domain, a, b, k) in arb_domain().prop_flat_map(|d| {
+            (Just(d), arb_values(d, 16), arb_values(d, 16), 1usize..6)
+        })
+    ) {
+        let va = TopKVector::from_values(k, a, &domain).unwrap();
+        let vb = TopKVector::from_values(k, b, &domain).unwrap();
+        let diff = va.multiset_subtract(&vb);
+        let inter = va.multiset_intersection_size(&vb);
+        prop_assert_eq!(diff.len() + inter, k);
+    }
+
+    #[test]
+    fn precision_is_symmetric_and_bounded(
+        (domain, a, b, k) in arb_domain().prop_flat_map(|d| {
+            (Just(d), arb_values(d, 16), arb_values(d, 16), 1usize..6)
+        })
+    ) {
+        let va = TopKVector::from_values(k, a, &domain).unwrap();
+        let vb = TopKVector::from_values(k, b, &domain).unwrap();
+        let p_ab = va.precision_against(&vb).unwrap();
+        let p_ba = vb.precision_against(&va).unwrap();
+        prop_assert!((p_ab - p_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&p_ab));
+        prop_assert!((va.precision_against(&va).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_open_sampling_never_hits_upper_bound(
+        (lo, width, seed) in (-1000i64..1000, 1i64..500, any::<u64>())
+    ) {
+        let domain = ValueDomain::new(Value::new(-2000), Value::new(2000)).unwrap();
+        let mut rng = seeded_rng(seed);
+        let v = domain
+            .sample_half_open(&mut rng, Value::new(lo), Value::new(lo + width))
+            .unwrap();
+        prop_assert!(v.get() >= lo);
+        prop_assert!(v.get() < lo + width);
+    }
+
+    #[test]
+    fn derive_seed_is_injective_in_stream(base in any::<u64>(), s1 in 0u64..10_000, s2 in 0u64..10_000) {
+        prop_assume!(s1 != s2);
+        prop_assert_ne!(derive_seed(base, s1), derive_seed(base, s2));
+    }
+
+    #[test]
+    fn spectrum_is_monotone_in_probability(
+        (p1, p2, n) in (0.0f64..=1.0, 0.0f64..=1.0, 1usize..100)
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let c_lo = PrivacySpectrum::classify(lo, n);
+        let c_hi = PrivacySpectrum::classify(hi, n);
+        prop_assert!(c_lo <= c_hi);
+    }
+}

@@ -1,0 +1,73 @@
+//! Regenerates every figure of the paper: ASCII tables to stdout, CSVs
+//! under `results/`.
+//!
+//! ```text
+//! cargo run --release -p privtopk-experiments --bin all_figures [trials] [seed]
+//! ```
+
+use std::path::Path;
+
+use privtopk_experiments::figures::{self, Variant};
+use privtopk_experiments::FigureData;
+
+fn emit(fig: &FigureData, out_dir: &Path) {
+    println!("{}", fig.to_ascii_table());
+    match fig.write_csv(out_dir) {
+        Ok(path) => println!("-> wrote {}\n", path.display()),
+        Err(e) => eprintln!("-> could not write CSV for {}: {e}\n", fig.id),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0x5EED);
+    let out_dir = Path::new("results");
+
+    println!("{}", figures::parameter_table());
+    println!("Running all figures with {trials} trials per point, seed {seed:#x}.\n");
+
+    for fig in [
+        figures::fig03_precision_bound(Variant::A),
+        figures::fig03_precision_bound(Variant::B),
+        figures::fig04_min_rounds(Variant::A),
+        figures::fig04_min_rounds(Variant::B),
+        figures::fig05_lop_bound(Variant::A),
+        figures::fig05_lop_bound(Variant::B),
+    ] {
+        emit(&fig, out_dir);
+    }
+
+    emit(
+        &figures::fig06_precision_vs_rounds(Variant::A, trials, seed),
+        out_dir,
+    );
+    emit(
+        &figures::fig06_precision_vs_rounds(Variant::B, trials, seed),
+        out_dir,
+    );
+    emit(
+        &figures::fig07_lop_per_round(Variant::A, trials, seed),
+        out_dir,
+    );
+    emit(
+        &figures::fig07_lop_per_round(Variant::B, trials, seed),
+        out_dir,
+    );
+    emit(&figures::fig08_lop_vs_n(Variant::A, trials, seed), out_dir);
+    emit(&figures::fig08_lop_vs_n(Variant::B, trials, seed), out_dir);
+    emit(&figures::fig09_tradeoff(trials, seed), out_dir);
+    emit(
+        &figures::fig10_protocol_comparison(Variant::A, trials, seed),
+        out_dir,
+    );
+    emit(
+        &figures::fig10_protocol_comparison(Variant::B, trials, seed),
+        out_dir,
+    );
+    emit(&figures::fig11_topk_precision(trials, seed), out_dir);
+    emit(&figures::fig12_topk_lop(Variant::A, trials, seed), out_dir);
+    emit(&figures::fig12_topk_lop(Variant::B, trials, seed), out_dir);
+
+    println!("All figures regenerated.");
+}

@@ -1,0 +1,39 @@
+//! Regenerates the extension experiments (beyond the paper's figures):
+//! malicious-model pollution, schedule ablation, collusion vs remapping,
+//! baseline comparison, multi-round adversary, trust-aware rings and
+//! distribution robustness.
+//!
+//! ```text
+//! cargo run --release -p privtopk-experiments --bin extensions [trials] [seed]
+//! ```
+
+use std::path::Path;
+
+use privtopk_experiments::extensions;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0x5EED);
+    let out_dir = Path::new("results");
+
+    println!("Extension experiments: {trials} trials per point, seed {seed:#x}.\n");
+    for fig in [
+        extensions::ext_malicious_pollution(trials, seed),
+        extensions::ext_schedule_comparison(trials, seed),
+        extensions::ext_collusion_remap(trials, seed),
+        extensions::ext_baseline_costs(trials.min(20), seed),
+        extensions::ext_multiround_adversary(trials, seed),
+        extensions::ext_trust_coverage(trials, seed),
+        extensions::ext_distribution_robustness(trials, seed),
+        extensions::ext_knn_accuracy(trials.min(20), seed),
+        extensions::ext_latency_makespan(trials, seed),
+    ] {
+        println!("{}", fig.to_ascii_table());
+        match fig.write_csv(out_dir) {
+            Ok(path) => println!("-> wrote {}\n", path.display()),
+            Err(e) => eprintln!("-> could not write CSV for {}: {e}\n", fig.id),
+        }
+    }
+    println!("All extension experiments regenerated.");
+}

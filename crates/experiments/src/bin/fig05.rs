@@ -1,0 +1,22 @@
+//! Regenerates Figure 5 (analytic expected LoP) of the paper. Usage:
+//! `cargo run --release -p privtopk-experiments --bin fig05 [trials] [seed]`
+
+use std::path::Path;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0x5EED);
+    let _ = (trials, seed);
+    println!("{}", privtopk_experiments::figures::parameter_table());
+    for fig in [
+        privtopk_experiments::figures::fig05_lop_bound(privtopk_experiments::figures::Variant::A),
+        privtopk_experiments::figures::fig05_lop_bound(privtopk_experiments::figures::Variant::B),
+    ] {
+        println!("{}", fig.to_ascii_table());
+        match fig.write_csv(Path::new("results")) {
+            Ok(path) => println!("-> wrote {}\n", path.display()),
+            Err(e) => eprintln!("-> could not write CSV for {}: {e}\n", fig.id),
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 11 (top-k precision vs rounds) of the paper. Usage:
+//! `cargo run --release -p privtopk-experiments --bin fig11 [trials] [seed]`
+
+use std::path::Path;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0x5EED);
+    let _ = (trials, seed);
+    println!("{}", privtopk_experiments::figures::parameter_table());
+    {
+        let fig = privtopk_experiments::figures::fig11_topk_precision(trials, seed);
+        println!("{}", fig.to_ascii_table());
+        match fig.write_csv(Path::new("results")) {
+            Ok(path) => println!("-> wrote {}\n", path.display()),
+            Err(e) => eprintln!("-> could not write CSV for {}: {e}\n", fig.id),
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Executable verification of every paper claim EXPERIMENTS.md records:
+//! re-measures each one and prints PASS/FAIL. Exit code is non-zero if
+//! any claim fails.
+//!
+//! ```text
+//! cargo run --release -p privtopk-experiments --bin verify_claims [trials] [seed]
+//! ```
+
+use std::process::ExitCode;
+
+use privtopk_experiments::figures::{self, Variant};
+
+struct Checker {
+    failures: u32,
+    checks: u32,
+}
+
+impl Checker {
+    fn assert(&mut self, claim: &str, ok: bool) {
+        self.checks += 1;
+        if ok {
+            println!("PASS  {claim}");
+        } else {
+            self.failures += 1;
+            println!("FAIL  {claim}");
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0x5EED);
+    let mut c = Checker {
+        failures: 0,
+        checks: 0,
+    };
+    println!("verifying paper claims with {trials} trials per point, seed {seed:#x}\n");
+
+    // Figure 3 (analytic).
+    let f3a = figures::fig03_precision_bound(Variant::A);
+    c.assert(
+        "F3: precision bound monotone in rounds (every p0)",
+        f3a.series
+            .iter()
+            .all(|s| s.points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-12)),
+    );
+    c.assert(
+        "F3: smaller p0 gives higher round-1 precision",
+        f3a.series_by_label("p0=0.25").unwrap().y_at(1.0)
+            > f3a.series_by_label("p0=1").unwrap().y_at(1.0),
+    );
+
+    // Figure 4 (analytic).
+    let f4b = figures::fig04_min_rounds(Variant::B);
+    c.assert(
+        "F4: smaller d needs fewer rounds at eps=1e-3",
+        f4b.series_by_label("d=0.25").unwrap().y_at(1e-3)
+            < f4b.series_by_label("d=0.75").unwrap().y_at(1e-3),
+    );
+
+    // Figure 5 (analytic).
+    let f5a = figures::fig05_lop_bound(Variant::A);
+    let p1 = f5a.series_by_label("p0=1").unwrap();
+    c.assert(
+        "F5: p0=1 starts at zero LoP and peaks in round 2",
+        p1.y_at(1.0) == Some(0.0) && p1.max_y() == p1.y_at(2.0),
+    );
+    c.assert(
+        "F5: larger p0 has the lower peak",
+        p1.max_y() < f5a.series_by_label("p0=0.25").unwrap().max_y(),
+    );
+
+    // Figure 6 (measured).
+    let f6a = figures::fig06_precision_vs_rounds(Variant::A, trials, seed);
+    c.assert(
+        "F6: measured precision reaches ~100% for every p0 (d=0.5)",
+        f6a.series.iter().all(|s| s.last_y().unwrap_or(0.0) > 0.97),
+    );
+    c.assert(
+        "F6: smaller p0 has higher round-1 precision",
+        f6a.series_by_label("p0=0.25").unwrap().y_at(1.0)
+            > f6a.series_by_label("p0=1").unwrap().y_at(1.0),
+    );
+
+    // Figure 7 (measured).
+    let f7a = figures::fig07_lop_per_round(Variant::A, trials, seed);
+    let m1 = f7a.series_by_label("p0=1").unwrap();
+    let m025 = f7a.series_by_label("p0=0.25").unwrap();
+    c.assert(
+        "F7: p0=1 has zero LoP in round 1, peak at round 2",
+        m1.y_at(1.0) == Some(0.0) && m1.max_y() == m1.y_at(2.0),
+    );
+    c.assert(
+        "F7: small p0 peaks in round 1",
+        m025.max_y() == m025.y_at(1.0),
+    );
+    c.assert(
+        "F7: larger p0 gives lower peak LoP",
+        m1.max_y() < m025.max_y(),
+    );
+
+    // Figure 8 (measured).
+    let f8a = figures::fig08_lop_vs_n(Variant::A, trials, seed);
+    c.assert(
+        "F8: LoP decreases with n for every p0",
+        f8a.series
+            .iter()
+            .all(|s| s.y_at(128.0).unwrap() <= s.y_at(4.0).unwrap() + 1e-9),
+    );
+
+    // Figure 9 (measured + analytic).
+    let f9 = figures::fig09_tradeoff(trials, seed);
+    c.assert("F9: d dominates efficiency (round counts ordered by d)", {
+        let r25 = f9.series_by_label("d=0.25").unwrap().points[0].1;
+        let r75 = f9.series_by_label("d=0.75").unwrap().points[0].1;
+        r25 < r75
+    });
+
+    // Figure 10 (measured).
+    let f10a = figures::fig10_protocol_comparison(Variant::A, trials, seed);
+    let f10b = figures::fig10_protocol_comparison(Variant::B, trials, seed);
+    c.assert(
+        "F10a: probabilistic average LoP far below naive at n=4",
+        f10a.series_by_label("probabilistic")
+            .unwrap()
+            .y_at(4.0)
+            .unwrap()
+            < f10a.series_by_label("naive").unwrap().y_at(4.0).unwrap() / 2.0,
+    );
+    c.assert(
+        "F10b: naive worst case near provable exposure at large n",
+        f10b.series_by_label("naive").unwrap().y_at(128.0).unwrap() > 0.9,
+    );
+    c.assert(
+        "F10b: anonymous start removes the worst case",
+        f10b.series_by_label("anonymous")
+            .unwrap()
+            .y_at(128.0)
+            .unwrap()
+            < 0.2,
+    );
+
+    // Figure 11 (measured).
+    let f11 = figures::fig11_topk_precision(trials, seed);
+    c.assert(
+        "F11: top-k precision reaches ~100% for every k",
+        f11.series.iter().all(|s| s.last_y().unwrap_or(0.0) > 0.97),
+    );
+
+    // Figure 12 (measured).
+    let f12a = figures::fig12_topk_lop(Variant::A, trials, seed);
+    let prob = f12a.series_by_label("probabilistic").unwrap();
+    c.assert(
+        "F12: probabilistic LoP grows with k",
+        prob.y_at(16.0).unwrap() >= prob.y_at(2.0).unwrap() - 0.02,
+    );
+    c.assert(
+        "F12: probabilistic below naive at every k",
+        figures::K_SWEEP.iter().all(|&k| {
+            prob.y_at(k as f64).unwrap()
+                < f12a
+                    .series_by_label("naive")
+                    .unwrap()
+                    .y_at(k as f64)
+                    .unwrap()
+        }),
+    );
+
+    println!(
+        "\n{}/{} claims verified{}",
+        c.checks - c.failures,
+        c.checks,
+        if c.failures == 0 { " — all PASS" } else { "" }
+    );
+    if c.failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,535 @@
+//! Extension experiments beyond the paper's figures: the future-work
+//! items (malicious model, multi-round analysis, alternative schedules)
+//! and the engineering ablations DESIGN.md calls out.
+
+use privtopk_baselines::{kth_largest, TrustedThirdParty};
+use privtopk_core::adversarial::{pollution, run_with_behaviors, Misbehavior};
+use privtopk_core::latency::{estimate_makespan, LatencyModel};
+use privtopk_core::{true_topk, ProtocolConfig, RoundPolicy, Schedule, SimulationEngine};
+use privtopk_datagen::{DataDistribution, DatasetBuilder};
+use privtopk_domain::rng::{derive_seed, seeded_rng};
+use privtopk_domain::{NodeId, ValueDomain};
+use privtopk_knn::{centralized_knn, KnnConfig, LabeledPoint, PrivateKnnClassifier};
+use privtopk_privacy::{LopAccumulator, MultiRoundAdversary, SuccessorAdversary};
+use privtopk_ring::trust::{coverage, trust_aware_arrangement, TrustGraph};
+use privtopk_ring::RingTopology;
+
+use crate::{AdversaryKind, ExperimentSetup, FigureData, Series};
+
+/// Extension E1: result pollution under the malicious model (spoofing and
+/// hiding attacks, Section 2.1) as the number of attackers grows.
+///
+/// n = 8, k = 4; attackers are the lowest-id nodes.
+#[must_use]
+pub fn ext_malicious_pollution(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext_malicious",
+        "Result Pollution under Spoofing and Hiding Attacks (n=8, k=4)",
+        "attackers",
+        "pollution (1 - precision)",
+    );
+    let n = 8;
+    let k = 4;
+    let domain = ValueDomain::paper_default();
+    let config = ProtocolConfig::topk(k).with_rounds(RoundPolicy::Precision { epsilon: 1e-9 });
+    for (label, make) in [
+        (
+            "spoof",
+            Box::new(|| Misbehavior::ceiling_spoof(k, &domain).expect("valid k"))
+                as Box<dyn Fn() -> Misbehavior>,
+        ),
+        ("hide", Box::new(|| Misbehavior::Hide)),
+    ] {
+        let mut pts = Vec::new();
+        for attackers in 0..=4usize {
+            let mut total = 0.0;
+            for trial in 0..trials {
+                let locals = DatasetBuilder::new(n)
+                    .rows_per_node(k)
+                    .seed(derive_seed(seed, trial as u64))
+                    .build_local_topk(k)
+                    .expect("valid dataset");
+                let truth = true_topk(&locals, k, &domain).expect("valid k");
+                let mut behaviors = vec![Misbehavior::Honest; n];
+                for b in behaviors.iter_mut().take(attackers) {
+                    *b = make();
+                }
+                let t = run_with_behaviors(&config, &locals, &behaviors, trial as u64)
+                    .expect("valid run");
+                total += pollution(t.result(), &truth).expect("matching k");
+            }
+            pts.push((attackers as f64, total / trials as f64));
+        }
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Extension E2: the randomization-schedule family compared on all three
+/// axes — rounds to reach 1−ε, measured precision at those rounds, and
+/// measured peak LoP.
+#[must_use]
+pub fn ext_schedule_comparison(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext_schedules",
+        "Schedule Family Comparison (n=4, eps=1e-3): x = schedule index",
+        "schedule",
+        "rounds / precision / LoP",
+    );
+    let schedules = [
+        (
+            "exponential(1,0.5)",
+            Schedule::exponential(1.0, 0.5).expect("valid"),
+        ),
+        (
+            "linear(1,0.25)",
+            Schedule::linear(1.0, 0.25).expect("valid"),
+        ),
+        ("constant(0.5)", Schedule::constant(0.5).expect("valid")),
+    ];
+    let setup = ExperimentSetup::paper(4, 1)
+        .with_trials(trials)
+        .with_seed(seed);
+    let mut rounds_series = Vec::new();
+    let mut precision_series = Vec::new();
+    let mut lop_series = Vec::new();
+    for (i, (_, schedule)) in schedules.iter().enumerate() {
+        let rounds = schedule
+            .min_rounds_for_precision(1e-3)
+            .expect("reachable schedules only");
+        let config = ProtocolConfig::max()
+            .with_schedule(*schedule)
+            .with_rounds(RoundPolicy::Fixed(rounds.max(10)));
+        let precision = setup.measure_precision(
+            &ProtocolConfig::max()
+                .with_schedule(*schedule)
+                .with_rounds(RoundPolicy::Fixed(rounds)),
+        );
+        let lop = setup
+            .measure_lop(&config, AdversaryKind::Successor)
+            .average_peak;
+        rounds_series.push((i as f64, f64::from(rounds)));
+        precision_series.push((i as f64, precision));
+        lop_series.push((i as f64, lop));
+    }
+    fig.push_series(Series::new("rounds_for_eps", rounds_series));
+    fig.push_series(Series::new("precision_at_rounds", precision_series));
+    fig.push_series(Series::new("avg_peak_lop", lop_series));
+    fig
+}
+
+/// Extension E3: collusion exposure with and without per-round ring
+/// remapping (Section 4.3), as n grows.
+#[must_use]
+pub fn ext_collusion_remap(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext_collusion",
+        "Collusion LoP: Fixed Ring vs Per-Round Remapping",
+        "nodes",
+        "average LoP (colluding neighbors)",
+    );
+    for (label, remap) in [("fixed_ring", false), ("remap_each_round", true)] {
+        let mut pts = Vec::new();
+        for &n in &[4usize, 8, 16, 32] {
+            let setup = ExperimentSetup::paper(n, 1)
+                .with_trials(trials)
+                .with_seed(seed);
+            let config = ProtocolConfig::max()
+                .with_remap_each_round(remap)
+                .with_rounds(RoundPolicy::Fixed(10));
+            let summary = setup.measure_lop(&config, AdversaryKind::Collusion);
+            pts.push((n as f64, summary.average_peak));
+        }
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Extension E4: cost and disclosure of the alternatives — the
+/// probabilistic protocol vs the kth-ranked-element baseline vs the
+/// trusted third party, at k = 1 over growing n.
+#[must_use]
+pub fn ext_baseline_costs(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext_baselines",
+        "Messages per Query: Probabilistic vs kth-Element vs Third Party",
+        "nodes",
+        "messages",
+    );
+    let domain = ValueDomain::paper_default();
+    let mut prob = Vec::new();
+    let mut kth = Vec::new();
+    let mut ttp = Vec::new();
+    for &n in &[4usize, 8, 16, 32, 64] {
+        let mut prob_msgs = 0.0;
+        let mut kth_msgs = 0.0;
+        for trial in 0..trials {
+            let locals = DatasetBuilder::new(n)
+                .rows_per_node(1)
+                .seed(derive_seed(seed, (n * 1000 + trial) as u64))
+                .build_local_topk(1)
+                .expect("valid dataset");
+            let t = SimulationEngine::new(
+                ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-3 }),
+            )
+            .run(&locals, trial as u64)
+            .expect("valid run");
+            prob_msgs += t.message_count() as f64;
+            let shards: Vec<Vec<privtopk_domain::Value>> =
+                locals.iter().map(|l| l.iter().collect()).collect();
+            let out = kth_largest(&shards, 1, &domain, trial as u64).expect("valid baseline");
+            kth_msgs += out.messages as f64;
+            // Consistency: both compute the same maximum.
+            assert_eq!(out.value, t.result_value());
+            let _ = TrustedThirdParty::new()
+                .topk(&locals, 1, &domain)
+                .expect("valid k");
+        }
+        prob.push((n as f64, prob_msgs / trials as f64));
+        kth.push((n as f64, kth_msgs / trials as f64));
+        // TTP: n uploads + n result downloads.
+        ttp.push((n as f64, 2.0 * n as f64));
+    }
+    fig.push_series(Series::new("probabilistic", prob));
+    fig.push_series(Series::new("kth_element", kth));
+    fig.push_series(Series::new("third_party", ttp));
+    fig
+}
+
+/// Extension E5: the multi-round aggregation adversary (Section 7 future
+/// work) vs the per-round peak, over n.
+#[must_use]
+pub fn ext_multiround_adversary(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext_multiround",
+        "Per-Round Peak vs Whole-Execution (Aggregated) LoP",
+        "nodes",
+        "average LoP",
+    );
+    let mut per_round = Vec::new();
+    let mut aggregated = Vec::new();
+    for &n in &[4usize, 8, 16, 32] {
+        let mut acc = LopAccumulator::new();
+        let mut agg_total = 0.0;
+        for trial in 0..trials {
+            let locals = DatasetBuilder::new(n)
+                .rows_per_node(1)
+                .seed(derive_seed(seed, (n * 777 + trial) as u64))
+                .build_local_topk(1)
+                .expect("valid dataset");
+            let t =
+                SimulationEngine::new(ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(10)))
+                    .run(&locals, trial as u64)
+                    .expect("valid run");
+            acc.add(&SuccessorAdversary::estimate(&t, &locals));
+            agg_total += MultiRoundAdversary::estimate(&t, &locals).average();
+        }
+        per_round.push((n as f64, acc.summarize().average_peak));
+        aggregated.push((n as f64, agg_total / trials as f64));
+    }
+    fig.push_series(Series::new("per_round_peak", per_round));
+    fig.push_series(Series::new("aggregated", aggregated));
+    fig
+}
+
+/// Extension E6: trusted-neighbor coverage of random vs trust-aware ring
+/// arrangements as the trust graph densifies.
+#[must_use]
+pub fn ext_trust_coverage(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext_trust",
+        "Trusted-Neighbor Coverage: Random vs Trust-Aware Arrangement (n=16)",
+        "trust edges per node",
+        "coverage fraction",
+    );
+    let n = 16;
+    for (label, aware) in [("random", false), ("trust_aware", true)] {
+        let mut pts = Vec::new();
+        for &avg_degree in &[1usize, 2, 4, 8] {
+            let mut total = 0.0;
+            for trial in 0..trials {
+                let mut rng = seeded_rng(derive_seed(seed, (avg_degree * 100 + trial) as u64));
+                let mut graph = TrustGraph::new(n);
+                let edges = n * avg_degree / 2;
+                let mut added = 0;
+                while added < edges {
+                    let a = rand::Rng::gen_range(&mut rng, 0..n);
+                    let b = rand::Rng::gen_range(&mut rng, 0..n);
+                    if a != b {
+                        graph
+                            .add_trust(NodeId::new(a), NodeId::new(b))
+                            .expect("in range");
+                        added += 1;
+                    }
+                }
+                let topo = if aware {
+                    trust_aware_arrangement(&graph, &mut rng).expect("non-empty")
+                } else {
+                    RingTopology::random(n, &mut rng).expect("non-empty")
+                };
+                total += coverage(&topo, &graph).expect("well-formed").fraction();
+            }
+            pts.push((avg_degree as f64, total / trials as f64));
+        }
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Extension E7: the Section 5.1 robustness claim — precision and LoP
+/// across data distributions.
+#[must_use]
+pub fn ext_distribution_robustness(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext_distributions",
+        "Distribution Robustness (n=4, k=1): x = distribution index",
+        "distribution",
+        "precision / LoP",
+    );
+    let dists = [
+        ("uniform", DataDistribution::Uniform),
+        ("normal", DataDistribution::centered_normal()),
+        ("zipf", DataDistribution::classic_zipf()),
+    ];
+    let mut precision = Vec::new();
+    let mut lop = Vec::new();
+    for (i, (_, dist)) in dists.iter().enumerate() {
+        let setup = ExperimentSetup::paper(4, 1)
+            .with_trials(trials)
+            .with_seed(seed)
+            .with_distribution(*dist)
+            .with_rows_per_node(10);
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(10));
+        precision.push((i as f64, setup.measure_precision(&config)));
+        lop.push((
+            i as f64,
+            setup
+                .measure_lop(&config, AdversaryKind::Successor)
+                .average_peak,
+        ));
+    }
+    fig.push_series(Series::new("precision@10", precision));
+    fig.push_series(Series::new("avg_peak_lop", lop));
+    fig
+}
+
+/// Extension E8: private kNN classification — agreement with the
+/// centralized reference and accuracy on separable data, over k.
+#[must_use]
+pub fn ext_knn_accuracy(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext_knn",
+        "Private kNN: Agreement with Centralized Reference and Accuracy",
+        "k",
+        "fraction",
+    );
+    let mut agreement = Vec::new();
+    let mut accuracy = Vec::new();
+    for &k in &[1usize, 3, 7, 15] {
+        let mut agree = 0usize;
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for trial in 0..trials {
+            let mut rng = seeded_rng(derive_seed(seed, (k * 1000 + trial) as u64));
+            let shards: Vec<Vec<LabeledPoint>> = (0..4)
+                .map(|_| {
+                    (0..12)
+                        .map(|_| {
+                            let label = usize::from(rand::Rng::gen_bool(&mut rng, 0.5));
+                            let c = if label == 0 { 0.0 } else { 4.0 };
+                            LabeledPoint::new(
+                                vec![
+                                    c + rand::Rng::gen_range(&mut rng, -1.2..1.2),
+                                    c + rand::Rng::gen_range(&mut rng, -1.2..1.2),
+                                ],
+                                label,
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            let flat: Vec<LabeledPoint> = shards.iter().flatten().cloned().collect();
+            let config = KnnConfig::new(k);
+            let clf = PrivateKnnClassifier::new(config, shards).expect("valid shards");
+            for q in 0..5 {
+                let truth_label = usize::from(q % 2 == 1);
+                let c = if truth_label == 0 { 0.0 } else { 4.0 };
+                let query = [
+                    c + rand::Rng::gen_range(&mut rng, -0.8..0.8),
+                    c + rand::Rng::gen_range(&mut rng, -0.8..0.8),
+                ];
+                let private = clf
+                    .classify(&query, (trial * 10 + q) as u64)
+                    .expect("valid query");
+                let reference = centralized_knn(&flat, &query, &config);
+                total += 1;
+                if private == reference {
+                    agree += 1;
+                }
+                if private == truth_label {
+                    correct += 1;
+                }
+            }
+        }
+        agreement.push((k as f64, agree as f64 / total as f64));
+        accuracy.push((k as f64, correct as f64 / total as f64));
+    }
+    fig.push_series(Series::new("agreement_with_centralized", agreement));
+    fig.push_series(Series::new("accuracy_on_blobs", accuracy));
+    fig
+}
+
+/// Extension E9: wall-clock makespan (Section 4.2) — flat ring vs
+/// group-parallel execution under a WAN latency model, sqrt(n) groups.
+#[must_use]
+pub fn ext_latency_makespan(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "ext_latency",
+        "Estimated Query Makespan: Flat Ring vs Group-Parallel (WAN model)",
+        "nodes",
+        "makespan (ms)",
+    );
+    let config = ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-3 });
+    let mut flat = Vec::new();
+    let mut grouped = Vec::new();
+    for &n in &[9usize, 36, 100, 225, 400] {
+        let groups = (n as f64).sqrt().round() as usize;
+        let mut flat_total = 0.0;
+        let mut grouped_total = 0.0;
+        for trial in 0..trials {
+            let est = estimate_makespan(
+                &config,
+                n,
+                groups,
+                LatencyModel::wan(),
+                derive_seed(seed, (n * 31 + trial) as u64),
+            )
+            .expect("valid grouping");
+            flat_total += est.flat_ms;
+            grouped_total += est.grouped_ms;
+        }
+        flat.push((n as f64, flat_total / trials as f64));
+        grouped.push((n as f64, grouped_total / trials as f64));
+    }
+    fig.push_series(Series::new("flat", flat));
+    fig.push_series(Series::new("grouped_sqrt_n", grouped));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: usize = 10;
+    const SEED: u64 = 0xE47;
+
+    #[test]
+    fn malicious_pollution_grows_with_attackers() {
+        let fig = ext_malicious_pollution(T, SEED);
+        let spoof = fig.series_by_label("spoof").unwrap();
+        assert_eq!(spoof.y_at(0.0).unwrap(), 0.0, "no attackers, no pollution");
+        assert!(spoof.y_at(4.0).unwrap() > spoof.y_at(1.0).unwrap() - 1e-9);
+        assert!(spoof.y_at(1.0).unwrap() > 0.0);
+        let hide = fig.series_by_label("hide").unwrap();
+        assert!(hide.y_at(4.0).unwrap() >= hide.y_at(0.0).unwrap());
+        // Spoofing (injects fakes) pollutes at least as much as hiding.
+        assert!(spoof.y_at(4.0).unwrap() >= hide.y_at(4.0).unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn schedule_comparison_all_reach_full_precision() {
+        let fig = ext_schedule_comparison(T, SEED);
+        let prec = fig.series_by_label("precision_at_rounds").unwrap();
+        for &(_, p) in &prec.points {
+            assert!(p > 0.9, "precision {p}");
+        }
+        let rounds = fig.series_by_label("rounds_for_eps").unwrap();
+        assert!(rounds.points.iter().all(|&(_, r)| r >= 1.0));
+    }
+
+    #[test]
+    fn collusion_lop_positive_and_decreasing_in_n() {
+        let fig = ext_collusion_remap(T, SEED);
+        for s in &fig.series {
+            assert!(s.y_at(4.0).unwrap() > 0.0);
+            assert!(s.y_at(32.0).unwrap() <= s.y_at(4.0).unwrap());
+        }
+    }
+
+    #[test]
+    fn baseline_costs_scale_as_expected() {
+        let fig = ext_baseline_costs(5, SEED);
+        let prob = fig.series_by_label("probabilistic").unwrap();
+        let kth = fig.series_by_label("kth_element").unwrap();
+        // Both linear in n; the probabilistic protocol needs fewer
+        // sequential scans than the kth-element binary search over a
+        // 10^4-wide domain (r_min ~ 5 vs log2(10^4) ~ 14).
+        assert!(prob.y_at(64.0).unwrap() < kth.y_at(64.0).unwrap());
+        // TTP is cheapest — its cost is privacy, not messages.
+        let ttp = fig.series_by_label("third_party").unwrap();
+        assert!(ttp.y_at(64.0).unwrap() < prob.y_at(64.0).unwrap());
+    }
+
+    #[test]
+    fn multiround_dominates_per_round() {
+        let fig = ext_multiround_adversary(T, SEED);
+        let per_round = fig.series_by_label("per_round_peak").unwrap();
+        let agg = fig.series_by_label("aggregated").unwrap();
+        for &(x, y) in &agg.points {
+            assert!(y >= per_round.y_at(x).unwrap() - 1e-9, "n={x}");
+        }
+    }
+
+    #[test]
+    fn trust_aware_dominates_random_coverage() {
+        let fig = ext_trust_coverage(T, SEED);
+        let aware = fig.series_by_label("trust_aware").unwrap();
+        let random = fig.series_by_label("random").unwrap();
+        for &(x, y) in &aware.points {
+            assert!(y >= random.y_at(x).unwrap(), "degree {x}");
+        }
+        // Dense graphs approach full coverage.
+        assert!(aware.y_at(8.0).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn latency_grouping_wins_and_scales_sublinearly() {
+        let fig = ext_latency_makespan(5, SEED);
+        let flat = fig.series_by_label("flat").unwrap();
+        let grouped = fig.series_by_label("grouped_sqrt_n").unwrap();
+        for &(n, ms) in &grouped.points {
+            assert!(ms < flat.y_at(n).unwrap(), "n={n}");
+        }
+        // Flat grows ~linearly; grouped ~sqrt(n): at n=400 the gap is wide.
+        let speedup = flat.y_at(400.0).unwrap() / grouped.y_at(400.0).unwrap();
+        assert!(speedup > 5.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn knn_agreement_is_total_and_accuracy_high() {
+        let fig = ext_knn_accuracy(4, SEED);
+        let agree = fig.series_by_label("agreement_with_centralized").unwrap();
+        for &(k, a) in &agree.points {
+            assert_eq!(a, 1.0, "k = {k}: private and centralized diverged");
+        }
+        let acc = fig.series_by_label("accuracy_on_blobs").unwrap();
+        for &(k, a) in &acc.points {
+            assert!(a > 0.9, "k = {k}: accuracy {a}");
+        }
+    }
+
+    #[test]
+    fn distribution_robustness_holds() {
+        let fig = ext_distribution_robustness(T, SEED);
+        let prec = fig.series_by_label("precision@10").unwrap();
+        for &(_, p) in &prec.points {
+            assert!(p > 0.95, "precision {p}");
+        }
+        let lop = fig.series_by_label("avg_peak_lop").unwrap();
+        let max = lop.max_y().unwrap();
+        for &(_, l) in &lop.points {
+            assert!(l <= max);
+            assert!(l < 0.3, "LoP {l} out of family");
+        }
+    }
+}

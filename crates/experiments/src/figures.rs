@@ -1,0 +1,527 @@
+//! One generator per paper figure.
+//!
+//! Analytical figures (3, 4, 5) come straight from `privtopk-analysis`;
+//! measured figures (6–12) run the protocol via [`ExperimentSetup`].
+//! Binaries in `src/bin/` render these to ASCII + CSV.
+
+use privtopk_analysis::{correctness, efficiency, privacy_bounds, RandomizationParams};
+use privtopk_core::{ProtocolConfig, RoundPolicy, Schedule};
+
+use crate::{AdversaryKind, ExperimentSetup, FigureData, Series};
+
+/// Which panel of a two-panel figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Panel (a): sweep the initial randomization probability `p0`
+    /// (dampening factor fixed at `1/2`).
+    A,
+    /// Panel (b): sweep the dampening factor `d` (`p0` fixed at 1).
+    B,
+}
+
+impl Variant {
+    fn suffix(self) -> &'static str {
+        match self {
+            Variant::A => "a",
+            Variant::B => "b",
+        }
+    }
+}
+
+/// The `p0` sweep of the (a) panels.
+pub const P0_SWEEP: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+/// The `d` sweep of the (b) panels (the paper plots d = 1, 1/2, 1/4).
+pub const D_SWEEP: [f64; 3] = [0.25, 0.5, 1.0];
+/// The `d` sweep where `d = 1` is excluded because the quantity is
+/// undefined/unreachable (Figure 4b).
+pub const D_SWEEP_CONVERGENT: [f64; 3] = [0.25, 0.5, 0.75];
+/// Node-count sweep for Figures 8 and 10.
+pub const N_SWEEP: [usize; 6] = [4, 8, 16, 32, 64, 128];
+/// k sweep for Figures 11 and 12.
+pub const K_SWEEP: [usize; 4] = [2, 4, 8, 16];
+/// Rounds plotted on the x axis of per-round figures.
+pub const MAX_PLOT_ROUNDS: u32 = 10;
+/// Error-bound sweep of Figure 4 (log-scale x axis).
+pub const EPSILON_SWEEP: [f64; 8] = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8];
+/// The measured probabilistic protocol runs this many rounds in LoP
+/// experiments (past convergence under the paper's default schedule).
+pub const LOP_ROUNDS: u32 = 10;
+
+fn sweep_params(variant: Variant) -> Vec<(String, f64, f64)> {
+    match variant {
+        Variant::A => P0_SWEEP
+            .iter()
+            .map(|&p0| (format!("p0={p0}"), p0, 0.5))
+            .collect(),
+        Variant::B => D_SWEEP
+            .iter()
+            .map(|&d| (format!("d={d}"), 1.0, d))
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analytical figures (Section 4)
+// ---------------------------------------------------------------------------
+
+/// Figure 3: the Equation 3 precision lower bound vs number of rounds.
+#[must_use]
+pub fn fig03_precision_bound(variant: Variant) -> FigureData {
+    let mut fig = FigureData::new(
+        format!("fig03{}", variant.suffix()),
+        "Precision Guarantee with Number of Rounds (Eq. 3)",
+        "rounds",
+        "precision bound",
+    );
+    for (label, p0, d) in sweep_params(variant) {
+        let params = RandomizationParams::new(p0, d).expect("valid sweep");
+        let pts = correctness::precision_series(params, MAX_PLOT_ROUNDS)
+            .into_iter()
+            .map(|(r, p)| (f64::from(r), p))
+            .collect();
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Figure 4: minimum rounds for precision `1 − ε` vs `ε` (Eq. 4).
+#[must_use]
+pub fn fig04_min_rounds(variant: Variant) -> FigureData {
+    let mut fig = FigureData::new(
+        format!("fig04{}", variant.suffix()),
+        "Required Number of Rounds with Precision Guarantee (Eq. 4)",
+        "epsilon",
+        "min rounds",
+    );
+    let sweeps: Vec<(String, f64, f64)> = match variant {
+        Variant::A => sweep_params(Variant::A),
+        // d = 1 never converges; Figure 4(b) therefore sweeps decaying d.
+        Variant::B => D_SWEEP_CONVERGENT
+            .iter()
+            .map(|&d| (format!("d={d}"), 1.0, d))
+            .collect(),
+    };
+    for (label, p0, d) in sweeps {
+        let params = RandomizationParams::new(p0, d).expect("valid sweep");
+        let pts = efficiency::min_rounds_series(params, &EPSILON_SWEEP)
+            .expect("reachable precision")
+            .into_iter()
+            .map(|(e, r)| (e, f64::from(r)))
+            .collect();
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Figure 5: the Equation 6 expected-LoP term per round.
+#[must_use]
+pub fn fig05_lop_bound(variant: Variant) -> FigureData {
+    let mut fig = FigureData::new(
+        format!("fig05{}", variant.suffix()),
+        "Expected Loss of Privacy in Different Rounds (Eq. 6)",
+        "round",
+        "expected LoP bound",
+    );
+    for (label, p0, d) in sweep_params(variant) {
+        let params = RandomizationParams::new(p0, d).expect("valid sweep");
+        let pts = privacy_bounds::probabilistic_lop_series(params, MAX_PLOT_ROUNDS)
+            .into_iter()
+            .map(|(r, l)| (f64::from(r), l))
+            .collect();
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+// ---------------------------------------------------------------------------
+// Measured figures (Section 5)
+// ---------------------------------------------------------------------------
+
+fn max_config(p0: f64, d: f64, rounds: u32) -> ProtocolConfig {
+    ProtocolConfig::max()
+        .with_schedule(Schedule::exponential(p0, d).expect("valid sweep"))
+        .with_rounds(RoundPolicy::Fixed(rounds))
+}
+
+/// Figure 6: measured precision of max selection vs number of rounds
+/// (n = 4, uniform data, averaged over `trials` experiments).
+#[must_use]
+pub fn fig06_precision_vs_rounds(variant: Variant, trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        format!("fig06{}", variant.suffix()),
+        "Precision of Max Selection with Number of Rounds",
+        "rounds",
+        "precision",
+    );
+    let setup = ExperimentSetup::paper(4, 1)
+        .with_trials(trials)
+        .with_seed(seed);
+    for (label, p0, d) in sweep_params(variant) {
+        let pts = (1..=MAX_PLOT_ROUNDS)
+            .map(|r| (f64::from(r), setup.measure_precision(&max_config(p0, d, r))))
+            .collect();
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Figure 7: measured average LoP per round for max selection (n = 4).
+#[must_use]
+pub fn fig07_lop_per_round(variant: Variant, trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        format!("fig07{}", variant.suffix()),
+        "Loss of Privacy for Max Selection in Different Rounds",
+        "round",
+        "average LoP",
+    );
+    let setup = ExperimentSetup::paper(4, 1)
+        .with_trials(trials)
+        .with_seed(seed);
+    for (label, p0, d) in sweep_params(variant) {
+        let summary = setup.measure_lop(
+            &max_config(p0, d, MAX_PLOT_ROUNDS),
+            AdversaryKind::Successor,
+        );
+        let pts = summary
+            .per_round_average
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (i as f64 + 1.0, l))
+            .collect();
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Figure 8: measured (peak) LoP vs number of nodes.
+#[must_use]
+pub fn fig08_lop_vs_n(variant: Variant, trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        format!("fig08{}", variant.suffix()),
+        "Loss of Privacy for Max Selection with Different Number of Nodes",
+        "nodes",
+        "average LoP",
+    );
+    for (label, p0, d) in sweep_params(variant) {
+        let mut pts = Vec::with_capacity(N_SWEEP.len());
+        for &n in &N_SWEEP {
+            let setup = ExperimentSetup::paper(n, 1)
+                .with_trials(trials)
+                .with_seed(seed);
+            let summary =
+                setup.measure_lop(&max_config(p0, d, LOP_ROUNDS), AdversaryKind::Successor);
+            pts.push((n as f64, summary.average_peak));
+        }
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Figure 9: the privacy-vs-efficiency tradeoff scatter. Each series is a
+/// `d` value; each point is (measured peak LoP at n = 4, analytic
+/// `r_min(ε = 0.001)`), one per `p0`.
+#[must_use]
+pub fn fig09_tradeoff(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "fig09",
+        "Tradeoff between Privacy and Efficiency with Randomization Parameters",
+        "average LoP",
+        "rounds for eps=0.001",
+    );
+    let setup = ExperimentSetup::paper(4, 1)
+        .with_trials(trials)
+        .with_seed(seed);
+    for &d in &D_SWEEP_CONVERGENT {
+        let mut pts = Vec::with_capacity(P0_SWEEP.len());
+        for &p0 in &P0_SWEEP {
+            let params = RandomizationParams::new(p0, d).expect("valid sweep");
+            let rounds =
+                efficiency::min_rounds_for_precision(params, 1e-3).expect("reachable precision");
+            let summary =
+                setup.measure_lop(&max_config(p0, d, LOP_ROUNDS), AdversaryKind::Successor);
+            pts.push((summary.average_peak, f64::from(rounds)));
+        }
+        // Sort by x so the table renders cleanly.
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        fig.push_series(Series::new(format!("d={d}"), pts));
+    }
+    fig
+}
+
+/// The three protocols compared in Figures 10 and 12.
+fn comparison_protocols(k: usize) -> Vec<(&'static str, ProtocolConfig)> {
+    vec![
+        ("naive", ProtocolConfig::naive(k)),
+        ("anonymous", ProtocolConfig::anonymous_naive(k)),
+        (
+            "probabilistic",
+            if k == 1 {
+                ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(LOP_ROUNDS))
+            } else {
+                ProtocolConfig::topk(k).with_rounds(RoundPolicy::Fixed(LOP_ROUNDS))
+            },
+        ),
+    ]
+}
+
+/// Figure 10: average (panel a) and worst-case (panel b) LoP vs number of
+/// nodes for the naive, anonymous-naive and probabilistic protocols.
+#[must_use]
+pub fn fig10_protocol_comparison(variant: Variant, trials: usize, seed: u64) -> FigureData {
+    let (title, ylabel) = match variant {
+        Variant::A => (
+            "Comparison of Loss of Privacy with Number of Nodes (average)",
+            "average LoP",
+        ),
+        Variant::B => (
+            "Comparison of Loss of Privacy with Number of Nodes (worst case)",
+            "worst-case LoP",
+        ),
+    };
+    let mut fig = FigureData::new(format!("fig10{}", variant.suffix()), title, "nodes", ylabel);
+    for (label, config) in comparison_protocols(1) {
+        let mut pts = Vec::with_capacity(N_SWEEP.len());
+        for &n in &N_SWEEP {
+            let setup = ExperimentSetup::paper(n, 1)
+                .with_trials(trials)
+                .with_seed(seed);
+            let summary = setup.measure_lop(&config, AdversaryKind::Successor);
+            let y = match variant {
+                Variant::A => summary.average_peak,
+                Variant::B => summary.worst_peak,
+            };
+            pts.push((n as f64, y));
+        }
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Figure 11: measured precision of top-k selection vs rounds, varying k
+/// (n = 4).
+#[must_use]
+pub fn fig11_topk_precision(trials: usize, seed: u64) -> FigureData {
+    let mut fig = FigureData::new(
+        "fig11",
+        "Precision of Topk Selection with Number of Rounds",
+        "rounds",
+        "precision",
+    );
+    for &k in &K_SWEEP {
+        let setup = ExperimentSetup::paper(4, k)
+            .with_trials(trials)
+            .with_seed(seed);
+        let pts = (1..=MAX_PLOT_ROUNDS)
+            .map(|r| {
+                let config = ProtocolConfig::topk(k).with_rounds(RoundPolicy::Fixed(r));
+                (f64::from(r), setup.measure_precision(&config))
+            })
+            .collect();
+        fig.push_series(Series::new(format!("k={k}"), pts));
+    }
+    fig
+}
+
+/// Figure 12: average (panel a) and worst-case (panel b) LoP vs k for the
+/// three protocols (n = 4).
+#[must_use]
+pub fn fig12_topk_lop(variant: Variant, trials: usize, seed: u64) -> FigureData {
+    let (title, ylabel) = match variant {
+        Variant::A => (
+            "Comparison of Loss of Privacy with k (average)",
+            "average LoP",
+        ),
+        Variant::B => (
+            "Comparison of Loss of Privacy with k (worst case)",
+            "worst-case LoP",
+        ),
+    };
+    let mut fig = FigureData::new(format!("fig12{}", variant.suffix()), title, "k", ylabel);
+    let mut labels_points: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for &k in &K_SWEEP {
+        let setup = ExperimentSetup::paper(4, k)
+            .with_trials(trials)
+            .with_seed(seed);
+        for (label, config) in comparison_protocols(k) {
+            let summary = setup.measure_lop(&config, AdversaryKind::Successor);
+            let y = match variant {
+                Variant::A => summary.average_peak,
+                Variant::B => summary.worst_peak,
+            };
+            if let Some(entry) = labels_points.iter_mut().find(|(l, _)| l == label) {
+                entry.1.push((k as f64, y));
+            } else {
+                labels_points.push((label.to_string(), vec![(k as f64, y)]));
+            }
+        }
+    }
+    for (label, pts) in labels_points {
+        fig.push_series(Series::new(label, pts));
+    }
+    fig
+}
+
+/// Table 1: the experiment parameters, rendered for every binary's header.
+#[must_use]
+pub fn parameter_table() -> String {
+    let rows = [
+        ("n", "# of nodes in the system"),
+        ("k", "parameter in topk"),
+        ("p0", "initial randomization prob."),
+        ("d", "dampening factor for randomization prob."),
+    ];
+    let mut out = String::from("Table 1: Experiment Parameters\n");
+    for (p, desc) in rows {
+        out.push_str(&format!("  {p:<4} {desc}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: usize = 12; // reduced trials for test speed
+    const SEED: u64 = 0xFEED;
+
+    #[test]
+    fn fig03_shapes() {
+        let a = fig03_precision_bound(Variant::A);
+        assert_eq!(a.series.len(), 4);
+        // Monotone increasing in rounds; smaller p0 above larger p0.
+        let p025 = a.series_by_label("p0=0.25").unwrap();
+        let p100 = a.series_by_label("p0=1").unwrap();
+        assert!(p025.y_at(1.0).unwrap() > p100.y_at(1.0).unwrap());
+        assert!(p100.last_y().unwrap() > 0.999);
+        let b = fig03_precision_bound(Variant::B);
+        // d = 1, p0 = 1 never converges analytically.
+        assert_eq!(b.series_by_label("d=1").unwrap().last_y().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn fig04_shapes() {
+        let a = fig04_min_rounds(Variant::A);
+        for s in &a.series {
+            // Rounds grow as epsilon shrinks (points ordered by desc eps).
+            let r_loose = s.y_at(1e-1).unwrap();
+            let r_tight = s.y_at(1e-8).unwrap();
+            assert!(r_tight >= r_loose);
+        }
+        let b = fig04_min_rounds(Variant::B);
+        let d25 = b.series_by_label("d=0.25").unwrap().y_at(1e-3).unwrap();
+        let d75 = b.series_by_label("d=0.75").unwrap().y_at(1e-3).unwrap();
+        assert!(d25 < d75, "smaller d needs fewer rounds");
+    }
+
+    #[test]
+    fn fig05_shapes() {
+        let a = fig05_lop_bound(Variant::A);
+        // p0 = 1 starts at zero and peaks at round 2.
+        let p1 = a.series_by_label("p0=1").unwrap();
+        assert_eq!(p1.y_at(1.0).unwrap(), 0.0);
+        assert_eq!(p1.max_y().unwrap(), p1.y_at(2.0).unwrap());
+        // Small p0 peaks in round 1.
+        let p025 = a.series_by_label("p0=0.25").unwrap();
+        assert_eq!(p025.max_y().unwrap(), p025.y_at(1.0).unwrap());
+        // Larger p0 has the lower peak.
+        assert!(p1.max_y().unwrap() < p025.max_y().unwrap());
+    }
+
+    #[test]
+    fn fig06_precision_converges_and_orders() {
+        let a = fig06_precision_vs_rounds(Variant::A, T, SEED);
+        for s in &a.series {
+            assert!(
+                s.last_y().unwrap() > 0.9,
+                "{} final {:?}",
+                s.label,
+                s.last_y()
+            );
+        }
+        // Smaller p0: higher precision in round 1.
+        let p025 = a.series_by_label("p0=0.25").unwrap().y_at(1.0).unwrap();
+        let p1 = a.series_by_label("p0=1").unwrap().y_at(1.0).unwrap();
+        assert!(p025 > p1);
+    }
+
+    #[test]
+    fn fig07_lop_shape_matches_analysis() {
+        let a = fig07_lop_per_round(Variant::A, T, SEED);
+        let p1 = a.series_by_label("p0=1").unwrap();
+        // Zero in round 1, peak at round 2 (within noise), then decay.
+        assert_eq!(p1.y_at(1.0).unwrap(), 0.0);
+        assert!(p1.y_at(2.0).unwrap() > p1.y_at(6.0).unwrap());
+    }
+
+    #[test]
+    fn fig08_lop_decreases_with_n() {
+        let a = fig08_lop_vs_n(Variant::A, T, SEED);
+        for s in &a.series {
+            let small = s.y_at(4.0).unwrap();
+            let large = s.y_at(128.0).unwrap();
+            assert!(large <= small + 1e-9, "{}: {small} -> {large}", s.label);
+        }
+    }
+
+    #[test]
+    fn fig10_probabilistic_wins() {
+        let avg = fig10_protocol_comparison(Variant::A, T, SEED);
+        let naive = avg.series_by_label("naive").unwrap().y_at(4.0).unwrap();
+        let prob = avg
+            .series_by_label("probabilistic")
+            .unwrap()
+            .y_at(4.0)
+            .unwrap();
+        assert!(prob < naive / 2.0, "prob {prob} vs naive {naive}");
+        let worst = fig10_protocol_comparison(Variant::B, T, SEED);
+        // Naive worst case ~ provable exposure of the starting node.
+        let naive_worst = worst.series_by_label("naive").unwrap().y_at(4.0).unwrap();
+        assert!(naive_worst > 0.5, "naive worst {naive_worst}");
+        // Anonymous start removes the worst case.
+        let anon_worst = worst
+            .series_by_label("anonymous")
+            .unwrap()
+            .y_at(4.0)
+            .unwrap();
+        assert!(anon_worst < naive_worst);
+    }
+
+    #[test]
+    fn fig11_topk_precision_converges_for_all_k() {
+        let fig = fig11_topk_precision(T, SEED);
+        assert_eq!(fig.series.len(), K_SWEEP.len());
+        for s in &fig.series {
+            assert!(
+                s.last_y().unwrap() > 0.9,
+                "{} final precision {:?}",
+                s.label,
+                s.last_y()
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_lop_increases_with_k_for_probabilistic() {
+        let fig = fig12_topk_lop(Variant::A, T, SEED);
+        let prob = fig.series_by_label("probabilistic").unwrap();
+        let at_small = prob.y_at(2.0).unwrap();
+        let at_large = prob.y_at(16.0).unwrap();
+        assert!(
+            at_large >= at_small,
+            "LoP should not shrink with k: {at_small} -> {at_large}"
+        );
+        // Probabilistic still far below naive at every k.
+        let naive = fig.series_by_label("naive").unwrap();
+        for &k in &K_SWEEP {
+            assert!(prob.y_at(k as f64).unwrap() < naive.y_at(k as f64).unwrap());
+        }
+    }
+
+    #[test]
+    fn parameter_table_lists_table_1() {
+        let t = parameter_table();
+        for p in ["n", "k", "p0", "d"] {
+            assert!(t.contains(p));
+        }
+    }
+}

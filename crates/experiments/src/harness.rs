@@ -1,0 +1,215 @@
+//! The multi-trial experiment runner shared by all figure generators.
+
+use privtopk_core::{true_topk, ProtocolConfig, SimulationEngine};
+use privtopk_datagen::{DataDistribution, DatasetBuilder};
+use privtopk_domain::rng::derive_seed;
+use privtopk_privacy::{CollusionAdversary, LopAccumulator, LopSummary, SuccessorAdversary};
+
+/// Which adversary model the LoP measurement uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// The semi-honest successor (the paper's main model).
+    Successor,
+    /// Colluding predecessor + successor (Section 4.3).
+    Collusion,
+}
+
+/// The Table 1 experiment parameters plus data-shape knobs.
+///
+/// Each trial draws a fresh dataset (seeded deterministically from
+/// `base_seed` and the trial index), runs the configured protocol and
+/// feeds the transcript to the measurement. The paper's default of "each
+/// plot is averaged over 100 experiments" corresponds to `trials = 100`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSetup {
+    /// Number of nodes `n`.
+    pub n: usize,
+    /// Query parameter `k`.
+    pub k: usize,
+    /// Rows held by each private database. The paper's dynamics correspond
+    /// to each node contributing `k` candidate values, so the default
+    /// experiments use `rows_per_node = k`.
+    pub rows_per_node: usize,
+    /// Data distribution (Section 5.1: uniform by default; normal and
+    /// zipf give similar results).
+    pub distribution: DataDistribution,
+    /// Number of independent experiments to average over.
+    pub trials: usize,
+    /// Master seed.
+    pub base_seed: u64,
+}
+
+impl ExperimentSetup {
+    /// The paper's defaults for a given `n` and `k`: 100 trials, uniform
+    /// data over `[1, 10000]`, `k` values per node.
+    #[must_use]
+    pub fn paper(n: usize, k: usize) -> Self {
+        ExperimentSetup {
+            n,
+            k,
+            rows_per_node: k,
+            distribution: DataDistribution::Uniform,
+            trials: 100,
+            base_seed: 0x5EED,
+        }
+    }
+
+    /// Overrides the trial count (smoke tests use small values).
+    #[must_use]
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Overrides the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Overrides the data distribution.
+    #[must_use]
+    pub fn with_distribution(mut self, distribution: DataDistribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+
+    /// Overrides the rows per node.
+    #[must_use]
+    pub fn with_rows_per_node(mut self, rows: usize) -> Self {
+        self.rows_per_node = rows;
+        self
+    }
+
+    fn trial_locals(&self, trial: usize) -> Vec<privtopk_domain::TopKVector> {
+        DatasetBuilder::new(self.n)
+            .rows_per_node(self.rows_per_node.max(1))
+            .distribution(self.distribution)
+            .seed(derive_seed(self.base_seed, trial as u64))
+            .build_local_topk(self.k)
+            .expect("valid dataset parameters")
+    }
+
+    fn trial_seed(&self, trial: usize) -> u64 {
+        derive_seed(self.base_seed ^ 0xABCD_EF01, trial as u64)
+    }
+
+    /// Average precision (`|R ∩ TopK| / k`, Section 5.4) over the trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configuration errors (the figure generators only pass
+    /// validated configurations).
+    #[must_use]
+    pub fn measure_precision(&self, config: &ProtocolConfig) -> f64 {
+        let engine = SimulationEngine::new(config.clone());
+        let mut total = 0.0;
+        for trial in 0..self.trials {
+            let locals = self.trial_locals(trial);
+            let truth = true_topk(&locals, self.k, &config.domain()).expect("valid k");
+            let transcript = engine
+                .run(&locals, self.trial_seed(trial))
+                .expect("valid protocol configuration");
+            total += transcript
+                .result()
+                .precision_against(&truth)
+                .expect("matching k");
+        }
+        total / self.trials as f64
+    }
+
+    /// Trial-averaged LoP statistics under the chosen adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configuration errors.
+    #[must_use]
+    pub fn measure_lop(&self, config: &ProtocolConfig, adversary: AdversaryKind) -> LopSummary {
+        let engine = SimulationEngine::new(config.clone());
+        let mut acc = LopAccumulator::new();
+        for trial in 0..self.trials {
+            let locals = self.trial_locals(trial);
+            let transcript = engine
+                .run(&locals, self.trial_seed(trial))
+                .expect("valid protocol configuration");
+            let matrix = match adversary {
+                AdversaryKind::Successor => SuccessorAdversary::estimate(&transcript, &locals),
+                AdversaryKind::Collusion => CollusionAdversary::estimate(&transcript, &locals),
+            };
+            acc.add(&matrix);
+        }
+        acc.summarize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_core::RoundPolicy;
+
+    #[test]
+    fn paper_defaults() {
+        let s = ExperimentSetup::paper(4, 1);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.trials, 100);
+        assert_eq!(s.rows_per_node, 1);
+    }
+
+    #[test]
+    fn precision_reaches_one_with_many_rounds() {
+        let setup = ExperimentSetup::paper(4, 1).with_trials(25);
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(12));
+        let p = setup.measure_precision(&config);
+        assert!(p > 0.99, "precision {p}");
+    }
+
+    #[test]
+    fn precision_low_with_single_round_high_p0() {
+        let setup = ExperimentSetup::paper(4, 1).with_trials(25);
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(1));
+        // p0 = 1: round 1 is fully randomized, so the result is essentially
+        // never exact.
+        let p = setup.measure_precision(&config);
+        assert!(p < 0.2, "precision {p}");
+    }
+
+    #[test]
+    fn lop_probabilistic_below_naive() {
+        let setup = ExperimentSetup::paper(4, 1).with_trials(80);
+        let naive = setup.measure_lop(&ProtocolConfig::naive(1), AdversaryKind::Successor);
+        let prob = setup.measure_lop(
+            &ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(10)),
+            AdversaryKind::Successor,
+        );
+        assert!(
+            prob.average_peak < naive.average_peak / 2.0,
+            "prob {} vs naive {}",
+            prob.average_peak,
+            naive.average_peak
+        );
+        assert!(naive.worst_peak > 0.6, "naive worst {}", naive.worst_peak);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let setup = ExperimentSetup::paper(4, 1).with_trials(5).with_seed(7);
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(6));
+        assert_eq!(
+            setup.measure_precision(&config),
+            setup.measure_precision(&config)
+        );
+        let a = setup.measure_lop(&config, AdversaryKind::Successor);
+        let b = setup.measure_lop(&config, AdversaryKind::Successor);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collusion_never_below_successor() {
+        let setup = ExperimentSetup::paper(5, 1).with_trials(20);
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(8));
+        let s = setup.measure_lop(&config, AdversaryKind::Successor);
+        let c = setup.measure_lop(&config, AdversaryKind::Collusion);
+        assert!(c.average_peak >= s.average_peak - 1e-9);
+    }
+}

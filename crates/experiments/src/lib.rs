@@ -1,0 +1,36 @@
+//! Reproduction harness for the paper's evaluation (Section 5) and
+//! analytical plots (Section 4).
+//!
+//! Every figure of the paper has a generator function in [`figures`]
+//! returning a [`FigureData`] — labelled series of `(x, y)` points — plus a
+//! binary (`cargo run -p privtopk-experiments --bin figNN`) that renders it
+//! as an ASCII table and a CSV under `results/`. `--bin all_figures` runs
+//! the lot.
+//!
+//! The experimental setup mirrors Table 1 and Section 5.1: `n` nodes,
+//! values drawn i.i.d. from a distribution over the integer domain
+//! `[1, 10000]`, each plot averaged over 100 experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use privtopk_experiments::figures;
+//!
+//! // Regenerate Figure 6(a) at reduced trial count for a quick check.
+//! let fig = figures::fig06_precision_vs_rounds(figures::Variant::A, 10, 42);
+//! assert_eq!(fig.id, "fig06a");
+//! assert!(!fig.series.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+pub mod extensions;
+pub mod figures;
+mod harness;
+mod table;
+
+pub use export::transcript_to_csv;
+pub use harness::{AdversaryKind, ExperimentSetup};
+pub use table::{FigureData, Series};

@@ -1,0 +1,230 @@
+//! Figure data containers, ASCII rendering and CSV emission.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled line of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label, e.g. `p0 = 0.5`.
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label and points.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The y value at a given x, if present.
+    #[must_use]
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    /// The final (largest-x) y value.
+    #[must_use]
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// Maximum y across the series.
+    #[must_use]
+    pub fn max_y(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.max(y))))
+    }
+}
+
+/// All the data behind one paper figure (or one panel of it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Stable identifier, e.g. `fig06a`.
+    pub id: String,
+    /// Human title, e.g. `Precision of Max Selection (varying p0)`.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// The series, in legend order.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Creates an empty figure shell.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Looks up a series by label.
+    #[must_use]
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders an aligned ASCII table: one row per x, one column per
+    /// series.
+    #[must_use]
+    pub fn to_ascii_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(out, "# y = {}", self.y_label);
+        // Union of x values across series, sorted.
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        let mut header = format!("{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(header, " {:>16}", s.label);
+        }
+        let _ = writeln!(out, "{header}");
+        for x in xs {
+            let mut row = format!("{x:>12.6}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(row, " {y:>16.6}");
+                    }
+                    None => {
+                        let _ = write!(row, " {:>16}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+
+    /// Renders CSV with columns `x,<label1>,<label2>,...`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.label.clone()));
+        let _ = writeln!(out, "{}", header.join(","));
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        for x in xs {
+            let mut row = vec![format!("{x}")];
+            for s in &self.series {
+                row.push(s.y_at(x).map_or_else(String::new, |y| format!("{y}")));
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/<id>.csv`, creating the directory if
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        let mut f = FigureData::new("figXX", "Test Figure", "rounds", "precision");
+        f.push_series(Series::new("a", vec![(1.0, 0.5), (2.0, 1.0)]));
+        f.push_series(Series::new("b", vec![(1.0, 0.25)]));
+        f
+    }
+
+    #[test]
+    fn series_accessors() {
+        let s = Series::new("x", vec![(1.0, 0.1), (2.0, 0.9)]);
+        assert_eq!(s.y_at(2.0), Some(0.9));
+        assert_eq!(s.y_at(3.0), None);
+        assert_eq!(s.last_y(), Some(0.9));
+        assert_eq!(s.max_y(), Some(0.9));
+        assert_eq!(Series::new("e", vec![]).max_y(), None);
+    }
+
+    #[test]
+    fn ascii_table_includes_all_series() {
+        let t = sample().to_ascii_table();
+        assert!(t.contains("figXX"));
+        assert!(t.contains("rounds"));
+        assert!(t.contains('a'));
+        // Missing point rendered as '-'.
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "rounds,a,b");
+        assert_eq!(lines.len(), 3); // header + two x values
+        assert!(lines[1].starts_with("1,0.5,0.25"));
+        assert!(lines[2].starts_with("2,1,")); // b missing at x=2
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("privtopk_table_test");
+        let path = sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("rounds,"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn lookup_by_label() {
+        let f = sample();
+        assert!(f.series_by_label("a").is_some());
+        assert!(f.series_by_label("zzz").is_none());
+    }
+}

@@ -1,0 +1,498 @@
+//! The federation itself: schema validation and query execution.
+
+use privtopk_core::distributed::{run_distributed, NetworkKind};
+use privtopk_core::{ProtocolConfig, RoundPolicy, SimulationEngine, Transcript};
+use privtopk_datagen::PrivateDatabase;
+use privtopk_domain::{TopKVector, Value, ValueDomain};
+
+use crate::{FederationError, QuerySpec};
+
+/// A group of private databases that jointly answer statistics queries.
+///
+/// Construction validates the paper's standing assumptions once — at
+/// least three members, a shared public value domain — so queries fail
+/// only for query-specific reasons (unknown attribute, out-of-domain
+/// data).
+#[derive(Debug, Clone)]
+pub struct Federation {
+    members: Vec<PrivateDatabase>,
+    domain: ValueDomain,
+}
+
+impl Federation {
+    /// Assembles a federation.
+    ///
+    /// # Errors
+    ///
+    /// - [`FederationError::TooFewMembers`] for fewer than 3 members.
+    /// - [`FederationError::DomainMismatch`] if members disagree on the
+    ///   public value domain.
+    pub fn new(members: Vec<PrivateDatabase>) -> Result<Self, FederationError> {
+        if members.len() < 3 {
+            return Err(FederationError::TooFewMembers { got: members.len() });
+        }
+        let domain = members[0].domain();
+        if members.iter().any(|m| m.domain() != domain) {
+            return Err(FederationError::DomainMismatch);
+        }
+        Ok(Federation { members, domain })
+    }
+
+    /// Number of participating databases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the federation has no members (never true once built).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The shared public value domain.
+    #[must_use]
+    pub fn domain(&self) -> ValueDomain {
+        self.domain
+    }
+
+    /// Checks the paper's schema-matching assumption for one attribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FederationError::SchemaMismatch`] naming the first member
+    /// that lacks the attribute.
+    pub fn validate_attribute(&self, attribute: &str) -> Result<(), FederationError> {
+        for (i, m) in self.members.iter().enumerate() {
+            if m.table().column_by_name(attribute).is_err() {
+                return Err(FederationError::SchemaMismatch {
+                    attribute: attribute.to_string(),
+                    member: i,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a query over a real transport (one thread per member,
+    /// in-memory channels or TCP loopback), producing the same result and
+    /// transcript as [`Federation::execute`] with the same seed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::execute`], plus transport failures.
+    pub fn execute_distributed(
+        &self,
+        spec: &QuerySpec,
+        network: NetworkKind,
+        seed: u64,
+    ) -> Result<QueryOutcome, FederationError> {
+        let (config, locals, mirrored) = self.compile(spec)?;
+        let outcome = run_distributed(&config, &locals, network, seed)?;
+        Ok(self.finish(spec, outcome.transcript, mirrored))
+    }
+
+    /// Executes a query, deterministic under `seed`.
+    ///
+    /// Min/bottom-k queries are compiled to max/top-k over *mirrored*
+    /// values (`v ↦ domain.min + domain.max − v`), which stays inside the
+    /// same public domain; results are mirrored back.
+    ///
+    /// # Errors
+    ///
+    /// - [`FederationError::ZeroK`] for `k = 0`.
+    /// - [`FederationError::SchemaMismatch`] if a member lacks the
+    ///   attribute.
+    /// - [`FederationError::Domain`] if a member's attribute values fall
+    ///   outside the public domain.
+    /// - [`FederationError::Protocol`] for protocol-level failures.
+    pub fn execute(&self, spec: &QuerySpec, seed: u64) -> Result<QueryOutcome, FederationError> {
+        let (config, locals, mirrored) = self.compile(spec)?;
+        let transcript = SimulationEngine::new(config).run(&locals, seed)?;
+        Ok(self.finish(spec, transcript, mirrored))
+    }
+
+    /// Compiles a query into protocol inputs.
+    fn compile(
+        &self,
+        spec: &QuerySpec,
+    ) -> Result<(ProtocolConfig, Vec<TopKVector>, bool), FederationError> {
+        let k = spec.kind().k();
+        if k == 0 {
+            return Err(FederationError::ZeroK);
+        }
+        self.validate_attribute(spec.attribute())?;
+        let mirrored = spec.kind().is_mirrored();
+        let locals = self
+            .members
+            .iter()
+            .map(|m| self.local_vector(m, spec.attribute(), k, mirrored))
+            .collect::<Result<Vec<_>, _>>()?;
+        let config = ProtocolConfig::topk(k)
+            .with_domain(self.domain)
+            .with_schedule(spec.schedule())
+            .with_rounds(RoundPolicy::Precision {
+                epsilon: spec.epsilon(),
+            });
+        Ok((config, locals, mirrored))
+    }
+
+    /// Converts a protocol transcript into a query outcome.
+    fn finish(&self, spec: &QuerySpec, transcript: Transcript, mirrored: bool) -> QueryOutcome {
+        let mut values: Vec<Value> = transcript.result().iter().collect();
+        if mirrored {
+            // Mirroring a descending vector back yields ascending order —
+            // smallest first, which is the natural order for min queries.
+            values = values.into_iter().map(|v| self.mirror(v)).collect();
+        }
+        if matches!(spec.kind(), crate::QueryKind::KthLargest(_)) {
+            // Only the rank-th value is the answer; the rest of the vector
+            // was scaffolding.
+            values = vec![*values.last().expect("k >= 1")];
+        }
+        QueryOutcome {
+            spec: spec.clone(),
+            values,
+            transcript,
+        }
+    }
+
+    /// Privately sums `attribute` across all members (masked ring sum).
+    ///
+    /// Unlike the top-k protocol this reveals exactly one number — the
+    /// total — and nothing about any member's contribution; the ring
+    /// tokens are one-time-pad masked.
+    ///
+    /// # Errors
+    ///
+    /// - [`FederationError::SchemaMismatch`] if a member lacks the
+    ///   attribute.
+    /// - [`FederationError::NegativeAggregate`] if a value is negative
+    ///   (sums are defined over non-negative attributes).
+    pub fn sum(&self, attribute: &str, seed: u64) -> Result<u64, FederationError> {
+        self.validate_attribute(attribute)?;
+        let per_member: Vec<u64> = self
+            .members
+            .iter()
+            .map(|m| {
+                let col = m.table().column_by_name(attribute)?;
+                let mut total = 0u64;
+                for v in m.table().column_values(col) {
+                    let raw = v.get();
+                    if raw < 0 {
+                        return Err(FederationError::NegativeAggregate { value: v });
+                    }
+                    total += raw as u64;
+                }
+                Ok(total)
+            })
+            .collect::<Result<_, FederationError>>()?;
+        Ok(privtopk_knn::secure_sum::secure_sum(&per_member, seed)
+            .map_err(|_| FederationError::TooFewMembers {
+                got: self.members.len(),
+            })?
+            .sum)
+    }
+
+    /// Privately counts the rows holding `attribute` across all members.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::sum`].
+    pub fn count(&self, attribute: &str, seed: u64) -> Result<u64, FederationError> {
+        self.validate_attribute(attribute)?;
+        let per_member: Vec<u64> = self
+            .members
+            .iter()
+            .map(|m| m.table().len() as u64)
+            .collect();
+        Ok(privtopk_knn::secure_sum::secure_sum(&per_member, seed)
+            .map_err(|_| FederationError::TooFewMembers {
+                got: self.members.len(),
+            })?
+            .sum)
+    }
+
+    /// The mean of `attribute` across the federation: two masked ring
+    /// sums (total and count), one division.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::sum`]; additionally errors if the federation
+    /// holds no rows.
+    pub fn mean(&self, attribute: &str, seed: u64) -> Result<f64, FederationError> {
+        let total = self.sum(attribute, seed)?;
+        let count = self.count(attribute, seed.wrapping_add(1))?;
+        if count == 0 {
+            return Err(FederationError::ZeroK);
+        }
+        Ok(total as f64 / count as f64)
+    }
+
+    fn local_vector(
+        &self,
+        member: &PrivateDatabase,
+        attribute: &str,
+        k: usize,
+        mirrored: bool,
+    ) -> Result<TopKVector, FederationError> {
+        let col = member.table().column_by_name(attribute)?;
+        let mut values = member.table().column_values(col);
+        for v in &values {
+            if !self.domain.contains(*v) {
+                return Err(privtopk_domain::DomainError::OutOfDomain { value: *v }.into());
+            }
+        }
+        if mirrored {
+            values = values.into_iter().map(|v| self.mirror(v)).collect();
+        }
+        Ok(TopKVector::from_values(k, values, &self.domain)?)
+    }
+
+    /// Mirrors a value inside the domain: `lo + hi − v`.
+    fn mirror(&self, v: Value) -> Value {
+        // lo + hi - v stays inside [lo, hi] for v inside [lo, hi]; the
+        // arithmetic is exact in i128 then narrowed.
+        let wide =
+            self.domain.min().get() as i128 + self.domain.max().get() as i128 - v.get() as i128;
+        Value::new(wide as i64)
+    }
+}
+
+/// The result of a federated query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    spec: QuerySpec,
+    values: Vec<Value>,
+    transcript: Transcript,
+}
+
+impl QueryOutcome {
+    /// The query this outcome answers.
+    #[must_use]
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// The answer values: descending for max/top-k, ascending for
+    /// min/bottom-k.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The scalar answer for max/min queries.
+    #[must_use]
+    pub fn value(&self) -> Value {
+        self.values[0]
+    }
+
+    /// The protocol transcript, for privacy audits (feed it to
+    /// `privtopk-privacy`).
+    #[must_use]
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+
+    /// Rounds the protocol ran.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.transcript.rounds()
+    }
+
+    /// Messages exchanged during computation.
+    #[must_use]
+    pub fn messages(&self) -> usize {
+        self.transcript.message_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_datagen::{DatasetBuilder, Table};
+    use privtopk_domain::NodeId;
+
+    fn federation(n: usize, rows: usize, seed: u64) -> Federation {
+        Federation::new(
+            DatasetBuilder::new(n)
+                .rows_per_node(rows)
+                .seed(seed)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn all_values(f: &Federation, attr: &str) -> Vec<i64> {
+        let mut out = Vec::new();
+        for m in &f.members {
+            let col = m.table().column_by_name(attr).unwrap();
+            out.extend(m.table().column_values(col).iter().map(|v| v.get()));
+        }
+        out
+    }
+
+    #[test]
+    fn max_and_min_queries() {
+        let f = federation(5, 12, 1);
+        let all = all_values(&f, "value");
+        let max = f.execute(&QuerySpec::max("value"), 9).unwrap();
+        assert_eq!(max.value().get(), *all.iter().max().unwrap());
+        let min = f.execute(&QuerySpec::min("value"), 9).unwrap();
+        assert_eq!(min.value().get(), *all.iter().min().unwrap());
+    }
+
+    #[test]
+    fn top_k_and_bottom_k_queries() {
+        let f = federation(4, 10, 2);
+        let mut all = all_values(&f, "value");
+        all.sort_unstable();
+
+        let bottom = f
+            .execute(&QuerySpec::bottom_k("value", 3).with_epsilon(1e-9), 5)
+            .unwrap();
+        let expect_bottom: Vec<i64> = all[..3].to_vec();
+        assert_eq!(
+            bottom.values().iter().map(|v| v.get()).collect::<Vec<_>>(),
+            expect_bottom
+        );
+
+        let top = f
+            .execute(&QuerySpec::top_k("value", 3).with_epsilon(1e-9), 5)
+            .unwrap();
+        let mut expect_top: Vec<i64> = all[all.len() - 3..].to_vec();
+        expect_top.reverse();
+        assert_eq!(
+            top.values().iter().map(|v| v.get()).collect::<Vec<_>>(),
+            expect_top
+        );
+    }
+
+    #[test]
+    fn outcome_carries_transcript_and_costs() {
+        let f = federation(4, 5, 3);
+        let out = f.execute(&QuerySpec::max("value"), 1).unwrap();
+        assert!(out.rounds() >= 4);
+        assert_eq!(out.messages(), 4 * out.rounds() as usize);
+        assert_eq!(out.spec().attribute(), "value");
+        assert_eq!(out.transcript().n(), 4);
+    }
+
+    #[test]
+    fn rejects_small_federations_and_mixed_domains() {
+        let dbs = DatasetBuilder::new(2).seed(0).build().unwrap();
+        assert!(matches!(
+            Federation::new(dbs),
+            Err(FederationError::TooFewMembers { got: 2 })
+        ));
+
+        let mut dbs = DatasetBuilder::new(3).seed(0).build().unwrap();
+        let other = ValueDomain::new(Value::new(1), Value::new(50)).unwrap();
+        let mut t = Table::new(["value"]).unwrap();
+        t.push_row(vec![Value::new(10)]).unwrap();
+        dbs[2] = PrivateDatabase::new(NodeId::new(2), other, t, "value").unwrap();
+        assert!(matches!(
+            Federation::new(dbs),
+            Err(FederationError::DomainMismatch)
+        ));
+    }
+
+    #[test]
+    fn schema_mismatch_detected_with_member_index() {
+        let f = federation(4, 5, 4);
+        let err = f.execute(&QuerySpec::max("revenue"), 0).unwrap_err();
+        assert!(matches!(
+            err,
+            FederationError::SchemaMismatch { member: 0, .. }
+        ));
+        assert!(f.validate_attribute("value").is_ok());
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let f = federation(3, 4, 5);
+        assert!(matches!(
+            f.execute(&QuerySpec::top_k("value", 0), 0),
+            Err(FederationError::ZeroK)
+        ));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let f = federation(5, 8, 6);
+        let a = f.execute(&QuerySpec::top_k("value", 2), 11).unwrap();
+        let b = f.execute(&QuerySpec::top_k("value", 2), 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distributed_execution_matches_simulation() {
+        let f = federation(4, 6, 8);
+        let spec = QuerySpec::top_k("value", 2).with_epsilon(1e-9);
+        let sim = f.execute(&spec, 33).unwrap();
+        let dist = f
+            .execute_distributed(&spec, NetworkKind::InMemory, 33)
+            .unwrap();
+        assert_eq!(sim.values(), dist.values());
+        assert_eq!(sim.transcript().steps(), dist.transcript().steps());
+    }
+
+    #[test]
+    fn distributed_min_query_over_threads() {
+        let f = federation(4, 6, 9);
+        let all = all_values(&f, "value");
+        let out = f
+            .execute_distributed(
+                &QuerySpec::min("value").with_epsilon(1e-9),
+                NetworkKind::InMemory,
+                2,
+            )
+            .unwrap();
+        assert_eq!(out.value().get(), *all.iter().min().unwrap());
+    }
+
+    #[test]
+    fn kth_largest_returns_single_rank() {
+        let f = federation(4, 6, 21);
+        let mut all = all_values(&f, "value");
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        for rank in [1usize, 3, 7] {
+            let out = f
+                .execute(
+                    &QuerySpec::kth_largest("value", rank).with_epsilon(1e-9),
+                    rank as u64,
+                )
+                .unwrap();
+            assert_eq!(out.values().len(), 1, "rank {rank}");
+            assert_eq!(out.value().get(), all[rank - 1], "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn aggregate_sum_count_mean() {
+        let f = federation(5, 7, 31);
+        let all = all_values(&f, "value");
+        let expected_sum: i64 = all.iter().sum();
+        assert_eq!(f.sum("value", 1).unwrap(), expected_sum as u64);
+        assert_eq!(f.count("value", 2).unwrap(), all.len() as u64);
+        let mean = f.mean("value", 3).unwrap();
+        assert!((mean - expected_sum as f64 / all.len() as f64).abs() < 1e-9);
+        // Unknown attribute rejected up front.
+        assert!(matches!(
+            f.sum("profit", 0),
+            Err(FederationError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mirror_is_involutive_and_stays_in_domain() {
+        let f = federation(3, 4, 7);
+        for raw in [1i64, 2, 5000, 9999, 10_000] {
+            let v = Value::new(raw);
+            let m = f.mirror(v);
+            assert!(f.domain().contains(m), "mirror({raw}) = {m}");
+            assert_eq!(f.mirror(m), v);
+        }
+    }
+}

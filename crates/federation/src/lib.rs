@@ -1,0 +1,41 @@
+//! A high-level federated query API over private databases.
+//!
+//! The protocol crates operate on bare local top-k vectors; real
+//! deployments operate on *tables*. This crate supplies the missing
+//! layer: a [`Federation`] of [`PrivateDatabase`]s that
+//!
+//! - validates the paper's schema assumption up front ("the database
+//!   schemas and attribute names are known and are well matched across n
+//!   nodes") instead of failing mid-protocol,
+//! - accepts declarative [`QuerySpec`]s — max, min, top-k and bottom-k of
+//!   a named attribute — and compiles them onto the underlying protocol
+//!   (min/bottom-k run as max/top-k over *negated* values, as the paper
+//!   notes max and min are symmetric),
+//! - returns a [`QueryOutcome`] carrying the answer, the protocol
+//!   transcript (for privacy audits) and cost counters.
+//!
+//! # Example
+//!
+//! ```
+//! use privtopk_datagen::{DatasetBuilder};
+//! use privtopk_federation::{Federation, QuerySpec};
+//!
+//! let dbs = DatasetBuilder::new(5).rows_per_node(20).seed(3).build()?;
+//! let federation = Federation::new(dbs)?;
+//! let outcome = federation.execute(&QuerySpec::top_k("value", 3), 42)?;
+//! assert_eq!(outcome.values().len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod federation;
+mod query;
+
+pub use error::FederationError;
+pub use federation::{Federation, QueryOutcome};
+pub use query::{QueryKind, QuerySpec};
+
+pub use privtopk_datagen::PrivateDatabase;

@@ -1,0 +1,170 @@
+//! Declarative query specifications.
+
+use serde::{Deserialize, Serialize};
+
+use privtopk_core::Schedule;
+
+/// What the federation computes over the attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// The single largest value (`k = 1` top-k).
+    Max,
+    /// The single smallest value (a max query over mirrored values).
+    Min,
+    /// The `k` largest values.
+    TopK(usize),
+    /// The `k` smallest values (a top-k query over mirrored values).
+    BottomK(usize),
+    /// The single value at 1-based `rank` from the top (`rank = 1` is the
+    /// maximum) — a top-`rank` query reporting only its last element.
+    KthLargest(usize),
+}
+
+impl QueryKind {
+    /// The `k` this query needs from the protocol.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        match *self {
+            QueryKind::Max | QueryKind::Min => 1,
+            QueryKind::TopK(k) | QueryKind::BottomK(k) | QueryKind::KthLargest(k) => k,
+        }
+    }
+
+    /// Whether the query runs over mirrored (negated) values.
+    #[must_use]
+    pub fn is_mirrored(&self) -> bool {
+        matches!(self, QueryKind::Min | QueryKind::BottomK(_))
+    }
+}
+
+/// A complete federated statistics query: an attribute, a kind, and the
+/// privacy/efficiency knobs of the underlying protocol.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_federation::QuerySpec;
+///
+/// let q = QuerySpec::bottom_k("latency_ms", 5).with_epsilon(1e-9);
+/// assert_eq!(q.kind().k(), 5);
+/// assert!(q.kind().is_mirrored());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    attribute: String,
+    kind: QueryKind,
+    schedule: Schedule,
+    epsilon: f64,
+}
+
+impl QuerySpec {
+    /// A max query over `attribute`.
+    #[must_use]
+    pub fn max(attribute: impl Into<String>) -> Self {
+        QuerySpec::new(attribute, QueryKind::Max)
+    }
+
+    /// A min query over `attribute`.
+    #[must_use]
+    pub fn min(attribute: impl Into<String>) -> Self {
+        QuerySpec::new(attribute, QueryKind::Min)
+    }
+
+    /// The `k` largest values of `attribute`.
+    #[must_use]
+    pub fn top_k(attribute: impl Into<String>, k: usize) -> Self {
+        QuerySpec::new(attribute, QueryKind::TopK(k))
+    }
+
+    /// The `k` smallest values of `attribute`.
+    #[must_use]
+    pub fn bottom_k(attribute: impl Into<String>, k: usize) -> Self {
+        QuerySpec::new(attribute, QueryKind::BottomK(k))
+    }
+
+    /// The single value at 1-based `rank` from the top of `attribute`.
+    #[must_use]
+    pub fn kth_largest(attribute: impl Into<String>, rank: usize) -> Self {
+        QuerySpec::new(attribute, QueryKind::KthLargest(rank))
+    }
+
+    fn new(attribute: impl Into<String>, kind: QueryKind) -> Self {
+        QuerySpec {
+            attribute: attribute.into(),
+            kind,
+            schedule: Schedule::paper_default(),
+            epsilon: 1e-6,
+        }
+    }
+
+    /// Overrides the randomization schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the correctness error bound (default `1e-6`).
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// The queried attribute name.
+    #[must_use]
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// The query kind.
+    #[must_use]
+    pub fn kind(&self) -> QueryKind {
+        self.kind
+    }
+
+    /// The protocol schedule.
+    #[must_use]
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// The correctness error bound.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_report_k_and_mirroring() {
+        assert_eq!(QueryKind::Max.k(), 1);
+        assert_eq!(QueryKind::TopK(7).k(), 7);
+        assert_eq!(QueryKind::BottomK(3).k(), 3);
+        assert!(!QueryKind::Max.is_mirrored());
+        assert!(QueryKind::Min.is_mirrored());
+        assert!(QueryKind::BottomK(2).is_mirrored());
+        assert!(!QueryKind::TopK(2).is_mirrored());
+        assert_eq!(QueryKind::KthLargest(5).k(), 5);
+        assert!(!QueryKind::KthLargest(5).is_mirrored());
+    }
+
+    #[test]
+    fn constructors_and_builders() {
+        let q = QuerySpec::max("sales");
+        assert_eq!(q.attribute(), "sales");
+        assert_eq!(q.kind(), QueryKind::Max);
+        assert_eq!(q.epsilon(), 1e-6);
+
+        let q = QuerySpec::top_k("sales", 4)
+            .with_epsilon(1e-3)
+            .with_schedule(Schedule::Never);
+        assert_eq!(q.kind(), QueryKind::TopK(4));
+        assert_eq!(q.epsilon(), 1e-3);
+        assert_eq!(q.schedule(), Schedule::Never);
+    }
+}

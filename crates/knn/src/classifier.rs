@@ -1,0 +1,392 @@
+//! The private kNN classifier built on the top-k protocol.
+
+use privtopk_core::{ProtocolConfig, RoundPolicy, SimulationEngine};
+use privtopk_domain::{TopKVector, Value, ValueDomain};
+
+use crate::secure_sum::secure_sum_vectors;
+use crate::{KnnError, LabeledPoint};
+
+/// Configuration of the private kNN classifier.
+///
+/// Distances are squared-Euclidean, fixed-point encoded with `scale`
+/// fractional resolution and clamped to `ceiling`. The min-k selection is
+/// a max-top-k query over `ceiling − encoded_distance`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnConfig {
+    /// Number of neighbors `k`.
+    pub k: usize,
+    /// Fixed-point scale: encoded = round(distance² · scale).
+    pub scale: f64,
+    /// Distance ceiling (encoded distances are clamped here); also the
+    /// width of the protocol's public value domain.
+    pub ceiling: i64,
+    /// Error bound for the underlying probabilistic protocol's round
+    /// policy.
+    pub epsilon: f64,
+}
+
+impl KnnConfig {
+    /// A sensible default: millis resolution, a 10^12 ceiling, and a
+    /// 10^-9 protocol error bound.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        KnnConfig {
+            k,
+            scale: 1000.0,
+            ceiling: 1_000_000_000_000,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+/// Fixed-point encodes a squared distance and flips it into "bigger is
+/// closer" protocol space.
+fn encode_distance(d2: f64, config: &KnnConfig) -> i64 {
+    let scaled = (d2 * config.scale).round();
+    let clamped = if scaled >= config.ceiling as f64 {
+        config.ceiling
+    } else {
+        scaled as i64
+    };
+    config.ceiling - clamped
+}
+
+/// Recovers the scaled distance from protocol space.
+fn decode_distance(encoded: Value, config: &KnnConfig) -> i64 {
+    config.ceiling - encoded.get()
+}
+
+/// A federation of private databases able to answer kNN classification
+/// queries without pooling their training data.
+///
+/// See the crate docs for the protocol composition; [`centralized_knn`]
+/// is the plaintext reference the private result provably matches (same
+/// fixed-point encoding, same tie rule).
+#[derive(Debug, Clone)]
+pub struct PrivateKnnClassifier {
+    config: KnnConfig,
+    shards: Vec<Vec<LabeledPoint>>,
+    dim: usize,
+    num_classes: usize,
+}
+
+impl PrivateKnnClassifier {
+    /// Validates and wraps the per-party training shards.
+    ///
+    /// # Errors
+    ///
+    /// - [`KnnError::ZeroK`] if `config.k == 0`.
+    /// - [`KnnError::TooFewParties`] for fewer than 3 shards.
+    /// - [`KnnError::EmptyTrainingSet`] if no shard holds any point.
+    /// - [`KnnError::DimensionMismatch`] / [`KnnError::NonFiniteFeature`]
+    ///   on malformed features.
+    pub fn new(config: KnnConfig, shards: Vec<Vec<LabeledPoint>>) -> Result<Self, KnnError> {
+        if config.k == 0 {
+            return Err(KnnError::ZeroK);
+        }
+        if shards.len() < 3 {
+            return Err(KnnError::TooFewParties { got: shards.len() });
+        }
+        let mut dim = None;
+        let mut num_classes = 0;
+        for shard in &shards {
+            for p in shard {
+                match dim {
+                    None => dim = Some(p.dim()),
+                    Some(d) if d != p.dim() => {
+                        return Err(KnnError::DimensionMismatch {
+                            expected: d,
+                            got: p.dim(),
+                        })
+                    }
+                    _ => {}
+                }
+                if p.features().iter().any(|f| !f.is_finite()) {
+                    return Err(KnnError::NonFiniteFeature);
+                }
+                num_classes = num_classes.max(p.label() + 1);
+            }
+        }
+        let Some(dim) = dim else {
+            return Err(KnnError::EmptyTrainingSet);
+        };
+        Ok(PrivateKnnClassifier {
+            config,
+            shards,
+            dim,
+            num_classes,
+        })
+    }
+
+    /// Number of participating parties.
+    #[must_use]
+    pub fn parties(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of classes observed in the training data.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Classifies `query` privately.
+    ///
+    /// # Errors
+    ///
+    /// - [`KnnError::DimensionMismatch`] / [`KnnError::NonFiniteFeature`]
+    ///   for malformed queries.
+    /// - [`KnnError::Protocol`] if the underlying protocol fails.
+    pub fn classify(&self, query: &[f64], seed: u64) -> Result<usize, KnnError> {
+        let threshold = self.private_distance_threshold(query, seed)?;
+        let votes = self.private_votes(query, threshold, seed)?;
+        Ok(argmax_lowest(&votes))
+    }
+
+    /// Stage 1: the k-th smallest (scaled) distance, found with the
+    /// privacy-preserving top-k protocol over negated distances.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PrivateKnnClassifier::classify`].
+    pub fn private_distance_threshold(&self, query: &[f64], seed: u64) -> Result<i64, KnnError> {
+        self.validate_query(query)?;
+        let domain = ValueDomain::new(Value::new(0), Value::new(self.config.ceiling))?;
+        let protocol = ProtocolConfig::topk(self.config.k)
+            .with_domain(domain)
+            .with_rounds(RoundPolicy::Precision {
+                epsilon: self.config.epsilon,
+            });
+        let locals = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let encoded = shard
+                    .iter()
+                    .map(|p| Value::new(encode_distance(p.squared_distance(query), &self.config)));
+                TopKVector::from_values(self.config.k, encoded, &domain)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let transcript = SimulationEngine::new(protocol).run(&locals, seed)?;
+        // The k-th *largest* negated distance is the k-th *smallest*
+        // distance.
+        Ok(decode_distance(transcript.result().kth(), &self.config))
+    }
+
+    /// Stage 2: per-class votes for points within `threshold`, aggregated
+    /// with the secure ring sum.
+    fn private_votes(
+        &self,
+        query: &[f64],
+        threshold: i64,
+        seed: u64,
+    ) -> Result<Vec<u64>, KnnError> {
+        let per_party: Vec<Vec<u64>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut votes = vec![0u64; self.num_classes];
+                for p in shard {
+                    let scaled = self.config.ceiling
+                        - encode_distance(p.squared_distance(query), &self.config);
+                    if scaled <= threshold {
+                        votes[p.label()] += 1;
+                    }
+                }
+                votes
+            })
+            .collect();
+        secure_sum_vectors(&per_party, seed ^ 0x5A5A_5A5A)
+    }
+
+    fn validate_query(&self, query: &[f64]) -> Result<(), KnnError> {
+        if query.len() != self.dim {
+            return Err(KnnError::DimensionMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        if query.iter().any(|f| !f.is_finite()) {
+            return Err(KnnError::NonFiniteFeature);
+        }
+        Ok(())
+    }
+}
+
+/// Index of the largest count, preferring the lowest label on ties.
+fn argmax_lowest(votes: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in votes.iter().enumerate() {
+        if v > votes[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The plaintext reference: classic kNN with the *same* fixed-point
+/// encoding and tie rule (all points at the k-th distance are included,
+/// majority label wins, lowest label breaks ties).
+///
+/// Used by tests and experiments to verify the private classifier is
+/// exact, not approximate.
+///
+/// # Panics
+///
+/// Panics on empty input or `k == 0`.
+#[must_use]
+pub fn centralized_knn(points: &[LabeledPoint], query: &[f64], config: &KnnConfig) -> usize {
+    assert!(config.k >= 1 && !points.is_empty());
+    let mut scaled: Vec<(i64, usize)> = points
+        .iter()
+        .map(|p| {
+            (
+                config.ceiling - encode_distance(p.squared_distance(query), config),
+                p.label(),
+            )
+        })
+        .collect();
+    scaled.sort_by_key(|&(d, _)| d);
+    let kth = scaled[(config.k - 1).min(scaled.len() - 1)].0;
+    let num_classes = points.iter().map(|p| p.label() + 1).max().unwrap_or(1);
+    let mut votes = vec![0u64; num_classes];
+    for &(d, label) in &scaled {
+        if d <= kth {
+            votes[label] += 1;
+        }
+    }
+    argmax_lowest(&votes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::rng::seeded_rng;
+    use rand::Rng;
+
+    fn blobs(parties: usize, per_party: usize, seed: u64) -> Vec<Vec<LabeledPoint>> {
+        // Two well-separated Gaussian-ish blobs at (0,0) and (6,6).
+        let mut rng = seeded_rng(seed);
+        (0..parties)
+            .map(|_| {
+                (0..per_party)
+                    .map(|_| {
+                        let label = usize::from(rng.gen_bool(0.5));
+                        let center = if label == 0 { 0.0 } else { 6.0 };
+                        let x = center + rng.gen_range(-1.0..1.0);
+                        let y = center + rng.gen_range(-1.0..1.0);
+                        LabeledPoint::new(vec![x, y], label)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classifies_separable_blobs() {
+        let shards = blobs(4, 10, 1);
+        let clf = PrivateKnnClassifier::new(KnnConfig::new(5), shards).unwrap();
+        assert_eq!(clf.classify(&[0.2, -0.1], 7).unwrap(), 0);
+        assert_eq!(clf.classify(&[6.3, 5.9], 7).unwrap(), 1);
+    }
+
+    #[test]
+    fn matches_centralized_reference_exactly() {
+        let shards = blobs(5, 8, 2);
+        let flat: Vec<LabeledPoint> = shards.iter().flatten().cloned().collect();
+        let config = KnnConfig::new(7);
+        let clf = PrivateKnnClassifier::new(config, shards).unwrap();
+        let mut rng = seeded_rng(3);
+        for q in 0..25 {
+            let query = [rng.gen_range(-2.0..8.0), rng.gen_range(-2.0..8.0)];
+            let private = clf.classify(&query, q).unwrap();
+            let reference = centralized_knn(&flat, &query, &config);
+            assert_eq!(private, reference, "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_is_kth_smallest_distance() {
+        // 3 parties, known distances: query at origin, points on the axes.
+        let shards = vec![
+            vec![LabeledPoint::new(vec![1.0, 0.0], 0)], // d2 = 1
+            vec![LabeledPoint::new(vec![2.0, 0.0], 0)], // d2 = 4
+            vec![LabeledPoint::new(vec![3.0, 0.0], 1)], // d2 = 9
+        ];
+        let config = KnnConfig::new(2);
+        let clf = PrivateKnnClassifier::new(config, shards).unwrap();
+        let theta = clf.private_distance_threshold(&[0.0, 0.0], 11).unwrap();
+        // k = 2: threshold is the 2nd smallest scaled distance = 4 * 1000.
+        assert_eq!(theta, 4000);
+    }
+
+    #[test]
+    fn validates_construction() {
+        assert!(matches!(
+            PrivateKnnClassifier::new(KnnConfig::new(0), blobs(3, 2, 0)),
+            Err(KnnError::ZeroK)
+        ));
+        assert!(matches!(
+            PrivateKnnClassifier::new(KnnConfig::new(1), blobs(2, 2, 0)),
+            Err(KnnError::TooFewParties { got: 2 })
+        ));
+        assert!(matches!(
+            PrivateKnnClassifier::new(KnnConfig::new(1), vec![vec![], vec![], vec![]]),
+            Err(KnnError::EmptyTrainingSet)
+        ));
+        let mixed = vec![
+            vec![LabeledPoint::new(vec![1.0], 0)],
+            vec![LabeledPoint::new(vec![1.0, 2.0], 0)],
+            vec![],
+        ];
+        assert!(matches!(
+            PrivateKnnClassifier::new(KnnConfig::new(1), mixed),
+            Err(KnnError::DimensionMismatch { .. })
+        ));
+        let nan = vec![vec![LabeledPoint::new(vec![f64::NAN], 0)], vec![], vec![]];
+        assert!(matches!(
+            PrivateKnnClassifier::new(KnnConfig::new(1), nan),
+            Err(KnnError::NonFiniteFeature)
+        ));
+    }
+
+    #[test]
+    fn validates_queries() {
+        let clf = PrivateKnnClassifier::new(KnnConfig::new(1), blobs(3, 3, 4)).unwrap();
+        assert!(matches!(
+            clf.classify(&[1.0], 0),
+            Err(KnnError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            clf.classify(&[f64::INFINITY, 0.0], 0),
+            Err(KnnError::NonFiniteFeature)
+        ));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let clf = PrivateKnnClassifier::new(KnnConfig::new(3), blobs(4, 6, 5)).unwrap();
+        let a = clf.classify(&[3.0, 3.0], 9).unwrap();
+        let b = clf.classify(&[3.0, 3.0], 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_label() {
+        assert_eq!(argmax_lowest(&[2, 2, 1]), 0);
+        assert_eq!(argmax_lowest(&[1, 3, 3]), 1);
+        assert_eq!(argmax_lowest(&[0]), 0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_includes_everything() {
+        let shards = vec![
+            vec![LabeledPoint::new(vec![0.0], 0)],
+            vec![LabeledPoint::new(vec![1.0], 1)],
+            vec![LabeledPoint::new(vec![2.0], 1)],
+        ];
+        let clf = PrivateKnnClassifier::new(KnnConfig::new(10), shards).unwrap();
+        // All three points vote: label 1 wins 2:1 everywhere.
+        assert_eq!(clf.classify(&[0.0], 3).unwrap(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Errors for the kNN extension.
+
+use std::error::Error;
+use std::fmt;
+
+use privtopk_core::ProtocolError;
+use privtopk_domain::DomainError;
+
+/// Errors from building or querying the private kNN classifier.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum KnnError {
+    /// `k` must be at least 1.
+    ZeroK,
+    /// The classifier needs at least three participating databases (the
+    /// underlying protocol's `n > 2` requirement).
+    TooFewParties {
+        /// Parties supplied.
+        got: usize,
+    },
+    /// No party holds any training points.
+    EmptyTrainingSet,
+    /// Query/feature dimensionality mismatch.
+    DimensionMismatch {
+        /// Expected dimensionality (from the training data).
+        expected: usize,
+        /// The offending dimensionality.
+        got: usize,
+    },
+    /// A feature value was not finite.
+    NonFiniteFeature,
+    /// The underlying top-k protocol failed.
+    Protocol(ProtocolError),
+    /// A domain-level error (distance encoding overflow etc.).
+    Domain(DomainError),
+}
+
+impl fmt::Display for KnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnnError::ZeroK => write!(f, "k must be at least 1"),
+            KnnError::TooFewParties { got } => {
+                write!(f, "private knn needs at least 3 parties, got {got}")
+            }
+            KnnError::EmptyTrainingSet => write!(f, "no training points supplied"),
+            KnnError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "feature dimension {got} does not match training dimension {expected}"
+                )
+            }
+            KnnError::NonFiniteFeature => write!(f, "feature values must be finite"),
+            KnnError::Protocol(e) => write!(f, "protocol error: {e}"),
+            KnnError::Domain(e) => write!(f, "domain error: {e}"),
+        }
+    }
+}
+
+impl Error for KnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KnnError::Protocol(e) => Some(e),
+            KnnError::Domain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for KnnError {
+    fn from(e: ProtocolError) -> Self {
+        KnnError::Protocol(e)
+    }
+}
+
+impl From<DomainError> for KnnError {
+    fn from(e: DomainError) -> Self {
+        KnnError::Domain(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let variants: Vec<KnnError> = vec![
+            KnnError::ZeroK,
+            KnnError::TooFewParties { got: 2 },
+            KnnError::EmptyTrainingSet,
+            KnnError::DimensionMismatch {
+                expected: 2,
+                got: 3,
+            },
+            KnnError::NonFiniteFeature,
+            KnnError::Domain(DomainError::ZeroK),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_chain_sources() {
+        let e: KnnError = DomainError::ZeroK.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

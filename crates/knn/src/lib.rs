@@ -1,0 +1,47 @@
+//! Privacy-preserving kNN classification across private databases.
+//!
+//! The paper closes with: "we are developing a privacy preserving kNN
+//! classifier on top of the topk protocol". This crate builds that
+//! extension out of two privacy-preserving primitives:
+//!
+//! 1. **Min-k distance selection** — the global `k` smallest
+//!    query-to-point distances, computed with the paper's probabilistic
+//!    top-k protocol over *negated* distances (a max query over
+//!    `ceiling − distance` is a min query over distance).
+//! 2. **Secure vote aggregation** — per-class vote counts summed with a
+//!    classic masked ring sum ([`secure_sum`]): the initiator adds a
+//!    random mask, every node adds its private count, the initiator
+//!    removes the mask. No node learns another node's count.
+//!
+//! The classifier then predicts the majority label among all points within
+//! the k-th smallest distance (standard kNN with ties included), which a
+//! centralized reference implementation reproduces exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use privtopk_knn::{KnnConfig, LabeledPoint, PrivateKnnClassifier};
+//!
+//! // Three hospitals, each with a few labelled patients (2-D features).
+//! let shards = vec![
+//!     vec![LabeledPoint::new(vec![0.0, 0.1], 0), LabeledPoint::new(vec![0.2, 0.0], 0)],
+//!     vec![LabeledPoint::new(vec![5.0, 5.2], 1), LabeledPoint::new(vec![5.1, 4.9], 1)],
+//!     vec![LabeledPoint::new(vec![0.1, 0.2], 0), LabeledPoint::new(vec![5.2, 5.1], 1)],
+//! ];
+//! let classifier = PrivateKnnClassifier::new(KnnConfig::new(3), shards)?;
+//! let label = classifier.classify(&[0.1, 0.0], 42)?;
+//! assert_eq!(label, 0);
+//! # Ok::<(), privtopk_knn::KnnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classifier;
+mod error;
+mod point;
+pub mod secure_sum;
+
+pub use classifier::{centralized_knn, KnnConfig, PrivateKnnClassifier};
+pub use error::KnnError;
+pub use point::LabeledPoint;

@@ -1,0 +1,88 @@
+//! Labelled training points.
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled training example held by some private database.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_knn::LabeledPoint;
+///
+/// let p = LabeledPoint::new(vec![1.0, -0.5], 3);
+/// assert_eq!(p.label(), 3);
+/// assert_eq!(p.features(), &[1.0, -0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPoint {
+    features: Vec<f64>,
+    label: usize,
+}
+
+impl LabeledPoint {
+    /// Creates a point from its feature vector and class label.
+    #[must_use]
+    pub fn new(features: Vec<f64>, label: usize) -> Self {
+        LabeledPoint { features, label }
+    }
+
+    /// The feature vector.
+    #[must_use]
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+
+    /// The class label.
+    #[must_use]
+    pub fn label(&self) -> usize {
+        self.label
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Squared Euclidean distance to `query`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ (validated by the classifier before
+    /// use).
+    #[must_use]
+    pub fn squared_distance(&self, query: &[f64]) -> f64 {
+        assert_eq!(self.features.len(), query.len(), "dimension mismatch");
+        self.features
+            .iter()
+            .zip(query)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = LabeledPoint::new(vec![3.0, 4.0], 1);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.label(), 1);
+    }
+
+    #[test]
+    fn squared_distance_is_euclidean() {
+        let p = LabeledPoint::new(vec![0.0, 0.0], 0);
+        assert_eq!(p.squared_distance(&[3.0, 4.0]), 25.0);
+        assert_eq!(p.squared_distance(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn distance_requires_matching_dims() {
+        let p = LabeledPoint::new(vec![1.0], 0);
+        let _ = p.squared_distance(&[1.0, 2.0]);
+    }
+}

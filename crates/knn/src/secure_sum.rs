@@ -1,0 +1,160 @@
+//! Masked ring summation: privately sums one integer per node.
+//!
+//! The classic scheme the paper's related work builds on: the initiator
+//! adds a uniformly random mask to its value before sending; every other
+//! node adds its own value to the running total; when the token returns,
+//! the initiator subtracts the mask. Each node only ever sees
+//! `mask + (partial sum)`, which is uniformly distributed and therefore
+//! reveals nothing about the partial sum (a one-time pad over the additive
+//! group of `u64`, with wrapping arithmetic).
+//!
+//! This is the vote-aggregation substrate for the private kNN classifier.
+
+use rand::Rng;
+
+use privtopk_domain::rng::seeded_rng;
+
+use crate::KnnError;
+
+/// The view a single node gets during one ring sum — used by tests to
+/// verify the masking actually hides partial sums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecureSumTrace {
+    /// The running (masked) token each node observed, indexed by ring
+    /// position (position 0 = the initiator's outgoing token).
+    pub observed: Vec<u64>,
+    /// The true sum.
+    pub sum: u64,
+}
+
+/// Privately sums `values[i]` over all nodes (node 0 initiates).
+///
+/// The result is exact as long as the true sum fits in `u64` (wrapping
+/// arithmetic makes the mask a perfect one-time pad either way).
+///
+/// # Errors
+///
+/// Returns [`KnnError::TooFewParties`] for fewer than 3 participants —
+/// with 2, the non-initiator's value is trivially derivable by the
+/// initiator from the result, so the scheme offers nothing.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_knn::secure_sum::secure_sum;
+///
+/// let trace = secure_sum(&[5, 7, 11], 42)?;
+/// assert_eq!(trace.sum, 23);
+/// # Ok::<(), privtopk_knn::KnnError>(())
+/// ```
+pub fn secure_sum(values: &[u64], seed: u64) -> Result<SecureSumTrace, KnnError> {
+    if values.len() < 3 {
+        return Err(KnnError::TooFewParties { got: values.len() });
+    }
+    let mut rng = seeded_rng(seed);
+    let mask: u64 = rng.gen();
+    let mut observed = Vec::with_capacity(values.len());
+    // Initiator (position 0) sends mask + its own value.
+    let mut token = mask.wrapping_add(values[0]);
+    observed.push(token);
+    for &v in &values[1..] {
+        token = token.wrapping_add(v);
+        observed.push(token);
+    }
+    let sum = token.wrapping_sub(mask);
+    Ok(SecureSumTrace { observed, sum })
+}
+
+/// Privately sums a vector per node (component-wise), e.g. one vote count
+/// per class. A fresh mask is drawn per component.
+///
+/// # Errors
+///
+/// As [`secure_sum`]; additionally all vectors must share a length, or
+/// [`KnnError::DimensionMismatch`] is returned.
+pub fn secure_sum_vectors(vectors: &[Vec<u64>], seed: u64) -> Result<Vec<u64>, KnnError> {
+    let Some(first) = vectors.first() else {
+        return Err(KnnError::TooFewParties { got: 0 });
+    };
+    let width = first.len();
+    for v in vectors {
+        if v.len() != width {
+            return Err(KnnError::DimensionMismatch {
+                expected: width,
+                got: v.len(),
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(width);
+    for c in 0..width {
+        let column: Vec<u64> = vectors.iter().map(|v| v[c]).collect();
+        out.push(secure_sum(&column, seed.wrapping_add(c as u64))?.sum);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_exactly() {
+        let t = secure_sum(&[1, 2, 3, 4], 0).unwrap();
+        assert_eq!(t.sum, 10);
+        let t = secure_sum(&[0, 0, 0], 1).unwrap();
+        assert_eq!(t.sum, 0);
+    }
+
+    #[test]
+    fn wrapping_sums_still_correct_for_modular_interpretation() {
+        let t = secure_sum(&[u64::MAX, 2, 3], 5).unwrap();
+        // Wrapping: MAX + 5 = 4 (mod 2^64).
+        assert_eq!(t.sum, 4);
+    }
+
+    #[test]
+    fn rejects_small_rings() {
+        assert!(secure_sum(&[1, 2], 0).is_err());
+        assert!(secure_sum(&[], 0).is_err());
+    }
+
+    #[test]
+    fn observed_tokens_do_not_reveal_partial_sums() {
+        // Same values, different seeds: every observed token changes,
+        // because each is offset by the fresh random mask.
+        let a = secure_sum(&[100, 200, 300], 1).unwrap();
+        let b = secure_sum(&[100, 200, 300], 2).unwrap();
+        assert_eq!(a.sum, b.sum);
+        for (x, y) in a.observed.iter().zip(&b.observed) {
+            assert_ne!(x, y, "token leaked through the mask");
+        }
+    }
+
+    #[test]
+    fn mask_distributes_tokens_uniformly_ish() {
+        // The first observed token (mask + v0) over many seeds should
+        // cover both halves of the u64 range roughly evenly.
+        let mut high = 0;
+        let trials = 2000;
+        for seed in 0..trials {
+            let t = secure_sum(&[42, 1, 1], seed).unwrap();
+            if t.observed[0] > u64::MAX / 2 {
+                high += 1;
+            }
+        }
+        let frac = high as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.05, "high fraction {frac}");
+    }
+
+    #[test]
+    fn vector_sum_componentwise() {
+        let sums = secure_sum_vectors(&[vec![1, 10], vec![2, 20], vec![3, 30]], 9).unwrap();
+        assert_eq!(sums, vec![6, 60]);
+    }
+
+    #[test]
+    fn vector_sum_validates_shapes() {
+        assert!(secure_sum_vectors(&[], 0).is_err());
+        assert!(secure_sum_vectors(&[vec![1], vec![1, 2], vec![1]], 0).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the private kNN extension.
+
+use privtopk_knn::secure_sum::{secure_sum, secure_sum_vectors};
+use privtopk_knn::{centralized_knn, KnnConfig, LabeledPoint, PrivateKnnClassifier};
+use proptest::prelude::*;
+
+fn arb_points(max_points: usize) -> impl Strategy<Value = Vec<LabeledPoint>> {
+    prop::collection::vec(
+        (prop::collection::vec(-10.0f64..10.0, 2), 0usize..3)
+            .prop_map(|(f, l)| LabeledPoint::new(f, l)),
+        1..max_points,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The masked ring sum is exact for arbitrary values and seeds.
+    #[test]
+    fn secure_sum_exact(
+        values in prop::collection::vec(0u64..1_000_000, 3..20),
+        seed in any::<u64>(),
+    ) {
+        let expected: u64 = values.iter().sum();
+        let trace = secure_sum(&values, seed).unwrap();
+        prop_assert_eq!(trace.sum, expected);
+        prop_assert_eq!(trace.observed.len(), values.len());
+    }
+
+    /// Component-wise vector sums match scalar sums.
+    #[test]
+    fn secure_vector_sum_matches_columns(
+        rows in prop::collection::vec(prop::collection::vec(0u64..10_000, 3), 3..10),
+        seed in any::<u64>(),
+    ) {
+        let sums = secure_sum_vectors(&rows, seed).unwrap();
+        for (c, &s) in sums.iter().enumerate() {
+            let expect: u64 = rows.iter().map(|r| r[c]).sum();
+            prop_assert_eq!(s, expect);
+        }
+    }
+
+    /// The private classifier always agrees with the centralized
+    /// reference, for arbitrary shard contents, k, and queries.
+    #[test]
+    fn private_knn_equals_centralized(
+        (shards, k, qx, qy, seed) in (
+            prop::collection::vec(arb_points(8), 3..6),
+            1usize..6,
+            -10.0f64..10.0,
+            -10.0f64..10.0,
+            any::<u64>(),
+        )
+    ) {
+        let flat: Vec<LabeledPoint> = shards.iter().flatten().cloned().collect();
+        let config = KnnConfig::new(k);
+        let clf = PrivateKnnClassifier::new(config, shards).unwrap();
+        let private = clf.classify(&[qx, qy], seed).unwrap();
+        let reference = centralized_knn(&flat, &[qx, qy], &config);
+        prop_assert_eq!(private, reference);
+    }
+
+    /// The distance threshold is achievable: at least one training point
+    /// sits exactly at it (unless padding produced the floor threshold).
+    #[test]
+    fn threshold_is_witnessed(
+        (shards, k, qx, qy, seed) in (
+            prop::collection::vec(arb_points(6), 3..5),
+            1usize..4,
+            -5.0f64..5.0,
+            -5.0f64..5.0,
+            any::<u64>(),
+        )
+    ) {
+        let total: usize = shards.iter().map(Vec::len).sum();
+        let config = KnnConfig::new(k);
+        let flat: Vec<LabeledPoint> = shards.iter().flatten().cloned().collect();
+        let clf = PrivateKnnClassifier::new(config, shards).unwrap();
+        let theta = clf.private_distance_threshold(&[qx, qy], seed).unwrap();
+        if total >= k {
+            let witnessed = flat.iter().any(|p| {
+                let scaled = (p.squared_distance(&[qx, qy]) * config.scale).round() as i64;
+                scaled.min(config.ceiling) == theta
+            });
+            prop_assert!(witnessed, "threshold {theta} not a real distance");
+        } else {
+            // Padding: threshold degenerates to the ceiling.
+            prop_assert_eq!(theta, config.ceiling);
+        }
+    }
+}

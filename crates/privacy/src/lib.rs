@@ -1,0 +1,53 @@
+//! Adversary models and empirical Loss-of-Privacy (LoP) estimation.
+//!
+//! The paper defines (Equation 1)
+//!
+//! `LoP = P(C | R, IR) − P(C | R)`
+//!
+//! — the extra probability an adversary assigns to a claim `C` about a
+//! node's private value once it has seen the intermediate results `IR`, on
+//! top of what the final result `R` alone implies. This crate turns a
+//! protocol [`Transcript`](privtopk_core::Transcript) plus the ground-truth
+//! local vectors into per-node, per-round LoP *samples*; the experiment
+//! harness averages the samples over many trials, exactly as the paper's
+//! Section 5 does (100 experiments per plot).
+//!
+//! Two adversary models are provided:
+//!
+//! - [`SuccessorAdversary`] — the semi-honest successor that sees each
+//!   value a node passes on (the paper's main analysis).
+//! - [`CollusionAdversary`] — the Section 4.3 extension where a node's
+//!   predecessor and successor collude and can difference their views.
+//!
+//! # Example
+//!
+//! ```
+//! use privtopk_core::{ProtocolConfig, RoundPolicy, SimulationEngine};
+//! use privtopk_domain::{TopKVector, Value, ValueDomain};
+//! use privtopk_privacy::SuccessorAdversary;
+//!
+//! let domain = ValueDomain::paper_default();
+//! let locals: Vec<TopKVector> = [3000i64, 1000, 4000, 2000]
+//!     .iter()
+//!     .map(|&v| TopKVector::from_values(1, [Value::new(v)], &domain).unwrap())
+//!     .collect();
+//! let engine = SimulationEngine::new(ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(8)));
+//! let transcript = engine.run(&locals, 1)?;
+//! let matrix = SuccessorAdversary::estimate(&transcript, &locals);
+//! assert_eq!(matrix.n(), 4);
+//! assert_eq!(matrix.rounds(), 8);
+//! # Ok::<(), privtopk_core::ProtocolError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversary;
+mod lop;
+mod multiround;
+mod spectrum;
+
+pub use adversary::{owner_of_maximum, CollusionAdversary, SuccessorAdversary};
+pub use lop::{LopAccumulator, LopMatrix, LopSummary};
+pub use multiround::{AggregateLop, MultiRoundAdversary, RangeAdversary};
+pub use spectrum::SpectrumReport;

@@ -1,0 +1,251 @@
+//! Loss-of-Privacy matrices and multi-trial aggregation.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-node × per-round LoP samples from a single protocol execution.
+///
+/// `sample(node, round)` is an unbiased estimate of
+/// `P(C | R, IR) − P(C | R)` for that node in that round; averaging
+/// matrices over trials (see [`LopAccumulator`]) converges to the expected
+/// LoP the paper plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LopMatrix {
+    /// `samples[node][round - 1]`.
+    samples: Vec<Vec<f64>>,
+}
+
+impl LopMatrix {
+    /// Wraps raw samples (`samples[node][round-1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    #[must_use]
+    pub fn new(samples: Vec<Vec<f64>>) -> Self {
+        if let Some(first) = samples.first() {
+            assert!(
+                samples.iter().all(|r| r.len() == first.len()),
+                "all nodes must cover the same rounds"
+            );
+        }
+        LopMatrix { samples }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of rounds.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+
+    /// The sample for `node` (0-based) in `round` (1-based).
+    #[must_use]
+    pub fn sample(&self, node: usize, round: usize) -> f64 {
+        self.samples[node][round - 1]
+    }
+
+    /// Raw access (`[node][round-1]`).
+    #[must_use]
+    pub fn as_rows(&self) -> &[Vec<f64>] {
+        &self.samples
+    }
+}
+
+/// Accumulates [`LopMatrix`] samples over many trials and produces the
+/// aggregated statistics the paper plots.
+///
+/// The aggregation order follows Section 5.3: samples are first averaged
+/// over trials per `(node, round)`; a node's overall LoP is the *peak*
+/// over rounds of its trial-averaged per-round LoP ("we will take the
+/// highest (peak) loss of privacy among all the rounds for a given node");
+/// system-level numbers are the average (Figures 8/10a/12a) or the worst
+/// case (Figures 10b/12b) over nodes.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_privacy::{LopAccumulator, LopMatrix};
+///
+/// let mut acc = LopAccumulator::new();
+/// acc.add(&LopMatrix::new(vec![vec![0.0, 1.0], vec![0.5, 0.0]]));
+/// acc.add(&LopMatrix::new(vec![vec![0.0, 0.0], vec![0.5, 0.0]]));
+/// let summary = acc.summarize();
+/// assert_eq!(summary.per_node_peak, vec![0.5, 0.5]);
+/// assert_eq!(summary.average_peak, 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LopAccumulator {
+    /// Sum of samples per `[node][round-1]`.
+    sums: Vec<Vec<f64>>,
+    trials: usize,
+}
+
+impl LopAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        LopAccumulator::default()
+    }
+
+    /// Number of trials accumulated.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Adds one trial's matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape differs from previously added trials.
+    pub fn add(&mut self, matrix: &LopMatrix) {
+        if self.sums.is_empty() {
+            self.sums = matrix.as_rows().to_vec();
+        } else {
+            assert_eq!(self.sums.len(), matrix.n(), "node count changed");
+            for (acc_row, row) in self.sums.iter_mut().zip(matrix.as_rows()) {
+                assert_eq!(acc_row.len(), row.len(), "round count changed");
+                for (a, s) in acc_row.iter_mut().zip(row) {
+                    *a += s;
+                }
+            }
+        }
+        self.trials += 1;
+    }
+
+    /// Trial-averaged LoP per `(node, round)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trials were added.
+    #[must_use]
+    pub fn averaged(&self) -> Vec<Vec<f64>> {
+        assert!(self.trials > 0, "no trials accumulated");
+        self.sums
+            .iter()
+            .map(|row| row.iter().map(|s| s / self.trials as f64).collect())
+            .collect()
+    }
+
+    /// Full summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trials were added.
+    #[must_use]
+    pub fn summarize(&self) -> LopSummary {
+        let averaged = self.averaged();
+        let per_node_peak: Vec<f64> = averaged
+            .iter()
+            .map(|row| row.iter().copied().fold(f64::MIN, f64::max))
+            .collect();
+        let n = per_node_peak.len().max(1);
+        let rounds = averaged.first().map_or(0, Vec::len);
+        let per_round_average: Vec<f64> = (0..rounds)
+            .map(|r| averaged.iter().map(|row| row[r]).sum::<f64>() / n as f64)
+            .collect();
+        LopSummary {
+            average_peak: per_node_peak.iter().sum::<f64>() / n as f64,
+            worst_peak: per_node_peak.iter().copied().fold(f64::MIN, f64::max),
+            per_node_peak,
+            per_round_average,
+            trials: self.trials,
+        }
+    }
+}
+
+/// Aggregated LoP statistics over many trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LopSummary {
+    /// Peak-over-rounds LoP per node (trial-averaged first).
+    pub per_node_peak: Vec<f64>,
+    /// Average of the per-node peaks — the paper's "average loss of
+    /// privacy" (Figures 8, 10a, 12a).
+    pub average_peak: f64,
+    /// Maximum of the per-node peaks — the "worst case" (Figures 10b,
+    /// 12b), typically the starting node under a fixed-start policy.
+    pub worst_peak: f64,
+    /// Average over nodes per round — the Figure 7 series.
+    pub per_round_average: Vec<f64>,
+    /// Number of trials aggregated.
+    pub trials: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shape_and_access() {
+        let m = LopMatrix::new(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        assert_eq!(m.n(), 2);
+        assert_eq!(m.rounds(), 2);
+        assert_eq!(m.sample(1, 2), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same rounds")]
+    fn matrix_rejects_ragged_rows() {
+        let _ = LopMatrix::new(vec![vec![0.1], vec![0.2, 0.3]]);
+    }
+
+    #[test]
+    fn accumulator_averages_over_trials() {
+        let mut acc = LopAccumulator::new();
+        acc.add(&LopMatrix::new(vec![vec![1.0], vec![0.0]]));
+        acc.add(&LopMatrix::new(vec![vec![0.0], vec![0.0]]));
+        let avg = acc.averaged();
+        assert_eq!(avg[0][0], 0.5);
+        assert_eq!(avg[1][0], 0.0);
+        assert_eq!(acc.trials(), 2);
+    }
+
+    #[test]
+    fn peak_is_after_trial_averaging() {
+        // Node 0 is exposed in round 1 of trial A and round 2 of trial B;
+        // per-round averages are 0.5 each, so the peak is 0.5 — not 1.0,
+        // which a peak-then-average order would give.
+        let mut acc = LopAccumulator::new();
+        acc.add(&LopMatrix::new(vec![vec![1.0, 0.0]]));
+        acc.add(&LopMatrix::new(vec![vec![0.0, 1.0]]));
+        let s = acc.summarize();
+        assert_eq!(s.per_node_peak, vec![0.5]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut acc = LopAccumulator::new();
+        acc.add(&LopMatrix::new(vec![
+            vec![0.8, 0.2],
+            vec![0.1, 0.4],
+            vec![0.0, 0.0],
+        ]));
+        let s = acc.summarize();
+        assert_eq!(s.per_node_peak, vec![0.8, 0.4, 0.0]);
+        assert!((s.average_peak - 0.4).abs() < 1e-12);
+        assert_eq!(s.worst_peak, 0.8);
+        assert_eq!(s.per_round_average.len(), 2);
+        assert!((s.per_round_average[0] - 0.3).abs() < 1e-12);
+        assert!((s.per_round_average[1] - 0.2).abs() < 1e-12);
+        assert_eq!(s.trials, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no trials")]
+    fn summarize_requires_trials() {
+        let _ = LopAccumulator::new().summarize();
+    }
+
+    #[test]
+    #[should_panic(expected = "node count")]
+    fn accumulator_rejects_shape_change() {
+        let mut acc = LopAccumulator::new();
+        acc.add(&LopMatrix::new(vec![vec![0.0]]));
+        acc.add(&LopMatrix::new(vec![vec![0.0], vec![0.0]]));
+    }
+}

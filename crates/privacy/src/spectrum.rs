@@ -1,0 +1,140 @@
+//! Mapping measured exposure back onto the probabilistic privacy
+//! spectrum of Section 2.3.
+//!
+//! The paper reviews the Crowds spectrum (provably exposed → absolute
+//! privacy) before defining LoP; this module closes the loop by
+//! classifying each node's *measured* exposure probability on that
+//! spectrum, so an audit can say "node 3 is beyond suspicion" instead of
+//! quoting a raw number.
+
+use privtopk_domain::PrivacySpectrum;
+
+use crate::LopSummary;
+
+/// One node's spectrum classification from measured data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectrumReport {
+    /// Per-node classification, indexed by node id.
+    pub per_node: Vec<PrivacySpectrum>,
+}
+
+impl SpectrumReport {
+    /// Classifies each node's peak exposure probability.
+    ///
+    /// The peak LoP is `P(C|R,IR) − P(C|R)`; adding back the baseline
+    /// `1/n` yields (an upper bound on) the adversary's claim
+    /// probability, which is what the spectrum grades.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn from_summary(summary: &LopSummary, n: usize) -> Self {
+        assert!(n > 0, "need at least one node");
+        let baseline = 1.0 / n as f64;
+        let per_node = summary
+            .per_node_peak
+            .iter()
+            .map(|&lop| PrivacySpectrum::classify((lop + baseline).clamp(0.0, 1.0), n))
+            .collect();
+        SpectrumReport { per_node }
+    }
+
+    /// The worst classification across nodes.
+    #[must_use]
+    pub fn worst(&self) -> PrivacySpectrum {
+        self.per_node
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(PrivacySpectrum::AbsolutePrivacy)
+    }
+
+    /// How many nodes are at or below "beyond suspicion" (i.e. enjoy
+    /// m-anonymity or better).
+    #[must_use]
+    pub fn beyond_suspicion_count(&self) -> usize {
+        self.per_node
+            .iter()
+            .filter(|&&s| s <= PrivacySpectrum::BeyondSuspicion)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LopAccumulator, LopMatrix, SuccessorAdversary};
+    use privtopk_core::{ProtocolConfig, RoundPolicy, SimulationEngine};
+    use privtopk_domain::{TopKVector, Value, ValueDomain};
+
+    fn summary_from(per_node_rounds: Vec<Vec<f64>>) -> LopSummary {
+        let mut acc = LopAccumulator::new();
+        acc.add(&LopMatrix::new(per_node_rounds));
+        acc.summarize()
+    }
+
+    #[test]
+    fn classification_follows_peaks() {
+        let s = summary_from(vec![vec![0.0], vec![0.9], vec![0.2]]);
+        let report = SpectrumReport::from_summary(&s, 4);
+        // Node 0: probability 1/4 -> beyond suspicion.
+        assert_eq!(report.per_node[0], PrivacySpectrum::BeyondSuspicion);
+        // Node 1: ~1.0 -> possible innocence territory or exposed.
+        assert!(report.per_node[1] >= PrivacySpectrum::PossibleInnocence);
+        // Node 2: 0.45 -> probable innocence.
+        assert_eq!(report.per_node[2], PrivacySpectrum::ProbableInnocence);
+        assert_eq!(report.beyond_suspicion_count(), 1);
+        assert!(report.worst() >= PrivacySpectrum::PossibleInnocence);
+    }
+
+    #[test]
+    fn probabilistic_protocol_keeps_most_nodes_beyond_suspicion() {
+        let domain = ValueDomain::paper_default();
+        let locals: Vec<TopKVector> = [3000i64, 1000, 4000, 2000, 500, 2500]
+            .iter()
+            .map(|&v| TopKVector::from_values(1, [Value::new(v)], &domain).unwrap())
+            .collect();
+        let engine =
+            SimulationEngine::new(ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(10)));
+        let mut acc = LopAccumulator::new();
+        for seed in 0..60 {
+            let t = engine.run(&locals, seed).unwrap();
+            acc.add(&SuccessorAdversary::estimate(&t, &locals));
+        }
+        let report = SpectrumReport::from_summary(&acc.summarize(), locals.len());
+        assert!(
+            report.beyond_suspicion_count() >= locals.len() / 2,
+            "report: {:?}",
+            report.per_node
+        );
+        assert!(report.worst() < PrivacySpectrum::ProvablyExposed);
+    }
+
+    #[test]
+    fn naive_fixed_start_degrades_the_spectrum() {
+        let domain = ValueDomain::paper_default();
+        let locals: Vec<TopKVector> = [100i64, 4000, 2000, 3000]
+            .iter()
+            .map(|&v| TopKVector::from_values(1, [Value::new(v)], &domain).unwrap())
+            .collect();
+        let engine = SimulationEngine::new(ProtocolConfig::naive(1));
+        let mut acc = LopAccumulator::new();
+        acc.add(&SuccessorAdversary::estimate(
+            &engine.run(&locals, 0).unwrap(),
+            &locals,
+        ));
+        let report = SpectrumReport::from_summary(&acc.summarize(), 4);
+        // The starting node (value 100, not in the result) is caught.
+        assert_eq!(report.worst(), PrivacySpectrum::ProvablyExposed);
+    }
+
+    #[test]
+    fn empty_report_is_private() {
+        let report = SpectrumReport {
+            per_node: Vec::new(),
+        };
+        assert_eq!(report.worst(), PrivacySpectrum::AbsolutePrivacy);
+        assert_eq!(report.beyond_suspicion_count(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Demonstrative channel-confidentiality layer.
+//!
+//! Section 3.2 of the paper notes only that "encryption techniques can be
+//! used so that data are protected on the communication channel"; channel
+//! encryption is orthogonal to the protocol's privacy analysis (where the
+//! adversary *is* the legitimate receiving neighbor). This module provides
+//! the hook: a [`ChannelCipher`] trait applied to every frame by the
+//! transports, with a no-op implementation and a keystream-XOR
+//! implementation.
+//!
+//! **The XOR keystream is NOT cryptographically secure.** It demonstrates
+//! where a real AEAD would sit; substituting one is a one-trait change.
+
+use bytes::{Bytes, BytesMut};
+
+/// Symmetric transformation applied to frames entering/leaving a channel.
+///
+/// Implementations must satisfy `open(seal(frame)) == frame`.
+pub trait ChannelCipher: Send + Sync {
+    /// Encrypts an outgoing frame.
+    fn seal(&self, plaintext: &Bytes) -> Bytes;
+    /// Decrypts an incoming frame.
+    fn open(&self, ciphertext: &Bytes) -> Bytes;
+}
+
+/// The identity cipher: frames pass through unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainCipher;
+
+impl ChannelCipher for PlainCipher {
+    fn seal(&self, plaintext: &Bytes) -> Bytes {
+        plaintext.clone()
+    }
+
+    fn open(&self, ciphertext: &Bytes) -> Bytes {
+        ciphertext.clone()
+    }
+}
+
+/// Keystream-XOR cipher seeded from a shared key.
+///
+/// The keystream is a xorshift64* sequence; sealing and opening are the
+/// same operation (XOR is an involution). This exists to exercise the
+/// cipher plumbing end to end — *do not* mistake it for real encryption.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_ring::cipher::{ChannelCipher, XorKeystreamCipher};
+/// use bytes::Bytes;
+///
+/// let cipher = XorKeystreamCipher::new(0xDEADBEEF);
+/// let plain = Bytes::from_static(b"the global value is 42");
+/// let sealed = cipher.seal(&plain);
+/// assert_ne!(sealed, plain);
+/// assert_eq!(cipher.open(&sealed), plain);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct XorKeystreamCipher {
+    key: u64,
+}
+
+impl XorKeystreamCipher {
+    /// Creates a cipher from a shared 64-bit key.
+    #[must_use]
+    pub fn new(key: u64) -> Self {
+        // Key 0 would make xorshift degenerate (all-zero stream).
+        XorKeystreamCipher {
+            key: if key == 0 { 0x9E37_79B9_7F4A_7C15 } else { key },
+        }
+    }
+
+    fn apply(&self, data: &Bytes) -> Bytes {
+        let mut state = self.key;
+        let mut out = BytesMut::with_capacity(data.len());
+        let mut word = [0u8; 8];
+        let mut idx = 8; // force refill on first byte
+        for &b in data.iter() {
+            if idx == 8 {
+                // xorshift64* step
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                word = state.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes();
+                idx = 0;
+            }
+            out.extend_from_slice(&[b ^ word[idx]]);
+            idx += 1;
+        }
+        out.freeze()
+    }
+}
+
+impl ChannelCipher for XorKeystreamCipher {
+    fn seal(&self, plaintext: &Bytes) -> Bytes {
+        self.apply(plaintext)
+    }
+
+    fn open(&self, ciphertext: &Bytes) -> Bytes {
+        self.apply(ciphertext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_cipher_is_identity() {
+        let c = PlainCipher;
+        let data = Bytes::from_static(b"hello");
+        assert_eq!(c.seal(&data), data);
+        assert_eq!(c.open(&data), data);
+    }
+
+    #[test]
+    fn xor_roundtrips() {
+        let c = XorKeystreamCipher::new(42);
+        for len in [0usize, 1, 7, 8, 9, 64, 1000] {
+            let data = Bytes::from((0..len).map(|i| i as u8).collect::<Vec<u8>>());
+            let sealed = c.seal(&data);
+            assert_eq!(c.open(&sealed), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn xor_actually_changes_bytes() {
+        let c = XorKeystreamCipher::new(7);
+        let data = Bytes::from_static(b"secret sales figure: 9000");
+        assert_ne!(c.seal(&data), data);
+    }
+
+    #[test]
+    fn different_keys_produce_different_ciphertexts() {
+        let a = XorKeystreamCipher::new(1);
+        let b = XorKeystreamCipher::new(2);
+        let data = Bytes::from_static(b"same plaintext");
+        assert_ne!(a.seal(&data), b.seal(&data));
+    }
+
+    #[test]
+    fn zero_key_is_remapped_not_degenerate() {
+        let c = XorKeystreamCipher::new(0);
+        let data = Bytes::from_static(b"zero key");
+        assert_ne!(c.seal(&data), data);
+        assert_eq!(c.open(&c.seal(&data)), data);
+    }
+
+    #[test]
+    fn cipher_is_object_safe() {
+        let ciphers: Vec<Box<dyn ChannelCipher>> =
+            vec![Box::new(PlainCipher), Box::new(XorKeystreamCipher::new(3))];
+        let data = Bytes::from_static(b"dyn dispatch");
+        for c in &ciphers {
+            assert_eq!(c.open(&c.seal(&data)), data);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Errors for the ring substrate.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use privtopk_domain::NodeId;
+
+/// Errors produced by topology management, wire coding, and transports.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RingError {
+    /// A ring was requested with too few nodes (the protocol needs `n >= 3`;
+    /// the substrate itself insists on `n >= 1`).
+    TooFewNodes {
+        /// Requested node count.
+        requested: usize,
+        /// Minimum supported.
+        minimum: usize,
+    },
+    /// The referenced node is not part of the topology.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The node has already been marked failed.
+    NodeFailed {
+        /// The failed node.
+        node: NodeId,
+    },
+    /// Removing this node would leave the ring empty.
+    RingWouldBeEmpty,
+    /// A frame could not be decoded.
+    Decode {
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// The peer endpoint disconnected or the channel closed.
+    Disconnected,
+    /// A receive timed out.
+    Timeout,
+    /// An underlying socket error (TCP transport only).
+    Io(io::Error),
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::TooFewNodes { requested, minimum } => {
+                write!(f, "ring needs at least {minimum} nodes, got {requested}")
+            }
+            RingError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            RingError::NodeFailed { node } => write!(f, "node {node} has failed"),
+            RingError::RingWouldBeEmpty => write!(f, "cannot remove the last ring node"),
+            RingError::Decode { reason } => write!(f, "frame decode failed: {reason}"),
+            RingError::Disconnected => write!(f, "peer disconnected"),
+            RingError::Timeout => write!(f, "receive timed out"),
+            RingError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for RingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RingError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RingError {
+    fn from(e: io::Error) -> Self {
+        RingError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let variants: Vec<RingError> = vec![
+            RingError::TooFewNodes {
+                requested: 1,
+                minimum: 3,
+            },
+            RingError::UnknownNode {
+                node: NodeId::new(9),
+            },
+            RingError::NodeFailed {
+                node: NodeId::new(2),
+            },
+            RingError::RingWouldBeEmpty,
+            RingError::Decode { reason: "short" },
+            RingError::Disconnected,
+            RingError::Timeout,
+            RingError::Io(io::Error::other("boom")),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let e: RingError = io::Error::new(io::ErrorKind::BrokenPipe, "x").into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<RingError>();
+    }
+}

@@ -1,0 +1,116 @@
+//! Transport-level counters backing the efficiency evaluation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared message/byte counters for one network.
+///
+/// The paper's efficiency analysis (Section 4.2) argues the communication
+/// cost is "proportional to the number of nodes" times the number of
+/// rounds; these counters let the experiments measure exactly that.
+///
+/// Cloning is cheap (the counters are shared).
+///
+/// # Example
+///
+/// ```
+/// use privtopk_ring::TransportMetrics;
+///
+/// let m = TransportMetrics::new();
+/// m.record_send(128);
+/// m.record_send(64);
+/// assert_eq!(m.messages_sent(), 2);
+/// assert_eq!(m.bytes_sent(), 192);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TransportMetrics {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl TransportMetrics {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        TransportMetrics::default()
+    }
+
+    /// Records one sent frame of `bytes` payload bytes.
+    pub fn record_send(&self, bytes: usize) {
+        self.inner.messages.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Total frames sent.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent.
+    #[must_use]
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.inner.messages.store(0, Ordering::Relaxed);
+        self.inner.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let m = TransportMetrics::new();
+        assert_eq!(m.messages_sent(), 0);
+        m.record_send(10);
+        m.record_send(20);
+        assert_eq!(m.messages_sent(), 2);
+        assert_eq!(m.bytes_sent(), 30);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = TransportMetrics::new();
+        let m2 = m.clone();
+        m.record_send(5);
+        assert_eq!(m2.messages_sent(), 1);
+        assert_eq!(m2.bytes_sent(), 5);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = TransportMetrics::new();
+        m.record_send(100);
+        m.reset();
+        assert_eq!(m.messages_sent(), 0);
+        assert_eq!(m.bytes_sent(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let m = TransportMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_send(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.messages_sent(), 8000);
+        assert_eq!(m.bytes_sent(), 24_000);
+    }
+}

@@ -1,0 +1,363 @@
+//! Ring topology: the random node-to-position mapping.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use privtopk_domain::{NodeId, RingPosition};
+
+use crate::RingError;
+
+/// The random mapping of participating nodes onto a ring.
+///
+/// "Nodes are mapped into a ring randomly. Each node has a predecessor and
+/// successor. It is important to have the random mapping to reduce the
+/// cases where two colluding adversaries are the predecessor and successor
+/// of an innocent node." (Section 3.2)
+///
+/// The topology also supports the two lifecycle operations the paper calls
+/// out: **reconstruction after node failure** ("the ring can be
+/// reconstructed ... simply by connecting the predecessor and successor of
+/// the failed node") and **per-round remapping** ("we can extend the
+/// probabilistic protocol by performing the random ring mapping at each
+/// round so that each node will have different neighbors at each round",
+/// Section 4.3).
+///
+/// # Example
+///
+/// ```
+/// use privtopk_ring::RingTopology;
+/// use privtopk_domain::rng::seeded_rng;
+///
+/// let mut rng = seeded_rng(1);
+/// let topo = RingTopology::random(5, &mut rng)?;
+/// let first = topo.node_at_start();
+/// assert_eq!(topo.predecessor_of(topo.successor_of(first)?)?, first);
+/// # Ok::<(), privtopk_ring::RingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingTopology {
+    /// `order[p]` = the node sitting at ring position `p`. Position 0 is the
+    /// starting node of the walk.
+    order: Vec<NodeId>,
+}
+
+impl RingTopology {
+    /// Builds a ring over nodes `0..n` in identity order (position `i` holds
+    /// node `i`). Useful for tests and for the *fixed starting node* naive
+    /// baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::TooFewNodes`] if `n == 0`.
+    pub fn identity(n: usize) -> Result<Self, RingError> {
+        if n == 0 {
+            return Err(RingError::TooFewNodes {
+                requested: n,
+                minimum: 1,
+            });
+        }
+        Ok(RingTopology {
+            order: (0..n).map(NodeId::new).collect(),
+        })
+    }
+
+    /// Builds a uniformly random ring over nodes `0..n`: both the circular
+    /// arrangement *and* the starting node are randomized, implementing the
+    /// protocol's initialization module ("randomly chooses a node from the
+    /// n participating nodes" + random mapping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::TooFewNodes`] if `n == 0`.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Self, RingError> {
+        let mut topo = RingTopology::identity(n)?;
+        topo.order.shuffle(rng);
+        Ok(topo)
+    }
+
+    /// Builds a ring from an explicit arrangement (position `p` holds
+    /// `order[p]`).
+    ///
+    /// # Errors
+    ///
+    /// - [`RingError::TooFewNodes`] if `order` is empty.
+    /// - [`RingError::UnknownNode`] if a node appears twice.
+    pub fn from_order(order: Vec<NodeId>) -> Result<Self, RingError> {
+        if order.is_empty() {
+            return Err(RingError::TooFewNodes {
+                requested: 0,
+                minimum: 1,
+            });
+        }
+        let mut seen = HashSet::new();
+        for &node in &order {
+            if !seen.insert(node) {
+                return Err(RingError::UnknownNode { node });
+            }
+        }
+        Ok(RingTopology { order })
+    }
+
+    /// Number of live nodes on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the ring is empty (never true for a constructed topology).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The nodes in ring order, starting from the starting node.
+    #[must_use]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The node at the starting position (position 0).
+    #[must_use]
+    pub fn node_at_start(&self) -> NodeId {
+        self.order[0]
+    }
+
+    /// The node at `position`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::UnknownNode`] if the position is out of range.
+    pub fn node_at(&self, position: RingPosition) -> Result<NodeId, RingError> {
+        self.order
+            .get(position.get())
+            .copied()
+            .ok_or(RingError::UnknownNode {
+                node: NodeId::new(usize::MAX),
+            })
+    }
+
+    /// The ring position of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::UnknownNode`] if the node is not on the ring.
+    pub fn position_of(&self, node: NodeId) -> Result<RingPosition, RingError> {
+        self.order
+            .iter()
+            .position(|&x| x == node)
+            .map(RingPosition::new)
+            .ok_or(RingError::UnknownNode { node })
+    }
+
+    /// The successor of `node` along the ring (who it sends to).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::UnknownNode`] if the node is not on the ring.
+    pub fn successor_of(&self, node: NodeId) -> Result<NodeId, RingError> {
+        let pos = self.position_of(node)?;
+        self.node_at(pos.successor(self.len()))
+    }
+
+    /// The predecessor of `node` along the ring (who it receives from).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::UnknownNode`] if the node is not on the ring.
+    pub fn predecessor_of(&self, node: NodeId) -> Result<NodeId, RingError> {
+        let pos = self.position_of(node)?;
+        self.node_at(pos.predecessor(self.len()))
+    }
+
+    /// Removes a failed node and reconnects its predecessor to its
+    /// successor — the paper's lightweight failure handling.
+    ///
+    /// # Errors
+    ///
+    /// - [`RingError::UnknownNode`] if the node is not on the ring.
+    /// - [`RingError::RingWouldBeEmpty`] if it is the only node left.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<(), RingError> {
+        if self.order.len() == 1 {
+            return if self.order[0] == node {
+                Err(RingError::RingWouldBeEmpty)
+            } else {
+                Err(RingError::UnknownNode { node })
+            };
+        }
+        let pos = self.position_of(node)?;
+        self.order.remove(pos.get());
+        Ok(())
+    }
+
+    /// Re-randomizes the arrangement in place (per-round remapping,
+    /// Section 4.3). Neighbor relations after the call are statistically
+    /// independent of those before it.
+    pub fn remap<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.order.shuffle(rng);
+    }
+
+    /// Splits the ring into `groups` contiguous groups of near-equal size
+    /// for the Section 4.2 scaling optimization ("break the set of n nodes
+    /// into a number of small groups and have each group compute their
+    /// group maximum value in parallel").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::TooFewNodes`] if `groups == 0` or
+    /// `groups > len`.
+    pub fn split_into_groups(&self, groups: usize) -> Result<Vec<RingTopology>, RingError> {
+        if groups == 0 || groups > self.len() {
+            return Err(RingError::TooFewNodes {
+                requested: groups,
+                minimum: 1,
+            });
+        }
+        let base = self.len() / groups;
+        let extra = self.len() % groups;
+        let mut out = Vec::with_capacity(groups);
+        let mut idx = 0;
+        for g in 0..groups {
+            let size = base + usize::from(g < extra);
+            let slice = self.order[idx..idx + size].to_vec();
+            idx += size;
+            out.push(RingTopology { order: slice });
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for RingTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ring[")?;
+        for (i, n) in self.order.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::rng::seeded_rng;
+
+    #[test]
+    fn identity_ring_in_order() {
+        let t = RingTopology::identity(4).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.node_at_start(), NodeId::new(0));
+        assert_eq!(t.successor_of(NodeId::new(3)).unwrap(), NodeId::new(0));
+        assert_eq!(t.predecessor_of(NodeId::new(0)).unwrap(), NodeId::new(3));
+    }
+
+    #[test]
+    fn random_ring_is_permutation() {
+        let mut rng = seeded_rng(5);
+        let t = RingTopology::random(10, &mut rng).unwrap();
+        let mut nodes: Vec<usize> = t.order().iter().map(|n| n.get()).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_ring_varies_with_seed() {
+        let a = RingTopology::random(20, &mut seeded_rng(1)).unwrap();
+        let b = RingTopology::random(20, &mut seeded_rng(2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_start_node_is_uniformish() {
+        // Over many draws every node should appear at the start sometimes.
+        let mut starts = HashSet::new();
+        for seed in 0..200 {
+            let t = RingTopology::random(4, &mut seeded_rng(seed)).unwrap();
+            starts.insert(t.node_at_start());
+        }
+        assert_eq!(starts.len(), 4);
+    }
+
+    #[test]
+    fn successor_predecessor_inverse_on_random_ring() {
+        let t = RingTopology::random(7, &mut seeded_rng(3)).unwrap();
+        for i in 0..7 {
+            let n = NodeId::new(i);
+            assert_eq!(t.predecessor_of(t.successor_of(n).unwrap()).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn from_order_rejects_duplicates() {
+        let err = RingTopology::from_order(vec![NodeId::new(0), NodeId::new(0)]).unwrap_err();
+        assert!(matches!(err, RingError::UnknownNode { .. }));
+        assert!(RingTopology::from_order(vec![]).is_err());
+    }
+
+    #[test]
+    fn unknown_node_lookups_fail() {
+        let t = RingTopology::identity(3).unwrap();
+        assert!(t.position_of(NodeId::new(9)).is_err());
+        assert!(t.successor_of(NodeId::new(9)).is_err());
+    }
+
+    #[test]
+    fn remove_node_reconnects_neighbors() {
+        let mut t = RingTopology::identity(4).unwrap();
+        t.remove_node(NodeId::new(1)).unwrap();
+        assert_eq!(t.len(), 3);
+        // 0's successor is now 2: predecessor and successor reconnected.
+        assert_eq!(t.successor_of(NodeId::new(0)).unwrap(), NodeId::new(2));
+        assert!(t.position_of(NodeId::new(1)).is_err());
+    }
+
+    #[test]
+    fn remove_last_node_refused() {
+        let mut t = RingTopology::identity(1).unwrap();
+        assert!(matches!(
+            t.remove_node(NodeId::new(0)),
+            Err(RingError::RingWouldBeEmpty)
+        ));
+    }
+
+    #[test]
+    fn remap_keeps_membership() {
+        let mut t = RingTopology::identity(8).unwrap();
+        let before: HashSet<NodeId> = t.order().iter().copied().collect();
+        t.remap(&mut seeded_rng(11));
+        let after: HashSet<NodeId> = t.order().iter().copied().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn split_into_groups_covers_all_nodes() {
+        let t = RingTopology::identity(10).unwrap();
+        let groups = t.split_into_groups(3).unwrap();
+        assert_eq!(groups.len(), 3);
+        let sizes: Vec<usize> = groups.iter().map(RingTopology::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let all: Vec<NodeId> = groups.iter().flat_map(|g| g.order().to_vec()).collect();
+        assert_eq!(all.len(), 10);
+        let set: HashSet<NodeId> = all.into_iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn split_rejects_bad_group_counts() {
+        let t = RingTopology::identity(4).unwrap();
+        assert!(t.split_into_groups(0).is_err());
+        assert!(t.split_into_groups(5).is_err());
+        assert_eq!(t.split_into_groups(4).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn display_shows_walk_order() {
+        let t = RingTopology::identity(3).unwrap();
+        assert_eq!(t.to_string(), "ring[node#0 -> node#1 -> node#2]");
+    }
+}

@@ -1,0 +1,369 @@
+//! Trust-aware ring construction (Section 4.3).
+//!
+//! "One technique to minimize the effect of collusion is for a node to
+//! ensure that at least one of its neighbors is trustworthy. This can be
+//! achieved in practice by having nodes arrange themselves along the
+//! network ring(s) according to certain trust relationships such as
+//! digital certificate based combined with reputation-based."
+//!
+//! This module provides both ingredients: a [`ReputationStore`] in the
+//! spirit of the authors' PeerTrust (decayed averages of interaction
+//! ratings), a [`TrustGraph`] derived from certificates and/or reputation
+//! thresholds, and a randomized arrangement
+//! ([`trust_aware_arrangement`]) that maximizes the number of nodes with
+//! at least one trusted neighbor while staying random among equally good
+//! arrangements.
+
+use std::collections::HashSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use privtopk_domain::NodeId;
+
+use crate::{RingError, RingTopology};
+
+/// Pairwise trust relation between participants.
+///
+/// Trust is symmetric here (a certificate exchange or mutual reputation
+/// threshold); the graph stores unordered pairs.
+#[derive(Debug, Clone, Default)]
+pub struct TrustGraph {
+    n: usize,
+    edges: HashSet<(usize, usize)>,
+}
+
+impl TrustGraph {
+    /// An empty trust graph over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        TrustGraph {
+            n,
+            edges: HashSet::new(),
+        }
+    }
+
+    /// Number of participants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Records mutual trust between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::UnknownNode`] for out-of-range nodes.
+    pub fn add_trust(&mut self, a: NodeId, b: NodeId) -> Result<(), RingError> {
+        for node in [a, b] {
+            if node.get() >= self.n {
+                return Err(RingError::UnknownNode { node });
+            }
+        }
+        if a != b {
+            self.edges.insert(key(a, b));
+        }
+        Ok(())
+    }
+
+    /// Whether `a` and `b` trust each other.
+    #[must_use]
+    pub fn trusts(&self, a: NodeId, b: NodeId) -> bool {
+        self.edges.contains(&key(a, b))
+    }
+
+    /// Builds a trust graph from reputation scores: `a` and `b` trust each
+    /// other when both rate the other at or above `threshold`.
+    #[must_use]
+    pub fn from_reputation(store: &ReputationStore, threshold: f64) -> Self {
+        let n = store.len();
+        let mut graph = TrustGraph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let ab = store.score(NodeId::new(a), NodeId::new(b));
+                let ba = store.score(NodeId::new(b), NodeId::new(a));
+                if ab >= threshold && ba >= threshold {
+                    graph
+                        .add_trust(NodeId::new(a), NodeId::new(b))
+                        .expect("indices in range");
+                }
+            }
+        }
+        graph
+    }
+}
+
+fn key(a: NodeId, b: NodeId) -> (usize, usize) {
+    let (x, y) = (a.get(), b.get());
+    if x <= y {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+/// How well an arrangement satisfies the trusted-neighbor goal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustCoverage {
+    /// Nodes with at least one trusted ring neighbor.
+    pub covered: usize,
+    /// Total nodes.
+    pub total: usize,
+}
+
+impl TrustCoverage {
+    /// Fraction of nodes with a trusted neighbor.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.covered as f64 / self.total as f64
+    }
+}
+
+/// Measures how many nodes of `topology` have at least one trusted
+/// neighbor under `graph`.
+///
+/// # Errors
+///
+/// Propagates topology lookup failures (cannot occur for a well-formed
+/// ring).
+pub fn coverage(topology: &RingTopology, graph: &TrustGraph) -> Result<TrustCoverage, RingError> {
+    let total = topology.len();
+    let mut covered = 0;
+    for &node in topology.order() {
+        let pred = topology.predecessor_of(node)?;
+        let succ = topology.successor_of(node)?;
+        if graph.trusts(node, pred) || graph.trusts(node, succ) {
+            covered += 1;
+        }
+    }
+    Ok(TrustCoverage { covered, total })
+}
+
+/// Builds a randomized ring that greedily maximizes trusted-neighbor
+/// coverage: starting from a random node, each step prefers a random
+/// *trusted* unplaced neighbor and falls back to a random unplaced node.
+///
+/// The arrangement remains randomized (ties and fallbacks are uniform),
+/// preserving the protocol's anonymity rationale, while giving every node
+/// with any trusted peers a good chance of a trusted neighbor.
+///
+/// # Errors
+///
+/// Returns [`RingError::TooFewNodes`] if the graph is empty.
+pub fn trust_aware_arrangement<R: Rng + ?Sized>(
+    graph: &TrustGraph,
+    rng: &mut R,
+) -> Result<RingTopology, RingError> {
+    let n = graph.len();
+    if n == 0 {
+        return Err(RingError::TooFewNodes {
+            requested: 0,
+            minimum: 1,
+        });
+    }
+    let mut unplaced: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    unplaced.shuffle(rng);
+    let mut order = Vec::with_capacity(n);
+    order.push(unplaced.pop().expect("n >= 1"));
+    while let Some(current) = order.last().copied() {
+        if unplaced.is_empty() {
+            break;
+        }
+        let trusted: Vec<usize> = unplaced
+            .iter()
+            .enumerate()
+            .filter(|(_, &cand)| graph.trusts(current, cand))
+            .map(|(i, _)| i)
+            .collect();
+        let idx = if trusted.is_empty() {
+            rng.gen_range(0..unplaced.len())
+        } else {
+            trusted[rng.gen_range(0..trusted.len())]
+        };
+        order.push(unplaced.swap_remove(idx));
+    }
+    RingTopology::from_order(order)
+}
+
+/// A reputation store in the spirit of PeerTrust (the paper's reference
+/// \[20\]): each node keeps an exponentially decayed average of the ratings
+/// it assigned to each peer after protocol interactions.
+#[derive(Debug, Clone)]
+pub struct ReputationStore {
+    n: usize,
+    /// `scores[rater][ratee]`, in `[0, 1]`; starts at the neutral 0.5.
+    scores: Vec<Vec<f64>>,
+    /// Weight of a new rating relative to history.
+    alpha: f64,
+}
+
+impl ReputationStore {
+    /// Creates a store over `n` nodes with learning rate `alpha`
+    /// (clamped to `[0, 1]`; default choice 0.3 balances memory and
+    /// responsiveness).
+    #[must_use]
+    pub fn new(n: usize, alpha: f64) -> Self {
+        ReputationStore {
+            n,
+            scores: vec![vec![0.5; n]; n],
+            alpha: alpha.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Number of participants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the store covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `rater`'s current opinion of `ratee` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range nodes.
+    #[must_use]
+    pub fn score(&self, rater: NodeId, ratee: NodeId) -> f64 {
+        self.scores[rater.get()][ratee.get()]
+    }
+
+    /// Records a new interaction rating in `[0, 1]` (clamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range nodes.
+    pub fn rate(&mut self, rater: NodeId, ratee: NodeId, rating: f64) {
+        let r = rating.clamp(0.0, 1.0);
+        let cell = &mut self.scores[rater.get()][ratee.get()];
+        *cell = (1.0 - self.alpha) * *cell + self.alpha * r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::rng::seeded_rng;
+
+    fn clique(n: usize, pairs: &[(usize, usize)]) -> TrustGraph {
+        let mut g = TrustGraph::new(n);
+        for &(a, b) in pairs {
+            g.add_trust(NodeId::new(a), NodeId::new(b)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn trust_graph_is_symmetric_and_bounded() {
+        let mut g = TrustGraph::new(3);
+        g.add_trust(NodeId::new(0), NodeId::new(2)).unwrap();
+        assert!(g.trusts(NodeId::new(0), NodeId::new(2)));
+        assert!(g.trusts(NodeId::new(2), NodeId::new(0)));
+        assert!(!g.trusts(NodeId::new(0), NodeId::new(1)));
+        assert!(g.add_trust(NodeId::new(0), NodeId::new(9)).is_err());
+        // Self-trust is ignored.
+        g.add_trust(NodeId::new(1), NodeId::new(1)).unwrap();
+        assert!(!g.trusts(NodeId::new(1), NodeId::new(1)));
+    }
+
+    #[test]
+    fn arrangement_is_a_permutation() {
+        let g = clique(6, &[(0, 1), (2, 3)]);
+        let topo = trust_aware_arrangement(&g, &mut seeded_rng(1)).unwrap();
+        let mut ids: Vec<usize> = topo.order().iter().map(|n| n.get()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_trust_graph_yields_full_coverage() {
+        let pairs: Vec<(usize, usize)> = (0..6)
+            .flat_map(|a| ((a + 1)..6).map(move |b| (a, b)))
+            .collect();
+        let g = clique(6, &pairs);
+        let topo = trust_aware_arrangement(&g, &mut seeded_rng(2)).unwrap();
+        let cov = coverage(&topo, &g).unwrap();
+        assert_eq!(cov.fraction(), 1.0);
+    }
+
+    #[test]
+    fn trust_aware_beats_random_on_sparse_graphs() {
+        // A sparse pairing: nodes trust exactly one partner.
+        let g = clique(10, &[(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]);
+        let mut aware_total = 0.0;
+        let mut random_total = 0.0;
+        let trials = 60;
+        for seed in 0..trials {
+            let aware = trust_aware_arrangement(&g, &mut seeded_rng(seed)).unwrap();
+            aware_total += coverage(&aware, &g).unwrap().fraction();
+            let random = RingTopology::random(10, &mut seeded_rng(seed + 1000)).unwrap();
+            random_total += coverage(&random, &g).unwrap().fraction();
+        }
+        let aware_avg = aware_total / trials as f64;
+        let random_avg = random_total / trials as f64;
+        assert!(
+            aware_avg > random_avg + 0.2,
+            "aware {aware_avg} vs random {random_avg}"
+        );
+    }
+
+    #[test]
+    fn arrangement_is_still_randomized() {
+        let g = clique(8, &[(0, 1), (2, 3)]);
+        let a = trust_aware_arrangement(&g, &mut seeded_rng(1)).unwrap();
+        let b = trust_aware_arrangement(&g, &mut seeded_rng(2)).unwrap();
+        assert_ne!(a, b, "different seeds must give different rings");
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = TrustGraph::new(0);
+        assert!(g.is_empty());
+        assert!(trust_aware_arrangement(&g, &mut seeded_rng(0)).is_err());
+    }
+
+    #[test]
+    fn reputation_decays_toward_new_ratings() {
+        let mut store = ReputationStore::new(3, 0.5);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        assert_eq!(store.score(a, b), 0.5);
+        store.rate(a, b, 1.0);
+        assert_eq!(store.score(a, b), 0.75);
+        store.rate(a, b, 1.0);
+        assert_eq!(store.score(a, b), 0.875);
+        store.rate(a, b, 0.0);
+        assert!((store.score(a, b) - 0.4375).abs() < 1e-12);
+        // Ratings clamp.
+        store.rate(a, b, 5.0);
+        assert!(store.score(a, b) <= 1.0);
+    }
+
+    #[test]
+    fn reputation_threshold_builds_trust_graph() {
+        let mut store = ReputationStore::new(3, 1.0);
+        // 0 and 1 rate each other highly; 2 is distrusted.
+        store.rate(NodeId::new(0), NodeId::new(1), 0.9);
+        store.rate(NodeId::new(1), NodeId::new(0), 0.95);
+        store.rate(NodeId::new(0), NodeId::new(2), 0.1);
+        store.rate(NodeId::new(2), NodeId::new(0), 0.9);
+        let g = TrustGraph::from_reputation(&store, 0.8);
+        assert!(g.trusts(NodeId::new(0), NodeId::new(1)));
+        assert!(
+            !g.trusts(NodeId::new(0), NodeId::new(2)),
+            "one-sided trust rejected"
+        );
+    }
+}

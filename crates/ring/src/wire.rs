@@ -1,0 +1,405 @@
+//! A small self-contained binary wire codec.
+//!
+//! The offline dependency set contains `serde` but no serde *format* crate
+//! (no bincode / serde_json), so frames on the ring are encoded with this
+//! hand-rolled, length-checked little-endian codec instead. The protocol
+//! messages are tiny and flat, which keeps this entirely mechanical.
+//!
+//! Layout conventions:
+//!
+//! - fixed-width integers are little-endian;
+//! - `bool` is one byte (`0`/`1`, anything else is a decode error);
+//! - collections are a `u32` length followed by the elements;
+//! - `Option<T>` is a presence byte followed by the value if present.
+//!
+//! # Example
+//!
+//! ```
+//! use privtopk_ring::wire::{decode_from_bytes, encode_to_bytes, WireDecode, WireEncode};
+//!
+//! let frame = encode_to_bytes(&(42u64, String::from("hi")));
+//! let back: (u64, String) = decode_from_bytes(&frame)?;
+//! assert_eq!(back, (42, "hi".to_string()));
+//! # Ok::<(), privtopk_ring::RingError>(())
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use privtopk_domain::{NodeId, RingPosition, TopKVector, Value};
+
+use crate::RingError;
+
+/// Types that can be written to a wire frame.
+pub trait WireEncode {
+    /// Appends the binary representation of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+}
+
+/// Types that can be read back from a wire frame.
+pub trait WireDecode: Sized {
+    /// Consumes bytes from `buf` and reconstructs a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::Decode`] on truncated or malformed input.
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError>;
+}
+
+/// Encodes a value into a standalone byte frame.
+pub fn encode_to_bytes<T: WireEncode>(value: &T) -> Bytes {
+    let mut buf = BytesMut::new();
+    value.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decodes a value from a standalone byte frame, requiring the frame to be
+/// fully consumed.
+///
+/// # Errors
+///
+/// Returns [`RingError::Decode`] on truncated, malformed, or over-long
+/// input.
+pub fn decode_from_bytes<T: WireDecode>(frame: &Bytes) -> Result<T, RingError> {
+    let mut buf = frame.clone();
+    let value = T::decode(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(RingError::Decode {
+            reason: "trailing bytes after value",
+        });
+    }
+    Ok(value)
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), RingError> {
+    if buf.remaining() < n {
+        Err(RingError::Decode {
+            reason: "unexpected end of frame",
+        })
+    } else {
+        Ok(())
+    }
+}
+
+macro_rules! impl_wire_int {
+    ($ty:ty, $put:ident, $get:ident, $bytes:expr) => {
+        impl WireEncode for $ty {
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+        }
+        impl WireDecode for $ty {
+            fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+                need(buf, $bytes)?;
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+impl_wire_int!(u8, put_u8, get_u8, 1);
+impl_wire_int!(u16, put_u16_le, get_u16_le, 2);
+impl_wire_int!(u32, put_u32_le, get_u32_le, 4);
+impl_wire_int!(u64, put_u64_le, get_u64_le, 8);
+impl_wire_int!(i64, put_i64_le, get_i64_le, 8);
+impl_wire_int!(f64, put_f64_le, get_f64_le, 8);
+
+impl WireEncode for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+}
+
+impl WireDecode for bool {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(RingError::Decode {
+                reason: "invalid boolean byte",
+            }),
+        }
+    }
+}
+
+impl WireEncode for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self as u64);
+    }
+}
+
+impl WireDecode for usize {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        need(buf, 8)?;
+        let raw = buf.get_u64_le();
+        usize::try_from(raw).map_err(|_| RingError::Decode {
+            reason: "usize overflow",
+        })
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        let bytes = self.as_bytes();
+        buf.put_u32_le(bytes.len() as u32);
+        buf.put_slice(bytes);
+    }
+}
+
+impl WireDecode for String {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        need(buf, 4)?;
+        let len = buf.get_u32_le() as usize;
+        need(buf, len)?;
+        let raw = buf.split_to(len);
+        String::from_utf8(raw.to_vec()).map_err(|_| RingError::Decode {
+            reason: "invalid utf-8 string",
+        })
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        need(buf, 4)?;
+        let len = buf.get_u32_le() as usize;
+        // Defensive cap: an adversarial length prefix must not trigger a
+        // huge allocation before the data is even present.
+        if len > buf.remaining() {
+            return Err(RingError::Decode {
+                reason: "collection length exceeds frame",
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(RingError::Decode {
+                reason: "invalid option tag",
+            }),
+        }
+    }
+}
+
+impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<A: WireDecode, B: WireDecode> WireDecode for (A, B) {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl WireEncode for Value {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_i64_le(self.get());
+    }
+}
+
+impl WireDecode for Value {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        need(buf, 8)?;
+        Ok(Value::new(buf.get_i64_le()))
+    }
+}
+
+impl WireEncode for NodeId {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.get() as u64);
+    }
+}
+
+impl WireDecode for NodeId {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        let raw = usize::decode(buf)?;
+        Ok(NodeId::new(raw))
+    }
+}
+
+impl WireEncode for RingPosition {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.get() as u64);
+    }
+}
+
+impl WireDecode for RingPosition {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        let raw = usize::decode(buf)?;
+        Ok(RingPosition::new(raw))
+    }
+}
+
+impl WireEncode for TopKVector {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.k() as u32);
+        for v in self.iter() {
+            v.encode(buf);
+        }
+    }
+}
+
+impl WireDecode for TopKVector {
+    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+        need(buf, 4)?;
+        let k = buf.get_u32_le() as usize;
+        if k == 0 {
+            return Err(RingError::Decode {
+                reason: "top-k vector with k = 0",
+            });
+        }
+        let mut values = Vec::with_capacity(k.min(buf.remaining() / 8 + 1));
+        let mut prev: Option<Value> = None;
+        for _ in 0..k {
+            let v = Value::decode(buf)?;
+            if let Some(p) = prev {
+                if v > p {
+                    return Err(RingError::Decode {
+                        reason: "top-k vector not sorted descending",
+                    });
+                }
+            }
+            prev = Some(v);
+            values.push(v);
+        }
+        TopKVector::from_sorted(values).map_err(|_| RingError::Decode {
+            reason: "invalid top-k vector",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::ValueDomain;
+
+    fn roundtrip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(v: T) {
+        let frame = encode_to_bytes(&v);
+        let back: T = decode_from_bytes(&frame).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(9999u16);
+        roundtrip(123_456u32);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(3.5f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(usize::MAX);
+        roundtrip(String::from("hello ring"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn composite_roundtrips() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(7i64));
+        roundtrip(Option::<i64>::None);
+        roundtrip((42u64, String::from("pair")));
+    }
+
+    #[test]
+    fn domain_type_roundtrips() {
+        roundtrip(Value::new(-12345));
+        roundtrip(NodeId::new(7));
+        roundtrip(RingPosition::new(3));
+        let domain = ValueDomain::paper_default();
+        let v = TopKVector::from_values(4, [5, 9, 9, 1].map(Value::new), &domain).unwrap();
+        roundtrip(v);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let frame = encode_to_bytes(&12345u64);
+        let short = frame.slice(0..4);
+        assert!(decode_from_bytes::<u64>(&short).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut buf = BytesMut::new();
+        7u64.encode(&mut buf);
+        buf.put_u8(0xFF);
+        assert!(matches!(
+            decode_from_bytes::<u64>(&buf.freeze()),
+            Err(RingError::Decode { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_error() {
+        let frame = Bytes::from_static(&[2]);
+        assert!(decode_from_bytes::<bool>(&frame).is_err());
+        assert!(decode_from_bytes::<Option<u8>>(&frame).is_err());
+    }
+
+    #[test]
+    fn adversarial_length_prefix_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX); // claims 4 billion elements
+        assert!(decode_from_bytes::<Vec<u64>>(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert!(decode_from_bytes::<String>(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn unsorted_topk_vector_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        Value::new(1).encode(&mut buf);
+        Value::new(5).encode(&mut buf); // ascending: invalid
+        assert!(decode_from_bytes::<TopKVector>(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn zero_k_topk_vector_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        assert!(decode_from_bytes::<TopKVector>(&buf.freeze()).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! The high-level federation API: max/min/top-k/bottom-k queries over
+//! named attributes, with a privacy audit attached.
+//!
+//! ```text
+//! cargo run --example federated_queries
+//! ```
+
+use privtopk::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Six logistics companies benchmarking delivery metrics without
+    // revealing their books. Each holds a table with a `latency` column
+    // (minutes, scaled) — schemas match, as the protocol requires.
+    let members = DatasetBuilder::new(6)
+        .rows_between(30, 80)
+        .distribution(DataDistribution::centered_normal())
+        .seed(99)
+        .build()?;
+    let federation = Federation::new(members)?;
+    println!(
+        "federation of {} members over domain {}\n",
+        federation.len(),
+        federation.domain()
+    );
+
+    for spec in [
+        QuerySpec::max("value"),
+        QuerySpec::min("value"),
+        QuerySpec::top_k("value", 3),
+        QuerySpec::bottom_k("value", 3),
+    ] {
+        let outcome = federation.execute(&spec, 7)?;
+        let rendered: Vec<String> = outcome.values().iter().map(ToString::to_string).collect();
+        println!(
+            "{:<12} -> [{}]  ({} rounds, {} messages)",
+            format!("{:?}", spec.kind()),
+            rendered.join(", "),
+            outcome.rounds(),
+            outcome.messages()
+        );
+    }
+
+    // Schema violations are caught before any data moves.
+    let err = federation
+        .execute(&QuerySpec::max("profit_margin"), 0)
+        .unwrap_err();
+    println!("\nquerying a missing attribute fails early: {err}");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: four competing retailers find their sector's maximum
+//! quarterly sales figure without revealing anyone's number.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use privtopk::prelude::*;
+
+fn main() -> Result<(), ProtocolError> {
+    // Each retailer's private quarterly sales (thousands of dollars).
+    let retailers = ["Acme", "Bolt", "Crate", "Dyno"];
+    let sales = [3200i64, 1100, 4800, 2700].map(Value::new);
+
+    println!("Private inputs (never shared):");
+    for (name, v) in retailers.iter().zip(&sales) {
+        println!("  {name:<6} ${v}k");
+    }
+
+    // The paper's default configuration: p0 = 1, d = 1/2, enough rounds
+    // for a 1-in-a-million error bound.
+    let config = ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-6 });
+    let rounds = config.resolve_rounds()?;
+    let engine = SimulationEngine::new(config);
+    let transcript = engine.run_values(&sales, 42)?;
+
+    println!("\nProtocol: probabilistic max selection over a randomized ring");
+    println!("Rounds executed: {rounds}");
+    println!("Messages exchanged: {}", transcript.message_count());
+    println!("\nTop sector sales: ${}k", transcript.result_value());
+
+    // What did each retailer's successor actually see? Never a provable
+    // exposure: outputs are random values, forwarded tokens, or the final
+    // (public) result.
+    println!("\nValues on the wire, round by round:");
+    for r in 1..=transcript.rounds() {
+        let ring = transcript.ring_order(r).expect("round exists");
+        print!("  round {r}:");
+        for node in ring {
+            if let Some(out) = transcript.outgoing_of(*node, r) {
+                print!(" {}", out.first());
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

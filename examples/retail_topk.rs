@@ -1,0 +1,88 @@
+//! Competing retailers compute their sector's top-5 product revenues —
+//! the paper's motivating scenario — and compare the privacy cost against
+//! the naive baseline.
+//!
+//! ```text
+//! cargo run --example retail_topk
+//! ```
+
+use privtopk::prelude::*;
+use privtopk::privacy::LopMatrix;
+
+const K: usize = 5;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Eight retailers, each with a private product-revenue table.
+    let dbs = DatasetBuilder::new(8)
+        .rows_between(20, 60)
+        .distribution(DataDistribution::classic_zipf())
+        .seed(2026)
+        .build()?;
+
+    println!("Participating retailers and their private table sizes:");
+    for db in &dbs {
+        println!("  {db}");
+    }
+
+    // Each retailer participates with only its local top-5 revenues.
+    let locals: Vec<TopKVector> = dbs
+        .iter()
+        .map(|db| db.local_topk(K))
+        .collect::<Result<_, _>>()?;
+    let truth = true_topk(&locals, K, &ValueDomain::paper_default())?;
+
+    // --- Probabilistic protocol (the paper's contribution) ---
+    let config = ProtocolConfig::topk(K).with_rounds(RoundPolicy::Precision { epsilon: 1e-6 });
+    let engine = SimulationEngine::new(config);
+    let transcript = engine.run(&locals, 99)?;
+    println!("\nGlobal top-{K} revenues: {}", transcript.result());
+    println!("Exact answer:           {truth}");
+    println!(
+        "Precision: {:.0}%",
+        transcript.result().precision_against(&truth)? * 100.0
+    );
+
+    // --- Privacy comparison: probabilistic vs naive over 100 runs ---
+    let mut prob_acc = LopAccumulator::new();
+    let mut naive_acc = LopAccumulator::new();
+    let naive_engine = SimulationEngine::new(ProtocolConfig::naive(K));
+    let prob_engine =
+        SimulationEngine::new(ProtocolConfig::topk(K).with_rounds(RoundPolicy::Fixed(10)));
+    for seed in 0..100 {
+        let t = prob_engine.run(&locals, seed)?;
+        prob_acc.add(&pad(&SuccessorAdversary::estimate(&t, &locals), 10));
+        let t = naive_engine.run(&locals, seed)?;
+        naive_acc.add(&pad(&SuccessorAdversary::estimate(&t, &locals), 10));
+    }
+    let prob = prob_acc.summarize();
+    let naive = naive_acc.summarize();
+    println!("\nLoss of privacy (100 runs, semi-honest successor adversary):");
+    println!(
+        "  probabilistic: average {:.4}, worst node {:.4}",
+        prob.average_peak, prob.worst_peak
+    );
+    println!(
+        "  naive:         average {:.4}, worst node {:.4}",
+        naive.average_peak, naive.worst_peak
+    );
+    println!(
+        "\nThe probabilistic protocol cut the average privacy loss by {:.0}x.",
+        naive.average_peak / prob.average_peak.max(1e-9)
+    );
+    Ok(())
+}
+
+/// Pads a LoP matrix to a fixed round count so single-round naive runs can
+/// be accumulated next to multi-round probabilistic runs.
+fn pad(m: &LopMatrix, rounds: usize) -> LopMatrix {
+    LopMatrix::new(
+        m.as_rows()
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                row.resize(rounds, 0.0);
+                row
+            })
+            .collect(),
+    )
+}

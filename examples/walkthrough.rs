@@ -1,0 +1,45 @@
+//! The Figure 1 walk-through from Section 3.3: four nodes with values
+//! 30, 10, 40, 20 on a fixed ring, `p0 = 1`, `d = 1/2`.
+//!
+//! The concrete random values differ from the paper's illustration (it
+//! used a different random tape), but the structure is identical: round 1
+//! is fully randomized, the global value climbs monotonically, and the
+//! protocol converges on 40.
+//!
+//! ```text
+//! cargo run --example walkthrough
+//! ```
+
+use privtopk::core::local::LocalAction;
+use privtopk::prelude::*;
+
+fn main() -> Result<(), ProtocolError> {
+    let values = [30i64, 10, 40, 20].map(Value::new);
+    let config = ProtocolConfig::max()
+        .with_start(StartPolicy::Fixed) // match the figure: node 1 starts
+        .with_rounds(RoundPolicy::Fixed(6));
+    let engine = SimulationEngine::new(config);
+    let transcript = engine.run_values(&values, 7)?;
+
+    println!("Figure 1 walk-through: values 30, 10, 40, 20; p0=1, d=1/2\n");
+    for round in 1..=transcript.rounds() {
+        let p = 1.0 * 0.5f64.powi(round as i32 - 1);
+        println!("round {round} (randomization probability {p}):");
+        for step in transcript.steps_in_round(round) {
+            let what = match step.action {
+                LocalAction::PassedOn => "passes on",
+                LocalAction::InsertedReal => "inserts own value ->",
+                LocalAction::Randomized => "returns random value ->",
+            };
+            println!(
+                "  {} received {:>5}, {what} {}",
+                step.node,
+                step.incoming.first(),
+                step.outgoing.first()
+            );
+        }
+    }
+    println!("\nfinal result: {}", transcript.result_value());
+    assert_eq!(transcript.result_value(), Value::new(40));
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! # privtopk
+//!
+//! A production-quality Rust reproduction of *"Topk Queries across
+//! Multiple Private Databases"* (Li Xiong, Subramanyam Chitti, Ling Liu —
+//! ICDCS 2005): a decentralized, probabilistic protocol that lets `n > 2`
+//! mutually distrustful organizations compute the global top-k values of
+//! a common attribute while keeping their private data private — no
+//! trusted third party, no cryptography.
+//!
+//! This crate is a facade that re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`domain`] | `privtopk-domain` | values, domains, top-k vectors, privacy taxonomy |
+//! | [`datagen`] | `privtopk-datagen` | synthetic private databases (uniform/normal/zipf) |
+//! | [`ring`] | `privtopk-ring` | ring topology, wire codec, in-memory + TCP transports |
+//! | [`core`] | `privtopk-core` | the protocols: Algorithms 1 & 2, engines, schedules |
+//! | [`privacy`] | `privtopk-privacy` | adversary models and Loss-of-Privacy estimation |
+//! | [`analysis`] | `privtopk-analysis` | the paper's closed-form bounds (Eqs. 2–6) |
+//! | [`experiments`] | `privtopk-experiments` | per-figure reproduction harness |
+//! | [`knn`] | `privtopk-knn` | private kNN classification (the paper's future work) |
+//! | [`federation`] | `privtopk-federation` | high-level query API (max/min/top-k/bottom-k over named attributes) |
+//! | [`baselines`] | `privtopk-baselines` | kth-ranked-element and trusted-third-party baselines |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use privtopk::prelude::*;
+//!
+//! // Four competing retailers each hold a private quarterly sales figure.
+//! let sales = [3200i64, 1100, 4800, 2700].map(Value::new);
+//! let engine = SimulationEngine::new(
+//!     ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-6 }),
+//! );
+//! let transcript = engine.run_values(&sales, 42)?;
+//! assert_eq!(transcript.result_value(), Value::new(4800));
+//! # Ok::<(), privtopk::core::ProtocolError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use privtopk_analysis as analysis;
+pub use privtopk_baselines as baselines;
+pub use privtopk_core as core;
+pub use privtopk_datagen as datagen;
+pub use privtopk_domain as domain;
+pub use privtopk_experiments as experiments;
+pub use privtopk_federation as federation;
+pub use privtopk_knn as knn;
+pub use privtopk_privacy as privacy;
+pub use privtopk_ring as ring;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use privtopk_core::{
+        true_topk, ProtocolConfig, ProtocolError, RoundPolicy, Schedule, SimulationEngine,
+        StartPolicy, Transcript,
+    };
+    pub use privtopk_datagen::{DataDistribution, DatasetBuilder, PrivateDatabase};
+    pub use privtopk_domain::{NodeId, TopKVector, Value, ValueDomain};
+    pub use privtopk_federation::{Federation, QuerySpec};
+    pub use privtopk_privacy::{LopAccumulator, SuccessorAdversary};
+}
+
+// Compile the README's code blocks as doctests so the documentation can
+// never drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}

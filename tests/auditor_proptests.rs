@@ -1,0 +1,111 @@
+//! Mutation-style property tests for the transcript auditor: genuine
+//! transcripts always verify; corrupted ones are always caught.
+
+use privtopk::core::audit::{verify_transcript, Violation};
+use privtopk::core::{StepRecord, Transcript};
+use privtopk::prelude::*;
+use proptest::prelude::*;
+
+fn arb_values(n: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(1i64..=10_000, n)
+}
+
+fn build(
+    k: usize,
+    values: &[Vec<i64>],
+    rounds: u32,
+    seed: u64,
+) -> (ProtocolConfig, Vec<TopKVector>, Transcript) {
+    let domain = ValueDomain::paper_default();
+    let config = if k == 1 {
+        ProtocolConfig::max()
+    } else {
+        ProtocolConfig::topk(k)
+    }
+    .with_rounds(RoundPolicy::Fixed(rounds));
+    let locals: Vec<TopKVector> = values
+        .iter()
+        .map(|vs| {
+            TopKVector::from_values(k, vs.iter().copied().map(Value::new), &domain).unwrap()
+        })
+        .collect();
+    let t = SimulationEngine::new(config.clone())
+        .run(&locals, seed)
+        .unwrap();
+    (config, locals, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every genuine execution passes the auditor, with and without
+    /// ground truth.
+    #[test]
+    fn genuine_runs_always_verify(
+        (n, k, rounds, seed) in (3usize..7, 1usize..4, 1u32..7, any::<u64>())
+    ) {
+        let values: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..k).map(|j| ((i * 131 + j * 17) % 9999 + 1) as i64).collect())
+            .collect();
+        let (config, locals, t) = build(k, &values, rounds, seed);
+        prop_assert!(verify_transcript(&t, Some(&locals), &config).is_ok());
+        prop_assert!(verify_transcript(&t, None, &config).is_ok());
+    }
+
+    /// Corrupting any single step's outgoing vector is detected.
+    #[test]
+    fn any_outgoing_mutation_is_detected(
+        (values, seed, victim, bump) in (3usize..6).prop_flat_map(|n| {
+            (arb_values(n), any::<u64>(), 0usize..24, 1i64..5000)
+        })
+    ) {
+        let vals: Vec<Vec<i64>> = values.iter().map(|&v| vec![v]).collect();
+        let (config, locals, t) = build(1, &vals, 4, seed);
+        let steps: Vec<StepRecord> = t.steps().to_vec();
+        let victim = victim % steps.len();
+        // Mutate: push the victim's outgoing value up (never a no-op:
+        // strictly above the original).
+        let mut mutated = steps.clone();
+        let old = mutated[victim].outgoing.first().get();
+        let new_value = (old + bump).min(i64::MAX - 1);
+        prop_assume!(new_value != old);
+        mutated[victim].outgoing =
+            TopKVector::from_sorted(vec![Value::new(new_value)]).unwrap();
+        let forged = Transcript::new(
+            vals.len(),
+            1,
+            4,
+            vec![t.ring_order(1).unwrap().to_vec()],
+            mutated,
+            t.result().clone(),
+        );
+        let verdict = verify_transcript(&forged, Some(&locals), &config);
+        prop_assert!(verdict.is_err(), "mutation at step {victim} went undetected");
+    }
+
+    /// Reordering rounds is detected as a schedule violation.
+    #[test]
+    fn round_reordering_is_detected(
+        (values, seed) in (3usize..6).prop_flat_map(|n| (arb_values(n), any::<u64>()))
+    ) {
+        let vals: Vec<Vec<i64>> = values.iter().map(|&v| vec![v]).collect();
+        let (config, _locals, t) = build(1, &vals, 3, seed);
+        let mut steps = t.steps().to_vec();
+        let n = vals.len();
+        steps.rotate_left(n); // shift a whole round earlier
+        let forged = Transcript::new(
+            n,
+            1,
+            3,
+            vec![t.ring_order(1).unwrap().to_vec()],
+            steps,
+            t.result().clone(),
+        );
+        let verdict = verify_transcript(&forged, None, &config);
+        let caught = matches!(
+            verdict,
+            Err(Violation::ScheduleViolation { .. }) | Err(Violation::BrokenTokenChain { .. })
+        );
+        prop_assert!(caught, "verdict: {verdict:?}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration tests: the distributed driver is byte-equivalent to the
+//! simulation engine and works over both transports.
+
+use privtopk::core::distributed::{run_distributed, NetworkKind};
+use privtopk::core::groups::grouped_max;
+use privtopk::prelude::*;
+
+fn fresh_locals(n: usize, k: usize, seed: u64) -> Vec<TopKVector> {
+    DatasetBuilder::new(n)
+        .rows_per_node(k.max(2))
+        .seed(seed)
+        .build_local_topk(k)
+        .expect("valid dataset")
+}
+
+#[test]
+fn simulation_and_distributed_transcripts_identical() {
+    for k in [1usize, 4] {
+        let config = if k == 1 {
+            ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(8))
+        } else {
+            ProtocolConfig::topk(k).with_rounds(RoundPolicy::Fixed(8))
+        };
+        for seed in 0..5 {
+            let locals = fresh_locals(6, k, seed);
+            let sim = SimulationEngine::new(config.clone())
+                .run(&locals, seed)
+                .unwrap();
+            let dist = run_distributed(&config, &locals, NetworkKind::InMemory, seed).unwrap();
+            assert_eq!(sim.steps(), dist.transcript.steps(), "k={k} seed={seed}");
+            assert_eq!(sim.result(), dist.transcript.result());
+        }
+    }
+}
+
+#[test]
+fn tcp_and_in_memory_agree() {
+    let config = ProtocolConfig::topk(2).with_rounds(RoundPolicy::Fixed(6));
+    let locals = fresh_locals(5, 2, 99);
+    let mem = run_distributed(&config, &locals, NetworkKind::InMemory, 3).unwrap();
+    let tcp = run_distributed(&config, &locals, NetworkKind::Tcp, 3).unwrap();
+    assert_eq!(mem.transcript.steps(), tcp.transcript.steps());
+    assert_eq!(mem.per_node_results, tcp.per_node_results);
+    // Same protocol traffic either way (frames counted identically).
+    assert_eq!(mem.messages_sent, tcp.messages_sent);
+}
+
+#[test]
+fn termination_circulation_informs_every_node() {
+    let config = ProtocolConfig::topk(3).with_rounds(RoundPolicy::Precision { epsilon: 1e-9 });
+    let locals = fresh_locals(7, 3, 5);
+    let truth = true_topk(&locals, 3, &ValueDomain::paper_default()).unwrap();
+    let out = run_distributed(&config, &locals, NetworkKind::InMemory, 5).unwrap();
+    assert_eq!(out.per_node_results.len(), 7);
+    for (i, r) in out.per_node_results.iter().enumerate() {
+        assert_eq!(r, &truth, "node {i} learned a different result");
+    }
+}
+
+#[test]
+fn group_parallel_max_agrees_with_flat_protocol() {
+    let values: Vec<Value> = (0..24).map(|i| Value::new((i * 389 % 9973) + 1)).collect();
+    let truth = values.iter().copied().max().unwrap();
+    let config = ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-9 });
+
+    let flat = SimulationEngine::new(config.clone())
+        .run_values(&values, 11)
+        .unwrap();
+    assert_eq!(flat.result_value(), truth);
+
+    for groups in [3usize, 4, 8] {
+        let grouped = grouped_max(&config, &values, groups, 11).unwrap();
+        assert_eq!(grouped.result, truth, "groups = {groups}");
+        assert!(
+            grouped.critical_path_messages < flat.message_count(),
+            "groups = {groups}: critical path should shrink"
+        );
+    }
+}
+
+#[test]
+fn distributed_message_accounting_matches_efficiency_model() {
+    // Section 4.2: communication cost proportional to n per round.
+    let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(5));
+    for n in [3usize, 6, 9] {
+        let locals = fresh_locals(n, 1, n as u64);
+        let out = run_distributed(&config, &locals, NetworkKind::InMemory, 0).unwrap();
+        // n tokens per round + termination circulation (n - 1 frames).
+        assert_eq!(out.messages_sent, (n as u64) * 5 + (n as u64 - 1));
+    }
+}

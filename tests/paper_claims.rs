@@ -1,0 +1,230 @@
+//! Integration tests for the paper's headline claims, exercised through
+//! the public facade crate exactly as a downstream user would.
+
+use privtopk::analysis::efficiency::min_rounds_for_precision;
+use privtopk::analysis::privacy_bounds;
+use privtopk::analysis::RandomizationParams;
+use privtopk::prelude::*;
+use privtopk::privacy::LopMatrix;
+
+fn fresh_locals(n: usize, k: usize, seed: u64) -> Vec<TopKVector> {
+    DatasetBuilder::new(n)
+        .rows_per_node(k)
+        .seed(seed)
+        .build_local_topk(k)
+        .expect("valid dataset")
+}
+
+fn pad(m: &LopMatrix, rounds: usize) -> LopMatrix {
+    LopMatrix::new(
+        m.as_rows()
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                row.resize(rounds, 0.0);
+                row
+            })
+            .collect(),
+    )
+}
+
+/// Claim (Section 4.1): precision can be driven arbitrarily close to 1 by
+/// adding rounds, for any valid (p0, d).
+#[test]
+fn precision_converges_for_every_schedule() {
+    for (p0, d) in [(1.0, 0.5), (0.5, 0.5), (1.0, 0.25), (0.75, 0.75)] {
+        let config = ProtocolConfig::max()
+            .with_schedule(Schedule::exponential(p0, d).unwrap())
+            .with_rounds(RoundPolicy::Precision { epsilon: 1e-9 });
+        let engine = SimulationEngine::new(config);
+        let mut correct = 0;
+        for trial in 0..50 {
+            let locals = fresh_locals(6, 1, trial);
+            let truth = true_topk(&locals, 1, &ValueDomain::paper_default()).unwrap();
+            let t = engine.run(&locals, trial ^ 0xA5A5).unwrap();
+            if t.result() == &truth {
+                correct += 1;
+            }
+        }
+        assert_eq!(correct, 50, "p0={p0} d={d}");
+    }
+}
+
+/// Claim (Section 4.2): the required number of rounds is independent of
+/// the number of nodes — only the per-round cost grows with n.
+#[test]
+fn round_count_independent_of_n() {
+    let config = ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-6 });
+    let r = config.resolve_rounds().unwrap();
+    for n in [4usize, 16, 64] {
+        let locals = fresh_locals(n, 1, n as u64);
+        let t = SimulationEngine::new(config.clone())
+            .run(&locals, 1)
+            .unwrap();
+        assert_eq!(t.rounds(), r, "n = {n}");
+        assert_eq!(t.message_count(), n * r as usize);
+    }
+}
+
+/// Claim (Figure 10): the probabilistic protocol's loss of privacy is far
+/// below both naive baselines, and the anonymous start removes the naive
+/// worst case.
+#[test]
+fn privacy_ordering_of_the_three_protocols() {
+    let trials = 60;
+    let n = 6;
+    let mut naive = LopAccumulator::new();
+    let mut anon = LopAccumulator::new();
+    let mut prob = LopAccumulator::new();
+    for trial in 0..trials {
+        let locals = fresh_locals(n, 1, trial);
+        for (acc, config) in [
+            (&mut naive, ProtocolConfig::naive(1)),
+            (&mut anon, ProtocolConfig::anonymous_naive(1)),
+            (
+                &mut prob,
+                ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(10)),
+            ),
+        ] {
+            let t = SimulationEngine::new(config).run(&locals, trial).unwrap();
+            acc.add(&pad(&SuccessorAdversary::estimate(&t, &locals), 10));
+        }
+    }
+    let naive = naive.summarize();
+    let anon = anon.summarize();
+    let prob = prob.summarize();
+
+    // Probabilistic wins on average, by a lot.
+    assert!(prob.average_peak < naive.average_peak / 2.0);
+    assert!(prob.average_peak < anon.average_peak / 2.0);
+    // The fixed starting node is (nearly) provably exposed; random start
+    // erases that.
+    assert!(naive.worst_peak > 0.6, "naive worst {}", naive.worst_peak);
+    assert!(
+        anon.worst_peak < naive.worst_peak,
+        "anon {} vs naive {}",
+        anon.worst_peak,
+        naive.worst_peak
+    );
+    // Average LoP of naive and anonymous naive are statistically the same
+    // (the paper's first observation on Figure 10): within noise.
+    assert!((naive.average_peak - anon.average_peak).abs() < 0.15);
+}
+
+/// Claim (Equation 5): the naive protocol's measured average LoP tracks
+/// the harmonic bound ln(n)/n.
+#[test]
+fn naive_average_matches_harmonic_shape() {
+    for n in [4usize, 8, 16] {
+        let mut acc = LopAccumulator::new();
+        for trial in 0..200 {
+            let locals = fresh_locals(n, 1, trial * 31 + n as u64);
+            let t = SimulationEngine::new(ProtocolConfig::naive(1))
+                .run(&locals, trial)
+                .unwrap();
+            acc.add(&SuccessorAdversary::estimate(&t, &locals));
+        }
+        let measured = acc.summarize().average_peak;
+        let exact = privacy_bounds::naive_average_lop(n);
+        assert!(
+            (measured - exact).abs() < 0.08,
+            "n={n}: measured {measured}, exact {exact}"
+        );
+        // And the paper's ln(n)/n is in the same ballpark.
+        let bound = privacy_bounds::naive_average_lop_bound(n);
+        assert!((measured - bound).abs() < 0.15, "n={n}");
+    }
+}
+
+/// Claim (Figure 8): loss of privacy decreases as n grows.
+#[test]
+fn probabilistic_lop_decreases_with_n() {
+    let lop_for = |n: usize| {
+        let mut acc = LopAccumulator::new();
+        for trial in 0..60 {
+            let locals = fresh_locals(n, 1, trial * 7 + 1);
+            let t =
+                SimulationEngine::new(ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(10)))
+                    .run(&locals, trial)
+                    .unwrap();
+            acc.add(&SuccessorAdversary::estimate(&t, &locals));
+        }
+        acc.summarize().average_peak
+    };
+    let small = lop_for(4);
+    let large = lop_for(64);
+    assert!(large < small, "lop(4)={small} lop(64)={large}");
+}
+
+/// Claim (Figure 12): for the probabilistic protocol, loss of privacy
+/// grows with k ("the larger the k, the more information a node exposes").
+#[test]
+fn probabilistic_lop_grows_with_k() {
+    let lop_for = |k: usize| {
+        let mut acc = LopAccumulator::new();
+        for trial in 0..60 {
+            let locals = fresh_locals(4, k, trial * 13 + k as u64);
+            let t =
+                SimulationEngine::new(ProtocolConfig::topk(k).with_rounds(RoundPolicy::Fixed(10)))
+                    .run(&locals, trial)
+                    .unwrap();
+            acc.add(&SuccessorAdversary::estimate(&t, &locals));
+        }
+        acc.summarize().average_peak
+    };
+    let at_2 = lop_for(2);
+    let at_16 = lop_for(16);
+    assert!(at_16 >= at_2, "lop(k=2)={at_2} lop(k=16)={at_16}");
+}
+
+/// Claim (Section 4.1 / Figure 4): the closed-form r_min really delivers
+/// the promised precision when plugged back into the protocol.
+#[test]
+fn closed_form_round_policy_delivers_precision() {
+    let params = RandomizationParams::PAPER_DEFAULT;
+    let epsilon = 1e-3;
+    let rounds = min_rounds_for_precision(params, epsilon).unwrap();
+    let engine =
+        SimulationEngine::new(ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(rounds)));
+    let trials = 400;
+    let mut correct = 0;
+    for trial in 0..trials {
+        let locals = fresh_locals(5, 1, trial);
+        let truth = true_topk(&locals, 1, &ValueDomain::paper_default()).unwrap();
+        let t = engine.run(&locals, trial ^ 0x1111).unwrap();
+        if t.result() == &truth {
+            correct += 1;
+        }
+    }
+    let precision = correct as f64 / trials as f64;
+    assert!(
+        precision >= 1.0 - epsilon * 40.0, // generous sampling slack
+        "precision {precision} for promised {}",
+        1.0 - epsilon
+    );
+}
+
+/// Claim (Section 5.1): results are robust across data distributions.
+#[test]
+fn distribution_robustness() {
+    for dist in [
+        DataDistribution::Uniform,
+        DataDistribution::centered_normal(),
+        DataDistribution::classic_zipf(),
+    ] {
+        let engine = SimulationEngine::new(
+            ProtocolConfig::topk(3).with_rounds(RoundPolicy::Precision { epsilon: 1e-9 }),
+        );
+        for trial in 0..20 {
+            let locals = DatasetBuilder::new(5)
+                .rows_per_node(10)
+                .distribution(dist)
+                .seed(trial)
+                .build_local_topk(3)
+                .unwrap();
+            let truth = true_topk(&locals, 3, &ValueDomain::paper_default()).unwrap();
+            let t = engine.run(&locals, trial).unwrap();
+            assert_eq!(t.result(), &truth, "distribution {dist}, trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Workspace-level property-based tests: protocol invariants that must
+//! hold for arbitrary inputs, seeds and configurations.
+
+use privtopk::core::local::LocalAction;
+use privtopk::prelude::*;
+use proptest::prelude::*;
+
+fn arb_values(n: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(1i64..=10_000, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The max protocol's global value never decreases along the walk, for
+    /// any inputs and any seed (the paper's monotonicity property).
+    #[test]
+    fn max_global_value_monotone(
+        (values, seed) in (3usize..8).prop_flat_map(|n| (arb_values(n), any::<u64>()))
+    ) {
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(6)),
+        );
+        let t = engine
+            .run_values(&values.iter().copied().map(Value::new).collect::<Vec<_>>(), seed)
+            .unwrap();
+        let mut prev = i64::MIN;
+        for s in t.steps() {
+            prop_assert!(s.outgoing.first().get() >= prev);
+            prev = s.outgoing.first().get();
+        }
+    }
+
+    /// The max protocol's output never exceeds the true maximum — random
+    /// injections are always bounded above by a real value.
+    #[test]
+    fn max_output_never_overshoots(
+        (values, seed) in (3usize..8).prop_flat_map(|n| (arb_values(n), any::<u64>()))
+    ) {
+        let truth = *values.iter().max().unwrap();
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(4)),
+        );
+        let t = engine
+            .run_values(&values.iter().copied().map(Value::new).collect::<Vec<_>>(), seed)
+            .unwrap();
+        for s in t.steps() {
+            prop_assert!(s.outgoing.first().get() <= truth);
+        }
+    }
+
+    /// With enough rounds, the max protocol is exact for arbitrary inputs.
+    #[test]
+    fn max_exact_with_tight_epsilon(
+        (values, seed) in (3usize..8).prop_flat_map(|n| (arb_values(n), any::<u64>()))
+    ) {
+        let truth = *values.iter().max().unwrap();
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-12 }),
+        );
+        let t = engine
+            .run_values(&values.iter().copied().map(Value::new).collect::<Vec<_>>(), seed)
+            .unwrap();
+        prop_assert_eq!(t.result_value().get(), truth);
+    }
+
+    /// The top-k protocol with tight epsilon returns exactly the true
+    /// top-k multiset for arbitrary shard contents.
+    #[test]
+    fn topk_exact_with_tight_epsilon(
+        (shards, k, seed) in (3usize..6, 1usize..5).prop_flat_map(|(n, k)| {
+            (prop::collection::vec(arb_values(6), n), Just(k), any::<u64>())
+        })
+    ) {
+        let domain = ValueDomain::paper_default();
+        let locals: Vec<TopKVector> = shards
+            .iter()
+            .map(|vals| {
+                TopKVector::from_values(k, vals.iter().copied().map(Value::new), &domain)
+                    .unwrap()
+            })
+            .collect();
+        let truth = true_topk(&locals, k, &domain).unwrap();
+        let engine = SimulationEngine::new(
+            ProtocolConfig::topk(k).with_rounds(RoundPolicy::Precision { epsilon: 1e-12 }),
+        );
+        let t = engine.run(&locals, seed).unwrap();
+        prop_assert_eq!(t.result(), &truth);
+    }
+
+    /// In any round with randomization probability 1 (p0 = 1, round 1), no
+    /// node ever emits its own contributing value.
+    #[test]
+    fn first_round_never_reveals_under_full_randomization(
+        (values, seed) in (3usize..8).prop_flat_map(|n| (arb_values(n), any::<u64>()))
+    ) {
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3)),
+        );
+        let t = engine
+            .run_values(&values.iter().copied().map(Value::new).collect::<Vec<_>>(), seed)
+            .unwrap();
+        for s in t.steps_in_round(1) {
+            prop_assert_ne!(s.action, LocalAction::InsertedReal);
+            // The emitted value is strictly below the node's own value
+            // whenever the node had something to hide.
+            let own = values[s.node.get()];
+            if s.incoming.first().get() < own {
+                prop_assert!(s.outgoing.first().get() < own);
+            }
+        }
+    }
+
+    /// Transcripts are exactly reproducible from (inputs, seed) — the
+    /// foundation of every experiment in the repo.
+    #[test]
+    fn transcripts_reproducible(
+        (values, seed) in (3usize..7).prop_flat_map(|n| (arb_values(n), any::<u64>()))
+    ) {
+        let vs: Vec<Value> = values.iter().copied().map(Value::new).collect();
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(5)),
+        );
+        let a = engine.run_values(&vs, seed).unwrap();
+        let b = engine.run_values(&vs, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The final result is invariant under permutations of who holds what
+    /// (the query is over the union of values, not their placement).
+    #[test]
+    fn result_invariant_under_value_permutation(
+        (values, seed, rot) in (4usize..8).prop_flat_map(|n| {
+            (arb_values(n), any::<u64>(), 0usize..8)
+        })
+    ) {
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-12 }),
+        );
+        let vs: Vec<Value> = values.iter().copied().map(Value::new).collect();
+        let mut rotated = vs.clone();
+        rotated.rotate_left(rot % vs.len());
+        let a = engine.run_values(&vs, seed).unwrap();
+        let b = engine.run_values(&rotated, seed).unwrap();
+        prop_assert_eq!(a.result_value(), b.result_value());
+    }
+
+    /// LoP samples are always within [0, 1] per node per round under the
+    /// successor adversary.
+    #[test]
+    fn lop_samples_bounded(
+        (values, seed) in (3usize..7).prop_flat_map(|n| (arb_values(n), any::<u64>()))
+    ) {
+        let domain = ValueDomain::paper_default();
+        let locals: Vec<TopKVector> = values
+            .iter()
+            .map(|&v| TopKVector::from_values(1, [Value::new(v)], &domain).unwrap())
+            .collect();
+        let engine = SimulationEngine::new(
+            ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(6)),
+        );
+        let t = engine.run(&locals, seed).unwrap();
+        let m = SuccessorAdversary::estimate(&t, &locals);
+        for row in m.as_rows() {
+            for &s in row {
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Larger-scale end-to-end stress tests: the whole stack at sizes closer
+//! to the paper's "tens or hundreds of nodes" deployment estimate.
+
+use privtopk::core::distributed::{run_distributed, NetworkKind};
+use privtopk::prelude::*;
+
+#[test]
+fn hundred_node_max_selection_exact_and_private() {
+    let n = 100;
+    let locals: Vec<TopKVector> = DatasetBuilder::new(n)
+        .rows_per_node(1)
+        .seed(1)
+        .build_local_topk(1)
+        .unwrap();
+    let truth = true_topk(&locals, 1, &ValueDomain::paper_default()).unwrap();
+    let engine = SimulationEngine::new(
+        ProtocolConfig::max().with_rounds(RoundPolicy::Precision { epsilon: 1e-9 }),
+    );
+    let mut acc = LopAccumulator::new();
+    for seed in 0..20 {
+        let t = engine.run(&locals, seed).unwrap();
+        assert_eq!(t.result(), &truth, "seed {seed}");
+        acc.add(&SuccessorAdversary::estimate(&t, &locals));
+    }
+    // At n = 100 the average privacy loss is near zero (Figure 8/10).
+    let summary = acc.summarize();
+    assert!(summary.average_peak < 0.02, "LoP {}", summary.average_peak);
+}
+
+#[test]
+fn wide_topk_with_many_duplicates() {
+    // k = 32 over data engineered to collide heavily: multiset semantics
+    // at scale.
+    let domain = ValueDomain::paper_default();
+    let k = 32;
+    let locals: Vec<TopKVector> = (0..8)
+        .map(|node| {
+            let values = (0..k).map(|i| Value::new(((i % 5) * 1000 + 100) as i64 + node));
+            TopKVector::from_values(k, values, &domain).unwrap()
+        })
+        .collect();
+    let truth = true_topk(&locals, k, &domain).unwrap();
+    let engine = SimulationEngine::new(
+        ProtocolConfig::topk(k).with_rounds(RoundPolicy::Precision { epsilon: 1e-9 }),
+    );
+    for seed in 0..10 {
+        let t = engine.run(&locals, seed).unwrap();
+        assert_eq!(t.result(), &truth, "seed {seed}");
+    }
+}
+
+#[test]
+fn thirty_worker_distributed_run_over_threads() {
+    let n = 30;
+    let locals: Vec<TopKVector> = DatasetBuilder::new(n)
+        .rows_per_node(3)
+        .seed(5)
+        .build_local_topk(2)
+        .unwrap();
+    let truth = true_topk(&locals, 2, &ValueDomain::paper_default()).unwrap();
+    let config = ProtocolConfig::topk(2).with_rounds(RoundPolicy::Precision { epsilon: 1e-9 });
+    let out = run_distributed(&config, &locals, NetworkKind::InMemory, 9).unwrap();
+    assert_eq!(out.per_node_results.len(), n);
+    for r in &out.per_node_results {
+        assert_eq!(r, &truth);
+    }
+}
+
+#[test]
+fn many_sequential_queries_share_nothing() {
+    // Reusing the same federation for many queries must not leak state
+    // between runs (fresh seeds -> independent transcripts, same answer).
+    let dbs = DatasetBuilder::new(6)
+        .rows_per_node(25)
+        .seed(7)
+        .build()
+        .unwrap();
+    let federation = Federation::new(dbs).unwrap();
+    let spec = QuerySpec::top_k("value", 4).with_epsilon(1e-9);
+    let baseline = federation.execute(&spec, 0).unwrap();
+    for seed in 1..25 {
+        let out = federation.execute(&spec, seed).unwrap();
+        assert_eq!(out.values(), baseline.values(), "answers must agree");
+        assert_ne!(
+            out.transcript().steps(),
+            baseline.transcript().steps(),
+            "seed {seed}: transcripts should differ (fresh randomness)"
+        );
+    }
+}
+
+#[test]
+fn extreme_parameters_still_converge() {
+    // Slow schedule, tight epsilon: many rounds, still exact and bounded.
+    let config = ProtocolConfig::max()
+        .with_schedule(Schedule::exponential(1.0, 0.9).unwrap())
+        .with_rounds(RoundPolicy::Precision { epsilon: 1e-9 });
+    let rounds = config.resolve_rounds().unwrap();
+    assert!(rounds > 10, "d = 0.9 needs many rounds, got {rounds}");
+    let locals: Vec<TopKVector> = DatasetBuilder::new(5)
+        .rows_per_node(1)
+        .seed(11)
+        .build_local_topk(1)
+        .unwrap();
+    let truth = true_topk(&locals, 1, &ValueDomain::paper_default()).unwrap();
+    let t = SimulationEngine::new(config).run(&locals, 3).unwrap();
+    assert_eq!(t.result(), &truth);
+    assert_eq!(t.rounds(), rounds);
+}
+
+#[test]
+fn distributed_transcripts_pass_the_auditor() {
+    use privtopk::core::audit::verify_transcript;
+    let config = ProtocolConfig::topk(3).with_rounds(RoundPolicy::Fixed(6));
+    let locals: Vec<TopKVector> = DatasetBuilder::new(8)
+        .rows_per_node(5)
+        .seed(13)
+        .build_local_topk(3)
+        .unwrap();
+    let out = run_distributed(&config, &locals, NetworkKind::InMemory, 17).unwrap();
+    verify_transcript(&out.transcript, Some(&locals), &config).unwrap();
+}
