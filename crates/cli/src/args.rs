@@ -160,6 +160,10 @@ pub fn usage() -> String {
      \u{20}                (CSV: feature columns + a `label` column)\n\
      privtopk help\n\
      \n\
+     every command also accepts --threads N: worker threads for the\n\
+     experiment layer's trial executor (0 = all cores; results are\n\
+     identical for any value, only wall-clock time changes).\n\
+     \n\
      query over CSV: --csv-dir must contain one <name>.csv per participant\n\
      (header row with column names; integer cells).\n"
         .to_string()

@@ -20,6 +20,11 @@ use crate::{Arguments, CliError, Command};
 ///
 /// Returns [`CliError`] for bad flags or execution failures.
 pub fn run(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    // `--threads N` configures the experiment layer's trial-executor
+    // default for everything this process runs (0 = hardware default).
+    // Results never depend on it; only wall-clock time does.
+    let threads: usize = args.parse_or("threads", 0)?;
+    privtopk_experiments::pool::set_default_threads(threads);
     match args.command {
         Command::Help => {
             write_out(out, &usage())?;

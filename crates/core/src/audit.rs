@@ -115,8 +115,7 @@ pub fn verify_transcript(
             return Err(Violation::BrokenTokenChain { step: i });
         }
         // Monotone global value for the max protocol.
-        if config.algorithm() == AlgorithmKind::Max
-            && step.outgoing.first() < step.incoming.first()
+        if config.algorithm() == AlgorithmKind::Max && step.outgoing.first() < step.incoming.first()
         {
             return Err(Violation::MonotonicityViolation { step: i });
         }
@@ -191,10 +190,17 @@ mod tests {
             .with_rounds(RoundPolicy::Fixed(6));
             let locals = locals_k(
                 k,
-                &[&[900, 400, 100], &[850, 300, 50], &[700, 650, 10], &[20, 15, 12]],
+                &[
+                    &[900, 400, 100],
+                    &[850, 300, 50],
+                    &[700, 650, 10],
+                    &[20, 15, 12],
+                ],
             );
             for seed in 0..10 {
-                let t = SimulationEngine::new(config.clone()).run(&locals, seed).unwrap();
+                let t = SimulationEngine::new(config.clone())
+                    .run(&locals, seed)
+                    .unwrap();
                 verify_transcript(&t, Some(&locals), &config)
                     .unwrap_or_else(|v| panic!("k={k} seed={seed}: {v}"));
                 // Also verifiable without ground truth.
@@ -207,7 +213,9 @@ mod tests {
     fn naive_transcripts_verify() {
         let config = ProtocolConfig::naive(2);
         let locals = locals_k(2, &[&[10, 20], &[90, 80], &[50, 60]]);
-        let t = SimulationEngine::new(config.clone()).run(&locals, 0).unwrap();
+        let t = SimulationEngine::new(config.clone())
+            .run(&locals, 0)
+            .unwrap();
         verify_transcript(&t, Some(&locals), &config).unwrap();
     }
 
@@ -215,11 +223,12 @@ mod tests {
     fn tampered_value_detected() {
         let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(4));
         let locals = locals_k(1, &[&[300], &[900], &[100]]);
-        let t = SimulationEngine::new(config.clone()).run(&locals, 1).unwrap();
+        let t = SimulationEngine::new(config.clone())
+            .run(&locals, 1)
+            .unwrap();
         // Tamper: inflate one step's outgoing value beyond any input.
         let mut steps = t.steps().to_vec();
-        steps[5].outgoing =
-            TopKVector::from_sorted(vec![Value::new(9999)]).unwrap();
+        steps[5].outgoing = TopKVector::from_sorted(vec![Value::new(9999)]).unwrap();
         let tampered = Transcript::new(
             3,
             1,
@@ -242,7 +251,9 @@ mod tests {
     fn broken_chain_detected() {
         let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3));
         let locals = locals_k(1, &[&[300], &[900], &[100]]);
-        let t = SimulationEngine::new(config.clone()).run(&locals, 2).unwrap();
+        let t = SimulationEngine::new(config.clone())
+            .run(&locals, 2)
+            .unwrap();
         let mut steps = t.steps().to_vec();
         // Rewrite a mid-stream incoming so the chain no longer links up.
         steps[4].incoming = TopKVector::from_sorted(vec![Value::new(1)]).unwrap();
@@ -265,7 +276,9 @@ mod tests {
     fn wrong_result_detected() {
         let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3));
         let locals = locals_k(1, &[&[300], &[900], &[100]]);
-        let t = SimulationEngine::new(config.clone()).run(&locals, 3).unwrap();
+        let t = SimulationEngine::new(config.clone())
+            .run(&locals, 3)
+            .unwrap();
         let forged = Transcript::new(
             3,
             1,
@@ -284,7 +297,9 @@ mod tests {
     fn shape_mismatch_detected() {
         let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3));
         let locals = locals_k(1, &[&[300], &[900], &[100]]);
-        let t = SimulationEngine::new(config.clone()).run(&locals, 4).unwrap();
+        let t = SimulationEngine::new(config.clone())
+            .run(&locals, 4)
+            .unwrap();
         // Drop a step.
         let steps = t.steps()[..t.steps().len() - 1].to_vec();
         let truncated = Transcript::new(

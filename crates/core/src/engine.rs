@@ -5,7 +5,7 @@ use privtopk_domain::rng::SeedSpec;
 use privtopk_domain::{TopKVector, Value};
 use privtopk_ring::RingTopology;
 
-use crate::local::{max_step, topk_step};
+use crate::local::{max_step, topk_step_scratch, TopkScratch};
 use crate::{AlgorithmKind, ProtocolConfig, ProtocolError, StartPolicy, StepRecord, Transcript};
 
 /// Seed stream tags.
@@ -93,6 +93,8 @@ impl SimulationEngine {
         let mut global = TopKVector::floor(k, &domain);
         let mut steps = Vec::with_capacity(n * rounds as usize);
         let mut ring_orders: Vec<Vec<privtopk_domain::NodeId>> = vec![topology.order().to_vec()];
+        // Reused across all n × rounds hops so the merge never reallocates.
+        let mut scratch = TopkScratch::new();
 
         for round in 1..=rounds {
             if round > 1 && self.config.remap_each_round() {
@@ -103,33 +105,50 @@ impl SimulationEngine {
             for position in 0..n {
                 let node = topology.node_at(privtopk_domain::RingPosition::new(position))?;
                 let idx = node.get();
-                let incoming = global.clone();
-                let (outgoing, action) = match self.config.algorithm() {
+                // `replaced` is the new global state when the step changed
+                // it; `None` forwards the current state unchanged. Keeping
+                // the distinction lets the common pass-on hop record the
+                // step with one clone instead of three.
+                let (replaced, action) = match self.config.algorithm() {
                     AlgorithmKind::Max => {
                         let step = max_step(
                             &mut node_rngs[idx],
                             probability,
-                            incoming.first(),
+                            global.first(),
                             locals[idx].first(),
                             &domain,
                         )?;
-                        (TopKVector::from_sorted(vec![step.output])?, step.action)
+                        if step.output == global.first() {
+                            (None, step.action)
+                        } else {
+                            (
+                                Some(TopKVector::from_sorted(vec![step.output])?),
+                                step.action,
+                            )
+                        }
                     }
                     AlgorithmKind::TopK => {
-                        let step = topk_step(
+                        let outcome = topk_step_scratch(
                             &mut node_rngs[idx],
                             probability,
-                            &incoming,
+                            &global,
                             &locals[idx],
                             has_inserted[idx],
                             self.config.delta(),
                             &domain,
+                            &mut scratch,
                         )?;
-                        has_inserted[idx] = step.has_inserted;
-                        (step.output, step.action)
+                        has_inserted[idx] = outcome.has_inserted;
+                        (outcome.output, outcome.action)
                     }
                 };
-                global = outgoing.clone();
+                let (incoming, outgoing) = match replaced {
+                    Some(output) => {
+                        let incoming = std::mem::replace(&mut global, output);
+                        (incoming, global.clone())
+                    }
+                    None => (global.clone(), global.clone()),
+                };
                 steps.push(StepRecord {
                     round,
                     position: privtopk_domain::RingPosition::new(position),

@@ -106,6 +106,35 @@ pub struct TopkStep {
     pub has_inserted: bool,
 }
 
+/// Output of [`topk_step_scratch`]: like [`TopkStep`] but without a clone
+/// of the incoming vector when the step forwards it unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopkStepOutcome {
+    /// The vector passed to the successor when it differs from the
+    /// incoming one; `None` means "forward `G_{i-1}(r)` unchanged".
+    pub output: Option<TopKVector>,
+    /// Ground-truth annotation of the branch taken.
+    pub action: LocalAction,
+    /// Whether the node has (now or previously) really inserted its values.
+    pub has_inserted: bool,
+}
+
+/// Reusable working memory for [`topk_step_scratch`], so a driver running
+/// many steps (the simulation engine runs `n × rounds` of them per trial)
+/// does not allocate a merge buffer per hop.
+#[derive(Debug, Default)]
+pub struct TopkScratch {
+    merged: Vec<Value>,
+}
+
+impl TopkScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        TopkScratch::default()
+    }
+}
+
 /// Algorithm 2: the local algorithm of the probabilistic top-k protocol,
 /// executed by node `i` at round `r`.
 ///
@@ -149,27 +178,63 @@ pub fn topk_step<R: Rng + ?Sized>(
     delta: u64,
     domain: &ValueDomain,
 ) -> Result<TopkStep, DomainError> {
+    let mut scratch = TopkScratch::new();
+    let outcome = topk_step_scratch(
+        rng,
+        probability,
+        incoming,
+        own,
+        has_inserted,
+        delta,
+        domain,
+        &mut scratch,
+    )?;
+    Ok(TopkStep {
+        output: outcome.output.unwrap_or_else(|| incoming.clone()),
+        action: outcome.action,
+        has_inserted: outcome.has_inserted,
+    })
+}
+
+/// Allocation-light variant of [`topk_step`] for drivers that execute many
+/// steps: the pass-on branches return `output: None` instead of cloning the
+/// incoming vector, and the merge runs in the caller-provided
+/// [`TopkScratch`] buffer instead of a fresh allocation per hop.
+///
+/// Consumes the RNG identically to [`topk_step`] and produces the same
+/// vectors, so the two are interchangeable without affecting seeded runs.
+///
+/// # Errors
+///
+/// As for [`topk_step`].
+///
+/// # Panics
+///
+/// Panics if `delta == 0` (validated away by `ProtocolConfig`).
+#[allow(clippy::too_many_arguments)]
+pub fn topk_step_scratch<R: Rng + ?Sized>(
+    rng: &mut R,
+    probability: f64,
+    incoming: &TopKVector,
+    own: &TopKVector,
+    has_inserted: bool,
+    delta: u64,
+    domain: &ValueDomain,
+    scratch: &mut TopkScratch,
+) -> Result<TopkStepOutcome, DomainError> {
     assert!(delta >= 1, "delta must be at least 1");
     let k = incoming.k();
-    let merged = incoming.merged_with(own);
-    let contribution = merged.multiset_subtract(incoming);
-    let m = contribution.len();
+    // The merge count is the contribution size m = |topK(G ∪ V) − G|
+    // (ties prefer the incoming vector), so no difference vector is built.
+    let m = incoming.merge_into(own, &mut scratch.merged);
 
-    if m == 0 {
-        // Case 1: nothing to contribute — forward unchanged.
-        return Ok(TopkStep {
-            output: incoming.clone(),
-            action: LocalAction::PassedOn,
-            has_inserted,
-        });
-    }
-
-    if has_inserted {
-        // Insert-once: forward unchanged. Re-merging would double-count
-        // this node's values (they are already inside the vector); see the
-        // function docs.
-        return Ok(TopkStep {
-            output: incoming.clone(),
+    if m == 0 || has_inserted {
+        // Case 1: nothing to contribute — forward unchanged. Same for a
+        // node whose insert-once flag is set: re-merging would
+        // double-count its values (they are already inside the vector);
+        // see the function docs.
+        return Ok(TopkStepOutcome {
+            output: None,
             action: LocalAction::PassedOn,
             has_inserted,
         });
@@ -177,15 +242,16 @@ pub fn topk_step<R: Rng + ?Sized>(
 
     if !rng.gen_bool(probability.clamp(0.0, 1.0)) {
         // The 1 − P_r branch: reveal the real merged top-k, at most once.
-        return Ok(TopkStep {
-            output: merged,
+        let merged = TopKVector::from_sorted(std::mem::take(&mut scratch.merged))?;
+        return Ok(TopkStepOutcome {
+            output: Some(merged),
             action: LocalAction::InsertedReal,
             has_inserted: true,
         });
     }
 
     // The P_r branch: keep the predecessor's prefix, randomize the tail.
-    let kth_real = merged.kth(); // G'_i(r)[k]
+    let kth_real = *scratch.merged.last().expect("k >= 1"); // G'_i(r)[k]
     let prefix_anchor = incoming
         .get(k - m + 1)
         .expect("k - m + 1 is within 1..=k because 0 < m <= k"); // G_{i-1}(r)[k-m+1]
@@ -195,8 +261,8 @@ pub fn topk_step<R: Rng + ?Sized>(
         tail.push(domain.sample_half_open(rng, lower, kth_real)?);
     }
     let output = TopKVector::with_randomized_tail(incoming, m, tail)?;
-    Ok(TopkStep {
-        output,
+    Ok(TopkStepOutcome {
+        output: Some(output),
         action: LocalAction::Randomized,
         has_inserted,
     })
@@ -416,6 +482,52 @@ mod tests {
         let v = vk(2, &[80, 80]);
         let s = topk_step(&mut rng, 0.0, &g, &v, false, 1, &domain()).unwrap();
         assert_eq!(s.output, vk(2, &[80, 80]));
+    }
+
+    #[test]
+    fn scratch_variant_matches_cloning_step_exactly() {
+        // topk_step and topk_step_scratch must consume the RNG identically
+        // and produce the same vectors — drivers may mix them freely
+        // without perturbing seeded runs.
+        let d = domain();
+        let cases = [
+            (vk(3, &[100, 90, 80]), vk(3, &[70, 60, 50]), false), // pass on
+            (vk(3, &[100, 50, 40]), vk(3, &[90, 30, 20]), false), // contributes
+            (vk(2, &[100, 40]), vk(2, &[90, 1]), true),           // flagged
+            (vk(3, &[50, 40, 30]), vk(3, &[100, 90, 80]), false), // m = k
+        ];
+        for (g, v, flagged) in &cases {
+            for seed in 0..50 {
+                for probability in [0.0, 0.35, 1.0] {
+                    let mut rng_a = seeded_rng(seed);
+                    let mut rng_b = seeded_rng(seed);
+                    let mut scratch = TopkScratch::new();
+                    let plain = topk_step(&mut rng_a, probability, g, v, *flagged, 2, &d).unwrap();
+                    let outcome = topk_step_scratch(
+                        &mut rng_b,
+                        probability,
+                        g,
+                        v,
+                        *flagged,
+                        2,
+                        &d,
+                        &mut scratch,
+                    )
+                    .unwrap();
+                    assert_eq!(plain.action, outcome.action);
+                    assert_eq!(plain.has_inserted, outcome.has_inserted);
+                    match &outcome.output {
+                        Some(out) => assert_eq!(&plain.output, out),
+                        None => assert_eq!(&plain.output, g),
+                    }
+                    // Both RNGs must be in the same state afterwards.
+                    assert_eq!(
+                        rand::Rng::gen::<u64>(&mut rng_a),
+                        rand::Rng::gen::<u64>(&mut rng_b)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -164,11 +164,25 @@ impl TopKVector {
     /// (the global vector's width).
     #[must_use]
     pub fn merged_with(&self, other: &TopKVector) -> TopKVector {
-        let mut merged: Vec<Value> = Vec::with_capacity(self.values.len() + other.values.len());
+        let mut merged: Vec<Value> = Vec::with_capacity(self.values.len());
+        self.merge_into(other, &mut merged);
+        TopKVector { values: merged }
+    }
+
+    /// Allocation-free variant of [`TopKVector::merged_with`]: writes the
+    /// merged top-k into `out` (cleared first, capacity reused) and returns
+    /// the number of entries taken from `other`.
+    ///
+    /// Because ties prefer `self`, an entry is taken from `other` exactly
+    /// when it is not covered by an occurrence in `self`, so the returned
+    /// count equals `|merged − self|` — Algorithm 2's contribution size
+    /// `m = |V'_i|` — without materializing the difference.
+    pub fn merge_into(&self, other: &TopKVector, out: &mut Vec<Value>) -> usize {
+        out.clear();
+        let mut from_other = 0;
         // Merge two descending runs (merge sort step, as the paper suggests).
         let (mut i, mut j) = (0, 0);
-        while merged.len() < self.values.len() && (i < self.values.len() || j < other.values.len())
-        {
+        while out.len() < self.values.len() && (i < self.values.len() || j < other.values.len()) {
             let take_left = match (self.values.get(i), other.values.get(j)) {
                 (Some(a), Some(b)) => a >= b,
                 (Some(_), None) => true,
@@ -176,14 +190,15 @@ impl TopKVector {
                 (None, None) => break,
             };
             if take_left {
-                merged.push(self.values[i]);
+                out.push(self.values[i]);
                 i += 1;
             } else {
-                merged.push(other.values[j]);
+                out.push(other.values[j]);
                 j += 1;
+                from_other += 1;
             }
         }
-        TopKVector { values: merged }
+        from_other
     }
 
     /// Multiset difference `self − other`: the values of `self` that are
@@ -194,28 +209,53 @@ impl TopKVector {
     /// descending and may be empty.
     #[must_use]
     pub fn multiset_subtract(&self, other: &TopKVector) -> Vec<Value> {
-        let mut remaining: Vec<Value> = other.values.clone(); // descending
         let mut out = Vec::new();
-        for &v in &self.values {
-            if let Some(pos) = remaining.iter().position(|&x| x == v) {
-                remaining.remove(pos);
+        self.multiset_subtract_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`TopKVector::multiset_subtract`]:
+    /// writes the difference into `out` (cleared first, capacity reused).
+    ///
+    /// Both operands are sorted descending, so a single two-pointer sweep
+    /// pairs occurrences greedily — `O(k)` instead of the quadratic
+    /// scan-and-remove over a cloned buffer this replaces.
+    pub fn multiset_subtract_into(&self, other: &TopKVector, out: &mut Vec<Value>) {
+        out.clear();
+        let (a, b) = (&self.values, &other.values);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() {
+            if j >= b.len() || a[i] > b[j] {
+                // No occurrence in `other` can cover a[i] any more.
+                out.push(a[i]);
+                i += 1;
+            } else if a[i] == b[j] {
+                // Covered: consume one occurrence of each.
+                i += 1;
+                j += 1;
             } else {
-                out.push(v);
+                // b[j] > a[i]: this occurrence of `other` covers nothing.
+                j += 1;
             }
         }
-        out
     }
 
     /// Number of elements of `self` that also occur in `other`, counting
     /// multiplicity (multiset intersection size).
     #[must_use]
     pub fn multiset_intersection_size(&self, other: &TopKVector) -> usize {
-        let mut remaining: Vec<Value> = other.values.clone();
+        let (a, b) = (&self.values, &other.values);
+        let (mut i, mut j) = (0, 0);
         let mut count = 0;
-        for &v in &self.values {
-            if let Some(pos) = remaining.iter().position(|&x| x == v) {
-                remaining.remove(pos);
+        while i < a.len() && j < b.len() {
+            if a[i] == b[j] {
                 count += 1;
+                i += 1;
+                j += 1;
+            } else if a[i] > b[j] {
+                i += 1;
+            } else {
+                j += 1;
             }
         }
         count
@@ -399,6 +439,31 @@ mod tests {
         let merged = g.merged_with(&v);
         assert_eq!(merged.get(1), Some(Value::new(10)));
         assert_eq!(merged.kth(), Value::new(7));
+    }
+
+    #[test]
+    fn merge_into_reuses_buffer_and_counts_contribution() {
+        let g = vk(3, &[50, 30, 10]);
+        let v = vk(3, &[40, 20, 5]);
+        let mut buf = vec![Value::new(999)]; // stale content must be cleared
+        let m = g.merge_into(&v, &mut buf);
+        assert_eq!(buf, vec![Value::new(50), Value::new(40), Value::new(30)]);
+        // merged − g = {40}, so exactly one entry came from `v`.
+        assert_eq!(m, 1);
+        assert_eq!(m, g.merged_with(&v).multiset_subtract(&g).len());
+    }
+
+    #[test]
+    fn merge_into_count_respects_duplicates() {
+        // Ties prefer `self`, so a value the incoming vector already covers
+        // is not counted as a contribution.
+        let g = vk(3, &[50, 50, 10]);
+        let v = vk(3, &[50, 20, 5]);
+        let mut buf = Vec::new();
+        assert_eq!(g.merge_into(&v, &mut buf), 1); // only the third 50 is new
+        let g2 = vk(2, &[50, 1]);
+        let v2 = vk(2, &[80, 80]);
+        assert_eq!(g2.merge_into(&v2, &mut buf), 2); // both 80s are new
     }
 
     #[test]

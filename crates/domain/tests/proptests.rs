@@ -89,6 +89,49 @@ proptest! {
     }
 
     #[test]
+    fn merge_into_matches_reference_merge(
+        (domain, a, b, k) in arb_domain().prop_flat_map(|d| {
+            (Just(d), arb_values(d, 16), arb_values(d, 16), 1usize..6)
+        })
+    ) {
+        let va = TopKVector::from_values(k, a, &domain).unwrap();
+        let vb = TopKVector::from_values(k, b, &domain).unwrap();
+        // Reference: multiset union via concatenate-sort-truncate.
+        let mut reference: Vec<Value> = va.iter().chain(vb.iter()).collect();
+        reference.sort_unstable_by(|x, y| y.cmp(x));
+        reference.truncate(k);
+        let mut out = vec![Value::new(0); 3]; // stale content must be cleared
+        let m = va.merge_into(&vb, &mut out);
+        prop_assert_eq!(&out, &reference);
+        let merged = va.merged_with(&vb);
+        prop_assert_eq!(merged.as_slice(), &out[..]);
+        // The returned count is the contribution size of Algorithm 2.
+        prop_assert_eq!(m, merged.multiset_subtract(&va).len());
+    }
+
+    #[test]
+    fn subtract_into_matches_scan_and_remove_reference(
+        (domain, a, b, k) in arb_domain().prop_flat_map(|d| {
+            (Just(d), arb_values(d, 16), arb_values(d, 16), 1usize..6)
+        })
+    ) {
+        let va = TopKVector::from_values(k, a, &domain).unwrap();
+        let vb = TopKVector::from_values(k, b, &domain).unwrap();
+        // Reference: the quadratic scan-and-remove the two-pointer sweep
+        // replaced.
+        let mut remaining: Vec<Value> = vb.iter().collect();
+        let mut reference = Vec::new();
+        for v in va.iter() {
+            if let Some(pos) = remaining.iter().position(|&x| x == v) {
+                remaining.remove(pos);
+            } else {
+                reference.push(v);
+            }
+        }
+        prop_assert_eq!(va.multiset_subtract(&vb), reference);
+    }
+
+    #[test]
     fn precision_is_symmetric_and_bounded(
         (domain, a, b, k) in arb_domain().prop_flat_map(|d| {
             (Just(d), arb_values(d, 16), arb_values(d, 16), 1usize..6)

@@ -2,13 +2,16 @@
 //! under `results/`.
 //!
 //! ```text
-//! cargo run --release -p privtopk-experiments --bin all_figures [trials] [seed]
+//! cargo run --release -p privtopk-experiments --bin all_figures [trials] [seed] [--threads N]
 //! ```
+//!
+//! `--threads N` caps the trial-executor worker count (default: available
+//! parallelism). The output is bit-identical for every value of `N`.
 
 use std::path::Path;
 
 use privtopk_experiments::figures::{self, Variant};
-use privtopk_experiments::FigureData;
+use privtopk_experiments::{pool, FigureData};
 
 fn emit(fig: &FigureData, out_dir: &Path) {
     println!("{}", fig.to_ascii_table());
@@ -19,12 +22,15 @@ fn emit(fig: &FigureData, out_dir: &Path) {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let positional = pool::apply_threads_flag(std::env::args().skip(1));
+    let mut args = positional.into_iter();
     let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0x5EED);
     let out_dir = Path::new("results");
 
     println!("{}", figures::parameter_table());
+    // Note: the worker-thread count is deliberately absent from the output
+    // so runs at different --threads settings stay byte-identical.
     println!("Running all figures with {trials} trials per point, seed {seed:#x}.\n");
 
     for fig in [

@@ -4,15 +4,19 @@
 //! distribution robustness.
 //!
 //! ```text
-//! cargo run --release -p privtopk-experiments --bin extensions [trials] [seed]
+//! cargo run --release -p privtopk-experiments --bin extensions [trials] [seed] [--threads N]
 //! ```
+//!
+//! `--threads N` caps the trial-executor worker count (default: available
+//! parallelism). The output is bit-identical for every value of `N`.
 
 use std::path::Path;
 
-use privtopk_experiments::extensions;
+use privtopk_experiments::{extensions, pool};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let positional = pool::apply_threads_flag(std::env::args().skip(1));
+    let mut args = positional.into_iter();
     let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0x5EED);
     let out_dir = Path::new("results");

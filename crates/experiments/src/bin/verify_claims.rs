@@ -3,12 +3,16 @@
 //! any claim fails.
 //!
 //! ```text
-//! cargo run --release -p privtopk-experiments --bin verify_claims [trials] [seed]
+//! cargo run --release -p privtopk-experiments --bin verify_claims [trials] [seed] [--threads N]
 //! ```
+//!
+//! `--threads N` caps the trial-executor worker count (default: available
+//! parallelism). The verdicts are identical for every value of `N`.
 
 use std::process::ExitCode;
 
 use privtopk_experiments::figures::{self, Variant};
+use privtopk_experiments::pool;
 
 struct Checker {
     failures: u32,
@@ -29,7 +33,8 @@ impl Checker {
 
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let positional = pool::apply_threads_flag(std::env::args().skip(1));
+    let mut args = positional.into_iter();
     let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0x5EED);
     let mut c = Checker {

@@ -14,7 +14,7 @@ use privtopk_privacy::{LopAccumulator, MultiRoundAdversary, SuccessorAdversary};
 use privtopk_ring::trust::{coverage, trust_aware_arrangement, TrustGraph};
 use privtopk_ring::RingTopology;
 
-use crate::{AdversaryKind, ExperimentSetup, FigureData, Series};
+use crate::{pool, AdversaryKind, ExperimentSetup, FigureData, Series};
 
 /// Extension E1: result pollution under the malicious model (spoofing and
 /// hiding attacks, Section 2.1) as the number of attackers grows.
@@ -32,18 +32,10 @@ pub fn ext_malicious_pollution(trials: usize, seed: u64) -> FigureData {
     let k = 4;
     let domain = ValueDomain::paper_default();
     let config = ProtocolConfig::topk(k).with_rounds(RoundPolicy::Precision { epsilon: 1e-9 });
-    for (label, make) in [
-        (
-            "spoof",
-            Box::new(|| Misbehavior::ceiling_spoof(k, &domain).expect("valid k"))
-                as Box<dyn Fn() -> Misbehavior>,
-        ),
-        ("hide", Box::new(|| Misbehavior::Hide)),
-    ] {
+    for (label, spoof) in [("spoof", true), ("hide", false)] {
         let mut pts = Vec::new();
         for attackers in 0..=4usize {
-            let mut total = 0.0;
-            for trial in 0..trials {
+            let per_trial = pool::run_trials(trials, |trial| {
                 let locals = DatasetBuilder::new(n)
                     .rows_per_node(k)
                     .seed(derive_seed(seed, trial as u64))
@@ -52,12 +44,17 @@ pub fn ext_malicious_pollution(trials: usize, seed: u64) -> FigureData {
                 let truth = true_topk(&locals, k, &domain).expect("valid k");
                 let mut behaviors = vec![Misbehavior::Honest; n];
                 for b in behaviors.iter_mut().take(attackers) {
-                    *b = make();
+                    *b = if spoof {
+                        Misbehavior::ceiling_spoof(k, &domain).expect("valid k")
+                    } else {
+                        Misbehavior::Hide
+                    };
                 }
                 let t = run_with_behaviors(&config, &locals, &behaviors, trial as u64)
                     .expect("valid run");
-                total += pollution(t.result(), &truth).expect("matching k");
-            }
+                pollution(t.result(), &truth).expect("matching k")
+            });
+            let total: f64 = per_trial.into_iter().sum();
             pts.push((attackers as f64, total / trials as f64));
         }
         fig.push_series(Series::new(label, pts));
@@ -161,9 +158,7 @@ pub fn ext_baseline_costs(trials: usize, seed: u64) -> FigureData {
     let mut kth = Vec::new();
     let mut ttp = Vec::new();
     for &n in &[4usize, 8, 16, 32, 64] {
-        let mut prob_msgs = 0.0;
-        let mut kth_msgs = 0.0;
-        for trial in 0..trials {
+        let per_trial = pool::run_trials(trials, |trial| {
             let locals = DatasetBuilder::new(n)
                 .rows_per_node(1)
                 .seed(derive_seed(seed, (n * 1000 + trial) as u64))
@@ -174,17 +169,19 @@ pub fn ext_baseline_costs(trials: usize, seed: u64) -> FigureData {
             )
             .run(&locals, trial as u64)
             .expect("valid run");
-            prob_msgs += t.message_count() as f64;
             let shards: Vec<Vec<privtopk_domain::Value>> =
                 locals.iter().map(|l| l.iter().collect()).collect();
             let out = kth_largest(&shards, 1, &domain, trial as u64).expect("valid baseline");
-            kth_msgs += out.messages as f64;
             // Consistency: both compute the same maximum.
             assert_eq!(out.value, t.result_value());
             let _ = TrustedThirdParty::new()
                 .topk(&locals, 1, &domain)
                 .expect("valid k");
-        }
+            (t.message_count() as f64, out.messages as f64)
+        });
+        let (prob_msgs, kth_msgs) = per_trial
+            .into_iter()
+            .fold((0.0, 0.0), |(p, q), (dp, dq)| (p + dp, q + dq));
         prob.push((n as f64, prob_msgs / trials as f64));
         kth.push((n as f64, kth_msgs / trials as f64));
         // TTP: n uploads + n result downloads.
@@ -209,9 +206,7 @@ pub fn ext_multiround_adversary(trials: usize, seed: u64) -> FigureData {
     let mut per_round = Vec::new();
     let mut aggregated = Vec::new();
     for &n in &[4usize, 8, 16, 32] {
-        let mut acc = LopAccumulator::new();
-        let mut agg_total = 0.0;
-        for trial in 0..trials {
+        let per_trial = pool::run_trials(trials, |trial| {
             let locals = DatasetBuilder::new(n)
                 .rows_per_node(1)
                 .seed(derive_seed(seed, (n * 777 + trial) as u64))
@@ -221,8 +216,15 @@ pub fn ext_multiround_adversary(trials: usize, seed: u64) -> FigureData {
                 SimulationEngine::new(ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(10)))
                     .run(&locals, trial as u64)
                     .expect("valid run");
-            acc.add(&SuccessorAdversary::estimate(&t, &locals));
-            agg_total += MultiRoundAdversary::estimate(&t, &locals).average();
+            let matrix = SuccessorAdversary::estimate(&t, &locals);
+            let aggregated = MultiRoundAdversary::estimate(&t, &locals).average();
+            (matrix, aggregated)
+        });
+        let mut acc = LopAccumulator::new();
+        let mut agg_total = 0.0;
+        for (matrix, aggregated) in &per_trial {
+            acc.add(matrix);
+            agg_total += aggregated;
         }
         per_round.push((n as f64, acc.summarize().average_peak));
         aggregated.push((n as f64, agg_total / trials as f64));
@@ -246,8 +248,7 @@ pub fn ext_trust_coverage(trials: usize, seed: u64) -> FigureData {
     for (label, aware) in [("random", false), ("trust_aware", true)] {
         let mut pts = Vec::new();
         for &avg_degree in &[1usize, 2, 4, 8] {
-            let mut total = 0.0;
-            for trial in 0..trials {
+            let per_trial = pool::run_trials(trials, |trial| {
                 let mut rng = seeded_rng(derive_seed(seed, (avg_degree * 100 + trial) as u64));
                 let mut graph = TrustGraph::new(n);
                 let edges = n * avg_degree / 2;
@@ -267,8 +268,9 @@ pub fn ext_trust_coverage(trials: usize, seed: u64) -> FigureData {
                 } else {
                     RingTopology::random(n, &mut rng).expect("non-empty")
                 };
-                total += coverage(&topo, &graph).expect("well-formed").fraction();
-            }
+                coverage(&topo, &graph).expect("well-formed").fraction()
+            });
+            let total: f64 = per_trial.into_iter().sum();
             pts.push((avg_degree as f64, total / trials as f64));
         }
         fig.push_series(Series::new(label, pts));
@@ -326,10 +328,10 @@ pub fn ext_knn_accuracy(trials: usize, seed: u64) -> FigureData {
     let mut agreement = Vec::new();
     let mut accuracy = Vec::new();
     for &k in &[1usize, 3, 7, 15] {
-        let mut agree = 0usize;
-        let mut correct = 0usize;
-        let mut total = 0usize;
-        for trial in 0..trials {
+        let per_trial = pool::run_trials(trials, |trial| {
+            let mut agree = 0usize;
+            let mut correct = 0usize;
+            let mut total = 0usize;
             let mut rng = seeded_rng(derive_seed(seed, (k * 1000 + trial) as u64));
             let shards: Vec<Vec<LabeledPoint>> = (0..4)
                 .map(|_| {
@@ -370,7 +372,13 @@ pub fn ext_knn_accuracy(trials: usize, seed: u64) -> FigureData {
                     correct += 1;
                 }
             }
-        }
+            (agree, correct, total)
+        });
+        let (agree, correct, total) = per_trial
+            .into_iter()
+            .fold((0, 0, 0), |(a, c, t), (da, dc, dt)| {
+                (a + da, c + dc, t + dt)
+            });
         agreement.push((k as f64, agree as f64 / total as f64));
         accuracy.push((k as f64, correct as f64 / total as f64));
     }
@@ -394,9 +402,7 @@ pub fn ext_latency_makespan(trials: usize, seed: u64) -> FigureData {
     let mut grouped = Vec::new();
     for &n in &[9usize, 36, 100, 225, 400] {
         let groups = (n as f64).sqrt().round() as usize;
-        let mut flat_total = 0.0;
-        let mut grouped_total = 0.0;
-        for trial in 0..trials {
+        let per_trial = pool::run_trials(trials, |trial| {
             let est = estimate_makespan(
                 &config,
                 n,
@@ -405,9 +411,11 @@ pub fn ext_latency_makespan(trials: usize, seed: u64) -> FigureData {
                 derive_seed(seed, (n * 31 + trial) as u64),
             )
             .expect("valid grouping");
-            flat_total += est.flat_ms;
-            grouped_total += est.grouped_ms;
-        }
+            (est.flat_ms, est.grouped_ms)
+        });
+        let (flat_total, grouped_total) = per_trial
+            .into_iter()
+            .fold((0.0, 0.0), |(f, g), (df, dg)| (f + df, g + dg));
         flat.push((n as f64, flat_total / trials as f64));
         grouped.push((n as f64, grouped_total / trials as f64));
     }

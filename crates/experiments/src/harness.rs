@@ -5,6 +5,8 @@ use privtopk_datagen::{DataDistribution, DatasetBuilder};
 use privtopk_domain::rng::derive_seed;
 use privtopk_privacy::{CollusionAdversary, LopAccumulator, LopSummary, SuccessorAdversary};
 
+use crate::pool::TrialPool;
+
 /// Which adversary model the LoP measurement uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdversaryKind {
@@ -37,6 +39,11 @@ pub struct ExperimentSetup {
     pub trials: usize,
     /// Master seed.
     pub base_seed: u64,
+    /// Worker threads for the trial loop; `0` uses the process default
+    /// (see [`crate::pool::default_threads`]). Results are identical for
+    /// every value — trials are independently seeded and reduced in trial
+    /// order (see [`crate::pool`]).
+    pub threads: usize,
 }
 
 impl ExperimentSetup {
@@ -51,6 +58,7 @@ impl ExperimentSetup {
             distribution: DataDistribution::Uniform,
             trials: 100,
             base_seed: 0x5EED,
+            threads: 0,
         }
     }
 
@@ -82,6 +90,14 @@ impl ExperimentSetup {
         self
     }
 
+    /// Overrides the worker-thread count (`0` = process default). The
+    /// measured numbers do not depend on this value.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     fn trial_locals(&self, trial: usize) -> Vec<privtopk_domain::TopKVector> {
         DatasetBuilder::new(self.n)
             .rows_per_node(self.rows_per_node.max(1))
@@ -104,19 +120,20 @@ impl ExperimentSetup {
     #[must_use]
     pub fn measure_precision(&self, config: &ProtocolConfig) -> f64 {
         let engine = SimulationEngine::new(config.clone());
-        let mut total = 0.0;
-        for trial in 0..self.trials {
+        let per_trial = TrialPool::new(self.threads).run(self.trials, |trial| {
             let locals = self.trial_locals(trial);
             let truth = true_topk(&locals, self.k, &config.domain()).expect("valid k");
             let transcript = engine
                 .run(&locals, self.trial_seed(trial))
                 .expect("valid protocol configuration");
-            total += transcript
+            transcript
                 .result()
                 .precision_against(&truth)
-                .expect("matching k");
-        }
-        total / self.trials as f64
+                .expect("matching k")
+        });
+        // Summing in trial order keeps the result bit-identical to the
+        // serial loop for any thread count.
+        per_trial.into_iter().sum::<f64>() / self.trials as f64
     }
 
     /// Trial-averaged LoP statistics under the chosen adversary.
@@ -127,17 +144,21 @@ impl ExperimentSetup {
     #[must_use]
     pub fn measure_lop(&self, config: &ProtocolConfig, adversary: AdversaryKind) -> LopSummary {
         let engine = SimulationEngine::new(config.clone());
-        let mut acc = LopAccumulator::new();
-        for trial in 0..self.trials {
+        let matrices = TrialPool::new(self.threads).run(self.trials, |trial| {
             let locals = self.trial_locals(trial);
             let transcript = engine
                 .run(&locals, self.trial_seed(trial))
                 .expect("valid protocol configuration");
-            let matrix = match adversary {
+            match adversary {
                 AdversaryKind::Successor => SuccessorAdversary::estimate(&transcript, &locals),
                 AdversaryKind::Collusion => CollusionAdversary::estimate(&transcript, &locals),
-            };
-            acc.add(&matrix);
+            }
+        });
+        // Accumulating in trial order keeps the f64 sums bit-identical to
+        // the serial loop for any thread count.
+        let mut acc = LopAccumulator::new();
+        for matrix in &matrices {
+            acc.add(matrix);
         }
         acc.summarize()
     }
@@ -202,6 +223,31 @@ mod tests {
         let a = setup.measure_lop(&config, AdversaryKind::Successor);
         let b = setup.measure_lop(&config, AdversaryKind::Successor);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // The tentpole guarantee: parallel execution is bit-identical to
+        // serial for both measurements, including the f64 accumulations.
+        let base = ExperimentSetup::paper(4, 2)
+            .with_trials(17)
+            .with_seed(0xD1CE);
+        let config = ProtocolConfig::topk(2).with_rounds(RoundPolicy::Fixed(8));
+        let serial = base.with_threads(1);
+        let parallel = base.with_threads(8);
+        let p1 = serial.measure_precision(&config);
+        let p8 = parallel.measure_precision(&config);
+        assert_eq!(
+            p1.to_bits(),
+            p8.to_bits(),
+            "precision diverged: {p1} vs {p8}"
+        );
+        let l1 = serial.measure_lop(&config, AdversaryKind::Successor);
+        let l8 = parallel.measure_lop(&config, AdversaryKind::Successor);
+        assert_eq!(l1, l8);
+        let c1 = serial.measure_lop(&config, AdversaryKind::Collusion);
+        let c8 = parallel.measure_lop(&config, AdversaryKind::Collusion);
+        assert_eq!(c1, c8);
     }
 
     #[test]

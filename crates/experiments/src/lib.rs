@@ -29,6 +29,7 @@ mod export;
 pub mod extensions;
 pub mod figures;
 mod harness;
+pub mod pool;
 mod table;
 
 pub use export::transcript_to_csv;

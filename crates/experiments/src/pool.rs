@@ -1,0 +1,251 @@
+//! Deterministic parallel trial executor.
+//!
+//! Every experiment in this crate averages a measurement over many
+//! independent trials, each seeded from `derive_seed(base_seed, trial)`.
+//! Because trials share no state, they can run on worker threads — but the
+//! *reduction* over per-trial results must still happen in trial order, or
+//! floating-point sums would depend on scheduling. [`TrialPool::run`]
+//! therefore returns results as a `Vec` indexed by trial, so callers fold
+//! them exactly as the old serial loops did and the output is bit-identical
+//! for any thread count.
+//!
+//! The worker count resolves, in order, from: an explicit per-call value, a
+//! process-wide default set via [`set_default_threads`] (the `--threads`
+//! flag of the experiment binaries and the CLI), and finally
+//! [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! use privtopk_experiments::pool::TrialPool;
+//!
+//! let serial: Vec<u64> = TrialPool::new(1).run(8, |t| (t as u64) * 3);
+//! let parallel: Vec<u64> = TrialPool::new(4).run(8, |t| (t as u64) * 3);
+//! assert_eq!(serial, parallel);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use crossbeam::channel;
+
+/// Process-wide default worker count; 0 means "use available parallelism".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count used by [`TrialPool::new`]
+/// when a caller passes `0` (and by everything built on top of it: the
+/// [`crate::ExperimentSetup`] measurements and the extension experiments).
+///
+/// Passing `0` restores the hardware default. This is what the `--threads`
+/// flag of the experiment binaries and the `privtopk` CLI calls.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The worker count [`TrialPool::new`] resolves `0` to: the value from
+/// [`set_default_threads`] if one was set, otherwise
+/// [`std::thread::available_parallelism`] (1 if that is unavailable).
+#[must_use]
+pub fn default_threads() -> usize {
+    let configured = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// A fixed-width pool of scoped worker threads for independent trials.
+///
+/// The pool is cheap to construct (threads are spawned per [`run`] call and
+/// joined before it returns, via [`std::thread::scope`]); its only state is
+/// the resolved worker count.
+///
+/// [`run`]: TrialPool::run
+#[derive(Debug, Clone, Copy)]
+pub struct TrialPool {
+    threads: usize,
+}
+
+impl TrialPool {
+    /// Creates a pool with the given worker count; `0` resolves to
+    /// [`default_threads`] at run time.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        TrialPool { threads }
+    }
+
+    /// The worker count this pool will use right now.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// Runs `run_trial(0), run_trial(1), …, run_trial(trials - 1)` and
+    /// returns the results indexed by trial.
+    ///
+    /// Trials are dispatched to workers dynamically (an atomic cursor), so
+    /// uneven trial costs balance automatically; results travel back over a
+    /// channel tagged with their trial index and are slotted into place.
+    /// The returned `Vec` is therefore identical to what a serial
+    /// `(0..trials).map(run_trial).collect()` produces, regardless of the
+    /// worker count or scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `run_trial` on any worker.
+    pub fn run<T, F>(&self, trials: usize, run_trial: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if trials == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads().min(trials);
+        if workers <= 1 {
+            return (0..trials).map(run_trial).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+        let (tx, rx) = channel::unbounded::<(usize, T)>();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let run_trial = &run_trial;
+                scope.spawn(move || loop {
+                    let trial = next.fetch_add(1, Ordering::Relaxed);
+                    if trial >= trials {
+                        break;
+                    }
+                    let value = run_trial(trial);
+                    if tx.send((trial, value)).is_err() {
+                        break;
+                    }
+                });
+            }
+            // Drop the main handle so the channel disconnects once every
+            // worker is done (including workers that panicked, whose
+            // clones drop during unwinding — the scope re-raises the panic
+            // after this loop drains).
+            drop(tx);
+            while let Ok((trial, value)) = rx.recv() {
+                slots[trial] = Some(value);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every trial index is dispatched exactly once"))
+            .collect()
+    }
+}
+
+impl Default for TrialPool {
+    fn default() -> Self {
+        TrialPool::new(0)
+    }
+}
+
+/// Runs `trials` independent trials on the default pool (the `--threads`
+/// process default, or available parallelism), returning results indexed by
+/// trial. See [`TrialPool::run`] for the determinism guarantee.
+pub fn run_trials<T, F>(trials: usize, run_trial: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    TrialPool::default().run(trials, run_trial)
+}
+
+/// Extracts `--threads N` from a raw argument list, applies it via
+/// [`set_default_threads`], and returns the remaining (positional)
+/// arguments. Used by the experiment binaries, whose other arguments are
+/// positional.
+///
+/// A malformed or missing count is ignored (the flag is dropped, the
+/// default stays untouched).
+pub fn apply_threads_flag<I: IntoIterator<Item = String>>(args: I) -> Vec<String> {
+    let mut positional = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            if let Some(threads) = args.next().and_then(|v| v.parse().ok()) {
+                set_default_threads(threads);
+            }
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            if let Ok(threads) = value.parse() {
+                set_default_threads(threads);
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    positional
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_indexed_by_trial() {
+        for threads in [1, 2, 4, 9] {
+            let out = TrialPool::new(threads).run(25, |t| t * t);
+            assert_eq!(out, (0..25).map(|t| t * t).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_trials_yields_empty() {
+        let out: Vec<u8> = TrialPool::new(4).run(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_float_fold_matches_serial() {
+        // The contract the harness relies on: summing the returned Vec in
+        // order reproduces the serial accumulation bit for bit.
+        let f = |t: usize| 1.0_f64 / (t as f64 + 1.7);
+        let serial: f64 = (0..1000).map(f).sum();
+        let parallel: f64 = TrialPool::new(8).run(1000, f).into_iter().sum();
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn more_workers_than_trials_is_fine() {
+        let out = TrialPool::new(64).run(3, |t| t + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn threads_flag_is_stripped_from_args() {
+        let args = ["12", "--threads", "3", "99"].map(String::from);
+        assert_eq!(apply_threads_flag(args), vec!["12", "99"]);
+        let args = ["--threads=2", "7"].map(String::from);
+        assert_eq!(apply_threads_flag(args), vec!["7"]);
+        // Malformed counts are dropped without panicking.
+        let args = ["--threads", "nope"].map(String::from);
+        assert!(apply_threads_flag(args).is_empty());
+        set_default_threads(0);
+    }
+
+    #[test]
+    fn uneven_trial_costs_still_order_results() {
+        // Later trials finish first; slotting by index must reorder them.
+        let out = TrialPool::new(4).run(12, |t| {
+            std::thread::sleep(std::time::Duration::from_millis((12 - t as u64) % 4));
+            t
+        });
+        assert_eq!(out, (0..12).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env sh
+# Times the figure-regeneration pipeline serially (--threads 1) and with
+# the default worker count, and writes the comparison to
+# BENCH_experiments.json at the repo root.
+#
+#   scripts/bench_trajectory.sh [trials] [seed]
+#
+# Defaults: trials=40, seed=0x5EED (20333). The run also asserts the
+# tentpole guarantee: both runs must produce byte-identical output.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+TRIALS=${1:-40}
+SEED=${2:-24301}
+BIN="$REPO_ROOT/target/release/all_figures"
+OUT="$REPO_ROOT/BENCH_experiments.json"
+
+command -v cargo >/dev/null 2>&1 && cargo build --release -p privtopk-experiments --bin all_figures
+[ -x "$BIN" ] || { echo "error: $BIN not built" >&2; exit 1; }
+
+if command -v nproc >/dev/null 2>&1; then
+    CORES=$(nproc)
+else
+    CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+fi
+
+# Millisecond wall clock without GNU date extensions.
+now_ms() {
+    awk 'BEGIN { srand(); printf "%d\n", srand() * 1000 }' 2>/dev/null
+}
+# awk srand() only has second resolution on some platforms; prefer date +%s%N.
+if date +%s%N | grep -qv N; then
+    now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+fi
+
+run_case() {
+    # $1 = label, $2 = extra args; echoes elapsed ms, output lands in a
+    # per-case scratch dir so the results/ CSVs can be compared.
+    dir=$(mktemp -d)
+    start=$(now_ms)
+    ( cd "$dir" && "$BIN" "$TRIALS" "$SEED" $2 > stdout.txt )
+    end=$(now_ms)
+    echo "$dir $((end - start))"
+}
+
+echo "benchmarking all_figures: trials=$TRIALS seed=$SEED cores=$CORES"
+
+echo "  serial (--threads 1) ..."
+set -- $(run_case serial "--threads 1")
+SERIAL_DIR=$1 SERIAL_MS=$2
+echo "    ${SERIAL_MS} ms"
+
+echo "  parallel (default threads) ..."
+set -- $(run_case parallel "")
+PAR_DIR=$1 PAR_MS=$2
+echo "    ${PAR_MS} ms"
+
+if diff -r "$SERIAL_DIR" "$PAR_DIR" >/dev/null; then
+    IDENTICAL=true
+    echo "  outputs byte-identical: yes"
+else
+    IDENTICAL=false
+    echo "  outputs byte-identical: NO — determinism guarantee violated" >&2
+fi
+rm -rf "$SERIAL_DIR" "$PAR_DIR"
+
+[ "$PAR_MS" -gt 0 ] || PAR_MS=1
+SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $SERIAL_MS / $PAR_MS }")
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "all_figures trial-executor trajectory",
+  "command": "all_figures $TRIALS $SEED",
+  "trials_per_point": $TRIALS,
+  "seed": $SEED,
+  "cores": $CORES,
+  "serial_ms": $SERIAL_MS,
+  "parallel_ms": $PAR_MS,
+  "speedup": $SPEEDUP,
+  "outputs_byte_identical": $IDENTICAL
+}
+EOF
+echo "wrote $OUT (speedup ${SPEEDUP}x on $CORES cores)"
+[ "$IDENTICAL" = true ]

@@ -25,9 +25,7 @@ fn build(
     .with_rounds(RoundPolicy::Fixed(rounds));
     let locals: Vec<TopKVector> = values
         .iter()
-        .map(|vs| {
-            TopKVector::from_values(k, vs.iter().copied().map(Value::new), &domain).unwrap()
-        })
+        .map(|vs| TopKVector::from_values(k, vs.iter().copied().map(Value::new), &domain).unwrap())
         .collect();
     let t = SimulationEngine::new(config.clone())
         .run(&locals, seed)

@@ -1,0 +1,279 @@
+//! Unbounded MPMC channel with the `crossbeam::channel` surface used by
+//! this workspace: `unbounded`, `Sender`, `Receiver`, timeouts, and
+//! disconnect detection via sender/receiver reference counts.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn disconnected(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// The wait expired with no message.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => write!(f, "channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// The sending half; cloneable and shareable across threads.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, waking one blocked receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back if every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(SendError(msg));
+        }
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        queue.push_back(msg);
+        drop(queue);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake all receivers so they observe the
+            // disconnect instead of blocking forever.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+/// The receiving half; cloneable and shareable across threads.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] if the channel is empty and disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel mutex is poisoned (a sender panicked mid-send).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                return Ok(msg);
+            }
+            if self.shared.disconnected() {
+                return Err(RecvError);
+            }
+            queue = self.shared.ready.wait(queue).expect("channel lock");
+        }
+    }
+
+    /// Like [`Receiver::recv`] but gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError::Timeout`] on expiry, or
+    /// [`RecvTimeoutError::Disconnected`] if the channel is empty and
+    /// every sender is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel mutex is poisoned (a sender panicked mid-send).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                return Ok(msg);
+            }
+            if self.shared.disconnected() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, wait) = self
+                .shared
+                .ready
+                .wait_timeout(queue, remaining)
+                .expect("channel lock");
+            queue = guard;
+            if wait.timed_out() && queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Pops a message if one is already queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] when nothing is queued, or
+    /// [`TryRecvError::Disconnected`] if the channel is also disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel mutex is poisoned (a sender panicked mid-send).
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        match queue.pop_front() {
+            Some(msg) => Ok(msg),
+            None if self.shared.disconnected() => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Creates an unbounded channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn disconnect_wakes_receiver() {
+        let (tx, rx) = unbounded::<u8>();
+        let handle = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(42u64).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline, API-compatible subset of `crossbeam`.
+//!
+//! Only the `channel` module is provided — an unbounded MPMC channel over
+//! a mutex-guarded deque with condvar wakeups. Unlike `std::sync::mpsc`,
+//! both halves are `Sync` and cloneable, matching the crossbeam semantics
+//! the ring transport relies on (senders shared through an `Arc<Vec<_>>`).
+
+pub mod channel;

@@ -1,0 +1,292 @@
+//! The [`Strategy`] trait and combinators.
+//!
+//! A strategy here is simply a deterministic function of a [`TestRng`];
+//! there is no shrink tree.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::distributions::{Distribution, Standard};
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// Produces values of `Self::Value` for the `proptest!` harness.
+pub trait Strategy {
+    /// The type of value this strategy yields.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Feeds generated values into `f` to pick a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            generate: Box::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    generate: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy behind [`crate::any`]: samples the full value space.
+#[derive(Debug)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> Any<T> {
+    pub(crate) fn new() -> Self {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among type-erased strategies; built by `prop_oneof!`.
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Wraps the candidate strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + PartialOrd,
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + PartialOrd,
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String literals act as regex-shaped generators, like in real proptest.
+/// Supported subset: literal chars, `[..]` classes with ranges, and the
+/// `{n}` / `{lo,hi}` / `*` / `+` / `?` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            let class: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    while let Some(&next) = chars.peek() {
+                        if next == ']' {
+                            chars.next();
+                            break;
+                        }
+                        let lo = chars.next().expect("unterminated character class");
+                        if chars.peek() == Some(&'-') {
+                            let mut lookahead = chars.clone();
+                            lookahead.next(); // the '-'
+                            match lookahead.peek() {
+                                Some(&hi) if hi != ']' => {
+                                    chars = lookahead;
+                                    let hi = chars.next().expect("range end");
+                                    set.extend(lo..=hi);
+                                    continue;
+                                }
+                                _ => {}
+                            }
+                        }
+                        set.push(lo);
+                    }
+                    set
+                }
+                '\\' => vec![chars.next().expect("dangling escape")],
+                other => vec![other],
+            };
+            assert!(!class.is_empty(), "empty character class in pattern");
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("quantifier lower bound"),
+                            hi.trim().parse().expect("quantifier upper bound"),
+                        ),
+                        None => {
+                            let n: usize = spec.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            let count = rng.gen_range(lo..=hi);
+            for _ in 0..count {
+                out.push(class[rng.gen_range(0..class.len())]);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);

@@ -1,0 +1,121 @@
+//! Uniform sampling over ranges, backing [`crate::Rng::gen_range`].
+
+use crate::RngCore;
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                debug_assert!(span > 0, "empty range");
+                low.wrapping_add((rng.next_u64() % span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = ((high as $u).wrapping_sub(low as $u) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                // Unit sample in [0, 1), scaled; clamp guards the rare case
+                // where rounding lands exactly on `high`.
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                let v = low + (high - low) * unit;
+                if v >= high { low } else { v }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                let v = low + (high - low) * unit;
+                if v > high { high } else { v }
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+/// Range shapes accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    /// Whether the range contains no values.
+    fn is_empty(&self) -> bool;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+
+    fn is_empty(&self) -> bool {
+        !(self.start < self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+
+    fn is_empty(&self) -> bool {
+        !(self.start() <= self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn integer_half_open_hits_all_values() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn negative_integer_ranges() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..500 {
+            let x: i64 = rng.gen_range(-10i64..=-5);
+            assert!((-10..=-5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_inclusive_covers_extremes_region() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let x: f64 = rng.gen_range(0.25f64..=1.0);
+            assert!((0.25..=1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Derive macros for the vendored `serde` stub: emit empty marker impls.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote` in the offline
+//! dependency set). Supports plain (non-generic) structs and enums, which
+//! covers every derive site in this workspace; generic types would need
+//! the real `serde_derive`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum` item, ignoring
+/// attributes, visibility and doc comments.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows.
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    if let Some(TokenTree::Ident(name)) = tokens.next() {
+                        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                            assert!(
+                                p.as_char() != '<',
+                                "vendored serde_derive does not support generic type `{name}`"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    panic!("expected a type name after `{word}`");
+                }
+                // `pub`, `pub(crate)`, etc — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde derive: no struct or enum found in input");
+}
+
+/// Derives the `Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Derives the `Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
