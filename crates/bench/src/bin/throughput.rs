@@ -1,0 +1,165 @@
+//! Batched-executor throughput benchmark.
+//!
+//! Runs B ∈ {1, 8, 64, 256} homogeneous fixed-start queries over the
+//! in-memory network twice — once as B sequential solo
+//! `run_distributed` calls, once as a single `run_distributed_batch` —
+//! and reports queries/sec, the amortization factor, and the wire
+//! accounting (physical frames vs logical messages, per-frame bytes).
+//!
+//! The run *asserts* the correctness gates before reporting numbers:
+//! every batched transcript must be bit-identical to its solo run, and
+//! the mean batched frame at B = 64 must be smaller than 64 solo frames.
+//!
+//! Usage: `throughput [n] [rounds] [out.json]`
+//! Defaults: n = 6, rounds = 8, out = BENCH_throughput.json
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use privtopk_bench::bench_locals;
+use privtopk_core::distributed::{run_distributed, run_distributed_batch, NetworkKind};
+use privtopk_core::{derive_batch_seed, BatchJob, ProtocolConfig, RoundPolicy, StartPolicy};
+
+const BASE_SEED: u64 = 24301;
+const K: usize = 4;
+const WIDTHS: [usize; 4] = [1, 8, 64, 256];
+const REPS: u32 = 3;
+
+struct Point {
+    width: usize,
+    solo_ms: f64,
+    batch_ms: f64,
+    batch_qps: f64,
+    solo_qps: f64,
+    frames: u64,
+    logical: u64,
+    bytes: u64,
+    mean_frame_bytes: f64,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let rounds: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    let config = ProtocolConfig::topk(K)
+        .with_start(StartPolicy::Fixed)
+        .with_rounds(RoundPolicy::Fixed(rounds));
+    let locals = bench_locals(n, K, BASE_SEED);
+
+    eprintln!("throughput: n={n} k={K} rounds={rounds} reps={REPS} network=in-memory");
+
+    let mut points = Vec::with_capacity(WIDTHS.len());
+    for width in WIDTHS {
+        let jobs: Vec<BatchJob> = (0..width as u64)
+            .map(|i| {
+                BatchJob::new(
+                    config.clone(),
+                    locals.clone(),
+                    derive_batch_seed(BASE_SEED, i),
+                )
+            })
+            .collect();
+
+        // Correctness gate first: the batched transcripts must be
+        // bit-identical to the solo runs they claim to amortize.
+        let batch_out = run_distributed_batch(&jobs, NetworkKind::InMemory).expect("batch run");
+        assert_eq!(batch_out.groups, 1, "homogeneous batch must form one group");
+        for (i, job) in jobs.iter().enumerate() {
+            let solo = run_distributed(&job.config, &job.locals, NetworkKind::InMemory, job.seed)
+                .expect("solo run");
+            assert_eq!(
+                batch_out.transcripts[i], solo.transcript,
+                "B={width} query {i} diverged from its solo run"
+            );
+        }
+
+        // Timed passes: best of REPS for each path.
+        let mut batch_ms = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let out = run_distributed_batch(&jobs, NetworkKind::InMemory).expect("batch run");
+            batch_ms = batch_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(out);
+        }
+        let mut solo_ms = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            for job in &jobs {
+                let out =
+                    run_distributed(&job.config, &job.locals, NetworkKind::InMemory, job.seed)
+                        .expect("solo run");
+                std::hint::black_box(out);
+            }
+            solo_ms = solo_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+
+        let point = Point {
+            width,
+            solo_ms,
+            batch_ms,
+            batch_qps: width as f64 / (batch_ms / 1e3),
+            solo_qps: width as f64 / (solo_ms / 1e3),
+            frames: batch_out.frames_sent,
+            logical: batch_out.logical_messages,
+            bytes: batch_out.bytes_sent,
+            mean_frame_bytes: batch_out.bytes_sent as f64 / batch_out.frames_sent as f64,
+        };
+        eprintln!(
+            "  B={width:>3}: batch {batch_ms:>8.2} ms ({:>9.0} q/s)  solo {solo_ms:>8.2} ms ({:>9.0} q/s)  frames {} logical {}",
+            point.batch_qps, point.solo_qps, point.frames, point.logical
+        );
+        points.push(point);
+    }
+
+    // Per-hop byte gate: a B=64 frame must undercut 64 solo frames.
+    let b1 = points.iter().find(|p| p.width == 1).expect("B=1 point");
+    let b64 = points.iter().find(|p| p.width == 64).expect("B=64 point");
+    assert!(
+        b64.mean_frame_bytes < 64.0 * b1.mean_frame_bytes,
+        "batched frame ({:.1} B) must be smaller than 64 solo frames ({:.1} B)",
+        b64.mean_frame_bytes,
+        64.0 * b1.mean_frame_bytes
+    );
+    let amortization = (b1.batch_ms * 64.0) / b64.batch_ms;
+    eprintln!("  B=64 amortization vs 64 x B=1 batches: {amortization:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"batched multi-query ring executor throughput\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"n\": {n}, \"k\": {K}, \"rounds\": {rounds}, \"network\": \"in-memory\", \"start\": \"fixed\", \"seed\": {BASE_SEED}, \"reps\": {REPS}}},"
+    );
+    let _ = writeln!(json, "  \"amortization_b64_vs_b1\": {amortization:.3},");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"batch_width\": {}, \"batch_ms\": {:.3}, \"batch_queries_per_sec\": {:.1}, \"sequential_ms\": {:.3}, \"sequential_queries_per_sec\": {:.1}, \"speedup_vs_sequential\": {:.3}, \"frames_sent\": {}, \"logical_messages\": {}, \"bytes_sent\": {}, \"mean_frame_bytes\": {:.1}}}{}",
+            p.width,
+            p.batch_ms,
+            p.batch_qps,
+            p.solo_ms,
+            p.solo_qps,
+            p.batch_qps / p.solo_qps,
+            p.frames,
+            p.logical,
+            p.bytes,
+            p.mean_frame_bytes,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"transcripts_identical_to_solo\": true");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("wrote {out_path}");
+}

@@ -153,8 +153,8 @@ pub fn usage() -> String {
      USAGE:\n\
      privtopk query   [--kind max|min|topk|bottomk|kth] [--k K] [--attribute NAME]\n\
      \u{20}                [--csv-dir DIR | --nodes N --rows R --dist uniform|normal|zipf]\n\
-     \u{20}                [--epsilon E] [--seed S]\n\
-     privtopk audit   (same flags; also prints the privacy audit)\n\
+     \u{20}                [--epsilon E] [--seed S] [--batch B]\n\
+     privtopk audit   (same flags except --batch; also prints the privacy audit)\n\
      privtopk analyze [--p0 P] [--d D] [--epsilon E] [--rounds R]\n\
      privtopk knn     --query X,Y[,...] [--k K] [--csv-dir DIR | --nodes N]\n\
      \u{20}                (CSV: feature columns + a `label` column)\n\
@@ -165,7 +165,10 @@ pub fn usage() -> String {
      identical for any value, only wall-clock time changes).\n\
      \n\
      query over CSV: --csv-dir must contain one <name>.csv per participant\n\
-     (header row with column names; integer cells).\n"
+     (header row with column names; integer cells).\n\
+     \n\
+     --batch B runs B copies of the query as one batched ring execution\n\
+     (per-query seeds derived from --seed; results match B solo runs).\n"
         .to_string()
 }
 

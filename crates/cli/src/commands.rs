@@ -6,7 +6,7 @@ use std::path::Path;
 use privtopk_analysis::{correctness, efficiency, privacy_bounds, RandomizationParams};
 use privtopk_datagen::{DataDistribution, DatasetBuilder, PrivateDatabase};
 use privtopk_domain::{NodeId, TopKVector, ValueDomain};
-use privtopk_federation::{Federation, QueryKind, QuerySpec};
+use privtopk_federation::{Federation, QueryBatch, QueryKind, QuerySpec};
 use privtopk_knn::{centralized_knn, KnnConfig, LabeledPoint, PrivateKnnClassifier};
 use privtopk_privacy::{LopAccumulator, SuccessorAdversary};
 
@@ -240,6 +240,36 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
         QueryKind::KthLargest(rank) => QuerySpec::kth_largest(&attribute, rank),
     }
     .with_epsilon(epsilon);
+
+    let batch_width: usize = args.parse_or("batch", 1)?;
+    if batch_width == 0 {
+        return Err(CliError::Execution("--batch must be at least 1".into()));
+    }
+    if batch_width > 1 {
+        if audit {
+            return Err(CliError::Execution(
+                "audit does not support --batch; audit queries one at a time".into(),
+            ));
+        }
+        let batch = QueryBatch::from_specs(vec![spec; batch_width], seed);
+        let outcomes = federation
+            .execute_batch(&batch)
+            .map_err(|e| CliError::Execution(e.to_string()))?;
+        let mut text = format!(
+            "\nbatched query: {batch_width} x {kind:?} over `{attribute}` (epsilon {epsilon}), one ring execution\n"
+        );
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let rendered: Vec<String> = outcome.values().iter().map(ToString::to_string).collect();
+            text.push_str(&format!(
+                "query#{i} result: [{}] rounds: {} messages: {}\n",
+                rendered.join(", "),
+                outcome.rounds(),
+                outcome.messages(),
+            ));
+        }
+        return write_out(out, &text);
+    }
+
     let outcome = federation
         .execute(&spec, seed)
         .map_err(|e| CliError::Execution(e.to_string()))?;
@@ -413,6 +443,45 @@ mod tests {
         .unwrap();
         assert!(out.contains("-> label 0"), "output: {out}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_query_prints_per_query_results() {
+        let out = run_to_string(&[
+            "query", "--kind", "topk", "--k", "2", "--nodes", "4", "--batch", "4",
+        ])
+        .unwrap();
+        assert!(out.contains("batched query: 4 x"), "output: {out}");
+        for i in 0..4 {
+            assert!(
+                out.contains(&format!("query#{i} result: [")),
+                "output: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_of_one_keeps_solo_output_format() {
+        // --batch 1 must take the unmodified single-query path.
+        let solo = run_to_string(&["query", "--kind", "max", "--nodes", "4"]).unwrap();
+        let one =
+            run_to_string(&["query", "--kind", "max", "--nodes", "4", "--batch", "1"]).unwrap();
+        assert_eq!(solo, one);
+        assert!(one.contains("result: ["));
+        assert!(!one.contains("batched"));
+    }
+
+    #[test]
+    fn batch_of_zero_is_rejected() {
+        let err = run_to_string(&["query", "--kind", "max", "--nodes", "4", "--batch", "0"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--batch must be at least 1"), "error: {err}");
+    }
+
+    #[test]
+    fn audit_refuses_batch() {
+        assert!(run_to_string(&["audit", "--kind", "max", "--batch", "2"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Batched query jobs: B independent protocol executions that share ring
+//! traversals.
+//!
+//! Batching is a *transport* optimization only. Every job carries its own
+//! seed, so its RNG streams — topology, per-node randomization — are
+//! exactly those of a solo run with that seed. The drivers
+//! ([`crate::run_simulated_batch`] and
+//! [`crate::distributed::run_distributed_batch`]) are required to produce,
+//! for each job, a transcript bit-identical to running it alone; that
+//! equivalence is the acceptance gate enforced by the test suite.
+
+use privtopk_domain::rng::derive_seed;
+use privtopk_domain::TopKVector;
+
+use crate::messages::MAX_BATCH_ENTRIES;
+use crate::{ProtocolConfig, ProtocolError};
+
+/// Stream tag under which per-query batch seeds hang off the caller's base
+/// seed.
+const STREAM_BATCH_QUERY: u64 = 0x40;
+
+/// Derives the seed for query `query_idx` of a batch rooted at `base`.
+///
+/// Defined once here so every layer (federation, CLI, benchmarks, tests)
+/// agrees on which solo run a batched query must match.
+#[must_use]
+pub fn derive_batch_seed(base: u64, query_idx: u64) -> u64 {
+    derive_seed(derive_seed(base, STREAM_BATCH_QUERY), query_idx)
+}
+
+/// One query of a batch: a full protocol execution described by its
+/// configuration, per-node local vectors, and seed.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The protocol configuration for this query.
+    pub config: ProtocolConfig,
+    /// `locals[i]` is the local top-k vector of node `i`.
+    pub locals: Vec<TopKVector>,
+    /// The seed of the equivalent solo run.
+    pub seed: u64,
+}
+
+impl BatchJob {
+    /// Bundles a job.
+    #[must_use]
+    pub fn new(config: ProtocolConfig, locals: Vec<TopKVector>, seed: u64) -> Self {
+        BatchJob {
+            config,
+            locals,
+            seed,
+        }
+    }
+}
+
+/// Shared structural validation for batch drivers: non-empty, under the
+/// wire entry cap.
+pub(crate) fn validate_batch_shape(jobs: &[BatchJob]) -> Result<(), ProtocolError> {
+    if jobs.is_empty() {
+        return Err(ProtocolError::InvalidBatch {
+            reason: "batch contains no queries",
+        });
+    }
+    if jobs.len() > MAX_BATCH_ENTRIES {
+        return Err(ProtocolError::InvalidBatch {
+            reason: "batch exceeds the wire entry cap",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtopk_domain::{Value, ValueDomain};
+
+    #[test]
+    fn batch_seeds_are_distinct_and_stable() {
+        let a = derive_batch_seed(7, 0);
+        let b = derive_batch_seed(7, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_batch_seed(7, 0), "derivation is pure");
+        // Distinct from the raw base: batching never reuses the caller's
+        // seed for query 0 of a different-size batch differently.
+        assert_ne!(a, 7);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(matches!(
+            validate_batch_shape(&[]),
+            Err(ProtocolError::InvalidBatch { .. })
+        ));
+        let domain = ValueDomain::paper_default();
+        let local = TopKVector::from_values(1, [Value::new(1)], &domain).unwrap();
+        let job = BatchJob::new(ProtocolConfig::max(), vec![local; 3], 0);
+        assert!(validate_batch_shape(std::slice::from_ref(&job)).is_ok());
+    }
+}

@@ -17,9 +17,12 @@ use privtopk_ring::faults::{FaultyEndpoint, ReliableEndpoint};
 use privtopk_ring::transport::{send_value, InMemoryNetwork, TcpNetwork, Transport};
 use privtopk_ring::{RingError, RingTopology, TransportMetrics};
 
+use privtopk_ring::transport::send_value_many;
+
 use crate::local::{max_step, topk_step};
 use crate::{
-    AlgorithmKind, ProtocolConfig, ProtocolError, StartPolicy, StepRecord, TokenMessage, Transcript,
+    AlgorithmKind, BatchJob, BatchMessage, ProtocolConfig, ProtocolError, StartPolicy, StepRecord,
+    TokenMessage, Transcript,
 };
 
 /// Seed stream tags — shared with the simulation engine so both drivers
@@ -178,55 +181,8 @@ pub(crate) fn run_once(
         .map_err(|e| fail(e.into()))?,
     );
 
-    let (endpoints, metrics): (Vec<Box<dyn Transport>>, TransportMetrics) = match network {
-        NetworkKind::InMemory => {
-            let net = InMemoryNetwork::new(n);
-            let metrics = net.metrics();
-            (
-                net.endpoints()
-                    .into_iter()
-                    .map(|e| Box::new(e) as Box<dyn Transport>)
-                    .collect(),
-                metrics,
-            )
-        }
-        NetworkKind::Tcp => {
-            let net = TcpNetwork::bind(n).map_err(|e| fail(e.into()))?;
-            let metrics = net.metrics();
-            (
-                net.endpoints()
-                    .map_err(|e| fail(e.into()))?
-                    .into_iter()
-                    .map(|e| Box::new(e) as Box<dyn Transport>)
-                    .collect(),
-                metrics,
-            )
-        }
-        NetworkKind::LossyInMemory { drop_probability } => {
-            let net = InMemoryNetwork::new(n);
-            let metrics = net.metrics();
-            (
-                net.endpoints()
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, e)| {
-                        let faulty =
-                            FaultyEndpoint::new(e, drop_probability, seed ^ (i as u64) << 8);
-                        Box::new(ReliableEndpoint::new(faulty)) as Box<dyn Transport>
-                    })
-                    .collect(),
-                metrics,
-            )
-        }
-    };
-
-    // Lossy transports need a shutdown drain: a finished worker keeps
-    // re-acknowledging retransmissions for a grace window so a peer whose
-    // ACK was dropped does not retry into a closed endpoint.
-    let drain_on_exit = match network {
-        NetworkKind::LossyInMemory { .. } => Some(Duration::from_secs(1)),
-        _ => None,
-    };
+    let (endpoints, metrics) = build_endpoints(network, n, seed).map_err(fail)?;
+    let drain_on_exit = drain_window(network);
     let config = Arc::new(config.clone());
     let mut handles = Vec::with_capacity(n);
     for (i, endpoint) in endpoints.into_iter().enumerate() {
@@ -302,6 +258,268 @@ pub(crate) fn run_once(
         per_node_results,
         messages_sent: metrics.messages_sent(),
         bytes_sent: metrics.bytes_sent(),
+    })
+}
+
+/// Builds one endpoint per node over the requested substrate, plus the
+/// network's shared metrics.
+fn build_endpoints(
+    network: NetworkKind,
+    n: usize,
+    seed: u64,
+) -> Result<(Vec<Box<dyn Transport>>, TransportMetrics), ProtocolError> {
+    Ok(match network {
+        NetworkKind::InMemory => {
+            let net = InMemoryNetwork::new(n);
+            let metrics = net.metrics();
+            (
+                net.endpoints()
+                    .into_iter()
+                    .map(|e| Box::new(e) as Box<dyn Transport>)
+                    .collect(),
+                metrics,
+            )
+        }
+        NetworkKind::Tcp => {
+            let net = TcpNetwork::bind(n)?;
+            let metrics = net.metrics();
+            (
+                net.endpoints()?
+                    .into_iter()
+                    .map(|e| Box::new(e) as Box<dyn Transport>)
+                    .collect(),
+                metrics,
+            )
+        }
+        NetworkKind::LossyInMemory { drop_probability } => {
+            let net = InMemoryNetwork::new(n);
+            let metrics = net.metrics();
+            (
+                net.endpoints()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, e)| {
+                        let faulty =
+                            FaultyEndpoint::new(e, drop_probability, seed ^ (i as u64) << 8);
+                        Box::new(ReliableEndpoint::new(faulty)) as Box<dyn Transport>
+                    })
+                    .collect(),
+                metrics,
+            )
+        }
+    })
+}
+
+/// Lossy transports need a shutdown drain: a finished worker keeps
+/// re-acknowledging retransmissions for a grace window so a peer whose
+/// ACK was dropped does not retry into a closed endpoint.
+fn drain_window(network: NetworkKind) -> Option<Duration> {
+    match network {
+        NetworkKind::LossyInMemory { .. } => Some(Duration::from_secs(1)),
+        _ => None,
+    }
+}
+
+/// Result of a batched distributed execution: per-query outcomes plus
+/// frame-level wire accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedBatchOutcome {
+    /// One transcript per job, in job order; each is bit-identical to the
+    /// job's solo [`run_distributed`] transcript.
+    pub transcripts: Vec<Transcript>,
+    /// `per_node_results[q][i]` is what node `i` learned for query `q`.
+    pub per_node_results: Vec<Vec<TopKVector>>,
+    /// Physical frames sent across all batch groups.
+    pub frames_sent: u64,
+    /// Logical (per-query) messages carried by those frames; this is the
+    /// paper's cost-model quantity, summed over the batch.
+    pub logical_messages: u64,
+    /// Total payload bytes sent.
+    pub bytes_sent: u64,
+    /// Number of lock-step groups the batch was partitioned into (jobs
+    /// only share frames when they agree on ring order and round count).
+    pub groups: u32,
+}
+
+/// Runs B independent queries over one federation of `n` nodes, sharing
+/// ring traversals wherever the jobs agree on topology and round count.
+///
+/// Jobs are partitioned into lock-step groups keyed by (resolved rounds,
+/// ring order): within a group, one [`BatchMessage`] per hop piggybacks
+/// every member query's token, so per-hop framing, thread spawning and
+/// syscalls are amortized across the group. Jobs with
+/// [`StartPolicy::RandomAnonymous`] derive their ring order from their own
+/// seed (exactly as solo runs do), so they only coalesce when their orders
+/// happen to agree; fixed-start homogeneous batches — the serving-path
+/// case — always form a single group.
+///
+/// Each job's randomness is private to it, which makes every transcript
+/// bit-identical to the job's solo run — batching is observable only in
+/// wire accounting ([`DistributedBatchOutcome::frames_sent`] versus
+/// [`DistributedBatchOutcome::logical_messages`]).
+///
+/// # Errors
+///
+/// - [`ProtocolError::InvalidBatch`] if the batch is empty, exceeds the
+///   wire entry cap, or mixes node counts.
+/// - Per-job configuration errors, as for [`run_distributed`].
+/// - [`ProtocolError::Ring`] on transport failures or timeouts.
+pub fn run_distributed_batch(
+    jobs: &[BatchJob],
+    network: NetworkKind,
+) -> Result<DistributedBatchOutcome, ProtocolError> {
+    crate::batch::validate_batch_shape(jobs)?;
+    let n = jobs[0].locals.len();
+    for job in jobs {
+        if job.locals.len() != n {
+            return Err(ProtocolError::InvalidBatch {
+                reason: "batched jobs must share one federation (node count)",
+            });
+        }
+        job.config.validate(n)?;
+        for local in &job.locals {
+            if local.k() != job.config.k() {
+                return Err(ProtocolError::InconsistentK {
+                    expected: job.config.k(),
+                    got: local.k(),
+                });
+            }
+        }
+        if job.config.remap_each_round() {
+            return Err(ProtocolError::Ring(RingError::Decode {
+                reason: "per-round remapping is not supported by the distributed driver",
+            }));
+        }
+    }
+
+    // Resolve each job's rounds and ring order from its own seed — the
+    // same derivation as its solo run.
+    let mut prepared: Vec<(u32, Arc<RingTopology>)> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let rounds = job.config.resolve_rounds()?;
+        let spec = SeedSpec::new(job.seed);
+        let topology = match job.config.start() {
+            StartPolicy::Fixed => RingTopology::identity(n)?,
+            StartPolicy::RandomAnonymous => {
+                RingTopology::random(n, &mut spec.stream(STREAM_TOPOLOGY).rng())?
+            }
+        };
+        prepared.push((rounds, Arc::new(topology)));
+    }
+
+    // Partition into lock-step groups: same rounds, same ring order.
+    let mut groups: Vec<(u32, Arc<RingTopology>, Vec<usize>)> = Vec::new();
+    for (idx, (rounds, topology)) in prepared.iter().enumerate() {
+        match groups
+            .iter_mut()
+            .find(|(r, t, _)| r == rounds && t.order() == topology.order())
+        {
+            Some((_, _, members)) => members.push(idx),
+            None => groups.push((*rounds, Arc::clone(topology), vec![idx])),
+        }
+    }
+
+    let configs: Vec<Arc<ProtocolConfig>> =
+        jobs.iter().map(|j| Arc::new(j.config.clone())).collect();
+    let mut transcripts: Vec<Option<Transcript>> = vec![None; jobs.len()];
+    let mut per_node_results: Vec<Vec<TopKVector>> = vec![Vec::new(); jobs.len()];
+    let (mut frames_sent, mut logical_messages, mut bytes_sent) = (0u64, 0u64, 0u64);
+
+    for (rounds, topology, members) in &groups {
+        let (endpoints, metrics) = build_endpoints(network, n, jobs[members[0]].seed)?;
+        let drain_on_exit = drain_window(network);
+        let mut handles = Vec::with_capacity(n);
+        for (i, endpoint) in endpoints.into_iter().enumerate() {
+            let worker_jobs: Vec<BatchWorkerJob> = members
+                .iter()
+                .map(|&j| BatchWorkerJob {
+                    config: Arc::clone(&configs[j]),
+                    local: jobs[j].locals[i].clone(),
+                    rng: SeedSpec::new(jobs[j].seed)
+                        .stream(STREAM_NODE)
+                        .stream(i as u64)
+                        .rng(),
+                    has_inserted: false,
+                    steps: Vec::with_capacity(*rounds as usize),
+                })
+                .collect();
+            let topology = Arc::clone(topology);
+            let rounds = *rounds;
+            handles.push(std::thread::spawn(move || {
+                batch_worker(
+                    NodeId::new(i),
+                    worker_jobs,
+                    endpoint,
+                    &topology,
+                    rounds,
+                    drain_on_exit,
+                    RECV_TIMEOUT,
+                )
+            }));
+        }
+
+        let mut reports: Vec<BatchWorkerReport> = Vec::with_capacity(n);
+        let mut first_error: Option<ProtocolError> = None;
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok(report)) => reports.push(report),
+                Ok(Err(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Err(_) => {
+                    if first_error.is_none() {
+                        first_error = Some(ProtocolError::WorkerFailed { position: i });
+                    }
+                }
+            }
+        }
+        if let Some(error) = first_error {
+            return Err(error);
+        }
+        reports.sort_by_key(|r| r.node.get());
+
+        // Reassemble each member query's transcript from the per-node,
+        // per-job step logs.
+        let mut steps_by_job: Vec<Vec<StepRecord>> = vec![Vec::new(); members.len()];
+        let mut results_by_job: Vec<Vec<TopKVector>> = vec![Vec::new(); members.len()];
+        for report in reports {
+            for (slot, (steps, result)) in report.jobs.into_iter().enumerate() {
+                steps_by_job[slot].extend(steps);
+                results_by_job[slot].push(result);
+            }
+        }
+        for (slot, &job_idx) in members.iter().enumerate() {
+            let mut steps = std::mem::take(&mut steps_by_job[slot]);
+            steps.sort_by_key(|s| (s.round, s.position.get()));
+            let results = std::mem::take(&mut results_by_job[slot]);
+            let result = results[0].clone();
+            transcripts[job_idx] = Some(Transcript::new(
+                n,
+                jobs[job_idx].config.k(),
+                *rounds,
+                vec![topology.order().to_vec()],
+                steps,
+                result,
+            ));
+            per_node_results[job_idx] = results;
+        }
+        frames_sent += metrics.frames_sent();
+        logical_messages += metrics.messages_sent();
+        bytes_sent += metrics.bytes_sent();
+    }
+
+    Ok(DistributedBatchOutcome {
+        transcripts: transcripts
+            .into_iter()
+            .map(|t| t.expect("every job belongs to exactly one group"))
+            .collect(),
+        per_node_results,
+        frames_sent,
+        logical_messages,
+        bytes_sent,
+        groups: groups.len() as u32,
     })
 }
 
@@ -578,6 +796,197 @@ fn recv_with_timeout(
     Ok((from, msg))
 }
 
+/// One query's worth of per-node state inside a batch worker.
+struct BatchWorkerJob {
+    config: Arc<ProtocolConfig>,
+    local: TopKVector,
+    rng: rand::rngs::SmallRng,
+    has_inserted: bool,
+    steps: Vec<StepRecord>,
+}
+
+/// What one node reports back for a batch group: per job (in group
+/// order), its step log and learned result.
+struct BatchWorkerReport {
+    node: NodeId,
+    jobs: Vec<(Vec<StepRecord>, TopKVector)>,
+}
+
+/// The batched counterpart of [`worker`]: runs the identical per-round
+/// protocol for every member job, but exchanges one [`BatchMessage`] per
+/// hop carrying all member tokens. Each job advances with its own RNG and
+/// `has_inserted` flag, so its step sequence is the one its solo worker
+/// would produce.
+fn batch_worker(
+    me: NodeId,
+    mut jobs: Vec<BatchWorkerJob>,
+    mut endpoint: Box<dyn Transport>,
+    topology: &RingTopology,
+    rounds: u32,
+    drain_on_exit: Option<Duration>,
+    recv_timeout: Duration,
+) -> Result<BatchWorkerReport, ProtocolError> {
+    let n = topology.len();
+    let width = jobs.len();
+    let logical = width as u64;
+    let position = topology.position_of(me)?;
+    let successor = topology.successor_of(me)?;
+    let predecessor = topology.predecessor_of(me)?;
+
+    let recv_batch = |endpoint: &mut Box<dyn Transport>,
+                      expect_round: u32|
+     -> Result<Vec<TopKVector>, ProtocolError> {
+        let (from, frame) = endpoint.recv_timeout(recv_timeout)?;
+        let msg: BatchMessage = privtopk_ring::wire::decode_from_bytes(&frame)?;
+        endpoint.pool().recycle(frame);
+        match msg {
+            BatchMessage::Tokens { round, vectors } if round == expect_round => {
+                debug_assert_eq!(from, predecessor, "tokens must come from predecessor");
+                if vectors.len() != width {
+                    return Err(ProtocolError::Ring(RingError::Decode {
+                        reason: "batch width changed mid-flight",
+                    }));
+                }
+                Ok(vectors)
+            }
+            BatchMessage::Tokens { .. } => Err(ProtocolError::Ring(RingError::Decode {
+                reason: "unexpected round label",
+            })),
+            BatchMessage::Finished { .. } => Err(ProtocolError::Ring(RingError::Decode {
+                reason: "premature termination message",
+            })),
+        }
+    };
+
+    for round in 1..=rounds {
+        let incomings: Vec<TopKVector> = if round == 1 && position.is_start() {
+            jobs.iter()
+                .map(|j| TopKVector::floor(j.config.k(), &j.config.domain()))
+                .collect()
+        } else {
+            // Position 0 consumes the previous round's closing tokens.
+            let expect = if position.is_start() {
+                round - 1
+            } else {
+                round
+            };
+            recv_batch(&mut endpoint, expect)?
+        };
+        let mut outgoing_vectors = Vec::with_capacity(width);
+        for (job, incoming) in jobs.iter_mut().zip(incomings) {
+            let domain = job.config.domain();
+            let probability = job.config.schedule().probability(round);
+            let (outgoing, action) = match job.config.algorithm() {
+                AlgorithmKind::Max => {
+                    let step = max_step(
+                        &mut job.rng,
+                        probability,
+                        incoming.first(),
+                        job.local.first(),
+                        &domain,
+                    )?;
+                    (TopKVector::from_sorted(vec![step.output])?, step.action)
+                }
+                AlgorithmKind::TopK => {
+                    let step = topk_step(
+                        &mut job.rng,
+                        probability,
+                        &incoming,
+                        &job.local,
+                        job.has_inserted,
+                        job.config.delta(),
+                        &domain,
+                    )?;
+                    job.has_inserted = step.has_inserted;
+                    (step.output, step.action)
+                }
+            };
+            job.steps.push(StepRecord {
+                round,
+                position,
+                node: me,
+                incoming,
+                outgoing: outgoing.clone(),
+                action,
+            });
+            outgoing_vectors.push(outgoing);
+        }
+        send_value_many(
+            endpoint.as_mut(),
+            successor,
+            &BatchMessage::Tokens {
+                round,
+                vectors: outgoing_vectors,
+            },
+            logical,
+        )?;
+    }
+
+    // Termination mirrors the solo worker: the starting node collects the
+    // final closing tokens and circulates them once around the ring.
+    let results: Vec<TopKVector> = if position.is_start() {
+        let results = recv_batch(&mut endpoint, rounds)?;
+        send_value_many(
+            endpoint.as_mut(),
+            successor,
+            &BatchMessage::Finished {
+                vectors: results.clone(),
+            },
+            logical,
+        )?;
+        results
+    } else {
+        let (_, frame) = endpoint.recv_timeout(recv_timeout)?;
+        let msg: BatchMessage = privtopk_ring::wire::decode_from_bytes(&frame)?;
+        endpoint.pool().recycle(frame);
+        let BatchMessage::Finished { vectors } = msg else {
+            return Err(ProtocolError::Ring(RingError::Decode {
+                reason: "expected termination message",
+            }));
+        };
+        if vectors.len() != width {
+            return Err(ProtocolError::Ring(RingError::Decode {
+                reason: "batch width changed mid-flight",
+            }));
+        }
+        if position.get() + 1 < n {
+            send_value_many(
+                endpoint.as_mut(),
+                successor,
+                &BatchMessage::Finished {
+                    vectors: vectors.clone(),
+                },
+                logical,
+            )?;
+        }
+        vectors
+    };
+
+    if let Some(window) = drain_on_exit {
+        let deadline = std::time::Instant::now() + window;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match endpoint.recv_timeout(remaining) {
+                Ok(_) => {}
+                Err(RingError::Timeout) | Err(RingError::Disconnected) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    Ok(BatchWorkerReport {
+        node: me,
+        jobs: jobs
+            .into_iter()
+            .zip(results)
+            .map(|(job, result)| (job.steps, result))
+            .collect(),
+    })
+}
+
 // Keep the unused import warning away when building without debug
 // assertions (predecessor is only read in a debug_assert).
 #[allow(dead_code)]
@@ -794,5 +1203,119 @@ mod tests {
             run_distributed(&config, &locals, NetworkKind::InMemory, 0),
             Err(ProtocolError::TooFewNodes { .. })
         ));
+    }
+
+    #[test]
+    fn batch_of_one_matches_solo_run_exactly() {
+        let config = ProtocolConfig::topk(2).with_rounds(RoundPolicy::Fixed(5));
+        let locals = locals_k(2, &[&[900, 100], &[800, 50], &[700, 25], &[600, 10]]);
+        let solo = run_distributed(&config, &locals, NetworkKind::InMemory, 31).unwrap();
+        let batch =
+            run_distributed_batch(&[BatchJob::new(config, locals, 31)], NetworkKind::InMemory)
+                .unwrap();
+        assert_eq!(batch.groups, 1);
+        assert_eq!(batch.transcripts[0], solo.transcript);
+        assert_eq!(batch.per_node_results[0], solo.per_node_results);
+        // A batch of one sends exactly the solo frame count, one logical
+        // message per frame.
+        assert_eq!(batch.frames_sent, solo.messages_sent);
+        assert_eq!(batch.logical_messages, solo.messages_sent);
+    }
+
+    #[test]
+    fn heterogeneous_batch_matches_each_solo_run() {
+        // Eight jobs mixing algorithms, round counts and seeds; the
+        // RandomAnonymous start policy derives a different ring order per
+        // seed, so this exercises multi-group partitioning.
+        let max_locals = locals_k(1, &[&[300], &[100], &[900], &[500]]);
+        let topk_locals = locals_k(2, &[&[900, 400], &[850, 300], &[700, 650], &[20, 15]]);
+        let jobs: Vec<BatchJob> = (0..8u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    BatchJob::new(
+                        ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(5)),
+                        max_locals.clone(),
+                        100 + i,
+                    )
+                } else {
+                    BatchJob::new(
+                        ProtocolConfig::topk(2).with_rounds(RoundPolicy::Fixed(7)),
+                        topk_locals.clone(),
+                        200 + i,
+                    )
+                }
+            })
+            .collect();
+        let batch = run_distributed_batch(&jobs, NetworkKind::InMemory).unwrap();
+        assert!(batch.groups > 1, "mixed rounds must split into groups");
+        for (i, job) in jobs.iter().enumerate() {
+            let solo =
+                run_distributed(&job.config, &job.locals, NetworkKind::InMemory, job.seed).unwrap();
+            assert_eq!(batch.transcripts[i], solo.transcript, "job {i}");
+            assert_eq!(batch.per_node_results[i], solo.per_node_results, "job {i}");
+        }
+    }
+
+    #[test]
+    fn fixed_start_batch_shares_frames_across_queries() {
+        // 64 homogeneous fixed-start queries form a single lock-step
+        // group: the frame count is that of ONE solo run, while logical
+        // messages scale with the batch width.
+        let config = ProtocolConfig::max()
+            .with_start(StartPolicy::Fixed)
+            .with_rounds(RoundPolicy::Fixed(4));
+        let locals = locals_k(1, &[&[1], &[2], &[3]]);
+        let jobs: Vec<BatchJob> = (0..64u64)
+            .map(|i| BatchJob::new(config.clone(), locals.clone(), 1000 + i))
+            .collect();
+        let batch = run_distributed_batch(&jobs, NetworkKind::InMemory).unwrap();
+        assert_eq!(batch.groups, 1);
+        let solo_frames = 3 * 4 + 2; // cost model: n*rounds + (n-1)
+        assert_eq!(batch.frames_sent, solo_frames);
+        assert_eq!(batch.logical_messages, 64 * solo_frames);
+        // Piggybacking beats 64 separate wires on bytes too: the shared
+        // per-frame envelope is paid once per hop.
+        let solo = run_distributed(&config, &locals, NetworkKind::InMemory, 1000).unwrap();
+        assert!(batch.bytes_sent < 64 * solo.bytes_sent);
+        // Spot-check determinism across the batch.
+        for i in [0usize, 31, 63] {
+            let solo =
+                run_distributed(&config, &locals, NetworkKind::InMemory, jobs[i].seed).unwrap();
+            assert_eq!(batch.transcripts[i], solo.transcript, "job {i}");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_mixed_node_counts() {
+        let config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3));
+        let jobs = vec![
+            BatchJob::new(config.clone(), locals_k(1, &[&[1], &[2], &[3]]), 1),
+            BatchJob::new(config, locals_k(1, &[&[1], &[2], &[3], &[4]]), 2),
+        ];
+        assert!(matches!(
+            run_distributed_batch(&jobs, NetworkKind::InMemory),
+            Err(ProtocolError::InvalidBatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_survives_lossy_network() {
+        let config = ProtocolConfig::topk(2)
+            .with_start(StartPolicy::Fixed)
+            .with_rounds(RoundPolicy::Fixed(4));
+        let locals = locals_k(2, &[&[900, 100], &[800, 50], &[700, 25]]);
+        let jobs: Vec<BatchJob> = (0..4u64)
+            .map(|i| BatchJob::new(config.clone(), locals.clone(), 40 + i))
+            .collect();
+        let clean = run_distributed_batch(&jobs, NetworkKind::InMemory).unwrap();
+        let lossy = run_distributed_batch(
+            &jobs,
+            NetworkKind::LossyInMemory {
+                drop_probability: 0.2,
+            },
+        )
+        .unwrap();
+        assert_eq!(clean.transcripts, lossy.transcripts);
+        assert!(lossy.frames_sent > clean.frames_sent);
     }
 }

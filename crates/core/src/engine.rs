@@ -6,7 +6,9 @@ use privtopk_domain::{TopKVector, Value};
 use privtopk_ring::RingTopology;
 
 use crate::local::{max_step, topk_step_scratch, TopkScratch};
-use crate::{AlgorithmKind, ProtocolConfig, ProtocolError, StartPolicy, StepRecord, Transcript};
+use crate::{
+    AlgorithmKind, BatchJob, ProtocolConfig, ProtocolError, StartPolicy, StepRecord, Transcript,
+};
 
 /// Seed stream tags.
 const STREAM_TOPOLOGY: u64 = 0x10;
@@ -63,104 +65,13 @@ impl SimulationEngine {
     /// - [`ProtocolError::InconsistentK`] if a local vector's `k` differs
     ///   from the configured `k`.
     pub fn run(&self, locals: &[TopKVector], seed: u64) -> Result<Transcript, ProtocolError> {
-        let n = locals.len();
-        self.config.validate(n)?;
-        for local in locals {
-            if local.k() != self.config.k() {
-                return Err(ProtocolError::InconsistentK {
-                    expected: self.config.k(),
-                    got: local.k(),
-                });
-            }
-        }
-        let rounds = self.config.resolve_rounds()?;
-        let spec = SeedSpec::new(seed);
-
-        let mut topology = match self.config.start() {
-            StartPolicy::Fixed => RingTopology::identity(n)?,
-            StartPolicy::RandomAnonymous => {
-                RingTopology::random(n, &mut spec.stream(STREAM_TOPOLOGY).rng())?
-            }
-        };
-        let mut remap_rng = spec.stream(STREAM_REMAP).rng();
-        let mut node_rngs: Vec<_> = (0..n)
-            .map(|i| spec.stream(STREAM_NODE).stream(i as u64).rng())
-            .collect();
-        let mut has_inserted = vec![false; n];
-
-        let domain = self.config.domain();
-        let k = self.config.k();
-        let mut global = TopKVector::floor(k, &domain);
-        let mut steps = Vec::with_capacity(n * rounds as usize);
-        let mut ring_orders: Vec<Vec<privtopk_domain::NodeId>> = vec![topology.order().to_vec()];
+        let mut state = SimJobState::prepare(&self.config, locals, seed)?;
         // Reused across all n × rounds hops so the merge never reallocates.
         let mut scratch = TopkScratch::new();
-
-        for round in 1..=rounds {
-            if round > 1 && self.config.remap_each_round() {
-                topology.remap(&mut remap_rng);
-                ring_orders.push(topology.order().to_vec());
-            }
-            let probability = self.config.schedule().probability(round);
-            for position in 0..n {
-                let node = topology.node_at(privtopk_domain::RingPosition::new(position))?;
-                let idx = node.get();
-                // `replaced` is the new global state when the step changed
-                // it; `None` forwards the current state unchanged. Keeping
-                // the distinction lets the common pass-on hop record the
-                // step with one clone instead of three.
-                let (replaced, action) = match self.config.algorithm() {
-                    AlgorithmKind::Max => {
-                        let step = max_step(
-                            &mut node_rngs[idx],
-                            probability,
-                            global.first(),
-                            locals[idx].first(),
-                            &domain,
-                        )?;
-                        if step.output == global.first() {
-                            (None, step.action)
-                        } else {
-                            (
-                                Some(TopKVector::from_sorted(vec![step.output])?),
-                                step.action,
-                            )
-                        }
-                    }
-                    AlgorithmKind::TopK => {
-                        let outcome = topk_step_scratch(
-                            &mut node_rngs[idx],
-                            probability,
-                            &global,
-                            &locals[idx],
-                            has_inserted[idx],
-                            self.config.delta(),
-                            &domain,
-                            &mut scratch,
-                        )?;
-                        has_inserted[idx] = outcome.has_inserted;
-                        (outcome.output, outcome.action)
-                    }
-                };
-                let (incoming, outgoing) = match replaced {
-                    Some(output) => {
-                        let incoming = std::mem::replace(&mut global, output);
-                        (incoming, global.clone())
-                    }
-                    None => (global.clone(), global.clone()),
-                };
-                steps.push(StepRecord {
-                    round,
-                    position: privtopk_domain::RingPosition::new(position),
-                    node,
-                    incoming,
-                    outgoing,
-                    action,
-                });
-            }
+        for round in 1..=state.rounds {
+            state.advance_round(round, &mut scratch)?;
         }
-
-        Ok(Transcript::new(n, k, rounds, ring_orders, steps, global))
+        Ok(state.finish())
     }
 
     /// Convenience for `k = 1` protocols: one scalar per node.
@@ -177,6 +88,190 @@ impl SimulationEngine {
             .collect::<Result<Vec<_>, _>>()?;
         self.run(&locals, seed)
     }
+}
+
+/// The in-flight state of one simulated protocol execution, advanced one
+/// round at a time.
+///
+/// Both [`SimulationEngine::run`] and [`run_simulated_batch`] drive this
+/// same state machine, which is what makes a batched query's transcript
+/// bit-identical to its solo run: the per-round code path is literally the
+/// same, and all randomness is private to the job.
+struct SimJobState<'a> {
+    config: &'a ProtocolConfig,
+    locals: &'a [TopKVector],
+    n: usize,
+    rounds: u32,
+    topology: RingTopology,
+    remap_rng: rand::rngs::SmallRng,
+    node_rngs: Vec<rand::rngs::SmallRng>,
+    has_inserted: Vec<bool>,
+    global: TopKVector,
+    steps: Vec<StepRecord>,
+    ring_orders: Vec<Vec<privtopk_domain::NodeId>>,
+}
+
+impl<'a> SimJobState<'a> {
+    fn prepare(
+        config: &'a ProtocolConfig,
+        locals: &'a [TopKVector],
+        seed: u64,
+    ) -> Result<Self, ProtocolError> {
+        let n = locals.len();
+        config.validate(n)?;
+        for local in locals {
+            if local.k() != config.k() {
+                return Err(ProtocolError::InconsistentK {
+                    expected: config.k(),
+                    got: local.k(),
+                });
+            }
+        }
+        let rounds = config.resolve_rounds()?;
+        let spec = SeedSpec::new(seed);
+
+        let topology = match config.start() {
+            StartPolicy::Fixed => RingTopology::identity(n)?,
+            StartPolicy::RandomAnonymous => {
+                RingTopology::random(n, &mut spec.stream(STREAM_TOPOLOGY).rng())?
+            }
+        };
+        let remap_rng = spec.stream(STREAM_REMAP).rng();
+        let node_rngs: Vec<_> = (0..n)
+            .map(|i| spec.stream(STREAM_NODE).stream(i as u64).rng())
+            .collect();
+        let global = TopKVector::floor(config.k(), &config.domain());
+        let ring_orders = vec![topology.order().to_vec()];
+        Ok(SimJobState {
+            config,
+            locals,
+            n,
+            rounds,
+            topology,
+            remap_rng,
+            node_rngs,
+            has_inserted: vec![false; n],
+            global,
+            steps: Vec::with_capacity(n * rounds as usize),
+            ring_orders,
+        })
+    }
+
+    fn advance_round(
+        &mut self,
+        round: u32,
+        scratch: &mut TopkScratch,
+    ) -> Result<(), ProtocolError> {
+        if round > 1 && self.config.remap_each_round() {
+            self.topology.remap(&mut self.remap_rng);
+            self.ring_orders.push(self.topology.order().to_vec());
+        }
+        let domain = self.config.domain();
+        let probability = self.config.schedule().probability(round);
+        for position in 0..self.n {
+            let node = self
+                .topology
+                .node_at(privtopk_domain::RingPosition::new(position))?;
+            let idx = node.get();
+            // `replaced` is the new global state when the step changed
+            // it; `None` forwards the current state unchanged. Keeping
+            // the distinction lets the common pass-on hop record the
+            // step with one clone instead of three.
+            let (replaced, action) = match self.config.algorithm() {
+                AlgorithmKind::Max => {
+                    let step = max_step(
+                        &mut self.node_rngs[idx],
+                        probability,
+                        self.global.first(),
+                        self.locals[idx].first(),
+                        &domain,
+                    )?;
+                    if step.output == self.global.first() {
+                        (None, step.action)
+                    } else {
+                        (
+                            Some(TopKVector::from_sorted(vec![step.output])?),
+                            step.action,
+                        )
+                    }
+                }
+                AlgorithmKind::TopK => {
+                    let outcome = topk_step_scratch(
+                        &mut self.node_rngs[idx],
+                        probability,
+                        &self.global,
+                        &self.locals[idx],
+                        self.has_inserted[idx],
+                        self.config.delta(),
+                        &domain,
+                        scratch,
+                    )?;
+                    self.has_inserted[idx] = outcome.has_inserted;
+                    (outcome.output, outcome.action)
+                }
+            };
+            let (incoming, outgoing) = match replaced {
+                Some(output) => {
+                    let incoming = std::mem::replace(&mut self.global, output);
+                    (incoming, self.global.clone())
+                }
+                None => (self.global.clone(), self.global.clone()),
+            };
+            self.steps.push(StepRecord {
+                round,
+                position: privtopk_domain::RingPosition::new(position),
+                node,
+                incoming,
+                outgoing,
+                action,
+            });
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Transcript {
+        Transcript::new(
+            self.n,
+            self.config.k(),
+            self.rounds,
+            self.ring_orders,
+            self.steps,
+            self.global,
+        )
+    }
+}
+
+/// Runs B independent queries through the simulation engine with a single
+/// round-major sweep, returning one transcript per job (in job order).
+///
+/// Jobs may differ in configuration, node count, and round count; each
+/// advances through its own state with its own RNG streams, so transcript
+/// `i` is bit-identical to `SimulationEngine::new(jobs[i].config.clone())
+/// .run(&jobs[i].locals, jobs[i].seed)`. What batching buys here is shared
+/// scratch storage and a single cache-warm pass per round across all
+/// queries — the simulation analogue of the distributed driver's
+/// piggybacked frames.
+///
+/// # Errors
+///
+/// - [`ProtocolError::InvalidBatch`] for an empty or oversized batch.
+/// - Any per-job configuration error, as for [`SimulationEngine::run`].
+pub fn run_simulated_batch(jobs: &[BatchJob]) -> Result<Vec<Transcript>, ProtocolError> {
+    crate::batch::validate_batch_shape(jobs)?;
+    let mut states = jobs
+        .iter()
+        .map(|job| SimJobState::prepare(&job.config, &job.locals, job.seed))
+        .collect::<Result<Vec<_>, _>>()?;
+    let max_rounds = states.iter().map(|s| s.rounds).max().unwrap_or(0);
+    let mut scratch = TopkScratch::new();
+    for round in 1..=max_rounds {
+        for state in &mut states {
+            if round <= state.rounds {
+                state.advance_round(round, &mut scratch)?;
+            }
+        }
+    }
+    Ok(states.into_iter().map(SimJobState::finish).collect())
 }
 
 /// Ground truth for tests and experiments: the true global top-k over all
@@ -416,6 +511,43 @@ mod tests {
             .run_values(&[100, 100, 100].map(Value::new), 2)
             .unwrap();
         assert_eq!(t.result_value(), Value::new(100));
+    }
+
+    #[test]
+    fn simulated_batch_matches_solo_runs_exactly() {
+        // Heterogeneous batch: different algorithms, k, round counts, node
+        // counts and seeds — every transcript must equal its solo run.
+        let max_cfg = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(5));
+        let topk_cfg = ProtocolConfig::topk(2).with_rounds(RoundPolicy::Fixed(8));
+        let jobs = vec![
+            crate::BatchJob::new(
+                max_cfg.clone(),
+                locals_k(1, &[&[300], &[100], &[900], &[500]]),
+                11,
+            ),
+            crate::BatchJob::new(
+                topk_cfg.clone(),
+                locals_k(2, &[&[10, 20], &[90, 80], &[50, 60]]),
+                22,
+            ),
+            crate::BatchJob::new(max_cfg.clone(), locals_k(1, &[&[7], &[8], &[9]]), 33),
+        ];
+        let batched = run_simulated_batch(&jobs).unwrap();
+        assert_eq!(batched.len(), 3);
+        for (job, transcript) in jobs.iter().zip(&batched) {
+            let solo = SimulationEngine::new(job.config.clone())
+                .run(&job.locals, job.seed)
+                .unwrap();
+            assert_eq!(transcript, &solo);
+        }
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        assert!(matches!(
+            run_simulated_batch(&[]),
+            Err(ProtocolError::InvalidBatch { .. })
+        ));
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub enum ProtocolError {
     /// `delta` (the minimum randomization range of Algorithm 2) must be at
     /// least 1 so random tails never equal the real kth value.
     ZeroDelta,
+    /// A batch of queries was structurally unusable (empty, oversized, or
+    /// mixing incompatible jobs).
+    InvalidBatch {
+        /// What was wrong with the batch.
+        reason: &'static str,
+    },
     /// An underlying domain error.
     Domain(DomainError),
     /// A transport/topology error from the ring substrate.
@@ -82,6 +88,9 @@ impl fmt::Display for ProtocolError {
                 write!(f, "max protocol requires k = 1, got k = {got}")
             }
             ProtocolError::ZeroDelta => write!(f, "delta must be at least 1"),
+            ProtocolError::InvalidBatch { reason } => {
+                write!(f, "invalid query batch: {reason}")
+            }
             ProtocolError::Domain(e) => write!(f, "domain error: {e}"),
             ProtocolError::Ring(e) => write!(f, "ring error: {e}"),
             ProtocolError::WorkerFailed { position } => {
@@ -135,6 +144,9 @@ mod tests {
             },
             ProtocolError::MaxRequiresKOne { got: 4 },
             ProtocolError::ZeroDelta,
+            ProtocolError::InvalidBatch {
+                reason: "empty batch",
+            },
             ProtocolError::Domain(DomainError::ZeroK),
             ProtocolError::Ring(RingError::Disconnected),
             ProtocolError::WorkerFailed { position: 2 },

@@ -45,6 +45,7 @@
 
 pub mod adversarial;
 pub mod audit;
+mod batch;
 mod config;
 pub mod distributed;
 mod engine;
@@ -56,9 +57,10 @@ mod messages;
 mod schedule;
 mod transcript;
 
+pub use batch::{derive_batch_seed, BatchJob};
 pub use config::{AlgorithmKind, ProtocolConfig, RoundPolicy, StartPolicy};
-pub use engine::{true_topk, SimulationEngine};
+pub use engine::{run_simulated_batch, true_topk, SimulationEngine};
 pub use error::ProtocolError;
-pub use messages::TokenMessage;
+pub use messages::{BatchMessage, TokenMessage, MAX_BATCH_ENTRIES};
 pub use schedule::Schedule;
 pub use transcript::{StepRecord, Transcript};

@@ -1,6 +1,6 @@
 //! Wire messages exchanged by the distributed protocol drivers.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{BufMut, BytesMut};
 
 use privtopk_domain::TopKVector;
 use privtopk_ring::wire::{WireDecode, WireEncode};
@@ -27,6 +27,15 @@ pub enum TokenMessage {
 
 const TAG_TOKEN: u8 = 1;
 const TAG_FINISHED: u8 = 2;
+const TAG_BATCH_TOKENS: u8 = 3;
+const TAG_BATCH_FINISHED: u8 = 4;
+
+/// Hard cap on the number of piggybacked queries in one [`BatchMessage`].
+///
+/// Together with the per-vector `k` cap implied by the transport's maximum
+/// frame length, this bounds the allocation an adversarial length prefix
+/// can trigger during decode.
+pub const MAX_BATCH_ENTRIES: usize = 4096;
 
 impl WireEncode for TokenMessage {
     fn encode(&self, buf: &mut BytesMut) {
@@ -45,7 +54,7 @@ impl WireEncode for TokenMessage {
 }
 
 impl WireDecode for TokenMessage {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         let tag = u8::decode(buf)?;
         match tag {
             TAG_TOKEN => Ok(TokenMessage::Token {
@@ -62,9 +71,104 @@ impl WireDecode for TokenMessage {
     }
 }
 
+/// A batched ring message: the payloads of B independent queries
+/// piggybacked in one frame per hop.
+///
+/// Entry `i` is the exact vector query `i` of the batch group would have
+/// carried in its own [`TokenMessage`] at this hop; the `round` field is
+/// shared because a batch group advances in lock-step. This is what
+/// amortizes per-hop framing cost across the batch without perturbing any
+/// individual query's transcript.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchMessage {
+    /// Round `round` in flight for every query of the batch group.
+    Tokens {
+        /// 1-based round number, shared by the whole group.
+        round: u32,
+        /// Per-query global vectors, in batch-group order.
+        vectors: Vec<TopKVector>,
+    },
+    /// The termination circulation for the whole group.
+    Finished {
+        /// Per-query final vectors, in batch-group order.
+        vectors: Vec<TopKVector>,
+    },
+}
+
+impl BatchMessage {
+    /// Number of piggybacked queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            BatchMessage::Tokens { vectors, .. } | BatchMessage::Finished { vectors } => {
+                vectors.len()
+            }
+        }
+    }
+
+    /// Whether the batch carries no queries (never valid on the wire).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn decode_batch_vectors(buf: &mut &[u8]) -> Result<Vec<TopKVector>, RingError> {
+    let vectors = Vec::<TopKVector>::decode(buf)?;
+    if vectors.is_empty() {
+        return Err(RingError::Decode {
+            reason: "batch message with zero entries",
+        });
+    }
+    if vectors.len() > MAX_BATCH_ENTRIES {
+        return Err(RingError::Decode {
+            reason: "batch message exceeds entry cap",
+        });
+    }
+    Ok(vectors)
+}
+
+impl WireEncode for BatchMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            BatchMessage::Tokens { round, vectors } => {
+                buf.put_u8(TAG_BATCH_TOKENS);
+                round.encode(buf);
+                vectors.encode(buf);
+            }
+            BatchMessage::Finished { vectors } => {
+                buf.put_u8(TAG_BATCH_FINISHED);
+                vectors.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for BatchMessage {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
+        let tag = u8::decode(buf)?;
+        match tag {
+            TAG_BATCH_TOKENS => {
+                let round = u32::decode(buf)?;
+                Ok(BatchMessage::Tokens {
+                    round,
+                    vectors: decode_batch_vectors(buf)?,
+                })
+            }
+            TAG_BATCH_FINISHED => Ok(BatchMessage::Finished {
+                vectors: decode_batch_vectors(buf)?,
+            }),
+            _ => Err(RingError::Decode {
+                reason: "unknown batch message tag",
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use privtopk_domain::{Value, ValueDomain};
     use privtopk_ring::wire::{decode_from_bytes, encode_to_bytes};
 
@@ -94,6 +198,7 @@ mod tests {
     fn unknown_tag_rejected() {
         let frame = Bytes::from_static(&[99]);
         assert!(decode_from_bytes::<TokenMessage>(&frame).is_err());
+        assert!(decode_from_bytes::<BatchMessage>(&frame).is_err());
     }
 
     #[test]
@@ -105,5 +210,64 @@ mod tests {
         let frame = encode_to_bytes(&msg);
         let short = frame.slice(0..frame.len() - 3);
         assert!(decode_from_bytes::<TokenMessage>(&short).is_err());
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let msg = BatchMessage::Tokens {
+            round: 3,
+            vectors: vec![vector(); 5],
+        };
+        assert_eq!(msg.len(), 5);
+        let frame = encode_to_bytes(&msg);
+        assert_eq!(decode_from_bytes::<BatchMessage>(&frame).unwrap(), msg);
+
+        let fin = BatchMessage::Finished {
+            vectors: vec![vector(); 2],
+        };
+        let frame = encode_to_bytes(&fin);
+        assert_eq!(decode_from_bytes::<BatchMessage>(&frame).unwrap(), fin);
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u8(TAG_BATCH_TOKENS);
+        3u32.encode(&mut buf);
+        buf.put_u32_le(0); // zero vectors
+        assert!(decode_from_bytes::<BatchMessage>(&buf.freeze()).is_err());
+
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u8(TAG_BATCH_FINISHED);
+        buf.put_u32_le(0);
+        assert!(decode_from_bytes::<BatchMessage>(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        // A batch of MAX_BATCH_ENTRIES + 1 k=1 vectors is structurally
+        // valid but must be refused by the entry cap.
+        let v = TopKVector::from_values(1, [Value::new(1)], &ValueDomain::paper_default()).unwrap();
+        let msg = BatchMessage::Finished {
+            vectors: vec![v; MAX_BATCH_ENTRIES + 1],
+        };
+        let frame = encode_to_bytes(&msg);
+        assert!(decode_from_bytes::<BatchMessage>(&frame).is_err());
+    }
+
+    #[test]
+    fn shared_round_field_amortizes_per_entry_bytes() {
+        // The per-hop byte criterion: a batch of B entries must be
+        // strictly smaller than B solo token frames.
+        let b = 64;
+        let solo = encode_to_bytes(&TokenMessage::Token {
+            round: 4,
+            vector: vector(),
+        });
+        let batch = encode_to_bytes(&BatchMessage::Tokens {
+            round: 4,
+            vectors: vec![vector(); b],
+        });
+        assert!(batch.len() < b * solo.len());
     }
 }

@@ -1,9 +1,12 @@
 //! Property-based tests for the core protocol crate.
 
 use privtopk_core::local::{max_step, topk_step, LocalAction};
-use privtopk_core::{ProtocolConfig, RoundPolicy, Schedule, SimulationEngine};
+use privtopk_core::{
+    BatchMessage, ProtocolConfig, RoundPolicy, Schedule, SimulationEngine, MAX_BATCH_ENTRIES,
+};
 use privtopk_domain::rng::seeded_rng;
 use privtopk_domain::{TopKVector, Value, ValueDomain};
+use privtopk_ring::wire::{decode_from_bytes, decode_from_slice, encode_to_bytes};
 use proptest::prelude::*;
 
 fn domain() -> ValueDomain {
@@ -194,4 +197,79 @@ proptest! {
             prop_assert_eq!(&w[1].incoming, &w[0].outgoing);
         }
     }
+
+    /// Batched wire frames are lossless: encode → decode is the identity
+    /// for arbitrary batch widths, ks, round labels, and payloads, through
+    /// both the owned-frame and zero-copy slice decoders.
+    #[test]
+    fn batch_message_roundtrips(
+        (k, b, round, seed) in (1usize..4, 1usize..=40, any::<u32>(), any::<u64>())
+    ) {
+        let d = domain();
+        let mut rng = seeded_rng(seed);
+        let vectors: Vec<TopKVector> = (0..b)
+            .map(|_| {
+                let vals =
+                    (0..k).map(|_| Value::new(rand::Rng::gen_range(&mut rng, 1i64..=10_000)));
+                TopKVector::from_values(k, vals, &d).unwrap()
+            })
+            .collect();
+        let tokens = BatchMessage::Tokens { round, vectors: vectors.clone() };
+        let frame = encode_to_bytes(&tokens);
+        prop_assert_eq!(decode_from_bytes::<BatchMessage>(&frame).unwrap(), tokens.clone());
+        prop_assert_eq!(decode_from_slice::<BatchMessage>(frame.as_ref()).unwrap(), tokens);
+
+        let finished = BatchMessage::Finished { vectors };
+        let frame = encode_to_bytes(&finished);
+        prop_assert_eq!(decode_from_bytes::<BatchMessage>(&frame).unwrap(), finished);
+    }
+
+    /// Truncating a batch frame anywhere never panics and never yields a
+    /// valid message — decode either errors or (full length) roundtrips.
+    #[test]
+    fn truncated_batch_frames_never_decode(
+        (b, cut_seed) in (1usize..=8, any::<u64>())
+    ) {
+        let d = domain();
+        let v = TopKVector::from_values(2, [Value::new(9), Value::new(3)], &d).unwrap();
+        let msg = BatchMessage::Tokens { round: 2, vectors: vec![v; b] };
+        let frame = encode_to_bytes(&msg);
+        let cut = (cut_seed as usize) % frame.len();
+        prop_assert!(decode_from_slice::<BatchMessage>(&frame[..cut]).is_err());
+    }
+}
+
+#[test]
+fn zero_entry_batch_frames_are_rejected() {
+    use privtopk_ring::wire::WireEncode;
+    // Hand-craft frames with a zero entry count: structurally decodable,
+    // semantically forbidden.
+    for tag in [3u8, 4u8] {
+        let mut buf = bytes::BytesMut::new();
+        bytes::BufMut::put_u8(&mut buf, tag);
+        if tag == 3 {
+            1u32.encode(&mut buf); // round label (Tokens only)
+        }
+        bytes::BufMut::put_u32_le(&mut buf, 0); // zero vectors
+        assert!(
+            decode_from_slice::<BatchMessage>(buf.as_ref()).is_err(),
+            "tag {tag} accepted an empty batch"
+        );
+    }
+}
+
+#[test]
+fn over_cap_batch_frames_are_rejected() {
+    let d = domain();
+    let v = TopKVector::from_values(1, [Value::new(1)], &d).unwrap();
+    let at_cap = BatchMessage::Finished {
+        vectors: vec![v.clone(); MAX_BATCH_ENTRIES],
+    };
+    let frame = encode_to_bytes(&at_cap);
+    assert!(decode_from_bytes::<BatchMessage>(&frame).is_ok());
+    let over = BatchMessage::Finished {
+        vectors: vec![v; MAX_BATCH_ENTRIES + 1],
+    };
+    let frame = encode_to_bytes(&over);
+    assert!(decode_from_bytes::<BatchMessage>(&frame).is_err());
 }

@@ -1,7 +1,10 @@
 //! The federation itself: schema validation and query execution.
 
-use privtopk_core::distributed::{run_distributed, NetworkKind};
-use privtopk_core::{ProtocolConfig, RoundPolicy, SimulationEngine, Transcript};
+use privtopk_core::distributed::{run_distributed, run_distributed_batch, NetworkKind};
+use privtopk_core::{
+    derive_batch_seed, run_simulated_batch, BatchJob, ProtocolConfig, RoundPolicy,
+    SimulationEngine, Transcript,
+};
 use privtopk_datagen::PrivateDatabase;
 use privtopk_domain::{TopKVector, Value, ValueDomain};
 
@@ -90,6 +93,76 @@ impl Federation {
         let (config, locals, mirrored) = self.compile(spec)?;
         let outcome = run_distributed(&config, &locals, network, seed)?;
         Ok(self.finish(spec, outcome.transcript, mirrored))
+    }
+
+    /// Executes a batch of independent queries in one protocol execution,
+    /// sharing ring traversals between queries wherever possible.
+    ///
+    /// Query `i` runs under seed [`QueryBatch::query_seed`]`(i)` — an
+    /// independent stream derived from the batch's base seed — and its
+    /// [`QueryOutcome`] is byte-identical to
+    /// [`Federation::execute`]`(spec_i, batch.query_seed(i))`. Batching
+    /// changes only transport cost, never results, transcripts, or the
+    /// level of privacy of any individual query.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::execute`] for each member query, plus
+    /// [`FederationError::Protocol`] with
+    /// [`privtopk_core::ProtocolError::InvalidBatch`] for an empty batch.
+    pub fn execute_batch(&self, batch: &QueryBatch) -> Result<Vec<QueryOutcome>, FederationError> {
+        let (jobs, mirrors) = self.compile_batch(batch)?;
+        let transcripts = run_simulated_batch(&jobs)?;
+        Ok(self.finish_batch(batch, transcripts, &mirrors))
+    }
+
+    /// Executes a query batch over a real transport, piggybacking all
+    /// queries' payloads in one wire frame per hop (per lock-step group).
+    ///
+    /// Produces the same outcomes as [`Federation::execute_batch`] with
+    /// the same batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::execute_batch`], plus transport failures.
+    pub fn execute_batch_distributed(
+        &self,
+        batch: &QueryBatch,
+        network: NetworkKind,
+    ) -> Result<Vec<QueryOutcome>, FederationError> {
+        let (jobs, mirrors) = self.compile_batch(batch)?;
+        let outcome = run_distributed_batch(&jobs, network)?;
+        Ok(self.finish_batch(batch, outcome.transcripts, &mirrors))
+    }
+
+    /// Compiles every query of a batch into a protocol job plus its
+    /// mirroring flag.
+    fn compile_batch(
+        &self,
+        batch: &QueryBatch,
+    ) -> Result<(Vec<BatchJob>, Vec<bool>), FederationError> {
+        let mut jobs = Vec::with_capacity(batch.len());
+        let mut mirrors = Vec::with_capacity(batch.len());
+        for (i, spec) in batch.specs().iter().enumerate() {
+            let (config, locals, mirrored) = self.compile(spec)?;
+            jobs.push(BatchJob::new(config, locals, batch.query_seed(i)));
+            mirrors.push(mirrored);
+        }
+        Ok((jobs, mirrors))
+    }
+
+    fn finish_batch(
+        &self,
+        batch: &QueryBatch,
+        transcripts: Vec<Transcript>,
+        mirrors: &[bool],
+    ) -> Vec<QueryOutcome> {
+        transcripts
+            .into_iter()
+            .zip(batch.specs())
+            .zip(mirrors)
+            .map(|((transcript, spec), &mirrored)| self.finish(spec, transcript, mirrored))
+            .collect()
     }
 
     /// Executes a query, deterministic under `seed`.
@@ -256,6 +329,73 @@ impl Federation {
         let wide =
             self.domain.min().get() as i128 + self.domain.max().get() as i128 - v.get() as i128;
         Value::new(wide as i64)
+    }
+}
+
+/// A set of independent queries answered in one batched execution.
+///
+/// Each query gets its own seed stream derived from the batch's base seed
+/// via [`derive_batch_seed`], so adding or removing other queries never
+/// changes what any one query computes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBatch {
+    specs: Vec<QuerySpec>,
+    base_seed: u64,
+}
+
+impl QueryBatch {
+    /// An empty batch rooted at `base_seed` (executing it is an error —
+    /// push at least one query).
+    #[must_use]
+    pub fn new(base_seed: u64) -> Self {
+        QueryBatch {
+            specs: Vec::new(),
+            base_seed,
+        }
+    }
+
+    /// Builds a batch from a list of query specs.
+    #[must_use]
+    pub fn from_specs(specs: Vec<QuerySpec>, base_seed: u64) -> Self {
+        QueryBatch { specs, base_seed }
+    }
+
+    /// Appends a query (builder style).
+    #[must_use]
+    pub fn with(mut self, spec: QuerySpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The member queries, in execution order.
+    #[must_use]
+    pub fn specs(&self) -> &[QuerySpec] {
+        &self.specs
+    }
+
+    /// Number of queries in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the batch holds no queries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The batch's base seed.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The seed query `i` runs under: solo-executing its spec with this
+    /// seed reproduces the batched outcome exactly.
+    #[must_use]
+    pub fn query_seed(&self, i: usize) -> u64 {
+        derive_batch_seed(self.base_seed, i as u64)
     }
 }
 
@@ -482,6 +622,74 @@ mod tests {
         assert!(matches!(
             f.sum("profit", 0),
             Err(FederationError::SchemaMismatch { .. })
+        ));
+    }
+
+    fn spec_for_case(case: u64) -> QuerySpec {
+        match case % 5 {
+            0 => QuerySpec::max("value"),
+            1 => QuerySpec::min("value"),
+            2 => QuerySpec::top_k("value", 2),
+            3 => QuerySpec::bottom_k("value", 3),
+            _ => QuerySpec::kth_largest("value", 2),
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_query_path_200_cases() {
+        // The satellite acceptance gate: across 200 seeded cases covering
+        // every query kind, a batch of one produces a byte-identical
+        // QueryOutcome (values, transcript, spec) to the solo path under
+        // the batch-derived seed.
+        let f = federation(4, 6, 14);
+        for base in 0..200u64 {
+            let spec = spec_for_case(base);
+            let batch = QueryBatch::new(base).with(spec.clone());
+            let batched = f.execute_batch(&batch).unwrap();
+            assert_eq!(batched.len(), 1);
+            let solo = f.execute(&spec, batch.query_seed(0)).unwrap();
+            assert_eq!(batched[0], solo, "case {base}");
+        }
+    }
+
+    #[test]
+    fn batched_queries_match_their_solo_runs() {
+        // Determinism across batch widths: each member query's outcome is
+        // independent of its co-batched neighbours.
+        let f = federation(5, 8, 15);
+        for width in [1usize, 8, 64] {
+            let batch = QueryBatch::from_specs((0..width as u64).map(spec_for_case).collect(), 99);
+            let batched = f.execute_batch(&batch).unwrap();
+            assert_eq!(batched.len(), width);
+            for (i, out) in batched.iter().enumerate() {
+                let solo = f.execute(&batch.specs()[i], batch.query_seed(i)).unwrap();
+                assert_eq!(out, &solo, "width {width}, query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_batch_matches_simulated_batch() {
+        let f = federation(4, 6, 16);
+        let batch = QueryBatch::new(7)
+            .with(QuerySpec::max("value"))
+            .with(QuerySpec::top_k("value", 3).with_epsilon(1e-9))
+            .with(QuerySpec::min("value"));
+        let sim = f.execute_batch(&batch).unwrap();
+        let dist = f
+            .execute_batch_distributed(&batch, NetworkKind::InMemory)
+            .unwrap();
+        assert_eq!(sim, dist);
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let f = federation(3, 4, 17);
+        assert!(matches!(
+            f.execute_batch(&QueryBatch::new(0)),
+            Err(FederationError::Protocol(
+                privtopk_core::ProtocolError::InvalidBatch { .. }
+            ))
         ));
     }
 

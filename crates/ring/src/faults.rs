@@ -20,7 +20,7 @@ use rand::Rng;
 use privtopk_domain::rng::seeded_rng;
 use privtopk_domain::NodeId;
 
-use crate::transport::Transport;
+use crate::transport::{FramePool, Transport};
 use crate::RingError;
 
 /// A transport wrapper that silently drops outgoing frames with a fixed
@@ -65,11 +65,15 @@ impl<T: Transport> Transport for FaultyEndpoint<T> {
     }
 
     fn send(&mut self, to: NodeId, frame: Bytes) -> Result<(), RingError> {
+        self.send_many(to, frame, 1)
+    }
+
+    fn send_many(&mut self, to: NodeId, frame: Bytes, logical: u64) -> Result<(), RingError> {
         if self.rng.gen_bool(self.drop_probability) {
             self.dropped += 1;
-            return Ok(()); // the network ate it
+            return Ok(()); // the network ate it (the whole frame at once)
         }
-        self.inner.send(to, frame)
+        self.inner.send_many(to, frame, logical)
     }
 
     fn recv(&mut self) -> Result<(NodeId, Bytes), RingError> {
@@ -78,6 +82,10 @@ impl<T: Transport> Transport for FaultyEndpoint<T> {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<(NodeId, Bytes), RingError> {
         self.inner.recv_timeout(timeout)
+    }
+
+    fn pool(&self) -> FramePool {
+        self.inner.pool()
     }
 }
 
@@ -210,6 +218,10 @@ impl<T: Transport> Transport for ReliableEndpoint<T> {
     }
 
     fn send(&mut self, to: NodeId, frame: Bytes) -> Result<(), RingError> {
+        self.send_many(to, frame, 1)
+    }
+
+    fn send_many(&mut self, to: NodeId, frame: Bytes, logical: u64) -> Result<(), RingError> {
         self.next_seq += 1;
         let seq = self.next_seq;
         let data = encode_reliable(FRAME_DATA, seq, &frame);
@@ -217,7 +229,7 @@ impl<T: Transport> Transport for ReliableEndpoint<T> {
             if attempt > 0 {
                 self.retransmissions += 1;
             }
-            self.inner.send(to, data.clone())?;
+            self.inner.send_many(to, data.clone(), logical)?;
             let deadline = Instant::now() + self.ack_timeout;
             loop {
                 let remaining = deadline.saturating_duration_since(Instant::now());
@@ -269,6 +281,10 @@ impl<T: Transport> Transport for ReliableEndpoint<T> {
                 return Ok(delivery);
             }
         }
+    }
+
+    fn pool(&self) -> FramePool {
+        self.inner.pool()
     }
 }
 

@@ -50,5 +50,5 @@ pub mod trust;
 pub mod wire;
 
 pub use error::RingError;
-pub use metrics::TransportMetrics;
+pub use metrics::{MetricsSnapshot, TransportMetrics};
 pub use topology::RingTopology;

@@ -3,11 +3,18 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared message/byte counters for one network.
+/// Shared frame/message/byte counters for one network.
 ///
 /// The paper's efficiency analysis (Section 4.2) argues the communication
 /// cost is "proportional to the number of nodes" times the number of
 /// rounds; these counters let the experiments measure exactly that.
+///
+/// Batched execution splits the notion of "message" in two: a *frame* is
+/// one physical send on the wire, while a *logical message* is one query's
+/// payload inside it. An unbatched send is one frame carrying one logical
+/// message; a batched hop is one frame carrying B. [`messages_sent`]
+/// reports logical messages so the paper's cost model (`n · r` messages
+/// per query) keeps holding per query regardless of batching.
 ///
 /// Cloning is cheap (the counters are shared).
 ///
@@ -18,9 +25,10 @@ use std::sync::Arc;
 ///
 /// let m = TransportMetrics::new();
 /// m.record_send(128);
-/// m.record_send(64);
-/// assert_eq!(m.messages_sent(), 2);
-/// assert_eq!(m.bytes_sent(), 192);
+/// m.record_frame(256, 8); // one batched frame carrying 8 queries
+/// assert_eq!(m.frames_sent(), 2);
+/// assert_eq!(m.messages_sent(), 9);
+/// assert_eq!(m.bytes_sent(), 384);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TransportMetrics {
@@ -29,8 +37,33 @@ pub struct TransportMetrics {
 
 #[derive(Debug, Default)]
 struct Counters {
-    messages: AtomicU64,
+    frames: AtomicU64,
+    logical: AtomicU64,
     bytes: AtomicU64,
+}
+
+/// A drained snapshot of [`TransportMetrics`], returned by
+/// [`TransportMetrics::take`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Physical frames sent.
+    pub frames_sent: u64,
+    /// Logical (per-query) messages carried by those frames.
+    pub logical_messages: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean payload bytes per physical frame (0 when no frame was sent).
+    #[must_use]
+    pub fn mean_frame_bytes(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.frames_sent as f64
+        }
+    }
 }
 
 impl TransportMetrics {
@@ -40,16 +73,39 @@ impl TransportMetrics {
         TransportMetrics::default()
     }
 
-    /// Records one sent frame of `bytes` payload bytes.
+    /// Records one sent frame carrying one logical message of `bytes`
+    /// payload bytes.
     pub fn record_send(&self, bytes: usize) {
-        self.inner.messages.fetch_add(1, Ordering::Relaxed);
+        self.record_frame(bytes, 1);
+    }
+
+    /// Records one sent frame of `bytes` payload bytes carrying
+    /// `logical` piggybacked logical messages.
+    pub fn record_frame(&self, bytes: usize, logical: u64) {
+        self.inner.frames.fetch_add(1, Ordering::Relaxed);
+        self.inner.logical.fetch_add(logical, Ordering::Relaxed);
         self.inner.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    /// Total frames sent.
+    /// Total logical messages sent (one per query per frame).
+    ///
+    /// Equal to [`frames_sent`](Self::frames_sent) on unbatched paths.
     #[must_use]
     pub fn messages_sent(&self) -> u64 {
-        self.inner.messages.load(Ordering::Relaxed)
+        self.inner.logical.load(Ordering::Relaxed)
+    }
+
+    /// Total physical frames sent.
+    #[must_use]
+    pub fn frames_sent(&self) -> u64 {
+        self.inner.frames.load(Ordering::Relaxed)
+    }
+
+    /// Alias for [`messages_sent`](Self::messages_sent), named for
+    /// contrast with [`frames_sent`](Self::frames_sent).
+    #[must_use]
+    pub fn logical_messages(&self) -> u64 {
+        self.messages_sent()
     }
 
     /// Total payload bytes sent.
@@ -58,10 +114,34 @@ impl TransportMetrics {
         self.inner.bytes.load(Ordering::Relaxed)
     }
 
-    /// Resets both counters to zero.
+    /// Mean payload bytes per physical frame (0 when nothing was sent).
+    #[must_use]
+    pub fn mean_frame_bytes(&self) -> f64 {
+        MetricsSnapshot {
+            frames_sent: self.frames_sent(),
+            logical_messages: self.messages_sent(),
+            bytes_sent: self.bytes_sent(),
+        }
+        .mean_frame_bytes()
+    }
+
+    /// Atomically drains the counters, returning what they held.
+    ///
+    /// Each counter is swapped to zero rather than stored, so a
+    /// `record_*` racing with `take` lands in exactly one of "returned by
+    /// this take" or "left for the next reader" — never silently lost,
+    /// which a load-then-store reset cannot guarantee.
+    pub fn take(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            frames_sent: self.inner.frames.swap(0, Ordering::Relaxed),
+            logical_messages: self.inner.logical.swap(0, Ordering::Relaxed),
+            bytes_sent: self.inner.bytes.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (discarding the drained values).
     pub fn reset(&self) {
-        self.inner.messages.store(0, Ordering::Relaxed);
-        self.inner.bytes.store(0, Ordering::Relaxed);
+        let _ = self.take();
     }
 }
 
@@ -76,7 +156,21 @@ mod tests {
         m.record_send(10);
         m.record_send(20);
         assert_eq!(m.messages_sent(), 2);
+        assert_eq!(m.frames_sent(), 2);
         assert_eq!(m.bytes_sent(), 30);
+    }
+
+    #[test]
+    fn batched_frames_split_physical_and_logical() {
+        let m = TransportMetrics::new();
+        m.record_frame(100, 8);
+        m.record_frame(100, 8);
+        m.record_send(25);
+        assert_eq!(m.frames_sent(), 3);
+        assert_eq!(m.logical_messages(), 17);
+        assert_eq!(m.messages_sent(), 17);
+        assert_eq!(m.bytes_sent(), 225);
+        assert!((m.mean_frame_bytes() - 75.0).abs() < 1e-9);
     }
 
     #[test]
@@ -94,7 +188,25 @@ mod tests {
         m.record_send(100);
         m.reset();
         assert_eq!(m.messages_sent(), 0);
+        assert_eq!(m.frames_sent(), 0);
         assert_eq!(m.bytes_sent(), 0);
+        assert_eq!(m.mean_frame_bytes(), 0.0);
+    }
+
+    #[test]
+    fn take_drains_and_reports() {
+        let m = TransportMetrics::new();
+        m.record_frame(64, 4);
+        let snap = m.take();
+        assert_eq!(
+            snap,
+            MetricsSnapshot {
+                frames_sent: 1,
+                logical_messages: 4,
+                bytes_sent: 64
+            }
+        );
+        assert_eq!(m.take(), MetricsSnapshot::default());
     }
 
     #[test]
@@ -112,5 +224,48 @@ mod tests {
         });
         assert_eq!(m.messages_sent(), 8000);
         assert_eq!(m.bytes_sent(), 24_000);
+    }
+
+    #[test]
+    fn concurrent_take_loses_nothing() {
+        // The reset/staleness race: writers record while a reader drains.
+        // Every recorded frame must end up either in some take() snapshot
+        // or in the final residue — a plain store(0) reset can drop
+        // increments that land between its load and store.
+        let m = TransportMetrics::new();
+        let drained = std::thread::scope(|s| {
+            let writers: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = m.clone();
+                    s.spawn(move || {
+                        for _ in 0..2000 {
+                            m.record_frame(7, 3);
+                        }
+                    })
+                })
+                .collect();
+            let reader = {
+                let m = m.clone();
+                s.spawn(move || {
+                    let mut acc = MetricsSnapshot::default();
+                    for _ in 0..200 {
+                        let snap = m.take();
+                        acc.frames_sent += snap.frames_sent;
+                        acc.logical_messages += snap.logical_messages;
+                        acc.bytes_sent += snap.bytes_sent;
+                        std::thread::yield_now();
+                    }
+                    acc
+                })
+            };
+            for w in writers {
+                w.join().unwrap();
+            }
+            reader.join().unwrap()
+        });
+        let rest = m.take();
+        assert_eq!(drained.frames_sent + rest.frames_sent, 8000);
+        assert_eq!(drained.logical_messages + rest.logical_messages, 24_000);
+        assert_eq!(drained.bytes_sent + rest.bytes_sent, 56_000);
     }
 }

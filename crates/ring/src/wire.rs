@@ -36,13 +36,16 @@ pub trait WireEncode {
 }
 
 /// Types that can be read back from a wire frame.
+///
+/// The cursor is a plain `&[u8]` borrowed from the frame, so decoding
+/// never copies the frame itself; only the decoded value owns storage.
 pub trait WireDecode: Sized {
-    /// Consumes bytes from `buf` and reconstructs a value.
+    /// Consumes bytes from the front of `buf` and reconstructs a value.
     ///
     /// # Errors
     ///
     /// Returns [`RingError::Decode`] on truncated or malformed input.
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError>;
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError>;
 }
 
 /// Encodes a value into a standalone byte frame.
@@ -50,6 +53,17 @@ pub fn encode_to_bytes<T: WireEncode>(value: &T) -> Bytes {
     let mut buf = BytesMut::new();
     value.encode(&mut buf);
     buf.freeze()
+}
+
+/// Encodes a value into a caller-provided buffer, reusing its allocation.
+///
+/// The buffer is cleared first; after the call it holds exactly the frame
+/// for `value`. Pairs with frame pooling in the transport layer: acquire a
+/// pooled buffer, `encode_into`, freeze, send, and the receiver recycles
+/// the storage.
+pub fn encode_into<T: WireEncode>(value: &T, buf: &mut BytesMut) {
+    buf.clear();
+    value.encode(buf);
 }
 
 /// Decodes a value from a standalone byte frame, requiring the frame to be
@@ -60,7 +74,21 @@ pub fn encode_to_bytes<T: WireEncode>(value: &T) -> Bytes {
 /// Returns [`RingError::Decode`] on truncated, malformed, or over-long
 /// input.
 pub fn decode_from_bytes<T: WireDecode>(frame: &Bytes) -> Result<T, RingError> {
-    let mut buf = frame.clone();
+    decode_from_slice(frame.as_ref())
+}
+
+/// Decodes a value from a byte slice, requiring it to be fully consumed.
+///
+/// This is the zero-copy fast path: the cursor borrows the frame, so no
+/// intermediate frame copy is made and variable-length fields (strings,
+/// vectors) are read straight out of the borrowed storage.
+///
+/// # Errors
+///
+/// Returns [`RingError::Decode`] on truncated, malformed, or over-long
+/// input.
+pub fn decode_from_slice<T: WireDecode>(frame: &[u8]) -> Result<T, RingError> {
+    let mut buf = frame;
     let value = T::decode(&mut buf)?;
     if buf.has_remaining() {
         return Err(RingError::Decode {
@@ -70,7 +98,7 @@ pub fn decode_from_bytes<T: WireDecode>(frame: &Bytes) -> Result<T, RingError> {
     Ok(value)
 }
 
-fn need(buf: &Bytes, n: usize) -> Result<(), RingError> {
+fn need(buf: &[u8], n: usize) -> Result<(), RingError> {
     if buf.remaining() < n {
         Err(RingError::Decode {
             reason: "unexpected end of frame",
@@ -88,7 +116,7 @@ macro_rules! impl_wire_int {
             }
         }
         impl WireDecode for $ty {
-            fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+            fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
                 need(buf, $bytes)?;
                 Ok(buf.$get())
             }
@@ -110,7 +138,7 @@ impl WireEncode for bool {
 }
 
 impl WireDecode for bool {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         need(buf, 1)?;
         match buf.get_u8() {
             0 => Ok(false),
@@ -129,7 +157,7 @@ impl WireEncode for usize {
 }
 
 impl WireDecode for usize {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         need(buf, 8)?;
         let raw = buf.get_u64_le();
         usize::try_from(raw).map_err(|_| RingError::Decode {
@@ -147,14 +175,18 @@ impl WireEncode for String {
 }
 
 impl WireDecode for String {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         need(buf, 4)?;
         let len = buf.get_u32_le() as usize;
         need(buf, len)?;
-        let raw = buf.split_to(len);
-        String::from_utf8(raw.to_vec()).map_err(|_| RingError::Decode {
+        // Validate in place on the borrowed frame; the only copy is the
+        // one that materializes the owned `String` itself.
+        let (raw, rest) = buf.split_at(len);
+        let text = std::str::from_utf8(raw).map_err(|_| RingError::Decode {
             reason: "invalid utf-8 string",
-        })
+        })?;
+        *buf = rest;
+        Ok(text.to_owned())
     }
 }
 
@@ -168,7 +200,7 @@ impl<T: WireEncode> WireEncode for Vec<T> {
 }
 
 impl<T: WireDecode> WireDecode for Vec<T> {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         need(buf, 4)?;
         let len = buf.get_u32_le() as usize;
         // Defensive cap: an adversarial length prefix must not trigger a
@@ -199,7 +231,7 @@ impl<T: WireEncode> WireEncode for Option<T> {
 }
 
 impl<T: WireDecode> WireDecode for Option<T> {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         need(buf, 1)?;
         match buf.get_u8() {
             0 => Ok(None),
@@ -219,7 +251,7 @@ impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
 }
 
 impl<A: WireDecode, B: WireDecode> WireDecode for (A, B) {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         Ok((A::decode(buf)?, B::decode(buf)?))
     }
 }
@@ -231,7 +263,7 @@ impl WireEncode for Value {
 }
 
 impl WireDecode for Value {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         need(buf, 8)?;
         Ok(Value::new(buf.get_i64_le()))
     }
@@ -244,7 +276,7 @@ impl WireEncode for NodeId {
 }
 
 impl WireDecode for NodeId {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         let raw = usize::decode(buf)?;
         Ok(NodeId::new(raw))
     }
@@ -257,7 +289,7 @@ impl WireEncode for RingPosition {
 }
 
 impl WireDecode for RingPosition {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         let raw = usize::decode(buf)?;
         Ok(RingPosition::new(raw))
     }
@@ -273,7 +305,7 @@ impl WireEncode for TopKVector {
 }
 
 impl WireDecode for TopKVector {
-    fn decode(buf: &mut Bytes) -> Result<Self, RingError> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         need(buf, 4)?;
         let k = buf.get_u32_le() as usize;
         if k == 0 {
@@ -401,5 +433,36 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32_le(0);
         assert!(decode_from_bytes::<TopKVector>(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn encode_into_reuses_allocation() {
+        let mut buf = BytesMut::with_capacity(64);
+        encode_into(&(7u64, String::from("first")), &mut buf);
+        let first = buf.as_ref().to_vec();
+        let cap = buf.capacity();
+        encode_into(&(7u64, String::from("first")), &mut buf);
+        assert_eq!(buf.as_ref(), first.as_slice());
+        assert_eq!(buf.capacity(), cap, "re-encode must not reallocate");
+    }
+
+    #[test]
+    fn decode_from_slice_matches_decode_from_bytes() {
+        let frame = encode_to_bytes(&(9u32, String::from("slice path")));
+        let a: (u32, String) = decode_from_bytes(&frame).unwrap();
+        let b: (u32, String) = decode_from_slice(frame.as_ref()).unwrap();
+        assert_eq!(a, b);
+        assert!(decode_from_slice::<u64>(&frame[..3]).is_err());
+    }
+
+    #[test]
+    fn decode_leaves_frame_untouched() {
+        // The borrowing decoder must not advance or mutate the frame
+        // handle, so callers can recycle the storage afterwards.
+        let frame = encode_to_bytes(&String::from("recyclable"));
+        let before = frame.to_vec();
+        let _: String = decode_from_bytes(&frame).unwrap();
+        assert_eq!(frame.len(), before.len());
+        assert_eq!(frame.as_ref(), before.as_slice());
     }
 }

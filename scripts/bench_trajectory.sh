@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Times the figure-regeneration pipeline serially (--threads 1) and with
 # the default worker count, and writes the comparison to
-# BENCH_experiments.json at the repo root.
+# BENCH_experiments.json at the repo root. Then benchmarks the batched
+# multi-query executor (queries/sec at B in {1,8,64,256}) into
+# BENCH_throughput.json, asserting batch/solo transcript identity.
 #
 #   scripts/bench_trajectory.sh [trials] [seed]
 #
@@ -82,3 +84,18 @@ cat > "$OUT" <<EOF
 EOF
 echo "wrote $OUT (speedup ${SPEEDUP}x on $CORES cores)"
 [ "$IDENTICAL" = true ]
+
+# --- batched-executor throughput -------------------------------------
+# Queries/sec at B in {1, 8, 64, 256} over the in-memory network. The
+# binary itself asserts the B=1 identity gate (every batched transcript
+# must be bit-identical to its solo run) and the per-hop byte bound, so
+# a successful exit IS the determinism check.
+THROUGHPUT_BIN="$REPO_ROOT/target/release/throughput"
+THROUGHPUT_OUT="$REPO_ROOT/BENCH_throughput.json"
+
+command -v cargo >/dev/null 2>&1 && cargo build --release -p privtopk-bench --bin throughput
+[ -x "$THROUGHPUT_BIN" ] || { echo "error: $THROUGHPUT_BIN not built" >&2; exit 1; }
+
+echo "benchmarking batched executor throughput ..."
+"$THROUGHPUT_BIN" 6 8 "$THROUGHPUT_OUT"
+echo "wrote $THROUGHPUT_OUT"

@@ -59,7 +59,7 @@ pub mod prelude {
     };
     pub use privtopk_datagen::{DataDistribution, DatasetBuilder, PrivateDatabase};
     pub use privtopk_domain::{NodeId, TopKVector, Value, ValueDomain};
-    pub use privtopk_federation::{Federation, QuerySpec};
+    pub use privtopk_federation::{Federation, QueryBatch, QuerySpec};
     pub use privtopk_privacy::{LopAccumulator, SuccessorAdversary};
 }
 

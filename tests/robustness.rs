@@ -134,7 +134,8 @@ proptest! {
     fn wire_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let frame = Bytes::from(bytes);
         let _ = decode_from_bytes::<privtopk::core::TokenMessage>(&frame);
-        let mut buf = frame.clone();
+        let _ = decode_from_bytes::<privtopk::core::BatchMessage>(&frame);
+        let mut buf: &[u8] = frame.as_ref();
         let _ = TopKVector::decode(&mut buf);
         let _ = decode_from_bytes::<String>(&frame);
         let _ = decode_from_bytes::<Vec<u64>>(&frame);

@@ -91,6 +91,33 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Attempts to reclaim the underlying storage as a [`BytesMut`].
+    ///
+    /// Succeeds only when this handle is the sole owner of the storage
+    /// and views it in full, in which case no bytes are copied. Returns
+    /// `self` unchanged otherwise. This is what makes frame-buffer
+    /// pooling possible without copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the storage is shared or windowed.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        if self.start != 0 || self.end != self.data.len() {
+            return Err(self);
+        }
+        match Arc::try_unwrap(self.data) {
+            Ok(vec) => Ok(BytesMut { vec }),
+            Err(data) => {
+                let end = data.len();
+                Err(Bytes {
+                    data,
+                    start: 0,
+                    end,
+                })
+            }
+        }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -217,6 +244,27 @@ impl BytesMut {
         self.vec.len()
     }
 
+    /// Capacity of the underlying allocation.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Empties the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Resizes the buffer in place, filling new bytes with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
     /// Whether the buffer is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -252,6 +300,18 @@ impl Deref for BytesMut {
 
     fn deref(&self) -> &[u8] {
         &self.vec
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
     }
 }
 
@@ -339,6 +399,21 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        *self = &self[cnt..];
+    }
+}
+
 macro_rules! buf_put {
     ($($fn_name:ident($ty:ty)),* $(,)?) => {$(
         /// Appends a little-endian value.
@@ -413,5 +488,43 @@ mod tests {
     fn underflow_panics() {
         let mut b = Bytes::from(vec![1]);
         let _ = b.get_u32_le();
+    }
+
+    #[test]
+    fn slice_cursor_reads() {
+        let data = [7u8, 0xEF, 0xBE, 0xAD, 0xDE, 9];
+        let mut cur: &[u8] = &data;
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.remaining(), 1);
+        assert_eq!(cur.chunk(), &[9]);
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_unique_storage() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let mut m = b.try_into_mut().expect("unique storage reclaims");
+        m.clear();
+        assert!(m.capacity() >= 3);
+
+        let shared = Bytes::from(vec![4, 5]);
+        let clone = shared.clone();
+        assert!(shared.try_into_mut().is_err());
+        drop(clone);
+
+        let mut windowed = Bytes::from(vec![6, 7, 8]);
+        let _head = windowed.split_to(1);
+        assert!(windowed.try_into_mut().is_err());
+    }
+
+    #[test]
+    fn clear_and_resize_keep_allocation() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"hello");
+        m.clear();
+        assert!(m.is_empty());
+        assert!(m.capacity() >= 16);
+        m.resize(4, 0xAA);
+        assert_eq!(m.as_ref(), [0xAA; 4]);
     }
 }
