@@ -1,0 +1,201 @@
+//! Persistent-service throughput benchmark.
+//!
+//! Answers the same workload of homogeneous fixed-start queries two
+//! ways — cold (a fresh `run_distributed` federation per query: thread
+//! spawn, channel wiring and teardown every time) and warm (one
+//! long-lived [`ServiceRuntime`] whose node workers survive across
+//! queries) — and reports sustained queries/sec at pipeline depths
+//! 1, 4 and 16.
+//!
+//! The run *asserts* the correctness gates before reporting numbers:
+//! at every depth each service outcome must be bit-identical to its
+//! solo `run_distributed` run, the best warm depth must sustain at
+//! least 2x the cold rate, and every depth > 1 must strictly beat
+//! depth 1.
+//!
+//! Usage: `service [n] [rounds] [queries] [out.json]`
+//! Defaults: n = 6, rounds = 8, queries = 240, out = BENCH_service.json
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use privtopk_bench::bench_locals;
+use privtopk_core::distributed::{run_distributed, NetworkKind};
+use privtopk_core::service::ServiceRuntime;
+use privtopk_core::{derive_batch_seed, ProtocolConfig, RoundPolicy, StartPolicy};
+
+const BASE_SEED: u64 = 24301;
+const K: usize = 4;
+const DEPTHS: [usize; 3] = [1, 4, 16];
+const REPS: u32 = 3;
+
+struct Point {
+    depth: usize,
+    warm_ms: f64,
+    warm_qps: f64,
+    mean_query_latency_ms: f64,
+    pooled_high_water: u64,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let rounds: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let queries: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(240);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let config = ProtocolConfig::topk(K)
+        .with_start(StartPolicy::Fixed)
+        .with_rounds(RoundPolicy::Fixed(rounds));
+    let locals = bench_locals(n, K, BASE_SEED);
+    let workload: Vec<(ProtocolConfig, u64)> = (0..queries)
+        .map(|i| (config.clone(), derive_batch_seed(BASE_SEED, i)))
+        .collect();
+
+    eprintln!(
+        "service: n={n} k={K} rounds={rounds} queries={queries} reps={REPS} network=in-memory"
+    );
+
+    // Correctness gate first: at every depth the warm transcripts must
+    // be bit-identical to the cold runs they claim to accelerate.
+    let solo: Vec<_> = workload
+        .iter()
+        .map(|(config, seed)| {
+            run_distributed(config, &locals, NetworkKind::InMemory, *seed).expect("solo run")
+        })
+        .collect();
+    for depth in DEPTHS {
+        let mut service =
+            ServiceRuntime::start(&locals, NetworkKind::InMemory, depth).expect("service start");
+        let outcomes = service.run_workload(&workload).expect("warm workload");
+        for (i, (outcome, cold)) in outcomes.iter().zip(&solo).enumerate() {
+            assert_eq!(
+                outcome.transcript, cold.transcript,
+                "depth={depth} query {i} transcript diverged from its solo run"
+            );
+            assert_eq!(
+                outcome.per_node_results, cold.per_node_results,
+                "depth={depth} query {i} results diverged from its solo run"
+            );
+        }
+        service.shutdown().expect("service shutdown");
+    }
+    eprintln!("  identity gate: every depth matches solo, bit for bit");
+
+    // Cold path: a fresh federation per query, best of REPS passes.
+    let mut cold_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for (config, seed) in &workload {
+            let out =
+                run_distributed(config, &locals, NetworkKind::InMemory, *seed).expect("cold run");
+            std::hint::black_box(out);
+        }
+        cold_ms = cold_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let cold_qps = queries as f64 / (cold_ms / 1e3);
+    eprintln!("  cold: {cold_ms:>8.2} ms ({cold_qps:>8.0} q/s)");
+
+    // Warm path: one standing service per depth; the first pass warms
+    // the frame pool and connections, then best of REPS timed passes
+    // over the same ring.
+    let mut points = Vec::with_capacity(DEPTHS.len());
+    for depth in DEPTHS {
+        let mut service =
+            ServiceRuntime::start(&locals, NetworkKind::InMemory, depth).expect("service start");
+        let warmup = service.run_workload(&workload).expect("warm-up pass");
+        std::hint::black_box(warmup);
+        let mut warm_ms = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let out = service.run_workload(&workload).expect("warm workload");
+            warm_ms = warm_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(out);
+        }
+        let pooled_high_water = service.metrics().pooled_buffers_high_water();
+        service.shutdown().expect("service shutdown");
+        let point = Point {
+            depth,
+            warm_ms,
+            warm_qps: queries as f64 / (warm_ms / 1e3),
+            mean_query_latency_ms: warm_ms / queries as f64,
+            pooled_high_water,
+        };
+        eprintln!(
+            "  depth={depth:>2}: {warm_ms:>8.2} ms ({:>8.0} q/s, {:.2}x cold)  pool high water {}",
+            point.warm_qps,
+            point.warm_qps / cold_qps,
+            point.pooled_high_water
+        );
+        points.push(point);
+    }
+
+    // Acceptance gates: warm reuse must pay for itself, and pipelining
+    // must add to it.
+    let d1 = points.iter().find(|p| p.depth == 1).expect("depth-1 point");
+    for p in points.iter().filter(|p| p.depth > 1) {
+        assert!(
+            p.warm_qps > d1.warm_qps,
+            "depth {} ({:.0} q/s) must strictly beat depth 1 ({:.0} q/s)",
+            p.depth,
+            p.warm_qps,
+            d1.warm_qps
+        );
+    }
+    let best = points
+        .iter()
+        .max_by(|a, b| a.warm_qps.total_cmp(&b.warm_qps))
+        .expect("best point");
+    let warm_vs_cold = best.warm_qps / cold_qps;
+    assert!(
+        warm_vs_cold >= 2.0,
+        "warm service ({:.0} q/s at depth {}) must sustain at least 2x cold ({:.0} q/s)",
+        best.warm_qps,
+        best.depth,
+        cold_qps
+    );
+    eprintln!(
+        "  best warm vs cold: {warm_vs_cold:.2}x (depth {})",
+        best.depth
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"persistent federation service throughput\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"n\": {n}, \"k\": {K}, \"rounds\": {rounds}, \"queries\": {queries}, \"network\": \"in-memory\", \"start\": \"fixed\", \"seed\": {BASE_SEED}, \"reps\": {REPS}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"cold\": {{\"total_ms\": {cold_ms:.3}, \"queries_per_sec\": {cold_qps:.1}, \"mean_query_latency_ms\": {:.4}}},",
+        cold_ms / queries as f64
+    );
+    json.push_str("  \"warm_depths\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"pipeline_depth\": {}, \"total_ms\": {:.3}, \"queries_per_sec\": {:.1}, \"mean_query_latency_ms\": {:.4}, \"speedup_vs_cold\": {:.3}, \"pooled_buffers_high_water\": {}}}{}",
+            p.depth,
+            p.warm_ms,
+            p.warm_qps,
+            p.mean_query_latency_ms,
+            p.warm_qps / cold_qps,
+            p.pooled_high_water,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"warm_vs_cold_speedup\": {warm_vs_cold:.3},");
+    let _ = writeln!(json, "  \"best_depth\": {},", best.depth);
+    let _ = writeln!(json, "  \"transcripts_identical_to_solo\": true");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("wrote {out_path}");
+}

@@ -153,7 +153,8 @@ pub fn usage() -> String {
      USAGE:\n\
      privtopk query   [--kind max|min|topk|bottomk|kth] [--k K] [--attribute NAME]\n\
      \u{20}                [--csv-dir DIR | --nodes N --rows R --dist uniform|normal|zipf]\n\
-     \u{20}                [--epsilon E] [--seed S] [--batch B]\n\
+     \u{20}                [--epsilon E] [--seed S] [--batch B] [--repeat N --pipeline D]\n\
+     \u{20}                [--groups G]\n\
      privtopk audit   (same flags except --batch; also prints the privacy audit)\n\
      privtopk analyze [--p0 P] [--d D] [--epsilon E] [--rounds R]\n\
      privtopk knn     --query X,Y[,...] [--k K] [--csv-dir DIR | --nodes N]\n\
@@ -168,7 +169,16 @@ pub fn usage() -> String {
      (header row with column names; integer cells).\n\
      \n\
      --batch B runs B copies of the query as one batched ring execution\n\
-     (per-query seeds derived from --seed; results match B solo runs).\n"
+     (per-query seeds derived from --seed; results match B solo runs).\n\
+     \n\
+     --repeat N answers the query N times through one persistent service\n\
+     (long-lived node workers, standing ring); --pipeline D keeps up to D\n\
+     queries in flight at once. Per-query seeds are derived from --seed\n\
+     and every result matches its solo run bit for bit.\n\
+     \n\
+     --groups G (with --kind max) runs the Section 4.2 group-parallel\n\
+     optimization: G subrings then a leader ring, reporting the critical\n\
+     path alongside total messages (needs G = 1 or G >= 3, nodes >= 3G).\n"
         .to_string()
 }
 

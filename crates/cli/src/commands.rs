@@ -4,8 +4,11 @@ use std::io::Write;
 use std::path::Path;
 
 use privtopk_analysis::{correctness, efficiency, privacy_bounds, RandomizationParams};
+use privtopk_core::distributed::NetworkKind;
+use privtopk_core::groups::grouped_max;
+use privtopk_core::{derive_batch_seed, ProtocolConfig, RoundPolicy};
 use privtopk_datagen::{DataDistribution, DatasetBuilder, PrivateDatabase};
-use privtopk_domain::{NodeId, TopKVector, ValueDomain};
+use privtopk_domain::{NodeId, TopKVector, Value, ValueDomain};
 use privtopk_federation::{Federation, QueryBatch, QueryKind, QuerySpec};
 use privtopk_knn::{centralized_knn, KnnConfig, LabeledPoint, PrivateKnnClassifier};
 use privtopk_privacy::{LopAccumulator, SuccessorAdversary};
@@ -245,10 +248,67 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
     if batch_width == 0 {
         return Err(CliError::Execution("--batch must be at least 1".into()));
     }
+    let service_mode = args.get("repeat").is_some() || args.get("pipeline").is_some();
+
+    // §4.2 group-parallel max: split the participants into g subrings,
+    // then run a leader ring over the group winners.
+    let groups: usize = args.parse_or("groups", 0)?;
+    if groups > 0 {
+        if audit || batch_width > 1 || service_mode {
+            return Err(CliError::Execution(
+                "--groups cannot combine with audit, --batch or --repeat".into(),
+            ));
+        }
+        if !matches!(kind, QueryKind::Max) {
+            return Err(CliError::Execution(
+                "--groups requires --kind max (the Section 4.2 optimization is defined for max selection)"
+                    .into(),
+            ));
+        }
+        // Each participant contributes its private local maximum.
+        let values: Vec<Value> = members
+            .iter()
+            .map(|m| {
+                let col = m
+                    .table()
+                    .column_by_name(&attribute)
+                    .map_err(|e| CliError::Execution(e.to_string()))?;
+                m.table()
+                    .column_values(col)
+                    .into_iter()
+                    .max()
+                    .ok_or_else(|| CliError::Execution("a participant holds no rows".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        let config = ProtocolConfig::max()
+            .with_domain(federation.domain())
+            .with_schedule(spec.schedule())
+            .with_rounds(RoundPolicy::Precision { epsilon });
+        let outcome = grouped_max(&config, &values, groups, seed)
+            .map_err(|e| CliError::Execution(e.to_string()))?;
+        return write_out(
+            out,
+            &format!(
+                "\ngroup-parallel max over `{attribute}`: {} nodes in {groups} groups\n\
+                 result: [{}]\n\
+                 total messages: {}  critical path messages: {}\n",
+                values.len(),
+                outcome.result,
+                outcome.total_messages,
+                outcome.critical_path_messages,
+            ),
+        );
+    }
+
     if batch_width > 1 {
         if audit {
             return Err(CliError::Execution(
                 "audit does not support --batch; audit queries one at a time".into(),
+            ));
+        }
+        if service_mode {
+            return Err(CliError::Execution(
+                "--batch cannot combine with --repeat/--pipeline; pick one execution mode".into(),
             ));
         }
         let batch = QueryBatch::from_specs(vec![spec; batch_width], seed);
@@ -267,6 +327,57 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
                 outcome.messages(),
             ));
         }
+        return write_out(out, &text);
+    }
+
+    // Persistent service mode: stand the federation up once, then stream
+    // `--repeat` queries through it, `--pipeline` of them in flight at a
+    // time. Per-query seeds are batch-derived from --seed, so query i's
+    // outcome is bit-identical to a solo run under that seed.
+    if service_mode {
+        if audit {
+            return Err(CliError::Execution(
+                "audit does not support --repeat; audit queries one at a time".into(),
+            ));
+        }
+        let repeat: usize = args.parse_or("repeat", 1)?;
+        let depth: usize = args.parse_or("pipeline", 1)?;
+        if repeat == 0 {
+            return Err(CliError::Execution("--repeat must be at least 1".into()));
+        }
+        let mut service = federation
+            .serve(&spec, NetworkKind::InMemory, depth)
+            .map_err(|e| CliError::Execution(e.to_string()))?;
+        let seeds: Vec<u64> = (0..repeat as u64)
+            .map(|i| derive_batch_seed(seed, i))
+            .collect();
+        let outcomes = service
+            .query_many(&seeds)
+            .map_err(|e| CliError::Execution(e.to_string()))?;
+        let metrics = service.metrics();
+        service
+            .shutdown()
+            .map_err(|e| CliError::Execution(e.to_string()))?;
+        let mut text = format!(
+            "\nservice: {repeat} x {kind:?} over `{attribute}` (epsilon {epsilon}), pipeline depth {depth}\n"
+        );
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let rendered: Vec<String> = outcome.values().iter().map(ToString::to_string).collect();
+            text.push_str(&format!(
+                "query#{i} result: [{}] rounds: {} messages: {}\n",
+                rendered.join(", "),
+                outcome.rounds(),
+                outcome.messages(),
+            ));
+        }
+        // The pool high-water mark is scheduling-dependent, so only the
+        // deterministic wire counters go to stdout (the bench JSON
+        // reports the pool; `privtopk query ... | diff` must be stable).
+        text.push_str(&format!(
+            "service totals: {} frames, {} bytes\n",
+            metrics.frames_sent(),
+            metrics.bytes_sent(),
+        ));
         return write_out(out, &text);
     }
 
@@ -482,6 +593,132 @@ mod tests {
     #[test]
     fn audit_refuses_batch() {
         assert!(run_to_string(&["audit", "--kind", "max", "--batch", "2"]).is_err());
+    }
+
+    #[test]
+    fn service_mode_prints_per_query_results_and_totals() {
+        let out = run_to_string(&[
+            "query",
+            "--kind",
+            "topk",
+            "--k",
+            "2",
+            "--nodes",
+            "4",
+            "--repeat",
+            "5",
+            "--pipeline",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("service: 5 x"), "output: {out}");
+        assert!(out.contains("pipeline depth 4"), "output: {out}");
+        for i in 0..5 {
+            assert!(
+                out.contains(&format!("query#{i} result: [")),
+                "output: {out}"
+            );
+        }
+        assert!(out.contains("service totals:"), "output: {out}");
+        assert!(out.contains("frames"), "output: {out}");
+    }
+
+    #[test]
+    fn service_results_match_solo_runs_per_derived_seed() {
+        // query#i of the service run must equal a solo run under the
+        // batch-derived seed, at any pipeline depth.
+        let shallow = run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--nodes",
+            "4",
+            "--repeat",
+            "6",
+            "--pipeline",
+            "1",
+        ])
+        .unwrap();
+        let deep = run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--nodes",
+            "4",
+            "--repeat",
+            "6",
+            "--pipeline",
+            "6",
+        ])
+        .unwrap();
+        for i in 0..6 {
+            let line = |s: &str| {
+                s.lines()
+                    .find(|l| l.starts_with(&format!("query#{i} ")))
+                    .unwrap()
+                    .to_string()
+            };
+            assert_eq!(line(&shallow), line(&deep), "query {i}");
+        }
+    }
+
+    #[test]
+    fn service_mode_rejects_bad_combos() {
+        assert!(run_to_string(&["audit", "--kind", "max", "--repeat", "2"]).is_err());
+        assert!(
+            run_to_string(&["query", "--kind", "max", "--batch", "2", "--repeat", "2"]).is_err()
+        );
+        assert!(run_to_string(&["query", "--kind", "max", "--repeat", "0"]).is_err());
+        assert!(
+            run_to_string(&["query", "--kind", "max", "--repeat", "2", "--pipeline", "0"]).is_err()
+        );
+    }
+
+    #[test]
+    fn grouped_max_reports_critical_path() {
+        let out = run_to_string(&[
+            "query", "--kind", "max", "--nodes", "9", "--rows", "6", "--groups", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("group-parallel max"), "output: {out}");
+        assert!(out.contains("9 nodes in 3 groups"), "output: {out}");
+        assert!(out.contains("total messages:"), "output: {out}");
+        assert!(out.contains("critical path messages:"), "output: {out}");
+    }
+
+    #[test]
+    fn grouped_max_matches_flat_result() {
+        // The optimization must not change the answer: compare against
+        // the plain query over the same synthetic federation.
+        let flat =
+            run_to_string(&["query", "--kind", "max", "--nodes", "9", "--rows", "6"]).unwrap();
+        let grouped = run_to_string(&[
+            "query", "--kind", "max", "--nodes", "9", "--rows", "6", "--groups", "3",
+        ])
+        .unwrap();
+        let result = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("result: ["))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(result(&flat), result(&grouped));
+    }
+
+    #[test]
+    fn groups_rejects_non_max_kinds_and_bad_combos() {
+        assert!(run_to_string(&["query", "--kind", "topk", "--k", "2", "--groups", "3"]).is_err());
+        assert!(run_to_string(&["audit", "--kind", "max", "--groups", "3"]).is_err());
+        assert!(
+            run_to_string(&["query", "--kind", "max", "--groups", "3", "--batch", "2"]).is_err()
+        );
+        assert!(
+            run_to_string(&["query", "--kind", "max", "--groups", "3", "--repeat", "2"]).is_err()
+        );
+        // Two groups: neither flat nor a valid split (needs >= 3 groups).
+        assert!(
+            run_to_string(&["query", "--kind", "max", "--nodes", "9", "--groups", "2"]).is_err()
+        );
     }
 
     #[test]

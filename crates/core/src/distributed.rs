@@ -14,10 +14,10 @@ use std::time::Duration;
 use privtopk_domain::rng::SeedSpec;
 use privtopk_domain::{NodeId, RingPosition, TopKVector};
 use privtopk_ring::faults::{FaultyEndpoint, ReliableEndpoint};
-use privtopk_ring::transport::{send_value, InMemoryNetwork, TcpNetwork, Transport};
+use privtopk_ring::transport::{
+    send_value_many_with, send_value_with, FramePool, InMemoryNetwork, TcpNetwork, Transport,
+};
 use privtopk_ring::{RingError, RingTopology, TransportMetrics};
-
-use privtopk_ring::transport::send_value_many;
 
 use crate::local::{max_step, topk_step};
 use crate::{
@@ -27,11 +27,11 @@ use crate::{
 
 /// Seed stream tags — shared with the simulation engine so both drivers
 /// derive identical randomness.
-const STREAM_TOPOLOGY: u64 = 0x10;
-const STREAM_NODE: u64 = 0x20;
+pub(crate) const STREAM_TOPOLOGY: u64 = 0x10;
+pub(crate) const STREAM_NODE: u64 = 0x20;
 
 /// How long a worker waits for its predecessor before giving up.
-const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+pub(crate) const RECV_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Which substrate carries the messages.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -170,16 +170,7 @@ pub(crate) fn run_once(
         })));
     }
     let rounds = config.resolve_rounds().map_err(fail)?;
-    let spec = SeedSpec::new(seed);
-    let topology = Arc::new(
-        match config.start() {
-            StartPolicy::Fixed => RingTopology::identity(n),
-            StartPolicy::RandomAnonymous => {
-                RingTopology::random(n, &mut spec.stream(STREAM_TOPOLOGY).rng())
-            }
-        }
-        .map_err(|e| fail(e.into()))?,
-    );
+    let topology = Arc::new(derive_topology(config, n, seed).map_err(fail)?);
 
     let (endpoints, metrics) = build_endpoints(network, n, seed).map_err(fail)?;
     let drain_on_exit = drain_window(network);
@@ -187,20 +178,16 @@ pub(crate) fn run_once(
     let mut handles = Vec::with_capacity(n);
     for (i, endpoint) in endpoints.into_iter().enumerate() {
         let me = NodeId::new(i);
-        let local = locals[i].clone();
         let topology = Arc::clone(&topology);
-        let config = Arc::clone(&config);
-        let node_seed = spec.stream(STREAM_NODE).stream(i as u64);
+        let state = NodeWorker::for_query(Arc::clone(&config), locals[i].clone(), seed, i, rounds);
         let crash_at = crashes.round_for(me);
         handles.push(std::thread::spawn(move || {
             worker(
                 me,
-                local,
+                state,
                 endpoint,
                 &topology,
-                &config,
                 rounds,
-                node_seed,
                 drain_on_exit,
                 crash_at,
                 recv_timeout,
@@ -261,9 +248,25 @@ pub(crate) fn run_once(
     })
 }
 
+/// Derives a query's ring topology from its seed — the same
+/// `STREAM_TOPOLOGY` derivation as the simulation engine, shared by the
+/// one-shot, batched and persistent-service drivers.
+pub(crate) fn derive_topology(
+    config: &ProtocolConfig,
+    n: usize,
+    seed: u64,
+) -> Result<RingTopology, ProtocolError> {
+    Ok(match config.start() {
+        StartPolicy::Fixed => RingTopology::identity(n)?,
+        StartPolicy::RandomAnonymous => {
+            RingTopology::random(n, &mut SeedSpec::new(seed).stream(STREAM_TOPOLOGY).rng())?
+        }
+    })
+}
+
 /// Builds one endpoint per node over the requested substrate, plus the
 /// network's shared metrics.
-fn build_endpoints(
+pub(crate) fn build_endpoints(
     network: NetworkKind,
     n: usize,
     seed: u64,
@@ -313,7 +316,7 @@ fn build_endpoints(
 /// Lossy transports need a shutdown drain: a finished worker keeps
 /// re-acknowledging retransmissions for a grace window so a peer whose
 /// ACK was dropped does not retry into a closed endpoint.
-fn drain_window(network: NetworkKind) -> Option<Duration> {
+pub(crate) fn drain_window(network: NetworkKind) -> Option<Duration> {
     match network {
         NetworkKind::LossyInMemory { .. } => Some(Duration::from_secs(1)),
         _ => None,
@@ -397,13 +400,7 @@ pub fn run_distributed_batch(
     let mut prepared: Vec<(u32, Arc<RingTopology>)> = Vec::with_capacity(jobs.len());
     for job in jobs {
         let rounds = job.config.resolve_rounds()?;
-        let spec = SeedSpec::new(job.seed);
-        let topology = match job.config.start() {
-            StartPolicy::Fixed => RingTopology::identity(n)?,
-            StartPolicy::RandomAnonymous => {
-                RingTopology::random(n, &mut spec.stream(STREAM_TOPOLOGY).rng())?
-            }
-        };
+        let topology = derive_topology(&job.config, n, job.seed)?;
         prepared.push((rounds, Arc::new(topology)));
     }
 
@@ -430,17 +427,16 @@ pub fn run_distributed_batch(
         let drain_on_exit = drain_window(network);
         let mut handles = Vec::with_capacity(n);
         for (i, endpoint) in endpoints.into_iter().enumerate() {
-            let worker_jobs: Vec<BatchWorkerJob> = members
+            let worker_jobs: Vec<NodeWorker> = members
                 .iter()
-                .map(|&j| BatchWorkerJob {
-                    config: Arc::clone(&configs[j]),
-                    local: jobs[j].locals[i].clone(),
-                    rng: SeedSpec::new(jobs[j].seed)
-                        .stream(STREAM_NODE)
-                        .stream(i as u64)
-                        .rng(),
-                    has_inserted: false,
-                    steps: Vec::with_capacity(*rounds as usize),
+                .map(|&j| {
+                    NodeWorker::for_query(
+                        Arc::clone(&configs[j]),
+                        jobs[j].locals[i].clone(),
+                        jobs[j].seed,
+                        i,
+                        *rounds,
+                    )
                 })
                 .collect();
             let topology = Arc::clone(topology);
@@ -621,21 +617,115 @@ pub fn run_with_recovery(
     })
 }
 
-struct WorkerReport {
-    node: NodeId,
+/// Per-node, per-query protocol state shared by every execution mode —
+/// the one-shot [`worker`], the lock-step [`batch_worker`], and the
+/// persistent service's in-flight slots (`crate::service`). It owns the
+/// node's seed-derived RNG stream, the top-k insertion flag and the step
+/// log, and advances exactly one hop at a time; centralizing the hop
+/// computation here is what keeps every mode's transcript bit-identical
+/// to the simulation for a given seed.
+pub(crate) struct NodeWorker {
+    config: Arc<ProtocolConfig>,
+    local: TopKVector,
+    rng: rand::rngs::SmallRng,
+    has_inserted: bool,
     steps: Vec<StepRecord>,
-    result: TopKVector,
 }
 
-#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+impl NodeWorker {
+    /// State for node index `i` of a query seeded by `seed`, using the
+    /// `STREAM_NODE` derivation shared with the simulation engine.
+    pub(crate) fn for_query(
+        config: Arc<ProtocolConfig>,
+        local: TopKVector,
+        seed: u64,
+        node_index: usize,
+        rounds: u32,
+    ) -> Self {
+        NodeWorker {
+            config,
+            local,
+            rng: SeedSpec::new(seed)
+                .stream(STREAM_NODE)
+                .stream(node_index as u64)
+                .rng(),
+            has_inserted: false,
+            steps: Vec::with_capacity(rounds as usize),
+        }
+    }
+
+    /// The domain-floor vector the starting node consumes in round 1
+    /// instead of receiving.
+    pub(crate) fn floor(&self) -> TopKVector {
+        TopKVector::floor(self.config.k(), &self.config.domain())
+    }
+
+    /// Runs one hop of the local algorithm: consumes `incoming`, records
+    /// the step, and returns the vector to forward to the successor.
+    pub(crate) fn advance(
+        &mut self,
+        round: u32,
+        position: RingPosition,
+        node: NodeId,
+        incoming: TopKVector,
+    ) -> Result<TopKVector, ProtocolError> {
+        let domain = self.config.domain();
+        let probability = self.config.schedule().probability(round);
+        let (outgoing, action) = match self.config.algorithm() {
+            AlgorithmKind::Max => {
+                let step = max_step(
+                    &mut self.rng,
+                    probability,
+                    incoming.first(),
+                    self.local.first(),
+                    &domain,
+                )?;
+                (TopKVector::from_sorted(vec![step.output])?, step.action)
+            }
+            AlgorithmKind::TopK => {
+                let step = topk_step(
+                    &mut self.rng,
+                    probability,
+                    &incoming,
+                    &self.local,
+                    self.has_inserted,
+                    self.config.delta(),
+                    &domain,
+                )?;
+                self.has_inserted = step.has_inserted;
+                (step.output, step.action)
+            }
+        };
+        self.steps.push(StepRecord {
+            round,
+            position,
+            node,
+            incoming,
+            outgoing: outgoing.clone(),
+            action,
+        });
+        Ok(outgoing)
+    }
+
+    /// Consumes the state, yielding the recorded step log.
+    pub(crate) fn into_steps(self) -> Vec<StepRecord> {
+        self.steps
+    }
+}
+
+pub(crate) struct WorkerReport {
+    pub(crate) node: NodeId,
+    pub(crate) steps: Vec<StepRecord>,
+    pub(crate) result: TopKVector,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker(
     me: NodeId,
-    local: TopKVector,
+    mut state: NodeWorker,
     mut endpoint: Box<dyn Transport>,
     topology: &RingTopology,
-    config: &ProtocolConfig,
     rounds: u32,
-    node_seed: SeedSpec,
     drain_on_exit: Option<Duration>,
     crash_at: Option<u32>,
     recv_timeout: Duration,
@@ -644,10 +734,7 @@ fn worker(
     let position = topology.position_of(me)?;
     let successor = topology.successor_of(me)?;
     let predecessor = topology.predecessor_of(me)?;
-    let domain = config.domain();
-    let mut rng = node_seed.rng();
-    let mut has_inserted = false;
-    let mut steps = Vec::with_capacity(rounds as usize);
+    let pool = endpoint.pool();
 
     let recv_token = |endpoint: &mut Box<dyn Transport>,
                       expect_round: u32|
@@ -676,7 +763,7 @@ fn worker(
             return Err(ProtocolError::WorkerCrashed { node: me });
         }
         let incoming = if round == 1 && position.is_start() {
-            TopKVector::floor(config.k(), &domain)
+            state.floor()
         } else {
             // Position 0 consumes the previous round's closing token.
             let expect = if position.is_start() {
@@ -686,42 +773,10 @@ fn worker(
             };
             recv_token(&mut endpoint, expect)?
         };
-        let probability = config.schedule().probability(round);
-        let (outgoing, action) = match config.algorithm() {
-            AlgorithmKind::Max => {
-                let step = max_step(
-                    &mut rng,
-                    probability,
-                    incoming.first(),
-                    local.first(),
-                    &domain,
-                )?;
-                (TopKVector::from_sorted(vec![step.output])?, step.action)
-            }
-            AlgorithmKind::TopK => {
-                let step = topk_step(
-                    &mut rng,
-                    probability,
-                    &incoming,
-                    &local,
-                    has_inserted,
-                    config.delta(),
-                    &domain,
-                )?;
-                has_inserted = step.has_inserted;
-                (step.output, step.action)
-            }
-        };
-        steps.push(StepRecord {
-            round,
-            position,
-            node: me,
-            incoming,
-            outgoing: outgoing.clone(),
-            action,
-        });
-        send_value(
+        let outgoing = state.advance(round, position, me, incoming)?;
+        send_value_with(
             endpoint.as_mut(),
+            &pool,
             successor,
             &TokenMessage::Token {
                 round,
@@ -734,8 +789,9 @@ fn worker(
     // final round and circulates the result once around the ring.
     let result = if position.is_start() {
         let result = recv_token(&mut endpoint, rounds)?;
-        send_value(
+        send_value_with(
             endpoint.as_mut(),
+            &pool,
             successor,
             &TokenMessage::Finished {
                 vector: result.clone(),
@@ -752,8 +808,9 @@ fn worker(
         // Forward unless the successor is the starting node (which
         // initiated the circulation and already has the result).
         if position.get() + 1 < n {
-            send_value(
+            send_value_with(
                 endpoint.as_mut(),
+                &pool,
                 successor,
                 &TokenMessage::Finished {
                     vector: vector.clone(),
@@ -766,25 +823,35 @@ fn worker(
     // Over lossy transports, keep re-acknowledging retransmissions for a
     // grace window so peers whose ACKs were dropped can finish cleanly.
     if let Some(window) = drain_on_exit {
-        let deadline = std::time::Instant::now() + window;
-        loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
-                break;
-            }
-            match endpoint.recv_timeout(remaining) {
-                Ok(_) => {} // duplicate already re-acked inside the layer
-                Err(RingError::Timeout) | Err(RingError::Disconnected) => break,
-                Err(e) => return Err(e.into()),
-            }
-        }
+        drain_endpoint(endpoint.as_mut(), window)?;
     }
 
     Ok(WorkerReport {
         node: me,
-        steps,
+        steps: state.into_steps(),
         result,
     })
+}
+
+/// Keeps receiving (and discarding) frames until `window` elapses or the
+/// network disconnects — the shutdown drain for lossy transports, whose
+/// reliability layer re-acknowledges duplicates inside `recv`.
+pub(crate) fn drain_endpoint(
+    endpoint: &mut dyn Transport,
+    window: Duration,
+) -> Result<(), ProtocolError> {
+    let deadline = std::time::Instant::now() + window;
+    loop {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return Ok(());
+        }
+        match endpoint.recv_timeout(remaining) {
+            Ok(_) => {} // duplicate already re-acked inside the layer
+            Err(RingError::Timeout) | Err(RingError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 fn recv_with_timeout(
@@ -794,15 +861,6 @@ fn recv_with_timeout(
     let (from, frame) = endpoint.recv_timeout(timeout)?;
     let msg = privtopk_ring::wire::decode_from_bytes(&frame)?;
     Ok((from, msg))
-}
-
-/// One query's worth of per-node state inside a batch worker.
-struct BatchWorkerJob {
-    config: Arc<ProtocolConfig>,
-    local: TopKVector,
-    rng: rand::rngs::SmallRng,
-    has_inserted: bool,
-    steps: Vec<StepRecord>,
 }
 
 /// What one node reports back for a batch group: per job (in group
@@ -819,7 +877,7 @@ struct BatchWorkerReport {
 /// would produce.
 fn batch_worker(
     me: NodeId,
-    mut jobs: Vec<BatchWorkerJob>,
+    mut jobs: Vec<NodeWorker>,
     mut endpoint: Box<dyn Transport>,
     topology: &RingTopology,
     rounds: u32,
@@ -832,13 +890,15 @@ fn batch_worker(
     let position = topology.position_of(me)?;
     let successor = topology.successor_of(me)?;
     let predecessor = topology.predecessor_of(me)?;
+    let pool = endpoint.pool();
 
     let recv_batch = |endpoint: &mut Box<dyn Transport>,
+                      pool: &FramePool,
                       expect_round: u32|
      -> Result<Vec<TopKVector>, ProtocolError> {
         let (from, frame) = endpoint.recv_timeout(recv_timeout)?;
         let msg: BatchMessage = privtopk_ring::wire::decode_from_bytes(&frame)?;
-        endpoint.pool().recycle(frame);
+        pool.recycle(frame);
         match msg {
             BatchMessage::Tokens { round, vectors } if round == expect_round => {
                 debug_assert_eq!(from, predecessor, "tokens must come from predecessor");
@@ -860,9 +920,7 @@ fn batch_worker(
 
     for round in 1..=rounds {
         let incomings: Vec<TopKVector> = if round == 1 && position.is_start() {
-            jobs.iter()
-                .map(|j| TopKVector::floor(j.config.k(), &j.config.domain()))
-                .collect()
+            jobs.iter().map(NodeWorker::floor).collect()
         } else {
             // Position 0 consumes the previous round's closing tokens.
             let expect = if position.is_start() {
@@ -870,49 +928,15 @@ fn batch_worker(
             } else {
                 round
             };
-            recv_batch(&mut endpoint, expect)?
+            recv_batch(&mut endpoint, &pool, expect)?
         };
         let mut outgoing_vectors = Vec::with_capacity(width);
         for (job, incoming) in jobs.iter_mut().zip(incomings) {
-            let domain = job.config.domain();
-            let probability = job.config.schedule().probability(round);
-            let (outgoing, action) = match job.config.algorithm() {
-                AlgorithmKind::Max => {
-                    let step = max_step(
-                        &mut job.rng,
-                        probability,
-                        incoming.first(),
-                        job.local.first(),
-                        &domain,
-                    )?;
-                    (TopKVector::from_sorted(vec![step.output])?, step.action)
-                }
-                AlgorithmKind::TopK => {
-                    let step = topk_step(
-                        &mut job.rng,
-                        probability,
-                        &incoming,
-                        &job.local,
-                        job.has_inserted,
-                        job.config.delta(),
-                        &domain,
-                    )?;
-                    job.has_inserted = step.has_inserted;
-                    (step.output, step.action)
-                }
-            };
-            job.steps.push(StepRecord {
-                round,
-                position,
-                node: me,
-                incoming,
-                outgoing: outgoing.clone(),
-                action,
-            });
-            outgoing_vectors.push(outgoing);
+            outgoing_vectors.push(job.advance(round, position, me, incoming)?);
         }
-        send_value_many(
+        send_value_many_with(
             endpoint.as_mut(),
+            &pool,
             successor,
             &BatchMessage::Tokens {
                 round,
@@ -925,9 +949,10 @@ fn batch_worker(
     // Termination mirrors the solo worker: the starting node collects the
     // final closing tokens and circulates them once around the ring.
     let results: Vec<TopKVector> = if position.is_start() {
-        let results = recv_batch(&mut endpoint, rounds)?;
-        send_value_many(
+        let results = recv_batch(&mut endpoint, &pool, rounds)?;
+        send_value_many_with(
             endpoint.as_mut(),
+            &pool,
             successor,
             &BatchMessage::Finished {
                 vectors: results.clone(),
@@ -938,7 +963,7 @@ fn batch_worker(
     } else {
         let (_, frame) = endpoint.recv_timeout(recv_timeout)?;
         let msg: BatchMessage = privtopk_ring::wire::decode_from_bytes(&frame)?;
-        endpoint.pool().recycle(frame);
+        pool.recycle(frame);
         let BatchMessage::Finished { vectors } = msg else {
             return Err(ProtocolError::Ring(RingError::Decode {
                 reason: "expected termination message",
@@ -950,8 +975,9 @@ fn batch_worker(
             }));
         }
         if position.get() + 1 < n {
-            send_value_many(
+            send_value_many_with(
                 endpoint.as_mut(),
+                &pool,
                 successor,
                 &BatchMessage::Finished {
                     vectors: vectors.clone(),
@@ -963,18 +989,7 @@ fn batch_worker(
     };
 
     if let Some(window) = drain_on_exit {
-        let deadline = std::time::Instant::now() + window;
-        loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
-                break;
-            }
-            match endpoint.recv_timeout(remaining) {
-                Ok(_) => {}
-                Err(RingError::Timeout) | Err(RingError::Disconnected) => break,
-                Err(e) => return Err(e.into()),
-            }
-        }
+        drain_endpoint(endpoint.as_mut(), window)?;
     }
 
     Ok(BatchWorkerReport {
@@ -982,7 +997,7 @@ fn batch_worker(
         jobs: jobs
             .into_iter()
             .zip(results)
-            .map(|(job, result)| (job.steps, result))
+            .map(|(job, result)| (job.into_steps(), result))
             .collect(),
     })
 }

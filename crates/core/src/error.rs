@@ -53,6 +53,12 @@ pub enum ProtocolError {
     Domain(DomainError),
     /// A transport/topology error from the ring substrate.
     Ring(RingError),
+    /// The persistent service runtime was misused (zero pipeline depth,
+    /// a ticket collected twice, …).
+    InvalidService {
+        /// What was wrong.
+        reason: &'static str,
+    },
     /// A distributed worker thread panicked or disconnected.
     WorkerFailed {
         /// Ring position of the failed worker.
@@ -90,6 +96,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::ZeroDelta => write!(f, "delta must be at least 1"),
             ProtocolError::InvalidBatch { reason } => {
                 write!(f, "invalid query batch: {reason}")
+            }
+            ProtocolError::InvalidService { reason } => {
+                write!(f, "invalid service use: {reason}")
             }
             ProtocolError::Domain(e) => write!(f, "domain error: {e}"),
             ProtocolError::Ring(e) => write!(f, "ring error: {e}"),
@@ -146,6 +155,9 @@ mod tests {
             ProtocolError::ZeroDelta,
             ProtocolError::InvalidBatch {
                 reason: "empty batch",
+            },
+            ProtocolError::InvalidService {
+                reason: "pipeline depth must be at least 1",
             },
             ProtocolError::Domain(DomainError::ZeroK),
             ProtocolError::Ring(RingError::Disconnected),

@@ -22,6 +22,9 @@
 //!   full [`Transcript`] of intermediate results.
 //! - [`distributed`]: the same protocol over real transports
 //!   (threads + in-memory channels or TCP loopback).
+//! - [`service`]: the persistent service runtime — long-lived node
+//!   workers answering a stream of queries over one standing ring, with
+//!   a pipelined scheduler keeping several queries in flight at once.
 //! - [`groups`]: the Section 4.2 group-parallel scaling optimization.
 //!
 //! # Quickstart
@@ -55,12 +58,14 @@ pub mod latency;
 pub mod local;
 mod messages;
 mod schedule;
+pub mod service;
 mod transcript;
 
 pub use batch::{derive_batch_seed, BatchJob};
 pub use config::{AlgorithmKind, ProtocolConfig, RoundPolicy, StartPolicy};
 pub use engine::{run_simulated_batch, true_topk, SimulationEngine};
 pub use error::ProtocolError;
-pub use messages::{BatchMessage, TokenMessage, MAX_BATCH_ENTRIES};
+pub use messages::{BatchMessage, SlotMessage, TokenMessage, MAX_BATCH_ENTRIES};
 pub use schedule::Schedule;
+pub use service::{QueryTicket, ServiceOutcome, ServiceRuntime};
 pub use transcript::{StepRecord, Transcript};

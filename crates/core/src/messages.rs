@@ -29,6 +29,7 @@ const TAG_TOKEN: u8 = 1;
 const TAG_FINISHED: u8 = 2;
 const TAG_BATCH_TOKENS: u8 = 3;
 const TAG_BATCH_FINISHED: u8 = 4;
+const TAG_SLOT: u8 = 5;
 
 /// Hard cap on the number of piggybacked queries in one [`BatchMessage`].
 ///
@@ -68,6 +69,45 @@ impl WireDecode for TokenMessage {
                 reason: "unknown token message tag",
             }),
         }
+    }
+}
+
+/// A service-runtime frame: one query's [`TokenMessage`] tagged with the
+/// query id assigned by the scheduler.
+///
+/// The persistent service keeps several independent queries in flight on
+/// the same ring at once; the tag is what lets a long-lived worker
+/// demultiplex interleaved traversals back onto the right per-query slot
+/// (each slot owns its own RNG stream, so the transcript of every tagged
+/// query is bit-identical to its solo run regardless of interleaving).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotMessage {
+    /// Scheduler-assigned query id; unique over a service's lifetime.
+    pub query: u64,
+    /// The hop payload, exactly as a solo run would frame it.
+    pub inner: TokenMessage,
+}
+
+impl WireEncode for SlotMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(TAG_SLOT);
+        self.query.encode(buf);
+        self.inner.encode(buf);
+    }
+}
+
+impl WireDecode for SlotMessage {
+    fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
+        let tag = u8::decode(buf)?;
+        if tag != TAG_SLOT {
+            return Err(RingError::Decode {
+                reason: "unknown slot message tag",
+            });
+        }
+        Ok(SlotMessage {
+            query: u64::decode(buf)?,
+            inner: TokenMessage::decode(buf)?,
+        })
     }
 }
 
@@ -199,6 +239,36 @@ mod tests {
         let frame = Bytes::from_static(&[99]);
         assert!(decode_from_bytes::<TokenMessage>(&frame).is_err());
         assert!(decode_from_bytes::<BatchMessage>(&frame).is_err());
+        assert!(decode_from_bytes::<SlotMessage>(&frame).is_err());
+    }
+
+    #[test]
+    fn slot_roundtrip() {
+        for inner in [
+            TokenMessage::Token {
+                round: 9,
+                vector: vector(),
+            },
+            TokenMessage::Finished { vector: vector() },
+        ] {
+            let msg = SlotMessage {
+                query: u64::MAX - 3,
+                inner,
+            };
+            let frame = encode_to_bytes(&msg);
+            assert_eq!(decode_from_bytes::<SlotMessage>(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncated_slot_rejected() {
+        let msg = SlotMessage {
+            query: 12,
+            inner: TokenMessage::Finished { vector: vector() },
+        };
+        let frame = encode_to_bytes(&msg);
+        let short = frame.slice(0..frame.len() - 2);
+        assert!(decode_from_bytes::<SlotMessage>(&short).is_err());
     }
 
     #[test]

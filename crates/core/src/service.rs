@@ -1,0 +1,1034 @@
+//! The persistent service runtime: long-lived node workers answering a
+//! stream of top-k queries over one standing ring.
+//!
+//! [`run_distributed`](crate::distributed::run_distributed) tears the
+//! world down after every query — n thread spawns, n endpoint setups and
+//! (over TCP) n connection handshakes per invocation — so setup cost
+//! dominates sustained throughput, exactly the regime the paper's
+//! "heavy traffic from millions of users" motivation cares about. A
+//! [`ServiceRuntime`] instead spawns each node's worker **once**; the
+//! worker owns its database snapshot, its ring endpoint and its
+//! established successor connection for the lifetime of the service and
+//! reuses them for every subsequent query.
+//!
+//! On top of the standing ring sits a **pipelined scheduler**: a ring
+//! traversal only ever occupies one hop at a time, so the service keeps
+//! up to `depth` independent queries in flight simultaneously, each at a
+//! different position on the ring. Wire frames are tagged with a
+//! scheduler-assigned query id ([`SlotMessage`](crate::SlotMessage)) so
+//! workers demultiplex interleaved traversals onto per-query slots; each
+//! slot owns its seed-derived RNG stream and step log (a
+//! [`NodeWorker`]), so every transcript stays bit-identical to the same
+//! query's solo [`run_distributed`](crate::distributed::run_distributed)
+//! run regardless of how traversals interleave. Pipelining changes only
+//! *scheduling*, never per-query randomness.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use privtopk_domain::{NodeId, RingPosition, TopKVector};
+use privtopk_ring::transport::{send_value_with, FramePool, Transport};
+use privtopk_ring::wire::decode_from_bytes;
+use privtopk_ring::{RingError, RingTopology, TransportMetrics};
+
+use crate::distributed::{
+    build_endpoints, derive_topology, drain_endpoint, drain_window, NetworkKind, NodeWorker,
+    WorkerReport, RECV_TIMEOUT,
+};
+use crate::messages::SlotMessage;
+use crate::{ProtocolConfig, ProtocolError, StepRecord, TokenMessage, Transcript};
+
+/// How often an active worker interrupts its endpoint wait to pick up
+/// new slot assignments (or a shutdown) from the scheduler. Frames wake
+/// the worker immediately; this only bounds control-plane latency.
+const ACTIVE_POLL: Duration = Duration::from_millis(1);
+
+/// Seed for the fault-injection RNGs of a lossy service network. Drop
+/// decisions are transport-level and never reach a transcript, so a
+/// fixed stream is fine.
+const FAULT_SEED: u64 = 0x5EED_F417;
+
+/// One query's execution on the standing ring, as observed by the
+/// scheduler: the merged transcript plus what every node learned.
+///
+/// Bit-identical to the corresponding fields of the query's solo
+/// [`run_distributed`](crate::distributed::run_distributed) outcome.
+/// Wire accounting is *not* per-query here — concurrent traversals share
+/// the transport — so cumulative counters live on
+/// [`ServiceRuntime::metrics`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOutcome {
+    /// The assembled global transcript (merged from all workers).
+    pub transcript: Transcript,
+    /// The final result as learned by each node (indexed by `NodeId`).
+    pub per_node_results: Vec<TopKVector>,
+}
+
+/// A handle for one submitted query, redeemed by
+/// [`ServiceRuntime::collect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTicket {
+    query: u64,
+}
+
+/// Everything a worker needs to open a slot for one query.
+struct SlotInit {
+    query: u64,
+    config: Arc<ProtocolConfig>,
+    topology: Arc<RingTopology>,
+    rounds: u32,
+    seed: u64,
+}
+
+enum WorkerControl {
+    Assign(Arc<SlotInit>),
+    Shutdown,
+}
+
+/// One node's verdict on one query: its step log and learned result, or
+/// the first error that killed the slot.
+struct SlotReport {
+    query: u64,
+    node: NodeId,
+    result: Result<(Vec<StepRecord>, TopKVector), ProtocolError>,
+}
+
+/// Where an in-flight slot stands in the ring protocol.
+///
+/// This is the solo worker's control flow unrolled into a state machine,
+/// so one long-lived thread can hold many queries at different protocol
+/// positions at once.
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::enum_variant_names)] // every phase *is* a wait
+enum SlotPhase {
+    /// Waiting for `Token { round: expect }`; on arrival compute round
+    /// `compute` (they differ only on the starting node, which consumes
+    /// round r's closing token as input to round r + 1).
+    AwaitToken { expect: u32, compute: u32 },
+    /// Starting node, all rounds computed: waiting for the final round's
+    /// closing token to initiate the termination circulation.
+    AwaitClosing,
+    /// Non-starting node, all rounds computed: waiting for the
+    /// termination circulation.
+    AwaitFinished,
+}
+
+/// One in-flight query at one node.
+struct SlotState {
+    query: u64,
+    state: NodeWorker,
+    phase: SlotPhase,
+    position: RingPosition,
+    successor: NodeId,
+    rounds: u32,
+    n: usize,
+}
+
+impl SlotState {
+    /// The phase entered after computing round `computed`.
+    fn phase_after(&self, computed: u32) -> SlotPhase {
+        if self.position.is_start() {
+            if computed < self.rounds {
+                SlotPhase::AwaitToken {
+                    expect: computed,
+                    compute: computed + 1,
+                }
+            } else {
+                SlotPhase::AwaitClosing
+            }
+        } else if computed < self.rounds {
+            SlotPhase::AwaitToken {
+                expect: computed + 1,
+                compute: computed + 1,
+            }
+        } else {
+            SlotPhase::AwaitFinished
+        }
+    }
+}
+
+enum SlotProgress {
+    Running,
+    Done(TopKVector),
+}
+
+fn expect_token(msg: TokenMessage, expect: u32) -> Result<TopKVector, ProtocolError> {
+    match msg {
+        TokenMessage::Token { round, vector } if round == expect => Ok(vector),
+        TokenMessage::Token { .. } => Err(ProtocolError::Ring(RingError::Decode {
+            reason: "unexpected round label",
+        })),
+        TokenMessage::Finished { .. } => Err(ProtocolError::Ring(RingError::Decode {
+            reason: "premature termination message",
+        })),
+    }
+}
+
+enum FrameEvent {
+    Frame(Bytes),
+    ControlOnly,
+    TimedOut,
+    Broken(ProtocolError),
+}
+
+/// The long-lived per-node worker: owns the node's database snapshot and
+/// ring endpoint, and multiplexes any number of in-flight query slots
+/// over them until told to shut down.
+struct ServiceWorker {
+    me: NodeId,
+    local: TopKVector,
+    endpoint: Box<dyn Transport>,
+    pool: FramePool,
+    control: Receiver<WorkerControl>,
+    reports: Sender<SlotReport>,
+    drain_on_exit: Option<Duration>,
+    recv_timeout: Duration,
+    slots: HashMap<u64, SlotState>,
+    draining: bool,
+}
+
+impl ServiceWorker {
+    fn run(mut self) {
+        loop {
+            if !self.pump_control() {
+                self.draining = true;
+            }
+            if self.slots.is_empty() {
+                if self.draining {
+                    break;
+                }
+                if self.drain_on_exit.is_some() {
+                    // Lossy transport: a peer may be retransmitting a
+                    // frame we already consumed whose ACK was dropped,
+                    // and only a recv re-acknowledges it — so an idle
+                    // worker must stay on the wire, not go deaf on the
+                    // control channel.
+                    match self.control.recv_timeout(ACTIVE_POLL) {
+                        Ok(msg) => self.handle_control(msg),
+                        Err(RecvTimeoutError::Timeout) => {
+                            // Re-ACKs duplicates inside the reliability
+                            // layer; a genuinely new frame (one that
+                            // outran its own Assign) is dispatched.
+                            if let Ok((_, frame)) = self.endpoint.recv_timeout(ACTIVE_POLL) {
+                                self.dispatch(frame);
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    continue;
+                }
+                // Idle: block until the scheduler speaks again — no
+                // polling, so a depth-1 workload pays no poll latency.
+                match self.control.recv() {
+                    Ok(msg) => self.handle_control(msg),
+                    Err(_) => break,
+                }
+                continue;
+            }
+            match self.recv_frame() {
+                FrameEvent::Frame(frame) => self.dispatch(frame),
+                FrameEvent::ControlOnly => {}
+                FrameEvent::TimedOut => self.fail_all(|| ProtocolError::Ring(RingError::Timeout)),
+                FrameEvent::Broken(e) => {
+                    // The transport itself died: first slot gets the real
+                    // error, the rest a disconnect.
+                    let mut first = Some(e);
+                    self.fail_all(move || {
+                        first
+                            .take()
+                            .unwrap_or(ProtocolError::Ring(RingError::Disconnected))
+                    });
+                    self.draining = true;
+                }
+            }
+        }
+        // Over lossy transports, keep re-acknowledging retransmissions
+        // for a grace window so peers whose ACKs were dropped finish.
+        if let Some(window) = self.drain_on_exit {
+            let _ = drain_endpoint(self.endpoint.as_mut(), window);
+        }
+    }
+
+    /// Drains pending control messages; returns `false` once the
+    /// scheduler has hung up.
+    fn pump_control(&mut self) -> bool {
+        loop {
+            match self.control.try_recv() {
+                Ok(msg) => self.handle_control(msg),
+                Err(TryRecvError::Empty) => return true,
+                Err(TryRecvError::Disconnected) => return false,
+            }
+        }
+    }
+
+    fn handle_control(&mut self, msg: WorkerControl) {
+        match msg {
+            WorkerControl::Assign(init) => {
+                if let Err(e) = self.assign(&init) {
+                    self.report_err(init.query, e);
+                }
+            }
+            WorkerControl::Shutdown => self.draining = true,
+        }
+    }
+
+    /// Opens a slot for one query; the starting node computes round 1
+    /// from the domain floor and forwards it immediately.
+    fn assign(&mut self, init: &SlotInit) -> Result<(), ProtocolError> {
+        let position = init.topology.position_of(self.me)?;
+        let successor = init.topology.successor_of(self.me)?;
+        let state = NodeWorker::for_query(
+            Arc::clone(&init.config),
+            self.local.clone(),
+            init.seed,
+            self.me.get(),
+            init.rounds,
+        );
+        let mut slot = SlotState {
+            query: init.query,
+            state,
+            phase: SlotPhase::AwaitToken {
+                expect: 1,
+                compute: 1,
+            },
+            position,
+            successor,
+            rounds: init.rounds,
+            n: init.topology.len(),
+        };
+        if position.is_start() {
+            let incoming = slot.state.floor();
+            let outgoing = slot.state.advance(1, position, self.me, incoming)?;
+            self.forward(
+                &slot,
+                TokenMessage::Token {
+                    round: 1,
+                    vector: outgoing,
+                },
+            )?;
+            slot.phase = slot.phase_after(1);
+        }
+        self.slots.insert(init.query, slot);
+        Ok(())
+    }
+
+    /// Waits for a frame while keeping the control plane responsive.
+    fn recv_frame(&mut self) -> FrameEvent {
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            match self.endpoint.recv_timeout(ACTIVE_POLL) {
+                Ok((_, frame)) => return FrameEvent::Frame(frame),
+                Err(RingError::Timeout) => {
+                    if !self.pump_control() {
+                        self.draining = true;
+                    }
+                    if self.draining && self.slots.is_empty() {
+                        return FrameEvent::ControlOnly;
+                    }
+                    if Instant::now() >= deadline {
+                        return FrameEvent::TimedOut;
+                    }
+                }
+                Err(e) => return FrameEvent::Broken(e.into()),
+            }
+        }
+    }
+
+    /// Demultiplexes one tagged frame onto its slot and advances it.
+    fn dispatch(&mut self, frame: Bytes) {
+        let msg: SlotMessage = match decode_from_bytes(&frame) {
+            Ok(msg) => msg,
+            Err(e) => {
+                // An unattributable frame: the ring is corrupt for
+                // everyone currently on it.
+                let mut first = Some(ProtocolError::from(e));
+                self.fail_all(move || {
+                    first
+                        .take()
+                        .unwrap_or(ProtocolError::Ring(RingError::Disconnected))
+                });
+                return;
+            }
+        };
+        self.pool.recycle(frame);
+        let query = msg.query;
+        if !self.slots.contains_key(&query) && !self.await_assignment(query) {
+            self.report_err(query, ProtocolError::Ring(RingError::Timeout));
+            return;
+        }
+        let mut slot = self.slots.remove(&query).expect("assignment awaited");
+        match self.slot_step(&mut slot, msg.inner) {
+            Ok(SlotProgress::Running) => {
+                self.slots.insert(query, slot);
+            }
+            Ok(SlotProgress::Done(result)) => {
+                let _ = self.reports.send(SlotReport {
+                    query,
+                    node: self.me,
+                    result: Ok((slot.state.into_steps(), result)),
+                });
+            }
+            Err(e) => self.report_err(query, e),
+        }
+    }
+
+    /// A frame can outrun its own `Assign`: the starting node kicks off
+    /// the moment it is assigned, while the scheduler is still fanning
+    /// the control message out to the other workers. Block on the
+    /// control channel until this query's slot exists.
+    fn await_assignment(&mut self, query: u64) -> bool {
+        let deadline = Instant::now() + self.recv_timeout;
+        while !self.slots.contains_key(&query) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            match self.control.recv_timeout(remaining) {
+                Ok(msg) => self.handle_control(msg),
+                Err(RecvTimeoutError::Timeout) => return false,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.draining = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs one hop of one slot — the solo worker's per-round body, with
+    /// the phase machine standing in for its sequential control flow.
+    fn slot_step(
+        &mut self,
+        slot: &mut SlotState,
+        msg: TokenMessage,
+    ) -> Result<SlotProgress, ProtocolError> {
+        match slot.phase {
+            SlotPhase::AwaitToken { expect, compute } => {
+                let incoming = expect_token(msg, expect)?;
+                let outgoing = slot
+                    .state
+                    .advance(compute, slot.position, self.me, incoming)?;
+                self.forward(
+                    slot,
+                    TokenMessage::Token {
+                        round: compute,
+                        vector: outgoing,
+                    },
+                )?;
+                slot.phase = slot.phase_after(compute);
+                Ok(SlotProgress::Running)
+            }
+            SlotPhase::AwaitClosing => {
+                let result = expect_token(msg, slot.rounds)?;
+                self.forward(
+                    slot,
+                    TokenMessage::Finished {
+                        vector: result.clone(),
+                    },
+                )?;
+                Ok(SlotProgress::Done(result))
+            }
+            SlotPhase::AwaitFinished => {
+                let TokenMessage::Finished { vector } = msg else {
+                    return Err(ProtocolError::Ring(RingError::Decode {
+                        reason: "expected termination message",
+                    }));
+                };
+                // Forward unless the successor is the starting node
+                // (which initiated the circulation).
+                if slot.position.get() + 1 < slot.n {
+                    self.forward(
+                        slot,
+                        TokenMessage::Finished {
+                            vector: vector.clone(),
+                        },
+                    )?;
+                }
+                Ok(SlotProgress::Done(vector))
+            }
+        }
+    }
+
+    fn forward(&mut self, slot: &SlotState, inner: TokenMessage) -> Result<(), ProtocolError> {
+        let msg = SlotMessage {
+            query: slot.query,
+            inner,
+        };
+        send_value_with(self.endpoint.as_mut(), &self.pool, slot.successor, &msg)?;
+        Ok(())
+    }
+
+    fn report_err(&mut self, query: u64, error: ProtocolError) {
+        let _ = self.reports.send(SlotReport {
+            query,
+            node: self.me,
+            result: Err(error),
+        });
+    }
+
+    /// Fails every open slot (`ProtocolError` is not `Clone`, hence the
+    /// factory).
+    fn fail_all(&mut self, mut make: impl FnMut() -> ProtocolError) {
+        let queries: Vec<u64> = self.slots.keys().copied().collect();
+        self.slots.clear();
+        for query in queries {
+            let error = make();
+            self.report_err(query, error);
+        }
+    }
+}
+
+/// Bookkeeping the scheduler keeps per in-flight query.
+struct QueryMeta {
+    k: usize,
+    rounds: u32,
+    topology: Arc<RingTopology>,
+}
+
+/// A standing federation of long-lived node workers answering a stream
+/// of queries — see the [module docs](self) for the full picture.
+///
+/// Created by [`start`](ServiceRuntime::start); torn down by
+/// [`shutdown`](ServiceRuntime::shutdown) (which drains in-flight
+/// queries and joins every worker thread). [`submit`](Self::submit)
+/// admits a query as soon as a pipeline slot frees up and returns a
+/// [`QueryTicket`]; [`collect`](Self::collect) redeems it.
+pub struct ServiceRuntime {
+    n: usize,
+    k: usize,
+    depth: usize,
+    next_query: u64,
+    in_flight: usize,
+    controls: Vec<Sender<WorkerControl>>,
+    reports: Receiver<SlotReport>,
+    pending: HashMap<u64, Vec<WorkerReport>>,
+    meta: HashMap<u64, QueryMeta>,
+    done: HashMap<u64, Result<ServiceOutcome, ProtocolError>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    metrics: TransportMetrics,
+    collect_timeout: Duration,
+}
+
+impl ServiceRuntime {
+    /// Starts one long-lived worker per node over a fresh `network`.
+    ///
+    /// `locals[i]` is the database snapshot owned by `NodeId(i)` for the
+    /// service's lifetime; `depth` is the maximum number of queries kept
+    /// in flight on the ring at once (1 = no pipelining).
+    ///
+    /// # Errors
+    ///
+    /// - [`ProtocolError::TooFewNodes`] for fewer than three snapshots.
+    /// - [`ProtocolError::InconsistentK`] if the snapshots disagree on k.
+    /// - [`ProtocolError::InvalidService`] for a zero `depth`.
+    pub fn start(
+        locals: &[TopKVector],
+        network: NetworkKind,
+        depth: usize,
+    ) -> Result<ServiceRuntime, ProtocolError> {
+        if depth == 0 {
+            return Err(ProtocolError::InvalidService {
+                reason: "pipeline depth must be at least 1",
+            });
+        }
+        let n = locals.len();
+        if n < 3 {
+            return Err(ProtocolError::TooFewNodes { got: n, minimum: 3 });
+        }
+        let k = locals[0].k();
+        for local in locals {
+            if local.k() != k {
+                return Err(ProtocolError::InconsistentK {
+                    expected: k,
+                    got: local.k(),
+                });
+            }
+        }
+        let (endpoints, metrics) = build_endpoints(network, n, FAULT_SEED)?;
+        let drain_on_exit = drain_window(network);
+        let (report_tx, report_rx) = unbounded();
+        let mut controls = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, endpoint) in endpoints.into_iter().enumerate() {
+            let (control_tx, control_rx) = unbounded();
+            let pool = endpoint.pool();
+            let worker = ServiceWorker {
+                me: NodeId::new(i),
+                local: locals[i].clone(),
+                endpoint,
+                pool,
+                control: control_rx,
+                reports: report_tx.clone(),
+                drain_on_exit,
+                recv_timeout: RECV_TIMEOUT,
+                slots: HashMap::new(),
+                draining: false,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("privtopk-svc-{i}"))
+                .spawn(move || worker.run())
+                .map_err(|_| ProtocolError::WorkerFailed { position: i })?;
+            controls.push(control_tx);
+            handles.push(handle);
+        }
+        Ok(ServiceRuntime {
+            n,
+            k,
+            depth,
+            next_query: 0,
+            in_flight: 0,
+            controls,
+            reports: report_rx,
+            pending: HashMap::new(),
+            meta: HashMap::new(),
+            done: HashMap::new(),
+            handles,
+            metrics,
+            // Strictly longer than the workers' own deadline, so a hung
+            // query surfaces as their timeout report, not ours.
+            collect_timeout: RECV_TIMEOUT + RECV_TIMEOUT / 2,
+        })
+    }
+
+    /// Number of member nodes on the standing ring.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of queries kept in flight at once.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Cumulative wire counters for the service's lifetime (shared by
+    /// all in-flight queries), including the frame pool's high-water
+    /// mark under pipelining.
+    #[must_use]
+    pub fn metrics(&self) -> TransportMetrics {
+        self.metrics.clone()
+    }
+
+    /// Submits one query, blocking only while the pipeline is full.
+    ///
+    /// Queries complete in ring order but may be collected in any
+    /// order; results wait until their ticket is redeemed.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors as for
+    /// [`run_distributed`](crate::distributed::run_distributed), or a
+    /// transport error if the service has failed.
+    pub fn submit(
+        &mut self,
+        config: &ProtocolConfig,
+        seed: u64,
+    ) -> Result<QueryTicket, ProtocolError> {
+        config.validate(self.n)?;
+        if config.k() != self.k {
+            return Err(ProtocolError::InconsistentK {
+                expected: self.k,
+                got: config.k(),
+            });
+        }
+        if config.remap_each_round() {
+            return Err(ProtocolError::Ring(RingError::Decode {
+                reason: "per-round remapping is not supported by the distributed driver",
+            }));
+        }
+        let rounds = config.resolve_rounds()?;
+        let topology = Arc::new(derive_topology(config, self.n, seed)?);
+        while self.in_flight >= self.depth {
+            self.pump_one()?;
+        }
+        let query = self.next_query;
+        self.next_query += 1;
+        self.meta.insert(
+            query,
+            QueryMeta {
+                k: config.k(),
+                rounds,
+                topology: Arc::clone(&topology),
+            },
+        );
+        self.pending.insert(query, Vec::with_capacity(self.n));
+        let init = Arc::new(SlotInit {
+            query,
+            config: Arc::new(config.clone()),
+            topology,
+            rounds,
+            seed,
+        });
+        for (position, control) in self.controls.iter().enumerate() {
+            control
+                .send(WorkerControl::Assign(Arc::clone(&init)))
+                .map_err(|_| ProtocolError::WorkerFailed { position })?;
+        }
+        self.in_flight += 1;
+        Ok(QueryTicket { query })
+    }
+
+    /// Blocks until `ticket`'s query has completed and returns its
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// The query's own first error if it failed, or
+    /// [`ProtocolError::InvalidService`] for a ticket already collected.
+    pub fn collect(&mut self, ticket: QueryTicket) -> Result<ServiceOutcome, ProtocolError> {
+        loop {
+            if let Some(outcome) = self.done.remove(&ticket.query) {
+                return outcome;
+            }
+            if !self.meta.contains_key(&ticket.query) {
+                return Err(ProtocolError::InvalidService {
+                    reason: "unknown or already collected query ticket",
+                });
+            }
+            self.pump_one()?;
+        }
+    }
+
+    /// Submits and collects one query — the warm-path equivalent of
+    /// [`run_distributed`](crate::distributed::run_distributed).
+    ///
+    /// # Errors
+    ///
+    /// As for [`submit`](Self::submit) and [`collect`](Self::collect).
+    pub fn run(
+        &mut self,
+        config: &ProtocolConfig,
+        seed: u64,
+    ) -> Result<ServiceOutcome, ProtocolError> {
+        let ticket = self.submit(config, seed)?;
+        self.collect(ticket)
+    }
+
+    /// Runs a whole workload through the pipeline, returning outcomes in
+    /// workload order.
+    ///
+    /// # Errors
+    ///
+    /// The first submission or per-query error encountered.
+    pub fn run_workload(
+        &mut self,
+        queries: &[(ProtocolConfig, u64)],
+    ) -> Result<Vec<ServiceOutcome>, ProtocolError> {
+        let mut tickets = Vec::with_capacity(queries.len());
+        for (config, seed) in queries {
+            tickets.push(self.submit(config, *seed)?);
+        }
+        tickets
+            .into_iter()
+            .map(|ticket| self.collect(ticket))
+            .collect()
+    }
+
+    /// Blocks for one worker report and folds it into the bookkeeping.
+    fn pump_one(&mut self) -> Result<(), ProtocolError> {
+        let report = self
+            .reports
+            .recv_timeout(self.collect_timeout)
+            .map_err(|_| ProtocolError::Ring(RingError::Timeout))?;
+        self.absorb(report);
+        Ok(())
+    }
+
+    fn absorb(&mut self, report: SlotReport) {
+        if !self.meta.contains_key(&report.query) {
+            // A straggler for a query that already failed: the first
+            // error decided the outcome.
+            return;
+        }
+        match report.result {
+            Err(error) => {
+                self.meta.remove(&report.query);
+                self.pending.remove(&report.query);
+                self.done.insert(report.query, Err(error));
+                self.in_flight -= 1;
+            }
+            Ok((steps, result)) => {
+                let partial = self
+                    .pending
+                    .get_mut(&report.query)
+                    .expect("pending exists while meta does");
+                partial.push(WorkerReport {
+                    node: report.node,
+                    steps,
+                    result,
+                });
+                if partial.len() == self.n {
+                    let reports = self.pending.remove(&report.query).expect("just pushed");
+                    let meta = self.meta.remove(&report.query).expect("checked above");
+                    self.done
+                        .insert(report.query, Ok(assemble(self.n, &meta, reports)));
+                    self.in_flight -= 1;
+                }
+            }
+        }
+    }
+
+    /// Shuts the service down: in-flight queries are drained to
+    /// completion (their uncollected results are discarded), then every
+    /// worker thread is joined.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::WorkerFailed`] if a worker thread panicked.
+    pub fn shutdown(mut self) -> Result<(), ProtocolError> {
+        for control in &self.controls {
+            let _ = control.send(WorkerControl::Shutdown);
+        }
+        // Hang up the control plane so no worker can block on it.
+        self.controls.clear();
+        let mut first_error = None;
+        for (position, handle) in self.handles.drain(..).enumerate() {
+            if handle.join().is_err() {
+                first_error.get_or_insert(ProtocolError::WorkerFailed { position });
+            }
+        }
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Merges n worker reports into a [`ServiceOutcome`] exactly the way the
+/// one-shot driver assembles its [`DistributedOutcome`]
+/// (`crate::distributed::run_once`) — that shared shape is what the
+/// bit-identity tests compare.
+fn assemble(n: usize, meta: &QueryMeta, mut reports: Vec<WorkerReport>) -> ServiceOutcome {
+    reports.sort_by_key(|r| r.node.get());
+    let per_node_results: Vec<TopKVector> = reports.iter().map(|r| r.result.clone()).collect();
+    let mut steps: Vec<StepRecord> = reports.into_iter().flat_map(|r| r.steps).collect();
+    steps.sort_by_key(|s| (s.round, s.position.get()));
+    let result = per_node_results[0].clone();
+    let transcript = Transcript::new(
+        n,
+        meta.k,
+        meta.rounds,
+        vec![meta.topology.order().to_vec()],
+        steps,
+        result,
+    );
+    ServiceOutcome {
+        transcript,
+        per_node_results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::run_distributed;
+    use crate::{RoundPolicy, Schedule, StartPolicy};
+    use privtopk_domain::{Value, ValueDomain};
+
+    fn locals(n: usize, k: usize, seed: u64) -> Vec<TopKVector> {
+        use rand::Rng;
+        let domain = ValueDomain::paper_default();
+        let mut rng = privtopk_domain::rng::SeedSpec::new(seed).rng();
+        (0..n)
+            .map(|_| {
+                let values: Vec<Value> = (0..k)
+                    .map(|_| Value::new(rng.gen_range(domain.as_range())))
+                    .collect();
+                TopKVector::from_values(k, values, &domain).unwrap()
+            })
+            .collect()
+    }
+
+    fn config(k: usize) -> ProtocolConfig {
+        ProtocolConfig::topk(k)
+            .with_schedule(Schedule::paper_default())
+            .with_rounds(RoundPolicy::Fixed(6))
+    }
+
+    #[test]
+    fn single_query_matches_cold_run() {
+        let locals = locals(5, 3, 11);
+        let cfg = config(3);
+        let cold = run_distributed(&cfg, &locals, NetworkKind::InMemory, 42).unwrap();
+        let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, 1).unwrap();
+        let warm = service.run(&cfg, 42).unwrap();
+        service.shutdown().unwrap();
+        assert_eq!(warm.transcript, cold.transcript);
+        assert_eq!(warm.per_node_results, cold.per_node_results);
+    }
+
+    #[test]
+    fn sequential_reuse_matches_cold_runs() {
+        let locals = locals(4, 2, 7);
+        let cfg = config(2);
+        let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, 1).unwrap();
+        for seed in 0..20u64 {
+            let cold = run_distributed(&cfg, &locals, NetworkKind::InMemory, seed).unwrap();
+            let warm = service.run(&cfg, seed).unwrap();
+            assert_eq!(warm.transcript, cold.transcript, "seed {seed}");
+        }
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipelined_depths_match_solo_transcripts() {
+        let locals = locals(5, 3, 3);
+        let cfg = config(3);
+        let workload: Vec<(ProtocolConfig, u64)> =
+            (0..24u64).map(|seed| (cfg.clone(), seed)).collect();
+        let solo: Vec<Transcript> = workload
+            .iter()
+            .map(|(cfg, seed)| {
+                run_distributed(cfg, &locals, NetworkKind::InMemory, *seed)
+                    .unwrap()
+                    .transcript
+            })
+            .collect();
+        for depth in [1usize, 4, 16] {
+            let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, depth).unwrap();
+            let outcomes = service.run_workload(&workload).unwrap();
+            service.shutdown().unwrap();
+            for (i, outcome) in outcomes.iter().enumerate() {
+                assert_eq!(outcome.transcript, solo[i], "depth {depth}, query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_anonymous_topologies_per_query() {
+        // Every query derives its own ring from its seed, exactly as the
+        // one-shot driver does.
+        let locals = locals(6, 2, 9);
+        let cfg = config(2).with_start(StartPolicy::RandomAnonymous);
+        let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, 4).unwrap();
+        let workload: Vec<(ProtocolConfig, u64)> =
+            (100..112u64).map(|seed| (cfg.clone(), seed)).collect();
+        let outcomes = service.run_workload(&workload).unwrap();
+        service.shutdown().unwrap();
+        for ((_, seed), outcome) in workload.iter().zip(&outcomes) {
+            let cold = run_distributed(&cfg, &locals, NetworkKind::InMemory, *seed).unwrap();
+            assert_eq!(outcome.transcript, cold.transcript);
+        }
+    }
+
+    #[test]
+    fn tcp_service_reuses_connections() {
+        let locals = locals(3, 2, 5);
+        let cfg = config(2);
+        let mut service = ServiceRuntime::start(&locals, NetworkKind::Tcp, 2).unwrap();
+        let workload: Vec<(ProtocolConfig, u64)> =
+            (0..6u64).map(|seed| (cfg.clone(), seed)).collect();
+        let outcomes = service.run_workload(&workload).unwrap();
+        service.shutdown().unwrap();
+        for ((_, seed), outcome) in workload.iter().zip(&outcomes) {
+            let cold = run_distributed(&cfg, &locals, NetworkKind::InMemory, *seed).unwrap();
+            assert_eq!(outcome.transcript, cold.transcript);
+        }
+    }
+
+    #[test]
+    fn lossy_service_heals_and_stays_deterministic() {
+        let locals = locals(4, 2, 13);
+        let cfg = config(2);
+        let network = NetworkKind::LossyInMemory {
+            drop_probability: 0.2,
+        };
+        let mut service = ServiceRuntime::start(&locals, network, 2).unwrap();
+        let workload: Vec<(ProtocolConfig, u64)> =
+            (0..4u64).map(|seed| (cfg.clone(), seed)).collect();
+        let outcomes = service.run_workload(&workload).unwrap();
+        service.shutdown().unwrap();
+        for ((_, seed), outcome) in workload.iter().zip(&outcomes) {
+            let cold = run_distributed(&cfg, &locals, NetworkKind::InMemory, *seed).unwrap();
+            assert_eq!(outcome.transcript, cold.transcript);
+        }
+    }
+
+    #[test]
+    fn out_of_order_collection() {
+        let locals = locals(4, 2, 21);
+        let cfg = config(2);
+        let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, 4).unwrap();
+        let t0 = service.submit(&cfg, 0).unwrap();
+        let t1 = service.submit(&cfg, 1).unwrap();
+        let t2 = service.submit(&cfg, 2).unwrap();
+        let o2 = service.collect(t2).unwrap();
+        let o0 = service.collect(t0).unwrap();
+        let o1 = service.collect(t1).unwrap();
+        service.shutdown().unwrap();
+        for (seed, outcome) in [(0u64, &o0), (1, &o1), (2, &o2)] {
+            let cold = run_distributed(&cfg, &locals, NetworkKind::InMemory, seed).unwrap();
+            assert_eq!(outcome.transcript, cold.transcript);
+        }
+    }
+
+    #[test]
+    fn double_collect_rejected() {
+        let locals = locals(3, 1, 2);
+        let cfg = ProtocolConfig::max()
+            .with_schedule(Schedule::paper_default())
+            .with_rounds(RoundPolicy::Fixed(3));
+        let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, 1).unwrap();
+        let ticket = service.submit(&cfg, 0).unwrap();
+        service.collect(ticket).unwrap();
+        assert!(matches!(
+            service.collect(ticket),
+            Err(ProtocolError::InvalidService { .. })
+        ));
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn start_validation() {
+        let two = locals(2, 2, 1);
+        assert!(matches!(
+            ServiceRuntime::start(&two, NetworkKind::InMemory, 1),
+            Err(ProtocolError::TooFewNodes { got: 2, .. })
+        ));
+        let four = locals(4, 2, 1);
+        assert!(matches!(
+            ServiceRuntime::start(&four, NetworkKind::InMemory, 0),
+            Err(ProtocolError::InvalidService { .. })
+        ));
+        let mut mixed = locals(4, 2, 1);
+        mixed[2] = locals(1, 3, 8).pop().unwrap();
+        assert!(matches!(
+            ServiceRuntime::start(&mixed, NetworkKind::InMemory, 1),
+            Err(ProtocolError::InconsistentK { .. })
+        ));
+    }
+
+    #[test]
+    fn submit_validation() {
+        let locals = locals(4, 2, 1);
+        let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, 1).unwrap();
+        assert!(matches!(
+            service.submit(&config(3), 0),
+            Err(ProtocolError::InconsistentK {
+                expected: 2,
+                got: 3
+            })
+        ));
+        let remapped = config(2).with_remap_each_round(true);
+        assert!(service.submit(&remapped, 0).is_err());
+        // The service is still usable after rejected submissions.
+        service.run(&config(2), 0).unwrap();
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_with_in_flight_queries_drains() {
+        let locals = locals(4, 2, 17);
+        let cfg = config(2);
+        let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, 8).unwrap();
+        for seed in 0..8u64 {
+            service.submit(&cfg, seed).unwrap();
+        }
+        // Never collected: shutdown must still drain and join cleanly.
+        service.shutdown().unwrap();
+    }
+}

@@ -1,12 +1,14 @@
 //! The federation itself: schema validation and query execution.
 
 use privtopk_core::distributed::{run_distributed, run_distributed_batch, NetworkKind};
+use privtopk_core::service::{QueryTicket, ServiceRuntime};
 use privtopk_core::{
     derive_batch_seed, run_simulated_batch, BatchJob, ProtocolConfig, RoundPolicy,
     SimulationEngine, Transcript,
 };
 use privtopk_datagen::PrivateDatabase;
 use privtopk_domain::{TopKVector, Value, ValueDomain};
+use privtopk_ring::TransportMetrics;
 
 use crate::{FederationError, QuerySpec};
 
@@ -93,6 +95,40 @@ impl Federation {
         let (config, locals, mirrored) = self.compile(spec)?;
         let outcome = run_distributed(&config, &locals, network, seed)?;
         Ok(self.finish(spec, outcome.transcript, mirrored))
+    }
+
+    /// Stands up a persistent service for one query spec: every member
+    /// spawns a long-lived worker owning its compiled database snapshot,
+    /// its ring endpoint and its established successor connection, all
+    /// reused for every subsequent query — no per-query setup cost.
+    ///
+    /// `depth` is the pipeline depth: the service keeps up to that many
+    /// independent queries (distinct seeds) in flight on the ring at
+    /// once. Each query's outcome is bit-identical to
+    /// [`Federation::execute_distributed`] with the same spec and seed,
+    /// at any depth — pipelining changes only scheduling, never
+    /// per-query randomness.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::execute`] for spec compilation, plus
+    /// [`privtopk_core::ProtocolError::InvalidService`] for a zero
+    /// `depth`.
+    pub fn serve(
+        &self,
+        spec: &QuerySpec,
+        network: NetworkKind,
+        depth: usize,
+    ) -> Result<FederationService, FederationError> {
+        let (config, locals, mirrored) = self.compile(spec)?;
+        let runtime = ServiceRuntime::start(&locals, network, depth)?;
+        Ok(FederationService {
+            federation: self.clone(),
+            runtime,
+            spec: spec.clone(),
+            config,
+            mirrored,
+        })
     }
 
     /// Executes a batch of independent queries in one protocol execution,
@@ -329,6 +365,107 @@ impl Federation {
         let wide =
             self.domain.min().get() as i128 + self.domain.max().get() as i128 - v.get() as i128;
         Value::new(wide as i64)
+    }
+}
+
+/// A standing federated query service, created by [`Federation::serve`].
+///
+/// Holds one long-lived worker per member, all wired onto a persistent
+/// ring; [`query`](Self::query) answers the served spec under a fresh
+/// seed with no per-query setup, and [`query_many`](Self::query_many)
+/// streams a whole seed workload through the pipeline. Tear it down with
+/// [`shutdown`](Self::shutdown), which drains in-flight queries and
+/// joins every worker.
+pub struct FederationService {
+    federation: Federation,
+    runtime: ServiceRuntime,
+    spec: QuerySpec,
+    config: ProtocolConfig,
+    mirrored: bool,
+}
+
+impl FederationService {
+    /// The query spec this service answers.
+    #[must_use]
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Maximum number of queries kept in flight at once.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.runtime.depth()
+    }
+
+    /// Cumulative wire counters for the service's lifetime, including
+    /// the frame pool's high-water mark under pipelining.
+    #[must_use]
+    pub fn metrics(&self) -> TransportMetrics {
+        self.runtime.metrics()
+    }
+
+    /// Answers the served spec under `seed` — the warm-path equivalent
+    /// of [`Federation::execute_distributed`], with a bit-identical
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or transport failures, as [`Federation::execute_distributed`].
+    pub fn query(&mut self, seed: u64) -> Result<QueryOutcome, FederationError> {
+        let ticket = self.submit(seed)?;
+        self.collect(ticket)
+    }
+
+    /// Submits one query without waiting for it, blocking only while
+    /// the pipeline is full.
+    ///
+    /// # Errors
+    ///
+    /// As [`query`](Self::query).
+    pub fn submit(&mut self, seed: u64) -> Result<QueryTicket, FederationError> {
+        Ok(self.runtime.submit(&self.config, seed)?)
+    }
+
+    /// Redeems a ticket from [`submit`](Self::submit).
+    ///
+    /// # Errors
+    ///
+    /// The query's own failure, or
+    /// [`privtopk_core::ProtocolError::InvalidService`] for a ticket
+    /// already collected.
+    pub fn collect(&mut self, ticket: QueryTicket) -> Result<QueryOutcome, FederationError> {
+        let outcome = self.runtime.collect(ticket)?;
+        Ok(self
+            .federation
+            .finish(&self.spec, outcome.transcript, self.mirrored))
+    }
+
+    /// Streams a whole seed workload through the pipeline, returning
+    /// outcomes in workload order.
+    ///
+    /// # Errors
+    ///
+    /// The first submission or per-query failure encountered.
+    pub fn query_many(&mut self, seeds: &[u64]) -> Result<Vec<QueryOutcome>, FederationError> {
+        let mut tickets = Vec::with_capacity(seeds.len());
+        for seed in seeds {
+            tickets.push(self.submit(*seed)?);
+        }
+        tickets
+            .into_iter()
+            .map(|ticket| self.collect(ticket))
+            .collect()
+    }
+
+    /// Shuts the service down: drains in-flight queries (discarding
+    /// their uncollected results) and joins every worker thread.
+    ///
+    /// # Errors
+    ///
+    /// [`privtopk_core::ProtocolError::WorkerFailed`] if a worker
+    /// thread panicked.
+    pub fn shutdown(self) -> Result<(), FederationError> {
+        Ok(self.runtime.shutdown()?)
     }
 }
 
@@ -691,6 +828,53 @@ mod tests {
                 privtopk_core::ProtocolError::InvalidBatch { .. }
             ))
         ));
+    }
+
+    #[test]
+    fn service_matches_cold_distributed_for_every_kind() {
+        let f = federation(4, 6, 22);
+        for case in 0..5u64 {
+            let spec = spec_for_case(case).with_epsilon(1e-9);
+            let mut service = f.serve(&spec, NetworkKind::InMemory, 1).unwrap();
+            for seed in 0..4u64 {
+                let warm = service.query(seed).unwrap();
+                let cold = f
+                    .execute_distributed(&spec, NetworkKind::InMemory, seed)
+                    .unwrap();
+                assert_eq!(warm, cold, "case {case}, seed {seed}");
+            }
+            service.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn pipelined_service_matches_solo_outcomes() {
+        let f = federation(5, 8, 23);
+        let spec = QuerySpec::top_k("value", 3).with_epsilon(1e-9);
+        let seeds: Vec<u64> = (0..16).collect();
+        let solo: Vec<QueryOutcome> = seeds
+            .iter()
+            .map(|&s| f.execute(&spec, s).unwrap())
+            .collect();
+        for depth in [1usize, 4, 16] {
+            let mut service = f.serve(&spec, NetworkKind::InMemory, depth).unwrap();
+            let warm = service.query_many(&seeds).unwrap();
+            service.shutdown().unwrap();
+            assert_eq!(warm, solo, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn service_rejects_zero_depth_and_reports_metrics() {
+        let f = federation(3, 4, 24);
+        let spec = QuerySpec::max("value");
+        assert!(f.serve(&spec, NetworkKind::InMemory, 0).is_err());
+        let mut service = f.serve(&spec, NetworkKind::InMemory, 2).unwrap();
+        assert_eq!(service.depth(), 2);
+        assert_eq!(service.spec().attribute(), "value");
+        service.query(0).unwrap();
+        assert!(service.metrics().frames_sent() > 0);
+        service.shutdown().unwrap();
     }
 
     #[test]

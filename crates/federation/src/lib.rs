@@ -35,7 +35,7 @@ mod federation;
 mod query;
 
 pub use error::FederationError;
-pub use federation::{Federation, QueryBatch, QueryOutcome};
+pub use federation::{Federation, FederationService, QueryBatch, QueryOutcome};
 pub use query::{QueryKind, QuerySpec};
 
 pub use privtopk_datagen::PrivateDatabase;

@@ -40,6 +40,7 @@ struct Counters {
     frames: AtomicU64,
     logical: AtomicU64,
     bytes: AtomicU64,
+    pooled_high_water: AtomicU64,
 }
 
 /// A drained snapshot of [`TransportMetrics`], returned by
@@ -85,6 +86,22 @@ impl TransportMetrics {
         self.inner.frames.fetch_add(1, Ordering::Relaxed);
         self.inner.logical.fetch_add(logical, Ordering::Relaxed);
         self.inner.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records the frame pool's current occupancy, keeping the maximum
+    /// ever observed. Pooled transports call this on every recycle; the
+    /// resulting high-water mark shows whether the pool's retention cap
+    /// actually bounds buffer memory under load (e.g. deep pipelining).
+    pub fn record_pooled(&self, pooled: usize) {
+        self.inner
+            .pooled_high_water
+            .fetch_max(pooled as u64, Ordering::Relaxed);
+    }
+
+    /// The most buffers the frame pool ever held at once.
+    #[must_use]
+    pub fn pooled_buffers_high_water(&self) -> u64 {
+        self.inner.pooled_high_water.load(Ordering::Relaxed)
     }
 
     /// Total logical messages sent (one per query per frame).
@@ -171,6 +188,20 @@ mod tests {
         assert_eq!(m.messages_sent(), 17);
         assert_eq!(m.bytes_sent(), 225);
         assert!((m.mean_frame_bytes() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pooled_high_water_keeps_maximum() {
+        let m = TransportMetrics::new();
+        assert_eq!(m.pooled_buffers_high_water(), 0);
+        m.record_pooled(3);
+        m.record_pooled(7);
+        m.record_pooled(5);
+        assert_eq!(m.pooled_buffers_high_water(), 7);
+        // The watermark survives a counter drain: it tracks peak pool
+        // occupancy over the network's lifetime, not a rate.
+        let _ = m.take();
+        assert_eq!(m.pooled_buffers_high_water(), 7);
     }
 
     #[test]

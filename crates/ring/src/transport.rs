@@ -25,7 +25,7 @@ use crate::{RingError, TransportMetrics};
 /// Most buffers a [`FramePool`] retains; beyond this, recycled storage is
 /// simply dropped. Ring traffic has at most a handful of frames in flight
 /// per node, so a small cap bounds memory without hurting the hit rate.
-const MAX_POOLED_BUFFERS: usize = 64;
+pub const MAX_POOLED_BUFFERS: usize = 64;
 
 /// A shared pool of reusable frame buffers.
 ///
@@ -40,6 +40,7 @@ const MAX_POOLED_BUFFERS: usize = 64;
 #[derive(Debug, Clone, Default)]
 pub struct FramePool {
     buffers: Arc<Mutex<Vec<BytesMut>>>,
+    metrics: Option<TransportMetrics>,
 }
 
 impl FramePool {
@@ -47,6 +48,16 @@ impl FramePool {
     #[must_use]
     pub fn new() -> Self {
         FramePool::default()
+    }
+
+    /// Creates an empty pool that reports its occupancy high-water mark
+    /// into `metrics` (see [`TransportMetrics::pooled_buffers_high_water`]).
+    #[must_use]
+    pub fn with_metrics(metrics: TransportMetrics) -> Self {
+        FramePool {
+            buffers: Arc::default(),
+            metrics: Some(metrics),
+        }
     }
 
     /// Hands out an empty buffer, reusing pooled storage when available.
@@ -66,9 +77,15 @@ impl FramePool {
     /// Returns a mutable buffer to the pool directly.
     pub fn recycle_mut(&self, mut buf: BytesMut) {
         buf.clear();
-        let mut buffers = self.buffers.lock();
-        if buffers.len() < MAX_POOLED_BUFFERS {
-            buffers.push(buf);
+        let pooled = {
+            let mut buffers = self.buffers.lock();
+            if buffers.len() < MAX_POOLED_BUFFERS {
+                buffers.push(buf);
+            }
+            buffers.len()
+        };
+        if let Some(metrics) = &self.metrics {
+            metrics.record_pooled(pooled);
         }
     }
 
@@ -138,7 +155,10 @@ pub trait Transport: Send {
 ///
 /// The frame buffer is drawn from the transport's [`FramePool`], so on
 /// pooled transports the steady-state cost is a copy into recycled
-/// storage, not an allocation.
+/// storage, not an allocation. Hot loops that send many frames through
+/// one endpoint should hoist the pool handle once and use
+/// [`send_value_with`] — this convenience wrapper clones the pool handle
+/// (an `Arc` bump) on every call.
 ///
 /// # Errors
 ///
@@ -148,7 +168,23 @@ pub fn send_value<T: WireEncode>(
     to: NodeId,
     value: &T,
 ) -> Result<(), RingError> {
-    let mut buf = transport.pool().acquire();
+    let pool = transport.pool();
+    send_value_with(transport, &pool, to, value)
+}
+
+/// [`send_value`] against a pre-acquired pool handle: the per-endpoint
+/// fast path, paying zero `Arc` traffic per frame.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn send_value_with<T: WireEncode>(
+    transport: &mut dyn Transport,
+    pool: &FramePool,
+    to: NodeId,
+    value: &T,
+) -> Result<(), RingError> {
+    let mut buf = pool.acquire();
     encode_into(value, &mut buf);
     transport.send(to, buf.freeze())
 }
@@ -165,7 +201,23 @@ pub fn send_value_many<T: WireEncode>(
     value: &T,
     logical: u64,
 ) -> Result<(), RingError> {
-    let mut buf = transport.pool().acquire();
+    let pool = transport.pool();
+    send_value_many_with(transport, &pool, to, value, logical)
+}
+
+/// [`send_value_many`] against a pre-acquired pool handle.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn send_value_many_with<T: WireEncode>(
+    transport: &mut dyn Transport,
+    pool: &FramePool,
+    to: NodeId,
+    value: &T,
+    logical: u64,
+) -> Result<(), RingError> {
+    let mut buf = pool.acquire();
     encode_into(value, &mut buf);
     transport.send_many(to, buf.freeze(), logical)
 }
@@ -173,15 +225,30 @@ pub fn send_value_many<T: WireEncode>(
 /// Receives a frame and decodes it with the wire codec.
 ///
 /// The exhausted frame is recycled into the transport's [`FramePool`];
-/// decode borrows from the frame, so no intermediate copy is made.
+/// decode borrows from the frame, so no intermediate copy is made. As
+/// with [`send_value`], hot loops should hoist the pool handle and use
+/// [`recv_value_with`].
 ///
 /// # Errors
 ///
 /// Propagates transport errors and [`RingError::Decode`].
 pub fn recv_value<T: WireDecode>(transport: &mut dyn Transport) -> Result<(NodeId, T), RingError> {
+    let pool = transport.pool();
+    recv_value_with(transport, &pool)
+}
+
+/// [`recv_value`] against a pre-acquired pool handle.
+///
+/// # Errors
+///
+/// Propagates transport errors and [`RingError::Decode`].
+pub fn recv_value_with<T: WireDecode>(
+    transport: &mut dyn Transport,
+    pool: &FramePool,
+) -> Result<(NodeId, T), RingError> {
     let (from, frame) = transport.recv()?;
     let value = decode_from_bytes(&frame)?;
-    transport.pool().recycle(frame);
+    pool.recycle(frame);
     Ok((from, value))
 }
 
@@ -230,11 +297,12 @@ impl InMemoryNetwork {
             senders.push(tx);
             receivers.push(rx);
         }
+        let metrics = TransportMetrics::new();
         InMemoryNetwork {
             senders,
             receivers,
-            metrics: TransportMetrics::new(),
-            pool: FramePool::new(),
+            pool: FramePool::with_metrics(metrics.clone()),
+            metrics,
         }
     }
 
@@ -422,11 +490,12 @@ impl TcpNetwork {
             addrs.push(listener.local_addr()?);
             listeners.push(listener);
         }
+        let metrics = TransportMetrics::new();
         Ok(TcpNetwork {
             addrs,
             listeners,
-            metrics: TransportMetrics::new(),
-            pool: FramePool::new(),
+            pool: FramePool::with_metrics(metrics.clone()),
+            metrics,
         })
     }
 
@@ -835,6 +904,40 @@ mod tests {
         let (_, v): (NodeId, u64) = recv_value(&mut eps[0]).unwrap();
         assert_eq!(v, 88);
         assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn pool_high_water_mark_reported_to_metrics() {
+        let net = InMemoryNetwork::new(2);
+        let metrics = net.metrics();
+        let mut eps = net.endpoints();
+        assert_eq!(metrics.pooled_buffers_high_water(), 0);
+        let pool = eps[0].pool();
+        for i in 0..4u64 {
+            send_value_with(&mut eps[0], &pool, NodeId::new(1), &i).unwrap();
+        }
+        let recv_pool = eps[1].pool();
+        for _ in 0..4 {
+            let (_, _v): (NodeId, u64) = recv_value_with(&mut eps[1], &recv_pool).unwrap();
+        }
+        // Four frames were consumed one at a time: the pool never held
+        // more than one buffer, and the watermark is bounded by the cap.
+        let hwm = metrics.pooled_buffers_high_water();
+        assert!(hwm >= 1);
+        assert!(hwm <= MAX_POOLED_BUFFERS as u64);
+    }
+
+    #[test]
+    fn pool_hoisted_helpers_match_wrappers() {
+        let net = InMemoryNetwork::new(2);
+        let mut eps = net.endpoints();
+        let pool = eps[0].pool();
+        send_value_with(&mut eps[0], &pool, NodeId::new(1), &41u64).unwrap();
+        send_value_many_with(&mut eps[0], &pool, NodeId::new(1), &42u64, 3).unwrap();
+        let rp = eps[1].pool();
+        let (_, a): (NodeId, u64) = recv_value_with(&mut eps[1], &rp).unwrap();
+        let (_, b): (NodeId, u64) = recv_value_with(&mut eps[1], &rp).unwrap();
+        assert_eq!((a, b), (41, 42));
     }
 
     #[test]

@@ -3,7 +3,10 @@
 # the default worker count, and writes the comparison to
 # BENCH_experiments.json at the repo root. Then benchmarks the batched
 # multi-query executor (queries/sec at B in {1,8,64,256}) into
-# BENCH_throughput.json, asserting batch/solo transcript identity.
+# BENCH_throughput.json, asserting batch/solo transcript identity, and
+# the persistent service runtime (warm vs cold queries/sec at pipeline
+# depths {1,4,16}) into BENCH_service.json, asserting service/solo
+# transcript identity plus the warm >= 2x cold floor.
 #
 #   scripts/bench_trajectory.sh [trials] [seed]
 #
@@ -99,3 +102,18 @@ command -v cargo >/dev/null 2>&1 && cargo build --release -p privtopk-bench --bi
 echo "benchmarking batched executor throughput ..."
 "$THROUGHPUT_BIN" 6 8 "$THROUGHPUT_OUT"
 echo "wrote $THROUGHPUT_OUT"
+
+# --- persistent service runtime --------------------------------------
+# Warm (one standing service, pipelined) vs cold (a fresh federation
+# per query) queries/sec. The binary asserts the identity gate at every
+# depth, the warm >= 2x cold floor, and that every depth > 1 strictly
+# beats depth 1 — a successful exit IS the acceptance check.
+SERVICE_BIN="$REPO_ROOT/target/release/service"
+SERVICE_OUT="$REPO_ROOT/BENCH_service.json"
+
+command -v cargo >/dev/null 2>&1 && cargo build --release -p privtopk-bench --bin service
+[ -x "$SERVICE_BIN" ] || { echo "error: $SERVICE_BIN not built" >&2; exit 1; }
+
+echo "benchmarking persistent service runtime ..."
+"$SERVICE_BIN" 6 8 240 "$SERVICE_OUT"
+echo "wrote $SERVICE_OUT"

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# The full local CI gate: release build, the whole test suite, clippy
+# with warnings promoted to errors, and formatting. Run from anywhere;
+# it always operates on the repo root.
+#
+#   scripts/ci.sh
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$REPO_ROOT"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci: all gates passed"

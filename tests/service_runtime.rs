@@ -1,0 +1,70 @@
+//! Integration tests: the persistent service runtime answers every
+//! query bit-identically to a cold `run_distributed` federation, at
+//! every pipeline depth.
+
+use privtopk::core::derive_batch_seed;
+use privtopk::core::distributed::{run_distributed, NetworkKind};
+use privtopk::core::service::ServiceRuntime;
+use privtopk::prelude::*;
+
+fn fresh_locals(n: usize, k: usize, seed: u64) -> Vec<TopKVector> {
+    DatasetBuilder::new(n)
+        .rows_per_node(k.max(2))
+        .seed(seed)
+        .build_local_topk(k)
+        .expect("valid dataset")
+}
+
+#[test]
+fn fifty_query_warm_runs_match_cold_runs_at_every_depth() {
+    let config = ProtocolConfig::topk(3).with_rounds(RoundPolicy::Fixed(6));
+    let locals = fresh_locals(6, 3, 9);
+    let workload: Vec<(ProtocolConfig, u64)> = (0..50)
+        .map(|i| (config.clone(), derive_batch_seed(4242, i)))
+        .collect();
+    let cold: Vec<_> = workload
+        .iter()
+        .map(|(config, seed)| {
+            run_distributed(config, &locals, NetworkKind::InMemory, *seed).unwrap()
+        })
+        .collect();
+    for depth in [1usize, 4, 16] {
+        let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, depth).unwrap();
+        let warm = service.run_workload(&workload).unwrap();
+        for (i, (warm, cold)) in warm.iter().zip(&cold).enumerate() {
+            assert_eq!(
+                warm.transcript, cold.transcript,
+                "depth={depth} query {i}: warm transcript diverged"
+            );
+            assert_eq!(
+                warm.per_node_results, cold.per_node_results,
+                "depth={depth} query {i}: warm results diverged"
+            );
+        }
+        service.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn federation_service_matches_one_shot_queries() {
+    let dbs = DatasetBuilder::new(5)
+        .rows_per_node(16)
+        .seed(21)
+        .build()
+        .unwrap();
+    let federation = Federation::new(dbs).unwrap();
+    let spec = QuerySpec::bottom_k("value", 2);
+    let seeds: Vec<u64> = (0..12).map(|i| derive_batch_seed(7, i)).collect();
+    let mut service = federation.serve(&spec, NetworkKind::InMemory, 4).unwrap();
+    let warm = service.query_many(&seeds).unwrap();
+    for (seed, warm) in seeds.iter().zip(&warm) {
+        let cold = federation.execute(&spec, *seed).unwrap();
+        assert_eq!(warm.values(), cold.values(), "seed {seed}");
+        assert_eq!(
+            warm.transcript().steps(),
+            cold.transcript().steps(),
+            "seed {seed}"
+        );
+    }
+    service.shutdown().unwrap();
+}

@@ -1,0 +1,70 @@
+//! Integration test: shutting down the persistent service drains every
+//! in-flight query, joins all node workers, and leaks no threads.
+//!
+//! This lives in its own test binary so the thread count it measures is
+//! not perturbed by sibling tests running on other harness threads.
+
+use privtopk::core::derive_batch_seed;
+use privtopk::core::distributed::NetworkKind;
+use privtopk::core::service::ServiceRuntime;
+use privtopk::prelude::*;
+
+fn fresh_locals(n: usize, k: usize, seed: u64) -> Vec<TopKVector> {
+    DatasetBuilder::new(n)
+        .rows_per_node(k.max(2))
+        .seed(seed)
+        .build_local_topk(k)
+        .expect("valid dataset")
+}
+
+/// Threads in this process, per the kernel (Linux only; other platforms
+/// return `None` and the leak check is skipped there).
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+#[test]
+fn shutdown_drains_in_flight_queries_and_leaks_no_threads() {
+    let n = 6;
+    let config = ProtocolConfig::topk(2).with_rounds(RoundPolicy::Fixed(5));
+    let locals = fresh_locals(n, 2, 3);
+    let before = thread_count();
+
+    let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, 4).unwrap();
+    if let (Some(before), Some(running)) = (before, thread_count()) {
+        assert_eq!(running, before + n, "one standing worker per node");
+    }
+
+    // Leave a full pipeline of queries uncollected: shutdown must drain
+    // them, not abandon them mid-ring.
+    let mut tickets = Vec::new();
+    for i in 0..4u64 {
+        tickets.push(service.submit(&config, derive_batch_seed(99, i)).unwrap());
+    }
+    // Collect one to prove drained queries still resolve, leave three
+    // in flight.
+    let outcome = service.collect(tickets.remove(0)).unwrap();
+    assert_eq!(outcome.per_node_results.len(), n);
+    service.shutdown().unwrap();
+
+    if let Some(before) = before {
+        // Joined threads disappear from /proc synchronously, but give
+        // the kernel a moment anyway before declaring a leak.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let now = thread_count().expect("thread count stays readable");
+            if now <= before {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker threads leaked after shutdown: {now} > {before}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+}
