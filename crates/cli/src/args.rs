@@ -5,6 +5,10 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+/// Flags that are bare switches (present/absent) rather than
+/// `--flag value` pairs.
+const BOOLEAN_FLAGS: &[&str] = &["stats"];
+
 /// CLI-level errors.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -106,6 +110,12 @@ impl Arguments {
                     flag: token.clone(),
                 });
             };
+            // Bare boolean switches take no value.
+            if BOOLEAN_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
             let Some(value) = rest.get(i + 1) else {
                 return Err(CliError::BadFlag {
                     flag: token.clone(),
@@ -115,6 +125,12 @@ impl Arguments {
             i += 2;
         }
         Ok(Arguments { command, flags })
+    }
+
+    /// Whether a bare boolean switch was given.
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
     }
 
     /// A string flag with a default.
@@ -154,7 +170,7 @@ pub fn usage() -> String {
      privtopk query   [--kind max|min|topk|bottomk|kth] [--k K] [--attribute NAME]\n\
      \u{20}                [--csv-dir DIR | --nodes N --rows R --dist uniform|normal|zipf]\n\
      \u{20}                [--epsilon E] [--seed S] [--batch B] [--repeat N --pipeline D]\n\
-     \u{20}                [--groups G]\n\
+     \u{20}                [--groups G] [--network memory|tcp] [--trace-out PATH] [--stats]\n\
      privtopk audit   (same flags except --batch; also prints the privacy audit)\n\
      privtopk analyze [--p0 P] [--d D] [--epsilon E] [--rounds R]\n\
      privtopk knn     --query X,Y[,...] [--k K] [--csv-dir DIR | --nodes N]\n\
@@ -178,7 +194,17 @@ pub fn usage() -> String {
      \n\
      --groups G (with --kind max) runs the Section 4.2 group-parallel\n\
      optimization: G subrings then a leader ring, reporting the critical\n\
-     path alongside total messages (needs G = 1 or G >= 3, nodes >= 3G).\n"
+     path alongside total messages (needs G = 1 or G >= 3, nodes >= 3G).\n\
+     \n\
+     --network memory|tcp runs the query over a real transport (threads\n\
+     plus channels, or TCP loopback) instead of the in-process simulation;\n\
+     results are bit-identical either way.\n\
+     \n\
+     telemetry (query command): --trace-out PATH writes a JSONL span trace\n\
+     (protocol coordinates and timings only — never data values) and\n\
+     --stats prints per-phase latency quantiles, counters, and — for\n\
+     --repeat runs — the live service pipeline figures. Tracing never\n\
+     changes results or transcripts.\n"
         .to_string()
 }
 
@@ -224,6 +250,17 @@ mod tests {
         assert!(Arguments::parse(["query", "--k"]).is_err());
         let args = Arguments::parse(["query", "--k", "banana"]).unwrap();
         assert!(args.parse_or("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn boolean_switches_take_no_value() {
+        let args = Arguments::parse(["query", "--stats", "--k", "3"]).unwrap();
+        assert!(args.has("stats"));
+        assert_eq!(args.parse_or("k", 1usize).unwrap(), 3);
+        // Trailing switch needs no value either.
+        let args = Arguments::parse(["query", "--k", "3", "--stats"]).unwrap();
+        assert!(args.has("stats"));
+        assert!(!Arguments::parse(["query"]).unwrap().has("stats"));
     }
 
     #[test]

@@ -6,11 +6,12 @@ use std::path::Path;
 use privtopk_analysis::{correctness, efficiency, privacy_bounds, RandomizationParams};
 use privtopk_core::distributed::NetworkKind;
 use privtopk_core::groups::grouped_max;
-use privtopk_core::{derive_batch_seed, ProtocolConfig, RoundPolicy};
+use privtopk_core::{derive_batch_seed, ProtocolConfig, RoundPolicy, ServiceStats};
 use privtopk_datagen::{DataDistribution, DatasetBuilder, PrivateDatabase};
 use privtopk_domain::{NodeId, TopKVector, Value, ValueDomain};
 use privtopk_federation::{Federation, QueryBatch, QueryKind, QuerySpec};
 use privtopk_knn::{centralized_knn, KnnConfig, LabeledPoint, PrivateKnnClassifier};
+use privtopk_observe::Recorder;
 use privtopk_privacy::{LopAccumulator, SuccessorAdversary};
 
 use crate::args::usage;
@@ -173,6 +174,72 @@ fn parse_kind(args: &Arguments) -> Result<QueryKind, CliError> {
     }
 }
 
+/// `--network memory|tcp`: run over a real transport instead of the
+/// in-process simulation; `None` keeps the simulated engine.
+fn parse_network(args: &Arguments) -> Result<Option<NetworkKind>, CliError> {
+    match args.get("network") {
+        None => Ok(None),
+        Some("memory") => Ok(Some(NetworkKind::InMemory)),
+        Some("tcp") => Ok(Some(NetworkKind::Tcp)),
+        Some(other) => Err(CliError::BadValue {
+            flag: "--network".into(),
+            value: other.into(),
+        }),
+    }
+}
+
+/// Writes the JSONL trace (if `--trace-out`) and prints the `--stats`
+/// summary — phase quantiles, counters and gauges from `recorder`, plus
+/// the live service figures when the query ran through the persistent
+/// service. Purely additive: nothing here alters the query output above
+/// it.
+fn emit_telemetry(
+    recorder: &Recorder,
+    trace_out: Option<&str>,
+    stats: bool,
+    service_stats: Option<&ServiceStats>,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    if let Some(path) = trace_out {
+        std::fs::write(path, recorder.trace_jsonl())
+            .map_err(|e| CliError::Execution(format!("cannot write trace to {path}: {e}")))?;
+        write_out(
+            out,
+            &format!("\ntrace: {} events -> {path}\n", recorder.events_recorded()),
+        )?;
+    }
+    if stats {
+        write_out(out, &format!("\n{}", recorder.summary()))?;
+        if let Some(s) = service_stats {
+            write_out(
+                out,
+                &format!(
+                    "service stats: depth {} | in flight {} | high water {} | submitted {} | completed {}\n\
+                     queue wait: count {} p50 {}ns p99 {}ns max {}ns\n\
+                     wire: {} frames, {} logical messages, {} bytes, pool high water {}, \
+                     {} retransmissions, {} re-acks\n",
+                    s.depth,
+                    s.in_flight,
+                    s.pipeline_high_water,
+                    s.queries_submitted,
+                    s.queries_completed,
+                    s.queue_wait.count,
+                    s.queue_wait.p50_ns,
+                    s.queue_wait.p99_ns,
+                    s.queue_wait.max_ns,
+                    s.frames_sent,
+                    s.logical_messages,
+                    s.bytes_sent,
+                    s.pooled_buffers_high_water,
+                    s.retransmissions,
+                    s.re_acks,
+                ),
+            )?;
+        }
+    }
+    Ok(())
+}
+
 fn parse_distribution(args: &Arguments) -> Result<DataDistribution, CliError> {
     match args.get_or("dist", "uniform") {
         "uniform" => Ok(DataDistribution::Uniform),
@@ -250,6 +317,19 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
     }
     let service_mode = args.get("repeat").is_some() || args.get("pipeline").is_some();
 
+    // Telemetry is opt-in and additive: the recorder only exists when
+    // `--trace-out` or `--stats` asked for it, and the default stdout is
+    // byte-identical either way (tracing never changes transcripts).
+    let stats_requested = args.has("stats");
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let telemetry = stats_requested || trace_out.is_some();
+    let recorder = if telemetry {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let network = parse_network(args)?;
+
     // §4.2 group-parallel max: split the participants into g subrings,
     // then run a leader ring over the group winners.
     let groups: usize = args.parse_or("groups", 0)?;
@@ -257,6 +337,11 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
         if audit || batch_width > 1 || service_mode {
             return Err(CliError::Execution(
                 "--groups cannot combine with audit, --batch or --repeat".into(),
+            ));
+        }
+        if telemetry || network.is_some() {
+            return Err(CliError::Execution(
+                "--groups does not support --trace-out, --stats or --network".into(),
             ));
         }
         if !matches!(kind, QueryKind::Max) {
@@ -312,9 +397,11 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
             ));
         }
         let batch = QueryBatch::from_specs(vec![spec; batch_width], seed);
-        let outcomes = federation
-            .execute_batch(&batch)
-            .map_err(|e| CliError::Execution(e.to_string()))?;
+        let outcomes = match network {
+            Some(nk) => federation.execute_batch_distributed_traced(&batch, nk, &recorder),
+            None => federation.execute_batch_traced(&batch, &recorder),
+        }
+        .map_err(|e| CliError::Execution(e.to_string()))?;
         let mut text = format!(
             "\nbatched query: {batch_width} x {kind:?} over `{attribute}` (epsilon {epsilon}), one ring execution\n"
         );
@@ -327,7 +414,8 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
                 outcome.messages(),
             ));
         }
-        return write_out(out, &text);
+        write_out(out, &text)?;
+        return emit_telemetry(&recorder, trace_out.as_deref(), stats_requested, None, out);
     }
 
     // Persistent service mode: stand the federation up once, then stream
@@ -346,7 +434,12 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
             return Err(CliError::Execution("--repeat must be at least 1".into()));
         }
         let mut service = federation
-            .serve(&spec, NetworkKind::InMemory, depth)
+            .serve_traced(
+                &spec,
+                network.unwrap_or(NetworkKind::InMemory),
+                depth,
+                recorder.clone(),
+            )
             .map_err(|e| CliError::Execution(e.to_string()))?;
         let seeds: Vec<u64> = (0..repeat as u64)
             .map(|i| derive_batch_seed(seed, i))
@@ -355,6 +448,7 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
             .query_many(&seeds)
             .map_err(|e| CliError::Execution(e.to_string()))?;
         let metrics = service.metrics();
+        let service_stats = service.stats();
         service
             .shutdown()
             .map_err(|e| CliError::Execution(e.to_string()))?;
@@ -378,12 +472,21 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
             metrics.frames_sent(),
             metrics.bytes_sent(),
         ));
-        return write_out(out, &text);
+        write_out(out, &text)?;
+        return emit_telemetry(
+            &recorder,
+            trace_out.as_deref(),
+            stats_requested,
+            Some(&service_stats),
+            out,
+        );
     }
 
-    let outcome = federation
-        .execute(&spec, seed)
-        .map_err(|e| CliError::Execution(e.to_string()))?;
+    let outcome = match network {
+        Some(nk) => federation.execute_distributed_traced(&spec, nk, seed, &recorder),
+        None => federation.execute_traced(&spec, seed, &recorder),
+    }
+    .map_err(|e| CliError::Execution(e.to_string()))?;
 
     let rendered: Vec<String> = outcome.values().iter().map(ToString::to_string).collect();
     write_out(
@@ -429,7 +532,7 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
         ));
         write_out(out, &text)?;
     }
-    Ok(())
+    emit_telemetry(&recorder, trace_out.as_deref(), stats_requested, None, out)
 }
 
 #[cfg(test)]
@@ -728,5 +831,158 @@ mod tests {
             Err(CliError::BadValue { .. })
         ));
         assert!(run_to_string(&["query", "--dist", "cauchy"]).is_err());
+    }
+
+    /// Telemetry flags are additive: everything before the telemetry
+    /// block must match the untraced run byte for byte.
+    fn assert_prefix_matches(plain: &str, traced: &str) {
+        assert!(
+            traced.starts_with(plain),
+            "traced output does not extend the plain output.\nplain:\n{plain}\ntraced:\n{traced}"
+        );
+    }
+
+    fn temp_trace_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("privtopk_trace_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn stats_flag_appends_summary_without_changing_results() {
+        let plain =
+            run_to_string(&["query", "--kind", "topk", "--k", "2", "--nodes", "4"]).unwrap();
+        let traced = run_to_string(&[
+            "query", "--kind", "topk", "--k", "2", "--nodes", "4", "--stats",
+        ])
+        .unwrap();
+        assert_prefix_matches(&plain, &traced);
+        assert!(traced.contains("p99"), "output: {traced}");
+        assert!(traced.contains("step"), "output: {traced}");
+        assert!(traced.contains("trace events:"), "output: {traced}");
+    }
+
+    #[test]
+    fn trace_out_writes_jsonl_spans() {
+        let path = temp_trace_path("solo");
+        let out = run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--nodes",
+            "4",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace:"), "output: {out}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(!trace.is_empty());
+        for line in trace.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+        }
+        assert!(trace.contains("\"phase\":\"step\""), "trace: {trace}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn distributed_query_supports_telemetry() {
+        let plain = run_to_string(&["query", "--kind", "max", "--nodes", "4"]).unwrap();
+        let path = temp_trace_path("dist");
+        let traced = run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--nodes",
+            "4",
+            "--network",
+            "memory",
+            "--stats",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Distributed execution returns the same results as simulation.
+        assert_prefix_matches(&plain, &traced);
+        assert!(traced.contains("counters"), "output: {traced}");
+        assert!(traced.contains("frames_sent"), "output: {traced}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"phase\":\"send\""), "trace: {trace}");
+        assert!(trace.contains("\"phase\":\"recv\""), "trace: {trace}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batched_query_supports_telemetry() {
+        let plain = run_to_string(&[
+            "query", "--kind", "topk", "--k", "2", "--nodes", "4", "--batch", "3",
+        ])
+        .unwrap();
+        let traced = run_to_string(&[
+            "query",
+            "--kind",
+            "topk",
+            "--k",
+            "2",
+            "--nodes",
+            "4",
+            "--batch",
+            "3",
+            "--network",
+            "memory",
+            "--stats",
+        ])
+        .unwrap();
+        assert_prefix_matches(&plain, &traced);
+        assert!(traced.contains("p99"), "output: {traced}");
+        assert!(traced.contains("frames_sent"), "output: {traced}");
+    }
+
+    #[test]
+    fn service_mode_stats_prints_pipeline_figures() {
+        let plain = run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--nodes",
+            "4",
+            "--repeat",
+            "4",
+            "--pipeline",
+            "2",
+        ])
+        .unwrap();
+        let path = temp_trace_path("service");
+        let traced = run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--nodes",
+            "4",
+            "--repeat",
+            "4",
+            "--pipeline",
+            "2",
+            "--stats",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_prefix_matches(&plain, &traced);
+        assert!(
+            traced.contains("service stats: depth 2"),
+            "output: {traced}"
+        );
+        assert!(traced.contains("submitted 4"), "output: {traced}");
+        assert!(traced.contains("completed 4"), "output: {traced}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"query\":"), "trace: {trace}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn groups_mode_rejects_telemetry_flags() {
+        assert!(run_to_string(&[
+            "query", "--kind", "max", "--nodes", "9", "--groups", "3", "--stats",
+        ])
+        .is_err());
     }
 }

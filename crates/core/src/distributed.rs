@@ -13,11 +13,12 @@ use std::time::Duration;
 
 use privtopk_domain::rng::SeedSpec;
 use privtopk_domain::{NodeId, RingPosition, TopKVector};
+use privtopk_observe::{Ctx, Phase, Recorder};
 use privtopk_ring::faults::{FaultyEndpoint, ReliableEndpoint};
 use privtopk_ring::transport::{
-    send_value_many_with, send_value_with, FramePool, InMemoryNetwork, TcpNetwork, Transport,
+    send_value_many_traced, send_value_traced, FramePool, InMemoryNetwork, TcpNetwork, Transport,
 };
-use privtopk_ring::{RingError, RingTopology, TransportMetrics};
+use privtopk_ring::{MetricsSnapshot, RingError, RingTopology, TransportMetrics};
 
 use crate::local::{max_step, topk_step};
 use crate::{
@@ -81,6 +82,26 @@ pub fn run_distributed(
     network: NetworkKind,
     seed: u64,
 ) -> Result<DistributedOutcome, ProtocolError> {
+    run_distributed_traced(config, locals, network, seed, &Recorder::disabled())
+}
+
+/// [`run_distributed`] with telemetry: every worker times its receive
+/// waits, hop computations and sends as [`Phase`] spans, the lossy
+/// reliability layer reports retransmissions and re-ACKs, and the
+/// transport counters are absorbed into the recorder's registry when the
+/// run completes. Recording never touches the seeded RNG streams or the
+/// wire content, so the transcript is bit-identical to the untraced run.
+///
+/// # Errors
+///
+/// As for [`run_distributed`].
+pub fn run_distributed_traced(
+    config: &ProtocolConfig,
+    locals: &[TopKVector],
+    network: NetworkKind,
+    seed: u64,
+    recorder: &Recorder,
+) -> Result<DistributedOutcome, ProtocolError> {
     run_once(
         config,
         locals,
@@ -88,6 +109,7 @@ pub fn run_distributed(
         seed,
         &CrashSchedule::none(),
         RECV_TIMEOUT,
+        recorder,
     )
     .map_err(RunFailure::into_error)
 }
@@ -142,6 +164,7 @@ impl RunFailure {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_once(
     config: &ProtocolConfig,
     locals: &[TopKVector],
@@ -149,6 +172,7 @@ pub(crate) fn run_once(
     seed: u64,
     crashes: &CrashSchedule,
     recv_timeout: Duration,
+    recorder: &Recorder,
 ) -> Result<DistributedOutcome, RunFailure> {
     let fail = |error: ProtocolError| RunFailure {
         crashed: Vec::new(),
@@ -172,7 +196,7 @@ pub(crate) fn run_once(
     let rounds = config.resolve_rounds().map_err(fail)?;
     let topology = Arc::new(derive_topology(config, n, seed).map_err(fail)?);
 
-    let (endpoints, metrics) = build_endpoints(network, n, seed).map_err(fail)?;
+    let (endpoints, metrics) = build_endpoints(network, n, seed, recorder).map_err(fail)?;
     let drain_on_exit = drain_window(network);
     let config = Arc::new(config.clone());
     let mut handles = Vec::with_capacity(n);
@@ -181,6 +205,7 @@ pub(crate) fn run_once(
         let topology = Arc::clone(&topology);
         let state = NodeWorker::for_query(Arc::clone(&config), locals[i].clone(), seed, i, rounds);
         let crash_at = crashes.round_for(me);
+        let recorder = recorder.clone();
         handles.push(std::thread::spawn(move || {
             worker(
                 me,
@@ -191,6 +216,8 @@ pub(crate) fn run_once(
                 drain_on_exit,
                 crash_at,
                 recv_timeout,
+                recorder,
+                Ctx::EMPTY,
             )
         }));
     }
@@ -240,11 +267,13 @@ pub(crate) fn run_once(
         steps,
         result,
     );
+    let snap = metrics.take();
+    snap.publish(recorder);
     Ok(DistributedOutcome {
         transcript,
         per_node_results,
-        messages_sent: metrics.messages_sent(),
-        bytes_sent: metrics.bytes_sent(),
+        messages_sent: snap.logical_messages,
+        bytes_sent: snap.bytes_sent,
     })
 }
 
@@ -265,11 +294,14 @@ pub(crate) fn derive_topology(
 }
 
 /// Builds one endpoint per node over the requested substrate, plus the
-/// network's shared metrics.
+/// network's shared metrics. Over a lossy substrate the reliability
+/// layer shares the metrics and the recorder, so retransmissions and
+/// re-ACKs show up in both.
 pub(crate) fn build_endpoints(
     network: NetworkKind,
     n: usize,
     seed: u64,
+    recorder: &Recorder,
 ) -> Result<(Vec<Box<dyn Transport>>, TransportMetrics), ProtocolError> {
     Ok(match network {
         NetworkKind::InMemory => {
@@ -304,7 +336,9 @@ pub(crate) fn build_endpoints(
                     .map(|(i, e)| {
                         let faulty =
                             FaultyEndpoint::new(e, drop_probability, seed ^ (i as u64) << 8);
-                        Box::new(ReliableEndpoint::new(faulty)) as Box<dyn Transport>
+                        let reliable = ReliableEndpoint::new(faulty)
+                            .with_observer(metrics.clone(), recorder.clone());
+                        Box::new(reliable) as Box<dyn Transport>
                     })
                     .collect(),
                 metrics,
@@ -371,6 +405,22 @@ pub fn run_distributed_batch(
     jobs: &[BatchJob],
     network: NetworkKind,
 ) -> Result<DistributedBatchOutcome, ProtocolError> {
+    run_distributed_batch_traced(jobs, network, &Recorder::disabled())
+}
+
+/// [`run_distributed_batch`] with telemetry: hop spans are tagged with
+/// each member query's batch index, and the combined wire accounting is
+/// absorbed into the recorder's registry. Tracing never changes the
+/// transcripts.
+///
+/// # Errors
+///
+/// As for [`run_distributed_batch`].
+pub fn run_distributed_batch_traced(
+    jobs: &[BatchJob],
+    network: NetworkKind,
+    recorder: &Recorder,
+) -> Result<DistributedBatchOutcome, ProtocolError> {
     crate::batch::validate_batch_shape(jobs)?;
     let n = jobs[0].locals.len();
     for job in jobs {
@@ -420,10 +470,10 @@ pub fn run_distributed_batch(
         jobs.iter().map(|j| Arc::new(j.config.clone())).collect();
     let mut transcripts: Vec<Option<Transcript>> = vec![None; jobs.len()];
     let mut per_node_results: Vec<Vec<TopKVector>> = vec![Vec::new(); jobs.len()];
-    let (mut frames_sent, mut logical_messages, mut bytes_sent) = (0u64, 0u64, 0u64);
+    let mut wire = MetricsSnapshot::default();
 
     for (rounds, topology, members) in &groups {
-        let (endpoints, metrics) = build_endpoints(network, n, jobs[members[0]].seed)?;
+        let (endpoints, metrics) = build_endpoints(network, n, jobs[members[0]].seed, recorder)?;
         let drain_on_exit = drain_window(network);
         let mut handles = Vec::with_capacity(n);
         for (i, endpoint) in endpoints.into_iter().enumerate() {
@@ -441,6 +491,8 @@ pub fn run_distributed_batch(
                 .collect();
             let topology = Arc::clone(topology);
             let rounds = *rounds;
+            let member_indices: Vec<u64> = members.iter().map(|&j| j as u64).collect();
+            let recorder = recorder.clone();
             handles.push(std::thread::spawn(move || {
                 batch_worker(
                     NodeId::new(i),
@@ -450,6 +502,8 @@ pub fn run_distributed_batch(
                     rounds,
                     drain_on_exit,
                     RECV_TIMEOUT,
+                    recorder,
+                    &member_indices,
                 )
             }));
         }
@@ -501,10 +555,17 @@ pub fn run_distributed_batch(
             ));
             per_node_results[job_idx] = results;
         }
-        frames_sent += metrics.frames_sent();
-        logical_messages += metrics.messages_sent();
-        bytes_sent += metrics.bytes_sent();
+        let snap = metrics.take();
+        wire.frames_sent += snap.frames_sent;
+        wire.logical_messages += snap.logical_messages;
+        wire.bytes_sent += snap.bytes_sent;
+        wire.retransmissions += snap.retransmissions;
+        wire.re_acks += snap.re_acks;
+        wire.pooled_buffers_high_water = wire
+            .pooled_buffers_high_water
+            .max(snap.pooled_buffers_high_water);
     }
+    wire.publish(recorder);
 
     Ok(DistributedBatchOutcome {
         transcripts: transcripts
@@ -512,9 +573,9 @@ pub fn run_distributed_batch(
             .map(|t| t.expect("every job belongs to exactly one group"))
             .collect(),
         per_node_results,
-        frames_sent,
-        logical_messages,
-        bytes_sent,
+        frames_sent: wire.frames_sent,
+        logical_messages: wire.logical_messages,
+        bytes_sent: wire.bytes_sent,
         groups: groups.len() as u32,
     })
 }
@@ -576,6 +637,7 @@ pub fn run_with_recovery(
             seed.wrapping_add(u64::from(attempt)),
             &projected,
             worker_timeout,
+            &Recorder::disabled(),
         ) {
             Ok(outcome) => {
                 return Ok(RecoveryOutcome {
@@ -729,18 +791,24 @@ fn worker(
     drain_on_exit: Option<Duration>,
     crash_at: Option<u32>,
     recv_timeout: Duration,
+    recorder: Recorder,
+    base_ctx: Ctx,
 ) -> Result<WorkerReport, ProtocolError> {
     let n = topology.len();
     let position = topology.position_of(me)?;
     let successor = topology.successor_of(me)?;
     let predecessor = topology.predecessor_of(me)?;
     let pool = endpoint.pool();
+    let my_ctx = base_ctx.with_node(me.get() as u32);
 
     let recv_token = |endpoint: &mut Box<dyn Transport>,
+                      recorder: &Recorder,
                       expect_round: u32|
      -> Result<TopKVector, ProtocolError> {
+        let recv_started = recorder.clock();
         let (from, msg): (NodeId, TokenMessage) =
             recv_with_timeout(endpoint.as_mut(), recv_timeout)?;
+        recorder.record(Phase::Recv, my_ctx.with_round(expect_round), recv_started);
         match msg {
             TokenMessage::Token { round, vector } if round == expect_round => {
                 debug_assert_eq!(from, predecessor, "token must come from predecessor");
@@ -771,10 +839,16 @@ fn worker(
             } else {
                 round
             };
-            recv_token(&mut endpoint, expect)?
+            recv_token(&mut endpoint, &recorder, expect)?
         };
+        let step_started = recorder.clock();
         let outgoing = state.advance(round, position, me, incoming)?;
-        send_value_with(
+        recorder.record(
+            Phase::Step,
+            my_ctx.with_round(round).with_hop(position.get() as u32),
+            step_started,
+        );
+        send_value_traced(
             endpoint.as_mut(),
             &pool,
             successor,
@@ -782,24 +856,30 @@ fn worker(
                 round,
                 vector: outgoing,
             },
+            &recorder,
+            my_ctx.with_round(round),
         )?;
     }
 
     // Termination: the starting node collects the closing token of the
     // final round and circulates the result once around the ring.
     let result = if position.is_start() {
-        let result = recv_token(&mut endpoint, rounds)?;
-        send_value_with(
+        let result = recv_token(&mut endpoint, &recorder, rounds)?;
+        send_value_traced(
             endpoint.as_mut(),
             &pool,
             successor,
             &TokenMessage::Finished {
                 vector: result.clone(),
             },
+            &recorder,
+            my_ctx,
         )?;
         result
     } else {
+        let recv_started = recorder.clock();
         let (_, msg): (NodeId, TokenMessage) = recv_with_timeout(endpoint.as_mut(), recv_timeout)?;
+        recorder.record(Phase::Recv, my_ctx, recv_started);
         let TokenMessage::Finished { vector } = msg else {
             return Err(ProtocolError::Ring(RingError::Decode {
                 reason: "expected termination message",
@@ -808,13 +888,15 @@ fn worker(
         // Forward unless the successor is the starting node (which
         // initiated the circulation and already has the result).
         if position.get() + 1 < n {
-            send_value_with(
+            send_value_traced(
                 endpoint.as_mut(),
                 &pool,
                 successor,
                 &TokenMessage::Finished {
                     vector: vector.clone(),
                 },
+                &recorder,
+                my_ctx,
             )?;
         }
         vector
@@ -875,6 +957,7 @@ struct BatchWorkerReport {
 /// hop carrying all member tokens. Each job advances with its own RNG and
 /// `has_inserted` flag, so its step sequence is the one its solo worker
 /// would produce.
+#[allow(clippy::too_many_arguments)]
 fn batch_worker(
     me: NodeId,
     mut jobs: Vec<NodeWorker>,
@@ -883,6 +966,8 @@ fn batch_worker(
     rounds: u32,
     drain_on_exit: Option<Duration>,
     recv_timeout: Duration,
+    recorder: Recorder,
+    query_indices: &[u64],
 ) -> Result<BatchWorkerReport, ProtocolError> {
     let n = topology.len();
     let width = jobs.len();
@@ -891,12 +976,16 @@ fn batch_worker(
     let successor = topology.successor_of(me)?;
     let predecessor = topology.predecessor_of(me)?;
     let pool = endpoint.pool();
+    let my_ctx = Ctx::default().with_node(me.get() as u32);
 
     let recv_batch = |endpoint: &mut Box<dyn Transport>,
                       pool: &FramePool,
+                      recorder: &Recorder,
                       expect_round: u32|
      -> Result<Vec<TopKVector>, ProtocolError> {
+        let recv_started = recorder.clock();
         let (from, frame) = endpoint.recv_timeout(recv_timeout)?;
+        recorder.record(Phase::Recv, my_ctx.with_round(expect_round), recv_started);
         let msg: BatchMessage = privtopk_ring::wire::decode_from_bytes(&frame)?;
         pool.recycle(frame);
         match msg {
@@ -928,13 +1017,22 @@ fn batch_worker(
             } else {
                 round
             };
-            recv_batch(&mut endpoint, &pool, expect)?
+            recv_batch(&mut endpoint, &pool, &recorder, expect)?
         };
         let mut outgoing_vectors = Vec::with_capacity(width);
-        for (job, incoming) in jobs.iter_mut().zip(incomings) {
+        for ((slot, job), incoming) in jobs.iter_mut().enumerate().zip(incomings) {
+            let step_started = recorder.clock();
             outgoing_vectors.push(job.advance(round, position, me, incoming)?);
+            recorder.record(
+                Phase::Step,
+                my_ctx
+                    .with_query(query_indices[slot])
+                    .with_round(round)
+                    .with_hop(position.get() as u32),
+                step_started,
+            );
         }
-        send_value_many_with(
+        send_value_many_traced(
             endpoint.as_mut(),
             &pool,
             successor,
@@ -943,14 +1041,16 @@ fn batch_worker(
                 vectors: outgoing_vectors,
             },
             logical,
+            &recorder,
+            my_ctx.with_round(round),
         )?;
     }
 
     // Termination mirrors the solo worker: the starting node collects the
     // final closing tokens and circulates them once around the ring.
     let results: Vec<TopKVector> = if position.is_start() {
-        let results = recv_batch(&mut endpoint, &pool, rounds)?;
-        send_value_many_with(
+        let results = recv_batch(&mut endpoint, &pool, &recorder, rounds)?;
+        send_value_many_traced(
             endpoint.as_mut(),
             &pool,
             successor,
@@ -958,10 +1058,14 @@ fn batch_worker(
                 vectors: results.clone(),
             },
             logical,
+            &recorder,
+            my_ctx,
         )?;
         results
     } else {
+        let recv_started = recorder.clock();
         let (_, frame) = endpoint.recv_timeout(recv_timeout)?;
+        recorder.record(Phase::Recv, my_ctx, recv_started);
         let msg: BatchMessage = privtopk_ring::wire::decode_from_bytes(&frame)?;
         pool.recycle(frame);
         let BatchMessage::Finished { vectors } = msg else {
@@ -975,7 +1079,7 @@ fn batch_worker(
             }));
         }
         if position.get() + 1 < n {
-            send_value_many_with(
+            send_value_many_traced(
                 endpoint.as_mut(),
                 &pool,
                 successor,
@@ -983,6 +1087,8 @@ fn batch_worker(
                     vectors: vectors.clone(),
                 },
                 logical,
+                &recorder,
+                my_ctx,
             )?;
         }
         vectors

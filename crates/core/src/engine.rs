@@ -3,6 +3,7 @@
 
 use privtopk_domain::rng::SeedSpec;
 use privtopk_domain::{TopKVector, Value};
+use privtopk_observe::{Ctx, Phase, Recorder};
 use privtopk_ring::RingTopology;
 
 use crate::local::{max_step, topk_step_scratch, TopkScratch};
@@ -40,13 +41,26 @@ const STREAM_REMAP: u64 = 0x30;
 #[derive(Debug, Clone)]
 pub struct SimulationEngine {
     config: ProtocolConfig,
+    recorder: Recorder,
 }
 
 impl SimulationEngine {
-    /// Wraps a configuration.
+    /// Wraps a configuration (telemetry disabled).
     #[must_use]
     pub fn new(config: ProtocolConfig) -> Self {
-        SimulationEngine { config }
+        SimulationEngine {
+            config,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry recorder: every hop is timed as a
+    /// [`Phase::Step`] span. Recording never touches the protocol's seeded
+    /// RNG streams, so transcripts are bit-identical with or without it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The configuration in use.
@@ -65,7 +79,13 @@ impl SimulationEngine {
     /// - [`ProtocolError::InconsistentK`] if a local vector's `k` differs
     ///   from the configured `k`.
     pub fn run(&self, locals: &[TopKVector], seed: u64) -> Result<Transcript, ProtocolError> {
-        let mut state = SimJobState::prepare(&self.config, locals, seed)?;
+        let mut state = SimJobState::prepare(
+            &self.config,
+            locals,
+            seed,
+            self.recorder.clone(),
+            Ctx::EMPTY,
+        )?;
         // Reused across all n × rounds hops so the merge never reallocates.
         let mut scratch = TopkScratch::new();
         for round in 1..=state.rounds {
@@ -109,6 +129,10 @@ struct SimJobState<'a> {
     global: TopKVector,
     steps: Vec<StepRecord>,
     ring_orders: Vec<Vec<privtopk_domain::NodeId>>,
+    recorder: Recorder,
+    /// Telemetry coordinates shared by every hop of this job (e.g. the
+    /// query index of a batched run).
+    base_ctx: Ctx,
 }
 
 impl<'a> SimJobState<'a> {
@@ -116,6 +140,8 @@ impl<'a> SimJobState<'a> {
         config: &'a ProtocolConfig,
         locals: &'a [TopKVector],
         seed: u64,
+        recorder: Recorder,
+        base_ctx: Ctx,
     ) -> Result<Self, ProtocolError> {
         let n = locals.len();
         config.validate(n)?;
@@ -154,6 +180,8 @@ impl<'a> SimJobState<'a> {
             global,
             steps: Vec::with_capacity(n * rounds as usize),
             ring_orders,
+            recorder,
+            base_ctx,
         })
     }
 
@@ -169,6 +197,7 @@ impl<'a> SimJobState<'a> {
         let domain = self.config.domain();
         let probability = self.config.schedule().probability(round);
         for position in 0..self.n {
+            let step_started = self.recorder.clock();
             let node = self
                 .topology
                 .node_at(privtopk_domain::RingPosition::new(position))?;
@@ -225,6 +254,14 @@ impl<'a> SimJobState<'a> {
                 outgoing,
                 action,
             });
+            self.recorder.record(
+                Phase::Step,
+                self.base_ctx
+                    .with_node(idx as u32)
+                    .with_round(round)
+                    .with_hop(position as u32),
+                step_started,
+            );
         }
         Ok(())
     }
@@ -257,10 +294,33 @@ impl<'a> SimJobState<'a> {
 /// - [`ProtocolError::InvalidBatch`] for an empty or oversized batch.
 /// - Any per-job configuration error, as for [`SimulationEngine::run`].
 pub fn run_simulated_batch(jobs: &[BatchJob]) -> Result<Vec<Transcript>, ProtocolError> {
+    run_simulated_batch_traced(jobs, &Recorder::disabled())
+}
+
+/// [`run_simulated_batch`] with telemetry: each hop is timed as a
+/// [`Phase::Step`] span tagged with the job's batch index as the query
+/// coordinate. Transcripts are unaffected by recording.
+///
+/// # Errors
+///
+/// As for [`run_simulated_batch`].
+pub fn run_simulated_batch_traced(
+    jobs: &[BatchJob],
+    recorder: &Recorder,
+) -> Result<Vec<Transcript>, ProtocolError> {
     crate::batch::validate_batch_shape(jobs)?;
     let mut states = jobs
         .iter()
-        .map(|job| SimJobState::prepare(&job.config, &job.locals, job.seed))
+        .enumerate()
+        .map(|(i, job)| {
+            SimJobState::prepare(
+                &job.config,
+                &job.locals,
+                job.seed,
+                recorder.clone(),
+                Ctx::default().with_query(i as u64),
+            )
+        })
         .collect::<Result<Vec<_>, _>>()?;
     let max_rounds = states.iter().map(|s| s.rounds).max().unwrap_or(0);
     let mut scratch = TopkScratch::new();
@@ -540,6 +600,40 @@ mod tests {
                 .unwrap();
             assert_eq!(transcript, &solo);
         }
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_counts_every_hop() {
+        let config = ProtocolConfig::topk(2).with_rounds(RoundPolicy::Fixed(7));
+        let locals = locals_k(2, &[&[10, 20], &[90, 80], &[50, 60], &[70, 30]]);
+        let plain = SimulationEngine::new(config.clone())
+            .run(&locals, 42)
+            .unwrap();
+        let recorder = Recorder::new();
+        let traced = SimulationEngine::new(config)
+            .with_recorder(recorder.clone())
+            .run(&locals, 42)
+            .unwrap();
+        assert_eq!(plain, traced, "recording must not perturb the protocol");
+        // One Step span per hop: n * rounds.
+        assert_eq!(recorder.phase(Phase::Step).count, 4 * 7);
+        assert_eq!(recorder.events_recorded(), 4 * 7);
+    }
+
+    #[test]
+    fn traced_batch_tags_hops_with_query_index() {
+        let cfg = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(3));
+        let jobs = vec![
+            crate::BatchJob::new(cfg.clone(), locals_k(1, &[&[3], &[1], &[2]]), 1),
+            crate::BatchJob::new(cfg.clone(), locals_k(1, &[&[9], &[8], &[7]]), 2),
+        ];
+        let recorder = Recorder::new();
+        let traced = run_simulated_batch_traced(&jobs, &recorder).unwrap();
+        assert_eq!(traced, run_simulated_batch(&jobs).unwrap());
+        assert_eq!(recorder.phase(Phase::Step).count, 2 * 3 * 3);
+        let trace = recorder.trace_jsonl();
+        assert!(trace.contains("\"query\":0"));
+        assert!(trace.contains("\"query\":1"));
     }
 
     #[test]

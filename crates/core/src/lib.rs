@@ -63,9 +63,9 @@ mod transcript;
 
 pub use batch::{derive_batch_seed, BatchJob};
 pub use config::{AlgorithmKind, ProtocolConfig, RoundPolicy, StartPolicy};
-pub use engine::{run_simulated_batch, true_topk, SimulationEngine};
+pub use engine::{run_simulated_batch, run_simulated_batch_traced, true_topk, SimulationEngine};
 pub use error::ProtocolError;
 pub use messages::{BatchMessage, SlotMessage, TokenMessage, MAX_BATCH_ENTRIES};
 pub use schedule::Schedule;
-pub use service::{QueryTicket, ServiceOutcome, ServiceRuntime};
+pub use service::{QueryTicket, ServiceOutcome, ServiceRuntime, ServiceStats};
 pub use transcript::{StepRecord, Transcript};

@@ -30,7 +30,8 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use privtopk_domain::{NodeId, RingPosition, TopKVector};
-use privtopk_ring::transport::{send_value_with, FramePool, Transport};
+use privtopk_observe::{Ctx, Histogram, HistogramSnapshot, Phase, Recorder};
+use privtopk_ring::transport::{send_value_traced, FramePool, Transport};
 use privtopk_ring::wire::decode_from_bytes;
 use privtopk_ring::{RingError, RingTopology, TransportMetrics};
 
@@ -188,9 +189,15 @@ struct ServiceWorker {
     recv_timeout: Duration,
     slots: HashMap<u64, SlotState>,
     draining: bool,
+    recorder: Recorder,
 }
 
 impl ServiceWorker {
+    /// The telemetry context every span from this worker carries.
+    fn ctx(&self) -> Ctx {
+        Ctx::default().with_node(self.me.get() as u32)
+    }
+
     fn run(mut self) {
         loop {
             if !self.pump_control() {
@@ -222,8 +229,12 @@ impl ServiceWorker {
                 }
                 // Idle: block until the scheduler speaks again — no
                 // polling, so a depth-1 workload pays no poll latency.
+                let idle_started = self.recorder.clock();
                 match self.control.recv() {
-                    Ok(msg) => self.handle_control(msg),
+                    Ok(msg) => {
+                        self.recorder.record(Phase::Idle, self.ctx(), idle_started);
+                        self.handle_control(msg);
+                    }
                     Err(_) => break,
                 }
                 continue;
@@ -301,7 +312,16 @@ impl ServiceWorker {
         };
         if position.is_start() {
             let incoming = slot.state.floor();
+            let step_started = self.recorder.clock();
             let outgoing = slot.state.advance(1, position, self.me, incoming)?;
+            self.recorder.record(
+                Phase::Step,
+                self.ctx()
+                    .with_query(slot.query)
+                    .with_round(1)
+                    .with_hop(position.get() as u32),
+                step_started,
+            );
             self.forward(
                 &slot,
                 TokenMessage::Token {
@@ -317,10 +337,15 @@ impl ServiceWorker {
 
     /// Waits for a frame while keeping the control plane responsive.
     fn recv_frame(&mut self) -> FrameEvent {
+        let ctx = self.ctx();
+        let recv_started = self.recorder.clock();
         let deadline = Instant::now() + self.recv_timeout;
         loop {
             match self.endpoint.recv_timeout(ACTIVE_POLL) {
-                Ok((_, frame)) => return FrameEvent::Frame(frame),
+                Ok((_, frame)) => {
+                    self.recorder.record(Phase::Recv, ctx, recv_started);
+                    return FrameEvent::Frame(frame);
+                }
                 Err(RingError::Timeout) => {
                     if !self.pump_control() {
                         self.draining = true;
@@ -408,9 +433,18 @@ impl ServiceWorker {
         match slot.phase {
             SlotPhase::AwaitToken { expect, compute } => {
                 let incoming = expect_token(msg, expect)?;
+                let step_started = self.recorder.clock();
                 let outgoing = slot
                     .state
                     .advance(compute, slot.position, self.me, incoming)?;
+                self.recorder.record(
+                    Phase::Step,
+                    self.ctx()
+                        .with_query(slot.query)
+                        .with_round(compute)
+                        .with_hop(slot.position.get() as u32),
+                    step_started,
+                );
                 self.forward(
                     slot,
                     TokenMessage::Token {
@@ -453,11 +487,19 @@ impl ServiceWorker {
     }
 
     fn forward(&mut self, slot: &SlotState, inner: TokenMessage) -> Result<(), ProtocolError> {
+        let ctx = self.ctx().with_query(slot.query);
         let msg = SlotMessage {
             query: slot.query,
             inner,
         };
-        send_value_with(self.endpoint.as_mut(), &self.pool, slot.successor, &msg)?;
+        send_value_traced(
+            self.endpoint.as_mut(),
+            &self.pool,
+            slot.successor,
+            &msg,
+            &self.recorder,
+            ctx,
+        )?;
         Ok(())
     }
 
@@ -510,6 +552,46 @@ pub struct ServiceRuntime {
     handles: Vec<std::thread::JoinHandle<()>>,
     metrics: TransportMetrics,
     collect_timeout: Duration,
+    recorder: Recorder,
+    queries_submitted: u64,
+    queries_completed: u64,
+    pipeline_high_water: usize,
+    queue_wait: Arc<Histogram>,
+}
+
+/// A live snapshot of a running service, readable mid-stream without
+/// draining any counter — the service-side stats surface behind the
+/// CLI's `--stats` flag and `FederationService::stats()`.
+///
+/// Pipeline occupancy and queue waits are maintained unconditionally;
+/// the wire counters come from a non-draining
+/// [`TransportMetrics::peek`]. Nothing here carries data values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Configured maximum number of queries in flight.
+    pub depth: usize,
+    /// Queries currently occupying a pipeline slot.
+    pub in_flight: usize,
+    /// Highest simultaneous occupancy observed so far.
+    pub pipeline_high_water: usize,
+    /// Queries admitted into the pipeline so far.
+    pub queries_submitted: u64,
+    /// Queries that have completed (successfully or not).
+    pub queries_completed: u64,
+    /// How long submissions waited for a free pipeline slot.
+    pub queue_wait: HistogramSnapshot,
+    /// Physical frames sent since the last `take()` on the metrics.
+    pub frames_sent: u64,
+    /// Logical messages carried by those frames.
+    pub logical_messages: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Lifetime frame-pool high-water mark.
+    pub pooled_buffers_high_water: u64,
+    /// Frames retransmitted by the reliability layer (lossy networks).
+    pub retransmissions: u64,
+    /// Duplicate frames re-acknowledged by the reliability layer.
+    pub re_acks: u64,
 }
 
 impl ServiceRuntime {
@@ -529,6 +611,24 @@ impl ServiceRuntime {
         network: NetworkKind,
         depth: usize,
     ) -> Result<ServiceRuntime, ProtocolError> {
+        Self::start_traced(locals, network, depth, Recorder::disabled())
+    }
+
+    /// [`start`](Self::start) with telemetry: every worker spans its
+    /// receive waits, hop computations, sends and idle periods, tagged
+    /// with the scheduler-assigned query id. The recorder is shared by
+    /// all workers and the scheduler; transcripts stay bit-identical to
+    /// the untraced service.
+    ///
+    /// # Errors
+    ///
+    /// As for [`start`](Self::start).
+    pub fn start_traced(
+        locals: &[TopKVector],
+        network: NetworkKind,
+        depth: usize,
+        recorder: Recorder,
+    ) -> Result<ServiceRuntime, ProtocolError> {
         if depth == 0 {
             return Err(ProtocolError::InvalidService {
                 reason: "pipeline depth must be at least 1",
@@ -547,7 +647,7 @@ impl ServiceRuntime {
                 });
             }
         }
-        let (endpoints, metrics) = build_endpoints(network, n, FAULT_SEED)?;
+        let (endpoints, metrics) = build_endpoints(network, n, FAULT_SEED, &recorder)?;
         let drain_on_exit = drain_window(network);
         let (report_tx, report_rx) = unbounded();
         let mut controls = Vec::with_capacity(n);
@@ -566,6 +666,7 @@ impl ServiceRuntime {
                 recv_timeout: RECV_TIMEOUT,
                 slots: HashMap::new(),
                 draining: false,
+                recorder: recorder.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("privtopk-svc-{i}"))
@@ -590,6 +691,11 @@ impl ServiceRuntime {
             // Strictly longer than the workers' own deadline, so a hung
             // query surfaces as their timeout report, not ours.
             collect_timeout: RECV_TIMEOUT + RECV_TIMEOUT / 2,
+            recorder,
+            queries_submitted: 0,
+            queries_completed: 0,
+            pipeline_high_water: 0,
+            queue_wait: Arc::new(Histogram::new()),
         })
     }
 
@@ -611,6 +717,36 @@ impl ServiceRuntime {
     #[must_use]
     pub fn metrics(&self) -> TransportMetrics {
         self.metrics.clone()
+    }
+
+    /// The recorder this service publishes telemetry into (disabled
+    /// unless the service was started via
+    /// [`start_traced`](Self::start_traced)).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Takes a live snapshot of the service: pipeline occupancy, queue
+    /// waits, and the shared wire counters — readable at any time,
+    /// including while queries are in flight, without draining anything.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let wire = self.metrics.peek();
+        ServiceStats {
+            depth: self.depth,
+            in_flight: self.in_flight,
+            pipeline_high_water: self.pipeline_high_water,
+            queries_submitted: self.queries_submitted,
+            queries_completed: self.queries_completed,
+            queue_wait: self.queue_wait.snapshot(),
+            frames_sent: wire.frames_sent,
+            logical_messages: wire.logical_messages,
+            bytes_sent: wire.bytes_sent,
+            pooled_buffers_high_water: wire.pooled_buffers_high_water,
+            retransmissions: wire.retransmissions,
+            re_acks: wire.re_acks,
+        }
     }
 
     /// Submits one query, blocking only while the pipeline is full.
@@ -642,9 +778,12 @@ impl ServiceRuntime {
         }
         let rounds = config.resolve_rounds()?;
         let topology = Arc::new(derive_topology(config, self.n, seed)?);
+        let queued = Instant::now();
         while self.in_flight >= self.depth {
             self.pump_one()?;
         }
+        self.queue_wait.record_duration(queued.elapsed());
+        self.recorder.observe_named("queue_wait", Some(queued));
         let query = self.next_query;
         self.next_query += 1;
         self.meta.insert(
@@ -669,6 +808,10 @@ impl ServiceRuntime {
                 .map_err(|_| ProtocolError::WorkerFailed { position })?;
         }
         self.in_flight += 1;
+        self.queries_submitted += 1;
+        self.pipeline_high_water = self.pipeline_high_water.max(self.in_flight);
+        self.recorder
+            .gauge_set("pipeline_depth", self.in_flight as u64);
         Ok(QueryTicket { query })
     }
 
@@ -750,6 +893,9 @@ impl ServiceRuntime {
                 self.pending.remove(&report.query);
                 self.done.insert(report.query, Err(error));
                 self.in_flight -= 1;
+                self.queries_completed += 1;
+                self.recorder
+                    .gauge_set("pipeline_depth", self.in_flight as u64);
             }
             Ok((steps, result)) => {
                 let partial = self
@@ -767,6 +913,9 @@ impl ServiceRuntime {
                     self.done
                         .insert(report.query, Ok(assemble(self.n, &meta, reports)));
                     self.in_flight -= 1;
+                    self.queries_completed += 1;
+                    self.recorder
+                        .gauge_set("pipeline_depth", self.in_flight as u64);
                 }
             }
         }
@@ -780,6 +929,9 @@ impl ServiceRuntime {
     ///
     /// [`ProtocolError::WorkerFailed`] if a worker thread panicked.
     pub fn shutdown(mut self) -> Result<(), ProtocolError> {
+        // Publish the lifetime wire counters into the recorder's
+        // registry so a final summary carries them.
+        self.metrics.peek().publish(&self.recorder);
         for control in &self.controls {
             let _ = control.send(WorkerControl::Shutdown);
         }
@@ -1017,6 +1169,88 @@ mod tests {
         assert!(service.submit(&remapped, 0).is_err());
         // The service is still usable after rejected submissions.
         service.run(&config(2), 0).unwrap();
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn traced_service_is_bit_identical_and_spans_every_hop() {
+        let locals = locals(4, 2, 19);
+        let cfg = config(2);
+        let workload: Vec<(ProtocolConfig, u64)> =
+            (0..6u64).map(|seed| (cfg.clone(), seed)).collect();
+
+        let mut plain = ServiceRuntime::start(&locals, NetworkKind::InMemory, 2).unwrap();
+        let plain_outcomes = plain.run_workload(&workload).unwrap();
+        plain.shutdown().unwrap();
+
+        let recorder = Recorder::new();
+        let mut traced =
+            ServiceRuntime::start_traced(&locals, NetworkKind::InMemory, 2, recorder.clone())
+                .unwrap();
+        let traced_outcomes = traced.run_workload(&workload).unwrap();
+        let stats = traced.stats();
+        traced.shutdown().unwrap();
+
+        assert_eq!(plain_outcomes, traced_outcomes);
+        // Every hop of every query produced a Step span: 6 queries of
+        // 6 rounds over 4 nodes.
+        assert_eq!(recorder.phase(Phase::Step).count, 6 * 6 * 4);
+        assert!(recorder.phase(Phase::Send).count > 0);
+        assert!(recorder.phase(Phase::Recv).count > 0);
+        // The scheduler tracked occupancy and queue waits.
+        assert_eq!(stats.queries_submitted, 6);
+        assert_eq!(stats.queries_completed, 6);
+        assert_eq!(stats.in_flight, 0);
+        assert!(stats.pipeline_high_water >= 1 && stats.pipeline_high_water <= 2);
+        assert_eq!(stats.queue_wait.count, 6);
+        assert!(stats.frames_sent > 0);
+        assert!(stats.bytes_sent > 0);
+        // And the registry carries the gauge mid-stream view.
+        let gauge = recorder.gauge("pipeline_depth").unwrap();
+        assert_eq!(gauge.value, 0);
+        assert!(gauge.high_water >= 1);
+    }
+
+    #[test]
+    fn stats_are_live_mid_stream() {
+        let locals = locals(4, 2, 23);
+        let cfg = config(2);
+        let mut service = ServiceRuntime::start(&locals, NetworkKind::InMemory, 4).unwrap();
+        let t0 = service.submit(&cfg, 0).unwrap();
+        let t1 = service.submit(&cfg, 1).unwrap();
+        let mid = service.stats();
+        assert_eq!(mid.queries_submitted, 2);
+        assert_eq!(mid.in_flight + mid.queries_completed as usize, 2);
+        assert!(mid.pipeline_high_water >= 1);
+        service.collect(t0).unwrap();
+        service.collect(t1).unwrap();
+        let done = service.stats();
+        assert_eq!(done.in_flight, 0);
+        assert_eq!(done.queries_completed, 2);
+        assert!(done.frames_sent >= mid.frames_sent);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn lossy_service_stats_expose_healing_counters() {
+        let locals = locals(4, 2, 29);
+        let cfg = config(2);
+        let network = NetworkKind::LossyInMemory {
+            drop_probability: 0.3,
+        };
+        let recorder = Recorder::stats_only();
+        let mut service =
+            ServiceRuntime::start_traced(&locals, network, 2, recorder.clone()).unwrap();
+        for seed in 0..3u64 {
+            service.run(&cfg, seed).unwrap();
+        }
+        let stats = service.stats();
+        assert!(
+            stats.retransmissions > 0,
+            "30% loss must force retransmissions"
+        );
+        assert!(stats.re_acks > 0, "dropped ACKs must force re-ACKs");
+        assert_eq!(recorder.phase(Phase::Retry).count, stats.retransmissions);
         service.shutdown().unwrap();
     }
 

@@ -1,13 +1,17 @@
 //! The federation itself: schema validation and query execution.
 
-use privtopk_core::distributed::{run_distributed, run_distributed_batch, NetworkKind};
-use privtopk_core::service::{QueryTicket, ServiceRuntime};
+use privtopk_core::distributed::{
+    run_distributed, run_distributed_batch, run_distributed_batch_traced, run_distributed_traced,
+    NetworkKind,
+};
+use privtopk_core::service::{QueryTicket, ServiceRuntime, ServiceStats};
 use privtopk_core::{
-    derive_batch_seed, run_simulated_batch, BatchJob, ProtocolConfig, RoundPolicy,
-    SimulationEngine, Transcript,
+    derive_batch_seed, run_simulated_batch, run_simulated_batch_traced, BatchJob, ProtocolConfig,
+    RoundPolicy, SimulationEngine, Transcript,
 };
 use privtopk_datagen::PrivateDatabase;
 use privtopk_domain::{TopKVector, Value, ValueDomain};
+use privtopk_observe::Recorder;
 use privtopk_ring::TransportMetrics;
 
 use crate::{FederationError, QuerySpec};
@@ -97,6 +101,27 @@ impl Federation {
         Ok(self.finish(spec, outcome.transcript, mirrored))
     }
 
+    /// [`Federation::execute_distributed`] with telemetry published into
+    /// `recorder`: per-hop phase spans tagged with node, round and hop,
+    /// plus wire counters. The outcome is bit-identical to the untraced
+    /// call — telemetry carries protocol coordinates and timings only,
+    /// never data values.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::execute_distributed`].
+    pub fn execute_distributed_traced(
+        &self,
+        spec: &QuerySpec,
+        network: NetworkKind,
+        seed: u64,
+        recorder: &Recorder,
+    ) -> Result<QueryOutcome, FederationError> {
+        let (config, locals, mirrored) = self.compile(spec)?;
+        let outcome = run_distributed_traced(&config, &locals, network, seed, recorder)?;
+        Ok(self.finish(spec, outcome.transcript, mirrored))
+    }
+
     /// Stands up a persistent service for one query spec: every member
     /// spawns a long-lived worker owning its compiled database snapshot,
     /// its ring endpoint and its established successor connection, all
@@ -120,8 +145,26 @@ impl Federation {
         network: NetworkKind,
         depth: usize,
     ) -> Result<FederationService, FederationError> {
+        self.serve_traced(spec, network, depth, Recorder::disabled())
+    }
+
+    /// [`Federation::serve`] with telemetry: every worker publishes
+    /// per-hop phase spans and the scheduler publishes pipeline-depth
+    /// and queue-wait figures into `recorder`. Outcomes stay
+    /// bit-identical to the untraced service.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::serve`].
+    pub fn serve_traced(
+        &self,
+        spec: &QuerySpec,
+        network: NetworkKind,
+        depth: usize,
+        recorder: Recorder,
+    ) -> Result<FederationService, FederationError> {
         let (config, locals, mirrored) = self.compile(spec)?;
-        let runtime = ServiceRuntime::start(&locals, network, depth)?;
+        let runtime = ServiceRuntime::start_traced(&locals, network, depth, recorder)?;
         Ok(FederationService {
             federation: self.clone(),
             runtime,
@@ -152,6 +195,22 @@ impl Federation {
         Ok(self.finish_batch(batch, transcripts, &mirrors))
     }
 
+    /// [`Federation::execute_batch`] with telemetry: hop spans are
+    /// tagged with each query's batch index. Outcomes are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::execute_batch`].
+    pub fn execute_batch_traced(
+        &self,
+        batch: &QueryBatch,
+        recorder: &Recorder,
+    ) -> Result<Vec<QueryOutcome>, FederationError> {
+        let (jobs, mirrors) = self.compile_batch(batch)?;
+        let transcripts = run_simulated_batch_traced(&jobs, recorder)?;
+        Ok(self.finish_batch(batch, transcripts, &mirrors))
+    }
+
     /// Executes a query batch over a real transport, piggybacking all
     /// queries' payloads in one wire frame per hop (per lock-step group).
     ///
@@ -168,6 +227,23 @@ impl Federation {
     ) -> Result<Vec<QueryOutcome>, FederationError> {
         let (jobs, mirrors) = self.compile_batch(batch)?;
         let outcome = run_distributed_batch(&jobs, network)?;
+        Ok(self.finish_batch(batch, outcome.transcripts, &mirrors))
+    }
+
+    /// [`Federation::execute_batch_distributed`] with telemetry, as for
+    /// [`Federation::execute_distributed_traced`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::execute_batch_distributed`].
+    pub fn execute_batch_distributed_traced(
+        &self,
+        batch: &QueryBatch,
+        network: NetworkKind,
+        recorder: &Recorder,
+    ) -> Result<Vec<QueryOutcome>, FederationError> {
+        let (jobs, mirrors) = self.compile_batch(batch)?;
+        let outcome = run_distributed_batch_traced(&jobs, network, recorder)?;
         Ok(self.finish_batch(batch, outcome.transcripts, &mirrors))
     }
 
@@ -218,6 +294,26 @@ impl Federation {
     pub fn execute(&self, spec: &QuerySpec, seed: u64) -> Result<QueryOutcome, FederationError> {
         let (config, locals, mirrored) = self.compile(spec)?;
         let transcript = SimulationEngine::new(config).run(&locals, seed)?;
+        Ok(self.finish(spec, transcript, mirrored))
+    }
+
+    /// [`Federation::execute`] with telemetry: the simulated engine
+    /// spans every hop computation. The outcome is bit-identical to the
+    /// untraced call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::execute`].
+    pub fn execute_traced(
+        &self,
+        spec: &QuerySpec,
+        seed: u64,
+        recorder: &Recorder,
+    ) -> Result<QueryOutcome, FederationError> {
+        let (config, locals, mirrored) = self.compile(spec)?;
+        let transcript = SimulationEngine::new(config)
+            .with_recorder(recorder.clone())
+            .run(&locals, seed)?;
         Ok(self.finish(spec, transcript, mirrored))
     }
 
@@ -402,6 +498,21 @@ impl FederationService {
     #[must_use]
     pub fn metrics(&self) -> TransportMetrics {
         self.runtime.metrics()
+    }
+
+    /// A live snapshot of the running service — pipeline occupancy,
+    /// queue waits and wire counters — readable at any time, including
+    /// while queries are in flight. Nothing is drained by reading it.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.runtime.stats()
+    }
+
+    /// The recorder this service publishes telemetry into (disabled
+    /// unless created via [`Federation::serve_traced`]).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        self.runtime.recorder()
     }
 
     /// Answers the served spec under `seed` — the warm-path equivalent
@@ -875,6 +986,77 @@ mod tests {
         service.query(0).unwrap();
         assert!(service.metrics().frames_sent() > 0);
         service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn traced_paths_match_untraced_across_all_modes() {
+        use privtopk_observe::Phase;
+        let f = federation(4, 6, 41);
+        let spec = QuerySpec::top_k("value", 2).with_epsilon(1e-9);
+
+        let recorder = Recorder::new();
+        let sim = f.execute(&spec, 12).unwrap();
+        assert_eq!(f.execute_traced(&spec, 12, &recorder).unwrap(), sim);
+
+        let dist = f
+            .execute_distributed(&spec, NetworkKind::InMemory, 12)
+            .unwrap();
+        assert_eq!(
+            f.execute_distributed_traced(&spec, NetworkKind::InMemory, 12, &recorder)
+                .unwrap(),
+            dist
+        );
+        assert_eq!(sim.transcript().steps(), dist.transcript().steps());
+
+        let batch = QueryBatch::new(5)
+            .with(QuerySpec::max("value"))
+            .with(spec.clone());
+        let batched = f.execute_batch(&batch).unwrap();
+        assert_eq!(f.execute_batch_traced(&batch, &recorder).unwrap(), batched);
+        assert_eq!(
+            f.execute_batch_distributed_traced(&batch, NetworkKind::InMemory, &recorder)
+                .unwrap(),
+            batched
+        );
+
+        // All four traced modes contributed hop spans.
+        assert!(recorder.phase(Phase::Step).count > 0);
+        assert!(!recorder.trace_jsonl().is_empty());
+    }
+
+    #[test]
+    fn served_stats_are_live_and_summarized() {
+        let f = federation(4, 6, 43);
+        let spec = QuerySpec::top_k("value", 2).with_epsilon(1e-9);
+        let recorder = Recorder::new();
+        let mut service = f
+            .serve_traced(&spec, NetworkKind::InMemory, 2, recorder.clone())
+            .unwrap();
+        let untraced_service = f.serve(&spec, NetworkKind::InMemory, 2).unwrap();
+        drop(untraced_service.stats()); // stats work without a recorder too
+        untraced_service.shutdown().unwrap();
+
+        let seeds: Vec<u64> = (0..5).collect();
+        let warm = service.query_many(&seeds).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.queries_submitted, 5);
+        assert_eq!(stats.queries_completed, 5);
+        assert_eq!(stats.queue_wait.count, 5);
+        assert!(stats.frames_sent > 0);
+        assert!(stats.pooled_buffers_high_water > 0);
+        assert!(service.recorder().is_enabled());
+        service.shutdown().unwrap();
+
+        for (seed, outcome) in seeds.iter().zip(&warm) {
+            let cold = f
+                .execute_distributed(&spec, NetworkKind::InMemory, *seed)
+                .unwrap();
+            assert_eq!(outcome, &cold);
+        }
+        // The recorder's text summary renders without panicking and
+        // names the phases.
+        let summary = recorder.summary().to_string();
+        assert!(summary.contains("step"));
     }
 
     #[test]

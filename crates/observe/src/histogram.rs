@@ -1,0 +1,297 @@
+//! Log-bucketed latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One bucket per power of two of nanoseconds, plus a zero bucket.
+///
+/// Bucket 0 holds exact zeros; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. 64 powers cover the full `u64` range, so nothing
+/// is ever clipped.
+const BUCKETS: usize = 65;
+
+/// A concurrent, log-bucketed latency histogram.
+///
+/// HDR-style: recording is a few relaxed atomic ops (no locks, no
+/// allocation), quantiles are answered from the bucket counts with at most
+/// 2x relative error, and histograms are mergeable across threads via
+/// [`merge_into`](Histogram::merge_into).
+///
+/// # Example
+///
+/// ```
+/// use privtopk_observe::Histogram;
+///
+/// let h = Histogram::new();
+/// for ns in [100, 200, 400, 800] {
+///     h.record(ns);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 4);
+/// assert_eq!(snap.max_ns, 800);
+/// assert!(snap.p50_ns >= 200);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time read of a [`Histogram`].
+///
+/// Quantiles are bucket upper bounds (clamped to the observed maximum), so
+/// they over-estimate by at most the bucket width.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest sample, in nanoseconds.
+    pub max_ns: u64,
+    /// Median estimate, in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile estimate, in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile estimate, in nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in nanoseconds (0.0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Whether anything was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+fn bucket_index(nanos: u64) -> usize {
+    if nanos == 0 {
+        0
+    } else {
+        64 - nanos.leading_zeros() as usize
+    }
+}
+
+fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample of `nanos` nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
+        self.max_ns.fetch_max(nanos, Ordering::Relaxed);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sample from a [`Duration`] (saturating at `u64::MAX`).
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds this histogram's counts into `target`.
+    ///
+    /// Used to merge per-thread histograms into one; merging concurrently
+    /// with writers is safe and never loses a sample that finished before
+    /// the merge began.
+    pub fn merge_into(&self, target: &Histogram) {
+        target
+            .count
+            .fetch_add(self.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        target
+            .sum_ns
+            .fetch_add(self.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        target
+            .max_ns
+            .fetch_max(self.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (ours, theirs) in self.buckets.iter().zip(target.buckets.iter()) {
+            theirs.fetch_add(ours.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// Reads the current totals and quantile estimates.
+    ///
+    /// A snapshot taken while writers race is internally consistent up to
+    /// one in-flight sample per writer — good enough for progress stats.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count: u64 = buckets.iter().sum();
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns,
+            p50_ns: quantile(&buckets, count, max_ns, 0.50),
+            p90_ns: quantile(&buckets, count, max_ns, 0.90),
+            p99_ns: quantile(&buckets, count, max_ns, 0.99),
+        }
+    }
+}
+
+fn quantile(buckets: &[u64; BUCKETS], count: u64, max_ns: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cumulative += c;
+        if cumulative >= rank {
+            return bucket_upper(i).min(max_ns);
+        }
+    }
+    max_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap, HistogramSnapshot::default());
+        assert!(snap.is_empty());
+        assert_eq!(snap.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn bucket_indexing_covers_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for idx in 1..=63 {
+            // Every bucket's upper bound maps back to the same bucket.
+            assert_eq!(bucket_index(bucket_upper(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_hit_the_sample() {
+        let h = Histogram::new();
+        h.record(1000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max_ns, 1000);
+        // All quantiles clamp to the observed maximum.
+        assert_eq!(snap.p50_ns, 1000);
+        assert_eq!(snap.p99_ns, 1000);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.max_ns, 100_000);
+        assert!(snap.p50_ns <= snap.p90_ns);
+        assert!(snap.p90_ns <= snap.p99_ns);
+        assert!(snap.p99_ns <= snap.max_ns);
+        // Log buckets over-estimate by at most 2x.
+        assert!(snap.p50_ns >= 50_000 && snap.p50_ns <= 100_000);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        a.record(20);
+        b.record(5000);
+        b.merge_into(&a);
+        let snap = a.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum_ns, 5030);
+        assert_eq!(snap.max_ns, 5000);
+    }
+
+    #[test]
+    fn duration_recording_saturates() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_nanos(1500));
+        h.record_duration(Duration::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 4000);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_estimate_is_within_one_bucket(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let snap = h.snapshot();
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let exact_p50 = sorted[(samples.len() - 1) / 2];
+            // The estimate can exceed the exact median by at most the
+            // bucket width (2x), and never exceeds the max.
+            prop_assert!(snap.p50_ns <= snap.max_ns);
+            prop_assert!(snap.p50_ns >= exact_p50 / 2 || snap.p50_ns >= exact_p50);
+            prop_assert_eq!(snap.max_ns, *sorted.last().unwrap());
+            prop_assert_eq!(snap.count, samples.len() as u64);
+        }
+    }
+}

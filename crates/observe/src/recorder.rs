@@ -1,0 +1,746 @@
+//! The [`Recorder`]: trace events, phase histograms, counters and gauges.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::{Ctx, Phase};
+
+/// Default cap on buffered trace events (~20 MB of event storage).
+///
+/// Overflow is counted, never silent: see [`Recorder::events_dropped`].
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 18;
+
+/// One serialized trace record: a phase, protocol coordinates, timing.
+///
+/// By construction this is the *entire* vocabulary of a trace line — there
+/// is no field that could carry a data value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the recorder was created.
+    pub t_us: u64,
+    /// What kind of work this span covered.
+    pub phase: Phase,
+    /// Protocol coordinates (query/slot/node/round/hop).
+    pub ctx: Ctx,
+    /// Span duration in nanoseconds (0 for instantaneous markers).
+    pub dur_ns: u64,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON object (no trailing newline).
+    ///
+    /// Key order is fixed (`t_us`, `phase`, coordinates, `dur_ns`) and
+    /// unset coordinates are omitted, so the schema is exactly the fields
+    /// of [`Ctx`] plus timing.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"t_us\":");
+        line.push_str(&self.t_us.to_string());
+        line.push_str(",\"phase\":\"");
+        line.push_str(self.phase.as_str());
+        line.push('"');
+        if let Some(query) = self.ctx.query {
+            line.push_str(",\"query\":");
+            line.push_str(&query.to_string());
+        }
+        if let Some(slot) = self.ctx.slot {
+            line.push_str(",\"slot\":");
+            line.push_str(&slot.to_string());
+        }
+        if let Some(node) = self.ctx.node {
+            line.push_str(",\"node\":");
+            line.push_str(&node.to_string());
+        }
+        if let Some(round) = self.ctx.round {
+            line.push_str(",\"round\":");
+            line.push_str(&round.to_string());
+        }
+        if let Some(hop) = self.ctx.hop {
+            line.push_str(",\"hop\":");
+            line.push_str(&hop.to_string());
+        }
+        line.push_str(",\"dur_ns\":");
+        line.push_str(&self.dur_ns.to_string());
+        line.push('}');
+        line
+    }
+}
+
+/// A point-in-time read of one gauge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Last value set.
+    pub value: u64,
+    /// Largest value ever set.
+    pub high_water: u64,
+}
+
+struct GaugeCell {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+struct Inner {
+    epoch: Instant,
+    capture_events: bool,
+    /// Keep a span when `seq & sample_mask == 0`; 0 keeps every span.
+    sample_mask: u64,
+    max_events: usize,
+    phases: [Histogram; Phase::ALL.len()],
+    events: Mutex<Vec<TraceEvent>>,
+    events_dropped: AtomicU64,
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<GaugeCell>>>,
+    named: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+/// The telemetry hub for one run or one standing service.
+///
+/// Cloning is cheap and every clone feeds the same sink, so a recorder can
+/// be handed to each worker thread. A recorder is either *enabled*
+/// (allocated sink) or *disabled* (`None` inside — every call is a single
+/// branch and [`clock`](Recorder::clock) never touches the OS clock), so
+/// instrumentation can stay unconditionally in place on hot paths.
+///
+/// # Example
+///
+/// ```
+/// use privtopk_observe::{Ctx, Phase, Recorder};
+///
+/// let rec = Recorder::new();
+/// rec.add("retransmissions", 2);
+/// rec.gauge_set("pipeline_depth", 4);
+/// let t0 = rec.clock();
+/// rec.record(Phase::Send, Ctx::default().with_node(0), t0);
+/// let summary = rec.summary();
+/// assert_eq!(summary.counters, vec![("retransmissions".to_string(), 2)]);
+/// ```
+#[derive(Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+    /// Per-handle span sequence for sampling. Each clone counts its own
+    /// spans, so sampling decisions never bounce a cache line between
+    /// worker threads.
+    span_seq: AtomicU64,
+}
+
+impl Clone for Recorder {
+    fn clone(&self) -> Self {
+        Recorder {
+            inner: self.inner.clone(),
+            span_seq: AtomicU64::new(0),
+        }
+    }
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder that records nothing, at near-zero cost.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder {
+            inner: None,
+            span_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A full recorder: phase histograms, registries, and an event buffer
+    /// capped at [`DEFAULT_EVENT_CAPACITY`].
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A recorder that aggregates histograms/counters/gauges but buffers
+    /// no per-event trace — the cheapest *enabled* mode that keeps every
+    /// span.
+    #[must_use]
+    pub fn stats_only() -> Self {
+        Recorder::build(false, 0, 0)
+    }
+
+    /// A stats-only recorder that keeps one timed span out of every
+    /// `2^shift` per handle (deterministic — a per-clone sequence counter,
+    /// no RNG, so seeded protocol streams are untouched).
+    ///
+    /// Instantaneous events ([`tick`](Recorder::tick) — retransmissions,
+    /// re-ACKs), counters, gauges and named histograms stay exact; only
+    /// [`clock`](Recorder::clock)-opened spans are sampled. This is the
+    /// always-on production mode: on a microsecond-hop in-memory ring the
+    /// full per-hop timing costs double-digit percent, while 1-in-64
+    /// sampling keeps quantile estimates at well under 2% overhead.
+    #[must_use]
+    pub fn sampled(shift: u32) -> Self {
+        Recorder::build(false, 0, (1u64 << shift.min(63)) - 1)
+    }
+
+    /// A full recorder with an explicit event-buffer cap.
+    #[must_use]
+    pub fn with_event_capacity(max_events: usize) -> Self {
+        Recorder::build(true, max_events, 0)
+    }
+
+    fn build(capture_events: bool, max_events: usize, sample_mask: u64) -> Self {
+        Recorder {
+            span_seq: AtomicU64::new(0),
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                capture_events,
+                sample_mask,
+                max_events,
+                phases: std::array::from_fn(|_| Histogram::new()),
+                events: Mutex::new(Vec::new()),
+                events_dropped: AtomicU64::new(0),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                named: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Whether this recorder records anything at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Reads the clock — but only when enabled and this span is sampled.
+    ///
+    /// The returned instant is what instrumented code later passes to
+    /// [`record`](Recorder::record); a disabled recorder returns `None`
+    /// so hot paths skip the clock read entirely, and a
+    /// [`sampled`](Recorder::sampled) recorder returns `None` for the
+    /// spans it elides (the paired `record` then no-ops too).
+    #[must_use]
+    pub fn clock(&self) -> Option<Instant> {
+        let inner = self.inner.as_deref()?;
+        if inner.sample_mask != 0 {
+            let seq = self.span_seq.fetch_add(1, Ordering::Relaxed);
+            if seq & inner.sample_mask != 0 {
+                return None;
+            }
+        }
+        Some(Instant::now())
+    }
+
+    /// Closes a span opened with [`clock`](Recorder::clock).
+    ///
+    /// No-op when disabled or when `started` is `None` (which is exactly
+    /// what a disabled recorder's `clock` returned, so the two pair up).
+    pub fn record(&self, phase: Phase, ctx: Ctx, started: Option<Instant>) {
+        if let (Some(inner), Some(started)) = (self.inner.as_deref(), started) {
+            let dur = started.elapsed();
+            inner.record_event(phase, ctx, started, dur);
+        }
+    }
+
+    /// Records an instantaneous event (zero duration, timestamped now).
+    pub fn tick(&self, phase: Phase, ctx: Ctx) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.record_event(phase, ctx, Instant::now(), Duration::ZERO);
+        }
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.counter(name).fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the named counter to an absolute value.
+    ///
+    /// This is how external figures (e.g. a drained `TransportMetrics`
+    /// snapshot) are absorbed into the registry.
+    pub fn set_counter(&self, name: &'static str, value: u64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.counter(name).store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads a counter (0 when absent or disabled).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_deref()
+            .and_then(|inner| {
+                inner
+                    .counters
+                    .lock()
+                    .get(name)
+                    .map(|c| c.load(Ordering::Relaxed))
+            })
+            .unwrap_or(0)
+    }
+
+    /// Sets the named gauge, tracking its high-water mark.
+    pub fn gauge_set(&self, name: &'static str, value: u64) {
+        if let Some(inner) = self.inner.as_deref() {
+            let cell = inner.gauge(name);
+            cell.value.store(value, Ordering::Relaxed);
+            cell.high_water.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads a gauge (`None` when absent or disabled).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<GaugeSnapshot> {
+        let inner = self.inner.as_deref()?;
+        let cell = inner.gauges.lock().get(name).cloned()?;
+        Some(GaugeSnapshot {
+            value: cell.value.load(Ordering::Relaxed),
+            high_water: cell.high_water.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Closes a span into the named histogram (no trace event).
+    ///
+    /// For aggregate-only timings like queue waits where a per-event line
+    /// would add noise without information.
+    pub fn observe_named(&self, name: &'static str, started: Option<Instant>) {
+        if let (Some(inner), Some(started)) = (self.inner.as_deref(), started) {
+            inner
+                .named_histogram(name)
+                .record_duration(started.elapsed());
+        }
+    }
+
+    /// Reads the named histogram (`None` when absent or disabled).
+    #[must_use]
+    pub fn named(&self, name: &str) -> Option<HistogramSnapshot> {
+        let inner = self.inner.as_deref()?;
+        let hist = inner.named.lock().get(name).cloned()?;
+        Some(hist.snapshot())
+    }
+
+    /// Reads the aggregate histogram for one phase.
+    #[must_use]
+    pub fn phase(&self, phase: Phase) -> HistogramSnapshot {
+        self.inner
+            .as_deref()
+            .map(|inner| inner.phases[phase.index()].snapshot())
+            .unwrap_or_default()
+    }
+
+    /// How many trace events were discarded at the buffer cap.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map(|inner| inner.events_dropped.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// How many trace events are buffered.
+    #[must_use]
+    pub fn events_recorded(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map(|inner| inner.events.lock().len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Writes the buffered trace as JSON Lines (one event per line,
+    /// ordered by timestamp).
+    pub fn write_trace<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        if let Some(inner) = self.inner.as_deref() {
+            let mut events = inner.events.lock().clone();
+            events.sort_by_key(|e| e.t_us);
+            for event in &events {
+                writer.write_all(event.to_json().as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The buffered trace as one JSONL string.
+    #[must_use]
+    pub fn trace_jsonl(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_trace(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("trace is ASCII")
+    }
+
+    /// Snapshots every aggregate into a displayable [`Summary`].
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        let Some(inner) = self.inner.as_deref() else {
+            return Summary::default();
+        };
+        let phases = Phase::ALL
+            .iter()
+            .map(|&p| (p, inner.phases[p.index()].snapshot()))
+            .filter(|(_, snap)| !snap.is_empty())
+            .collect();
+        let named = inner
+            .named
+            .lock()
+            .iter()
+            .map(|(name, hist)| (name.to_string(), hist.snapshot()))
+            .collect();
+        let counters = inner
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, c)| (name.to_string(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|(name, cell)| {
+                (
+                    name.to_string(),
+                    GaugeSnapshot {
+                        value: cell.value.load(Ordering::Relaxed),
+                        high_water: cell.high_water.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect();
+        Summary {
+            phases,
+            named,
+            counters,
+            gauges,
+            events_recorded: self.events_recorded(),
+            events_dropped: self.events_dropped(),
+        }
+    }
+}
+
+impl Inner {
+    fn record_event(&self, phase: Phase, ctx: Ctx, started: Instant, dur: Duration) {
+        let dur_ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        self.phases[phase.index()].record(dur_ns);
+        if self.capture_events {
+            let t_us = u64::try_from(started.saturating_duration_since(self.epoch).as_micros())
+                .unwrap_or(u64::MAX);
+            let event = TraceEvent {
+                t_us,
+                phase,
+                ctx,
+                dur_ns,
+            };
+            let mut events = self.events.lock();
+            if events.len() < self.max_events {
+                events.push(event);
+            } else {
+                drop(events);
+                self.events_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+        self.counters
+            .lock()
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone()
+    }
+
+    fn gauge(&self, name: &'static str) -> Arc<GaugeCell> {
+        self.gauges
+            .lock()
+            .entry(name)
+            .or_insert_with(|| {
+                Arc::new(GaugeCell {
+                    value: AtomicU64::new(0),
+                    high_water: AtomicU64::new(0),
+                })
+            })
+            .clone()
+    }
+
+    fn named_histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.named
+            .lock()
+            .entry(name)
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+}
+
+/// Aggregated run statistics, rendered by `Display` as a fixed-width
+/// table: one row per phase / named histogram with count, p50/p90/p99,
+/// max and mean, followed by counters and gauges.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Per-phase latency digests (phases with no samples are omitted).
+    pub phases: Vec<(Phase, HistogramSnapshot)>,
+    /// Named histograms (e.g. `queue_wait`), sorted by name.
+    pub named: Vec<(String, HistogramSnapshot)>,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, GaugeSnapshot)>,
+    /// Trace events held in the buffer.
+    pub events_recorded: u64,
+    /// Trace events discarded at the buffer cap.
+    pub events_dropped: u64,
+}
+
+/// Renders nanoseconds with an adaptive unit (ASCII only).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "phase", "count", "p50", "p90", "p99", "max", "mean"
+        )?;
+        let mut row = |name: &str, snap: &HistogramSnapshot| {
+            writeln!(
+                f,
+                "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                name,
+                snap.count,
+                fmt_ns(snap.p50_ns),
+                fmt_ns(snap.p90_ns),
+                fmt_ns(snap.p99_ns),
+                fmt_ns(snap.max_ns),
+                fmt_ns(snap.mean_ns() as u64),
+            )
+        };
+        for (phase, snap) in &self.phases {
+            row(phase.as_str(), snap)?;
+        }
+        for (name, snap) in &self.named {
+            row(name, snap)?;
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name} = {value}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (name, gauge) in &self.gauges {
+                writeln!(
+                    f,
+                    "  {name} = {} (high water {})",
+                    gauge.value, gauge.high_water
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "trace events: {} buffered, {} dropped",
+            self.events_recorded, self.events_dropped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        assert!(rec.clock().is_none());
+        rec.record(Phase::Step, Ctx::default(), rec.clock());
+        rec.tick(Phase::Retry, Ctx::default());
+        rec.add("retransmissions", 5);
+        rec.gauge_set("pipeline_depth", 3);
+        rec.observe_named("queue_wait", rec.clock());
+        assert_eq!(rec.phase(Phase::Step).count, 0);
+        assert_eq!(rec.counter("retransmissions"), 0);
+        assert!(rec.gauge("pipeline_depth").is_none());
+        assert!(rec.named("queue_wait").is_none());
+        assert_eq!(rec.trace_jsonl(), "");
+        assert_eq!(rec.summary().phases.len(), 0);
+    }
+
+    #[test]
+    fn record_feeds_phase_histogram_and_event_buffer() {
+        let rec = Recorder::new();
+        let t0 = rec.clock();
+        assert!(t0.is_some());
+        rec.record(Phase::Send, Ctx::default().with_node(1).with_round(2), t0);
+        assert_eq!(rec.phase(Phase::Send).count, 1);
+        assert_eq!(rec.events_recorded(), 1);
+        let trace = rec.trace_jsonl();
+        assert!(trace.contains("\"phase\":\"send\""));
+        assert!(trace.contains("\"node\":1"));
+        assert!(trace.contains("\"round\":2"));
+        assert!(!trace.contains("query")); // unset coordinates are omitted
+    }
+
+    #[test]
+    fn stats_only_recorder_buffers_no_events() {
+        let rec = Recorder::stats_only();
+        rec.record(Phase::Step, Ctx::default(), rec.clock());
+        assert_eq!(rec.phase(Phase::Step).count, 1);
+        assert_eq!(rec.events_recorded(), 0);
+        assert_eq!(rec.events_dropped(), 0);
+        assert_eq!(rec.trace_jsonl(), "");
+    }
+
+    #[test]
+    fn sampled_recorder_keeps_one_span_in_2_to_the_shift() {
+        let rec = Recorder::sampled(3);
+        let mut kept = 0;
+        for _ in 0..32 {
+            let t0 = rec.clock();
+            kept += usize::from(t0.is_some());
+            rec.record(Phase::Step, Ctx::default(), t0);
+        }
+        assert_eq!(kept, 4); // 32 spans at 1-in-8
+        assert_eq!(rec.phase(Phase::Step).count, 4);
+        // Counters and ticks are exact regardless of sampling.
+        rec.add("retransmissions", 2);
+        rec.tick(Phase::Retry, Ctx::default());
+        rec.tick(Phase::Retry, Ctx::default());
+        assert_eq!(rec.counter("retransmissions"), 2);
+        assert_eq!(rec.phase(Phase::Retry).count, 2);
+        // Each clone samples on its own sequence, starting at zero.
+        let clone = rec.clone();
+        assert!(clone.clock().is_some());
+    }
+
+    #[test]
+    fn event_cap_counts_drops_instead_of_growing() {
+        let rec = Recorder::with_event_capacity(2);
+        for _ in 0..5 {
+            rec.tick(Phase::Idle, Ctx::default());
+        }
+        assert_eq!(rec.events_recorded(), 2);
+        assert_eq!(rec.events_dropped(), 3);
+        // The histograms still saw every sample.
+        assert_eq!(rec.phase(Phase::Idle).count, 5);
+        let summary = rec.summary();
+        assert_eq!(summary.events_dropped, 3);
+    }
+
+    #[test]
+    fn counters_gauges_and_named_histograms_register() {
+        let rec = Recorder::new();
+        rec.add("retransmissions", 1);
+        rec.add("retransmissions", 2);
+        rec.set_counter("frames_sent", 53);
+        rec.gauge_set("pipeline_depth", 4);
+        rec.gauge_set("pipeline_depth", 9);
+        rec.gauge_set("pipeline_depth", 2);
+        rec.observe_named("queue_wait", rec.clock());
+        assert_eq!(rec.counter("retransmissions"), 3);
+        assert_eq!(rec.counter("frames_sent"), 53);
+        assert_eq!(
+            rec.gauge("pipeline_depth"),
+            Some(GaugeSnapshot {
+                value: 2,
+                high_water: 9
+            })
+        );
+        assert_eq!(rec.named("queue_wait").unwrap().count, 1);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let rec = Recorder::new();
+        let worker = rec.clone();
+        worker.add("retransmissions", 7);
+        worker.tick(Phase::Retry, Ctx::default().with_node(3));
+        assert_eq!(rec.counter("retransmissions"), 7);
+        assert_eq!(rec.events_recorded(), 1);
+    }
+
+    #[test]
+    fn trace_json_schema_is_fixed() {
+        let rec = Recorder::new();
+        rec.tick(
+            Phase::Step,
+            Ctx::default()
+                .with_query(7)
+                .with_slot(7)
+                .with_node(0)
+                .with_round(1)
+                .with_hop(4),
+        );
+        let line = rec.trace_jsonl();
+        let line = line.trim();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        for key in [
+            "t_us", "phase", "query", "slot", "node", "round", "hop", "dur_ns",
+        ] {
+            assert!(
+                line.contains(&format!("\"{key}\":")),
+                "missing {key} in {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_sorted_by_timestamp() {
+        let rec = Recorder::new();
+        for _ in 0..64 {
+            rec.tick(Phase::Step, Ctx::default());
+        }
+        let trace = rec.trace_jsonl();
+        let stamps: Vec<u64> = trace
+            .lines()
+            .map(|l| {
+                let rest = l.strip_prefix("{\"t_us\":").unwrap();
+                rest[..rest.find(',').unwrap()].parse().unwrap()
+            })
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn summary_renders_phases_counters_and_gauges() {
+        let rec = Recorder::new();
+        rec.record(Phase::Recv, Ctx::default(), rec.clock());
+        rec.add("re_acks", 4);
+        rec.gauge_set("pipeline_depth", 16);
+        rec.observe_named("queue_wait", rec.clock());
+        let text = rec.summary().to_string();
+        assert!(text.contains("phase"));
+        assert!(text.contains("p50"));
+        assert!(text.contains("p99"));
+        assert!(text.contains("recv"));
+        assert!(text.contains("queue_wait"));
+        assert!(text.contains("re_acks = 4"));
+        assert!(text.contains("pipeline_depth = 16 (high water 16)"));
+        assert!(!text.contains("encode")); // empty phases omitted
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

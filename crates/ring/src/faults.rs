@@ -19,9 +19,10 @@ use rand::Rng;
 
 use privtopk_domain::rng::seeded_rng;
 use privtopk_domain::NodeId;
+use privtopk_observe::{Ctx, Phase, Recorder};
 
 use crate::transport::{FramePool, Transport};
-use crate::RingError;
+use crate::{RingError, TransportMetrics};
 
 /// A transport wrapper that silently drops outgoing frames with a fixed
 /// probability (deterministic under the seed).
@@ -147,6 +148,9 @@ pub struct ReliableEndpoint<T> {
     ack_timeout: Duration,
     max_retries: u32,
     retransmissions: u64,
+    /// Shared counters that make healing activity visible network-wide.
+    metrics: Option<TransportMetrics>,
+    recorder: Recorder,
 }
 
 impl<T: Transport> ReliableEndpoint<T> {
@@ -165,6 +169,8 @@ impl<T: Transport> ReliableEndpoint<T> {
             ack_timeout: Self::DEFAULT_ACK_TIMEOUT,
             max_retries: Self::DEFAULT_MAX_RETRIES,
             retransmissions: 0,
+            metrics: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -173,6 +179,16 @@ impl<T: Transport> ReliableEndpoint<T> {
     pub fn with_policy(mut self, ack_timeout: Duration, max_retries: u32) -> Self {
         self.ack_timeout = ack_timeout;
         self.max_retries = max_retries;
+        self
+    }
+
+    /// Attaches shared metrics and a telemetry recorder: every
+    /// retransmission and duplicate re-ACK this endpoint performs is
+    /// counted network-wide instead of staying silent.
+    #[must_use]
+    pub fn with_observer(mut self, metrics: TransportMetrics, recorder: Recorder) -> Self {
+        self.metrics = Some(metrics);
+        self.recorder = recorder;
         self
     }
 
@@ -201,6 +217,15 @@ impl<T: Transport> ReliableEndpoint<T> {
                     self.delivered.insert(from, seq);
                     Ok(Some((from, payload)))
                 } else {
+                    // A duplicate means the peer missed our ACK — the
+                    // re-ACK just sent is healing activity worth counting.
+                    if let Some(metrics) = &self.metrics {
+                        metrics.record_re_ack();
+                    }
+                    self.recorder.tick(
+                        Phase::Ack,
+                        Ctx::default().with_node(self.inner.node().get() as u32),
+                    );
                     Ok(None)
                 }
             }
@@ -228,6 +253,13 @@ impl<T: Transport> Transport for ReliableEndpoint<T> {
         for attempt in 0..=self.max_retries {
             if attempt > 0 {
                 self.retransmissions += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.record_retransmission();
+                }
+                self.recorder.tick(
+                    Phase::Retry,
+                    Ctx::default().with_node(self.inner.node().get() as u32),
+                );
             }
             self.inner.send_many(to, data.clone(), logical)?;
             let deadline = Instant::now() + self.ack_timeout;
@@ -397,6 +429,49 @@ mod tests {
         drain(&mut a);
         assert_eq!(got, (100..110).collect::<Vec<_>>());
         assert_eq!(handle.join().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lossy_run_moves_shared_healing_counters() {
+        // Satellite of the telemetry PR: ring-healing activity must be
+        // visible. Both endpoints share one TransportMetrics and one
+        // Recorder; a lossy exchange must move the retransmission counter
+        // (ACK waits that expired) and the re-ACK counter (duplicates the
+        // receiver suppressed after its ACK was lost).
+        let metrics = TransportMetrics::new();
+        let recorder = Recorder::new();
+        let net = InMemoryNetwork::new(2);
+        let mut eps = net.endpoints().into_iter();
+        let mut a = ReliableEndpoint::new(FaultyEndpoint::new(eps.next().unwrap(), 0.4, 11))
+            .with_observer(metrics.clone(), recorder.clone());
+        let mut b = ReliableEndpoint::new(FaultyEndpoint::new(eps.next().unwrap(), 0.4, 22))
+            .with_observer(metrics.clone(), recorder.clone());
+        let n = 50u8;
+        let handle = std::thread::spawn(move || {
+            for _ in 0..n {
+                b.recv_timeout(Duration::from_secs(30)).unwrap();
+            }
+            drain(&mut b);
+        });
+        for i in 0..n {
+            a.send(NodeId::new(1), Bytes::from(vec![i])).unwrap();
+        }
+        let local_retries = a.retransmissions();
+        handle.join().unwrap();
+        assert!(local_retries > 0, "40% loss must force retries");
+        assert_eq!(metrics.retransmissions(), local_retries);
+        assert!(
+            metrics.re_acks() > 0,
+            "dropped ACKs must surface as counted re-ACKs"
+        );
+        // The recorder saw the same activity as trace events.
+        assert_eq!(recorder.phase(Phase::Retry).count, local_retries);
+        assert_eq!(recorder.phase(Phase::Ack).count, metrics.re_acks());
+        // And the drained snapshot carries both figures (satellite: they
+        // must not be dropped the way pooled_buffers_high_water was).
+        let snap = metrics.take();
+        assert_eq!(snap.retransmissions, local_retries);
+        assert!(snap.re_acks > 0);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use privtopk_observe::Recorder;
+
 /// Shared frame/message/byte counters for one network.
 ///
 /// The paper's efficiency analysis (Section 4.2) argues the communication
@@ -41,10 +43,13 @@ struct Counters {
     logical: AtomicU64,
     bytes: AtomicU64,
     pooled_high_water: AtomicU64,
+    retransmissions: AtomicU64,
+    re_acks: AtomicU64,
 }
 
-/// A drained snapshot of [`TransportMetrics`], returned by
-/// [`TransportMetrics::take`].
+/// A snapshot of [`TransportMetrics`], returned by
+/// [`TransportMetrics::take`] (draining) or
+/// [`TransportMetrics::peek`] (non-draining).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Physical frames sent.
@@ -53,6 +58,14 @@ pub struct MetricsSnapshot {
     pub logical_messages: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// The most buffers the frame pool ever held at once. A lifetime peak,
+    /// not a rate: [`TransportMetrics::take`] reports it without resetting.
+    pub pooled_buffers_high_water: u64,
+    /// Reliable-transport retransmissions (lossy networks only).
+    pub retransmissions: u64,
+    /// Duplicate-suppression re-acknowledgements sent for frames that had
+    /// already been delivered (lossy networks only).
+    pub re_acks: u64,
 }
 
 impl MetricsSnapshot {
@@ -64,6 +77,21 @@ impl MetricsSnapshot {
         } else {
             self.bytes_sent as f64 / self.frames_sent as f64
         }
+    }
+
+    /// Publishes every figure into a [`Recorder`]'s counter registry,
+    /// under the same names as the fields.
+    ///
+    /// This is how the telemetry registry absorbs the transport counters:
+    /// the recorder's summary then reports wire activity alongside the
+    /// phase histograms without a second metrics surface.
+    pub fn publish(&self, recorder: &Recorder) {
+        recorder.set_counter("frames_sent", self.frames_sent);
+        recorder.set_counter("logical_messages", self.logical_messages);
+        recorder.set_counter("bytes_sent", self.bytes_sent);
+        recorder.set_counter("pooled_buffers_high_water", self.pooled_buffers_high_water);
+        recorder.set_counter("retransmissions", self.retransmissions);
+        recorder.set_counter("re_acks", self.re_acks);
     }
 }
 
@@ -104,6 +132,28 @@ impl TransportMetrics {
         self.inner.pooled_high_water.load(Ordering::Relaxed)
     }
 
+    /// Records one reliable-transport retransmission.
+    pub fn record_retransmission(&self) {
+        self.inner.retransmissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one re-acknowledgement of an already-delivered frame.
+    pub fn record_re_ack(&self) {
+        self.inner.re_acks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total reliable-transport retransmissions recorded.
+    #[must_use]
+    pub fn retransmissions(&self) -> u64 {
+        self.inner.retransmissions.load(Ordering::Relaxed)
+    }
+
+    /// Total re-acknowledgements of already-delivered frames.
+    #[must_use]
+    pub fn re_acks(&self) -> u64 {
+        self.inner.re_acks.load(Ordering::Relaxed)
+    }
+
     /// Total logical messages sent (one per query per frame).
     ///
     /// Equal to [`frames_sent`](Self::frames_sent) on unbatched paths.
@@ -134,25 +184,42 @@ impl TransportMetrics {
     /// Mean payload bytes per physical frame (0 when nothing was sent).
     #[must_use]
     pub fn mean_frame_bytes(&self) -> f64 {
+        self.peek().mean_frame_bytes()
+    }
+
+    /// Reads every counter without draining anything.
+    ///
+    /// This is the mid-stream inspection path (service `stats()`):
+    /// concurrent writers keep accumulating and a later [`take`](Self::take)
+    /// still sees their full totals.
+    #[must_use]
+    pub fn peek(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            frames_sent: self.frames_sent(),
-            logical_messages: self.messages_sent(),
-            bytes_sent: self.bytes_sent(),
+            frames_sent: self.inner.frames.load(Ordering::Relaxed),
+            logical_messages: self.inner.logical.load(Ordering::Relaxed),
+            bytes_sent: self.inner.bytes.load(Ordering::Relaxed),
+            pooled_buffers_high_water: self.inner.pooled_high_water.load(Ordering::Relaxed),
+            retransmissions: self.inner.retransmissions.load(Ordering::Relaxed),
+            re_acks: self.inner.re_acks.load(Ordering::Relaxed),
         }
-        .mean_frame_bytes()
     }
 
     /// Atomically drains the counters, returning what they held.
     ///
-    /// Each counter is swapped to zero rather than stored, so a
+    /// Each rate counter is swapped to zero rather than stored, so a
     /// `record_*` racing with `take` lands in exactly one of "returned by
     /// this take" or "left for the next reader" — never silently lost,
-    /// which a load-then-store reset cannot guarantee.
+    /// which a load-then-store reset cannot guarantee. The pooled-buffer
+    /// high-water mark is a lifetime peak, not a rate, so it is reported
+    /// without being reset.
     pub fn take(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             frames_sent: self.inner.frames.swap(0, Ordering::Relaxed),
             logical_messages: self.inner.logical.swap(0, Ordering::Relaxed),
             bytes_sent: self.inner.bytes.swap(0, Ordering::Relaxed),
+            pooled_buffers_high_water: self.inner.pooled_high_water.load(Ordering::Relaxed),
+            retransmissions: self.inner.retransmissions.swap(0, Ordering::Relaxed),
+            re_acks: self.inner.re_acks.swap(0, Ordering::Relaxed),
         }
     }
 
@@ -234,10 +301,64 @@ mod tests {
             MetricsSnapshot {
                 frames_sent: 1,
                 logical_messages: 4,
-                bytes_sent: 64
+                bytes_sent: 64,
+                ..Default::default()
             }
         );
         assert_eq!(m.take(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn peek_reads_without_draining() {
+        let m = TransportMetrics::new();
+        m.record_frame(64, 4);
+        m.record_pooled(5);
+        m.record_retransmission();
+        m.record_re_ack();
+        m.record_re_ack();
+        let peeked = m.peek();
+        assert_eq!(peeked.frames_sent, 1);
+        assert_eq!(peeked.logical_messages, 4);
+        assert_eq!(peeked.bytes_sent, 64);
+        assert_eq!(peeked.pooled_buffers_high_water, 5);
+        assert_eq!(peeked.retransmissions, 1);
+        assert_eq!(peeked.re_acks, 2);
+        // Peeking drained nothing: take() still sees the full totals.
+        assert_eq!(m.take(), peeked);
+    }
+
+    #[test]
+    fn snapshot_exposes_pool_high_water_and_healing_counters() {
+        let m = TransportMetrics::new();
+        m.record_pooled(9);
+        m.record_retransmission();
+        m.record_re_ack();
+        let snap = m.take();
+        assert_eq!(snap.pooled_buffers_high_water, 9);
+        assert_eq!(snap.retransmissions, 1);
+        assert_eq!(snap.re_acks, 1);
+        // Retransmissions/re-ACKs drain like rates; the pool high-water
+        // mark is a lifetime peak and survives the drain.
+        let again = m.take();
+        assert_eq!(again.retransmissions, 0);
+        assert_eq!(again.re_acks, 0);
+        assert_eq!(again.pooled_buffers_high_water, 9);
+    }
+
+    #[test]
+    fn publish_absorbs_figures_into_a_recorder() {
+        let m = TransportMetrics::new();
+        m.record_frame(128, 2);
+        m.record_pooled(3);
+        m.record_retransmission();
+        let rec = Recorder::stats_only();
+        m.peek().publish(&rec);
+        assert_eq!(rec.counter("frames_sent"), 1);
+        assert_eq!(rec.counter("logical_messages"), 2);
+        assert_eq!(rec.counter("bytes_sent"), 128);
+        assert_eq!(rec.counter("pooled_buffers_high_water"), 3);
+        assert_eq!(rec.counter("retransmissions"), 1);
+        assert_eq!(rec.counter("re_acks"), 0);
     }
 
     #[test]

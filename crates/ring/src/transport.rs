@@ -17,6 +17,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use privtopk_domain::NodeId;
+use privtopk_observe::{Ctx, Phase, Recorder};
 
 use crate::cipher::{ChannelCipher, PlainCipher};
 use crate::wire::{decode_from_bytes, encode_into, WireDecode, WireEncode};
@@ -220,6 +221,51 @@ pub fn send_value_many_with<T: WireEncode>(
     let mut buf = pool.acquire();
     encode_into(value, &mut buf);
     transport.send_many(to, buf.freeze(), logical)
+}
+
+/// [`send_value_with`] instrumented for telemetry: the wire encode and
+/// the transport hand-off are timed as separate [`Phase::Encode`] and
+/// [`Phase::Send`] spans under `ctx`. With a disabled recorder this is
+/// exactly [`send_value_with`] plus two branches — no clock reads.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn send_value_traced<T: WireEncode>(
+    transport: &mut dyn Transport,
+    pool: &FramePool,
+    to: NodeId,
+    value: &T,
+    recorder: &Recorder,
+    ctx: Ctx,
+) -> Result<(), RingError> {
+    send_value_many_traced(transport, pool, to, value, 1, recorder, ctx)
+}
+
+/// [`send_value_many_with`] with the same [`Phase::Encode`] /
+/// [`Phase::Send`] instrumentation as [`send_value_traced`].
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn send_value_many_traced<T: WireEncode>(
+    transport: &mut dyn Transport,
+    pool: &FramePool,
+    to: NodeId,
+    value: &T,
+    logical: u64,
+    recorder: &Recorder,
+    ctx: Ctx,
+) -> Result<(), RingError> {
+    let encode_started = recorder.clock();
+    let mut buf = pool.acquire();
+    encode_into(value, &mut buf);
+    let frame = buf.freeze();
+    recorder.record(Phase::Encode, ctx, encode_started);
+    let send_started = recorder.clock();
+    let result = transport.send_many(to, frame, logical);
+    recorder.record(Phase::Send, ctx, send_started);
+    result
 }
 
 /// Receives a frame and decodes it with the wire codec.

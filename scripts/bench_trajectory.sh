@@ -107,7 +107,11 @@ echo "wrote $THROUGHPUT_OUT"
 # Warm (one standing service, pipelined) vs cold (a fresh federation
 # per query) queries/sec. The binary asserts the identity gate at every
 # depth, the warm >= 2x cold floor, and that every depth > 1 strictly
-# beats depth 1 — a successful exit IS the acceptance check.
+# beats depth 1 — a successful exit IS the acceptance check. It also
+# runs the telemetry gate: tracing-off vs tracing-on throughput at the
+# best depth (recorder in its sampled always-on mode) lands in the
+# "tracing" block of BENCH_service.json, with transcripts asserted
+# bit-identical and overhead asserted under 2%.
 SERVICE_BIN="$REPO_ROOT/target/release/service"
 SERVICE_OUT="$REPO_ROOT/BENCH_service.json"
 

@@ -15,6 +15,12 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# The telemetry privacy gate, run by name so a filtered or partial test
+# invocation can never silently skip it: traces must carry only bounded
+# protocol coordinates, independent of the private data.
+echo "==> cargo test --test trace_no_leak"
+cargo test --test trace_no_leak
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -12,6 +12,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`domain`] | `privtopk-domain` | values, domains, top-k vectors, privacy taxonomy |
+//! | [`observe`] | `privtopk-observe` | privacy-safe telemetry: recorder, histograms, traces |
 //! | [`datagen`] | `privtopk-datagen` | synthetic private databases (uniform/normal/zipf) |
 //! | [`ring`] | `privtopk-ring` | ring topology, wire codec, in-memory + TCP transports |
 //! | [`core`] | `privtopk-core` | the protocols: Algorithms 1 & 2, engines, schedules |
@@ -48,6 +49,7 @@ pub use privtopk_domain as domain;
 pub use privtopk_experiments as experiments;
 pub use privtopk_federation as federation;
 pub use privtopk_knn as knn;
+pub use privtopk_observe as observe;
 pub use privtopk_privacy as privacy;
 pub use privtopk_ring as ring;
 

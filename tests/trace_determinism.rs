@@ -1,0 +1,113 @@
+//! Telemetry must be a pure observer: enabling a recorder — at any
+//! verbosity — must leave every transcript bit-identical to the untraced
+//! run. The recorder never touches seeded RNG streams, message contents
+//! or delivery order; these tests would catch any regression that does.
+
+use privtopk::core::distributed::NetworkKind;
+use privtopk::observe::{Phase, Recorder};
+use privtopk::prelude::*;
+
+const NODES: usize = 6;
+const K: usize = 3;
+
+fn federation(seed: u64) -> Federation {
+    let dbs = DatasetBuilder::new(NODES)
+        .rows_per_node(8)
+        .seed(seed)
+        .build()
+        .expect("valid dataset");
+    Federation::new(dbs).expect("valid federation")
+}
+
+#[test]
+fn engine_transcripts_are_bit_identical_with_recorder_on_and_off() {
+    let federation = federation(41);
+    let spec = QuerySpec::top_k("value", K).with_epsilon(1e-9);
+    for seed in [1u64, 99, 0xDEAD] {
+        let plain = federation.execute(&spec, seed).unwrap();
+        for recorder in [
+            Recorder::new(),
+            Recorder::stats_only(),
+            Recorder::sampled(4),
+        ] {
+            let traced = federation.execute_traced(&spec, seed, &recorder).unwrap();
+            assert_eq!(
+                plain.transcript(),
+                traced.transcript(),
+                "seed {seed}: tracing changed the simulated transcript"
+            );
+            assert_eq!(plain.values(), traced.values());
+        }
+        let recorder = Recorder::new();
+        let distributed = federation
+            .execute_distributed_traced(&spec, NetworkKind::InMemory, seed, &recorder)
+            .unwrap();
+        assert_eq!(
+            plain.transcript(),
+            distributed.transcript(),
+            "seed {seed}: tracing changed the distributed transcript"
+        );
+        assert!(recorder.phase(Phase::Step).count > 0);
+    }
+}
+
+#[test]
+fn service_transcripts_are_bit_identical_with_recorder_on_and_off_at_depths_1_4_16() {
+    let federation = federation(42);
+    let spec = QuerySpec::top_k("value", K).with_epsilon(1e-9);
+    let seeds: Vec<u64> = (0..8).map(|i| 1000 + i * 7).collect();
+
+    // Reference: solo runs, no recorder anywhere.
+    let solo: Vec<_> = seeds
+        .iter()
+        .map(|&s| federation.execute(&spec, s).unwrap())
+        .collect();
+
+    for depth in [1usize, 4, 16] {
+        // Untraced service.
+        let mut plain_service = federation
+            .serve(&spec, NetworkKind::InMemory, depth)
+            .unwrap();
+        let tickets: Vec<_> = seeds
+            .iter()
+            .map(|&s| plain_service.submit(s).unwrap())
+            .collect();
+        let plain: Vec<_> = tickets
+            .into_iter()
+            .map(|t| plain_service.collect(t).unwrap())
+            .collect();
+        plain_service.shutdown().unwrap();
+
+        // Traced service, full event capture.
+        let recorder = Recorder::new();
+        let mut traced_service = federation
+            .serve_traced(&spec, NetworkKind::InMemory, depth, recorder.clone())
+            .unwrap();
+        let tickets: Vec<_> = seeds
+            .iter()
+            .map(|&s| traced_service.submit(s).unwrap())
+            .collect();
+        let traced: Vec<_> = tickets
+            .into_iter()
+            .map(|t| traced_service.collect(t).unwrap())
+            .collect();
+        let stats = traced_service.stats();
+        traced_service.shutdown().unwrap();
+
+        for ((p, t), s) in plain.iter().zip(&traced).zip(&solo) {
+            assert_eq!(
+                p.transcript(),
+                t.transcript(),
+                "depth {depth}: tracing changed a service transcript"
+            );
+            assert_eq!(
+                s.transcript(),
+                t.transcript(),
+                "depth {depth}: service diverged from its solo run"
+            );
+            assert_eq!(p.values(), t.values());
+        }
+        assert_eq!(stats.queries_completed, seeds.len() as u64);
+        assert!(recorder.phase(Phase::Step).count > 0, "depth {depth}");
+    }
+}
