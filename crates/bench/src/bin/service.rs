@@ -22,9 +22,11 @@ use std::time::Instant;
 
 use privtopk_bench::bench_locals;
 use privtopk_core::distributed::{run_distributed, NetworkKind};
+use privtopk_core::groups::grouped_max_traced;
 use privtopk_core::service::ServiceRuntime;
 use privtopk_core::{derive_batch_seed, ProtocolConfig, RoundPolicy, StartPolicy};
-use privtopk_observe::Recorder;
+use privtopk_domain::Value;
+use privtopk_observe::{analyze, AnalyzerConfig, Recorder, TraceCollector};
 
 const BASE_SEED: u64 = 24301;
 const K: usize = 4;
@@ -231,6 +233,70 @@ fn main() {
         recorder.phase(privtopk_observe::Phase::Step).count
     );
 
+    // §4.2 grouped-max critical path, analyzer-measured from real traces.
+    // The grouped run's critical path is its slowest group chain plus the
+    // leader-ring chain; the flat run's is its single chain. Both come
+    // out of the same collect-and-analyze pipeline the CLI uses, best of
+    // REPS passes each.
+    const GROUPED_VALUES: usize = 24;
+    const GROUPS: usize = 4;
+    let grouped_config = ProtocolConfig::max().with_rounds(RoundPolicy::Fixed(rounds));
+    let grouped_values: Vec<Value> = (0..GROUPED_VALUES)
+        .map(|i| Value::new(((i * 37) % 9000 + 1) as i64))
+        .collect();
+    let chains_of = |groups: usize| -> Vec<(Option<u64>, u64)> {
+        let recorder = Recorder::new();
+        grouped_max_traced(
+            &grouped_config,
+            &grouped_values,
+            groups,
+            BASE_SEED,
+            &recorder,
+        )
+        .expect("grouped run");
+        let mut collector = TraceCollector::new();
+        collector.ingest_jsonl("grouped.jsonl", &recorder.trace_jsonl());
+        let trace = collector.finish();
+        assert!(trace.diagnostics.is_empty(), "{:?}", trace.diagnostics);
+        let analysis = analyze(&trace, &AnalyzerConfig::default());
+        analysis
+            .queries
+            .iter()
+            .map(|q| {
+                assert!(q.complete, "chain {:?} incomplete", q.query);
+                assert!(q.critical_path_ns > 0, "chain {:?} empty", q.query);
+                (q.query, q.critical_path_ns)
+            })
+            .collect()
+    };
+    let mut flat_ns = u64::MAX;
+    let mut grouped_ns = u64::MAX;
+    for _ in 0..REPS {
+        let flat = chains_of(1);
+        assert_eq!(flat.len(), 1, "flat run is one chain");
+        flat_ns = flat_ns.min(flat[0].1);
+
+        let chains = chains_of(GROUPS);
+        assert_eq!(chains.len(), GROUPS + 1, "group chains plus leader ring");
+        let leader = chains
+            .iter()
+            .find(|(q, _)| *q == Some(GROUPS as u64))
+            .expect("leader chain")
+            .1;
+        let slowest_group = chains
+            .iter()
+            .filter(|(q, _)| *q != Some(GROUPS as u64))
+            .map(|&(_, ns)| ns)
+            .max()
+            .expect("group chains");
+        grouped_ns = grouped_ns.min(slowest_group + leader);
+    }
+    let grouped_ratio = grouped_ns as f64 / flat_ns as f64;
+    eprintln!(
+        "  grouped max (4.2): critical path {grouped_ns} ns grouped ({GROUPS} groups of {}) vs {flat_ns} ns flat ({GROUPED_VALUES}-ring), ratio {grouped_ratio:.3}",
+        GROUPED_VALUES / GROUPS
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
@@ -268,6 +334,10 @@ fn main() {
         "  \"tracing\": {{\"depth\": {}, \"mode\": \"sampled-1-in-1024\", \"off_total_ms\": {off_ms:.3}, \"on_total_ms\": {on_ms:.3}, \"off_queries_per_sec\": {:.1}, \"on_queries_per_sec\": {traced_qps:.1}, \"overhead_pct\": {overhead_pct:.3}}},",
         best.depth,
         queries as f64 / (off_ms / 1e3)
+    );
+    let _ = writeln!(
+        json,
+        "  \"grouped_max\": {{\"values\": {GROUPED_VALUES}, \"groups\": {GROUPS}, \"rounds\": {rounds}, \"flat_critical_path_ns\": {flat_ns}, \"grouped_critical_path_ns\": {grouped_ns}, \"critical_path_ratio\": {grouped_ratio:.4}}},"
     );
     let _ = writeln!(json, "  \"transcripts_identical_to_solo\": true");
     json.push_str("}\n");

@@ -7,7 +7,7 @@ use std::fmt;
 
 /// Flags that are bare switches (present/absent) rather than
 /// `--flag value` pairs.
-const BOOLEAN_FLAGS: &[&str] = &["stats"];
+const BOOLEAN_FLAGS: &[&str] = &["stats", "json"];
 
 /// CLI-level errors.
 #[derive(Debug)]
@@ -64,6 +64,11 @@ pub enum Command {
     Analyze,
     /// `privtopk knn ...` — federated kNN classification.
     Knn,
+    /// `privtopk trace analyze <files...>` — merge per-node JSONL
+    /// traces and reconstruct per-query critical paths.
+    TraceAnalyze,
+    /// `privtopk trace watch` — poll a live service metrics endpoint.
+    TraceWatch,
     /// `privtopk help`
     Help,
 }
@@ -74,6 +79,10 @@ pub struct Arguments {
     /// The subcommand.
     pub command: Command,
     flags: HashMap<String, String>,
+    /// Bare (non-flag) operands, in order. Only the `trace` commands
+    /// accept them — file paths make poor `--flag value` pairs — and
+    /// every other command still rejects stray tokens.
+    positionals: Vec<String>,
 }
 
 impl Arguments {
@@ -93,6 +102,15 @@ impl Arguments {
             Some("audit") => Command::Query { audit: true },
             Some("analyze") => Command::Analyze,
             Some("knn") => Command::Knn,
+            Some("trace") => match iter.next().as_deref() {
+                Some("analyze") => Command::TraceAnalyze,
+                Some("watch") => Command::TraceWatch,
+                other => {
+                    return Err(CliError::UnknownCommand {
+                        got: format!("trace {}", other.unwrap_or("")),
+                    })
+                }
+            },
             Some("help") | None => Command::Help,
             Some(other) => {
                 return Err(CliError::UnknownCommand {
@@ -100,12 +118,19 @@ impl Arguments {
                 })
             }
         };
+        let accepts_positionals = matches!(command, Command::TraceAnalyze | Command::TraceWatch);
         let mut flags = HashMap::new();
+        let mut positionals = Vec::new();
         let rest: Vec<String> = iter.collect();
         let mut i = 0;
         while i < rest.len() {
             let token = &rest[i];
             let Some(name) = token.strip_prefix("--") else {
+                if accepts_positionals {
+                    positionals.push(token.clone());
+                    i += 1;
+                    continue;
+                }
                 return Err(CliError::BadFlag {
                     flag: token.clone(),
                 });
@@ -124,7 +149,17 @@ impl Arguments {
             flags.insert(name.to_string(), value.clone());
             i += 2;
         }
-        Ok(Arguments { command, flags })
+        Ok(Arguments {
+            command,
+            flags,
+            positionals,
+        })
+    }
+
+    /// Bare operands (trace-file paths for `trace analyze`).
+    #[must_use]
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// Whether a bare boolean switch was given.
@@ -175,6 +210,9 @@ pub fn usage() -> String {
      privtopk analyze [--p0 P] [--d D] [--epsilon E] [--rounds R]\n\
      privtopk knn     --query X,Y[,...] [--k K] [--csv-dir DIR | --nodes N]\n\
      \u{20}                (CSV: feature columns + a `label` column)\n\
+     privtopk trace analyze FILE... [--json] [--stall-multiplier M]\n\
+     \u{20}                [--nodes N --rounds R]\n\
+     privtopk trace watch --addr HOST:PORT [--interval-ms MS] [--count N]\n\
      privtopk help\n\
      \n\
      every command also accepts --threads N: worker threads for the\n\
@@ -204,7 +242,21 @@ pub fn usage() -> String {
      (protocol coordinates and timings only — never data values) and\n\
      --stats prints per-phase latency quantiles, counters, and — for\n\
      --repeat runs — the live service pipeline figures. Tracing never\n\
-     changes results or transcripts.\n"
+     changes results or transcripts. --metrics-addr HOST:PORT (with\n\
+     --repeat) additionally serves live Prometheus metrics while the\n\
+     service runs.\n\
+     \n\
+     trace analyze merges one or more JSONL trace files (per-node or\n\
+     combined) into a causally ordered view, reconstructs each query's\n\
+     critical path (encode/send/recv/step/queue per hop), and reports\n\
+     stalls, per-node load skew and retransmissions. --nodes/--rounds\n\
+     validate the chains against the ring topology; --json emits the\n\
+     machine-readable twin of the text report; --stall-multiplier M\n\
+     flags hops slower than M x the query's median hop (default 3).\n\
+     \n\
+     trace watch polls a service's --metrics-addr endpoint every\n\
+     --interval-ms (default 1000), printing each scrape's samples;\n\
+     --count N stops after N polls (default 0 = forever).\n"
         .to_string()
 }
 
@@ -266,8 +318,45 @@ mod tests {
     #[test]
     fn usage_mentions_all_commands() {
         let u = usage();
-        for cmd in ["query", "audit", "analyze", "knn", "help"] {
-            assert!(u.contains(cmd));
+        for cmd in [
+            "query",
+            "audit",
+            "analyze",
+            "knn",
+            "trace analyze",
+            "trace watch",
+            "help",
+        ] {
+            assert!(u.contains(cmd), "usage misses `{cmd}`");
         }
+    }
+
+    #[test]
+    fn trace_commands_take_positionals_and_flags() {
+        let args = Arguments::parse(["trace", "analyze", "a.jsonl", "b.jsonl", "--json"]).unwrap();
+        assert_eq!(args.command, Command::TraceAnalyze);
+        assert_eq!(args.positionals(), ["a.jsonl", "b.jsonl"]);
+        assert!(args.has("json"));
+        // Positionals and flags interleave; order of files is kept.
+        let args = Arguments::parse([
+            "trace",
+            "analyze",
+            "x.jsonl",
+            "--stall-multiplier",
+            "5",
+            "y.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(args.positionals(), ["x.jsonl", "y.jsonl"]);
+        assert_eq!(args.parse_or("stall-multiplier", 3.0).unwrap(), 5.0);
+        let args =
+            Arguments::parse(["trace", "watch", "--addr", "127.0.0.1:9", "--count", "2"]).unwrap();
+        assert_eq!(args.command, Command::TraceWatch);
+        assert_eq!(args.get("addr"), Some("127.0.0.1:9"));
+        // Unknown trace subcommands are rejected, and other commands
+        // still refuse bare tokens.
+        assert!(Arguments::parse(["trace"]).is_err());
+        assert!(Arguments::parse(["trace", "frobnicate"]).is_err());
+        assert!(Arguments::parse(["query", "a.jsonl"]).is_err());
     }
 }

@@ -472,7 +472,18 @@ pub fn run_distributed_batch_traced(
     let mut per_node_results: Vec<Vec<TopKVector>> = vec![Vec::new(); jobs.len()];
     let mut wire = MetricsSnapshot::default();
 
-    for (rounds, topology, members) in &groups {
+    // Groups execute sequentially, so later groups' jobs queue behind the
+    // earlier traversals. Account that wait per group (`queue_wait/groupG`)
+    // so the `--stats` table can show each group's own distribution
+    // instead of folding every group into one histogram.
+    let batch_started = recorder.clock();
+    for (group_idx, (rounds, topology, members)) in groups.iter().enumerate() {
+        if batch_started.is_some() {
+            let name = format!("queue_wait/group{group_idx}");
+            for _ in members {
+                recorder.observe_named(&name, batch_started);
+            }
+        }
         let (endpoints, metrics) = build_endpoints(network, n, jobs[members[0]].seed, recorder)?;
         let drain_on_exit = drain_window(network);
         let mut handles = Vec::with_capacity(n);

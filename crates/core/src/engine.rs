@@ -79,13 +79,20 @@ impl SimulationEngine {
     /// - [`ProtocolError::InconsistentK`] if a local vector's `k` differs
     ///   from the configured `k`.
     pub fn run(&self, locals: &[TopKVector], seed: u64) -> Result<Transcript, ProtocolError> {
-        let mut state = SimJobState::prepare(
-            &self.config,
-            locals,
-            seed,
-            self.recorder.clone(),
-            Ctx::EMPTY,
-        )?;
+        self.run_ctx(locals, seed, Ctx::EMPTY)
+    }
+
+    /// [`SimulationEngine::run`] with shared telemetry coordinates for
+    /// every hop — how composite executions (the §4.2 grouped run) keep
+    /// their sub-protocols distinguishable in one recorder.
+    pub(crate) fn run_ctx(
+        &self,
+        locals: &[TopKVector],
+        seed: u64,
+        base_ctx: Ctx,
+    ) -> Result<Transcript, ProtocolError> {
+        let mut state =
+            SimJobState::prepare(&self.config, locals, seed, self.recorder.clone(), base_ctx)?;
         // Reused across all n × rounds hops so the merge never reallocates.
         let mut scratch = TopkScratch::new();
         for round in 1..=state.rounds {

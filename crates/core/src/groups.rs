@@ -7,7 +7,8 @@
 //! nodes, which could be randomly selected from each small group."
 
 use privtopk_domain::rng::SeedSpec;
-use privtopk_domain::{NodeId, Value};
+use privtopk_domain::{NodeId, TopKVector, Value};
+use privtopk_observe::{Ctx, Recorder};
 use privtopk_ring::RingTopology;
 
 use crate::{ProtocolConfig, ProtocolError, SimulationEngine};
@@ -68,15 +69,53 @@ pub fn grouped_max(
     groups: usize,
     seed: u64,
 ) -> Result<GroupedMaxOutcome, ProtocolError> {
+    grouped_max_traced(config, values, groups, seed, &Recorder::disabled())
+}
+
+/// One scalar local value per node, as `run_values` builds them.
+fn scalar_locals(
+    config: &ProtocolConfig,
+    values: &[Value],
+) -> Result<Vec<TopKVector>, ProtocolError> {
+    let domain = config.domain();
+    values
+        .iter()
+        .map(|&v| TopKVector::from_values(config.k(), [v], &domain))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(Into::into)
+}
+
+/// [`grouped_max`] with telemetry: every hop of group `g`'s subring is
+/// tagged with query coordinate `g`, and the second-stage leader ring
+/// with query coordinate `groups` — so a collected trace reconstructs
+/// one causal chain per sub-protocol and an analyzer can measure the
+/// §4.2 critical path (slowest group + leader ring) from real spans.
+/// Recording never touches the seeded RNG streams; the outcome is
+/// bit-identical to the untraced run.
+///
+/// # Errors
+///
+/// As for [`grouped_max`].
+pub fn grouped_max_traced(
+    config: &ProtocolConfig,
+    values: &[Value],
+    groups: usize,
+    seed: u64,
+    recorder: &Recorder,
+) -> Result<GroupedMaxOutcome, ProtocolError> {
     if config.k() != 1 {
         return Err(ProtocolError::MaxRequiresKOne { got: config.k() });
     }
     let n = values.len();
-    let engine = SimulationEngine::new(config.clone());
+    let engine = SimulationEngine::new(config.clone()).with_recorder(recorder.clone());
     let spec = SeedSpec::new(seed);
 
     if groups == 1 {
-        let t = engine.run_values(values, spec.stream(STREAM_GROUP).base())?;
+        let t = engine.run_ctx(
+            &scalar_locals(config, values)?,
+            spec.stream(STREAM_GROUP).base(),
+            Ctx::default().with_query(0),
+        )?;
         return Ok(GroupedMaxOutcome {
             result: t.result_value(),
             group_results: vec![t.result_value()],
@@ -103,9 +142,10 @@ pub fn grouped_max(
     let mut slowest_group = 0usize;
     for (g, part) in partitions.iter().enumerate() {
         let group_values: Vec<Value> = part.order().iter().map(|id| values[id.get()]).collect();
-        let t = engine.run_values(
-            &group_values,
+        let t = engine.run_ctx(
+            &scalar_locals(config, &group_values)?,
             spec.stream(STREAM_GROUP).stream(g as u64).base(),
+            Ctx::default().with_query(g as u64),
         )?;
         group_results.push(t.result_value());
         total_messages += t.message_count();
@@ -118,8 +158,11 @@ pub fn grouped_max(
 
     // Second stage: the designated nodes run the same protocol over the
     // group maxima.
-    let leader_transcript =
-        engine.run_values(&group_results, spec.stream(STREAM_LEADERS).base())?;
+    let leader_transcript = engine.run_ctx(
+        &scalar_locals(config, &group_results)?,
+        spec.stream(STREAM_LEADERS).base(),
+        Ctx::default().with_query(groups as u64),
+    )?;
     total_messages += leader_transcript.message_count();
 
     Ok(GroupedMaxOutcome {
@@ -188,6 +231,23 @@ mod tests {
             "grouped {} vs flat {flat}",
             out.critical_path_messages
         );
+    }
+
+    #[test]
+    fn traced_grouped_run_is_identical_and_tags_every_subring() {
+        let vals = values(12);
+        let plain = grouped_max(&config(), &vals, 3, 11).unwrap();
+        let recorder = Recorder::new();
+        let traced = grouped_max_traced(&config(), &vals, 3, 11, &recorder).unwrap();
+        assert_eq!(plain, traced, "recording must not perturb the protocol");
+        // Queries 0..3 are the subrings, query 3 the leader ring.
+        let trace = recorder.trace_jsonl();
+        for q in 0..=3u64 {
+            assert!(
+                trace.contains(&format!("\"query\":{q},")),
+                "missing sub-protocol chain {q}"
+            );
+        }
     }
 
     #[test]

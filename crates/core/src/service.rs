@@ -24,6 +24,7 @@
 //! *scheduling*, never per-query randomness.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -324,6 +325,7 @@ impl ServiceWorker {
             );
             self.forward(
                 &slot,
+                Some(1),
                 TokenMessage::Token {
                     round: 1,
                     vector: outgoing,
@@ -447,6 +449,7 @@ impl ServiceWorker {
                 );
                 self.forward(
                     slot,
+                    Some(compute),
                     TokenMessage::Token {
                         round: compute,
                         vector: outgoing,
@@ -459,6 +462,7 @@ impl ServiceWorker {
                 let result = expect_token(msg, slot.rounds)?;
                 self.forward(
                     slot,
+                    None,
                     TokenMessage::Finished {
                         vector: result.clone(),
                     },
@@ -476,6 +480,7 @@ impl ServiceWorker {
                 if slot.position.get() + 1 < slot.n {
                     self.forward(
                         slot,
+                        None,
                         TokenMessage::Finished {
                             vector: vector.clone(),
                         },
@@ -486,8 +491,23 @@ impl ServiceWorker {
         }
     }
 
-    fn forward(&mut self, slot: &SlotState, inner: TokenMessage) -> Result<(), ProtocolError> {
-        let ctx = self.ctx().with_query(slot.query);
+    /// Sends `inner` to the slot's successor. `round` tags the send span
+    /// so the trace analyzer can attribute wire time to a specific hop
+    /// (`None` for the termination circulation, which belongs to no
+    /// round).
+    fn forward(
+        &mut self,
+        slot: &SlotState,
+        round: Option<u32>,
+        inner: TokenMessage,
+    ) -> Result<(), ProtocolError> {
+        let mut ctx = self
+            .ctx()
+            .with_query(slot.query)
+            .with_hop(slot.position.get() as u32);
+        if let Some(round) = round {
+            ctx = ctx.with_round(round);
+        }
         let msg = SlotMessage {
             query: slot.query,
             inner,
@@ -553,10 +573,63 @@ pub struct ServiceRuntime {
     metrics: TransportMetrics,
     collect_timeout: Duration,
     recorder: Recorder,
-    queries_submitted: u64,
-    queries_completed: u64,
-    pipeline_high_water: usize,
-    queue_wait: Arc<Histogram>,
+    shared: Arc<SchedulerShared>,
+}
+
+/// The scheduler counters behind [`ServiceStats`], kept in atomics so a
+/// [`ServiceStatsHandle`] on another thread (the Prometheus scrape
+/// loop, a watcher) can snapshot them while the scheduler runs.
+#[derive(Default)]
+struct SchedulerShared {
+    in_flight: AtomicUsize,
+    queries_submitted: AtomicU64,
+    queries_completed: AtomicU64,
+    pipeline_high_water: AtomicUsize,
+    queue_wait: Histogram,
+}
+
+impl SchedulerShared {
+    fn set_in_flight(&self, value: usize) {
+        self.in_flight.store(value, Ordering::Release);
+        // The scheduler is single-threaded, so a read-then-max is safe.
+        let high = self.pipeline_high_water.load(Ordering::Acquire);
+        if value > high {
+            self.pipeline_high_water.store(value, Ordering::Release);
+        }
+    }
+}
+
+/// A cloneable, `Send + Sync` live view of a running service's stats —
+/// what the metrics endpoint renders from while the scheduler thread
+/// owns the [`ServiceRuntime`] itself.
+#[derive(Clone)]
+pub struct ServiceStatsHandle {
+    depth: usize,
+    shared: Arc<SchedulerShared>,
+    metrics: TransportMetrics,
+}
+
+impl ServiceStatsHandle {
+    /// Snapshots the same [`ServiceStats`] as
+    /// [`ServiceRuntime::stats`], readable from any thread.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let wire = self.metrics.peek();
+        ServiceStats {
+            depth: self.depth,
+            in_flight: self.shared.in_flight.load(Ordering::Acquire),
+            pipeline_high_water: self.shared.pipeline_high_water.load(Ordering::Acquire),
+            queries_submitted: self.shared.queries_submitted.load(Ordering::Acquire),
+            queries_completed: self.shared.queries_completed.load(Ordering::Acquire),
+            queue_wait: self.shared.queue_wait.snapshot(),
+            frames_sent: wire.frames_sent,
+            logical_messages: wire.logical_messages,
+            bytes_sent: wire.bytes_sent,
+            pooled_buffers_high_water: wire.pooled_buffers_high_water,
+            retransmissions: wire.retransmissions,
+            re_acks: wire.re_acks,
+        }
+    }
 }
 
 /// A live snapshot of a running service, readable mid-stream without
@@ -692,10 +765,7 @@ impl ServiceRuntime {
             // query surfaces as their timeout report, not ours.
             collect_timeout: RECV_TIMEOUT + RECV_TIMEOUT / 2,
             recorder,
-            queries_submitted: 0,
-            queries_completed: 0,
-            pipeline_high_water: 0,
-            queue_wait: Arc::new(Histogram::new()),
+            shared: Arc::new(SchedulerShared::default()),
         })
     }
 
@@ -732,20 +802,18 @@ impl ServiceRuntime {
     /// including while queries are in flight, without draining anything.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        let wire = self.metrics.peek();
-        ServiceStats {
+        self.stats_handle().stats()
+    }
+
+    /// A cloneable handle that reads the same stats from any thread —
+    /// the live feed behind the service's metrics endpoint. Stays valid
+    /// (final values frozen) after the runtime shuts down.
+    #[must_use]
+    pub fn stats_handle(&self) -> ServiceStatsHandle {
+        ServiceStatsHandle {
             depth: self.depth,
-            in_flight: self.in_flight,
-            pipeline_high_water: self.pipeline_high_water,
-            queries_submitted: self.queries_submitted,
-            queries_completed: self.queries_completed,
-            queue_wait: self.queue_wait.snapshot(),
-            frames_sent: wire.frames_sent,
-            logical_messages: wire.logical_messages,
-            bytes_sent: wire.bytes_sent,
-            pooled_buffers_high_water: wire.pooled_buffers_high_water,
-            retransmissions: wire.retransmissions,
-            re_acks: wire.re_acks,
+            shared: Arc::clone(&self.shared),
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -782,7 +850,7 @@ impl ServiceRuntime {
         while self.in_flight >= self.depth {
             self.pump_one()?;
         }
-        self.queue_wait.record_duration(queued.elapsed());
+        self.shared.queue_wait.record_duration(queued.elapsed());
         self.recorder.observe_named("queue_wait", Some(queued));
         let query = self.next_query;
         self.next_query += 1;
@@ -808,8 +876,8 @@ impl ServiceRuntime {
                 .map_err(|_| ProtocolError::WorkerFailed { position })?;
         }
         self.in_flight += 1;
-        self.queries_submitted += 1;
-        self.pipeline_high_water = self.pipeline_high_water.max(self.in_flight);
+        self.shared.queries_submitted.fetch_add(1, Ordering::AcqRel);
+        self.shared.set_in_flight(self.in_flight);
         self.recorder
             .gauge_set("pipeline_depth", self.in_flight as u64);
         Ok(QueryTicket { query })
@@ -893,7 +961,8 @@ impl ServiceRuntime {
                 self.pending.remove(&report.query);
                 self.done.insert(report.query, Err(error));
                 self.in_flight -= 1;
-                self.queries_completed += 1;
+                self.shared.queries_completed.fetch_add(1, Ordering::AcqRel);
+                self.shared.set_in_flight(self.in_flight);
                 self.recorder
                     .gauge_set("pipeline_depth", self.in_flight as u64);
             }
@@ -913,7 +982,8 @@ impl ServiceRuntime {
                     self.done
                         .insert(report.query, Ok(assemble(self.n, &meta, reports)));
                     self.in_flight -= 1;
-                    self.queries_completed += 1;
+                    self.shared.queries_completed.fetch_add(1, Ordering::AcqRel);
+                    self.shared.set_in_flight(self.in_flight);
                     self.recorder
                         .gauge_set("pipeline_depth", self.in_flight as u64);
                 }

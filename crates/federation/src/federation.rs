@@ -4,14 +4,16 @@ use privtopk_core::distributed::{
     run_distributed, run_distributed_batch, run_distributed_batch_traced, run_distributed_traced,
     NetworkKind,
 };
-use privtopk_core::service::{QueryTicket, ServiceRuntime, ServiceStats};
+use privtopk_core::service::{QueryTicket, ServiceRuntime, ServiceStats, ServiceStatsHandle};
 use privtopk_core::{
     derive_batch_seed, run_simulated_batch, run_simulated_batch_traced, BatchJob, ProtocolConfig,
     RoundPolicy, SimulationEngine, Transcript,
 };
 use privtopk_datagen::PrivateDatabase;
 use privtopk_domain::{TopKVector, Value, ValueDomain};
-use privtopk_observe::Recorder;
+use privtopk_observe::{
+    render_summary, write_counter, write_gauge, write_histogram, MetricsServer, Recorder,
+};
 use privtopk_ring::TransportMetrics;
 
 use crate::{FederationError, QuerySpec};
@@ -171,6 +173,7 @@ impl Federation {
             spec: spec.clone(),
             config,
             mirrored,
+            metrics_server: None,
         })
     }
 
@@ -478,6 +481,89 @@ pub struct FederationService {
     spec: QuerySpec,
     config: ProtocolConfig,
     mirrored: bool,
+    metrics_server: Option<MetricsServer>,
+}
+
+/// Renders the live exposition body a [`FederationService`] metrics
+/// endpoint serves: the recorder's whole registry plus the service
+/// scheduler's own figures, all under the `privtopk_` prefix. Aggregate
+/// coordinates and timings only — never data values.
+fn render_service_metrics(recorder: &Recorder, handle: &ServiceStatsHandle) -> String {
+    let mut body = render_summary(&recorder.summary());
+    let stats = handle.stats();
+    write_gauge(
+        &mut body,
+        "privtopk_service_pipeline_depth",
+        "Configured maximum queries in flight.",
+        stats.depth as u64,
+    );
+    write_gauge(
+        &mut body,
+        "privtopk_service_in_flight",
+        "Queries currently occupying a pipeline slot.",
+        stats.in_flight as u64,
+    );
+    write_gauge(
+        &mut body,
+        "privtopk_service_pipeline_high_water",
+        "Highest simultaneous pipeline occupancy observed.",
+        stats.pipeline_high_water as u64,
+    );
+    write_counter(
+        &mut body,
+        "privtopk_service_queries_submitted_total",
+        "Queries admitted into the pipeline.",
+        stats.queries_submitted,
+    );
+    write_counter(
+        &mut body,
+        "privtopk_service_queries_completed_total",
+        "Queries completed (successfully or not).",
+        stats.queries_completed,
+    );
+    write_histogram(
+        &mut body,
+        "privtopk_service_queue_wait_ns",
+        "How long submissions waited for a free pipeline slot.",
+        &stats.queue_wait,
+    );
+    write_counter(
+        &mut body,
+        "privtopk_service_frames_sent_total",
+        "Physical frames sent by the service transport.",
+        stats.frames_sent,
+    );
+    write_counter(
+        &mut body,
+        "privtopk_service_logical_messages_total",
+        "Logical messages carried by those frames.",
+        stats.logical_messages,
+    );
+    write_counter(
+        &mut body,
+        "privtopk_service_bytes_sent_total",
+        "Payload bytes sent.",
+        stats.bytes_sent,
+    );
+    write_gauge(
+        &mut body,
+        "privtopk_service_pooled_buffers_high_water",
+        "Lifetime frame-pool high-water mark.",
+        stats.pooled_buffers_high_water,
+    );
+    write_counter(
+        &mut body,
+        "privtopk_service_retransmissions_total",
+        "Frames retransmitted by the reliability layer.",
+        stats.retransmissions,
+    );
+    write_counter(
+        &mut body,
+        "privtopk_service_re_acks_total",
+        "Duplicate frames re-acknowledged.",
+        stats.re_acks,
+    );
+    body
 }
 
 impl FederationService {
@@ -513,6 +599,36 @@ impl FederationService {
     #[must_use]
     pub fn recorder(&self) -> &Recorder {
         self.runtime.recorder()
+    }
+
+    /// Starts a live metrics endpoint on `addr` (Prometheus text
+    /// exposition v0.0.4 over plain TCP; bind `127.0.0.1:0` for an
+    /// ephemeral port) and returns the bound address.
+    ///
+    /// The endpoint serves the recorder's full registry plus the
+    /// scheduler's own pipeline figures, readable mid-stream while
+    /// queries are in flight; a scrape's counters always agree with
+    /// [`stats`](Self::stats) at the same instant. Rebinding replaces
+    /// the previous endpoint. Serving metrics never touches the query
+    /// path: the exposition carries aggregates over protocol
+    /// coordinates and timings only.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from binding the listener.
+    pub fn metrics_endpoint(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let recorder = self.runtime.recorder().clone();
+        let handle = self.runtime.stats_handle();
+        let server = MetricsServer::bind(addr, move || render_service_metrics(&recorder, &handle))?;
+        let bound = server.addr();
+        self.metrics_server = Some(server);
+        Ok(bound)
+    }
+
+    /// The metrics endpoint's bound address, if one is running.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_server.as_ref().map(MetricsServer::addr)
     }
 
     /// Answers the served spec under `seed` — the warm-path equivalent
@@ -575,7 +691,9 @@ impl FederationService {
     ///
     /// [`privtopk_core::ProtocolError::WorkerFailed`] if a worker
     /// thread panicked.
-    pub fn shutdown(self) -> Result<(), FederationError> {
+    pub fn shutdown(mut self) -> Result<(), FederationError> {
+        // Stop serving scrapes before the stats they render freeze.
+        self.metrics_server.take();
         Ok(self.runtime.shutdown()?)
     }
 }
@@ -1057,6 +1175,68 @@ mod tests {
         // names the phases.
         let summary = recorder.summary().to_string();
         assert!(summary.contains("step"));
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_live_scrapes_matching_stats() {
+        let f = federation(4, 6, 47);
+        let spec = QuerySpec::top_k("value", 2).with_epsilon(1e-9);
+        let mut service = f
+            .serve_traced(&spec, NetworkKind::InMemory, 2, Recorder::new())
+            .unwrap();
+        let addr = service.metrics_endpoint("127.0.0.1:0").unwrap();
+        assert_eq!(service.metrics_addr(), Some(addr));
+
+        let metric = |body: &str, name: &str| -> u64 {
+            body.lines()
+                .find(|l| l.starts_with(&format!("{name} ")))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("missing `{name}` in scrape:\n{body}"))
+        };
+
+        // Mid-stream: two queries submitted but not yet collected — the
+        // scrape must see the live occupancy, not a post-hoc summary.
+        let t1 = service.submit(1).unwrap();
+        let t2 = service.submit(2).unwrap();
+        let live = privtopk_observe::scrape(&addr).unwrap();
+        assert_eq!(metric(&live, "privtopk_service_in_flight"), 2);
+        assert_eq!(metric(&live, "privtopk_service_queries_submitted_total"), 2);
+        service.collect(t1).unwrap();
+        service.collect(t2).unwrap();
+
+        // Quiesced: every exposed counter agrees with stats() exactly.
+        let body = privtopk_observe::scrape(&addr).unwrap();
+        let stats = service.stats();
+        assert_eq!(
+            metric(&body, "privtopk_service_queries_submitted_total"),
+            stats.queries_submitted
+        );
+        assert_eq!(
+            metric(&body, "privtopk_service_queries_completed_total"),
+            stats.queries_completed
+        );
+        assert_eq!(
+            metric(&body, "privtopk_service_frames_sent_total"),
+            stats.frames_sent
+        );
+        assert_eq!(
+            metric(&body, "privtopk_service_bytes_sent_total"),
+            stats.bytes_sent
+        );
+        assert_eq!(
+            metric(&body, "privtopk_service_queue_wait_ns_count"),
+            stats.queue_wait.count
+        );
+        assert_eq!(
+            metric(&body, "privtopk_service_pipeline_high_water"),
+            stats.pipeline_high_water as u64
+        );
+        // The recorder's own registry rides along in the same body.
+        assert!(body.contains("# TYPE privtopk_phase_step_ns histogram"));
+
+        service.shutdown().unwrap();
+        assert!(privtopk_observe::scrape(&addr).is_err());
     }
 
     #[test]

@@ -1,0 +1,678 @@
+//! Critical-path analysis over a [`CollectedTrace`].
+//!
+//! The ring protocol gives every query a linear causal chain — round 1
+//! hops `0..n`, round 2 hops `0..n`, … (Algorithm 1/2's token path) — so
+//! per-query critical-path reconstruction is a join, not a search: step
+//! spans *are* the chain, and encode/send/recv spans attach to a hop by
+//! their `(query, node, round)` coordinates. On top of the
+//! reconstruction the analyzer reports stalls (hops beyond a
+//! configurable multiple of the query's median hop latency), per-node
+//! load skew, and retransmission attribution on lossy transports.
+//!
+//! Everything here consumes and produces protocol coordinates and
+//! timings only — the same no-leak vocabulary as the trace itself.
+
+use std::collections::BTreeMap;
+
+use crate::collector::{CollectedTrace, Diagnostic};
+use crate::Phase;
+
+/// Tunables for [`analyze`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyzerConfig {
+    /// A hop stalls when its total latency exceeds this multiple of the
+    /// query's median hop latency.
+    pub stall_multiplier: f64,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            stall_multiplier: 3.0,
+        }
+    }
+}
+
+/// Wall-clock decomposition of one hop of one query's chain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HopBreakdown {
+    /// Protocol round (from 1).
+    pub round: u32,
+    /// Ring position (from 0).
+    pub hop: u32,
+    /// Node that executed the hop, when the trace says.
+    pub node: Option<u32>,
+    /// Serialization time attributed to this hop, in nanoseconds.
+    pub encode_ns: u64,
+    /// Transport hand-off time attributed to this hop.
+    pub send_ns: u64,
+    /// Predecessor-wait time attributed to this hop.
+    pub recv_ns: u64,
+    /// The local max/top-k computation.
+    pub step_ns: u64,
+    /// Gap between the attributed receive completing and the step
+    /// starting — time the token sat in the worker's slot queue.
+    pub queue_ns: u64,
+}
+
+impl HopBreakdown {
+    /// Everything this hop contributed to the critical path.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.encode_ns + self.send_ns + self.recv_ns + self.step_ns + self.queue_ns
+    }
+}
+
+/// A hop flagged as anomalously slow for its query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stall {
+    /// Protocol round of the stalled hop.
+    pub round: u32,
+    /// Ring position of the stalled hop.
+    pub hop: u32,
+    /// The stalled hop's total latency.
+    pub total_ns: u64,
+    /// The query's median hop latency it is measured against.
+    pub median_ns: u64,
+}
+
+/// One query's reconstructed critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPath {
+    /// Query id (`None` for untagged solo traces).
+    pub query: Option<u64>,
+    /// The causal chain, round-major.
+    pub hops: Vec<HopBreakdown>,
+    /// Sum of every hop's attributed time — the protocol's serial cost.
+    pub critical_path_ns: u64,
+    /// Last span end minus first span start: elapsed wall clock, which
+    /// under pipelining can exceed the critical path's share of it.
+    pub wall_clock_ns: u64,
+    /// Hops beyond the configured multiple of the median hop latency.
+    pub stalls: Vec<Stall>,
+    /// Whether the chain covers a full `nodes x rounds` grid with no
+    /// gaps (inferred from the trace's own maxima).
+    pub complete: bool,
+}
+
+/// One node's share of the trace's total busy time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeLoad {
+    /// Node index.
+    pub node: u32,
+    /// Nanoseconds of encode/send/step work attributed to the node.
+    pub busy_ns: u64,
+    /// `busy_ns` as a fraction of all nodes' busy time (0 when idle).
+    pub share: f64,
+    /// Retransmissions attributed to the node (lossy transports).
+    pub retransmissions: u64,
+}
+
+/// The full analysis of a collected trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Per-query critical paths, sorted by query id.
+    pub queries: Vec<QueryPath>,
+    /// Per-node load, sorted by node index.
+    pub node_load: Vec<NodeLoad>,
+    /// Total retransmissions seen (retry ticks across all nodes).
+    pub retransmissions: u64,
+    /// Total re-acknowledgements seen (duplicate suppression).
+    pub re_acks: u64,
+    /// Diagnostics carried over from collection/validation.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    /// Largest node-load share divided by the mean share — 1.0 means a
+    /// perfectly balanced ring (0.0 when no load was attributed).
+    #[must_use]
+    pub fn load_skew(&self) -> f64 {
+        if self.node_load.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.node_load.iter().map(|l| l.busy_ns).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.node_load.len() as f64;
+        let max = self.node_load.iter().map(|l| l.busy_ns).max().unwrap_or(0);
+        max as f64 / mean
+    }
+}
+
+/// Reconstructs every query's critical path from `trace` and scores
+/// stalls, load skew and retransmissions. Never fails: an empty or
+/// incoherent trace yields an empty analysis plus whatever diagnostics
+/// collection already produced.
+#[must_use]
+pub fn analyze(trace: &CollectedTrace, config: &AnalyzerConfig) -> Analysis {
+    let mut queries = Vec::new();
+    for query in trace.queries() {
+        queries.push(analyze_query(trace, query, config));
+    }
+
+    // Node load and healing counters come from every span, not just
+    // chain members, so unattributable work still shows up somewhere.
+    let mut busy: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut retries: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut retransmissions = 0u64;
+    let mut re_acks = 0u64;
+    for span in &trace.spans {
+        match span.event.phase {
+            Phase::Encode | Phase::Send | Phase::Step => {
+                if let Some(node) = span.event.ctx.node {
+                    *busy.entry(node).or_insert(0) += span.event.dur_ns;
+                }
+            }
+            Phase::Retry => {
+                retransmissions += 1;
+                if let Some(node) = span.event.ctx.node {
+                    *retries.entry(node).or_insert(0) += 1;
+                }
+            }
+            Phase::Ack => re_acks += 1,
+            Phase::Recv | Phase::Idle => {}
+        }
+    }
+    // Live node summaries cover spans the event buffer may have dropped
+    // (or never captured, in stats-only mode).
+    for summary in &trace.node_summaries {
+        let entry = busy.entry(summary.node).or_insert(0);
+        *entry = (*entry).max(summary.busy_ns());
+    }
+    let total_busy: u64 = busy.values().sum();
+    let node_load = busy
+        .iter()
+        .map(|(&node, &busy_ns)| NodeLoad {
+            node,
+            busy_ns,
+            share: if total_busy == 0 {
+                0.0
+            } else {
+                busy_ns as f64 / total_busy as f64
+            },
+            retransmissions: retries.get(&node).copied().unwrap_or(0),
+        })
+        .collect();
+
+    Analysis {
+        queries,
+        node_load,
+        retransmissions,
+        re_acks,
+        diagnostics: trace.diagnostics.clone(),
+    }
+}
+
+fn analyze_query(trace: &CollectedTrace, query: Option<u64>, config: &AnalyzerConfig) -> QueryPath {
+    // The chain skeleton: one entry per step span, keyed (round, hop).
+    let mut hops: BTreeMap<(u32, u32), HopBreakdown> = BTreeMap::new();
+    // Step start/end stamps, for queue-gap attribution and wall clock.
+    let mut step_bounds: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
+    let mut first_start_ns = u64::MAX;
+    let mut last_end_ns = 0u64;
+    for span in trace.chain(query) {
+        let (Some(round), Some(hop)) = (span.event.ctx.round, span.event.ctx.hop) else {
+            continue;
+        };
+        let entry = hops.entry((round, hop)).or_default();
+        entry.round = round;
+        entry.hop = hop;
+        entry.node = span.event.ctx.node;
+        entry.step_ns += span.event.dur_ns;
+        let start_ns = span.event.t_us.saturating_mul(1000);
+        let end_ns = start_ns.saturating_add(span.event.dur_ns);
+        step_bounds.insert((round, hop), (start_ns, end_ns));
+        first_start_ns = first_start_ns.min(start_ns);
+        last_end_ns = last_end_ns.max(end_ns);
+    }
+
+    // Attribute wire spans. A span with explicit (round, hop) lands on
+    // that hop; otherwise it joins through its (node, round) — each node
+    // holds one ring position per query, so the pair is unambiguous.
+    let mut node_position: BTreeMap<u32, u32> = BTreeMap::new();
+    for breakdown in hops.values() {
+        if let Some(node) = breakdown.node {
+            node_position.entry(node).or_insert(breakdown.hop);
+        }
+    }
+    for span in &trace.spans {
+        if span.event.ctx.query != query || span.event.phase == Phase::Step {
+            continue;
+        }
+        let Some(round) = span.event.ctx.round else {
+            continue;
+        };
+        let hop = span.event.ctx.hop.or_else(|| {
+            span.event
+                .ctx
+                .node
+                .and_then(|n| node_position.get(&n).copied())
+        });
+        let Some(hop) = hop else { continue };
+        let Some(entry) = hops.get_mut(&(round, hop)) else {
+            continue;
+        };
+        match span.event.phase {
+            Phase::Encode => entry.encode_ns += span.event.dur_ns,
+            Phase::Send => entry.send_ns += span.event.dur_ns,
+            Phase::Recv => {
+                entry.recv_ns += span.event.dur_ns;
+                // Queue gap: time between the receive completing and the
+                // step starting on the same hop.
+                let recv_end = span
+                    .event
+                    .t_us
+                    .saturating_mul(1000)
+                    .saturating_add(span.event.dur_ns);
+                if let Some(&(step_start, _)) = step_bounds.get(&(round, hop)) {
+                    entry.queue_ns += step_start.saturating_sub(recv_end);
+                }
+            }
+            _ => {}
+        }
+        let start_ns = span.event.t_us.saturating_mul(1000);
+        first_start_ns = first_start_ns.min(start_ns);
+        last_end_ns = last_end_ns.max(start_ns.saturating_add(span.event.dur_ns));
+    }
+
+    let hops: Vec<HopBreakdown> = hops.into_values().collect();
+    let critical_path_ns = hops.iter().map(HopBreakdown::total_ns).sum();
+
+    // Completeness, inferred from the trace's own maxima: every
+    // (round, hop) cell up to the observed bounds must be present.
+    let max_round = hops.iter().map(|h| h.round).max().unwrap_or(0);
+    let max_hop = hops.iter().map(|h| h.hop).max().unwrap_or(0);
+    let complete = !hops.is_empty()
+        && hops.len() == (max_round as usize) * (max_hop as usize + 1)
+        && hops.first().is_some_and(|h| h.round == 1 && h.hop == 0);
+
+    // Stalls: hops beyond `stall_multiplier` x the median hop total.
+    let mut totals: Vec<u64> = hops.iter().map(HopBreakdown::total_ns).collect();
+    totals.sort_unstable();
+    let median_ns = totals
+        .get(totals.len().saturating_sub(1) / 2)
+        .copied()
+        .unwrap_or(0);
+    let threshold = (median_ns.max(1) as f64) * config.stall_multiplier;
+    let stalls = hops
+        .iter()
+        .filter(|h| h.total_ns() as f64 > threshold)
+        .map(|h| Stall {
+            round: h.round,
+            hop: h.hop,
+            total_ns: h.total_ns(),
+            median_ns,
+        })
+        .collect();
+
+    QueryPath {
+        query,
+        hops,
+        critical_path_ns,
+        wall_clock_ns: last_end_ns.saturating_sub(if first_start_ns == u64::MAX {
+            0
+        } else {
+            first_start_ns
+        }),
+        stalls,
+        complete,
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit (ASCII only).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn query_label(query: Option<u64>) -> String {
+    query.map_or_else(|| "-".to_string(), |q| q.to_string())
+}
+
+impl std::fmt::Display for Analysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "trace analysis: {} queries, {} diagnostics",
+            self.queries.len(),
+            self.diagnostics.len()
+        )?;
+        for path in &self.queries {
+            let pct = |part: u64| {
+                if path.critical_path_ns == 0 {
+                    0.0
+                } else {
+                    100.0 * part as f64 / path.critical_path_ns as f64
+                }
+            };
+            let encode: u64 = path.hops.iter().map(|h| h.encode_ns).sum();
+            let send: u64 = path.hops.iter().map(|h| h.send_ns).sum();
+            let recv: u64 = path.hops.iter().map(|h| h.recv_ns).sum();
+            let step: u64 = path.hops.iter().map(|h| h.step_ns).sum();
+            let queue: u64 = path.hops.iter().map(|h| h.queue_ns).sum();
+            writeln!(
+                f,
+                "query {:>3}: {} hops ({}), critical path {} \
+                 (encode {:.0}%, send {:.0}%, recv {:.0}%, step {:.0}%, queue {:.0}%), \
+                 wall clock {}, {} stalls",
+                query_label(path.query),
+                path.hops.len(),
+                if path.complete {
+                    "complete"
+                } else {
+                    "INCOMPLETE"
+                },
+                fmt_ns(path.critical_path_ns),
+                pct(encode),
+                pct(send),
+                pct(recv),
+                pct(step),
+                pct(queue),
+                fmt_ns(path.wall_clock_ns),
+                path.stalls.len(),
+            )?;
+            for stall in &path.stalls {
+                writeln!(
+                    f,
+                    "  stall r{} h{}: {} ({:.1}x median {})",
+                    stall.round,
+                    stall.hop,
+                    fmt_ns(stall.total_ns),
+                    stall.total_ns as f64 / stall.median_ns.max(1) as f64,
+                    fmt_ns(stall.median_ns),
+                )?;
+            }
+        }
+        if !self.node_load.is_empty() {
+            write!(f, "node load:")?;
+            for load in &self.node_load {
+                write!(f, " n{} {:.0}%", load.node, load.share * 100.0)?;
+            }
+            writeln!(f, " (skew {:.2}x)", self.load_skew())?;
+        }
+        if self.retransmissions > 0 || self.re_acks > 0 {
+            write!(
+                f,
+                "healing: {} retransmissions, {} re-acks",
+                self.retransmissions, self.re_acks
+            )?;
+            let attributed: Vec<String> = self
+                .node_load
+                .iter()
+                .filter(|l| l.retransmissions > 0)
+                .map(|l| format!("n{}: {}", l.node, l.retransmissions))
+                .collect();
+            if attributed.is_empty() {
+                writeln!(f)?;
+            } else {
+                writeln!(f, " ({})", attributed.join(", "))?;
+            }
+        }
+        for diagnostic in &self.diagnostics {
+            writeln!(f, "diagnostic: {diagnostic}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Analysis {
+    /// The analysis as one JSON object (machine twin of `Display`).
+    ///
+    /// Hand-rolled like the trace writer: fixed key order, integers and
+    /// fixed-precision floats only, no external dependency.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"queries\":[");
+        for (i, path) in self.queries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"query\":");
+            match path.query {
+                Some(q) => out.push_str(&q.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(&format!(
+                ",\"hops\":{},\"complete\":{},\"critical_path_ns\":{},\"wall_clock_ns\":{}",
+                path.hops.len(),
+                path.complete,
+                path.critical_path_ns,
+                path.wall_clock_ns
+            ));
+            out.push_str(",\"phase_totals_ns\":{");
+            let totals = [
+                ("encode", path.hops.iter().map(|h| h.encode_ns).sum::<u64>()),
+                ("send", path.hops.iter().map(|h| h.send_ns).sum()),
+                ("recv", path.hops.iter().map(|h| h.recv_ns).sum()),
+                ("step", path.hops.iter().map(|h| h.step_ns).sum()),
+                ("queue", path.hops.iter().map(|h| h.queue_ns).sum()),
+            ];
+            for (j, (name, value)) in totals.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{name}\":{value}"));
+            }
+            out.push_str("},\"stalls\":[");
+            for (j, stall) in path.stalls.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"round\":{},\"hop\":{},\"total_ns\":{},\"median_ns\":{}}}",
+                    stall.round, stall.hop, stall.total_ns, stall.median_ns
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"node_load\":[");
+        for (i, load) in self.node_load.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"node\":{},\"busy_ns\":{},\"share\":{:.4},\"retransmissions\":{}}}",
+                load.node, load.busy_ns, load.share, load.retransmissions
+            ));
+        }
+        out.push_str(&format!(
+            "],\"load_skew\":{:.4},\"retransmissions\":{},\"re_acks\":{},\"diagnostics\":[",
+            self.load_skew(),
+            self.retransmissions,
+            self.re_acks
+        ));
+        for (i, diagnostic) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            // Diagnostics render through Display; escape the two JSON
+            // specials that can appear in a source path.
+            for c in diagnostic.to_string().chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::TraceCollector;
+    use crate::{Ctx, Recorder};
+
+    /// Emits a synthetic 3-node, 2-round trace: per hop a recv wait
+    /// (2us), a step (1us) and a send (500ns), with one slow stall.
+    fn synthetic_trace(stall_hop: Option<(u32, u32)>) -> CollectedTrace {
+        let mut lines = Vec::new();
+        let mut t = 100u64; // microseconds
+        for round in 1..=2u32 {
+            for hop in 0..3u32 {
+                let step_ns = if stall_hop == Some((round, hop)) {
+                    90_000
+                } else {
+                    1_000
+                };
+                lines.push(format!(
+                    "{{\"t_us\":{},\"phase\":\"recv\",\"query\":0,\"node\":{hop},\"round\":{round},\"dur_ns\":2000}}",
+                    t
+                ));
+                // step starts 1us after the recv ends -> 1us queue gap.
+                lines.push(format!(
+                    "{{\"t_us\":{},\"phase\":\"step\",\"query\":0,\"node\":{hop},\"round\":{round},\"hop\":{hop},\"dur_ns\":{step_ns}}}",
+                    t + 3
+                ));
+                lines.push(format!(
+                    "{{\"t_us\":{},\"phase\":\"send\",\"query\":0,\"node\":{hop},\"round\":{round},\"dur_ns\":500}}",
+                    t + 4
+                ));
+                t += 10;
+            }
+        }
+        let mut collector = TraceCollector::new();
+        collector.ingest_jsonl("synthetic.jsonl", &lines.join("\n"));
+        collector.finish()
+    }
+
+    #[test]
+    fn reconstructs_complete_chain_with_decomposition() {
+        let trace = synthetic_trace(None);
+        let analysis = analyze(&trace, &AnalyzerConfig::default());
+        assert_eq!(analysis.queries.len(), 1);
+        let path = &analysis.queries[0];
+        assert!(path.complete);
+        assert_eq!(path.hops.len(), 6);
+        for hop in &path.hops {
+            assert_eq!(hop.step_ns, 1_000);
+            assert_eq!(hop.recv_ns, 2_000);
+            assert_eq!(hop.send_ns, 500);
+            assert_eq!(hop.queue_ns, 1_000); // recv end 100+2us, step at 103us
+        }
+        assert_eq!(path.critical_path_ns, 6 * 4_500);
+        assert!(path.stalls.is_empty());
+        assert!(path.wall_clock_ns >= path.critical_path_ns / 2);
+    }
+
+    #[test]
+    fn stall_detection_flags_the_slow_hop() {
+        let trace = synthetic_trace(Some((2, 1)));
+        let analysis = analyze(&trace, &AnalyzerConfig::default());
+        let path = &analysis.queries[0];
+        assert_eq!(path.stalls.len(), 1);
+        let stall = path.stalls[0];
+        assert_eq!((stall.round, stall.hop), (2, 1));
+        assert!(stall.total_ns > stall.median_ns * 3);
+        // A looser multiplier stops flagging it.
+        let lax = analyze(
+            &trace,
+            &AnalyzerConfig {
+                stall_multiplier: 1000.0,
+            },
+        );
+        assert!(lax.queries[0].stalls.is_empty());
+    }
+
+    #[test]
+    fn incomplete_chain_is_marked_and_diagnosed() {
+        let mut lines: Vec<String> = synthetic_trace(None)
+            .to_jsonl()
+            .lines()
+            .map(String::from)
+            .collect();
+        // Drop round 2 hop 2's step line.
+        lines.retain(|l| {
+            !(l.contains("\"phase\":\"step\"")
+                && l.contains("\"round\":2")
+                && l.contains("\"hop\":2"))
+        });
+        let mut collector = TraceCollector::new();
+        collector.ingest_jsonl("gappy.jsonl", &lines.join("\n"));
+        let mut trace = collector.finish();
+        assert!(!trace.validate_topology(3, 2));
+        let analysis = analyze(&trace, &AnalyzerConfig::default());
+        assert!(!analysis.queries[0].complete);
+        assert!(analysis.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::MissingStep {
+                round: 2,
+                hop: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn node_load_and_retry_attribution() {
+        let rec = Recorder::new();
+        for node in 0..3u32 {
+            rec.tick(
+                Phase::Step,
+                Ctx::default()
+                    .with_query(0)
+                    .with_node(node)
+                    .with_round(1)
+                    .with_hop(node),
+            );
+        }
+        rec.tick(Phase::Retry, Ctx::default().with_node(1));
+        rec.tick(Phase::Retry, Ctx::default().with_node(1));
+        rec.tick(Phase::Ack, Ctx::default().with_node(2));
+        let mut collector = TraceCollector::new();
+        collector.ingest_recorder("live", &rec);
+        let analysis = analyze(&collector.finish(), &AnalyzerConfig::default());
+        assert_eq!(analysis.retransmissions, 2);
+        assert_eq!(analysis.re_acks, 1);
+        let n1 = analysis.node_load.iter().find(|l| l.node == 1).unwrap();
+        assert_eq!(n1.retransmissions, 2);
+    }
+
+    #[test]
+    fn text_and_json_renderings_cover_the_findings() {
+        let trace = synthetic_trace(Some((1, 0)));
+        let analysis = analyze(&trace, &AnalyzerConfig::default());
+        let text = analysis.to_string();
+        assert!(text.contains("query   0"), "text report:\n{text}");
+        assert!(text.contains("complete"));
+        assert!(text.contains("stall r1 h0"));
+        assert!(text.contains("node load:"));
+        let json = analysis.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"queries\":",
+            "\"critical_path_ns\":",
+            "\"phase_totals_ns\":",
+            "\"stalls\":",
+            "\"node_load\":",
+            "\"load_skew\":",
+            "\"diagnostics\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_nothing() {
+        let trace = TraceCollector::new().finish();
+        let analysis = analyze(&trace, &AnalyzerConfig::default());
+        assert!(analysis.queries.is_empty());
+        assert!(analysis.node_load.is_empty());
+        assert_eq!(analysis.load_skew(), 0.0);
+    }
+}

@@ -8,7 +8,7 @@ use std::time::Duration;
 /// Bucket 0 holds exact zeros; bucket `i >= 1` holds values in
 /// `[2^(i-1), 2^i - 1]`. 64 powers cover the full `u64` range, so nothing
 /// is ever clipped.
-const BUCKETS: usize = 65;
+pub const BUCKETS: usize = 65;
 
 /// A concurrent, log-bucketed latency histogram.
 ///
@@ -48,8 +48,10 @@ impl Default for Histogram {
 /// A point-in-time read of a [`Histogram`].
 ///
 /// Quantiles are bucket upper bounds (clamped to the observed maximum), so
-/// they over-estimate by at most the bucket width.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// they over-estimate by at most the bucket width. Snapshots carry their
+/// full bucket array, so they can be [`merge`](HistogramSnapshot::merge)d
+/// across nodes without losing quantile fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Number of recorded samples.
     pub count: u64,
@@ -63,6 +65,22 @@ pub struct HistogramSnapshot {
     pub p90_ns: u64,
     /// 99th-percentile estimate, in nanoseconds.
     pub p99_ns: u64,
+    /// Raw log-bucket counts (see [`BUCKETS`]) the quantiles derive from.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            p50_ns: 0,
+            p90_ns: 0,
+            p99_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
 }
 
 impl HistogramSnapshot {
@@ -81,6 +99,44 @@ impl HistogramSnapshot {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Rebuilds a snapshot from raw totals, recomputing the quantile
+    /// estimates from the bucket array. `count` is always derived from
+    /// the buckets so the result is internally consistent.
+    #[must_use]
+    pub fn from_parts(buckets: [u64; BUCKETS], sum_ns: u64, max_ns: u64) -> Self {
+        let count: u64 = buckets.iter().sum();
+        HistogramSnapshot {
+            count,
+            sum_ns,
+            max_ns,
+            p50_ns: quantile(&buckets, count, max_ns, 0.50),
+            p90_ns: quantile(&buckets, count, max_ns, 0.90),
+            p99_ns: quantile(&buckets, count, max_ns, 0.99),
+            buckets,
+        }
+    }
+
+    /// Merges two snapshots into one, as if every sample of both had been
+    /// recorded into a single histogram.
+    ///
+    /// Bucket counts and sums add (saturating), maxima take the larger
+    /// value, and quantiles are recomputed from the merged buckets — all
+    /// component operations are associative and commutative, so merging
+    /// per-node snapshots yields the same digest in any order or
+    /// grouping.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_add(other.buckets[i]);
+        }
+        HistogramSnapshot::from_parts(
+            buckets,
+            self.sum_ns.saturating_add(other.sum_ns),
+            self.max_ns.max(other.max_ns),
+        )
+    }
 }
 
 fn bucket_index(nanos: u64) -> usize {
@@ -91,7 +147,12 @@ fn bucket_index(nanos: u64) -> usize {
     }
 }
 
-fn bucket_upper(index: usize) -> u64 {
+/// Inclusive upper bound of bucket `index`, in nanoseconds.
+///
+/// Bucket 0 holds exact zeros; bucket `i >= 1` holds
+/// `[2^(i-1), 2^i - 1]`; the last bucket tops out at `u64::MAX`.
+#[must_use]
+pub fn bucket_upper(index: usize) -> u64 {
     match index {
         0 => 0,
         64 => u64::MAX,
@@ -152,16 +213,11 @@ impl Histogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets: [u64; BUCKETS] =
             std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
-        let count: u64 = buckets.iter().sum();
-        let max_ns = self.max_ns.load(Ordering::Relaxed);
-        HistogramSnapshot {
-            count,
-            sum_ns: self.sum_ns.load(Ordering::Relaxed),
-            max_ns,
-            p50_ns: quantile(&buckets, count, max_ns, 0.50),
-            p90_ns: quantile(&buckets, count, max_ns, 0.90),
-            p99_ns: quantile(&buckets, count, max_ns, 0.99),
-        }
+        HistogramSnapshot::from_parts(
+            buckets,
+            self.sum_ns.load(Ordering::Relaxed),
+            self.max_ns.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -273,6 +329,72 @@ mod tests {
             }
         });
         assert_eq!(h.snapshot().count, 4000);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_one_histogram_fed_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for (h, samples) in [(&a, [10u64, 20, 350]), (&b, [5000, 0, 7])] {
+            for s in samples {
+                h.record(s);
+                all.record(s);
+            }
+        }
+        assert_eq!(a.snapshot().merge(&b.snapshot()), all.snapshot());
+    }
+
+    #[test]
+    fn snapshot_merge_with_empty_is_identity() {
+        let h = Histogram::new();
+        h.record(42);
+        h.record(9000);
+        let snap = h.snapshot();
+        let empty = HistogramSnapshot::default();
+        assert_eq!(snap.merge(&empty), snap);
+        assert_eq!(empty.merge(&snap), snap);
+    }
+
+    fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h.snapshot()
+    }
+
+    proptest! {
+        #[test]
+        fn snapshot_merge_is_commutative(
+            xs in proptest::collection::vec(0u64..10_000_000, 0..100),
+            ys in proptest::collection::vec(0u64..10_000_000, 0..100),
+        ) {
+            let a = snapshot_of(&xs);
+            let b = snapshot_of(&ys);
+            prop_assert_eq!(a.merge(&b), b.merge(&a));
+        }
+
+        #[test]
+        fn snapshot_merge_is_associative_on_quantile_buckets(
+            xs in proptest::collection::vec(0u64..10_000_000, 0..80),
+            ys in proptest::collection::vec(0u64..10_000_000, 0..80),
+            zs in proptest::collection::vec(0u64..10_000_000, 0..80),
+        ) {
+            let a = snapshot_of(&xs);
+            let b = snapshot_of(&ys);
+            let c = snapshot_of(&zs);
+            let left = a.merge(&b).merge(&c);
+            let right = a.merge(&b.merge(&c));
+            // Full structural equality: buckets, totals and every
+            // recomputed quantile must agree regardless of grouping.
+            prop_assert_eq!(left, right);
+            // And either grouping equals the single-histogram digest.
+            let mut all = xs.clone();
+            all.extend_from_slice(&ys);
+            all.extend_from_slice(&zs);
+            prop_assert_eq!(left, snapshot_of(&all));
+        }
     }
 
     proptest! {

@@ -45,11 +45,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyzer;
+mod collector;
 mod histogram;
+mod prometheus;
 mod recorder;
 
-pub use histogram::{Histogram, HistogramSnapshot};
-pub use recorder::{GaugeSnapshot, Recorder, Summary, TraceEvent};
+pub use analyzer::{analyze, Analysis, AnalyzerConfig, HopBreakdown, NodeLoad, QueryPath, Stall};
+pub use collector::{parse_trace_line, CollectedSpan, CollectedTrace, Diagnostic, TraceCollector};
+pub use histogram::{bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+pub use prometheus::{
+    render_summary, sanitize_metric_name, scrape, write_counter, write_gauge, write_histogram,
+    MetricsServer,
+};
+pub use recorder::{GaugeSnapshot, NodeSummary, Recorder, Summary, TraceEvent};
 
 /// A phase label for one timed span of protocol work.
 ///
@@ -98,6 +107,12 @@ impl Phase {
             Phase::Ack => "ack",
             Phase::Idle => "idle",
         }
+    }
+
+    /// The inverse of [`Phase::as_str`]: parses a lowercase wire name.
+    #[must_use]
+    pub fn from_wire(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.as_str() == name)
     }
 
     pub(crate) fn index(self) -> usize {

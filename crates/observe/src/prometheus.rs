@@ -1,0 +1,311 @@
+//! Prometheus text exposition (format v0.0.4) for the recorder's
+//! registry, plus a minimal plain-TCP scrape endpoint.
+//!
+//! Everything rendered here derives from the no-leak registry — phase
+//! latency digests, named histograms, counters and gauges. Metric
+//! values are aggregates over protocol coordinates and timings; no
+//! private value or rank ever reaches a label or sample.
+//!
+//! The server is deliberately small: a blocking accept loop on a
+//! `std::net::TcpListener` answering every request with `200 OK` and
+//! the current exposition body. No HTTP parsing beyond draining the
+//! request head; no external dependency.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::histogram::{bucket_upper, HistogramSnapshot, BUCKETS};
+use crate::recorder::Summary;
+
+/// Replaces every character outside `[a-zA-Z0-9_:]` with `_` so
+/// runtime-built registry names (`queue_wait/group3`) stay legal
+/// Prometheus metric names.
+#[must_use]
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Appends one counter sample (`# TYPE` header plus value).
+pub fn write_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let name = sanitize_metric_name(name);
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends one gauge sample.
+pub fn write_gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    let name = sanitize_metric_name(name);
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends one histogram in cumulative-bucket form (`_bucket{{le=..}}`,
+/// `_sum`, `_count`), with bucket boundaries in nanoseconds. Empty
+/// leading buckets are skipped; the rendered series stays cumulative
+/// and always ends with `le="+Inf"`.
+pub fn write_histogram(out: &mut String, name: &str, help: &str, snapshot: &HistogramSnapshot) {
+    let name = sanitize_metric_name(name);
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for index in 0..BUCKETS {
+        let count = snapshot.buckets[index];
+        if count == 0 {
+            continue;
+        }
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_upper(index)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snapshot.count);
+    let _ = writeln!(out, "{name}_sum {}", snapshot.sum_ns);
+    let _ = writeln!(out, "{name}_count {}", snapshot.count);
+}
+
+/// Renders a full recorder [`Summary`] as one exposition body. All
+/// metric names carry the `privtopk_` prefix; histogram samples are in
+/// nanoseconds (suffix `_ns`).
+#[must_use]
+pub fn render_summary(summary: &Summary) -> String {
+    let mut out = String::with_capacity(2048);
+    for (phase, snapshot) in &summary.phases {
+        write_histogram(
+            &mut out,
+            &format!("privtopk_phase_{}_ns", phase.as_str()),
+            "Span latency for this protocol phase, in nanoseconds.",
+            snapshot,
+        );
+    }
+    for (name, snapshot) in &summary.named {
+        write_histogram(
+            &mut out,
+            &format!("privtopk_{name}_ns"),
+            "Named latency histogram, in nanoseconds.",
+            snapshot,
+        );
+    }
+    for (name, value) in &summary.counters {
+        write_counter(
+            &mut out,
+            &format!("privtopk_{name}_total"),
+            "Monotonic event counter.",
+            *value,
+        );
+    }
+    for (name, gauge) in &summary.gauges {
+        write_gauge(
+            &mut out,
+            &format!("privtopk_{name}"),
+            "Last observed value.",
+            gauge.value,
+        );
+        write_gauge(
+            &mut out,
+            &format!("privtopk_{name}_high_water"),
+            "Largest value ever observed.",
+            gauge.high_water,
+        );
+    }
+    write_counter(
+        &mut out,
+        "privtopk_trace_events_recorded_total",
+        "Trace events captured in the ring buffer.",
+        summary.events_recorded,
+    );
+    write_counter(
+        &mut out,
+        "privtopk_trace_events_dropped_total",
+        "Trace events discarded at the buffer cap.",
+        summary.events_dropped,
+    );
+    out
+}
+
+/// A scrape endpoint: binds a TCP listener and answers every
+/// connection with the body produced by the render callback.
+///
+/// The listener thread shuts down on drop (or [`MetricsServer::stop`])
+/// by flagging and self-connecting to unblock `accept`.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serves `render()` to every connection.
+    pub fn bind<F>(addr: &str, render: F) -> std::io::Result<MetricsServer>
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("privtopk-metrics".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Render outside any lock the callback may take and
+                    // serve; a failed client write only drops this scrape.
+                    let _ = serve_one(stream, &render());
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the listener thread. Idempotent.
+    pub fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Drains the request head and writes one `200 OK` exposition reply.
+fn serve_one(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
+    // Read whatever request bytes arrive promptly; scrape clients send
+    // the GET line immediately and we never need its contents.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Fetches one scrape from `addr` and returns the body (test/CLI
+/// helper — a deliberately minimal HTTP/1.1 client).
+pub fn scrape(addr: &SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: privtopk\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        _ => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed scrape response",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ctx, Phase, Recorder};
+    use std::time::Duration;
+
+    fn sample_summary() -> Summary {
+        let rec = Recorder::new();
+        rec.tick(Phase::Step, Ctx::default().with_node(0));
+        rec.tick(Phase::Send, Ctx::default().with_node(1));
+        rec.observe_named_duration("queue_wait/group0", Duration::from_micros(7));
+        rec.add("frames_sent", 3);
+        rec.gauge_set("in_flight", 2);
+        rec.gauge_set("in_flight", 1);
+        rec.summary()
+    }
+
+    #[test]
+    fn sanitizes_runtime_built_names() {
+        assert_eq!(
+            sanitize_metric_name("queue_wait/group3"),
+            "queue_wait_group3"
+        );
+        assert_eq!(sanitize_metric_name("a b-c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("0weird"), "_0weird");
+    }
+
+    #[test]
+    fn renders_all_registry_sections() {
+        let body = render_summary(&sample_summary());
+        assert!(body.contains("# TYPE privtopk_phase_step_ns histogram"));
+        assert!(body.contains("privtopk_phase_step_ns_count 1"));
+        assert!(body.contains("privtopk_queue_wait_group0_ns_sum 7000"));
+        assert!(body.contains("# TYPE privtopk_frames_sent_total counter"));
+        assert!(body.contains("privtopk_frames_sent_total 3"));
+        assert!(body.contains("privtopk_in_flight 1"));
+        assert!(body.contains("privtopk_in_flight_high_water 2"));
+        assert!(body.contains("privtopk_trace_events_recorded_total 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let mut buckets = [0u64; BUCKETS];
+        buckets[3] = 2; // [4, 7]
+        buckets[10] = 1; // [512, 1023]
+        let snapshot = HistogramSnapshot::from_parts(buckets, 1536, 1000);
+        let mut out = String::new();
+        write_histogram(&mut out, "x_ns", "help", &snapshot);
+        let lines: Vec<&str> = out.lines().filter(|l| l.contains("_bucket")).collect();
+        assert_eq!(lines[0], "x_ns_bucket{le=\"7\"} 2");
+        assert_eq!(lines[1], "x_ns_bucket{le=\"1023\"} 3");
+        assert_eq!(lines[2], "x_ns_bucket{le=\"+Inf\"} 3");
+        assert!(out.contains("x_ns_sum 1536"));
+        assert!(out.contains("x_ns_count 3"));
+    }
+
+    #[test]
+    fn server_answers_scrapes_until_stopped() {
+        let mut server =
+            MetricsServer::bind("127.0.0.1:0", || render_summary(&sample_summary())).unwrap();
+        let addr = server.addr();
+        for _ in 0..3 {
+            let body = scrape(&addr).unwrap();
+            assert!(body.contains("privtopk_frames_sent_total 3"));
+        }
+        server.stop();
+        server.stop(); // idempotent
+        assert!(scrape(&addr).is_err() || scrape(&addr).is_err());
+    }
+}

@@ -97,9 +97,13 @@ struct Inner {
     phases: [Histogram; Phase::ALL.len()],
     events: Mutex<Vec<TraceEvent>>,
     events_dropped: AtomicU64,
-    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
-    gauges: Mutex<BTreeMap<&'static str, Arc<GaugeCell>>>,
-    named: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
+    named: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Per-node phase digests, fed from every span that carries a node
+    /// coordinate — the "node summary" each member ships back to the
+    /// initiator (timings only, never values).
+    nodes: Mutex<BTreeMap<u32, Arc<[Histogram; Phase::ALL.len()]>>>,
 }
 
 /// The telemetry hub for one run or one standing service.
@@ -209,6 +213,7 @@ impl Recorder {
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 named: Mutex::new(BTreeMap::new()),
+                nodes: Mutex::new(BTreeMap::new()),
             })),
         }
     }
@@ -257,7 +262,7 @@ impl Recorder {
     }
 
     /// Adds `delta` to the named counter (creating it at zero).
-    pub fn add(&self, name: &'static str, delta: u64) {
+    pub fn add(&self, name: &str, delta: u64) {
         if let Some(inner) = self.inner.as_deref() {
             inner.counter(name).fetch_add(delta, Ordering::Relaxed);
         }
@@ -267,7 +272,7 @@ impl Recorder {
     ///
     /// This is how external figures (e.g. a drained `TransportMetrics`
     /// snapshot) are absorbed into the registry.
-    pub fn set_counter(&self, name: &'static str, value: u64) {
+    pub fn set_counter(&self, name: &str, value: u64) {
         if let Some(inner) = self.inner.as_deref() {
             inner.counter(name).store(value, Ordering::Relaxed);
         }
@@ -289,7 +294,7 @@ impl Recorder {
     }
 
     /// Sets the named gauge, tracking its high-water mark.
-    pub fn gauge_set(&self, name: &'static str, value: u64) {
+    pub fn gauge_set(&self, name: &str, value: u64) {
         if let Some(inner) = self.inner.as_deref() {
             let cell = inner.gauge(name);
             cell.value.store(value, Ordering::Relaxed);
@@ -312,11 +317,22 @@ impl Recorder {
     ///
     /// For aggregate-only timings like queue waits where a per-event line
     /// would add noise without information.
-    pub fn observe_named(&self, name: &'static str, started: Option<Instant>) {
+    pub fn observe_named(&self, name: &str, started: Option<Instant>) {
         if let (Some(inner), Some(started)) = (self.inner.as_deref(), started) {
             inner
                 .named_histogram(name)
                 .record_duration(started.elapsed());
+        }
+    }
+
+    /// Records an already-measured duration into the named histogram.
+    ///
+    /// For figures measured outside the recorder's own clock — e.g. the
+    /// per-group queue waits of the batched executor, whose label is
+    /// built at runtime.
+    pub fn observe_named_duration(&self, name: &str, duration: Duration) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.named_histogram(name).record_duration(duration);
         }
     }
 
@@ -378,6 +394,50 @@ impl Recorder {
         String::from_utf8(buf).expect("trace is ASCII")
     }
 
+    /// A copy of the buffered trace events, ordered by timestamp — the
+    /// live-ingestion surface for `crate::collector`.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_deref()
+            .map(|inner| {
+                let mut events = inner.events.lock().clone();
+                events.sort_by_key(|e| e.t_us);
+                events
+            })
+            .unwrap_or_default()
+    }
+
+    /// Per-node phase digests: the summary each ring member ships back
+    /// to the initiator at query completion, sorted by node index.
+    ///
+    /// Every span that carried a node coordinate contributed; like all
+    /// recorder output this holds timings and coordinates only, never a
+    /// protocol value.
+    #[must_use]
+    pub fn node_summaries(&self) -> Vec<NodeSummary> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Vec::new();
+        };
+        let nodes: Vec<(u32, Arc<[Histogram; Phase::ALL.len()]>)> = inner
+            .nodes
+            .lock()
+            .iter()
+            .map(|(node, cell)| (*node, cell.clone()))
+            .collect();
+        nodes
+            .into_iter()
+            .map(|(node, cell)| NodeSummary {
+                node,
+                phases: Phase::ALL
+                    .iter()
+                    .map(|&p| (p, cell[p.index()].snapshot()))
+                    .filter(|(_, snap)| !snap.is_empty())
+                    .collect(),
+            })
+            .collect()
+    }
+
     /// Snapshots every aggregate into a displayable [`Summary`].
     #[must_use]
     pub fn summary(&self) -> Summary {
@@ -430,6 +490,9 @@ impl Inner {
     fn record_event(&self, phase: Phase, ctx: Ctx, started: Instant, dur: Duration) {
         let dur_ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
         self.phases[phase.index()].record(dur_ns);
+        if let Some(node) = ctx.node {
+            self.node_phases(node)[phase.index()].record(dur_ns);
+        }
         if self.capture_events {
             let t_us = u64::try_from(started.saturating_duration_since(self.epoch).as_micros())
                 .unwrap_or(u64::MAX);
@@ -449,33 +512,78 @@ impl Inner {
         }
     }
 
-    fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
-        self.counters
-            .lock()
-            .entry(name)
-            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
-            .clone()
+    // Registry keys are owned `String`s so labels can be built at
+    // runtime (per-group queue waits, per-node rollups); each helper
+    // looks up by `&str` first so the steady state allocates nothing.
+
+    fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut counters = self.counters.lock();
+        if let Some(cell) = counters.get(name) {
+            return cell.clone();
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        counters.insert(name.to_string(), cell.clone());
+        cell
     }
 
-    fn gauge(&self, name: &'static str) -> Arc<GaugeCell> {
-        self.gauges
-            .lock()
-            .entry(name)
-            .or_insert_with(|| {
-                Arc::new(GaugeCell {
-                    value: AtomicU64::new(0),
-                    high_water: AtomicU64::new(0),
-                })
-            })
-            .clone()
+    fn gauge(&self, name: &str) -> Arc<GaugeCell> {
+        let mut gauges = self.gauges.lock();
+        if let Some(cell) = gauges.get(name) {
+            return cell.clone();
+        }
+        let cell = Arc::new(GaugeCell {
+            value: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+        });
+        gauges.insert(name.to_string(), cell.clone());
+        cell
     }
 
-    fn named_histogram(&self, name: &'static str) -> Arc<Histogram> {
-        self.named
-            .lock()
-            .entry(name)
-            .or_insert_with(|| Arc::new(Histogram::new()))
-            .clone()
+    fn named_histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut named = self.named.lock();
+        if let Some(hist) = named.get(name) {
+            return hist.clone();
+        }
+        let hist = Arc::new(Histogram::new());
+        named.insert(name.to_string(), hist.clone());
+        hist
+    }
+
+    fn node_phases(&self, node: u32) -> Arc<[Histogram; Phase::ALL.len()]> {
+        let mut nodes = self.nodes.lock();
+        if let Some(cell) = nodes.get(&node) {
+            return cell.clone();
+        }
+        let cell: Arc<[Histogram; Phase::ALL.len()]> =
+            Arc::new(std::array::from_fn(|_| Histogram::new()));
+        nodes.insert(node, cell.clone());
+        cell
+    }
+}
+
+/// One ring member's phase digests, as shipped back to the initiator.
+///
+/// Carries node index and per-phase timing digests only — the same
+/// no-leak vocabulary as every other recorder surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSummary {
+    /// Node index in `0..n`.
+    pub node: u32,
+    /// Per-phase latency digests (phases with no samples are omitted).
+    pub phases: Vec<(Phase, HistogramSnapshot)>,
+}
+
+impl NodeSummary {
+    /// Total busy nanoseconds across compute phases (encode/send/step) —
+    /// the load-skew numerator used by the analyzer. Receive waits are
+    /// excluded: they measure the predecessor, not this node.
+    #[must_use]
+    pub fn busy_ns(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|(p, _)| matches!(p, Phase::Encode | Phase::Send | Phase::Step))
+            .map(|(_, snap)| snap.sum_ns)
+            .sum()
     }
 }
 
@@ -496,6 +604,63 @@ pub struct Summary {
     pub events_recorded: u64,
     /// Trace events discarded at the buffer cap.
     pub events_dropped: u64,
+}
+
+impl Summary {
+    /// Merges two summaries into one, as if a single recorder had seen
+    /// both runs.
+    ///
+    /// Histograms merge bucket-wise via
+    /// [`HistogramSnapshot::merge`] (associative and commutative),
+    /// counters and event totals add, and gauges keep the larger value
+    /// and high-water mark (the only merge that is order-independent
+    /// for a "last value set" cell). Merging per-node summaries
+    /// therefore yields the same aggregate in any order or grouping.
+    #[must_use]
+    pub fn merge(&self, other: &Summary) -> Summary {
+        fn merge_by_key<K: Ord + Clone, V: Clone>(
+            a: &[(K, V)],
+            b: &[(K, V)],
+            combine: impl Fn(&V, &V) -> V,
+        ) -> Vec<(K, V)> {
+            let mut merged: BTreeMap<K, V> = a.iter().cloned().collect();
+            for (key, value) in b {
+                match merged.get(key) {
+                    Some(existing) => {
+                        let combined = combine(existing, value);
+                        merged.insert(key.clone(), combined);
+                    }
+                    None => {
+                        merged.insert(key.clone(), value.clone());
+                    }
+                }
+            }
+            merged.into_iter().collect()
+        }
+
+        let phases = {
+            // Phase has no Ord; key by display index to keep ALL order.
+            let mut merged: BTreeMap<usize, (Phase, HistogramSnapshot)> = BTreeMap::new();
+            for (phase, snap) in self.phases.iter().chain(&other.phases) {
+                merged
+                    .entry(phase.index())
+                    .and_modify(|(_, acc)| *acc = acc.merge(snap))
+                    .or_insert((*phase, *snap));
+            }
+            merged.into_values().collect()
+        };
+        Summary {
+            phases,
+            named: merge_by_key(&self.named, &other.named, |a, b| a.merge(b)),
+            counters: merge_by_key(&self.counters, &other.counters, |a, b| a.saturating_add(*b)),
+            gauges: merge_by_key(&self.gauges, &other.gauges, |a, b| GaugeSnapshot {
+                value: a.value.max(b.value),
+                high_water: a.high_water.max(b.high_water),
+            }),
+            events_recorded: self.events_recorded.saturating_add(other.events_recorded),
+            events_dropped: self.events_dropped.saturating_add(other.events_dropped),
+        }
+    }
 }
 
 /// Renders nanoseconds with an adaptive unit (ASCII only).
@@ -742,5 +907,93 @@ mod tests {
         assert_eq!(fmt_ns(1_500), "1.5us");
         assert_eq!(fmt_ns(2_500_000), "2.50ms");
         assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn runtime_built_registry_names_work() {
+        let rec = Recorder::new();
+        for group in 0..3 {
+            let name = format!("queue_wait/group{group}");
+            rec.observe_named_duration(&name, Duration::from_nanos(100 * (group + 1)));
+            rec.add(&format!("jobs/group{group}"), 2);
+        }
+        assert_eq!(rec.named("queue_wait/group1").unwrap().count, 1);
+        assert_eq!(rec.counter("jobs/group2"), 2);
+        let summary = rec.summary();
+        assert_eq!(summary.named.len(), 3);
+        assert!(summary.named.iter().any(|(n, _)| n == "queue_wait/group0"));
+    }
+
+    #[test]
+    fn node_summaries_aggregate_per_node_spans() {
+        let rec = Recorder::stats_only();
+        rec.record(Phase::Step, Ctx::default().with_node(2), rec.clock());
+        rec.record(Phase::Step, Ctx::default().with_node(0), rec.clock());
+        rec.record(Phase::Send, Ctx::default().with_node(0), rec.clock());
+        rec.tick(Phase::Retry, Ctx::default().with_node(0));
+        // Spans without a node coordinate stay out of node summaries.
+        rec.record(Phase::Step, Ctx::default(), rec.clock());
+        let summaries = rec.node_summaries();
+        assert_eq!(
+            summaries.iter().map(|s| s.node).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        let node0 = &summaries[0];
+        let step = node0
+            .phases
+            .iter()
+            .find(|(p, _)| *p == Phase::Step)
+            .unwrap();
+        assert_eq!(step.1.count, 1);
+        assert!(node0.phases.iter().any(|(p, _)| *p == Phase::Retry));
+        assert_eq!(summaries[1].phases.len(), 1); // node 2: step only
+        assert_eq!(Recorder::disabled().node_summaries(), Vec::new());
+    }
+
+    #[test]
+    fn events_accessor_returns_sorted_copies() {
+        let rec = Recorder::new();
+        rec.tick(Phase::Step, Ctx::default().with_node(1));
+        rec.tick(Phase::Send, Ctx::default().with_node(1));
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert!(events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+        assert!(Recorder::disabled().events().is_empty());
+    }
+
+    #[test]
+    fn summary_merge_combines_every_section() {
+        let a = Recorder::stats_only();
+        a.record(Phase::Step, Ctx::default(), a.clock());
+        a.add("frames_sent", 10);
+        a.gauge_set("pipeline_depth", 4);
+        a.observe_named("queue_wait", a.clock());
+        let b = Recorder::stats_only();
+        b.record(Phase::Step, Ctx::default(), b.clock());
+        b.record(Phase::Recv, Ctx::default(), b.clock());
+        b.add("frames_sent", 5);
+        b.add("re_acks", 1);
+        b.gauge_set("pipeline_depth", 7);
+
+        let merged = a.summary().merge(&b.summary());
+        let step = merged
+            .phases
+            .iter()
+            .find(|(p, _)| *p == Phase::Step)
+            .unwrap();
+        assert_eq!(step.1.count, 2);
+        assert!(merged.phases.iter().any(|(p, _)| *p == Phase::Recv));
+        assert_eq!(
+            merged.counters,
+            vec![("frames_sent".to_string(), 15), ("re_acks".to_string(), 1)]
+        );
+        let depth = &merged.gauges[0];
+        assert_eq!(depth.1.high_water, 7);
+        assert_eq!(merged.named.len(), 1);
+
+        // Merge is commutative at the summary level too.
+        let flipped = b.summary().merge(&a.summary());
+        assert_eq!(merged.counters, flipped.counters);
+        assert_eq!(merged.phases, flipped.phases);
     }
 }

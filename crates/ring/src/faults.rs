@@ -250,16 +250,22 @@ impl<T: Transport> Transport for ReliableEndpoint<T> {
         self.next_seq += 1;
         let seq = self.next_seq;
         let data = encode_reliable(FRAME_DATA, seq, &frame);
+        // Each retry span measures the failed attempt it replaces: the
+        // time the sender sat blocked on an ACK that never came — the
+        // healing cost a trace analyzer attributes to this node.
+        let mut attempt_started = self.recorder.clock();
         for attempt in 0..=self.max_retries {
             if attempt > 0 {
                 self.retransmissions += 1;
                 if let Some(metrics) = &self.metrics {
                     metrics.record_retransmission();
                 }
-                self.recorder.tick(
+                self.recorder.record(
                     Phase::Retry,
                     Ctx::default().with_node(self.inner.node().get() as u32),
+                    attempt_started,
                 );
+                attempt_started = self.recorder.clock();
             }
             self.inner.send_many(to, data.clone(), logical)?;
             let deadline = Instant::now() + self.ack_timeout;

@@ -111,7 +111,10 @@ echo "wrote $THROUGHPUT_OUT"
 # runs the telemetry gate: tracing-off vs tracing-on throughput at the
 # best depth (recorder in its sampled always-on mode) lands in the
 # "tracing" block of BENCH_service.json, with transcripts asserted
-# bit-identical and overhead asserted under 2%.
+# bit-identical and overhead asserted under 2%. Finally it measures the
+# paper's 4.2 grouped-max critical path from real traces (collected and
+# analyzed through the same pipeline as `privtopk trace analyze`) into
+# the "grouped_max" block.
 SERVICE_BIN="$REPO_ROOT/target/release/service"
 SERVICE_OUT="$REPO_ROOT/BENCH_service.json"
 
@@ -120,4 +123,6 @@ command -v cargo >/dev/null 2>&1 && cargo build --release -p privtopk-bench --bi
 
 echo "benchmarking persistent service runtime ..."
 "$SERVICE_BIN" 6 8 240 "$SERVICE_OUT"
+grep -q '"grouped_max"' "$SERVICE_OUT" \
+    || { echo "error: analyzer-measured grouped critical path missing from $SERVICE_OUT" >&2; exit 1; }
 echo "wrote $SERVICE_OUT"

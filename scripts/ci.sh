@@ -21,6 +21,21 @@ cargo test --workspace -q
 echo "==> cargo test --test trace_no_leak"
 cargo test --test trace_no_leak
 
+# Trace tooling smoke: export a fresh 2-query distributed (service-mode)
+# trace through the CLI and analyze it back — the reconstructed critical
+# path must be non-empty for both queries.
+echo "==> privtopk trace analyze smoke"
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+./target/release/privtopk query --kind topk --k 3 --nodes 5 \
+    --repeat 2 --pipeline 2 --trace-out "$TRACE_DIR/svc.jsonl" > /dev/null
+./target/release/privtopk trace analyze "$TRACE_DIR/svc.jsonl" > "$TRACE_DIR/report.txt"
+grep -q "trace analysis: 2 queries" "$TRACE_DIR/report.txt" \
+    || { echo "error: expected 2 analyzed queries" >&2; cat "$TRACE_DIR/report.txt" >&2; exit 1; }
+grep -q "critical path" "$TRACE_DIR/report.txt" \
+    || { echo "error: empty critical path in trace analysis" >&2; cat "$TRACE_DIR/report.txt" >&2; exit 1; }
+echo "    critical paths reconstructed for both queries"
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

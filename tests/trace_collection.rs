@@ -1,0 +1,172 @@
+//! Cross-node trace collection end to end: a deep pipelined service run
+//! must reconstruct a complete, topology-valid causal hop chain for
+//! every query; lossy transports must not duplicate hops on the
+//! critical path; and broken trace files must degrade to diagnostics,
+//! never to errors.
+
+use privtopk::core::distributed::{run_distributed_traced, NetworkKind};
+use privtopk::observe::{analyze, AnalyzerConfig, Diagnostic, Recorder, TraceCollector};
+use privtopk::prelude::*;
+
+const NODES: usize = 6;
+const K: usize = 3;
+
+fn federation(seed: u64) -> Federation {
+    let dbs = DatasetBuilder::new(NODES)
+        .rows_per_node(8)
+        .seed(seed)
+        .build()
+        .expect("valid dataset");
+    Federation::new(dbs).expect("valid federation")
+}
+
+/// The PR's acceptance gate: a depth-16 pipelined service run, traced,
+/// collected and analyzed, yields one complete causal hop chain per
+/// query that validates against the ring topology.
+#[test]
+fn depth_16_service_run_reconstructs_every_query_chain() {
+    let federation = federation(91);
+    let spec = QuerySpec::top_k("value", K).with_epsilon(1e-9);
+    let recorder = Recorder::new();
+    let mut service = federation
+        .serve_traced(&spec, NetworkKind::InMemory, 16, recorder.clone())
+        .unwrap();
+    let seeds: Vec<u64> = (0..24).map(|i| 5000 + i * 13).collect();
+    let outcomes = service.query_many(&seeds).unwrap();
+    service.shutdown().unwrap();
+    let rounds = outcomes[0].rounds();
+
+    // Collect through the serialized path — the same JSONL the
+    // distributed driver would ship back from each node.
+    let mut collector = TraceCollector::new();
+    assert!(collector.ingest_jsonl("service.jsonl", &recorder.trace_jsonl()) > 0);
+    let mut trace = collector.finish();
+    assert!(
+        trace.validate_topology(NODES, rounds),
+        "topology validation diagnostics: {:?}",
+        trace.diagnostics
+    );
+
+    let analysis = analyze(&trace, &AnalyzerConfig::default());
+    assert_eq!(analysis.queries.len(), seeds.len());
+    for path in &analysis.queries {
+        assert!(
+            path.complete,
+            "query {:?} chain incomplete: {} hops",
+            path.query,
+            path.hops.len()
+        );
+        assert_eq!(path.hops.len(), NODES * rounds as usize);
+        assert!(path.critical_path_ns > 0);
+    }
+    // Every node carried work, and the busy split covers all of them.
+    assert_eq!(analysis.node_load.len(), NODES);
+
+    // Node summaries ride along on live ingestion too.
+    let mut live = TraceCollector::new();
+    live.ingest_recorder("live", &recorder);
+    let live_trace = live.finish();
+    assert_eq!(live_trace.node_summaries.len(), NODES);
+}
+
+/// Satellite: on a lossy transport, retransmitted hops appear exactly
+/// once in the reconstructed critical path — retries show up as healing
+/// counters, never as duplicate chain members.
+#[test]
+fn lossy_retransmissions_never_duplicate_critical_path_hops() {
+    let config = ProtocolConfig::topk(K).with_rounds(RoundPolicy::Fixed(4));
+    let dbs = DatasetBuilder::new(NODES)
+        .rows_per_node(8)
+        .seed(17)
+        .build()
+        .unwrap();
+    let domain = privtopk::domain::ValueDomain::paper_default();
+    let locals: Vec<privtopk::domain::TopKVector> = dbs
+        .iter()
+        .map(|db| {
+            let col = db.table().column_by_name("value").unwrap();
+            privtopk::domain::TopKVector::from_values(K, db.table().column_values(col), &domain)
+                .unwrap()
+        })
+        .collect();
+
+    let recorder = Recorder::new();
+    let outcome = run_distributed_traced(
+        &config,
+        &locals,
+        NetworkKind::LossyInMemory {
+            drop_probability: 0.25,
+        },
+        7,
+        &recorder,
+    )
+    .unwrap();
+    assert!(outcome.messages_sent > 0, "lossy run should still complete");
+
+    let mut collector = TraceCollector::new();
+    collector.ingest_jsonl("lossy.jsonl", &recorder.trace_jsonl());
+    let mut trace = collector.finish();
+    assert!(
+        !trace
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::DuplicateStep { .. })),
+        "duplicate steps in collected lossy trace: {:?}",
+        trace.diagnostics
+    );
+    assert!(trace.validate_topology(NODES, 4));
+
+    let analysis = analyze(&trace, &AnalyzerConfig::default());
+    assert_eq!(analysis.queries.len(), 1, "one untagged solo chain");
+    let path = &analysis.queries[0];
+    assert!(path.complete);
+    assert_eq!(path.hops.len(), NODES * 4, "each hop exactly once");
+    assert!(
+        analysis.retransmissions > 0,
+        "0.25 drop probability must retransmit"
+    );
+    // Retries are attributed to nodes, not smuggled into the chain.
+    let attributed: u64 = analysis.node_load.iter().map(|l| l.retransmissions).sum();
+    assert_eq!(attributed, analysis.retransmissions);
+}
+
+/// Satellite: malformed and truncated JSONL lines become structured
+/// diagnostics; the intact remainder still collects and analyzes.
+#[test]
+fn malformed_and_truncated_trace_files_surface_as_diagnostics() {
+    let federation = federation(29);
+    let spec = QuerySpec::top_k("value", K).with_epsilon(1e-9);
+    let recorder = Recorder::new();
+    let mut service = federation
+        .serve_traced(&spec, NetworkKind::InMemory, 2, recorder.clone())
+        .unwrap();
+    service.query_many(&[1, 2]).unwrap();
+    service.shutdown().unwrap();
+
+    let full = recorder.trace_jsonl();
+    // Corrupt the file three ways: garbage line, truncated JSON object
+    // (a partial final write), and an unknown phase name.
+    let mut corrupted = String::from("garbage that is not json\n");
+    corrupted.push_str(&full);
+    let truncated = full.lines().next().unwrap();
+    corrupted.push_str(&truncated[..truncated.len() / 2]);
+    corrupted.push('\n');
+    corrupted.push_str("{\"t_us\":1,\"phase\":\"warp\",\"node\":0,\"dur_ns\":1}\n");
+
+    let mut collector = TraceCollector::new();
+    collector.ingest_jsonl("corrupted.jsonl", &corrupted);
+    let trace = collector.finish();
+    let malformed: Vec<_> = trace
+        .diagnostics
+        .iter()
+        .filter(|d| matches!(d, Diagnostic::MalformedLine { .. }))
+        .collect();
+    assert_eq!(malformed.len(), 3, "diagnostics: {:?}", trace.diagnostics);
+
+    // The intact spans survive: both queries still analyze completely.
+    let analysis = analyze(&trace, &AnalyzerConfig::default());
+    assert_eq!(analysis.queries.len(), 2);
+    for path in &analysis.queries {
+        assert!(path.complete, "query {:?}", path.query);
+    }
+}

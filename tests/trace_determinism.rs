@@ -4,7 +4,7 @@
 //! or delivery order; these tests would catch any regression that does.
 
 use privtopk::core::distributed::NetworkKind;
-use privtopk::observe::{Phase, Recorder};
+use privtopk::observe::{Phase, Recorder, TraceCollector};
 use privtopk::prelude::*;
 
 const NODES: usize = 6;
@@ -110,4 +110,59 @@ fn service_transcripts_are_bit_identical_with_recorder_on_and_off_at_depths_1_4_
         assert_eq!(stats.queries_completed, seeds.len() as u64);
         assert!(recorder.phase(Phase::Step).count > 0, "depth {depth}");
     }
+}
+
+/// Collection and live exposition are observers of the observer: with a
+/// metrics endpoint serving scrapes mid-stream and the collector
+/// aggregating the recorder afterwards, every transcript stays
+/// bit-identical to the solo run, and the collected JSONL is byte-equal
+/// to the recorder's own serialization.
+#[test]
+fn transcripts_stay_bit_identical_with_collection_and_exposition_enabled() {
+    let federation = federation(43);
+    let spec = QuerySpec::top_k("value", K).with_epsilon(1e-9);
+    let seeds: Vec<u64> = (0..6).map(|i| 2000 + i * 11).collect();
+    let solo: Vec<_> = seeds
+        .iter()
+        .map(|&s| federation.execute(&spec, s).unwrap())
+        .collect();
+
+    let recorder = Recorder::new();
+    let mut service = federation
+        .serve_traced(&spec, NetworkKind::InMemory, 4, recorder.clone())
+        .unwrap();
+    let addr = service.metrics_endpoint("127.0.0.1:0").unwrap();
+    let tickets: Vec<_> = seeds.iter().map(|&s| service.submit(s).unwrap()).collect();
+    // Scrape while queries are in flight: exposition must observe
+    // without perturbing.
+    let mid_stream = privtopk::observe::scrape(&addr).unwrap();
+    assert!(mid_stream.contains("privtopk_service_in_flight"));
+    let outcomes: Vec<_> = tickets
+        .into_iter()
+        .map(|t| service.collect(t).unwrap())
+        .collect();
+    service.shutdown().unwrap();
+
+    for (outcome, s) in outcomes.iter().zip(&solo) {
+        assert_eq!(
+            outcome.transcript(),
+            s.transcript(),
+            "collection/exposition changed a transcript"
+        );
+        assert_eq!(outcome.values(), s.values());
+    }
+
+    // Collecting is lossless: the aggregated view re-serializes to
+    // exactly the recorder's own span lines (the collector orders
+    // causally rather than by timestamp, so compare as sorted sets).
+    let mut collector = TraceCollector::new();
+    collector.ingest_recorder("service", &recorder);
+    let trace = collector.finish();
+    assert!(trace.diagnostics.is_empty(), "{:?}", trace.diagnostics);
+    let sorted = |s: String| {
+        let mut lines: Vec<&str> = s.lines().collect();
+        lines.sort_unstable();
+        lines.join("\n")
+    };
+    assert_eq!(sorted(trace.to_jsonl()), sorted(recorder.trace_jsonl()));
 }

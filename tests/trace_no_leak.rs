@@ -18,7 +18,7 @@
 use std::collections::BTreeSet;
 
 use privtopk::core::distributed::NetworkKind;
-use privtopk::observe::Recorder;
+use privtopk::observe::{render_summary, Recorder, TraceCollector};
 use privtopk::prelude::*;
 
 const NODES: usize = 5;
@@ -156,6 +156,16 @@ fn trace_all_modes(federation: &Federation, spec: &QuerySpec) -> Vec<(&'static s
     traces
 }
 
+/// The collector's merged serialization of `trace` — the aggregated
+/// output the schema and data-independence gates must cover too.
+fn collected(label: &str, trace: &str) -> String {
+    let mut collector = TraceCollector::new();
+    collector.ingest_jsonl(label, trace);
+    let out = collector.finish();
+    assert!(out.diagnostics.is_empty(), "{label}: {:?}", out.diagnostics);
+    out.to_jsonl()
+}
+
 #[test]
 fn traces_carry_only_bounded_protocol_coordinates() {
     for (dist, dist_name) in [
@@ -166,6 +176,13 @@ fn traces_carry_only_bounded_protocol_coordinates() {
         let spec = QuerySpec::top_k("value", K).with_epsilon(1e-9);
         for (mode, trace) in trace_all_modes(&federation, &spec) {
             assert_trace_schema(&trace, 4, &format!("{dist_name}/{mode}"));
+            // Collection preserves the schema: the aggregated view is
+            // the same vocabulary, merely causally reordered.
+            assert_trace_schema(
+                &collected(mode, &trace),
+                4,
+                &format!("{dist_name}/{mode}/collected"),
+            );
         }
     }
 }
@@ -187,7 +204,87 @@ fn trace_coordinates_are_independent_of_private_data() {
             coordinates(trace_b),
             "{mode}: trace coordinates depend on private data"
         );
+        // The aggregated/collected output inherits the guarantee.
+        assert_eq!(
+            coordinates(&collected(mode, trace_a)),
+            coordinates(&collected(mode, trace_b)),
+            "{mode}: collected coordinates depend on private data"
+        );
     }
+}
+
+/// The Prometheus exposition body is aggregate-only: every sample line
+/// is `name value` (or a `le`-labelled bucket), every name carries the
+/// `privtopk_` prefix, and the *set of series* two different-data runs
+/// expose is identical — whatever varies is timing, never structure.
+#[test]
+fn prometheus_exposition_is_data_independent() {
+    let series_of = |body: &str| -> BTreeSet<String> {
+        let mut names = BTreeSet::new();
+        for line in body.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            let name = series.split('{').next().unwrap();
+            assert!(name.starts_with("privtopk_"), "unprefixed metric: {line}");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "illegal metric name char: {line}"
+            );
+            if let Some(label) = series.strip_prefix(name) {
+                assert!(
+                    label.is_empty() || (label.starts_with("{le=\"") && label.ends_with("\"}")),
+                    "unexpected label (labels could carry data): {line}"
+                );
+            }
+            assert!(
+                value.parse::<u64>().is_ok(),
+                "non-integer sample value: {line}"
+            );
+            // Bucket boundaries are a fixed log grid, so keep the full
+            // series name; only sample *values* may differ with timing.
+            names.insert(series.to_string());
+        }
+        names
+    };
+
+    let spec = QuerySpec::top_k("value", K).with_epsilon(1e-9);
+    let mut bodies = Vec::new();
+    for (dist, seed) in [
+        (DataDistribution::Uniform, 0xC0FFEE),
+        (DataDistribution::classic_zipf(), 0xBEEF),
+    ] {
+        let federation = federation(dist, seed);
+        let recorder = Recorder::new();
+        let mut service = federation
+            .serve_traced(&spec, NetworkKind::InMemory, 2, recorder.clone())
+            .unwrap();
+        let tickets: Vec<_> = (0..4).map(|i| service.submit(100 + i).unwrap()).collect();
+        for ticket in tickets {
+            service.collect(ticket).unwrap();
+        }
+        service.shutdown().unwrap();
+        bodies.push(render_summary(&recorder.summary()));
+    }
+    let a = series_of(&bodies[0]);
+    let b = series_of(&bodies[1]);
+    assert!(!a.is_empty());
+    // Timing-derived histogram buckets vary run to run; the counter and
+    // gauge series — the structural surface — must match exactly.
+    let structural = |names: &BTreeSet<String>| -> BTreeSet<String> {
+        names
+            .iter()
+            .filter(|n| !n.contains("_ns"))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(
+        structural(&a),
+        structural(&b),
+        "exposed series depend on private data"
+    );
 }
 
 #[test]
