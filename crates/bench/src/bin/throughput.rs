@@ -1,14 +1,23 @@
 //! Batched-executor throughput benchmark.
 //!
-//! Runs B ∈ {1, 8, 64, 256} homogeneous fixed-start queries over the
-//! in-memory network twice — once as B sequential solo
+//! Runs B ∈ {1, 8, 64, 256, 1024} homogeneous fixed-start queries over
+//! the in-memory network twice — once as B sequential solo
 //! `run_distributed` calls, once as a single `run_distributed_batch` —
 //! and reports queries/sec, the amortization factor, and the wire
-//! accounting (physical frames vs logical messages, per-frame bytes).
+//! accounting (physical frames vs logical messages, per-frame and
+//! per-query bytes under the compact codec, plus what the legacy
+//! fixed-width codec would have sent).
 //!
 //! The run *asserts* the correctness gates before reporting numbers:
-//! every batched transcript must be bit-identical to its solo run, and
-//! the mean batched frame at B = 64 must be smaller than 64 solo frames.
+//! every batched transcript must be bit-identical to its solo run, the
+//! batch path must not lose to the sequential path even at B = 1, the
+//! mean batched frame at B = 64 must stay under the 1200-byte budget,
+//! and batched queries/sec must rise strictly with width through
+//! B = 256 (the cliff this benchmark exists to watch).
+//!
+//! Small widths finish in microseconds, so each timed pass runs the
+//! workload `max(1, 256/B)` times and divides — every width is timed
+//! over a comparable amount of work instead of a single noisy call.
 //!
 //! Usage: `throughput [n] [rounds] [out.json]`
 //! Defaults: n = 6, rounds = 8, out = BENCH_throughput.json
@@ -16,14 +25,17 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use privtopk_bench::bench_locals;
+use privtopk_bench::{bench_locals, machine_json};
 use privtopk_core::distributed::{run_distributed, run_distributed_batch, NetworkKind};
 use privtopk_core::{derive_batch_seed, BatchJob, ProtocolConfig, RoundPolicy, StartPolicy};
 
 const BASE_SEED: u64 = 24301;
 const K: usize = 4;
-const WIDTHS: [usize; 4] = [1, 8, 64, 256];
+const WIDTHS: [usize; 5] = [1, 8, 64, 256, 1024];
 const REPS: u32 = 3;
+/// Mean-frame budget at B = 64: well under half the 2312.6 B the
+/// fixed-width codec produced at that width.
+const B64_FRAME_BUDGET: f64 = 1200.0;
 
 struct Point {
     width: usize,
@@ -34,6 +46,7 @@ struct Point {
     frames: u64,
     logical: u64,
     bytes: u64,
+    baseline_bytes: u64,
     mean_frame_bytes: f64,
 }
 
@@ -77,24 +90,30 @@ fn main() {
             );
         }
 
-        // Timed passes: best of REPS for each path.
+        // Timed passes: `iters` runs per pass so every width is timed
+        // over ~256 queries of work, best of REPS passes for each path.
+        let iters = (256 / width).max(1) as u32;
         let mut batch_ms = f64::INFINITY;
         for _ in 0..REPS {
             let start = Instant::now();
-            let out = run_distributed_batch(&jobs, NetworkKind::InMemory).expect("batch run");
-            batch_ms = batch_ms.min(start.elapsed().as_secs_f64() * 1e3);
-            std::hint::black_box(out);
+            for _ in 0..iters {
+                let out = run_distributed_batch(&jobs, NetworkKind::InMemory).expect("batch run");
+                std::hint::black_box(out);
+            }
+            batch_ms = batch_ms.min(start.elapsed().as_secs_f64() * 1e3 / f64::from(iters));
         }
         let mut solo_ms = f64::INFINITY;
         for _ in 0..REPS {
             let start = Instant::now();
-            for job in &jobs {
-                let out =
-                    run_distributed(&job.config, &job.locals, NetworkKind::InMemory, job.seed)
-                        .expect("solo run");
-                std::hint::black_box(out);
+            for _ in 0..iters {
+                for job in &jobs {
+                    let out =
+                        run_distributed(&job.config, &job.locals, NetworkKind::InMemory, job.seed)
+                            .expect("solo run");
+                    std::hint::black_box(out);
+                }
             }
-            solo_ms = solo_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            solo_ms = solo_ms.min(start.elapsed().as_secs_f64() * 1e3 / f64::from(iters));
         }
 
         let point = Point {
@@ -106,17 +125,48 @@ fn main() {
             frames: batch_out.frames_sent,
             logical: batch_out.logical_messages,
             bytes: batch_out.bytes_sent,
+            baseline_bytes: batch_out.baseline_bytes,
             mean_frame_bytes: batch_out.bytes_sent as f64 / batch_out.frames_sent as f64,
         };
         eprintln!(
-            "  B={width:>3}: batch {batch_ms:>8.2} ms ({:>9.0} q/s)  solo {solo_ms:>8.2} ms ({:>9.0} q/s)  frames {} logical {}",
-            point.batch_qps, point.solo_qps, point.frames, point.logical
+            "  B={width:>4}: batch {batch_ms:>8.2} ms ({:>9.0} q/s)  solo {solo_ms:>8.2} ms ({:>9.0} q/s)  frames {} logical {} wire {} B (legacy {} B)",
+            point.batch_qps, point.solo_qps, point.frames, point.logical, point.bytes,
+            point.baseline_bytes
         );
         points.push(point);
     }
 
-    // Per-hop byte gate: a B=64 frame must undercut 64 solo frames.
+    // The batch-width cliff gate: queries/sec must rise strictly with
+    // width through B = 256. (B = 1024 is reported but not gated — at
+    // some width the kernel, not the transport, becomes the limit.)
+    for pair in points.windows(2) {
+        if pair[1].width > 256 {
+            break;
+        }
+        assert!(
+            pair[1].batch_qps > pair[0].batch_qps,
+            "batch throughput must rise with width: B={} ({:.0} q/s) <= B={} ({:.0} q/s)",
+            pair[1].width,
+            pair[1].batch_qps,
+            pair[0].width,
+            pair[0].batch_qps
+        );
+    }
+
+    // B = 1 must not pay for the batching machinery it doesn't use: the
+    // batch path runs the same hop kernel with one shared scratch, so a
+    // single-query batch has to stay within noise of the solo path.
     let b1 = points.iter().find(|p| p.width == 1).expect("B=1 point");
+    let b1_speedup = b1.batch_qps / b1.solo_qps;
+    assert!(
+        b1_speedup >= 0.9,
+        "B=1 batch ({:.0} q/s) regressed below 0.9x the sequential path ({:.0} q/s)",
+        b1.batch_qps,
+        b1.solo_qps
+    );
+
+    // Per-hop byte gates: a B=64 frame must undercut 64 solo frames and
+    // stay under the compact-codec budget.
     let b64 = points.iter().find(|p| p.width == 64).expect("B=64 point");
     assert!(
         b64.mean_frame_bytes < 64.0 * b1.mean_frame_bytes,
@@ -124,8 +174,14 @@ fn main() {
         b64.mean_frame_bytes,
         64.0 * b1.mean_frame_bytes
     );
+    assert!(
+        b64.mean_frame_bytes < B64_FRAME_BUDGET,
+        "B=64 mean frame ({:.1} B) must stay under the {B64_FRAME_BUDGET} B budget",
+        b64.mean_frame_bytes
+    );
     let amortization = (b1.batch_ms * 64.0) / b64.batch_ms;
     eprintln!("  B=64 amortization vs 64 x B=1 batches: {amortization:.2}x");
+    eprintln!("  B=1 batch vs sequential: {b1_speedup:.3}x");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -133,6 +189,7 @@ fn main() {
         json,
         "  \"benchmark\": \"batched multi-query ring executor throughput\","
     );
+    let _ = writeln!(json, "  \"machine\": {},", machine_json());
     let _ = writeln!(
         json,
         "  \"config\": {{\"n\": {n}, \"k\": {K}, \"rounds\": {rounds}, \"network\": \"in-memory\", \"start\": \"fixed\", \"seed\": {BASE_SEED}, \"reps\": {REPS}}},"
@@ -142,7 +199,7 @@ fn main() {
     for (i, p) in points.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"batch_width\": {}, \"batch_ms\": {:.3}, \"batch_queries_per_sec\": {:.1}, \"sequential_ms\": {:.3}, \"sequential_queries_per_sec\": {:.1}, \"speedup_vs_sequential\": {:.3}, \"frames_sent\": {}, \"logical_messages\": {}, \"bytes_sent\": {}, \"mean_frame_bytes\": {:.1}}}{}",
+            "    {{\"batch_width\": {}, \"batch_ms\": {:.3}, \"batch_queries_per_sec\": {:.1}, \"sequential_ms\": {:.3}, \"sequential_queries_per_sec\": {:.1}, \"speedup_vs_sequential\": {:.3}, \"frames_sent\": {}, \"logical_messages\": {}, \"bytes_sent\": {}, \"baseline_bytes\": {}, \"mean_frame_bytes\": {:.1}, \"bytes_per_query\": {:.1}}}{}",
             p.width,
             p.batch_ms,
             p.batch_qps,
@@ -152,7 +209,9 @@ fn main() {
             p.frames,
             p.logical,
             p.bytes,
+            p.baseline_bytes,
             p.mean_frame_bytes,
+            p.bytes as f64 / p.width as f64,
             if i + 1 < points.len() { "," } else { "" }
         );
     }

@@ -33,6 +33,29 @@ pub fn bench_locals(n: usize, k: usize, seed: u64) -> Vec<TopKVector> {
         .expect("valid benchmark dataset")
 }
 
+/// Logical core count of the machine running the benchmark (1 if the
+/// platform refuses to say).
+#[must_use]
+pub fn logical_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// JSON object describing the bench machine, embedded verbatim in every
+/// BENCH_*.json so a number can never be compared across machines or
+/// profiles by accident.
+#[must_use]
+pub fn machine_json() -> String {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    format!(
+        "{{\"logical_cores\": {}, \"cargo_profile\": \"{profile}\"}}",
+        logical_cores()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,5 +65,13 @@ mod tests {
         let locals = bench_locals(5, 3, 1);
         assert_eq!(locals.len(), 5);
         assert!(locals.iter().all(|l| l.k() == 3));
+    }
+
+    #[test]
+    fn machine_json_reports_cores_and_profile() {
+        let json = machine_json();
+        assert!(json.contains("\"logical_cores\""));
+        assert!(json.contains("\"cargo_profile\""));
+        assert!(logical_cores() >= 1);
     }
 }

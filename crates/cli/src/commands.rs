@@ -294,8 +294,8 @@ fn emit_telemetry(
                 &format!(
                     "service stats: depth {} | in flight {} | high water {} | submitted {} | completed {}\n\
                      queue wait: count {} p50 {}ns p99 {}ns max {}ns\n\
-                     wire: {} frames, {} logical messages, {} bytes, pool high water {}, \
-                     {} retransmissions, {} re-acks\n",
+                     wire: {} frames, {} logical messages, {} bytes ({} pre-compression), \
+                     pool high water {}, {} retransmissions, {} re-acks\n",
                     s.depth,
                     s.in_flight,
                     s.pipeline_high_water,
@@ -308,6 +308,7 @@ fn emit_telemetry(
                     s.frames_sent,
                     s.logical_messages,
                     s.bytes_sent,
+                    s.baseline_bytes,
                     s.pooled_buffers_high_water,
                     s.retransmissions,
                     s.re_acks,

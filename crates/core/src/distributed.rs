@@ -20,7 +20,7 @@ use privtopk_ring::transport::{
 };
 use privtopk_ring::{MetricsSnapshot, RingError, RingTopology, TransportMetrics};
 
-use crate::local::{max_step, topk_step};
+use crate::local::{max_step, topk_step_scratch, TopkScratch};
 use crate::{
     AlgorithmKind, BatchJob, BatchMessage, ProtocolConfig, ProtocolError, StartPolicy, StepRecord,
     TokenMessage, Transcript,
@@ -373,6 +373,9 @@ pub struct DistributedBatchOutcome {
     pub logical_messages: u64,
     /// Total payload bytes sent.
     pub bytes_sent: u64,
+    /// Pre-compression payload bytes: what the same frames would have
+    /// cost under the legacy fixed-width codec.
+    pub baseline_bytes: u64,
     /// Number of lock-step groups the batch was partitioned into (jobs
     /// only share frames when they agree on ring order and round count).
     pub groups: u32,
@@ -570,6 +573,7 @@ pub fn run_distributed_batch_traced(
         wire.frames_sent += snap.frames_sent;
         wire.logical_messages += snap.logical_messages;
         wire.bytes_sent += snap.bytes_sent;
+        wire.baseline_bytes += snap.baseline_bytes;
         wire.retransmissions += snap.retransmissions;
         wire.re_acks += snap.re_acks;
         wire.pooled_buffers_high_water = wire
@@ -587,6 +591,7 @@ pub fn run_distributed_batch_traced(
         frames_sent: wire.frames_sent,
         logical_messages: wire.logical_messages,
         bytes_sent: wire.bytes_sent,
+        baseline_bytes: wire.baseline_bytes,
         groups: groups.len() as u32,
     })
 }
@@ -735,12 +740,18 @@ impl NodeWorker {
 
     /// Runs one hop of the local algorithm: consumes `incoming`, records
     /// the step, and returns the vector to forward to the successor.
+    ///
+    /// `scratch` is the hop kernel's working memory; drivers keep one per
+    /// thread (shared across all batch entries and pipeline slots) so the
+    /// hot loop never allocates a merge or tail buffer. The scratch never
+    /// carries state between hops, so sharing cannot perturb transcripts.
     pub(crate) fn advance(
         &mut self,
         round: u32,
         position: RingPosition,
         node: NodeId,
         incoming: TopKVector,
+        scratch: &mut TopkScratch,
     ) -> Result<TopKVector, ProtocolError> {
         let domain = self.config.domain();
         let probability = self.config.schedule().probability(round);
@@ -756,7 +767,7 @@ impl NodeWorker {
                 (TopKVector::from_sorted(vec![step.output])?, step.action)
             }
             AlgorithmKind::TopK => {
-                let step = topk_step(
+                let outcome = topk_step_scratch(
                     &mut self.rng,
                     probability,
                     &incoming,
@@ -764,9 +775,11 @@ impl NodeWorker {
                     self.has_inserted,
                     self.config.delta(),
                     &domain,
+                    scratch,
                 )?;
-                self.has_inserted = step.has_inserted;
-                (step.output, step.action)
+                self.has_inserted = outcome.has_inserted;
+                let out = outcome.output.unwrap_or_else(|| incoming.clone());
+                (out, outcome.action)
             }
         };
         self.steps.push(StepRecord {
@@ -836,6 +849,7 @@ fn worker(
         }
     };
 
+    let mut scratch = TopkScratch::new();
     for round in 1..=rounds {
         if crash_at == Some(round) {
             // Simulated node failure: die silently, mid-protocol.
@@ -853,7 +867,7 @@ fn worker(
             recv_token(&mut endpoint, &recorder, expect)?
         };
         let step_started = recorder.clock();
-        let outgoing = state.advance(round, position, me, incoming)?;
+        let outgoing = state.advance(round, position, me, incoming, &mut scratch)?;
         recorder.record(
             Phase::Step,
             my_ctx.with_round(round).with_hop(position.get() as u32),
@@ -1018,6 +1032,9 @@ fn batch_worker(
         }
     };
 
+    // One hop-kernel scratch shared across all B entries of the group:
+    // per-entry state lives in the jobs, the merge/tail buffers do not.
+    let mut scratch = TopkScratch::new();
     for round in 1..=rounds {
         let incomings: Vec<TopKVector> = if round == 1 && position.is_start() {
             jobs.iter().map(NodeWorker::floor).collect()
@@ -1033,7 +1050,7 @@ fn batch_worker(
         let mut outgoing_vectors = Vec::with_capacity(width);
         for ((slot, job), incoming) in jobs.iter_mut().enumerate().zip(incomings) {
             let step_started = recorder.clock();
-            outgoing_vectors.push(job.advance(round, position, me, incoming)?);
+            outgoing_vectors.push(job.advance(round, position, me, incoming, &mut scratch)?);
             recorder.record(
                 Phase::Step,
                 my_ctx
@@ -1352,6 +1369,46 @@ mod tests {
         // message per frame.
         assert_eq!(batch.frames_sent, solo.messages_sent);
         assert_eq!(batch.logical_messages, solo.messages_sent);
+    }
+
+    #[test]
+    fn compact_b64_mean_frame_under_budget() {
+        // Frame-budget smoke, run by name from scripts/ci.sh: the B=64
+        // sweep shape of the throughput bench (n = 6, k = 4, 8 rounds)
+        // previously averaged 2312.6 B per frame under the fixed-width
+        // codec; the compact codec must stay under half of that.
+        use rand::Rng;
+        let (n, k) = (6, 4);
+        let domain = ValueDomain::paper_default();
+        let mut rng = privtopk_domain::rng::SeedSpec::new(24301).rng();
+        let locals: Vec<TopKVector> = (0..n)
+            .map(|_| {
+                let values: Vec<Value> = (0..k)
+                    .map(|_| Value::new(rng.gen_range(domain.as_range())))
+                    .collect();
+                TopKVector::from_values(k, values, &domain).unwrap()
+            })
+            .collect();
+        let config = ProtocolConfig::topk(k).with_rounds(RoundPolicy::Fixed(8));
+        let jobs: Vec<BatchJob> = (0..64u64)
+            .map(|q| {
+                BatchJob::new(
+                    config.clone(),
+                    locals.clone(),
+                    crate::derive_batch_seed(24301, q),
+                )
+            })
+            .collect();
+        let out = run_distributed_batch(&jobs, NetworkKind::InMemory).unwrap();
+        let mean = out.bytes_sent as f64 / out.frames_sent as f64;
+        assert!(
+            mean < 1156.3,
+            "B=64 mean frame {mean:.1} B exceeds the 50% compact budget"
+        );
+        assert!(
+            out.baseline_bytes > out.bytes_sent,
+            "baseline accounting must show the codec saving"
+        );
     }
 
     #[test]

@@ -67,5 +67,7 @@ pub use engine::{run_simulated_batch, run_simulated_batch_traced, true_topk, Sim
 pub use error::ProtocolError;
 pub use messages::{BatchMessage, SlotMessage, TokenMessage, MAX_BATCH_ENTRIES};
 pub use schedule::Schedule;
-pub use service::{QueryTicket, ServiceOutcome, ServiceRuntime, ServiceStats, ServiceStatsHandle};
+pub use service::{
+    QueryTicket, ServiceOutcome, ServiceRuntime, ServiceStats, ServiceStatsHandle, ShardedService,
+};
 pub use transcript::{StepRecord, Transcript};

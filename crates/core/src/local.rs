@@ -120,11 +120,14 @@ pub struct TopkStepOutcome {
 }
 
 /// Reusable working memory for [`topk_step_scratch`], so a driver running
-/// many steps (the simulation engine runs `n × rounds` of them per trial)
-/// does not allocate a merge buffer per hop.
+/// many steps (the simulation engine runs `n × rounds` of them per hop,
+/// and batched drivers share one scratch across all B entries of a group)
+/// does not allocate per hop. Both buffers are flat `Value` (= `i64`)
+/// arrays the merge and tail loops sweep over linearly.
 #[derive(Debug, Default)]
 pub struct TopkScratch {
     merged: Vec<Value>,
+    tail: Vec<Value>,
 }
 
 impl TopkScratch {
@@ -256,11 +259,14 @@ pub fn topk_step_scratch<R: Rng + ?Sized>(
         .get(k - m + 1)
         .expect("k - m + 1 is within 1..=k because 0 < m <= k"); // G_{i-1}(r)[k-m+1]
     let lower = kth_real.saturating_sub(delta).min(prefix_anchor);
-    let mut tail = Vec::with_capacity(m);
+    scratch.tail.clear();
+    scratch.tail.reserve(m);
     for _ in 0..m {
-        tail.push(domain.sample_half_open(rng, lower, kth_real)?);
+        scratch
+            .tail
+            .push(domain.sample_half_open(rng, lower, kth_real)?);
     }
-    let output = TopKVector::with_randomized_tail(incoming, m, tail)?;
+    let output = TopKVector::with_randomized_tail_from(incoming, m, &mut scratch.tail)?;
     Ok(TopkStepOutcome {
         output: Some(output),
         action: LocalAction::Randomized,

@@ -1,9 +1,35 @@
 //! Wire messages exchanged by the distributed protocol drivers.
+//!
+//! Two generations of frame layout coexist behind distinct tags:
+//!
+//! | tag | message              | layout                                        |
+//! |-----|----------------------|-----------------------------------------------|
+//! | 1   | token (legacy)       | `u32` round, `u32` k + `i64` values           |
+//! | 2   | finished (legacy)    | `u32` k + `i64` values                        |
+//! | 3   | batch tokens (legacy)| `u32` round, `u32` len, legacy vectors        |
+//! | 4   | batch fin. (legacy)  | `u32` len, legacy vectors                     |
+//! | 5   | slot (legacy)        | `u64` query, legacy token                     |
+//! | 6   | token (compact)      | varint round, compact vector                  |
+//! | 7   | finished (compact)   | compact vector                                |
+//! | 8   | batch tokens (comp.) | varint round, varint len, compact vectors     |
+//! | 9   | batch fin. (comp.)   | varint len, compact vectors                   |
+//! | 10  | slot (compact)       | varint query, compact token                   |
+//!
+//! A *compact vector* is the sort-exploiting delta layout of
+//! [`put_topk_compact`]: varint k, zigzag-varint first value, then
+//! unsigned varint descending deltas. Encoders emit the compact tags;
+//! decoders accept both generations, so frames recorded by earlier
+//! builds (and mixed-version rings) keep decoding. The legacy layout
+//! stays reachable through the `encode_legacy` methods for exactly that
+//! compatibility surface, and its per-message size is what the
+//! transport accounts as pre-compression baseline bytes.
 
 use bytes::{BufMut, BytesMut};
 
 use privtopk_domain::TopKVector;
-use privtopk_ring::wire::{WireDecode, WireEncode};
+use privtopk_ring::wire::{
+    get_topk_compact, get_uvarint, put_topk_compact, put_uvarint, WireDecode, WireEncode,
+};
 use privtopk_ring::RingError;
 
 /// A message circulating on the ring.
@@ -30,6 +56,16 @@ const TAG_FINISHED: u8 = 2;
 const TAG_BATCH_TOKENS: u8 = 3;
 const TAG_BATCH_FINISHED: u8 = 4;
 const TAG_SLOT: u8 = 5;
+const TAG_TOKEN_COMPACT: u8 = 6;
+const TAG_FINISHED_COMPACT: u8 = 7;
+const TAG_BATCH_TOKENS_COMPACT: u8 = 8;
+const TAG_BATCH_FINISHED_COMPACT: u8 = 9;
+const TAG_SLOT_COMPACT: u8 = 10;
+
+/// Legacy fixed-width footprint of a [`TopKVector`]: `u32` k + `i64`s.
+fn legacy_vector_len(vector: &TopKVector) -> usize {
+    4 + 8 * vector.k()
+}
 
 /// Hard cap on the number of piggybacked queries in one [`BatchMessage`].
 ///
@@ -38,8 +74,11 @@ const TAG_SLOT: u8 = 5;
 /// can trigger during decode.
 pub const MAX_BATCH_ENTRIES: usize = 4096;
 
-impl WireEncode for TokenMessage {
-    fn encode(&self, buf: &mut BytesMut) {
+impl TokenMessage {
+    /// Encodes in the legacy fixed-width layout (tags 1/2), exactly as
+    /// pre-compact builds framed every hop. Kept for cross-version
+    /// compatibility tests and recorded-frame replay.
+    pub fn encode_legacy(&self, buf: &mut BytesMut) {
         match self {
             TokenMessage::Token { round, vector } => {
                 buf.put_u8(TAG_TOKEN);
@@ -54,6 +93,29 @@ impl WireEncode for TokenMessage {
     }
 }
 
+impl WireEncode for TokenMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            TokenMessage::Token { round, vector } => {
+                buf.put_u8(TAG_TOKEN_COMPACT);
+                put_uvarint(buf, u64::from(*round));
+                put_topk_compact(buf, vector);
+            }
+            TokenMessage::Finished { vector } => {
+                buf.put_u8(TAG_FINISHED_COMPACT);
+                put_topk_compact(buf, vector);
+            }
+        }
+    }
+
+    fn baseline_len(&self) -> Option<usize> {
+        Some(match self {
+            TokenMessage::Token { vector, .. } => 1 + 4 + legacy_vector_len(vector),
+            TokenMessage::Finished { vector } => 1 + legacy_vector_len(vector),
+        })
+    }
+}
+
 impl WireDecode for TokenMessage {
     fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         let tag = u8::decode(buf)?;
@@ -65,11 +127,25 @@ impl WireDecode for TokenMessage {
             TAG_FINISHED => Ok(TokenMessage::Finished {
                 vector: TopKVector::decode(buf)?,
             }),
+            TAG_TOKEN_COMPACT => Ok(TokenMessage::Token {
+                round: decode_round(buf)?,
+                vector: get_topk_compact(buf)?,
+            }),
+            TAG_FINISHED_COMPACT => Ok(TokenMessage::Finished {
+                vector: get_topk_compact(buf)?,
+            }),
             _ => Err(RingError::Decode {
                 reason: "unknown token message tag",
             }),
         }
     }
+}
+
+/// Reads a varint-encoded round number, rejecting values beyond `u32`.
+fn decode_round(buf: &mut &[u8]) -> Result<u32, RingError> {
+    u32::try_from(get_uvarint(buf)?).map_err(|_| RingError::Decode {
+        reason: "round number exceeds u32",
+    })
 }
 
 /// A service-runtime frame: one query's [`TokenMessage`] tagged with the
@@ -88,24 +164,44 @@ pub struct SlotMessage {
     pub inner: TokenMessage,
 }
 
-impl WireEncode for SlotMessage {
-    fn encode(&self, buf: &mut BytesMut) {
+impl SlotMessage {
+    /// Encodes in the legacy layout (tag 5 wrapping a legacy token).
+    pub fn encode_legacy(&self, buf: &mut BytesMut) {
         buf.put_u8(TAG_SLOT);
         self.query.encode(buf);
+        self.inner.encode_legacy(buf);
+    }
+}
+
+impl WireEncode for SlotMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(TAG_SLOT_COMPACT);
+        put_uvarint(buf, self.query);
         self.inner.encode(buf);
+    }
+
+    fn baseline_len(&self) -> Option<usize> {
+        Some(1 + 8 + self.inner.baseline_len().unwrap_or(0))
     }
 }
 
 impl WireDecode for SlotMessage {
     fn decode(buf: &mut &[u8]) -> Result<Self, RingError> {
         let tag = u8::decode(buf)?;
-        if tag != TAG_SLOT {
-            return Err(RingError::Decode {
-                reason: "unknown slot message tag",
-            });
-        }
+        let query = match tag {
+            TAG_SLOT => u64::decode(buf)?,
+            TAG_SLOT_COMPACT => get_uvarint(buf)?,
+            _ => {
+                return Err(RingError::Decode {
+                    reason: "unknown slot message tag",
+                })
+            }
+        };
+        // The inner decoder accepts both generations, so a legacy slot
+        // wrapping a legacy token and a compact slot wrapping a compact
+        // token both land here.
         Ok(SlotMessage {
-            query: u64::decode(buf)?,
+            query,
             inner: TokenMessage::decode(buf)?,
         })
     }
@@ -155,21 +251,51 @@ impl BatchMessage {
 
 fn decode_batch_vectors(buf: &mut &[u8]) -> Result<Vec<TopKVector>, RingError> {
     let vectors = Vec::<TopKVector>::decode(buf)?;
-    if vectors.is_empty() {
+    validate_batch_len(vectors.len())?;
+    Ok(vectors)
+}
+
+fn decode_batch_vectors_compact(buf: &mut &[u8]) -> Result<Vec<TopKVector>, RingError> {
+    let len = get_uvarint(buf)? as usize;
+    validate_batch_len(len)?;
+    // Each compact vector costs at least two bytes (k + first value), so
+    // the cap plus this bound keep adversarial lengths from allocating.
+    if len * 2 > buf.len() {
         return Err(RingError::Decode {
-            reason: "batch message with zero entries",
+            reason: "batch entry count exceeds frame",
         });
     }
-    if vectors.len() > MAX_BATCH_ENTRIES {
-        return Err(RingError::Decode {
-            reason: "batch message exceeds entry cap",
-        });
+    let mut vectors = Vec::with_capacity(len);
+    for _ in 0..len {
+        vectors.push(get_topk_compact(buf)?);
     }
     Ok(vectors)
 }
 
-impl WireEncode for BatchMessage {
-    fn encode(&self, buf: &mut BytesMut) {
+fn validate_batch_len(len: usize) -> Result<(), RingError> {
+    if len == 0 {
+        return Err(RingError::Decode {
+            reason: "batch message with zero entries",
+        });
+    }
+    if len > MAX_BATCH_ENTRIES {
+        return Err(RingError::Decode {
+            reason: "batch message exceeds entry cap",
+        });
+    }
+    Ok(())
+}
+
+fn put_batch_vectors_compact(buf: &mut BytesMut, vectors: &[TopKVector]) {
+    put_uvarint(buf, vectors.len() as u64);
+    for vector in vectors {
+        put_topk_compact(buf, vector);
+    }
+}
+
+impl BatchMessage {
+    /// Encodes in the legacy fixed-width layout (tags 3/4).
+    pub fn encode_legacy(&self, buf: &mut BytesMut) {
         match self {
             BatchMessage::Tokens { round, vectors } => {
                 buf.put_u8(TAG_BATCH_TOKENS);
@@ -181,6 +307,36 @@ impl WireEncode for BatchMessage {
                 vectors.encode(buf);
             }
         }
+    }
+
+    fn vectors(&self) -> &[TopKVector] {
+        match self {
+            BatchMessage::Tokens { vectors, .. } | BatchMessage::Finished { vectors } => vectors,
+        }
+    }
+}
+
+impl WireEncode for BatchMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            BatchMessage::Tokens { round, vectors } => {
+                buf.put_u8(TAG_BATCH_TOKENS_COMPACT);
+                put_uvarint(buf, u64::from(*round));
+                put_batch_vectors_compact(buf, vectors);
+            }
+            BatchMessage::Finished { vectors } => {
+                buf.put_u8(TAG_BATCH_FINISHED_COMPACT);
+                put_batch_vectors_compact(buf, vectors);
+            }
+        }
+    }
+
+    fn baseline_len(&self) -> Option<usize> {
+        let body: usize = self.vectors().iter().map(legacy_vector_len).sum();
+        Some(match self {
+            BatchMessage::Tokens { .. } => 1 + 4 + 4 + body,
+            BatchMessage::Finished { .. } => 1 + 4 + body,
+        })
     }
 }
 
@@ -197,6 +353,16 @@ impl WireDecode for BatchMessage {
             }
             TAG_BATCH_FINISHED => Ok(BatchMessage::Finished {
                 vectors: decode_batch_vectors(buf)?,
+            }),
+            TAG_BATCH_TOKENS_COMPACT => {
+                let round = decode_round(buf)?;
+                Ok(BatchMessage::Tokens {
+                    round,
+                    vectors: decode_batch_vectors_compact(buf)?,
+                })
+            }
+            TAG_BATCH_FINISHED_COMPACT => Ok(BatchMessage::Finished {
+                vectors: decode_batch_vectors_compact(buf)?,
             }),
             _ => Err(RingError::Decode {
                 reason: "unknown batch message tag",
@@ -339,5 +505,136 @@ mod tests {
             vectors: vec![vector(); b],
         });
         assert!(batch.len() < b * solo.len());
+    }
+
+    fn encode_legacy_token(msg: &TokenMessage) -> Bytes {
+        let mut buf = BytesMut::new();
+        msg.encode_legacy(&mut buf);
+        buf.freeze()
+    }
+
+    #[test]
+    fn compact_reader_accepts_legacy_frames() {
+        // Cross-decode: frames recorded by pre-compact builds (tags 1-5)
+        // must keep decoding to the same values the new encoder round-trips.
+        let token = TokenMessage::Token {
+            round: 7,
+            vector: vector(),
+        };
+        assert_eq!(
+            decode_from_bytes::<TokenMessage>(&encode_legacy_token(&token)).unwrap(),
+            token
+        );
+        let finished = TokenMessage::Finished { vector: vector() };
+        assert_eq!(
+            decode_from_bytes::<TokenMessage>(&encode_legacy_token(&finished)).unwrap(),
+            finished
+        );
+        let slot = SlotMessage {
+            query: 123,
+            inner: token.clone(),
+        };
+        let mut buf = BytesMut::new();
+        slot.encode_legacy(&mut buf);
+        assert_eq!(
+            decode_from_bytes::<SlotMessage>(&buf.freeze()).unwrap(),
+            slot
+        );
+        let batch = BatchMessage::Tokens {
+            round: 2,
+            vectors: vec![vector(); 3],
+        };
+        let mut buf = BytesMut::new();
+        batch.encode_legacy(&mut buf);
+        assert_eq!(
+            decode_from_bytes::<BatchMessage>(&buf.freeze()).unwrap(),
+            batch
+        );
+    }
+
+    #[test]
+    fn compact_frames_undercut_legacy_and_report_baseline() {
+        let token = TokenMessage::Token {
+            round: 7,
+            vector: vector(),
+        };
+        let compact = encode_to_bytes(&token);
+        let legacy = encode_legacy_token(&token);
+        assert!(compact.len() < legacy.len());
+        assert_eq!(token.baseline_len(), Some(legacy.len()));
+
+        let batch = BatchMessage::Tokens {
+            round: 4,
+            vectors: vec![vector(); 64],
+        };
+        let compact = encode_to_bytes(&batch);
+        let mut buf = BytesMut::new();
+        batch.encode_legacy(&mut buf);
+        let legacy = buf.freeze();
+        assert!(
+            compact.len() * 2 < legacy.len(),
+            "compact batch ({}) must at least halve the legacy batch ({})",
+            compact.len(),
+            legacy.len()
+        );
+        assert_eq!(batch.baseline_len(), Some(legacy.len()));
+
+        let slot = SlotMessage {
+            query: 9,
+            inner: token,
+        };
+        let mut buf = BytesMut::new();
+        slot.encode_legacy(&mut buf);
+        assert_eq!(slot.baseline_len(), Some(buf.len()));
+    }
+
+    #[test]
+    fn compact_golden_bytes() {
+        // Pinned byte-for-byte so the compact layout cannot drift
+        // silently: tag 6, varint round 7, k = 3, zigzag(9) = 18, then
+        // descending deltas 4 and 0 for values [9, 5, 5].
+        let token = TokenMessage::Token {
+            round: 7,
+            vector: vector(),
+        };
+        assert_eq!(encode_to_bytes(&token).as_ref(), &[6, 7, 3, 18, 4, 0]);
+
+        // Tag 8, varint round 300 (0xAC 0x02), varint len 2, two compact
+        // vectors.
+        let batch = BatchMessage::Tokens {
+            round: 300,
+            vectors: vec![vector(); 2],
+        };
+        assert_eq!(
+            encode_to_bytes(&batch).as_ref(),
+            &[8, 0xAC, 0x02, 2, 3, 18, 4, 0, 3, 18, 4, 0]
+        );
+
+        // Tag 10, varint query, then the compact finished token (tag 7).
+        let slot = SlotMessage {
+            query: 5,
+            inner: TokenMessage::Finished { vector: vector() },
+        };
+        assert_eq!(encode_to_bytes(&slot).as_ref(), &[10, 5, 7, 3, 18, 4, 0]);
+    }
+
+    #[test]
+    fn compact_empty_batch_rejected() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u8(8); // compact batch-tokens tag
+        buf.put_u8(3); // round
+        buf.put_u8(0); // zero entries
+        assert!(decode_from_bytes::<BatchMessage>(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn compact_batch_length_lie_rejected() {
+        // An entry count that cannot fit in the remaining payload must be
+        // refused before allocation, not trusted.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u8(8);
+        buf.put_u8(1); // round
+        buf.put_u8(200); // claims 200 entries, no payload follows
+        assert!(decode_from_bytes::<BatchMessage>(&buf.freeze()).is_err());
     }
 }

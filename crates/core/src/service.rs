@@ -34,12 +34,13 @@ use privtopk_domain::{NodeId, RingPosition, TopKVector};
 use privtopk_observe::{Ctx, Histogram, HistogramSnapshot, Phase, Recorder};
 use privtopk_ring::transport::{send_value_traced, FramePool, Transport};
 use privtopk_ring::wire::decode_from_bytes;
-use privtopk_ring::{RingError, RingTopology, TransportMetrics};
+use privtopk_ring::{MetricsSnapshot, RingError, RingTopology, TransportMetrics};
 
 use crate::distributed::{
     build_endpoints, derive_topology, drain_endpoint, drain_window, NetworkKind, NodeWorker,
     WorkerReport, RECV_TIMEOUT,
 };
+use crate::local::TopkScratch;
 use crate::messages::SlotMessage;
 use crate::{ProtocolConfig, ProtocolError, StepRecord, TokenMessage, Transcript};
 
@@ -191,6 +192,10 @@ struct ServiceWorker {
     slots: HashMap<u64, SlotState>,
     draining: bool,
     recorder: Recorder,
+    /// Hop-kernel working memory, shared across every in-flight slot:
+    /// the scratch carries no state between hops, so pipelined queries
+    /// cannot perturb each other's transcripts through it.
+    scratch: TopkScratch,
 }
 
 impl ServiceWorker {
@@ -314,7 +319,9 @@ impl ServiceWorker {
         if position.is_start() {
             let incoming = slot.state.floor();
             let step_started = self.recorder.clock();
-            let outgoing = slot.state.advance(1, position, self.me, incoming)?;
+            let outgoing = slot
+                .state
+                .advance(1, position, self.me, incoming, &mut self.scratch)?;
             self.recorder.record(
                 Phase::Step,
                 self.ctx()
@@ -436,9 +443,13 @@ impl ServiceWorker {
             SlotPhase::AwaitToken { expect, compute } => {
                 let incoming = expect_token(msg, expect)?;
                 let step_started = self.recorder.clock();
-                let outgoing = slot
-                    .state
-                    .advance(compute, slot.position, self.me, incoming)?;
+                let outgoing = slot.state.advance(
+                    compute,
+                    slot.position,
+                    self.me,
+                    incoming,
+                    &mut self.scratch,
+                )?;
                 self.recorder.record(
                     Phase::Step,
                     self.ctx()
@@ -625,6 +636,7 @@ impl ServiceStatsHandle {
             frames_sent: wire.frames_sent,
             logical_messages: wire.logical_messages,
             bytes_sent: wire.bytes_sent,
+            baseline_bytes: wire.baseline_bytes,
             pooled_buffers_high_water: wire.pooled_buffers_high_water,
             retransmissions: wire.retransmissions,
             re_acks: wire.re_acks,
@@ -659,6 +671,9 @@ pub struct ServiceStats {
     pub logical_messages: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Pre-compression payload bytes: what the same frames would have
+    /// cost under the legacy fixed-width codec.
+    pub baseline_bytes: u64,
     /// Lifetime frame-pool high-water mark.
     pub pooled_buffers_high_water: u64,
     /// Frames retransmitted by the reliability layer (lossy networks).
@@ -740,6 +755,7 @@ impl ServiceRuntime {
                 slots: HashMap::new(),
                 draining: false,
                 recorder: recorder.clone(),
+                scratch: TopkScratch::new(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("privtopk-svc-{i}"))
@@ -1044,6 +1060,181 @@ fn assemble(n: usize, meta: &QueryMeta, mut reports: Vec<WorkerReport>) -> Servi
     }
 }
 
+/// `W` independent standing federations answering one workload across
+/// cores.
+///
+/// Each shard is a full [`ServiceRuntime`] — its own ring of node
+/// workers over its own network — and queries are slotted onto shards
+/// deterministically by workload index (`query i` runs on shard
+/// `i mod W`, the same slotting the experiment harness's trial pool
+/// uses). A query's transcript depends only on `(locals, config, seed)`,
+/// never on which shard ran it or what else was in flight, so every
+/// transcript stays bit-identical to a solo [`ServiceRuntime`] run.
+///
+/// `W = 1` degenerates to a plain [`ServiceRuntime`]; on a multi-core
+/// host, `W` shards of depth `d` keep `W × d` queries in flight.
+pub struct ShardedService {
+    shards: Vec<ServiceRuntime>,
+}
+
+impl ShardedService {
+    /// Starts `workers` independent shards, each a standing ring over
+    /// its own `network` with pipeline `depth`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidService`] for a zero `workers`, plus
+    /// everything [`ServiceRuntime::start`] can return.
+    pub fn start(
+        locals: &[TopKVector],
+        network: NetworkKind,
+        depth: usize,
+        workers: usize,
+    ) -> Result<ShardedService, ProtocolError> {
+        Self::start_traced(locals, network, depth, workers, Recorder::disabled())
+    }
+
+    /// [`start`](Self::start) with telemetry; all shards share the one
+    /// recorder.
+    ///
+    /// # Errors
+    ///
+    /// As for [`start`](Self::start).
+    pub fn start_traced(
+        locals: &[TopKVector],
+        network: NetworkKind,
+        depth: usize,
+        workers: usize,
+        recorder: Recorder,
+    ) -> Result<ShardedService, ProtocolError> {
+        if workers == 0 {
+            return Err(ProtocolError::InvalidService {
+                reason: "worker count must be at least 1",
+            });
+        }
+        let shards = (0..workers)
+            .map(|_| ServiceRuntime::start_traced(locals, network, depth, recorder.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedService { shards })
+    }
+
+    /// Number of shards (independent standing rings).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pipeline depth of each shard.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.shards[0].depth()
+    }
+
+    /// Sums the shards' live wire counters into one snapshot (without
+    /// draining any of them).
+    #[must_use]
+    pub fn wire_totals(&self) -> MetricsSnapshot {
+        let mut total = MetricsSnapshot::default();
+        for shard in &self.shards {
+            let snap = shard.metrics().peek();
+            total.frames_sent += snap.frames_sent;
+            total.logical_messages += snap.logical_messages;
+            total.bytes_sent += snap.bytes_sent;
+            total.baseline_bytes += snap.baseline_bytes;
+            total.pooled_buffers_high_water += snap.pooled_buffers_high_water;
+            total.retransmissions += snap.retransmissions;
+            total.re_acks += snap.re_acks;
+        }
+        total
+    }
+
+    /// Per-shard service stats, indexed by shard.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ServiceStats> {
+        self.shards.iter().map(ServiceRuntime::stats).collect()
+    }
+
+    /// Runs a workload across the shards, returning outcomes in
+    /// workload order.
+    ///
+    /// One scheduler thread per shard submits and collects that shard's
+    /// slice of the workload; results land in their original positions.
+    ///
+    /// # Errors
+    ///
+    /// The first submission or per-query error from any shard.
+    pub fn run_workload(
+        &mut self,
+        queries: &[(ProtocolConfig, u64)],
+    ) -> Result<Vec<ServiceOutcome>, ProtocolError> {
+        let w = self.shards.len();
+        if w == 1 {
+            return self.shards[0].run_workload(queries);
+        }
+        let mut slots: Vec<Option<ServiceOutcome>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        let per_shard: Vec<Result<Vec<(usize, ServiceOutcome)>, ProtocolError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(s, shard)| {
+                        scope.spawn(move || {
+                            let mut tickets = Vec::new();
+                            for (i, (config, seed)) in queries.iter().enumerate() {
+                                if i % w == s {
+                                    tickets.push((i, shard.submit(config, *seed)?));
+                                }
+                            }
+                            tickets
+                                .into_iter()
+                                .map(|(i, ticket)| Ok((i, shard.collect(ticket)?)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(position, handle)| {
+                        handle
+                            .join()
+                            .unwrap_or(Err(ProtocolError::WorkerFailed { position }))
+                    })
+                    .collect()
+            });
+        for shard_results in per_shard {
+            for (i, outcome) in shard_results? {
+                slots[i] = Some(outcome);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("slotting covers every workload index"))
+            .collect())
+    }
+
+    /// Shuts every shard down, draining in-flight queries and joining
+    /// all worker threads.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ProtocolError::WorkerFailed`] from any shard.
+    pub fn shutdown(self) -> Result<(), ProtocolError> {
+        let mut first_error = None;
+        for shard in self.shards {
+            if let Err(error) = shard.shutdown() {
+                first_error.get_or_insert(error);
+            }
+        }
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1334,5 +1525,46 @@ mod tests {
         }
         // Never collected: shutdown must still drain and join cleanly.
         service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn sharded_service_matches_solo_transcripts() {
+        // The multi-core identity gate: every query run through a
+        // two-shard service must produce the byte-for-byte transcript a
+        // solo depth-1 runtime produces for the same (locals, cfg, seed).
+        let locals = locals(5, 3, 33);
+        let cfg = config(3);
+        let workload: Vec<(ProtocolConfig, u64)> =
+            (0..6u64).map(|seed| (cfg.clone(), 100 + seed)).collect();
+        let mut sharded = ShardedService::start(&locals, NetworkKind::InMemory, 2, 2).unwrap();
+        assert_eq!(sharded.workers(), 2);
+        assert_eq!(sharded.depth(), 2);
+        let outcomes = sharded.run_workload(&workload).unwrap();
+        assert_eq!(outcomes.len(), workload.len());
+        let totals = sharded.wire_totals();
+        assert!(totals.frames_sent > 0);
+        assert!(
+            totals.baseline_bytes > totals.bytes_sent,
+            "compact codec must undercut the legacy baseline"
+        );
+        assert_eq!(sharded.shard_stats().len(), 2);
+        sharded.shutdown().unwrap();
+
+        let mut solo = ServiceRuntime::start(&locals, NetworkKind::InMemory, 1).unwrap();
+        for (outcome, (config, seed)) in outcomes.iter().zip(&workload) {
+            let reference = solo.run(config, *seed).unwrap();
+            assert_eq!(outcome.transcript, reference.transcript);
+            assert_eq!(outcome.per_node_results, reference.per_node_results);
+        }
+        solo.shutdown().unwrap();
+    }
+
+    #[test]
+    fn sharded_service_rejects_zero_workers() {
+        let locals = locals(4, 2, 3);
+        assert!(matches!(
+            ShardedService::start(&locals, NetworkKind::InMemory, 1, 0),
+            Err(ProtocolError::InvalidService { .. })
+        ));
     }
 }

@@ -1,0 +1,146 @@
+//! Property-based tests pinning the compact wire codec to the legacy
+//! one: every frame a legacy writer produces must decode identically to
+//! its compact twin, varints must reject malformed input, and the
+//! compact encoding must never lose a value. `scripts/ci.sh` runs this
+//! file by name so a test filter cannot silently drop it.
+
+use bytes::BytesMut;
+use privtopk_core::{BatchMessage, SlotMessage, TokenMessage};
+use privtopk_domain::{TopKVector, Value, ValueDomain};
+use privtopk_ring::wire::{
+    decode_from_bytes, encode_to_bytes, get_topk_compact, get_uvarint, put_topk_compact,
+    put_uvarint, unzigzag, uvarint_len, zigzag,
+};
+use proptest::prelude::*;
+
+fn domain() -> ValueDomain {
+    ValueDomain::paper_default()
+}
+
+fn arb_vector() -> impl Strategy<Value = TopKVector> {
+    (1usize..=8, prop::collection::vec(1i64..=10_000, 1..=8)).prop_map(|(k, vals)| {
+        TopKVector::from_values(k, vals.into_iter().map(Value::new), &domain()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// LEB128 varints roundtrip every u64 at their predicted width.
+    #[test]
+    fn uvarint_roundtrips(v in any::<u64>()) {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, v);
+        prop_assert_eq!(buf.len(), uvarint_len(v));
+        let mut slice = &buf[..];
+        prop_assert_eq!(get_uvarint(&mut slice).unwrap(), v);
+        prop_assert!(slice.is_empty(), "decoder must consume the whole varint");
+    }
+
+    /// A truncated varint is rejected, never misread: chopping any
+    /// non-empty suffix off a continuation-carrying encoding errors.
+    #[test]
+    fn truncated_uvarint_rejected(v in 0x80u64..=u64::MAX, cut in 1usize..10) {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, v);
+        let cut = cut.min(buf.len() - 1).max(1);
+        let mut slice = &buf[..buf.len() - cut];
+        prop_assert!(get_uvarint(&mut slice).is_err());
+    }
+
+    /// Zigzag is a bijection on i64.
+    #[test]
+    fn zigzag_roundtrips(v in any::<i64>()) {
+        prop_assert_eq!(unzigzag(zigzag(v)), v);
+    }
+
+    /// The delta-compact top-k layout roundtrips arbitrary domain
+    /// vectors and never exceeds the legacy fixed-width size.
+    #[test]
+    fn compact_topk_roundtrips(v in arb_vector()) {
+        let mut buf = BytesMut::new();
+        put_topk_compact(&mut buf, &v);
+        let legacy = 4 + 8 * v.k();
+        prop_assert!(buf.len() <= legacy, "compact {} > legacy {legacy}", buf.len());
+        let mut slice = &buf[..];
+        prop_assert_eq!(get_topk_compact(&mut slice).unwrap(), v);
+    }
+
+    /// Cross-decode: the reader accepts the legacy tags 1/2 and the
+    /// compact tags 6/7 for the same token, yielding equal messages.
+    #[test]
+    fn token_old_and_new_tags_decode_identically(
+        round in 1u32..=64,
+        vector in arb_vector(),
+        finished in any::<bool>(),
+    ) {
+        let msg = if finished {
+            TokenMessage::Finished { vector }
+        } else {
+            TokenMessage::Token { round, vector }
+        };
+        let mut legacy = BytesMut::new();
+        msg.encode_legacy(&mut legacy);
+        let compact = encode_to_bytes(&msg);
+        prop_assert!(compact.len() < legacy.len());
+        let from_legacy: TokenMessage = decode_from_bytes(&legacy.freeze()).unwrap();
+        let from_compact: TokenMessage = decode_from_bytes(&compact).unwrap();
+        prop_assert_eq!(&from_legacy, &msg);
+        prop_assert_eq!(&from_compact, &msg);
+    }
+
+    /// Cross-decode for batch frames (tags 3/4 vs 8/9).
+    #[test]
+    fn batch_old_and_new_tags_decode_identically(
+        round in 1u32..=64,
+        vectors in prop::collection::vec(arb_vector(), 1..=6),
+        finished in any::<bool>(),
+    ) {
+        let msg = if finished {
+            BatchMessage::Finished { vectors }
+        } else {
+            BatchMessage::Tokens { round, vectors }
+        };
+        let mut legacy = BytesMut::new();
+        msg.encode_legacy(&mut legacy);
+        let compact = encode_to_bytes(&msg);
+        prop_assert!(compact.len() < legacy.len());
+        let from_legacy: BatchMessage = decode_from_bytes(&legacy.freeze()).unwrap();
+        let from_compact: BatchMessage = decode_from_bytes(&compact).unwrap();
+        prop_assert_eq!(&from_legacy, &msg);
+        prop_assert_eq!(&from_compact, &msg);
+    }
+
+    /// Cross-decode for service slot frames (tag 5 vs 10).
+    #[test]
+    fn slot_old_and_new_tags_decode_identically(
+        query in any::<u64>(),
+        round in 1u32..=64,
+        vector in arb_vector(),
+    ) {
+        let msg = SlotMessage {
+            query,
+            inner: TokenMessage::Token { round, vector },
+        };
+        let mut legacy = BytesMut::new();
+        msg.encode_legacy(&mut legacy);
+        let compact = encode_to_bytes(&msg);
+        let from_legacy: SlotMessage = decode_from_bytes(&legacy.freeze()).unwrap();
+        let from_compact: SlotMessage = decode_from_bytes(&compact).unwrap();
+        prop_assert_eq!(&from_legacy, &msg);
+        prop_assert_eq!(&from_compact, &msg);
+    }
+
+    /// Truncating a compact frame anywhere past the tag never decodes:
+    /// the length and value varints notice the missing bytes.
+    #[test]
+    fn truncated_compact_frame_rejected(vector in arb_vector(), cut in 1usize..16) {
+        let msg = TokenMessage::Token { round: 3, vector };
+        let full = encode_to_bytes(&msg);
+        let cut = cut.min(full.len() - 1);
+        let r: Result<TokenMessage, _> = privtopk_ring::wire::decode_from_slice(
+            &full[..full.len() - cut],
+        );
+        prop_assert!(r.is_err());
+    }
+}

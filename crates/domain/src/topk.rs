@@ -179,26 +179,32 @@ impl TopKVector {
     /// `m = |V'_i|` — without materializing the difference.
     pub fn merge_into(&self, other: &TopKVector, out: &mut Vec<Value>) -> usize {
         out.clear();
-        let mut from_other = 0;
+        let k = self.values.len();
+        out.reserve(k);
         // Merge two descending runs (merge sort step, as the paper suggests).
+        let (a, b) = (self.values.as_slice(), other.values.as_slice());
         let (mut i, mut j) = (0, 0);
-        while out.len() < self.values.len() && (i < self.values.len() || j < other.values.len()) {
-            let take_left = match (self.values.get(i), other.values.get(j)) {
-                (Some(a), Some(b)) => a >= b,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            if take_left {
-                out.push(self.values[i]);
-                i += 1;
-            } else {
-                out.push(other.values[j]);
-                j += 1;
-                from_other += 1;
-            }
+        // Hot loop while both runs are live: the select and the index
+        // bumps are data-independent of the branch predictor, so this
+        // lowers to conditional moves the vectorizer can chew on.
+        while out.len() < k && i < a.len() && j < b.len() {
+            let take_left = a[i] >= b[j];
+            out.push(if take_left { a[i] } else { b[j] });
+            i += usize::from(take_left);
+            j += usize::from(!take_left);
         }
-        from_other
+        // Cold tails: at most one of these runs, after one side drained.
+        while out.len() < k && i < a.len() {
+            out.push(a[i]);
+            i += 1;
+        }
+        while out.len() < k && j < b.len() {
+            out.push(b[j]);
+            j += 1;
+        }
+        // Ties prefer `self`, so `j` counts exactly the entries not covered
+        // by an occurrence in `self` — Algorithm 2's contribution size `m`.
+        j
     }
 
     /// Multiset difference `self − other`: the values of `self` that are
@@ -296,6 +302,27 @@ impl TopKVector {
         m: usize,
         mut tail: Vec<Value>,
     ) -> Result<TopKVector, DomainError> {
+        Self::with_randomized_tail_from(prefix_source, m, &mut tail)
+    }
+
+    /// Scratch-reusing variant of [`TopKVector::with_randomized_tail`]:
+    /// sorts `tail` in place and drains it, so a hop loop can keep one
+    /// tail buffer alive across steps instead of allocating per hop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::MismatchedK`] if `tail.len() != m` or
+    /// `m > k` (in which case `tail` is left untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would not be sorted descending
+    /// (the caller must draw tail values at or below `prefix_source[k−m]`).
+    pub fn with_randomized_tail_from(
+        prefix_source: &TopKVector,
+        m: usize,
+        tail: &mut Vec<Value>,
+    ) -> Result<TopKVector, DomainError> {
         let k = prefix_source.k();
         if tail.len() != m || m > k {
             return Err(DomainError::MismatchedK {
@@ -306,7 +333,8 @@ impl TopKVector {
         tail.sort_unstable_by(|a, b| b.cmp(a));
         let mut values = Vec::with_capacity(k);
         values.extend_from_slice(&prefix_source.values[..k - m]);
-        values.extend_from_slice(&tail);
+        values.extend_from_slice(tail);
+        tail.clear();
         debug_assert!(
             values.windows(2).all(|w| w[0] >= w[1]),
             "randomized tail broke descending order"
@@ -536,6 +564,32 @@ mod tests {
         let g_prev = vk(3, &[30, 20, 10]);
         assert!(TopKVector::with_randomized_tail(&g_prev, 2, vec![Value::new(1)]).is_err());
         assert!(TopKVector::with_randomized_tail(&g_prev, 4, vec![Value::new(1); 4]).is_err());
+    }
+
+    #[test]
+    fn with_randomized_tail_from_drains_and_reuses_buffer() {
+        let g_prev = vk(4, &[90, 80, 70, 60]);
+        let mut tail = vec![Value::new(65), Value::new(75)];
+        let out = TopKVector::with_randomized_tail_from(&g_prev, 2, &mut tail).unwrap();
+        assert_eq!(
+            out.as_slice(),
+            &[
+                Value::new(90),
+                Value::new(80),
+                Value::new(75),
+                Value::new(65)
+            ]
+        );
+        assert!(tail.is_empty(), "tail scratch is drained for the next hop");
+        // A failed call leaves the scratch intact.
+        tail.push(Value::new(1));
+        assert!(TopKVector::with_randomized_tail_from(&g_prev, 2, &mut tail).is_err());
+        assert_eq!(tail, vec![Value::new(1)]);
+        // The owning wrapper produces the identical vector.
+        let owned =
+            TopKVector::with_randomized_tail(&g_prev, 2, vec![Value::new(65), Value::new(75)])
+                .unwrap();
+        assert_eq!(owned, out);
     }
 
     #[test]

@@ -542,8 +542,14 @@ fn render_service_metrics(recorder: &Recorder, handle: &ServiceStatsHandle) -> S
     write_counter(
         &mut body,
         "privtopk_service_bytes_sent_total",
-        "Payload bytes sent.",
+        "Payload bytes sent (post-compression wire size).",
         stats.bytes_sent,
+    );
+    write_counter(
+        &mut body,
+        "privtopk_service_baseline_bytes_total",
+        "Pre-compression payload bytes: what the legacy fixed-width codec would have sent.",
+        stats.baseline_bytes,
     );
     write_gauge(
         &mut body,
@@ -1223,6 +1229,14 @@ mod tests {
         assert_eq!(
             metric(&body, "privtopk_service_bytes_sent_total"),
             stats.bytes_sent
+        );
+        assert_eq!(
+            metric(&body, "privtopk_service_baseline_bytes_total"),
+            stats.baseline_bytes
+        );
+        assert!(
+            stats.baseline_bytes > stats.bytes_sent,
+            "compact codec must undercut the legacy baseline on the wire"
         );
         assert_eq!(
             metric(&body, "privtopk_service_queue_wait_ns_count"),

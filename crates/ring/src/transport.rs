@@ -150,6 +150,16 @@ pub trait Transport: Send {
     fn pool(&self) -> FramePool {
         FramePool::new()
     }
+
+    /// Credits `saved` bytes to the pre-compression baseline in this
+    /// endpoint's [`TransportMetrics`]: the gap between what the legacy
+    /// fixed-width codec would have sent and what actually hit the wire.
+    /// The typed send helpers call this with the encoder's
+    /// [`WireEncode::baseline_len`] surplus; transports without metrics
+    /// ignore it.
+    fn record_baseline_extra(&mut self, saved: u64) {
+        let _ = saved;
+    }
 }
 
 /// Encodes `value` with the wire codec and sends it.
@@ -187,6 +197,9 @@ pub fn send_value_with<T: WireEncode>(
 ) -> Result<(), RingError> {
     let mut buf = pool.acquire();
     encode_into(value, &mut buf);
+    if let Some(baseline) = value.baseline_len() {
+        transport.record_baseline_extra(baseline.saturating_sub(buf.len()) as u64);
+    }
     transport.send(to, buf.freeze())
 }
 
@@ -220,6 +233,9 @@ pub fn send_value_many_with<T: WireEncode>(
 ) -> Result<(), RingError> {
     let mut buf = pool.acquire();
     encode_into(value, &mut buf);
+    if let Some(baseline) = value.baseline_len() {
+        transport.record_baseline_extra(baseline.saturating_sub(buf.len()) as u64);
+    }
     transport.send_many(to, buf.freeze(), logical)
 }
 
@@ -260,6 +276,9 @@ pub fn send_value_many_traced<T: WireEncode>(
     let encode_started = recorder.clock();
     let mut buf = pool.acquire();
     encode_into(value, &mut buf);
+    if let Some(baseline) = value.baseline_len() {
+        transport.record_baseline_extra(baseline.saturating_sub(buf.len()) as u64);
+    }
     let frame = buf.freeze();
     recorder.record(Phase::Encode, ctx, encode_started);
     let send_started = recorder.clock();
@@ -446,6 +465,10 @@ impl Transport for InMemoryEndpoint {
 
     fn pool(&self) -> FramePool {
         self.pool.clone()
+    }
+
+    fn record_baseline_extra(&mut self, saved: u64) {
+        self.metrics.record_baseline_extra(saved as usize);
     }
 }
 
@@ -706,6 +729,10 @@ impl Transport for TcpEndpoint {
     fn pool(&self) -> FramePool {
         self.pool.clone()
     }
+
+    fn record_baseline_extra(&mut self, saved: u64) {
+        self.metrics.record_baseline_extra(saved as usize);
+    }
 }
 
 impl Drop for TcpEndpoint {
@@ -930,6 +957,37 @@ mod tests {
         assert_eq!(metrics.bytes_sent(), 8);
         let (_, frame) = eps[1].recv().unwrap();
         assert_eq!(&frame[..], b"batched!");
+    }
+
+    #[test]
+    fn typed_send_credits_encoder_baseline() {
+        // A payload whose compact encoding (2 bytes) undercuts its legacy
+        // baseline (10 bytes): the wire counter sees the compact size, the
+        // baseline counter the legacy size.
+        struct Compacted;
+        impl WireEncode for Compacted {
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.extend_from_slice(&[0xC0, 0x01]);
+            }
+            fn baseline_len(&self) -> Option<usize> {
+                Some(10)
+            }
+        }
+        let net = InMemoryNetwork::new(2);
+        let metrics = net.metrics();
+        let mut eps = net.endpoints();
+        let pool = eps[0].pool();
+        send_value_many_with(&mut eps[0], &pool, NodeId::new(1), &Compacted, 4).unwrap();
+        assert_eq!(metrics.bytes_sent(), 2);
+        assert_eq!(metrics.baseline_bytes(), 10);
+        let snap = metrics.peek();
+        assert!((snap.compression_ratio() - 5.0).abs() < 1e-9);
+        // Untyped raw sends stay neutral: baseline tracks the wire.
+        eps[0]
+            .send(NodeId::new(1), Bytes::from_static(b"raw"))
+            .unwrap();
+        assert_eq!(metrics.bytes_sent(), 5);
+        assert_eq!(metrics.baseline_bytes(), 13);
     }
 
     #[test]

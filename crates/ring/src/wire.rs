@@ -33,6 +33,18 @@ use crate::RingError;
 pub trait WireEncode {
     /// Appends the binary representation of `self` to `buf`.
     fn encode(&self, buf: &mut BytesMut);
+
+    /// Bytes this value would occupy under the *baseline* (fixed-width
+    /// legacy) layout, or `None` when [`encode`](Self::encode) already is
+    /// the baseline.
+    ///
+    /// Message types whose `encode` emits a compact frame override this
+    /// with the legacy size so the transport can account pre-compression
+    /// bytes next to the actual wire bytes (the pre-/post-compression
+    /// split in [`crate::TransportMetrics`]).
+    fn baseline_len(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Types that can be read back from a wire frame.
@@ -333,6 +345,141 @@ impl WireDecode for TopKVector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Varints and the compact sorted-vector codec
+// ---------------------------------------------------------------------------
+
+/// Longest LEB128 encoding of a `u64`: nine 7-bit groups plus a final
+/// byte carrying the top bit.
+const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, little-endian
+/// groups, high bit = continuation).
+pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
+    while v >= 0x80 {
+        buf.put_u8((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.put_u8(v as u8);
+}
+
+/// Reads an LEB128 varint, rejecting truncated input and encodings that
+/// overflow 64 bits (more than 10 bytes, or a 10th byte above 1).
+///
+/// # Errors
+///
+/// Returns [`RingError::Decode`] on truncation or overflow.
+pub fn get_uvarint(buf: &mut &[u8]) -> Result<u64, RingError> {
+    let mut value = 0u64;
+    for i in 0..MAX_VARINT_LEN {
+        need(buf, 1)?;
+        let byte = buf.get_u8();
+        let group = u64::from(byte & 0x7F);
+        if i == MAX_VARINT_LEN - 1 && group > 1 {
+            return Err(RingError::Decode {
+                reason: "varint overflows u64",
+            });
+        }
+        value |= group << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(RingError::Decode {
+        reason: "varint longer than 10 bytes",
+    })
+}
+
+/// Maps a signed value onto the unsigned varint domain so that small
+/// magnitudes of either sign stay short: 0, -1, 1, -2, ... ↦ 0, 1, 2, 3.
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[must_use]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a [`TopKVector`] in the compact sorted codec:
+/// `varint(k)`, `zigzag-varint(values[0])`, then `k - 1` unsigned varint
+/// deltas `values[i-1] - values[i]` (exact in wrapping arithmetic for any
+/// `i64` pair, and never negative because the vector is descending).
+///
+/// The legacy fixed-width layout (`u32` k + `i64` values) stays available
+/// through the [`WireEncode`] impl; this codec is what the compact wire
+/// tags carry.
+pub fn put_topk_compact(buf: &mut BytesMut, v: &TopKVector) {
+    let values = v.as_slice();
+    put_uvarint(buf, values.len() as u64);
+    put_uvarint(buf, zigzag(values[0].get()));
+    for pair in values.windows(2) {
+        put_uvarint(buf, pair[0].get().wrapping_sub(pair[1].get()) as u64);
+    }
+}
+
+/// Reads a [`TopKVector`] written by [`put_topk_compact`], re-validating
+/// the descending invariant (a delta whose wrapping subtraction climbs is
+/// a malformed frame, never a panic).
+///
+/// # Errors
+///
+/// Returns [`RingError::Decode`] on `k = 0`, truncation, varint overflow,
+/// or a non-descending reconstruction.
+pub fn get_topk_compact(buf: &mut &[u8]) -> Result<TopKVector, RingError> {
+    let k = get_uvarint(buf)? as usize;
+    if k == 0 {
+        return Err(RingError::Decode {
+            reason: "top-k vector with k = 0",
+        });
+    }
+    // Every element costs at least one byte, so a k beyond the remaining
+    // payload is a lie — reject before allocating.
+    if k > buf.remaining() {
+        return Err(RingError::Decode {
+            reason: "top-k vector length exceeds frame",
+        });
+    }
+    let mut values = Vec::with_capacity(k);
+    let mut prev = unzigzag(get_uvarint(buf)?);
+    values.push(Value::new(prev));
+    for _ in 1..k {
+        let delta = get_uvarint(buf)?;
+        let cur = prev.wrapping_sub(delta as i64);
+        if cur > prev {
+            return Err(RingError::Decode {
+                reason: "top-k vector not sorted descending",
+            });
+        }
+        values.push(Value::new(cur));
+        prev = cur;
+    }
+    TopKVector::from_sorted(values).map_err(|_| RingError::Decode {
+        reason: "invalid top-k vector",
+    })
+}
+
+/// Bytes [`put_topk_compact`] will emit for `v` — used by batch senders
+/// to reserve frame capacity up front.
+#[must_use]
+pub fn topk_compact_len(v: &TopKVector) -> usize {
+    let values = v.as_slice();
+    let mut len = uvarint_len(values.len() as u64) + uvarint_len(zigzag(values[0].get()));
+    for pair in values.windows(2) {
+        len += uvarint_len(pair[0].get().wrapping_sub(pair[1].get()) as u64);
+    }
+    len
+}
+
+/// Bytes [`put_uvarint`] will emit for `v`.
+#[must_use]
+pub fn uvarint_len(v: u64) -> usize {
+    // 1 byte per started 7-bit group; v = 0 still takes one byte.
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,5 +611,106 @@ mod tests {
         let _: String = decode_from_bytes(&frame).unwrap();
         assert_eq!(frame.len(), before.len());
         assert_eq!(frame.as_ref(), before.as_slice());
+    }
+
+    #[test]
+    fn uvarint_roundtrips_boundary_values() {
+        for v in [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_uvarint(&mut buf, v);
+            assert_eq!(buf.len(), uvarint_len(v), "length model for {v}");
+            let mut cursor = buf.as_ref();
+            assert_eq!(get_uvarint(&mut cursor).unwrap(), v);
+            assert!(cursor.is_empty());
+        }
+    }
+
+    #[test]
+    fn uvarint_overflow_and_truncation_rejected() {
+        // 10 continuation bytes: longer than any u64 encoding.
+        let over = [0xFFu8; 11];
+        assert!(get_uvarint(&mut &over[..]).is_err());
+        // 10th byte with a group value above 1 overflows bit 63.
+        let mut hot = [0x80u8; 10];
+        hot[9] = 0x02;
+        assert!(get_uvarint(&mut &hot[..]).is_err());
+        // Truncated mid-continuation.
+        let cut = [0x80u8, 0x80];
+        assert!(get_uvarint(&mut &cut[..]).is_err());
+        // The maximal legal encoding still decodes.
+        let mut max = [0xFFu8; 10];
+        max[9] = 0x01;
+        assert_eq!(get_uvarint(&mut &max[..]).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_extremes() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -12345, 67890] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    fn topk(vals: &[i64]) -> TopKVector {
+        TopKVector::from_sorted(vals.iter().copied().map(Value::new).collect()).unwrap()
+    }
+
+    #[test]
+    fn compact_topk_roundtrips_and_undercuts_legacy() {
+        for vals in [
+            &[9000i64, 812, 811, 4][..],
+            &[5, 5, 5, 5][..],
+            &[i64::MAX, 0, i64::MIN][..],
+            &[42][..],
+        ] {
+            let v = topk(vals);
+            let mut buf = BytesMut::new();
+            put_topk_compact(&mut buf, &v);
+            assert_eq!(buf.len(), topk_compact_len(&v), "length model");
+            let mut cursor = buf.as_ref();
+            assert_eq!(get_topk_compact(&mut cursor).unwrap(), v);
+            assert!(cursor.is_empty());
+        }
+        // Small paper-domain values: the compact form is a fraction of the
+        // 4 + 8k legacy layout.
+        let v = topk(&[9000, 812, 811, 4]);
+        assert!(topk_compact_len(&v) < 4 + 8 * v.k());
+    }
+
+    #[test]
+    fn compact_topk_rejects_malformed_frames() {
+        // k = 0.
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 0);
+        assert!(get_topk_compact(&mut buf.as_ref()).is_err());
+        // k beyond the remaining payload.
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 50);
+        put_uvarint(&mut buf, zigzag(7));
+        assert!(get_topk_compact(&mut buf.as_ref()).is_err());
+        // A delta whose wrapping subtraction climbs (prev 0, delta -1).
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 2);
+        put_uvarint(&mut buf, zigzag(0));
+        put_uvarint(&mut buf, u64::MAX);
+        assert!(get_topk_compact(&mut buf.as_ref()).is_err());
+        // Truncated between elements.
+        let v = topk(&[900, 800, 700]);
+        let mut buf = BytesMut::new();
+        put_topk_compact(&mut buf, &v);
+        let frame = buf.freeze();
+        assert!(get_topk_compact(&mut &frame[..frame.len() - 1]).is_err());
     }
 }

@@ -2,11 +2,15 @@
 # Times the figure-regeneration pipeline serially (--threads 1) and with
 # the default worker count, and writes the comparison to
 # BENCH_experiments.json at the repo root. Then benchmarks the batched
-# multi-query executor (queries/sec at B in {1,8,64,256}) into
-# BENCH_throughput.json, asserting batch/solo transcript identity, and
-# the persistent service runtime (warm vs cold queries/sec at pipeline
-# depths {1,4,16}) into BENCH_service.json, asserting service/solo
-# transcript identity plus the warm >= 2x cold floor.
+# multi-query executor (queries/sec at B in {1,8,64,256,1024}) into
+# BENCH_throughput.json, asserting batch/solo transcript identity, the
+# B=1 parity floor, the compact-codec frame budget and the
+# monotone-through-256 throughput curve, and the persistent service
+# runtime (warm vs cold queries/sec at pipeline depths {1,4,16}, plus a
+# cores x depth sharded-service matrix) into BENCH_service.json,
+# asserting service/solo transcript identity plus the warm >= 2x cold
+# floor. Every BENCH_*.json carries a "machine" block (logical cores,
+# cargo profile) so figures are never compared across machines blindly.
 #
 #   scripts/bench_trajectory.sh [trials] [seed]
 #
@@ -75,6 +79,7 @@ SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $SERIAL_MS / $PAR_MS }")
 cat > "$OUT" <<EOF
 {
   "benchmark": "all_figures trial-executor trajectory",
+  "machine": {"logical_cores": $CORES, "cargo_profile": "release"},
   "command": "all_figures $TRIALS $SEED",
   "trials_per_point": $TRIALS,
   "seed": $SEED,
@@ -89,10 +94,12 @@ echo "wrote $OUT (speedup ${SPEEDUP}x on $CORES cores)"
 [ "$IDENTICAL" = true ]
 
 # --- batched-executor throughput -------------------------------------
-# Queries/sec at B in {1, 8, 64, 256} over the in-memory network. The
-# binary itself asserts the B=1 identity gate (every batched transcript
-# must be bit-identical to its solo run) and the per-hop byte bound, so
-# a successful exit IS the determinism check.
+# Queries/sec at B in {1, 8, 64, 256, 1024} over the in-memory network.
+# The binary itself asserts the identity gate (every batched transcript
+# must be bit-identical to its solo run), the B=1 parity floor, the
+# compact-codec per-frame budget at B=64, and that throughput rises
+# strictly with width through B=256 — a successful exit IS the
+# acceptance check.
 THROUGHPUT_BIN="$REPO_ROOT/target/release/throughput"
 THROUGHPUT_OUT="$REPO_ROOT/BENCH_throughput.json"
 
@@ -101,6 +108,8 @@ command -v cargo >/dev/null 2>&1 && cargo build --release -p privtopk-bench --bi
 
 echo "benchmarking batched executor throughput ..."
 "$THROUGHPUT_BIN" 6 8 "$THROUGHPUT_OUT"
+grep -q '"machine"' "$THROUGHPUT_OUT" \
+    || { echo "error: machine block missing from $THROUGHPUT_OUT" >&2; exit 1; }
 echo "wrote $THROUGHPUT_OUT"
 
 # --- persistent service runtime --------------------------------------
@@ -125,4 +134,8 @@ echo "benchmarking persistent service runtime ..."
 "$SERVICE_BIN" 6 8 240 "$SERVICE_OUT"
 grep -q '"grouped_max"' "$SERVICE_OUT" \
     || { echo "error: analyzer-measured grouped critical path missing from $SERVICE_OUT" >&2; exit 1; }
+grep -q '"machine"' "$SERVICE_OUT" \
+    || { echo "error: machine block missing from $SERVICE_OUT" >&2; exit 1; }
+grep -q '"cores_by_depth"' "$SERVICE_OUT" \
+    || { echo "error: cores x depth matrix missing from $SERVICE_OUT" >&2; exit 1; }
 echo "wrote $SERVICE_OUT"

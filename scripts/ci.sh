@@ -9,8 +9,11 @@ set -eu
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$REPO_ROOT"
 
-echo "==> cargo build --release"
-cargo build --release
+# --workspace: the root facade package would otherwise satisfy a bare
+# `cargo build`, leaving the CLI and bench binaries the later gates
+# invoke unbuilt (or stale).
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
@@ -20,6 +23,19 @@ cargo test --workspace -q
 # protocol coordinates, independent of the private data.
 echo "==> cargo test --test trace_no_leak"
 cargo test --test trace_no_leak
+
+# Wire-codec gates, also run by name. The proptest file pins the compact
+# encoding to the legacy one (cross-decode, truncation rejection, golden
+# sizes); the frame-budget smoke asserts a compact B=64 batch hop stays
+# under half the legacy 2312.6 B mean frame.
+echo "==> cargo test -p privtopk-core --test codec_proptests"
+cargo test -p privtopk-core --test codec_proptests
+
+echo "==> cargo test -p privtopk-core --lib compact_b64_mean_frame_under_budget"
+BUDGET_OUT=$(cargo test -p privtopk-core --lib compact_b64_mean_frame_under_budget 2>&1)
+echo "$BUDGET_OUT"
+echo "$BUDGET_OUT" | grep -q "1 passed" \
+    || { echo "error: frame-budget smoke matched no test (renamed?)" >&2; exit 1; }
 
 # Trace tooling smoke: export a fresh 2-query distributed (service-mode)
 # trace through the CLI and analyze it back — the reconstructed critical
