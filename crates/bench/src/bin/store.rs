@@ -1,0 +1,360 @@
+//! Persistent-store benchmark: local top-k latency vs row count,
+//! cold open vs warm snapshot, and a standing service answering
+//! queries while a writer hammers the underlying stores.
+//!
+//! For each row count in 10^4 .. `max_rows` (decade steps) the run
+//! streams a synthetic dataset into an on-disk [`NodeStore`], then
+//! measures the per-query local top-k latency with a cache-busting
+//! insert between queries — so every sample pays the real incremental
+//! path (index walk + snapshot rebuild), never the memoized `Arc`.
+//! A full re-sort of the same rows is timed alongside as the baseline
+//! the candidate index exists to beat.
+//!
+//! The run *asserts* the acceptance gates before reporting numbers:
+//! the 10^6-row p50 must stay under 10x the 10^4-row p50 (sublinear
+//! in row count — a linear scan would be 100x), every store query
+//! must agree with the full re-sort, and the service section's
+//! transcripts under concurrent ingest must be bit-identical to a
+//! frozen-snapshot run of the same workload.
+//!
+//! Usage: `store [max_rows] [out.json]`
+//! Defaults: max_rows = 1000000, out = BENCH_store.json
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::Rng;
+
+use privtopk_bench::machine_json;
+use privtopk_core::distributed::NetworkKind;
+use privtopk_core::{
+    derive_batch_seed, ProtocolConfig, RoundPolicy, Schedule, ServiceOutcome, ServiceRuntime,
+};
+use privtopk_datagen::{DataDistribution, DatasetBuilder};
+use privtopk_domain::rng::SeedSpec;
+use privtopk_domain::{LocalTopkSource, TopKVector, ValueDomain};
+use privtopk_store::{NodeStore, StoreSnapshot};
+
+const BASE_SEED: u64 = 771_204;
+const K: usize = 8;
+/// Per-query samples for the latency distribution at each row count.
+const QUERY_SAMPLES: usize = 300;
+/// Streaming-ingest chunk: bounds peak memory during the build phase.
+const INGEST_CHUNK: usize = 65_536;
+/// Acceptance gate: p50 at 10^6 rows vs p50 at 10^4 rows. A linear
+/// scan would scale 100x; the index must stay within 10x.
+const SUBLINEAR_FACTOR: f64 = 10.0;
+/// Service section: nodes, per-node rows, and query count.
+const SERVICE_NODES: usize = 4;
+const SERVICE_ROWS: usize = 10_000;
+const SERVICE_QUERIES: usize = 32;
+
+struct Point {
+    rows: usize,
+    ingest_ms: f64,
+    cold_open_ms: f64,
+    warm_query_p50_ns: f64,
+    warm_query_p90_ns: f64,
+    resort_p50_ns: f64,
+    index_depth: u64,
+    index_rebuilds: u64,
+    log_records: u64,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_rows: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_store.json".to_string());
+
+    let root = std::env::temp_dir().join(format!("privtopk-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("create bench scratch dir");
+
+    let domain = ValueDomain::paper_default();
+    let mut row_counts = vec![10_000usize];
+    while *row_counts.last().unwrap() < max_rows {
+        row_counts.push(row_counts.last().unwrap().saturating_mul(10).min(max_rows));
+    }
+
+    eprintln!(
+        "store: k={K} domain=[{}, {}] rows={row_counts:?} samples={QUERY_SAMPLES}",
+        domain.min(),
+        domain.max()
+    );
+
+    let mut points = Vec::with_capacity(row_counts.len());
+    for &rows in &row_counts {
+        points.push(measure_point(&root, domain, rows));
+    }
+
+    // The sublinear acceptance gate: per-query latency must not track
+    // row count. 10^4 -> 10^6 is a 100x data blowup; the incremental
+    // index answers from a bounded candidate set, so p50 must stay
+    // within SUBLINEAR_FACTOR.
+    let first = &points[0];
+    let last = points.last().unwrap();
+    if last.rows >= 100 * first.rows {
+        assert!(
+            last.warm_query_p50_ns < SUBLINEAR_FACTOR * first.warm_query_p50_ns,
+            "local top-k p50 at {} rows ({:.0} ns) exceeds {SUBLINEAR_FACTOR}x the {}-row p50 ({:.0} ns)",
+            last.rows,
+            last.warm_query_p50_ns,
+            first.rows,
+            first.warm_query_p50_ns
+        );
+    }
+
+    let service = measure_service(&root, domain);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"persistent node store: local top-k latency and service under ingest\","
+    );
+    let _ = writeln!(json, "  \"machine\": {},", machine_json());
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"k\": {K}, \"domain\": [{}, {}], \"seed\": {BASE_SEED}, \"query_samples\": {QUERY_SAMPLES}, \"ingest_chunk\": {INGEST_CHUNK}}},",
+        domain.min(),
+        domain.max()
+    );
+    json.push_str("  \"local_topk\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"rows\": {}, \"ingest_ms\": {:.1}, \"ingest_rows_per_sec\": {:.0}, \"cold_open_ms\": {:.2}, \"warm_query_p50_ns\": {:.0}, \"warm_query_p90_ns\": {:.0}, \"full_resort_p50_ns\": {:.0}, \"resort_over_index\": {:.1}, \"index_depth\": {}, \"index_rebuilds\": {}, \"log_records\": {}}}{}",
+            p.rows,
+            p.ingest_ms,
+            p.rows as f64 / (p.ingest_ms / 1e3),
+            p.cold_open_ms,
+            p.warm_query_p50_ns,
+            p.warm_query_p90_ns,
+            p.resort_p50_ns,
+            p.resort_p50_ns / p.warm_query_p50_ns,
+            p.index_depth,
+            p.index_rebuilds,
+            p.log_records,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"sublinear_gate\": {{\"rows_ratio\": {:.0}, \"p50_ratio\": {:.2}, \"budget\": {SUBLINEAR_FACTOR}, \"passed\": true}},",
+        last.rows as f64 / first.rows as f64,
+        last.warm_query_p50_ns / first.warm_query_p50_ns
+    );
+    let _ = writeln!(
+        json,
+        "  \"service_under_ingest\": {{\"nodes\": {SERVICE_NODES}, \"rows_per_node\": {SERVICE_ROWS}, \"queries\": {SERVICE_QUERIES}, \"queries_per_sec\": {:.1}, \"writes_landed\": {}, \"transcripts_identical_to_frozen\": true}}",
+        service.queries_per_sec, service.writes_landed
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    let _ = std::fs::remove_dir_all(&root);
+    println!("wrote {out_path}");
+}
+
+/// Builds one store at `rows` rows and measures ingest, cold open,
+/// warm incremental queries, and the full re-sort baseline.
+fn measure_point(root: &std::path::Path, domain: ValueDomain, rows: usize) -> Point {
+    let dir = root.join(format!("rows{rows}"));
+    let builder = DatasetBuilder::new(1)
+        .rows_per_node(rows)
+        .distribution(DataDistribution::classic_zipf())
+        .domain(domain)
+        .seed(BASE_SEED ^ rows as u64);
+
+    // Streaming ingest in bounded chunks: peak memory is the chunk,
+    // not the row count.
+    let store = NodeStore::create(&dir, domain).expect("create store");
+    let mut stream = builder.node_value_stream(0).expect("value stream");
+    let ingest_start = Instant::now();
+    loop {
+        let chunk: Vec<_> = stream.by_ref().take(INGEST_CHUNK).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        store.insert_many(chunk).expect("ingest chunk");
+    }
+    let ingest_ms = ingest_start.elapsed().as_secs_f64() * 1e3;
+
+    // Cold open: replay the log and rebuild the index from scratch,
+    // then answer one query — the restart path.
+    drop(store);
+    let cold_start = Instant::now();
+    let store = NodeStore::open(&dir).expect("cold open");
+    let cold_first = store.snapshot_for_k(K).expect("cold snapshot");
+    let cold_open_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+
+    // Full re-sort baseline over the same data, and the correctness
+    // oracle for every warm query below.
+    let all: Vec<_> = builder
+        .node_value_stream(0)
+        .expect("value stream")
+        .collect();
+    let mut resort_ns = Vec::with_capacity(16);
+    let mut oracle = None;
+    for _ in 0..16 {
+        let mut copy = all.clone();
+        let start = Instant::now();
+        copy.sort_unstable_by(|a, b| b.cmp(a));
+        copy.truncate(K);
+        let sorted = TopKVector::from_sorted(copy).expect("re-sort top-k");
+        resort_ns.push(start.elapsed().as_nanos() as f64);
+        oracle = Some(sorted);
+    }
+    let oracle = oracle.expect("re-sort oracle");
+    assert_eq!(
+        cold_first.local_topk(K).expect("cold query"),
+        oracle,
+        "cold-open store query disagrees with full re-sort at {rows} rows"
+    );
+
+    // Warm queries with a cache-busting insert between samples: each
+    // insert invalidates the memoized snapshot, so every timed query
+    // walks the live index and rebuilds the snapshot view. Inserting
+    // the domain floor never perturbs the top-k answer.
+    let floor = domain.min();
+    let mut query_ns = Vec::with_capacity(QUERY_SAMPLES);
+    for _ in 0..QUERY_SAMPLES {
+        store.insert(floor).expect("cache-busting insert");
+        let start = Instant::now();
+        let snap = store.snapshot_for_k(K).expect("warm snapshot");
+        let answer = snap.local_topk(K).expect("warm query");
+        query_ns.push(start.elapsed().as_nanos() as f64);
+        assert_eq!(answer, oracle, "warm store query drifted at {rows} rows");
+    }
+
+    let stats = store.stats();
+    let point = Point {
+        rows,
+        ingest_ms,
+        cold_open_ms,
+        warm_query_p50_ns: percentile(&mut query_ns, 0.50),
+        warm_query_p90_ns: percentile(&mut query_ns, 0.90),
+        resort_p50_ns: percentile(&mut resort_ns, 0.50),
+        index_depth: stats.index_depth,
+        index_rebuilds: stats.index_rebuilds,
+        log_records: stats.log_records,
+    };
+    eprintln!(
+        "  rows={rows:>8}: ingest {ingest_ms:>8.1} ms  cold-open {:>7.2} ms  warm p50 {:>9.0} ns  re-sort p50 {:>11.0} ns  depth {}",
+        point.cold_open_ms, point.warm_query_p50_ns, point.resort_p50_ns, point.index_depth
+    );
+    point
+}
+
+struct ServicePoint {
+    queries_per_sec: f64,
+    writes_landed: u64,
+}
+
+/// Standing service over frozen snapshots while a writer floods the
+/// stores: throughput under ingest, gated on transcript bit-identity
+/// with a quiet run from the same snapshots.
+fn measure_service(root: &std::path::Path, domain: ValueDomain) -> ServicePoint {
+    let builder = DatasetBuilder::new(SERVICE_NODES)
+        .rows_per_node(SERVICE_ROWS)
+        .distribution(DataDistribution::classic_zipf())
+        .domain(domain)
+        .seed(BASE_SEED);
+    let mut stores = Vec::with_capacity(SERVICE_NODES);
+    for i in 0..SERVICE_NODES {
+        let dir = root.join(format!("service-node{i}"));
+        let store = NodeStore::create(&dir, domain).expect("create service store");
+        let mut stream = builder.node_value_stream(i).expect("value stream");
+        loop {
+            let chunk: Vec<_> = stream.by_ref().take(INGEST_CHUNK).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            store.insert_many(chunk).expect("service ingest");
+        }
+        stores.push(Arc::new(store));
+    }
+
+    // Freeze the per-node views first; everything after this point —
+    // including the writer thread — must not change any answer.
+    let snapshots: Vec<Arc<StoreSnapshot>> = stores
+        .iter()
+        .map(|s| s.snapshot_for_k(K).expect("service snapshot"))
+        .collect();
+
+    let config = ProtocolConfig::topk(K)
+        .with_domain(domain)
+        .with_schedule(Schedule::paper_default())
+        .with_rounds(RoundPolicy::Precision { epsilon: 0.05 });
+    let workload: Vec<(ProtocolConfig, u64)> = (0..SERVICE_QUERIES as u64)
+        .map(|i| (config.clone(), derive_batch_seed(BASE_SEED, i)))
+        .collect();
+
+    // Loaded run: writer thread round-robins inserts into the stores
+    // for the whole workload.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stores = stores.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut rng = SeedSpec::new(BASE_SEED).stream(0xB0B).rng();
+            let mut wrote = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let v = privtopk_domain::Value::new(rng.gen_range(domain.as_range()));
+                stores[wrote as usize % stores.len()]
+                    .insert(v)
+                    .expect("background insert");
+                wrote += 1;
+            }
+            wrote
+        })
+    };
+
+    let mut service = ServiceRuntime::start_from_sources(&snapshots, K, NetworkKind::InMemory, 2)
+        .expect("start loaded service");
+    let start = Instant::now();
+    let loaded = service.run_workload(&workload).expect("loaded workload");
+    let elapsed = start.elapsed().as_secs_f64();
+    service.shutdown().expect("shutdown loaded service");
+    stop.store(true, Ordering::Relaxed);
+    let writes_landed = writer.join().expect("join writer");
+
+    // Quiet run from the same frozen snapshots: the gate.
+    let mut quiet_service =
+        ServiceRuntime::start_from_sources(&snapshots, K, NetworkKind::InMemory, 2)
+            .expect("start quiet service");
+    let quiet: Vec<ServiceOutcome> = quiet_service
+        .run_workload(&workload)
+        .expect("quiet workload");
+    quiet_service.shutdown().expect("shutdown quiet service");
+    assert_eq!(
+        loaded, quiet,
+        "transcripts under concurrent ingest diverged from the frozen-snapshot run"
+    );
+
+    let point = ServicePoint {
+        queries_per_sec: SERVICE_QUERIES as f64 / elapsed,
+        writes_landed,
+    };
+    eprintln!(
+        "  service: {SERVICE_QUERIES} queries in {:.1} ms under {} concurrent writes ({:.1} q/s), transcripts identical to frozen run",
+        elapsed * 1e3,
+        point.writes_landed,
+        point.queries_per_sec
+    );
+    point
+}
+
+/// Nearest-rank percentile; sorts in place.
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+    samples[idx]
+}

@@ -69,6 +69,12 @@ pub enum Command {
     TraceAnalyze,
     /// `privtopk trace watch` — poll a live service metrics endpoint.
     TraceWatch,
+    /// `privtopk store init` — create empty persistent node stores.
+    StoreInit,
+    /// `privtopk store ingest` — stream synthetic rows into stores.
+    StoreIngest,
+    /// `privtopk store compact` — rewrite store logs to live rows only.
+    StoreCompact,
     /// `privtopk help`
     Help,
 }
@@ -108,6 +114,16 @@ impl Arguments {
                 other => {
                     return Err(CliError::UnknownCommand {
                         got: format!("trace {}", other.unwrap_or("")),
+                    })
+                }
+            },
+            Some("store") => match iter.next().as_deref() {
+                Some("init") => Command::StoreInit,
+                Some("ingest") => Command::StoreIngest,
+                Some("compact") => Command::StoreCompact,
+                other => {
+                    return Err(CliError::UnknownCommand {
+                        got: format!("store {}", other.unwrap_or("")),
                     })
                 }
             },
@@ -213,6 +229,10 @@ pub fn usage() -> String {
      privtopk trace analyze FILE... [--json] [--stall-multiplier M]\n\
      \u{20}                [--nodes N --rounds R]\n\
      privtopk trace watch --addr HOST:PORT [--interval-ms MS] [--count N]\n\
+     privtopk store init    --store-dir DIR --nodes N [--domain-min LO --domain-max HI]\n\
+     privtopk store ingest  --store-dir DIR --nodes N --rows R [--dist uniform|normal|zipf]\n\
+     \u{20}                [--seed S] [--chunk C]\n\
+     privtopk store compact --store-dir DIR\n\
      privtopk help\n\
      \n\
      every command also accepts --threads N: worker threads for the\n\
@@ -256,7 +276,16 @@ pub fn usage() -> String {
      \n\
      trace watch polls a service's --metrics-addr endpoint every\n\
      --interval-ms (default 1000), printing each scrape's samples;\n\
-     --count N stops after N polls (default 0 = forever).\n"
+     --count N stops after N polls (default 0 = forever).\n\
+     \n\
+     store init/ingest/compact manage persistent per-node stores\n\
+     (append-only log + incremental top-k candidate index) under\n\
+     --store-dir, one subdirectory per node. ingest streams synthetic\n\
+     rows in chunks of --chunk (default 65536) so memory stays bounded\n\
+     at any --rows. query accepts --store-dir in place of synthetic\n\
+     data: with --repeat the standing service answers from per-node\n\
+     snapshots, and --write-rate W inserts W rows/sec of background\n\
+     writes during the run without perturbing any transcript.\n"
         .to_string()
 }
 
@@ -325,6 +354,9 @@ mod tests {
             "knn",
             "trace analyze",
             "trace watch",
+            "store init",
+            "store ingest",
+            "store compact",
             "help",
         ] {
             assert!(u.contains(cmd), "usage misses `{cmd}`");
@@ -358,5 +390,29 @@ mod tests {
         assert!(Arguments::parse(["trace"]).is_err());
         assert!(Arguments::parse(["trace", "frobnicate"]).is_err());
         assert!(Arguments::parse(["query", "a.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn store_subcommands_parse() {
+        let args =
+            Arguments::parse(["store", "init", "--store-dir", "/tmp/s", "--nodes", "4"]).unwrap();
+        assert_eq!(args.command, Command::StoreInit);
+        assert_eq!(args.get("store-dir"), Some("/tmp/s"));
+        assert_eq!(
+            Arguments::parse(["store", "ingest", "--rows", "100"])
+                .unwrap()
+                .command,
+            Command::StoreIngest
+        );
+        assert_eq!(
+            Arguments::parse(["store", "compact", "--store-dir", "d"])
+                .unwrap()
+                .command,
+            Command::StoreCompact
+        );
+        assert!(Arguments::parse(["store"]).is_err());
+        assert!(Arguments::parse(["store", "frobnicate"]).is_err());
+        // Store commands take no bare positionals.
+        assert!(Arguments::parse(["store", "init", "stray"]).is_err());
     }
 }

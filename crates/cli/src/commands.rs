@@ -13,6 +13,7 @@ use privtopk_federation::{Federation, QueryBatch, QueryKind, QuerySpec};
 use privtopk_knn::{centralized_knn, KnnConfig, LabeledPoint, PrivateKnnClassifier};
 use privtopk_observe::{analyze, AnalyzerConfig, Recorder, TraceCollector};
 use privtopk_privacy::{LopAccumulator, SuccessorAdversary};
+use privtopk_store::{publish_store_metrics, NodeStore};
 
 use crate::args::usage;
 use crate::csv::load_csv_dir;
@@ -39,7 +40,141 @@ pub fn run(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
         Command::Query { audit } => run_query(args, audit, out),
         Command::TraceAnalyze => run_trace_analyze(args, out),
         Command::TraceWatch => run_trace_watch(args, out),
+        Command::StoreInit => run_store_init(args, out),
+        Command::StoreIngest => run_store_ingest(args, out),
+        Command::StoreCompact => run_store_compact(args, out),
     }
+}
+
+/// Resolves `--store-dir`, required by every store subcommand.
+fn store_dir(args: &Arguments) -> Result<std::path::PathBuf, CliError> {
+    args.get("store-dir")
+        .map(std::path::PathBuf::from)
+        .ok_or(CliError::BadFlag {
+            flag: "--store-dir".into(),
+        })
+}
+
+/// Per-node store directory layout: `<store-dir>/node<i>`.
+fn node_store_dir(root: &Path, i: usize) -> std::path::PathBuf {
+    root.join(format!("node{i}"))
+}
+
+/// Opens the `node0..` stores under `root`, in node order.
+fn open_stores(root: &Path) -> Result<Vec<NodeStore>, CliError> {
+    let mut stores = Vec::new();
+    loop {
+        let dir = node_store_dir(root, stores.len());
+        if !dir.join(privtopk_store::log::LOG_FILE).exists() {
+            break;
+        }
+        stores.push(
+            NodeStore::open(&dir)
+                .map_err(|e| CliError::Execution(format!("{}: {e}", dir.display())))?,
+        );
+    }
+    if stores.is_empty() {
+        return Err(CliError::Execution(format!(
+            "no node stores under {} (run `privtopk store init` first)",
+            root.display()
+        )));
+    }
+    Ok(stores)
+}
+
+/// `privtopk store init --store-dir DIR --nodes N` — create empty
+/// persistent stores, one per node.
+fn run_store_init(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    let root = store_dir(args)?;
+    let nodes: usize = args.parse_or("nodes", 4)?;
+    if nodes == 0 {
+        return Err(CliError::Execution("--nodes must be at least 1".into()));
+    }
+    let lo: i64 = args.parse_or("domain-min", 1i64)?;
+    let hi: i64 = args.parse_or("domain-max", 10_000i64)?;
+    let domain = ValueDomain::new(Value::new(lo), Value::new(hi))
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    for i in 0..nodes {
+        let dir = node_store_dir(&root, i);
+        NodeStore::create(&dir, domain)
+            .map_err(|e| CliError::Execution(format!("{}: {e}", dir.display())))?;
+        write_out(out, &format!("node#{i}: created {}\n", dir.display()))?;
+    }
+    write_out(
+        out,
+        &format!(
+            "store: {nodes} empty node stores under {} (domain [{lo}, {hi}])\n",
+            root.display()
+        ),
+    )
+}
+
+/// `privtopk store ingest` — stream synthetic rows chunk-by-chunk into
+/// the node stores; peak memory is bounded by the chunk size and the
+/// candidate index, never by `--rows`.
+fn run_store_ingest(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    let root = store_dir(args)?;
+    let stores = open_stores(&root)?;
+    let nodes = stores.len();
+    let rows: usize = args.parse_or("rows", 1000)?;
+    let seed: u64 = args.parse_or("seed", 0x5EED)?;
+    let chunk: usize = args.parse_or("chunk", 65_536)?;
+    if chunk == 0 {
+        return Err(CliError::Execution("--chunk must be at least 1".into()));
+    }
+    let builder = DatasetBuilder::new(nodes)
+        .rows_per_node(rows)
+        .domain(stores[0].domain())
+        .distribution(parse_distribution(args)?)
+        .seed(seed);
+    for (i, store) in stores.iter().enumerate() {
+        let mut stream = builder
+            .node_value_stream(i)
+            .map_err(|e| CliError::Execution(e.to_string()))?;
+        loop {
+            let mut taken = 0usize;
+            store
+                .insert_many(stream.by_ref().take(chunk).inspect(|_| taken += 1))
+                .map_err(|e| CliError::Execution(e.to_string()))?;
+            if taken < chunk {
+                break;
+            }
+        }
+        let stats = store.stats();
+        write_out(
+            out,
+            &format!(
+                "node#{i}: +{rows} rows (total {}, index depth {})\n",
+                stats.rows, stats.index_depth
+            ),
+        )?;
+    }
+    write_out(
+        out,
+        &format!("store: ingested {rows} rows into each of {nodes} nodes\n"),
+    )
+}
+
+/// `privtopk store compact --store-dir DIR` — rewrite each node's log
+/// to live rows only.
+fn run_store_compact(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    let root = store_dir(args)?;
+    let stores = open_stores(&root)?;
+    for (i, store) in stores.iter().enumerate() {
+        let before = store.stats().log_records;
+        store
+            .compact()
+            .map_err(|e| CliError::Execution(e.to_string()))?;
+        let after = store.stats().log_records;
+        write_out(
+            out,
+            &format!("node#{i}: compacted {before} -> {after} log records\n"),
+        )?;
+    }
+    write_out(
+        out,
+        &format!("store: compacted {} node stores\n", stores.len()),
+    )
 }
 
 /// `privtopk trace analyze FILE...` — merge per-node JSONL traces into
@@ -373,6 +508,11 @@ fn build_members(
 }
 
 fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), CliError> {
+    // Persistent-store backend: answer from on-disk node stores through
+    // the source-backed service runtime instead of synthetic/CSV tables.
+    if args.get("store-dir").is_some() {
+        return run_query_store(args, audit, out);
+    }
     let attribute = args.get_or("attribute", "value").to_string();
     let kind = parse_kind(args)?;
     let epsilon: f64 = args.parse_or("epsilon", 1e-6)?;
@@ -443,8 +583,7 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
                     .column_by_name(&attribute)
                     .map_err(|e| CliError::Execution(e.to_string()))?;
                 m.table()
-                    .column_values(col)
-                    .into_iter()
+                    .column_iter(col)
                     .max()
                     .ok_or_else(|| CliError::Execution("a participant holds no rows".into()))
             })
@@ -605,7 +744,7 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
                     .table()
                     .column_by_name(&attribute)
                     .map_err(|e| CliError::Execution(e.to_string()))?;
-                TopKVector::from_values(k, m.table().column_values(col), &domain)
+                TopKVector::from_values(k, m.table().column_iter(col), &domain)
                     .map_err(|e| CliError::Execution(e.to_string()))
             })
             .collect::<Result<_, _>>()?;
@@ -625,6 +764,189 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
     emit_telemetry(&recorder, trace_out.as_deref(), stats_requested, None, out)
 }
 
+/// `privtopk query --store-dir DIR ...` — the query path over
+/// persistent node stores.
+///
+/// Each node's local top-k is a frozen snapshot acquired here, before
+/// the ring starts, so transcripts are bit-identical to a run against a
+/// frozen copy of the data even while `--write-rate` keeps background
+/// inserts landing in the stores. Nothing timing-dependent is printed:
+/// row counts come from the snapshots, wire totals are deterministic.
+fn run_query_store(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), CliError> {
+    if audit {
+        return Err(CliError::Execution(
+            "audit does not support --store-dir; audit runs over synthetic/CSV members".into(),
+        ));
+    }
+    let batch_width: usize = args.parse_or("batch", 1)?;
+    let groups: usize = args.parse_or("groups", 0)?;
+    if batch_width > 1 || groups > 0 {
+        return Err(CliError::Execution(
+            "--store-dir runs through the service; it cannot combine with --batch or --groups"
+                .into(),
+        ));
+    }
+    let kind = parse_kind(args)?;
+    let k = match kind {
+        QueryKind::Max => 1,
+        QueryKind::TopK(k) => k,
+        _ => {
+            return Err(CliError::Execution(
+                "--store-dir supports --kind max|topk (stores hold raw, unmirrored values)".into(),
+            ))
+        }
+    };
+    let epsilon: f64 = args.parse_or("epsilon", 1e-6)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let repeat: usize = args.parse_or("repeat", 1)?;
+    let depth: usize = args.parse_or("pipeline", 1)?;
+    if repeat == 0 {
+        return Err(CliError::Execution("--repeat must be at least 1".into()));
+    }
+    let write_rate: u64 = args.parse_or("write-rate", 0)?;
+
+    let root = store_dir(args)?;
+    let stores = open_stores(&root)?;
+    let domain = stores[0].domain();
+    for s in &stores {
+        if s.domain() != domain {
+            return Err(CliError::Execution(
+                "node stores disagree on the public value domain".into(),
+            ));
+        }
+    }
+    // One consistent view per node for the service's whole lifetime.
+    let snapshots: Vec<std::sync::Arc<privtopk_store::StoreSnapshot>> = stores
+        .iter()
+        .map(|s| s.snapshot_for_k(k))
+        .collect::<Result<_, _>>()
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    let mut text = format!(
+        "store federation: {} nodes from {}\n",
+        stores.len(),
+        root.display()
+    );
+    for (i, snap) in snapshots.iter().enumerate() {
+        text.push_str(&format!(
+            "  node#{i}: {} rows @ epoch {}\n",
+            snap.rows(),
+            snap.epoch()
+        ));
+    }
+    write_out(out, &text)?;
+
+    let stats_requested = args.has("stats");
+    let trace_out = args.get("trace-out").map(str::to_string);
+    // A scrape endpoint needs a live counter/gauge registry even when
+    // no stats table or trace was asked for — stats_only keeps the
+    // counters exact without buffering span events.
+    let recorder = if stats_requested || trace_out.is_some() {
+        Recorder::new()
+    } else if args.get("metrics-addr").is_some() {
+        Recorder::stats_only()
+    } else {
+        Recorder::disabled()
+    };
+    let network = parse_network(args)?.unwrap_or(NetworkKind::InMemory);
+    let config = match kind {
+        QueryKind::Max => ProtocolConfig::max(),
+        _ => ProtocolConfig::topk(k),
+    }
+    .with_domain(domain)
+    .with_schedule(privtopk_core::Schedule::paper_default())
+    .with_rounds(RoundPolicy::Precision { epsilon });
+
+    let mut service = privtopk_core::ServiceRuntime::start_from_sources_traced(
+        &snapshots,
+        k,
+        network,
+        depth,
+        recorder.clone(),
+    )
+    .map_err(|e| CliError::Execution(e.to_string()))?;
+
+    // Live Prometheus exposition: store series refresh on every scrape.
+    let stores = std::sync::Arc::new(stores);
+    let _metrics_server = match args.get("metrics-addr") {
+        Some(addr) => {
+            let scrape_stores = std::sync::Arc::clone(&stores);
+            let scrape_recorder = recorder.clone();
+            let epochs: Vec<u64> = snapshots.iter().map(|s| s.epoch()).collect();
+            let server = privtopk_observe::MetricsServer::bind(addr, move || {
+                let stats: Vec<_> = scrape_stores.iter().map(NodeStore::stats).collect();
+                publish_store_metrics(&scrape_recorder, &stats, &epochs);
+                privtopk_observe::render_summary(&scrape_recorder.summary())
+            })
+            .map_err(|e| CliError::Execution(format!("cannot bind {addr}: {e}")))?;
+            write_out(out, &format!("metrics: serving on {}\n", server.addr()))?;
+            Some(server)
+        }
+        None => None,
+    };
+
+    // Background ingest racing the queries: inserts land in the stores
+    // (and the log) but never in the frozen snapshots above.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = if write_rate > 0 {
+        let stores = std::sync::Arc::clone(&stores);
+        let stop = std::sync::Arc::clone(&stop);
+        let interval = std::time::Duration::from_nanos(1_000_000_000 / write_rate.max(1));
+        Some(std::thread::spawn(move || {
+            use rand::Rng;
+            let mut rng = privtopk_domain::rng::SeedSpec::new(seed).stream(0x57).rng();
+            let mut wrote = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let target = (wrote % stores.len() as u64) as usize;
+                let v = Value::new(rng.gen_range(domain.as_range()));
+                if stores[target].insert(v).is_err() {
+                    break;
+                }
+                wrote += 1;
+                std::thread::sleep(interval);
+            }
+            wrote
+        }))
+    } else {
+        None
+    };
+
+    let workload: Vec<(ProtocolConfig, u64)> = (0..repeat as u64)
+        .map(|i| (config.clone(), derive_batch_seed(seed, i)))
+        .collect();
+    let outcomes = service
+        .run_workload(&workload)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(handle) = writer {
+        // Row counts written vary with timing, so they stay off stdout.
+        let _ = handle.join();
+    }
+    let metrics = service.metrics().peek();
+    service
+        .shutdown()
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+
+    let mut text = format!(
+        "\nservice (store-backed): {repeat} x {kind:?} (epsilon {epsilon}), pipeline depth {depth}\n"
+    );
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let global = &outcome.per_node_results[0];
+        let rendered: Vec<String> = global.iter().map(|v| v.to_string()).collect();
+        text.push_str(&format!(
+            "query#{i} result: [{}] rounds: {} messages: {}\n",
+            rendered.join(", "),
+            outcome.transcript.rounds(),
+            outcome.transcript.message_count(),
+        ));
+    }
+    text.push_str(&format!(
+        "service totals: {} frames, {} bytes\n",
+        metrics.frames_sent, metrics.bytes_sent,
+    ));
+    write_out(out, &text)?;
+    emit_telemetry(&recorder, trace_out.as_deref(), stats_requested, None, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -641,6 +963,181 @@ mod tests {
     fn help_prints_usage() {
         let out = run_to_string(&["help"]).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    fn temp_store_root(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("privtopk-cli-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_init_ingest_compact_query_lifecycle() {
+        let root = temp_store_root("lifecycle");
+        let dir = root.to_str().unwrap();
+        let out = run_to_string(&["store", "init", "--store-dir", dir, "--nodes", "4"]).unwrap();
+        assert!(out.contains("4 empty node stores"));
+        let out = run_to_string(&[
+            "store",
+            "ingest",
+            "--store-dir",
+            dir,
+            "--rows",
+            "200",
+            "--dist",
+            "zipf",
+            "--seed",
+            "9",
+            "--chunk",
+            "64",
+        ])
+        .unwrap();
+        assert!(out.contains("ingested 200 rows into each of 4 nodes"));
+        assert!(out.contains("node#3: +200 rows (total 200"));
+        let out = run_to_string(&[
+            "query",
+            "--kind",
+            "topk",
+            "--k",
+            "3",
+            "--store-dir",
+            dir,
+            "--repeat",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("store federation: 4 nodes"));
+        assert!(out.contains("query#1 result: ["));
+        let out = run_to_string(&["store", "compact", "--store-dir", dir]).unwrap();
+        assert!(out.contains("compacted 4 node stores"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_query_is_deterministic_and_matches_under_write_load() {
+        let root = temp_store_root("determinism");
+        let dir = root.to_str().unwrap();
+        run_to_string(&["store", "init", "--store-dir", dir, "--nodes", "3"]).unwrap();
+        run_to_string(&["store", "ingest", "--store-dir", dir, "--rows", "50"]).unwrap();
+        let quiet = run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--store-dir",
+            dir,
+            "--repeat",
+            "3",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        // Background writes must not perturb stdout: snapshots freeze
+        // the view before the writer starts.
+        let racing = run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--store-dir",
+            dir,
+            "--repeat",
+            "3",
+            "--seed",
+            "7",
+            "--write-rate",
+            "2000",
+        ])
+        .unwrap();
+        assert_eq!(quiet, racing);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_query_metrics_endpoint_exposes_store_series() {
+        let root = temp_store_root("metrics");
+        let dir = root.to_str().unwrap().to_string();
+        run_to_string(&["store", "init", "--store-dir", &dir, "--nodes", "3"]).unwrap();
+        run_to_string(&["store", "ingest", "--store-dir", &dir, "--rows", "500"]).unwrap();
+
+        // Reserve a free port, release it, and hand it to the CLI.
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        let query = {
+            let dir = dir.clone();
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                // No --stats, no --trace-out: the endpoint alone must
+                // stand up a live registry (the regression this pins).
+                run_to_string(&[
+                    "query",
+                    "--kind",
+                    "topk",
+                    "--k",
+                    "2",
+                    "--store-dir",
+                    &dir,
+                    "--repeat",
+                    "2000",
+                    "--pipeline",
+                    "4",
+                    "--metrics-addr",
+                    &addr,
+                ])
+            })
+        };
+        let mut body = String::new();
+        for _ in 0..400 {
+            if let Ok(scraped) = privtopk_observe::scrape(&addr) {
+                body = scraped;
+                if body.contains("privtopk_store_rows_total") {
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let out = query.join().unwrap().unwrap();
+        assert!(out.contains("metrics: serving on"), "{out}");
+        assert!(
+            body.contains("privtopk_store_rows_total 1500"),
+            "store row count missing from scrape: {body}"
+        );
+        for series in [
+            "privtopk_store_index_rebuilds_total",
+            "privtopk_store_index_depth",
+            "privtopk_store_snapshot_age",
+        ] {
+            assert!(body.contains(series), "missing {series} in scrape: {body}");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_query_rejects_unsupported_modes() {
+        let root = temp_store_root("rejects");
+        let dir = root.to_str().unwrap();
+        run_to_string(&["store", "init", "--store-dir", dir, "--nodes", "3"]).unwrap();
+        assert!(run_to_string(&["query", "--kind", "min", "--store-dir", dir]).is_err());
+        assert!(run_to_string(&["audit", "--kind", "max", "--store-dir", dir]).is_err());
+        assert!(
+            run_to_string(&["query", "--kind", "max", "--store-dir", dir, "--batch", "2"]).is_err()
+        );
+        // Missing --store-dir on store subcommands.
+        assert!(run_to_string(&["store", "ingest"]).is_err());
+        // Query against a dir with no stores.
+        let empty = temp_store_root("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--store-dir",
+            empty.to_str().unwrap()
+        ])
+        .is_err());
+        let _ = std::fs::remove_dir_all(&root);
+        let _ = std::fs::remove_dir_all(&empty);
     }
 
     #[test]

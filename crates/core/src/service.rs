@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use privtopk_domain::{NodeId, RingPosition, TopKVector};
+use privtopk_domain::{LocalTopkSource, NodeId, RingPosition, TopKVector};
 use privtopk_observe::{Ctx, Histogram, HistogramSnapshot, Phase, Recorder};
 use privtopk_ring::transport::{send_value_traced, FramePool, Transport};
 use privtopk_ring::wire::decode_from_bytes;
@@ -785,6 +785,47 @@ impl ServiceRuntime {
         })
     }
 
+    /// Starts the service over [`LocalTopkSource`] backends instead of
+    /// pre-extracted vectors: each node's local top-k snapshot is
+    /// acquired here, at worker setup, so the standing ring answers
+    /// every query from one consistent view per node while writes keep
+    /// landing in the underlying stores.
+    ///
+    /// # Errors
+    ///
+    /// As [`start`](Self::start), plus [`ProtocolError::Domain`] if a
+    /// source cannot produce an exact top-`k` vector.
+    pub fn start_from_sources<S>(
+        sources: &[S],
+        k: usize,
+        network: NetworkKind,
+        depth: usize,
+    ) -> Result<ServiceRuntime, ProtocolError>
+    where
+        S: LocalTopkSource,
+    {
+        Self::start_from_sources_traced(sources, k, network, depth, Recorder::disabled())
+    }
+
+    /// [`start_from_sources`](Self::start_from_sources) with telemetry.
+    ///
+    /// # Errors
+    ///
+    /// As [`start_from_sources`](Self::start_from_sources).
+    pub fn start_from_sources_traced<S>(
+        sources: &[S],
+        k: usize,
+        network: NetworkKind,
+        depth: usize,
+        recorder: Recorder,
+    ) -> Result<ServiceRuntime, ProtocolError>
+    where
+        S: LocalTopkSource,
+    {
+        let locals = snapshot_sources(sources, k)?;
+        Self::start_traced(&locals, network, depth, recorder)
+    }
+
     /// Number of member nodes on the standing ring.
     #[must_use]
     pub fn nodes(&self) -> usize {
@@ -1077,6 +1118,19 @@ pub struct ShardedService {
     shards: Vec<ServiceRuntime>,
 }
 
+/// Acquires one consistent local top-k snapshot per source — the bridge
+/// from [`LocalTopkSource`] backends to the vector-based service
+/// constructors.
+fn snapshot_sources<S>(sources: &[S], k: usize) -> Result<Vec<TopKVector>, ProtocolError>
+where
+    S: LocalTopkSource,
+{
+    sources
+        .iter()
+        .map(|s| s.local_topk(k).map_err(ProtocolError::from))
+        .collect()
+}
+
 impl ShardedService {
     /// Starts `workers` independent shards, each a standing ring over
     /// its own `network` with pipeline `depth`.
@@ -1116,6 +1170,29 @@ impl ShardedService {
             .map(|_| ServiceRuntime::start_traced(locals, network, depth, recorder.clone()))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ShardedService { shards })
+    }
+
+    /// [`start`](Self::start) over [`LocalTopkSource`] backends: each
+    /// node's snapshot is acquired once, here, and shared by all
+    /// shards, so the whole sharded service answers from one consistent
+    /// per-node view.
+    ///
+    /// # Errors
+    ///
+    /// As [`start`](Self::start), plus [`ProtocolError::Domain`] if a
+    /// source cannot produce an exact top-`k` vector.
+    pub fn start_from_sources<S>(
+        sources: &[S],
+        k: usize,
+        network: NetworkKind,
+        depth: usize,
+        workers: usize,
+    ) -> Result<ShardedService, ProtocolError>
+    where
+        S: LocalTopkSource,
+    {
+        let locals = snapshot_sources(sources, k)?;
+        Self::start_traced(&locals, network, depth, workers, Recorder::disabled())
     }
 
     /// Number of shards (independent standing rings).
@@ -1260,6 +1337,84 @@ mod tests {
         ProtocolConfig::topk(k)
             .with_schedule(Schedule::paper_default())
             .with_rounds(RoundPolicy::Fixed(6))
+    }
+
+    struct VecSource {
+        values: Vec<Value>,
+        domain: ValueDomain,
+    }
+
+    impl LocalTopkSource for VecSource {
+        fn local_topk(&self, k: usize) -> Result<TopKVector, privtopk_domain::DomainError> {
+            TopKVector::from_values(k, self.values.iter().copied(), &self.domain)
+        }
+
+        fn row_count(&self) -> u64 {
+            self.values.len() as u64
+        }
+    }
+
+    #[test]
+    fn source_backed_service_matches_vector_backed() {
+        let locals = locals(4, 3, 21);
+        let sources: Vec<VecSource> = locals
+            .iter()
+            .map(|v| VecSource {
+                values: v.as_slice().to_vec(),
+                domain: ValueDomain::paper_default(),
+            })
+            .collect();
+        let cfg = config(3);
+        let mut from_vectors = ServiceRuntime::start(&locals, NetworkKind::InMemory, 1).unwrap();
+        let mut from_sources =
+            ServiceRuntime::start_from_sources(&sources, 3, NetworkKind::InMemory, 1).unwrap();
+        assert_eq!(from_sources.nodes(), 4);
+        for seed in 0..4u64 {
+            let a = from_vectors.run(&cfg, seed).unwrap();
+            let b = from_sources.run(&cfg, seed).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+        }
+        from_vectors.shutdown().unwrap();
+        from_sources.shutdown().unwrap();
+    }
+
+    #[test]
+    fn source_backed_service_rejects_zero_k() {
+        let sources: Vec<VecSource> = (0..3)
+            .map(|_| VecSource {
+                values: vec![Value::new(5)],
+                domain: ValueDomain::paper_default(),
+            })
+            .collect();
+        assert!(matches!(
+            ServiceRuntime::start_from_sources(&sources, 0, NetworkKind::InMemory, 1),
+            Err(ProtocolError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_service_from_sources_runs_workload() {
+        let locals = locals(4, 2, 5);
+        let sources: Vec<VecSource> = locals
+            .iter()
+            .map(|v| VecSource {
+                values: v.as_slice().to_vec(),
+                domain: ValueDomain::paper_default(),
+            })
+            .collect();
+        let cfg = config(2);
+        let workload: Vec<(ProtocolConfig, u64)> =
+            (0..6u64).map(|seed| (cfg.clone(), seed)).collect();
+        let mut sharded =
+            ShardedService::start_from_sources(&sources, 2, NetworkKind::InMemory, 2, 2).unwrap();
+        let outcomes = sharded.run_workload(&workload).unwrap();
+        let mut solo = ServiceRuntime::start(&locals, NetworkKind::InMemory, 1).unwrap();
+        for (i, (cfg, seed)) in workload.iter().enumerate() {
+            let expected = solo.run(cfg, *seed).unwrap();
+            assert_eq!(outcomes[i], expected, "query {i}");
+        }
+        solo.shutdown().unwrap();
+        sharded.shutdown().unwrap();
     }
 
     #[test]

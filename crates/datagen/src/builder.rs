@@ -145,7 +145,78 @@ impl DatasetBuilder {
         }
         Ok(out)
     }
+
+    /// A lazy value stream for one node — the streaming-ingest path.
+    ///
+    /// Yields exactly the values [`build`](Self::build) would place in
+    /// node `node`'s database, in the same order (same per-node RNG
+    /// stream, same sequential draws), but one at a time: feeding the
+    /// stream straight into a persistent store keeps peak memory
+    /// independent of the row count, which is what lets a 1-core
+    /// container seed 10^6+ rows per node.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build): invalid node count, row range, or
+    /// distribution parameters — plus `node >= nodes`.
+    pub fn node_value_stream(&self, node: usize) -> Result<NodeValueStream, DatagenError> {
+        if self.nodes == 0 {
+            return Err(DatagenError::InvalidParameter {
+                what: "dataset needs at least one node",
+            });
+        }
+        if node >= self.nodes {
+            return Err(DatagenError::InvalidParameter {
+                what: "node index out of range",
+            });
+        }
+        if self.rows_min > self.rows_max {
+            return Err(DatagenError::InvalidParameter {
+                what: "rows_between requires min <= max",
+            });
+        }
+        let sampler = self.distribution.sampler(self.domain)?;
+        let spec = SeedSpec::new(self.seed);
+        let mut rng = spec.stream(STREAM_NODE_DATA).stream(node as u64).rng();
+        let remaining = if self.rows_min == self.rows_max {
+            self.rows_min
+        } else {
+            rng.gen_range(self.rows_min..=self.rows_max)
+        };
+        Ok(NodeValueStream {
+            sampler,
+            rng,
+            remaining,
+        })
+    }
 }
+
+/// Lazy per-node value generator returned by
+/// [`DatasetBuilder::node_value_stream`].
+#[derive(Debug)]
+pub struct NodeValueStream {
+    sampler: crate::Sampler,
+    rng: rand::rngs::SmallRng,
+    remaining: usize,
+}
+
+impl Iterator for NodeValueStream {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.sampler.sample(&mut self.rng))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for NodeValueStream {}
 
 #[cfg(test)]
 mod tests {
@@ -180,7 +251,7 @@ mod tests {
             .seed(3)
             .build()
             .unwrap();
-        assert_ne!(dbs[0].sensitive_values(), dbs[1].sensitive_values());
+        assert!(!dbs[0].sensitive_values().eq(dbs[1].sensitive_values()));
     }
 
     #[test]
@@ -213,6 +284,40 @@ mod tests {
     }
 
     #[test]
+    fn value_stream_matches_build_exactly() {
+        let builder = DatasetBuilder::new(3)
+            .rows_between(10, 40)
+            .distribution(DataDistribution::classic_zipf())
+            .seed(11);
+        let dbs = builder.build().unwrap();
+        for (i, db) in dbs.iter().enumerate() {
+            let streamed: Vec<Value> = builder.node_value_stream(i).unwrap().collect();
+            assert!(
+                db.sensitive_values().eq(streamed.iter().copied()),
+                "node {i} stream diverged from build()"
+            );
+        }
+    }
+
+    #[test]
+    fn value_stream_validates_node_index() {
+        let builder = DatasetBuilder::new(2);
+        assert!(builder.node_value_stream(2).is_err());
+        assert!(DatasetBuilder::new(0).node_value_stream(0).is_err());
+    }
+
+    #[test]
+    fn value_stream_reports_exact_length() {
+        let stream = DatasetBuilder::new(1)
+            .rows_per_node(25)
+            .seed(2)
+            .node_value_stream(0)
+            .unwrap();
+        assert_eq!(stream.len(), 25);
+        assert_eq!(stream.count(), 25);
+    }
+
+    #[test]
     fn custom_domain_respected() {
         let domain = ValueDomain::new(Value::new(100), Value::new(200)).unwrap();
         let dbs = DatasetBuilder::new(2)
@@ -222,7 +327,7 @@ mod tests {
             .build()
             .unwrap();
         for db in dbs {
-            assert!(db.sensitive_values().iter().all(|v| domain.contains(*v)));
+            assert!(db.sensitive_values().all(|v| domain.contains(v)));
         }
     }
 }

@@ -54,7 +54,7 @@ impl PrivateDatabase {
         sensitive_column: &str,
     ) -> Result<Self, DatagenError> {
         let sensitive = table.column_by_name(sensitive_column)?;
-        for v in table.column_values(sensitive) {
+        for v in table.column_iter(sensitive) {
             if !domain.contains(v) {
                 return Err(DomainError::OutOfDomain { value: v }.into());
             }
@@ -120,10 +120,10 @@ impl PrivateDatabase {
         &self.table
     }
 
-    /// The sensitive column's values, unsorted.
-    #[must_use]
-    pub fn sensitive_values(&self) -> Vec<Value> {
-        self.table.column_values(self.sensitive)
+    /// The sensitive column's values, unsorted, borrowed from the table
+    /// (no per-call column clone).
+    pub fn sensitive_values(&self) -> impl ExactSizeIterator<Item = Value> + '_ {
+        self.table.column_iter(self.sensitive)
     }
 
     /// The node's local top-k vector for the protocol: its `k` largest
@@ -146,6 +146,16 @@ impl PrivateDatabase {
     /// nothing).
     pub fn local_max(&self) -> Result<Value, DomainError> {
         Ok(self.local_topk(1)?.first())
+    }
+}
+
+impl privtopk_domain::LocalTopkSource for PrivateDatabase {
+    fn local_topk(&self, k: usize) -> Result<TopKVector, DomainError> {
+        PrivateDatabase::local_topk(self, k)
+    }
+
+    fn row_count(&self) -> u64 {
+        self.table.len() as u64
     }
 }
 
@@ -216,7 +226,10 @@ mod tests {
         assert_eq!(d.local_max().unwrap(), Value::new(700));
         assert_eq!(d.owner(), NodeId::new(3));
         // The region column (value 1, 2) is not part of the query.
-        assert_eq!(d.sensitive_values(), vec![Value::new(700), Value::new(300)]);
+        assert_eq!(
+            d.sensitive_values().collect::<Vec<_>>(),
+            vec![Value::new(700), Value::new(300)]
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod distribution;
 mod error;
 mod table;
 
-pub use builder::DatasetBuilder;
+pub use builder::{DatasetBuilder, NodeValueStream};
 pub use database::PrivateDatabase;
 pub use distribution::{DataDistribution, Sampler, ZipfSampler};
 pub use error::DatagenError;

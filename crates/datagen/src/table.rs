@@ -134,9 +134,18 @@ impl Table {
     }
 
     /// Extracts all values of one column (in row order).
+    ///
+    /// Allocates a fresh vector; prefer [`column_iter`](Self::column_iter)
+    /// when a pass over the column is all that is needed.
     #[must_use]
     pub fn column_values(&self, col: ColumnId) -> Vec<Value> {
-        self.rows.iter().map(|r| r[col.0]).collect()
+        self.column_iter(col).collect()
+    }
+
+    /// Iterates over one column's values (in row order) without
+    /// allocating.
+    pub fn column_iter(&self, col: ColumnId) -> impl ExactSizeIterator<Item = Value> + '_ {
+        self.rows.iter().map(move |r| r[col.0])
     }
 
     /// Iterates over rows.

@@ -37,6 +37,15 @@ pub enum DomainError {
         /// `k` of the right operand.
         right: usize,
     },
+    /// A bounded candidate view held too few values to answer a top-k
+    /// request exactly (the backing [`crate::LocalTopkSource`] must be
+    /// rebuilt or re-snapshotted with a larger candidate budget).
+    InsufficientCandidates {
+        /// Candidates available in the view.
+        have: usize,
+        /// Candidates needed for an exact answer.
+        need: usize,
+    },
 }
 
 impl fmt::Display for DomainError {
@@ -54,6 +63,12 @@ impl fmt::Display for DomainError {
             }
             DomainError::MismatchedK { left, right } => {
                 write!(f, "mismatched top-k sizes: {left} vs {right}")
+            }
+            DomainError::InsufficientCandidates { have, need } => {
+                write!(
+                    f,
+                    "candidate view holds {have} values but {need} are needed"
+                )
             }
         }
     }
@@ -92,6 +107,7 @@ mod tests {
                 value: Value::new(-1),
             },
             DomainError::MismatchedK { left: 3, right: 4 },
+            DomainError::InsufficientCandidates { have: 2, need: 5 },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

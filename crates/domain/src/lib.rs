@@ -11,6 +11,9 @@
 //! - [`TopKVector`]: the ordered multiset of `k` values passed around the
 //!   ring (the "global top-k vector" of Algorithm 2).
 //! - [`NodeId`] / [`RingPosition`]: identities of participating databases.
+//! - [`LocalTopkSource`]: the read capability a node's backing store must
+//!   provide to the protocol's local phase, abstracting over in-memory
+//!   synthetic tables and persistent stores.
 //! - [`Claim`], [`ExposureKind`], [`PrivacySpectrum`]: the privacy
 //!   taxonomy of Section 2.
 //! - [`rng`]: deterministic seed derivation so that every experiment in the
@@ -36,11 +39,13 @@ mod claim;
 mod error;
 mod node;
 pub mod rng;
+mod source;
 mod topk;
 mod value;
 
 pub use claim::{Claim, ExposureKind, PrivacySpectrum};
 pub use error::DomainError;
 pub use node::{NodeId, RingPosition};
+pub use source::LocalTopkSource;
 pub use topk::TopKVector;
 pub use value::{Value, ValueDomain};

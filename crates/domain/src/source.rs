@@ -1,0 +1,140 @@
+//! The [`LocalTopkSource`] abstraction over a node's private data.
+//!
+//! The protocol's local phase ("each node first sorts its values") only
+//! ever needs one thing from a node's database: its local top-k vector.
+//! This trait names that capability so the ring, the standing service
+//! and the federation can run against *any* backend — the synthetic
+//! in-memory tables of `privtopk-datagen` or the persistent
+//! log-structured store of `privtopk-store` — without caring how the
+//! vector is produced.
+//!
+//! Implementations must be consistent: two calls to
+//! [`local_topk`](LocalTopkSource::local_topk) with the same `k` and no
+//! intervening writes must return identical vectors. Snapshot-style
+//! backends expose [`source_epoch`](LocalTopkSource::source_epoch) so a
+//! caller can tell whether the view it captured is still current.
+
+use crate::{DomainError, TopKVector};
+
+/// A read view over one node's private values, sufficient to answer the
+/// protocol's local phase.
+///
+/// The trait is object-safe; the service layer holds
+/// `&dyn LocalTopkSource` (or boxed/`Arc`ed forms) per node.
+pub trait LocalTopkSource: Send + Sync {
+    /// The node's local top-k vector: its `k` largest private values in
+    /// descending order, floor-padded when fewer than `k` rows exist.
+    ///
+    /// # Errors
+    ///
+    /// [`DomainError::ZeroK`] for `k == 0`, plus any backend-specific
+    /// failure surfaced through [`DomainError`].
+    fn local_topk(&self, k: usize) -> Result<TopKVector, DomainError>;
+
+    /// Number of live rows backing this source.
+    fn row_count(&self) -> u64;
+
+    /// Monotonic generation of the view this source answers from.
+    ///
+    /// Immutable backends keep the default `0`; snapshot-based backends
+    /// return the write generation the snapshot was taken at.
+    fn source_epoch(&self) -> u64 {
+        0
+    }
+}
+
+impl<T: LocalTopkSource + ?Sized> LocalTopkSource for &T {
+    fn local_topk(&self, k: usize) -> Result<TopKVector, DomainError> {
+        (**self).local_topk(k)
+    }
+
+    fn row_count(&self) -> u64 {
+        (**self).row_count()
+    }
+
+    fn source_epoch(&self) -> u64 {
+        (**self).source_epoch()
+    }
+}
+
+impl<T: LocalTopkSource + ?Sized> LocalTopkSource for std::sync::Arc<T> {
+    fn local_topk(&self, k: usize) -> Result<TopKVector, DomainError> {
+        (**self).local_topk(k)
+    }
+
+    fn row_count(&self) -> u64 {
+        (**self).row_count()
+    }
+
+    fn source_epoch(&self) -> u64 {
+        (**self).source_epoch()
+    }
+}
+
+impl<T: LocalTopkSource + ?Sized> LocalTopkSource for Box<T> {
+    fn local_topk(&self, k: usize) -> Result<TopKVector, DomainError> {
+        (**self).local_topk(k)
+    }
+
+    fn row_count(&self) -> u64 {
+        (**self).row_count()
+    }
+
+    fn source_epoch(&self) -> u64 {
+        (**self).source_epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Value, ValueDomain};
+
+    struct Fixed {
+        values: Vec<Value>,
+        domain: ValueDomain,
+    }
+
+    impl LocalTopkSource for Fixed {
+        fn local_topk(&self, k: usize) -> Result<TopKVector, DomainError> {
+            TopKVector::from_values(k, self.values.iter().copied(), &self.domain)
+        }
+
+        fn row_count(&self) -> u64 {
+            self.values.len() as u64
+        }
+    }
+
+    fn fixture() -> Fixed {
+        Fixed {
+            values: vec![Value::new(5), Value::new(9), Value::new(2)],
+            domain: ValueDomain::paper_default(),
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let f = fixture();
+        let dyn_ref: &dyn LocalTopkSource = &f;
+        let v = dyn_ref.local_topk(2).unwrap();
+        assert_eq!(v.as_slice(), &[Value::new(9), Value::new(5)]);
+        assert_eq!(dyn_ref.row_count(), 3);
+        assert_eq!(dyn_ref.source_epoch(), 0);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let f = fixture();
+        let arc: std::sync::Arc<dyn LocalTopkSource> = std::sync::Arc::new(fixture());
+        let boxed: Box<dyn LocalTopkSource> = Box::new(fixture());
+        let by_ref = &f;
+        for s in [
+            &arc as &dyn LocalTopkSource,
+            &boxed as &dyn LocalTopkSource,
+            &by_ref as &dyn LocalTopkSource,
+        ] {
+            assert_eq!(s.row_count(), 3);
+            assert_eq!(s.local_topk(1).unwrap().first(), Value::new(9));
+        }
+    }
+}

@@ -385,7 +385,7 @@ impl Federation {
             .map(|m| {
                 let col = m.table().column_by_name(attribute)?;
                 let mut total = 0u64;
-                for v in m.table().column_values(col) {
+                for v in m.table().column_iter(col) {
                     let raw = v.get();
                     if raw < 0 {
                         return Err(FederationError::NegativeAggregate { value: v });
@@ -445,16 +445,24 @@ impl Federation {
         mirrored: bool,
     ) -> Result<TopKVector, FederationError> {
         let col = member.table().column_by_name(attribute)?;
-        let mut values = member.table().column_values(col);
-        for v in &values {
-            if !self.domain.contains(*v) {
-                return Err(privtopk_domain::DomainError::OutOfDomain { value: *v }.into());
+        // Single borrowed pass: domain-check each value and (for min /
+        // bottom-k queries) mirror it on the fly — no column clone.
+        let mut bad = None;
+        let values = member.table().column_iter(col).map(|v| {
+            if !self.domain.contains(v) {
+                bad.get_or_insert(v);
             }
+            if mirrored {
+                self.mirror(v)
+            } else {
+                v
+            }
+        });
+        let vector = TopKVector::from_values(k, values, &self.domain);
+        if let Some(value) = bad {
+            return Err(privtopk_domain::DomainError::OutOfDomain { value }.into());
         }
-        if mirrored {
-            values = values.into_iter().map(|v| self.mirror(v)).collect();
-        }
-        Ok(TopKVector::from_values(k, values, &self.domain)?)
+        Ok(vector?)
     }
 
     /// Mirrors a value inside the domain: `lo + hi − v`.
@@ -840,7 +848,7 @@ mod tests {
         let mut out = Vec::new();
         for m in &f.members {
             let col = m.table().column_by_name(attr).unwrap();
-            out.extend(m.table().column_values(col).iter().map(|v| v.get()));
+            out.extend(m.table().column_iter(col).map(|v| v.get()));
         }
         out
     }

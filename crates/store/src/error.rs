@@ -1,0 +1,104 @@
+//! Error type for the persistent store.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use privtopk_domain::{DomainError, Value};
+
+/// Errors produced by the log-structured store and its candidate index.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The on-disk log failed validation (bad magic, version, truncated
+    /// record, or a delete with no matching insert).
+    Corrupt {
+        /// What exactly failed, for the operator.
+        what: String,
+    },
+    /// A domain-level invariant was violated (out-of-domain value,
+    /// zero `k`, candidate underflow).
+    Domain(DomainError),
+    /// A delete targeted a value the tracked candidate region proves is
+    /// not live.
+    DeleteMissing {
+        /// The value that was not found.
+        value: Value,
+    },
+    /// `create` found an existing store, or `open` found none.
+    Layout {
+        /// What exactly was wrong with the directory.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Corrupt { what } => write!(f, "corrupt store log: {what}"),
+            StoreError::Domain(e) => write!(f, "store domain error: {e}"),
+            StoreError::DeleteMissing { value } => {
+                write!(f, "delete of value {value} not present in the store")
+            }
+            StoreError::Layout { what } => write!(f, "store layout error: {what}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Domain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<DomainError> for StoreError {
+    fn from(e: DomainError) -> Self {
+        StoreError::Domain(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let variants: Vec<StoreError> = vec![
+            StoreError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")),
+            StoreError::Corrupt {
+                what: "truncated record".into(),
+            },
+            StoreError::Domain(DomainError::ZeroK),
+            StoreError::DeleteMissing {
+                value: Value::new(7),
+            },
+            StoreError::Layout {
+                what: "store already exists",
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_and_domain_sources_are_chained() {
+        let e = StoreError::from(io::Error::other("disk"));
+        assert!(e.source().is_some());
+        let e = StoreError::from(DomainError::ZeroK);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,53 @@
+//! Persistent per-node storage for the `privtopk` workspace.
+//!
+//! The paper's protocol opens with "each node first sorts its values" —
+//! this crate makes that local phase cheap at real database sizes. A
+//! [`NodeStore`] is an append-only, log-structured record store (see
+//! [`log`] for the on-disk format) topped by an incrementally
+//! maintained ordered candidate index ([`index`]): inserts and deletes
+//! cost `O(log c)` against a bounded candidate set, queries read the
+//! candidates directly, and a full pass over the data happens only on
+//! the periodic rebuild/compaction path — never per query.
+//!
+//! Epoch-based [`StoreSnapshot`] handles give a standing
+//! `ServiceRuntime` a consistent view while writes land concurrently:
+//! every query transcript is bit-identical to a run against a frozen
+//! copy of the data at the snapshot's generation.
+//!
+//! Both [`NodeStore`] and [`StoreSnapshot`] implement
+//! [`privtopk_domain::LocalTopkSource`], the same trait the synthetic
+//! in-memory databases implement — the ring does not know which backend
+//! it is reading.
+//!
+//! # Example
+//!
+//! ```
+//! use privtopk_domain::{LocalTopkSource, Value, ValueDomain};
+//! use privtopk_store::NodeStore;
+//!
+//! let dir = std::env::temp_dir().join(format!("pts-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let store = NodeStore::create(&dir, ValueDomain::paper_default())?;
+//! store.insert_many([Value::new(870), Value::new(430), Value::new(990)])?;
+//! let snap = store.snapshot_for_k(2)?;
+//! store.insert(Value::new(5_000))?; // lands after the snapshot
+//! let top = snap.local_topk(2)?;
+//! assert_eq!(top.as_slice(), &[Value::new(990), Value::new(870)]);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod index;
+pub mod log;
+mod store;
+
+pub use error::StoreError;
+pub use index::CandidateIndex;
+pub use store::{
+    counts_of, publish_store_metrics, NodeStore, StoreSnapshot, StoreStats, METRIC_INDEX_DEPTH,
+    METRIC_REBUILDS, METRIC_ROWS, METRIC_SNAPSHOT_AGE,
+};

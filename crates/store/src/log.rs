@@ -1,0 +1,359 @@
+//! The append-only on-disk record log.
+//!
+//! One store directory holds one log file, `store.log`:
+//!
+//! ```text
+//! header  (24 bytes):  magic "PTKS" | version u32 LE | domain min i64 LE | domain max i64 LE
+//! records ( 9 bytes):  tag u8 (1 = insert, 2 = delete) | value i64 LE
+//! ```
+//!
+//! The log is the single source of truth: the in-memory candidate index
+//! is a bounded cache rebuilt by replaying it. Replay aggregates *net
+//! per-value counts* (insert `+1`, delete `-1`), so rebuild memory is
+//! bounded by the number of distinct domain values, never by row count —
+//! the property that lets a 1-core container replay a multi-million-row
+//! log.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use privtopk_domain::{Value, ValueDomain};
+
+use crate::StoreError;
+
+/// Log file name inside a store directory.
+pub const LOG_FILE: &str = "store.log";
+
+const MAGIC: [u8; 4] = *b"PTKS";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 24;
+/// Bytes per record: tag byte plus a little-endian `i64` value.
+pub const RECORD_LEN: usize = 9;
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+/// One logical operation in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A row with this sensitive value became live.
+    Insert(Value),
+    /// A previously inserted row with this value was removed.
+    Delete(Value),
+}
+
+/// Path of the log file inside `dir`.
+#[must_use]
+pub fn log_path(dir: &Path) -> PathBuf {
+    dir.join(LOG_FILE)
+}
+
+fn encode_header(domain: &ValueDomain) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&domain.min().get().to_le_bytes());
+    h[16..24].copy_from_slice(&domain.max().get().to_le_bytes());
+    h
+}
+
+fn decode_header(h: &[u8; HEADER_LEN]) -> Result<ValueDomain, StoreError> {
+    if h[..4] != MAGIC {
+        return Err(StoreError::Corrupt {
+            what: "bad magic (not a privtopk store log)".into(),
+        });
+    }
+    let version = u32::from_le_bytes(h[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StoreError::Corrupt {
+            what: format!("unsupported log version {version}"),
+        });
+    }
+    let min = i64::from_le_bytes(h[8..16].try_into().expect("8 bytes"));
+    let max = i64::from_le_bytes(h[16..24].try_into().expect("8 bytes"));
+    ValueDomain::new(Value::new(min), Value::new(max)).map_err(|e| StoreError::Corrupt {
+        what: format!("invalid domain in header: {e}"),
+    })
+}
+
+fn encode_record(rec: LogRecord) -> [u8; RECORD_LEN] {
+    let (tag, v) = match rec {
+        LogRecord::Insert(v) => (TAG_INSERT, v),
+        LogRecord::Delete(v) => (TAG_DELETE, v),
+    };
+    let mut buf = [0u8; RECORD_LEN];
+    buf[0] = tag;
+    buf[1..].copy_from_slice(&v.get().to_le_bytes());
+    buf
+}
+
+fn decode_record(buf: &[u8; RECORD_LEN]) -> Result<LogRecord, StoreError> {
+    let v = Value::new(i64::from_le_bytes(buf[1..].try_into().expect("8 bytes")));
+    match buf[0] {
+        TAG_INSERT => Ok(LogRecord::Insert(v)),
+        TAG_DELETE => Ok(LogRecord::Delete(v)),
+        tag => Err(StoreError::Corrupt {
+            what: format!("unknown record tag {tag}"),
+        }),
+    }
+}
+
+/// Buffered append handle over the log file.
+#[derive(Debug)]
+pub struct LogWriter {
+    out: BufWriter<File>,
+    records: u64,
+}
+
+impl LogWriter {
+    /// Creates a fresh log (header only) at `path`, failing if one
+    /// already exists.
+    pub fn create(path: &Path, domain: &ValueDomain) -> Result<LogWriter, StoreError> {
+        let file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&encode_header(domain))?;
+        out.flush()?;
+        Ok(LogWriter { out, records: 0 })
+    }
+
+    /// Opens an existing log for appending; `records` is the replayed
+    /// record count (the writer only tracks what it appends on top).
+    pub fn open_append(path: &Path, records: u64) -> Result<LogWriter, StoreError> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(LogWriter {
+            out: BufWriter::new(file),
+            records,
+        })
+    }
+
+    /// Appends one record (buffered; call [`flush`](Self::flush) to make
+    /// it visible to readers).
+    pub fn append(&mut self, rec: LogRecord) -> Result<(), StoreError> {
+        self.out.write_all(&encode_record(rec))?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered records to the file.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.out.flush()?;
+        Ok(())
+    }
+
+    /// Total records in the log (replayed base plus appended).
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// Result of replaying a log: the domain from the header, net live
+/// counts per value, and the raw record count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// Domain recorded in the log header.
+    pub domain: ValueDomain,
+    /// Net live occurrences per value (`insert − delete`), zero entries
+    /// removed.
+    pub counts: BTreeMap<Value, u64>,
+    /// Number of records replayed.
+    pub records: u64,
+}
+
+impl Replay {
+    /// Total live rows.
+    #[must_use]
+    pub fn live_rows(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+/// Replays the full log at `path` into net per-value counts.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] on a bad header, a truncated record, an
+/// unknown tag, or a delete with no matching insert; [`StoreError::Io`]
+/// on filesystem failure.
+pub fn replay(path: &Path) -> Result<Replay, StoreError> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut header = [0u8; HEADER_LEN];
+    reader
+        .read_exact(&mut header)
+        .map_err(|_| StoreError::Corrupt {
+            what: "log shorter than its header".into(),
+        })?;
+    let domain = decode_header(&header)?;
+
+    let mut counts: BTreeMap<Value, i64> = BTreeMap::new();
+    let mut records = 0u64;
+    let mut buf = [0u8; RECORD_LEN];
+    loop {
+        if reader.read(&mut buf[..1])? == 0 {
+            break;
+        }
+        reader
+            .read_exact(&mut buf[1..])
+            .map_err(|_| StoreError::Corrupt {
+                what: format!("truncated record at index {records}"),
+            })?;
+        records += 1;
+        match decode_record(&buf)? {
+            LogRecord::Insert(v) => {
+                if !domain.contains(v) {
+                    return Err(StoreError::Corrupt {
+                        what: format!("logged value {v} outside the header domain"),
+                    });
+                }
+                *counts.entry(v).or_insert(0) += 1;
+            }
+            LogRecord::Delete(v) => {
+                let c = counts.entry(v).or_insert(0);
+                *c -= 1;
+                if *c < 0 {
+                    return Err(StoreError::Corrupt {
+                        what: format!("delete of {v} with no live insert (record {records})"),
+                    });
+                }
+            }
+        }
+    }
+    let counts = counts
+        .into_iter()
+        .filter(|&(_, c)| c > 0)
+        .map(|(v, c)| (v, c as u64))
+        .collect();
+    Ok(Replay {
+        domain,
+        counts,
+        records,
+    })
+}
+
+/// Writes a compacted log — header plus one insert per live occurrence
+/// in ascending value order — to `path` (atomically replaced by the
+/// caller via rename).
+pub fn write_compacted(
+    path: &Path,
+    domain: &ValueDomain,
+    counts: &BTreeMap<Value, u64>,
+) -> Result<u64, StoreError> {
+    let file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)?;
+    let mut out = BufWriter::new(file);
+    out.write_all(&encode_header(domain))?;
+    let mut records = 0u64;
+    for (&v, &c) in counts {
+        for _ in 0..c {
+            out.write_all(&encode_record(LogRecord::Insert(v)))?;
+            records += 1;
+        }
+    }
+    out.flush()?;
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("privtopk-store-log-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_insert_delete_counts() {
+        let dir = tmp_dir("roundtrip");
+        let path = log_path(&dir);
+        let domain = ValueDomain::paper_default();
+        let mut w = LogWriter::create(&path, &domain).unwrap();
+        for v in [5, 9, 5, 7] {
+            w.append(LogRecord::Insert(Value::new(v))).unwrap();
+        }
+        w.append(LogRecord::Delete(Value::new(5))).unwrap();
+        w.flush().unwrap();
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.records, 5);
+        assert_eq!(replayed.domain, domain);
+        assert_eq!(replayed.live_rows(), 3);
+        assert_eq!(replayed.counts.get(&Value::new(5)), Some(&1));
+        assert_eq!(replayed.counts.get(&Value::new(9)), Some(&1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_refuses_existing_log() {
+        let dir = tmp_dir("existing");
+        let path = log_path(&dir);
+        let domain = ValueDomain::paper_default();
+        LogWriter::create(&path, &domain).unwrap();
+        assert!(LogWriter::create(&path, &domain).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_record_is_corrupt() {
+        let dir = tmp_dir("truncated");
+        let path = log_path(&dir);
+        let domain = ValueDomain::paper_default();
+        let mut w = LogWriter::create(&path, &domain).unwrap();
+        w.append(LogRecord::Insert(Value::new(3))).unwrap();
+        w.flush().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        assert!(matches!(replay(&path), Err(StoreError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = tmp_dir("magic");
+        let path = log_path(&dir);
+        std::fs::write(&path, [0u8; 40]).unwrap();
+        assert!(matches!(replay(&path), Err(StoreError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unmatched_delete_rejected() {
+        let dir = tmp_dir("unmatched");
+        let path = log_path(&dir);
+        let domain = ValueDomain::paper_default();
+        let mut w = LogWriter::create(&path, &domain).unwrap();
+        w.append(LogRecord::Delete(Value::new(8))).unwrap();
+        w.flush().unwrap();
+        assert!(matches!(replay(&path), Err(StoreError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compacted_log_replays_to_same_counts() {
+        let dir = tmp_dir("compact");
+        let path = log_path(&dir);
+        let domain = ValueDomain::paper_default();
+        let mut w = LogWriter::create(&path, &domain).unwrap();
+        for v in [4, 4, 9, 2, 9, 9] {
+            w.append(LogRecord::Insert(Value::new(v))).unwrap();
+        }
+        w.append(LogRecord::Delete(Value::new(9))).unwrap();
+        w.flush().unwrap();
+        let before = replay(&path).unwrap();
+        let compacted = dir.join("compacted.log");
+        let n = write_compacted(&compacted, &domain, &before.counts).unwrap();
+        assert_eq!(n, before.live_rows());
+        let after = replay(&compacted).unwrap();
+        assert_eq!(after.counts, before.counts);
+        assert_eq!(after.records, before.live_rows());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,8 +9,12 @@
 # runtime (warm vs cold queries/sec at pipeline depths {1,4,16}, plus a
 # cores x depth sharded-service matrix) into BENCH_service.json,
 # asserting service/solo transcript identity plus the warm >= 2x cold
-# floor. Every BENCH_*.json carries a "machine" block (logical cores,
-# cargo profile) so figures are never compared across machines blindly.
+# floor, and finally the persistent node store (local top-k latency vs
+# row count up to 10^6, cold opens, service under concurrent ingest)
+# into BENCH_store.json, asserting the sublinear-latency gate and
+# frozen-snapshot transcript identity. Every BENCH_*.json carries a
+# "machine" block (logical cores, cargo profile) so figures are never
+# compared across machines blindly.
 #
 #   scripts/bench_trajectory.sh [trials] [seed]
 #
@@ -139,3 +143,30 @@ grep -q '"machine"' "$SERVICE_OUT" \
 grep -q '"cores_by_depth"' "$SERVICE_OUT" \
     || { echo "error: cores x depth matrix missing from $SERVICE_OUT" >&2; exit 1; }
 echo "wrote $SERVICE_OUT"
+
+# --- persistent node store -------------------------------------------
+# Local top-k latency against on-disk stores at 10^4..10^6 rows (warm
+# incremental queries with a cache-busting insert between samples, cold
+# log-replay opens, and the full re-sort baseline), plus a standing
+# service answering queries while a writer floods the stores. The
+# binary asserts the sublinear gate (10^6-row p50 under 10x the
+# 10^4-row p50), agreement with the re-sort oracle at every row count,
+# and transcript bit-identity with a frozen-snapshot run — a successful
+# exit IS the acceptance check.
+STORE_BIN="$REPO_ROOT/target/release/store"
+STORE_OUT="$REPO_ROOT/BENCH_store.json"
+
+command -v cargo >/dev/null 2>&1 && cargo build --release -p privtopk-bench --bin store
+[ -x "$STORE_BIN" ] || { echo "error: $STORE_BIN not built" >&2; exit 1; }
+
+echo "benchmarking persistent node store ..."
+"$STORE_BIN" 1000000 "$STORE_OUT"
+grep -q '"machine"' "$STORE_OUT" \
+    || { echo "error: machine block missing from $STORE_OUT" >&2; exit 1; }
+grep -q '"local_topk"' "$STORE_OUT" \
+    || { echo "error: local top-k latency table missing from $STORE_OUT" >&2; exit 1; }
+grep -q '"sublinear_gate"' "$STORE_OUT" \
+    || { echo "error: sublinear gate block missing from $STORE_OUT" >&2; exit 1; }
+grep -q '"service_under_ingest"' "$STORE_OUT" \
+    || { echo "error: service-under-ingest block missing from $STORE_OUT" >&2; exit 1; }
+echo "wrote $STORE_OUT"

@@ -31,6 +31,16 @@ cargo test --test trace_no_leak
 echo "==> cargo test -p privtopk-core --test codec_proptests"
 cargo test -p privtopk-core --test codec_proptests
 
+# Storage gates, run by name: the incremental candidate index must
+# agree with a full re-sort over randomized insert/delete/query
+# interleavings, and a standing service racing a writer thread must
+# produce transcripts bit-identical to a frozen-snapshot run.
+echo "==> cargo test --test store_index_equivalence"
+cargo test --test store_index_equivalence
+
+echo "==> cargo test --test store_snapshot_isolation"
+cargo test --test store_snapshot_isolation
+
 echo "==> cargo test -p privtopk-core --lib compact_b64_mean_frame_under_budget"
 BUDGET_OUT=$(cargo test -p privtopk-core --lib compact_b64_mean_frame_under_budget 2>&1)
 echo "$BUDGET_OUT"

@@ -20,6 +20,7 @@
 //! | [`analysis`] | `privtopk-analysis` | the paper's closed-form bounds (Eqs. 2–6) |
 //! | [`experiments`] | `privtopk-experiments` | per-figure reproduction harness |
 //! | [`knn`] | `privtopk-knn` | private kNN classification (the paper's future work) |
+//! | [`store`] | `privtopk-store` | persistent node storage: append-only log, incremental top-k index, snapshots |
 //! | [`federation`] | `privtopk-federation` | high-level query API (max/min/top-k/bottom-k over named attributes) |
 //! | [`baselines`] | `privtopk-baselines` | kth-ranked-element and trusted-third-party baselines |
 //!
@@ -52,6 +53,7 @@ pub use privtopk_knn as knn;
 pub use privtopk_observe as observe;
 pub use privtopk_privacy as privacy;
 pub use privtopk_ring as ring;
+pub use privtopk_store as store;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -60,9 +62,10 @@ pub mod prelude {
         StartPolicy, Transcript,
     };
     pub use privtopk_datagen::{DataDistribution, DatasetBuilder, PrivateDatabase};
-    pub use privtopk_domain::{NodeId, TopKVector, Value, ValueDomain};
+    pub use privtopk_domain::{LocalTopkSource, NodeId, TopKVector, Value, ValueDomain};
     pub use privtopk_federation::{Federation, QueryBatch, QuerySpec};
     pub use privtopk_privacy::{LopAccumulator, SuccessorAdversary};
+    pub use privtopk_store::{NodeStore, StoreSnapshot};
 }
 
 // Compile the README's code blocks as doctests so the documentation can

@@ -124,7 +124,7 @@ fn kth_element_and_protocol_disclose_differently() {
     let domain = ValueDomain::paper_default();
     let shards: Vec<Vec<Value>> = members(4, 5, 15)
         .iter()
-        .map(|db| db.sensitive_values())
+        .map(|db| db.sensitive_values().collect())
         .collect();
     let out = kth_largest(&shards, 2, &domain, 1).unwrap();
     assert_eq!(out.revealed_counts.len(), out.iterations as usize);

@@ -85,7 +85,7 @@ fn lossy_retransmissions_never_duplicate_critical_path_hops() {
         .iter()
         .map(|db| {
             let col = db.table().column_by_name("value").unwrap();
-            privtopk::domain::TopKVector::from_values(K, db.table().column_values(col), &domain)
+            privtopk::domain::TopKVector::from_values(K, db.table().column_iter(col), &domain)
                 .unwrap()
         })
         .collect();

@@ -295,3 +295,73 @@ fn trace_schema_guard_is_exercised() {
     let allowed: BTreeSet<&str> = ALLOWED_KEYS.iter().copied().collect();
     assert!(fields.iter().all(|(k, _)| allowed.contains(k.as_str())));
 }
+
+/// Property 5 (storage): the store's published metric series are a
+/// fixed, data-independent surface. Two stores built from different
+/// distributions, seeds, and row counts — one mutated and compacted,
+/// one untouched — must expose byte-identical series *names*; only the
+/// sample values may differ.
+#[test]
+fn store_metric_series_are_data_independent() {
+    use privtopk::store::publish_store_metrics;
+
+    let bodies: Vec<String> = [
+        (DataDistribution::Uniform, 0xC0FFEEu64, 120usize, true),
+        (DataDistribution::classic_zipf(), 0xBEEF, 900, false),
+    ]
+    .into_iter()
+    .map(|(dist, seed, rows, churn)| {
+        let dir = std::env::temp_dir().join(format!(
+            "privtopk-test-noleak-store-{seed}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = NodeStore::create(&dir, ValueDomain::paper_default()).unwrap();
+        let stream = DatasetBuilder::new(1)
+            .rows_per_node(rows)
+            .distribution(dist)
+            .seed(seed)
+            .node_value_stream(0)
+            .unwrap();
+        store.insert_many(stream).unwrap();
+        let snap = store.snapshot_for_k(K).unwrap();
+        if churn {
+            let v = snap.top()[0];
+            store.delete(v).unwrap();
+            store.compact().unwrap();
+        }
+        let recorder = Recorder::new();
+        publish_store_metrics(&recorder, &[store.stats()], &[snap.epoch()]);
+        let body = render_summary(&recorder.summary());
+        let _ = std::fs::remove_dir_all(&dir);
+        body
+    })
+    .collect();
+
+    let series_names = |body: &str| -> BTreeSet<String> {
+        body.lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .map(|l| {
+                let (series, value) = l.rsplit_once(' ').expect("sample line");
+                assert!(series.starts_with("privtopk_"), "unprefixed series: {l}");
+                assert!(
+                    !series.contains('{'),
+                    "store series must carry no labels: {l}"
+                );
+                assert!(value.parse::<u64>().is_ok(), "non-integer sample: {l}");
+                series.to_string()
+            })
+            .collect()
+    };
+    let a = series_names(&bodies[0]);
+    let b = series_names(&bodies[1]);
+    assert_eq!(a, b, "store series depend on private data");
+    for required in [
+        "privtopk_store_rows_total",
+        "privtopk_store_index_rebuilds_total",
+        "privtopk_store_index_depth",
+        "privtopk_store_snapshot_age",
+    ] {
+        assert!(a.contains(required), "missing store series {required}");
+    }
+}
