@@ -1,0 +1,151 @@
+//! Privacy-accounting overhead benchmark.
+//!
+//! Runs the same pipelined service workload twice — once bare, once
+//! with a [`LopAccountant`] installed as the runtime's query observer —
+//! and reports the accounting overhead on the hot path. The accountant
+//! is deliberately lazy: `observe` only folds protocol coordinates into
+//! counters, and the Monte-Carlo shadow estimation runs at the first
+//! `snapshot()` (the scrape path), so the gate asserted here is that
+//! accounting costs **under 2%** of untraced throughput.
+//!
+//! Like the tracing gate in the `service` benchmark, each round pairs a
+//! fresh off service against a fresh on service with passes alternating
+//! and takes the best per-round on/off ratio, so thread-placement luck
+//! and machine-load drift hit both sides equally. The run also asserts
+//! the non-interference gate (outcomes bit-identical on vs off) and
+//! times the snapshot path itself: the first call pays the shadow
+//! estimation, every later call is memoized.
+//!
+//! Usage: `privacy [n] [rounds] [queries] [out.json]`
+//! Defaults: n = 6, rounds = 8, queries = 240, out = BENCH_privacy.json
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use privtopk_bench::{bench_locals, machine_json};
+use privtopk_core::distributed::NetworkKind;
+use privtopk_core::service::ServiceRuntime;
+use privtopk_core::{derive_batch_seed, ProtocolConfig, RoundPolicy, StartPolicy};
+use privtopk_privacy::LopAccountant;
+
+const BASE_SEED: u64 = 24301;
+const K: usize = 4;
+const DEPTH: usize = 4;
+const REPS: u32 = 3;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let rounds: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let queries: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(240);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_privacy.json".to_string());
+
+    let config = ProtocolConfig::topk(K)
+        .with_start(StartPolicy::Fixed)
+        .with_rounds(RoundPolicy::Fixed(rounds));
+    let locals = bench_locals(n, K, BASE_SEED);
+    let workload: Vec<(ProtocolConfig, u64)> = (0..queries)
+        .map(|i| (config.clone(), derive_batch_seed(BASE_SEED, i)))
+        .collect();
+
+    eprintln!(
+        "privacy: n={n} k={K} rounds={rounds} queries={queries} depth={DEPTH} reps={REPS} network=in-memory"
+    );
+
+    // Paired on/off rounds; the gate takes the best per-round ratio.
+    let mut best_ratio = f64::INFINITY;
+    let mut off_ms = f64::INFINITY;
+    let mut on_ms = f64::INFINITY;
+    let mut checked_identity = false;
+    let mut queries_accounted = 0u64;
+    for _ in 0..REPS {
+        let mut off_service =
+            ServiceRuntime::start(&locals, NetworkKind::InMemory, DEPTH).expect("service start");
+        let mut on_service =
+            ServiceRuntime::start(&locals, NetworkKind::InMemory, DEPTH).expect("service start");
+        let accountant = Arc::new(LopAccountant::new());
+        on_service.set_observer(Arc::clone(&accountant) as _);
+        let off_outcomes = off_service.run_workload(&workload).expect("warm-up pass");
+        let on_outcomes = on_service.run_workload(&workload).expect("warm-up pass");
+        if !checked_identity {
+            // Non-interference gate: the accountant observes, it never
+            // participates — outcome streams must match bit for bit.
+            assert_eq!(
+                off_outcomes, on_outcomes,
+                "privacy accounting changed a transcript or result"
+            );
+            checked_identity = true;
+        }
+        let mut round_off = f64::INFINITY;
+        let mut round_on = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            std::hint::black_box(off_service.run_workload(&workload).expect("off pass"));
+            round_off = round_off.min(start.elapsed().as_secs_f64() * 1e3);
+            let start = Instant::now();
+            std::hint::black_box(on_service.run_workload(&workload).expect("on pass"));
+            round_on = round_on.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        queries_accounted = accountant.queries_accounted();
+        off_service.shutdown().expect("service shutdown");
+        on_service.shutdown().expect("accounted service shutdown");
+        if round_on / round_off < best_ratio {
+            best_ratio = round_on / round_off;
+            off_ms = round_off;
+            on_ms = round_on;
+        }
+    }
+    let overhead_pct = (best_ratio - 1.0) * 100.0;
+    assert!(
+        overhead_pct < 2.0,
+        "privacy accounting overhead {overhead_pct:.2}% must stay under 2% \
+         (off {off_ms:.2} ms, on {on_ms:.2} ms)"
+    );
+    let off_qps = queries as f64 / (off_ms / 1e3);
+    let on_qps = queries as f64 / (on_ms / 1e3);
+    eprintln!(
+        "  accounting on: {on_ms:>8.2} ms ({on_qps:>8.0} q/s, {overhead_pct:+.2}% vs {off_ms:.2} ms off)"
+    );
+
+    // The deferred cost the hot path avoided: the first snapshot pays
+    // the Monte-Carlo shadow estimation, later ones hit the memo.
+    let accountant = LopAccountant::new();
+    accountant.observe(&config, n, rounds);
+    let start = Instant::now();
+    let snapshot = accountant.snapshot();
+    let first_snapshot_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    std::hint::black_box(accountant.snapshot());
+    let cached_snapshot_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(snapshot.per_node.len(), n, "estimate covers every node");
+    eprintln!(
+        "  snapshot: first {first_snapshot_ms:.3} ms (shadow estimation), cached {cached_snapshot_ms:.4} ms; worst LoP {:.4}",
+        snapshot.worst_lop
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"privacy accounting overhead\",");
+    let _ = writeln!(json, "  \"machine\": {},", machine_json());
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"n\": {n}, \"k\": {K}, \"rounds\": {rounds}, \"queries\": {queries}, \"pipeline_depth\": {DEPTH}, \"network\": \"in-memory\", \"start\": \"fixed\", \"seed\": {BASE_SEED}, \"reps\": {REPS}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"accounting\": {{\"off_total_ms\": {off_ms:.3}, \"on_total_ms\": {on_ms:.3}, \"off_queries_per_sec\": {off_qps:.1}, \"on_queries_per_sec\": {on_qps:.1}, \"overhead_pct\": {overhead_pct:.3}, \"queries_accounted\": {queries_accounted}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"snapshot\": {{\"first_ms\": {first_snapshot_ms:.4}, \"cached_ms\": {cached_snapshot_ms:.4}, \"worst_lop\": {:.6}}},",
+        snapshot.worst_lop
+    );
+    let _ = writeln!(json, "  \"outcomes_identical_on_off\": true");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("wrote {out_path}");
+}

@@ -69,6 +69,9 @@ pub enum Command {
     TraceAnalyze,
     /// `privtopk trace watch` — poll a live service metrics endpoint.
     TraceWatch,
+    /// `privtopk privacy report <files...>` — privacy-accounting report
+    /// over collected traces.
+    PrivacyReport,
     /// `privtopk store init` — create empty persistent node stores.
     StoreInit,
     /// `privtopk store ingest` — stream synthetic rows into stores.
@@ -117,6 +120,14 @@ impl Arguments {
                     })
                 }
             },
+            Some("privacy") => match iter.next().as_deref() {
+                Some("report") => Command::PrivacyReport,
+                other => {
+                    return Err(CliError::UnknownCommand {
+                        got: format!("privacy {}", other.unwrap_or("")),
+                    })
+                }
+            },
             Some("store") => match iter.next().as_deref() {
                 Some("init") => Command::StoreInit,
                 Some("ingest") => Command::StoreIngest,
@@ -134,7 +145,10 @@ impl Arguments {
                 })
             }
         };
-        let accepts_positionals = matches!(command, Command::TraceAnalyze | Command::TraceWatch);
+        let accepts_positionals = matches!(
+            command,
+            Command::TraceAnalyze | Command::TraceWatch | Command::PrivacyReport
+        );
         let mut flags = HashMap::new();
         let mut positionals = Vec::new();
         let rest: Vec<String> = iter.collect();
@@ -227,8 +241,10 @@ pub fn usage() -> String {
      privtopk knn     --query X,Y[,...] [--k K] [--csv-dir DIR | --nodes N]\n\
      \u{20}                (CSV: feature columns + a `label` column)\n\
      privtopk trace analyze FILE... [--json] [--stall-multiplier M]\n\
-     \u{20}                [--nodes N --rounds R]\n\
+     \u{20}                [--nodes N --rounds R] [--lop-alert X]\n\
      privtopk trace watch --addr HOST:PORT [--interval-ms MS] [--count N]\n\
+     \u{20}                [--lop-alert X]\n\
+     privtopk privacy report FILE... [--json] [--k K] [--trials T] [--seed S]\n\
      privtopk store init    --store-dir DIR --nodes N [--domain-min LO --domain-max HI]\n\
      privtopk store ingest  --store-dir DIR --nodes N --rows R [--dist uniform|normal|zipf]\n\
      \u{20}                [--seed S] [--chunk C]\n\
@@ -277,6 +293,15 @@ pub fn usage() -> String {
      trace watch polls a service's --metrics-addr endpoint every\n\
      --interval-ms (default 1000), printing each scrape's samples;\n\
      --count N stops after N polls (default 0 = forever).\n\
+     \n\
+     privacy accounting: a standing service (--repeat) folds every\n\
+     query's protocol coordinates — never data values — into live\n\
+     per-node LoP estimates served on --metrics-addr. privacy report\n\
+     re-derives the same estimates offline from trace files (ring size\n\
+     and rounds are inferred from the chains; --k, --trials and --seed\n\
+     tune the shadow estimation). --lop-alert X adds a privacy panel to\n\
+     trace analyze, and makes trace watch flag any scrape whose worst\n\
+     per-node LoP gauge exceeds X.\n\
      \n\
      store init/ingest/compact manage persistent per-node stores\n\
      (append-only log + incremental top-k candidate index) under\n\
@@ -354,6 +379,7 @@ mod tests {
             "knn",
             "trace analyze",
             "trace watch",
+            "privacy report",
             "store init",
             "store ingest",
             "store compact",
@@ -390,6 +416,18 @@ mod tests {
         assert!(Arguments::parse(["trace"]).is_err());
         assert!(Arguments::parse(["trace", "frobnicate"]).is_err());
         assert!(Arguments::parse(["query", "a.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn privacy_report_takes_positionals_and_flags() {
+        let args =
+            Arguments::parse(["privacy", "report", "a.jsonl", "--json", "--k", "2"]).unwrap();
+        assert_eq!(args.command, Command::PrivacyReport);
+        assert_eq!(args.positionals(), ["a.jsonl"]);
+        assert!(args.has("json"));
+        assert_eq!(args.parse_or("k", 1usize).unwrap(), 2);
+        assert!(Arguments::parse(["privacy"]).is_err());
+        assert!(Arguments::parse(["privacy", "frobnicate"]).is_err());
     }
 
     #[test]

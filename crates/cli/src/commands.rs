@@ -11,8 +11,13 @@ use privtopk_datagen::{DataDistribution, DatasetBuilder, PrivateDatabase};
 use privtopk_domain::{NodeId, TopKVector, Value, ValueDomain};
 use privtopk_federation::{Federation, QueryBatch, QueryKind, QuerySpec};
 use privtopk_knn::{centralized_knn, KnnConfig, LabeledPoint, PrivateKnnClassifier};
-use privtopk_observe::{analyze, AnalyzerConfig, Recorder, TraceCollector};
-use privtopk_privacy::{LopAccumulator, SuccessorAdversary};
+use privtopk_observe::{
+    analyze, AnalyzerConfig, CollectedTrace, PrivacyLedger, Recorder, TraceCollector,
+};
+use privtopk_privacy::{
+    AccountantSnapshot, LopAccountant, LopAccumulator, SuccessorAdversary, DEFAULT_SHADOW_SEED,
+    DEFAULT_SHADOW_TRIALS,
+};
 use privtopk_store::{publish_store_metrics, NodeStore};
 
 use crate::args::usage;
@@ -40,6 +45,7 @@ pub fn run(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
         Command::Query { audit } => run_query(args, audit, out),
         Command::TraceAnalyze => run_trace_analyze(args, out),
         Command::TraceWatch => run_trace_watch(args, out),
+        Command::PrivacyReport => run_privacy_report(args, out),
         Command::StoreInit => run_store_init(args, out),
         Command::StoreIngest => run_store_ingest(args, out),
         Command::StoreCompact => run_store_compact(args, out),
@@ -177,13 +183,13 @@ fn run_store_compact(args: &Arguments, out: &mut impl Write) -> Result<(), CliEr
     )
 }
 
-/// `privtopk trace analyze FILE...` — merge per-node JSONL traces into
-/// one causally ordered view and report each query's critical path.
-fn run_trace_analyze(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+/// Reads every positional operand as a JSONL trace file into one
+/// collector (shared by `trace analyze` and `privacy report`).
+fn collect_trace_files(args: &Arguments, what: &str) -> Result<CollectedTrace, CliError> {
     if args.positionals().is_empty() {
-        return Err(CliError::Execution(
-            "trace analyze needs at least one JSONL trace file".into(),
-        ));
+        return Err(CliError::Execution(format!(
+            "{what} needs at least one JSONL trace file"
+        )));
     }
     let mut collector = TraceCollector::new();
     for path in args.positionals() {
@@ -191,7 +197,144 @@ fn run_trace_analyze(args: &Arguments, out: &mut impl Write) -> Result<(), CliEr
             .map_err(|e| CliError::Execution(format!("cannot read {path}: {e}")))?;
         collector.ingest_jsonl(path, &content);
     }
-    let mut trace = collector.finish();
+    Ok(collector.finish())
+}
+
+/// `--lop-alert X`, parsed when present.
+fn parse_lop_alert(args: &Arguments) -> Result<Option<f64>, CliError> {
+    match args.get("lop-alert") {
+        None => Ok(None),
+        Some(_) => Ok(Some(args.parse_or("lop-alert", 0.0)?)),
+    }
+}
+
+/// Replays a collected trace's protocol coordinates — and nothing else —
+/// through a privacy accountant: ring size and round count are inferred
+/// per query from its hop chain (`--nodes` overrides the ring size), and
+/// each query is observed under those coordinates exactly as a live
+/// service would have observed it.
+fn account_trace(args: &Arguments, trace: &CollectedTrace) -> Result<LopAccountant, CliError> {
+    let k: usize = args.parse_or("k", 1)?;
+    let trials: usize = args.parse_or("trials", DEFAULT_SHADOW_TRIALS)?;
+    let shadow_seed: u64 = args.parse_or("seed", DEFAULT_SHADOW_SEED)?;
+    if trials == 0 {
+        return Err(CliError::Execution("--trials must be at least 1".into()));
+    }
+    let nodes_flag: usize = args.parse_or("nodes", 0)?;
+    let accountant = LopAccountant::with_budget(trials, shadow_seed);
+    for query in trace.queries() {
+        let mut n = nodes_flag;
+        let mut rounds = 0u32;
+        for span in trace.chain(query) {
+            if nodes_flag == 0 {
+                if let Some(hop) = span.event.ctx.hop {
+                    n = n.max(hop as usize + 1);
+                }
+            }
+            if let Some(round) = span.event.ctx.round {
+                rounds = rounds.max(round);
+            }
+        }
+        if n < 3 || rounds == 0 {
+            continue; // chain too fragmentary to carry coordinates
+        }
+        let config = ProtocolConfig::topk(k.max(1))
+            .with_schedule(privtopk_core::Schedule::paper_default())
+            .with_rounds(RoundPolicy::Fixed(rounds));
+        accountant.observe(&config, n, rounds);
+    }
+    Ok(accountant)
+}
+
+/// Flattens an accountant snapshot into the observability layer's
+/// privacy-agnostic ledger.
+fn ledger_from_snapshot(snapshot: &AccountantSnapshot) -> PrivacyLedger {
+    PrivacyLedger {
+        queries_accounted: snapshot.queries_accounted,
+        per_node_lop: snapshot.per_node.iter().map(|e| e.lop).collect(),
+        per_node_ci95: snapshot.per_node.iter().map(|e| e.ci95).collect(),
+        per_node_class: snapshot
+            .per_node
+            .iter()
+            .map(|e| e.class.to_string())
+            .collect(),
+        average_lop: snapshot.average_lop,
+        worst_lop: snapshot.worst_lop,
+        worst_class: snapshot
+            .per_node
+            .iter()
+            .map(|e| e.class)
+            .max()
+            .map(|c| c.to_string())
+            .unwrap_or_default(),
+    }
+}
+
+/// `privtopk privacy report FILE...` — re-derive the live accountant's
+/// per-node LoP estimates offline from collected trace files.
+fn run_privacy_report(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    let trace = collect_trace_files(args, "privacy report")?;
+    let accountant = account_trace(args, &trace)?;
+    let snapshot = accountant.snapshot();
+    if snapshot.queries_accounted == 0 {
+        return Err(CliError::Execution(
+            "no complete query chains found: the traces carry no (round, hop) coordinates to account"
+                .into(),
+        ));
+    }
+    if args.has("json") {
+        let mut json = format!(
+            "{{\"queries_accounted\":{},\"average_lop\":{:.6},\"worst_lop\":{:.6},\"per_node\":[",
+            snapshot.queries_accounted, snapshot.average_lop, snapshot.worst_lop
+        );
+        for (i, e) in snapshot.per_node.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"node\":{},\"lop\":{:.6},\"ci95\":{:.6},\"class\":\"{}\"}}",
+                e.node, e.lop, e.ci95, e.class
+            ));
+        }
+        json.push_str("],\"spectrum\":{");
+        for (i, (label, count)) in snapshot.spectrum.as_labeled().iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("\"{label}\":{count}"));
+        }
+        json.push_str("}}");
+        return write_out(out, &format!("{json}\n"));
+    }
+    let mut text = format!(
+        "privacy report: {} queries accounted across {} nodes\n",
+        snapshot.queries_accounted,
+        snapshot.per_node.len()
+    );
+    for e in &snapshot.per_node {
+        text.push_str(&format!(
+            "  node#{}: LoP {:.4} +-{:.4} ({})\n",
+            e.node, e.lop, e.ci95, e.class
+        ));
+    }
+    text.push_str(&format!(
+        "  average {:.4}, worst {:.4}\n",
+        snapshot.average_lop, snapshot.worst_lop
+    ));
+    text.push_str("  spectrum:");
+    for (label, count) in snapshot.spectrum.as_labeled() {
+        if count > 0 {
+            text.push_str(&format!(" {label} x{count}"));
+        }
+    }
+    text.push('\n');
+    write_out(out, &text)
+}
+
+/// `privtopk trace analyze FILE...` — merge per-node JSONL traces into
+/// one causally ordered view and report each query's critical path.
+fn run_trace_analyze(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    let mut trace = collect_trace_files(args, "trace analyze")?;
     // With a declared topology, every chain is validated against it;
     // otherwise completeness is inferred from the trace's own bounds.
     let nodes: usize = args.parse_or("nodes", 0)?;
@@ -199,15 +342,41 @@ fn run_trace_analyze(args: &Arguments, out: &mut impl Write) -> Result<(), CliEr
     if nodes > 0 && rounds > 0 {
         trace.validate_topology(nodes, rounds);
     }
+    // The privacy panel is strictly opt-in: without --lop-alert the
+    // report is byte-identical to earlier releases.
+    let lop_alert = parse_lop_alert(args)?;
+    if lop_alert.is_some() {
+        let accountant = account_trace(args, &trace)?;
+        trace.privacy = Some(ledger_from_snapshot(&accountant.snapshot()));
+    }
     let config = AnalyzerConfig {
         stall_multiplier: args.parse_or("stall-multiplier", 3.0)?,
     };
     let analysis = analyze(&trace, &config);
     if args.has("json") {
-        write_out(out, &format!("{}\n", analysis.to_json()))
-    } else {
-        write_out(out, &analysis.to_string())
+        return write_out(out, &format!("{}\n", analysis.to_json()));
     }
+    write_out(out, &analysis.to_string())?;
+    if let (Some(threshold), Some(privacy)) = (lop_alert, &analysis.privacy) {
+        if privacy.worst_lop > threshold {
+            write_out(
+                out,
+                &format!(
+                    "privacy alert: worst LoP {:.4} exceeds --lop-alert {threshold}\n",
+                    privacy.worst_lop
+                ),
+            )?;
+        } else {
+            write_out(
+                out,
+                &format!(
+                    "privacy ok: worst LoP {:.4} within --lop-alert {threshold}\n",
+                    privacy.worst_lop
+                ),
+            )?;
+        }
+    }
+    Ok(())
 }
 
 /// `privtopk trace watch --addr HOST:PORT` — poll a live service
@@ -222,6 +391,7 @@ fn run_trace_watch(args: &Arguments, out: &mut impl Write) -> Result<(), CliErro
     })?;
     let interval = std::time::Duration::from_millis(args.parse_or("interval-ms", 1000u64)?);
     let count: u64 = args.parse_or("count", 0u64)?;
+    let lop_alert = parse_lop_alert(args)?;
     let mut poll = 0u64;
     loop {
         poll += 1;
@@ -234,6 +404,15 @@ fn run_trace_watch(args: &Arguments, out: &mut impl Write) -> Result<(), CliErro
                 {
                     text.push_str(line);
                     text.push('\n');
+                }
+                if let Some(threshold) = lop_alert {
+                    for (node, lop) in parse_lop_node_gauges(&body) {
+                        if lop > threshold {
+                            text.push_str(&format!(
+                                "privacy alert: node {node} LoP {lop:.4} exceeds --lop-alert {threshold}\n"
+                            ));
+                        }
+                    }
                 }
                 write_out(out, &text)?;
             }
@@ -251,6 +430,24 @@ fn run_trace_watch(args: &Arguments, out: &mut impl Write) -> Result<(), CliErro
         }
         std::thread::sleep(interval);
     }
+}
+
+/// Pulls `(node, lop)` pairs out of a Prometheus scrape body's
+/// `privtopk_privacy_lop_node{node="N"} V` sample lines.
+fn parse_lop_node_gauges(body: &str) -> Vec<(u32, f64)> {
+    let mut gauges = Vec::new();
+    for line in body.lines() {
+        let Some(rest) = line.strip_prefix("privtopk_privacy_lop_node{node=\"") else {
+            continue;
+        };
+        let Some((node, value)) = rest.split_once("\"} ") else {
+            continue;
+        };
+        if let (Ok(node), Ok(value)) = (node.parse(), value.trim().parse()) {
+            gauges.push((node, value));
+        }
+    }
+    gauges
 }
 
 fn run_knn(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
@@ -1636,6 +1833,137 @@ mod tests {
             run_to_string(&["trace", "watch", "--addr", "127.0.0.1:1", "--count", "1"]).is_err()
         );
         assert!(run_to_string(&["trace", "watch", "--count", "1"]).is_err());
+    }
+
+    #[test]
+    fn privacy_report_accounts_collected_traces() {
+        let path = temp_trace_path("privacy_report");
+        run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--nodes",
+            "4",
+            "--repeat",
+            "2",
+            "--pipeline",
+            "2",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report =
+            run_to_string(&["privacy", "report", path.to_str().unwrap(), "--trials", "4"]).unwrap();
+        assert!(
+            report.contains("privacy report: 2 queries accounted across 4 nodes"),
+            "{report}"
+        );
+        assert!(report.contains("node#0: LoP "), "{report}");
+        assert!(report.contains("spectrum:"), "{report}");
+        let json = run_to_string(&[
+            "privacy",
+            "report",
+            path.to_str().unwrap(),
+            "--trials",
+            "4",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"queries_accounted\":2"), "{json}");
+        assert!(json.contains("\"per_node\":[{\"node\":0,"), "{json}");
+        assert!(json.contains("\"spectrum\":{"), "{json}");
+        std::fs::remove_file(&path).unwrap();
+        assert!(run_to_string(&["privacy", "report"]).is_err());
+        assert!(run_to_string(&["privacy", "report", "/no/such/file.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn trace_analyze_lop_alert_adds_privacy_panel() {
+        let path = temp_trace_path("lop_alert");
+        run_to_string(&[
+            "query",
+            "--kind",
+            "max",
+            "--nodes",
+            "4",
+            "--repeat",
+            "2",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Without the flag, the report is privacy-free and byte-stable.
+        let plain = run_to_string(&["trace", "analyze", path.to_str().unwrap()]).unwrap();
+        assert!(!plain.contains("privacy"), "{plain}");
+        let report = run_to_string(&[
+            "trace",
+            "analyze",
+            path.to_str().unwrap(),
+            "--lop-alert",
+            "100",
+            "--trials",
+            "4",
+        ])
+        .unwrap();
+        assert!(report.contains("privacy: 2 queries accounted"), "{report}");
+        assert!(report.contains("node 0: LoP "), "{report}");
+        assert!(report.contains("privacy ok: worst LoP "), "{report}");
+        let alerting = run_to_string(&[
+            "trace",
+            "analyze",
+            path.to_str().unwrap(),
+            "--lop-alert",
+            "-1",
+            "--trials",
+            "4",
+        ])
+        .unwrap();
+        assert!(alerting.contains("privacy alert: worst LoP "), "{alerting}");
+        let json = run_to_string(&[
+            "trace",
+            "analyze",
+            path.to_str().unwrap(),
+            "--lop-alert",
+            "100",
+            "--trials",
+            "4",
+            "--json",
+        ])
+        .unwrap();
+        assert!(
+            json.contains("\"privacy\":{\"queries_accounted\":2"),
+            "{json}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trace_watch_lop_alert_flags_hot_nodes() {
+        let server = privtopk_observe::MetricsServer::bind("127.0.0.1:0", || {
+            "# TYPE privtopk_privacy_lop_node gauge\n\
+             privtopk_privacy_lop_node{node=\"0\"} 0.1\n\
+             privtopk_privacy_lop_node{node=\"1\"} 0.5\n"
+                .to_string()
+        })
+        .unwrap();
+        let out = run_to_string(&[
+            "trace",
+            "watch",
+            "--addr",
+            &server.addr().to_string(),
+            "--interval-ms",
+            "1",
+            "--count",
+            "1",
+            "--lop-alert",
+            "0.25",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("privacy alert: node 1 LoP 0.5000 exceeds --lop-alert 0.25"),
+            "{out}"
+        );
+        assert!(!out.contains("privacy alert: node 0"), "{out}");
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub use error::ProtocolError;
 pub use messages::{BatchMessage, SlotMessage, TokenMessage, MAX_BATCH_ENTRIES};
 pub use schedule::Schedule;
 pub use service::{
-    QueryTicket, ServiceOutcome, ServiceRuntime, ServiceStats, ServiceStatsHandle, ShardedService,
+    QueryObserver, QueryTicket, ServiceOutcome, ServiceRuntime, ServiceStats, ServiceStatsHandle,
+    ShardedService,
 };
 pub use transcript::{StepRecord, Transcript};

@@ -554,6 +554,21 @@ impl ServiceWorker {
     }
 }
 
+/// A hook observing every query admitted into a service, fed nothing
+/// but *protocol coordinates*: the (data-independent) configuration,
+/// the ring size and the resolved round count. No private value, seed
+/// or result ever reaches an observer, so whatever it accumulates is a
+/// pure function of configuration — the foundation the live privacy
+/// accountant builds on.
+///
+/// Observers run synchronously inside [`ServiceRuntime::submit`],
+/// before the query's workers are assigned; they must be cheap and must
+/// never block.
+pub trait QueryObserver: Send + Sync {
+    /// Called once per admitted query with its protocol coordinates.
+    fn on_query(&self, config: &ProtocolConfig, n: usize, rounds: u32);
+}
+
 /// Bookkeeping the scheduler keeps per in-flight query.
 struct QueryMeta {
     k: usize,
@@ -585,6 +600,7 @@ pub struct ServiceRuntime {
     collect_timeout: Duration,
     recorder: Recorder,
     shared: Arc<SchedulerShared>,
+    observer: Option<Arc<dyn QueryObserver>>,
 }
 
 /// The scheduler counters behind [`ServiceStats`], kept in atomics so a
@@ -782,7 +798,16 @@ impl ServiceRuntime {
             collect_timeout: RECV_TIMEOUT + RECV_TIMEOUT / 2,
             recorder,
             shared: Arc::new(SchedulerShared::default()),
+            observer: None,
         })
+    }
+
+    /// Installs a [`QueryObserver`] notified of every subsequently
+    /// submitted query's protocol coordinates (config, ring size,
+    /// resolved rounds). Observation is strictly additive: transcripts
+    /// and results are bit-identical with or without an observer.
+    pub fn set_observer(&mut self, observer: Arc<dyn QueryObserver>) {
+        self.observer = Some(observer);
     }
 
     /// Starts the service over [`LocalTopkSource`] backends instead of
@@ -902,6 +927,12 @@ impl ServiceRuntime {
             }));
         }
         let rounds = config.resolve_rounds()?;
+        // Feed the privacy accountant (or any other observer) the
+        // query's protocol coordinates — configuration only, never the
+        // seed, data or results.
+        if let Some(observer) = &self.observer {
+            observer.on_query(config, self.n, rounds);
+        }
         let topology = Arc::new(derive_topology(config, self.n, seed)?);
         let queued = Instant::now();
         while self.in_flight >= self.depth {
@@ -1193,6 +1224,15 @@ impl ShardedService {
     {
         let locals = snapshot_sources(sources, k)?;
         Self::start_traced(&locals, network, depth, workers, Recorder::disabled())
+    }
+
+    /// Installs one shared [`QueryObserver`] on every shard; each
+    /// shard's scheduler notifies it at submit time, so the observer
+    /// sees the whole workload regardless of slotting.
+    pub fn set_observer(&mut self, observer: Arc<dyn QueryObserver>) {
+        for shard in &mut self.shards {
+            shard.set_observer(Arc::clone(&observer));
+        }
     }
 
     /// Number of shards (independent standing rings).

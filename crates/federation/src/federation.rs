@@ -4,6 +4,8 @@ use privtopk_core::distributed::{
     run_distributed, run_distributed_batch, run_distributed_batch_traced, run_distributed_traced,
     NetworkKind,
 };
+use std::sync::Arc;
+
 use privtopk_core::service::{QueryTicket, ServiceRuntime, ServiceStats, ServiceStatsHandle};
 use privtopk_core::{
     derive_batch_seed, run_simulated_batch, run_simulated_batch_traced, BatchJob, ProtocolConfig,
@@ -12,8 +14,10 @@ use privtopk_core::{
 use privtopk_datagen::PrivateDatabase;
 use privtopk_domain::{TopKVector, Value, ValueDomain};
 use privtopk_observe::{
-    render_summary, write_counter, write_gauge, write_histogram, MetricsServer, Recorder,
+    render_summary, write_counter, write_gauge, write_gauge_f64, write_gauge_f64_series,
+    write_histogram, MetricsServer, Recorder,
 };
+use privtopk_privacy::{AccountantSnapshot, LopAccountant};
 use privtopk_ring::TransportMetrics;
 
 use crate::{FederationError, QuerySpec};
@@ -166,7 +170,12 @@ impl Federation {
         recorder: Recorder,
     ) -> Result<FederationService, FederationError> {
         let (config, locals, mirrored) = self.compile(spec)?;
-        let runtime = ServiceRuntime::start_traced(&locals, network, depth, recorder)?;
+        let mut runtime = ServiceRuntime::start_traced(&locals, network, depth, recorder)?;
+        // Privacy accounting is always on: the accountant consumes only
+        // data-independent protocol coordinates (n, k, schedule, rounds),
+        // so it costs a few counter bumps per query and can never leak.
+        let accountant = Arc::new(LopAccountant::new());
+        runtime.set_observer(Arc::clone(&accountant) as _);
         Ok(FederationService {
             federation: self.clone(),
             runtime,
@@ -174,6 +183,7 @@ impl Federation {
             config,
             mirrored,
             metrics_server: None,
+            accountant,
         })
     }
 
@@ -490,13 +500,19 @@ pub struct FederationService {
     config: ProtocolConfig,
     mirrored: bool,
     metrics_server: Option<MetricsServer>,
+    accountant: Arc<LopAccountant>,
 }
 
 /// Renders the live exposition body a [`FederationService`] metrics
-/// endpoint serves: the recorder's whole registry plus the service
-/// scheduler's own figures, all under the `privtopk_` prefix. Aggregate
-/// coordinates and timings only — never data values.
-fn render_service_metrics(recorder: &Recorder, handle: &ServiceStatsHandle) -> String {
+/// endpoint serves: the recorder's whole registry, the service
+/// scheduler's own figures, and the privacy accountant's live LoP
+/// estimates, all under the `privtopk_` prefix. Aggregate coordinates
+/// and timings only — never data values.
+fn render_service_metrics(
+    recorder: &Recorder,
+    handle: &ServiceStatsHandle,
+    accountant: &LopAccountant,
+) -> String {
     let mut body = render_summary(&recorder.summary());
     let stats = handle.stats();
     write_gauge(
@@ -577,7 +593,66 @@ fn render_service_metrics(recorder: &Recorder, handle: &ServiceStatsHandle) -> S
         "Duplicate frames re-acknowledged.",
         stats.re_acks,
     );
+    write_privacy_metrics(&mut body, &accountant.snapshot());
     body
+}
+
+/// Appends the privacy accountant's series to an exposition body:
+/// per-node live LoP estimates, the spectrum classification counts, and
+/// the cumulative accounted-query counter.
+pub fn write_privacy_metrics(body: &mut String, privacy: &AccountantSnapshot) {
+    let per_node: Vec<(String, f64)> = privacy
+        .per_node
+        .iter()
+        .map(|e| (format!("node=\"{}\"", e.node), e.lop))
+        .collect();
+    write_gauge_f64_series(
+        body,
+        "privtopk_privacy_lop_node",
+        "Live empirical peak loss of privacy per node (Eq. 2 estimate).",
+        &per_node,
+    );
+    let ci: Vec<(String, f64)> = privacy
+        .per_node
+        .iter()
+        .map(|e| (format!("node=\"{}\"", e.node), e.ci95))
+        .collect();
+    write_gauge_f64_series(
+        body,
+        "privtopk_privacy_lop_node_ci95",
+        "95% confidence half-width of each node's live LoP estimate.",
+        &ci,
+    );
+    write_gauge_f64(
+        body,
+        "privtopk_privacy_lop_average",
+        "Average of the per-node live LoP estimates.",
+        privacy.average_lop,
+    );
+    write_gauge_f64(
+        body,
+        "privtopk_privacy_lop_worst",
+        "Worst per-node live LoP estimate.",
+        privacy.worst_lop,
+    );
+    let classes: Vec<(String, f64)> = privacy
+        .spectrum
+        .as_labeled()
+        .iter()
+        .map(|(label, count)| (format!("class=\"{label}\""), *count as f64))
+        .collect();
+    write_gauge_f64_series(
+        body,
+        "privtopk_privacy_spectrum_class",
+        "Node counts per privacy-spectrum class.",
+        &classes,
+    );
+    write_counter(
+        body,
+        "privtopk_privacy_queries_accounted_total",
+        "Queries folded into the privacy accountant.",
+        privacy.queries_accounted,
+    );
 }
 
 impl FederationService {
@@ -608,6 +683,17 @@ impl FederationService {
         self.runtime.stats()
     }
 
+    /// A live read of the service's privacy accountant: per-node
+    /// empirical LoP estimates with confidence intervals, spectrum
+    /// classification and the cumulative per-query ledger. Computed
+    /// from data-independent protocol coordinates only; the first read
+    /// after new coordinates appear pays the shadow Monte-Carlo cost,
+    /// subsequent reads are memoized.
+    #[must_use]
+    pub fn privacy(&self) -> AccountantSnapshot {
+        self.accountant.snapshot()
+    }
+
     /// The recorder this service publishes telemetry into (disabled
     /// unless created via [`Federation::serve_traced`]).
     #[must_use]
@@ -633,7 +719,10 @@ impl FederationService {
     pub fn metrics_endpoint(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
         let recorder = self.runtime.recorder().clone();
         let handle = self.runtime.stats_handle();
-        let server = MetricsServer::bind(addr, move || render_service_metrics(&recorder, &handle))?;
+        let accountant = Arc::clone(&self.accountant);
+        let server = MetricsServer::bind(addr, move || {
+            render_service_metrics(&recorder, &handle, &accountant)
+        })?;
         let bound = server.addr();
         self.metrics_server = Some(server);
         Ok(bound)
@@ -1259,6 +1348,52 @@ mod tests {
 
         service.shutdown().unwrap();
         assert!(privtopk_observe::scrape(&addr).is_err());
+    }
+
+    #[test]
+    fn service_accounts_privacy_and_exposes_it_on_the_scrape() {
+        let f = federation(4, 6, 53);
+        let spec = QuerySpec::top_k("value", 2).with_epsilon(1e-9);
+        let mut service = f
+            .serve_traced(&spec, NetworkKind::InMemory, 2, Recorder::new())
+            .unwrap();
+        let addr = service.metrics_endpoint("127.0.0.1:0").unwrap();
+
+        // Before any query the accountant is empty and the scrape says so.
+        let idle = privtopk_observe::scrape(&addr).unwrap();
+        assert!(idle.contains("privtopk_privacy_queries_accounted_total 0"));
+
+        service.query_many(&[1, 2, 3]).unwrap();
+
+        let privacy = service.privacy();
+        assert_eq!(privacy.queries_accounted, 3);
+        assert_eq!(privacy.per_node.len(), 4);
+        assert_eq!(privacy.ledger.len(), 3);
+        assert!(privacy.worst_lop >= privacy.average_lop);
+        let counted: usize = privacy.spectrum.as_labeled().iter().map(|(_, c)| *c).sum();
+        assert_eq!(counted, 4, "every node lands in exactly one class");
+
+        let body = privtopk_observe::scrape(&addr).unwrap();
+        assert!(body.contains("privtopk_privacy_queries_accounted_total 3"));
+        assert!(body.contains("# TYPE privtopk_privacy_lop_node gauge"));
+        for node in 0..4 {
+            assert!(
+                body.contains(&format!("privtopk_privacy_lop_node{{node=\"{node}\"}}")),
+                "missing node {node} LoP gauge in scrape:\n{body}"
+            );
+        }
+        assert!(body.contains("privtopk_privacy_spectrum_class{class=\"beyond_suspicion\"}"));
+        assert!(body.contains("privtopk_privacy_lop_worst"));
+
+        // The scrape's per-node figures agree with privacy() exactly.
+        for estimate in &privacy.per_node {
+            let line = format!(
+                "privtopk_privacy_lop_node{{node=\"{}\"}} {}",
+                estimate.node, estimate.lop
+            );
+            assert!(body.contains(&line), "missing `{line}` in scrape:\n{body}");
+        }
+        service.shutdown().unwrap();
     }
 
     #[test]

@@ -35,7 +35,9 @@ mod federation;
 mod query;
 
 pub use error::FederationError;
-pub use federation::{Federation, FederationService, QueryBatch, QueryOutcome};
+pub use federation::{
+    write_privacy_metrics, Federation, FederationService, QueryBatch, QueryOutcome,
+};
 pub use query::{QueryKind, QuerySpec};
 
 pub use privtopk_datagen::PrivateDatabase;

@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::collector::{CollectedTrace, Diagnostic};
+use crate::collector::{CollectedTrace, Diagnostic, PrivacyLedger};
 use crate::Phase;
 
 /// Tunables for [`analyze`].
@@ -121,6 +121,10 @@ pub struct Analysis {
     pub re_acks: u64,
     /// Diagnostics carried over from collection/validation.
     pub diagnostics: Vec<Diagnostic>,
+    /// Privacy-accounting figures carried over from collection, when a
+    /// ledger was attached. Rendered as a privacy panel only when
+    /// present, so ledger-free analyses print exactly as before.
+    pub privacy: Option<PrivacyLedger>,
 }
 
 impl Analysis {
@@ -202,6 +206,7 @@ pub fn analyze(trace: &CollectedTrace, config: &AnalyzerConfig) -> Analysis {
         retransmissions,
         re_acks,
         diagnostics: trace.diagnostics.clone(),
+        privacy: trace.privacy.clone(),
     }
 }
 
@@ -417,6 +422,21 @@ impl std::fmt::Display for Analysis {
                 writeln!(f, " ({})", attributed.join(", "))?;
             }
         }
+        if let Some(privacy) = &self.privacy {
+            writeln!(
+                f,
+                "privacy: {} queries accounted, avg LoP {:.4}, worst {:.4} ({})",
+                privacy.queries_accounted,
+                privacy.average_lop,
+                privacy.worst_lop,
+                privacy.worst_class,
+            )?;
+            for (node, lop) in privacy.per_node_lop.iter().enumerate() {
+                let ci = privacy.per_node_ci95.get(node).copied().unwrap_or(0.0);
+                let class = privacy.per_node_class.get(node).map_or("", String::as_str);
+                writeln!(f, "  node {node}: LoP {lop:.4} +-{ci:.4} ({class})")?;
+            }
+        }
         for diagnostic in &self.diagnostics {
             writeln!(f, "diagnostic: {diagnostic}")?;
         }
@@ -486,11 +506,32 @@ impl Analysis {
             ));
         }
         out.push_str(&format!(
-            "],\"load_skew\":{:.4},\"retransmissions\":{},\"re_acks\":{},\"diagnostics\":[",
+            "],\"load_skew\":{:.4},\"retransmissions\":{},\"re_acks\":{}",
             self.load_skew(),
             self.retransmissions,
             self.re_acks
         ));
+        if let Some(privacy) = &self.privacy {
+            out.push_str(&format!(
+                ",\"privacy\":{{\"queries_accounted\":{},\"average_lop\":{:.6},\"worst_lop\":{:.6},\"worst_class\":\"{}\",\"nodes\":[",
+                privacy.queries_accounted,
+                privacy.average_lop,
+                privacy.worst_lop,
+                privacy.worst_class,
+            ));
+            for (node, lop) in privacy.per_node_lop.iter().enumerate() {
+                if node > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"node\":{node},\"lop\":{lop:.6},\"ci95\":{:.6},\"class\":\"{}\"}}",
+                    privacy.per_node_ci95.get(node).copied().unwrap_or(0.0),
+                    privacy.per_node_class.get(node).map_or("", String::as_str),
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str(",\"diagnostics\":[");
         for (i, diagnostic) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -665,6 +706,37 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn privacy_panel_renders_only_when_a_ledger_rides_along() {
+        let bare = analyze(&synthetic_trace(None), &AnalyzerConfig::default());
+        assert!(!bare.to_string().contains("privacy:"));
+        assert!(!bare.to_json().contains("\"privacy\""));
+
+        let mut trace = synthetic_trace(None);
+        trace.privacy = Some(PrivacyLedger {
+            queries_accounted: 5,
+            per_node_lop: vec![0.01, 0.02, 0.03],
+            per_node_ci95: vec![0.001, 0.002, 0.003],
+            per_node_class: vec!["beyond suspicion".into(); 3],
+            average_lop: 0.02,
+            worst_lop: 0.03,
+            worst_class: "beyond suspicion".into(),
+        });
+        let analysis = analyze(&trace, &AnalyzerConfig::default());
+        let text = analysis.to_string();
+        assert!(
+            text.contains("privacy: 5 queries accounted, avg LoP 0.0200, worst 0.0300"),
+            "text report:\n{text}"
+        );
+        assert!(text.contains("node 2: LoP 0.0300 +-0.0030 (beyond suspicion)"));
+        // The panel is strictly additive: the header line is unchanged.
+        assert!(text.starts_with("trace analysis: 1 queries, 0 diagnostics"));
+        let json = analysis.to_json();
+        assert!(json.contains("\"privacy\":{\"queries_accounted\":5"));
+        assert!(json.contains("\"worst_class\":\"beyond suspicion\""));
+        assert!(json.contains("{\"node\":2,\"lop\":0.030000,\"ci95\":0.003000"));
     }
 
     #[test]

@@ -52,13 +52,15 @@ mod prometheus;
 mod recorder;
 
 pub use analyzer::{analyze, Analysis, AnalyzerConfig, HopBreakdown, NodeLoad, QueryPath, Stall};
-pub use collector::{parse_trace_line, CollectedSpan, CollectedTrace, Diagnostic, TraceCollector};
+pub use collector::{
+    parse_trace_line, CollectedSpan, CollectedTrace, Diagnostic, PrivacyLedger, TraceCollector,
+};
 pub use histogram::{bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
 pub use prometheus::{
-    render_summary, sanitize_metric_name, scrape, write_counter, write_gauge, write_histogram,
-    MetricsServer,
+    render_summary, sanitize_metric_name, scrape, scrape_timeout, write_counter, write_gauge,
+    write_gauge_f64, write_gauge_f64_series, write_histogram, MetricsServer, SCRAPE_TIMEOUT,
 };
-pub use recorder::{GaugeSnapshot, NodeSummary, Recorder, Summary, TraceEvent};
+pub use recorder::{GaugeF64Snapshot, GaugeSnapshot, NodeSummary, Recorder, Summary, TraceEvent};
 
 /// A phase label for one timed span of protocol work.
 ///

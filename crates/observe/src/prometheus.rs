@@ -41,6 +41,47 @@ pub fn sanitize_metric_name(name: &str) -> String {
     out
 }
 
+/// Formats an `f64` sample the way the exposition format expects:
+/// always a `.` decimal separator, never scientific notation, and the
+/// literal `NaN` / `+Inf` / `-Inf` spellings for non-finite values.
+///
+/// Rust's `Display` for `f64` is already locale-independent and never
+/// produces an exponent, so this only has to guard the non-finite
+/// cases.
+fn format_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Appends one floating-point gauge sample (`# TYPE` header plus
+/// value), with locale-stable formatting and non-finite values rendered
+/// as the exposition format's `NaN`/`+Inf`/`-Inf` literals.
+pub fn write_gauge_f64(out: &mut String, name: &str, help: &str, value: f64) {
+    let name = sanitize_metric_name(name);
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {}", format_f64(value));
+}
+
+/// Appends one floating-point gauge family with one sample per label
+/// set: `samples` pairs a rendered label body (e.g. `node="3"`) with
+/// its value. A single `# HELP`/`# TYPE` header covers the family.
+pub fn write_gauge_f64_series(out: &mut String, name: &str, help: &str, samples: &[(String, f64)]) {
+    let name = sanitize_metric_name(name);
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (labels, value) in samples {
+        let _ = writeln!(out, "{name}{{{labels}}} {}", format_f64(*value));
+    }
+}
+
 /// Appends one counter sample (`# TYPE` header plus value).
 pub fn write_counter(out: &mut String, name: &str, help: &str, value: u64) {
     let name = sanitize_metric_name(name);
@@ -81,6 +122,14 @@ pub fn write_histogram(out: &mut String, name: &str, help: &str, snapshot: &Hist
     let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snapshot.count);
     let _ = writeln!(out, "{name}_sum {}", snapshot.sum_ns);
     let _ = writeln!(out, "{name}_count {}", snapshot.count);
+    if snapshot.count > 0 {
+        write_gauge_f64(
+            out,
+            &format!("{name}_mean"),
+            "Mean sample value of the histogram, in nanoseconds.",
+            snapshot.mean_ns(),
+        );
+    }
 }
 
 /// Renders a full recorder [`Summary`] as one exposition body. All
@@ -223,10 +272,25 @@ fn serve_one(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
     stream.flush()
 }
 
+/// Default deadline applied by [`scrape`] to connecting, sending the
+/// request and each read — a hung peer errors out instead of blocking
+/// the caller forever.
+pub const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// Fetches one scrape from `addr` and returns the body (test/CLI
-/// helper — a deliberately minimal HTTP/1.1 client).
+/// helper — a deliberately minimal HTTP/1.1 client). Bounded by
+/// [`SCRAPE_TIMEOUT`]; use [`scrape_timeout`] for a custom deadline.
 pub fn scrape(addr: &SocketAddr) -> std::io::Result<String> {
-    let mut stream = TcpStream::connect(addr)?;
+    scrape_timeout(addr, SCRAPE_TIMEOUT)
+}
+
+/// [`scrape`] with an explicit deadline for connecting, writing the
+/// request and each read. A server that accepts but never responds
+/// yields a timeout error instead of hanging the caller.
+pub fn scrape_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: privtopk\r\nConnection: close\r\n\r\n")?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
@@ -293,6 +357,129 @@ mod tests {
         assert_eq!(lines[2], "x_ns_bucket{le=\"+Inf\"} 3");
         assert!(out.contains("x_ns_sum 1536"));
         assert!(out.contains("x_ns_count 3"));
+    }
+
+    /// Whether `name` is a legal Prometheus metric name:
+    /// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+    fn is_legal_metric_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        let Some(first) = chars.next() else {
+            return false;
+        };
+        (first.is_ascii_alphabetic() || first == '_' || first == ':')
+            && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    #[test]
+    fn sanitize_handles_edge_cases() {
+        assert_eq!(
+            sanitize_metric_name("already_legal:name"),
+            "already_legal:name"
+        );
+        assert_eq!(sanitize_metric_name("7seconds"), "_7seconds");
+        assert_eq!(
+            sanitize_metric_name("sp ace/slash.dot-dash"),
+            "sp_ace_slash_dot_dash"
+        );
+        assert_eq!(sanitize_metric_name("uni©ode"), "uni_ode");
+        assert_eq!(sanitize_metric_name(""), "");
+        assert!(is_legal_metric_name(&sanitize_metric_name(
+            "99 red balloons"
+        )));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn sanitize_output_is_legal_and_idempotent(name in ".+") {
+            let once = sanitize_metric_name(&name);
+            proptest::prop_assert!(
+                is_legal_metric_name(&once),
+                "illegal output {once:?} for input {name:?}"
+            );
+            proptest::prop_assert_eq!(sanitize_metric_name(&once), once);
+        }
+    }
+
+    #[test]
+    fn f64_gauges_format_locale_stable() {
+        let mut out = String::new();
+        write_gauge_f64(&mut out, "privacy_lop", "help", 0.0625);
+        assert!(out.contains("# TYPE privacy_lop gauge"));
+        assert!(out.contains("privacy_lop 0.0625"));
+        // No scientific notation even for extreme magnitudes.
+        let mut out = String::new();
+        write_gauge_f64(&mut out, "tiny", "help", 0.000000001);
+        let sample = out.lines().last().unwrap();
+        assert_eq!(sample, "tiny 0.000000001");
+        assert!(
+            !sample.contains('e'),
+            "scientific notation leaked: {sample}"
+        );
+        // Non-finite values use the exposition literals.
+        let mut out = String::new();
+        write_gauge_f64(&mut out, "a", "h", f64::NAN);
+        write_gauge_f64(&mut out, "b", "h", f64::INFINITY);
+        write_gauge_f64(&mut out, "c", "h", f64::NEG_INFINITY);
+        assert!(out.contains("a NaN"));
+        assert!(out.contains("b +Inf"));
+        assert!(out.contains("c -Inf"));
+    }
+
+    #[test]
+    fn f64_gauge_series_shares_one_header() {
+        let mut out = String::new();
+        write_gauge_f64_series(
+            &mut out,
+            "privtopk_privacy_lop_node",
+            "Per-node LoP.",
+            &[
+                ("node=\"0\"".to_string(), 0.25),
+                ("node=\"1\"".to_string(), 0.5),
+            ],
+        );
+        assert_eq!(out.matches("# TYPE").count(), 1);
+        assert!(out.contains("privtopk_privacy_lop_node{node=\"0\"} 0.25"));
+        assert!(out.contains("privtopk_privacy_lop_node{node=\"1\"} 0.5"));
+    }
+
+    #[test]
+    fn histograms_emit_their_mean_as_f64() {
+        let mut buckets = [0u64; BUCKETS];
+        buckets[3] = 2;
+        let snapshot = HistogramSnapshot::from_parts(buckets, 9, 2);
+        let mut out = String::new();
+        write_histogram(&mut out, "x_ns", "help", &snapshot);
+        assert!(out.contains("# TYPE x_ns_mean gauge"));
+        assert!(out.contains("x_ns_mean 4.5"), "got {out}");
+        // Empty histograms skip the mean (0/0 is not a sample).
+        let empty = HistogramSnapshot::from_parts([0u64; BUCKETS], 0, 0);
+        let mut out = String::new();
+        write_histogram(&mut out, "y_ns", "help", &empty);
+        assert!(!out.contains("y_ns_mean"));
+    }
+
+    #[test]
+    fn scrape_times_out_on_a_silent_peer() {
+        use std::net::TcpListener;
+        // A listener that accepts connections but never writes a byte.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming().take(1) {
+                held.push(stream);
+            }
+            std::thread::sleep(Duration::from_millis(700));
+            drop(held);
+        });
+        let started = std::time::Instant::now();
+        let result = scrape_timeout(&addr, Duration::from_millis(200));
+        assert!(result.is_err(), "scrape of a silent peer must fail");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "scrape did not respect its deadline"
+        );
+        hold.join().unwrap();
     }
 
     #[test]

@@ -42,11 +42,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accountant;
 mod adversary;
 mod lop;
 mod multiround;
 mod spectrum;
 
+pub use accountant::{
+    AccountantSnapshot, LedgerEntry, LopAccountant, NodeEstimate, SpectrumCounts,
+    DEFAULT_SHADOW_SEED, DEFAULT_SHADOW_TRIALS,
+};
 pub use adversary::{owner_of_maximum, CollusionAdversary, SuccessorAdversary};
 pub use lop::{LopAccumulator, LopMatrix, LopSummary};
 pub use multiround::{AggregateLop, MultiRoundAdversary, RangeAdversary};

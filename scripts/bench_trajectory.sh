@@ -170,3 +170,27 @@ grep -q '"sublinear_gate"' "$STORE_OUT" \
 grep -q '"service_under_ingest"' "$STORE_OUT" \
     || { echo "error: service-under-ingest block missing from $STORE_OUT" >&2; exit 1; }
 echo "wrote $STORE_OUT"
+
+# --- privacy accounting ----------------------------------------------
+# The same pipelined workload through a bare service and one with a
+# LopAccountant installed as its query observer, passes alternating in
+# paired rounds. The binary asserts the non-interference gate (outcomes
+# bit-identical on vs off) and the <2% hot-path overhead gate — a
+# successful exit IS the acceptance check. It also times the deferred
+# snapshot path: the first snapshot pays the Monte-Carlo shadow
+# estimation, every later one hits the memo.
+PRIVACY_BIN="$REPO_ROOT/target/release/privacy"
+PRIVACY_OUT="$REPO_ROOT/BENCH_privacy.json"
+
+command -v cargo >/dev/null 2>&1 && cargo build --release -p privtopk-bench --bin privacy
+[ -x "$PRIVACY_BIN" ] || { echo "error: $PRIVACY_BIN not built" >&2; exit 1; }
+
+echo "benchmarking privacy accounting overhead ..."
+"$PRIVACY_BIN" 6 8 240 "$PRIVACY_OUT"
+grep -q '"machine"' "$PRIVACY_OUT" \
+    || { echo "error: machine block missing from $PRIVACY_OUT" >&2; exit 1; }
+grep -q '"accounting"' "$PRIVACY_OUT" \
+    || { echo "error: accounting overhead block missing from $PRIVACY_OUT" >&2; exit 1; }
+grep -q '"outcomes_identical_on_off": true' "$PRIVACY_OUT" \
+    || { echo "error: on/off identity gate missing from $PRIVACY_OUT" >&2; exit 1; }
+echo "wrote $PRIVACY_OUT"

@@ -47,6 +47,15 @@ echo "$BUDGET_OUT"
 echo "$BUDGET_OUT" | grep -q "1 passed" \
     || { echo "error: frame-budget smoke matched no test (renamed?)" >&2; exit 1; }
 
+# Privacy-accounting gates, run by name so they can never be silently
+# skipped: the live accountant must match the offline harness bit for
+# bit on the same shadow seed, and two services holding different
+# private data must produce identical privacy snapshots.
+echo "==> cargo test --test privacy_accounting live_accountant_matches_offline_measure_lop"
+cargo test --test privacy_accounting live_accountant_matches_offline_measure_lop
+echo "==> cargo test --test privacy_accounting privacy_accounting_no_leak"
+cargo test --test privacy_accounting privacy_accounting_no_leak
+
 # Trace tooling smoke: export a fresh 2-query distributed (service-mode)
 # trace through the CLI and analyze it back — the reconstructed critical
 # path must be non-empty for both queries.
@@ -61,6 +70,10 @@ grep -q "trace analysis: 2 queries" "$TRACE_DIR/report.txt" \
 grep -q "critical path" "$TRACE_DIR/report.txt" \
     || { echo "error: empty critical path in trace analysis" >&2; cat "$TRACE_DIR/report.txt" >&2; exit 1; }
 echo "    critical paths reconstructed for both queries"
+./target/release/privtopk privacy report "$TRACE_DIR/svc.jsonl" --trials 8 > "$TRACE_DIR/privacy.txt"
+grep -q "privacy report: 2 queries accounted" "$TRACE_DIR/privacy.txt" \
+    || { echo "error: privacy report missed the 2 traced queries" >&2; cat "$TRACE_DIR/privacy.txt" >&2; exit 1; }
+echo "    privacy report accounted both queries"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

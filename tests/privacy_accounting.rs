@@ -1,0 +1,134 @@
+//! Gates for the live privacy-accounting subsystem:
+//!
+//! 1. **Equivalence**: the streaming [`LopAccountant`]'s per-node LoP
+//!    estimates match the offline harness's `measure_lop` bit for bit on
+//!    the same shadow seed — live observability and the paper-figure
+//!    pipeline can never disagree about how exposed a node is.
+//! 2. **No leak**: the accountant consumes protocol coordinates only, so
+//!    two services holding entirely different private data must produce
+//!    identical privacy snapshots.
+//! 3. **Non-interference**: installing the accountant changes nothing
+//!    about the protocol itself — transcripts and per-node results are
+//!    bit-identical with accounting on and off at every pipeline depth.
+
+use std::sync::Arc;
+
+use privtopk::core::distributed::NetworkKind;
+use privtopk::core::{ServiceOutcome, ServiceRuntime};
+use privtopk::experiments::{AdversaryKind, ExperimentSetup};
+use privtopk::observe::Recorder;
+use privtopk::prelude::*;
+use privtopk::privacy::LopAccountant;
+
+const NODES: usize = 5;
+const K: usize = 3;
+
+fn fixed_rounds_config(rounds: u32) -> ProtocolConfig {
+    ProtocolConfig::topk(K).with_rounds(RoundPolicy::Fixed(rounds))
+}
+
+/// Gate 1: the live accountant re-derives exactly what the offline
+/// harness measures. `ExperimentSetup::paper` and the accountant's
+/// shadow estimation share trial count, seeds, dataset construction,
+/// engine, adversary, and accumulation order, so the agreement is exact
+/// (same f64 bit patterns), not merely within tolerance.
+#[test]
+fn live_accountant_matches_offline_measure_lop() {
+    let config = fixed_rounds_config(4);
+    let offline = ExperimentSetup::paper(NODES, K).measure_lop(&config, AdversaryKind::Successor);
+
+    let accountant = LopAccountant::new();
+    accountant.observe(&config, NODES, 4);
+    let snapshot = accountant.snapshot();
+
+    assert_eq!(snapshot.queries_accounted, 1);
+    assert_eq!(snapshot.per_node.len(), offline.per_node_peak.len());
+    for (estimate, &offline_peak) in snapshot.per_node.iter().zip(&offline.per_node_peak) {
+        assert_eq!(
+            estimate.lop, offline_peak,
+            "node {}: live {} vs offline {}",
+            estimate.node, estimate.lop, offline_peak
+        );
+    }
+    assert_eq!(snapshot.average_lop, offline.average_peak);
+    assert_eq!(snapshot.worst_lop, offline.worst_peak);
+}
+
+/// Gate 2: same query plan, two federations holding disjoint private
+/// values (different dataset seeds *and* distributions). The always-on
+/// service accountant sees only `(config, n, rounds)` coordinates, so
+/// every field of the two privacy snapshots — estimates, confidence
+/// intervals, spectrum counts, the per-query ledger — must be identical.
+#[test]
+fn privacy_accounting_no_leak() {
+    let spec = QuerySpec::top_k("value", K).with_epsilon(1e-9);
+    let mut snapshots = Vec::new();
+    for (dist, seed) in [
+        (DataDistribution::Uniform, 0xC0FFEEu64),
+        (DataDistribution::classic_zipf(), 0xBEEF),
+    ] {
+        let dbs = DatasetBuilder::new(NODES)
+            .rows_per_node(8)
+            .distribution(dist)
+            .seed(seed)
+            .build()
+            .expect("valid dataset");
+        let federation = Federation::new(dbs).expect("valid federation");
+        let mut service = federation
+            .serve_traced(&spec, NetworkKind::InMemory, 2, Recorder::new())
+            .unwrap();
+        let tickets: Vec<_> = (0..4).map(|i| service.submit(100 + i).unwrap()).collect();
+        for ticket in tickets {
+            service.collect(ticket).unwrap();
+        }
+        snapshots.push(service.privacy());
+        service.shutdown().unwrap();
+    }
+    assert_eq!(snapshots[0].queries_accounted, 4);
+    assert!(!snapshots[0].per_node.is_empty());
+    assert_eq!(snapshots[0].ledger.len(), 4);
+    assert_eq!(
+        snapshots[0], snapshots[1],
+        "privacy accounting depends on private data"
+    );
+}
+
+/// Runs one service lifetime over `locals`, optionally with a privacy
+/// accountant observing, and returns every outcome in submission order.
+fn run_service(locals: &[TopKVector], depth: usize, account: bool) -> Vec<ServiceOutcome> {
+    let mut runtime = ServiceRuntime::start(locals, NetworkKind::InMemory, depth).unwrap();
+    if account {
+        runtime.set_observer(Arc::new(LopAccountant::new()));
+    }
+    let config = fixed_rounds_config(4);
+    let tickets: Vec<_> = (0..8)
+        .map(|i| runtime.submit(&config, 9000 + i).unwrap())
+        .collect();
+    let outcomes: Vec<_> = tickets
+        .into_iter()
+        .map(|t| runtime.collect(t).unwrap())
+        .collect();
+    runtime.shutdown().unwrap();
+    outcomes
+}
+
+/// Gate 3: accounting is observation, never participation. At pipeline
+/// depths 1, 4 and 16 the service produces bit-identical transcripts and
+/// per-node results whether or not an accountant is installed.
+#[test]
+fn transcripts_are_bit_identical_with_accounting_on_and_off() {
+    let locals = DatasetBuilder::new(NODES)
+        .rows_per_node(8)
+        .distribution(DataDistribution::Uniform)
+        .seed(0xC0FFEE)
+        .build_local_topk(K)
+        .expect("valid dataset");
+    for depth in [1, 4, 16] {
+        let off = run_service(&locals, depth, false);
+        let on = run_service(&locals, depth, true);
+        assert_eq!(
+            off, on,
+            "depth {depth}: accounting changed a transcript or result"
+        );
+    }
+}

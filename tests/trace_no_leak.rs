@@ -214,9 +214,13 @@ fn trace_coordinates_are_independent_of_private_data() {
 }
 
 /// The Prometheus exposition body is aggregate-only: every sample line
-/// is `name value` (or a `le`-labelled bucket), every name carries the
-/// `privtopk_` prefix, and the *set of series* two different-data runs
-/// expose is identical — whatever varies is timing, never structure.
+/// is `name value` with at most one coordinate label (`le` histogram
+/// buckets, `node` privacy gauges, `class` spectrum counts), every name
+/// carries the `privtopk_` prefix, and the *set of series* two
+/// different-data runs expose is identical — whatever varies is timing,
+/// never structure. Privacy-accounting gauges go further: their sample
+/// *values* are a pure function of protocol coordinates, so they must
+/// be byte-identical across the two runs.
 #[test]
 fn prometheus_exposition_is_data_independent() {
     let series_of = |body: &str| -> BTreeSet<String> {
@@ -234,21 +238,29 @@ fn prometheus_exposition_is_data_independent() {
                 "illegal metric name char: {line}"
             );
             if let Some(label) = series.strip_prefix(name) {
+                let coordinate_label = ["{le=\"", "{node=\"", "{class=\""]
+                    .iter()
+                    .any(|prefix| label.starts_with(prefix) && label.ends_with("\"}"));
                 assert!(
-                    label.is_empty() || (label.starts_with("{le=\"") && label.ends_with("\"}")),
+                    label.is_empty() || coordinate_label,
                     "unexpected label (labels could carry data): {line}"
                 );
             }
-            assert!(
-                value.parse::<u64>().is_ok(),
-                "non-integer sample value: {line}"
-            );
+            let sample: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric sample value: {line}"));
+            assert!(sample.is_finite(), "non-finite sample value: {line}");
             // Bucket boundaries are a fixed log grid, so keep the full
             // series name; only sample *values* may differ with timing.
             names.insert(series.to_string());
         }
         names
     };
+    fn privacy_lines(body: &str) -> Vec<&str> {
+        body.lines()
+            .filter(|l| l.starts_with("privtopk_privacy_"))
+            .collect()
+    }
 
     let spec = QuerySpec::top_k("value", K).with_epsilon(1e-9);
     let mut bodies = Vec::new();
@@ -265,12 +277,31 @@ fn prometheus_exposition_is_data_independent() {
         for ticket in tickets {
             service.collect(ticket).unwrap();
         }
+        let mut body = render_summary(&recorder.summary());
+        privtopk::federation::write_privacy_metrics(&mut body, &service.privacy());
         service.shutdown().unwrap();
-        bodies.push(render_summary(&recorder.summary()));
+        bodies.push(body);
     }
     let a = series_of(&bodies[0]);
     let b = series_of(&bodies[1]);
     assert!(!a.is_empty());
+    // The live accountant consumed 4 queries over NODES nodes in both
+    // runs, so the exposed privacy surface must be present *and* its
+    // rendered values byte-identical — the estimates see coordinates,
+    // never data.
+    for required in [
+        "privtopk_privacy_lop_node{node=\"0\"}",
+        "privtopk_privacy_lop_average",
+        "privtopk_privacy_spectrum_class{class=\"probable_innocence\"}",
+        "privtopk_privacy_queries_accounted_total",
+    ] {
+        assert!(a.contains(required), "missing privacy series {required}");
+    }
+    assert_eq!(
+        privacy_lines(&bodies[0]),
+        privacy_lines(&bodies[1]),
+        "privacy accounting values depend on private data"
+    );
     // Timing-derived histogram buckets vary run to run; the counter and
     // gauge series — the structural surface — must match exactly.
     let structural = |names: &BTreeSet<String>| -> BTreeSet<String> {
