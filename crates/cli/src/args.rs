@@ -69,6 +69,12 @@ pub enum Command {
     TraceAnalyze,
     /// `privtopk trace watch` — poll a live service metrics endpoint.
     TraceWatch,
+    /// `privtopk trace dump` — run a standing service briefly and dump
+    /// its always-on flight recorder to JSONL.
+    TraceDump,
+    /// `privtopk chaos run` — seeded chaos schedule against a standing
+    /// service, with a bit-identity check and a healing-cost report.
+    ChaosRun,
     /// `privtopk privacy report <files...>` — privacy-accounting report
     /// over collected traces.
     PrivacyReport,
@@ -114,9 +120,18 @@ impl Arguments {
             Some("trace") => match iter.next().as_deref() {
                 Some("analyze") => Command::TraceAnalyze,
                 Some("watch") => Command::TraceWatch,
+                Some("dump") => Command::TraceDump,
                 other => {
                     return Err(CliError::UnknownCommand {
                         got: format!("trace {}", other.unwrap_or("")),
+                    })
+                }
+            },
+            Some("chaos") => match iter.next().as_deref() {
+                Some("run") => Command::ChaosRun,
+                other => {
+                    return Err(CliError::UnknownCommand {
+                        got: format!("chaos {}", other.unwrap_or("")),
                     })
                 }
             },
@@ -242,8 +257,12 @@ pub fn usage() -> String {
      \u{20}                (CSV: feature columns + a `label` column)\n\
      privtopk trace analyze FILE... [--json] [--stall-multiplier M]\n\
      \u{20}                [--nodes N --rounds R] [--lop-alert X]\n\
+     \u{20}                [--incident-gap-us US] [--bytes-per-frame B]\n\
      privtopk trace watch --addr HOST:PORT [--interval-ms MS] [--count N]\n\
-     \u{20}                [--lop-alert X]\n\
+     \u{20}                [--lop-alert X] [--max-misses N]\n\
+     privtopk trace dump  --out PATH [--nodes N] [--k K] [--queries Q] [--seed S]\n\
+     privtopk chaos run   [--nodes N] [--k K] [--incidents I] [--seed S]\n\
+     \u{20}                [--pipeline D] [--json] [--flight-out PATH]\n\
      privtopk privacy report FILE... [--json] [--k K] [--trials T] [--seed S]\n\
      privtopk store init    --store-dir DIR --nodes N [--domain-min LO --domain-max HI]\n\
      privtopk store ingest  --store-dir DIR --nodes N --rows R [--dist uniform|normal|zipf]\n\
@@ -302,6 +321,22 @@ pub fn usage() -> String {
      tune the shadow estimation). --lop-alert X adds a privacy panel to\n\
      trace analyze, and makes trace watch flag any scrape whose worst\n\
      per-node LoP gauge exceeds X.\n\
+     \n\
+     chaos run executes a seeded schedule of incidents — node crash,\n\
+     ring partition, sustained loss — against a standing service while\n\
+     a query workload flows, then proves every answer bit-identical to\n\
+     a fault-free run and prints the analyzer's per-incident healing\n\
+     cost (detect -> retransmit storm -> steady state, per node).\n\
+     --incidents I schedules I windows (default 2); --flight-out PATH\n\
+     also dumps the flight recorder's recent spans as JSONL.\n\
+     \n\
+     trace dump runs a short standing-service workload and writes the\n\
+     recorder's always-on flight ring — the most recent spans, kept\n\
+     even when full tracing is off — to --out as JSONL, ready for\n\
+     trace analyze. trace watch retries transient scrape failures with\n\
+     bounded backoff, giving up after --max-misses consecutive misses\n\
+     (default 3), and prints SLO burn-rate alert lines whenever the\n\
+     scraped privtopk_slo_* gauges say an objective is burning.\n\
      \n\
      store init/ingest/compact manage persistent per-node stores\n\
      (append-only log + incremental top-k candidate index) under\n\
@@ -370,6 +405,21 @@ mod tests {
     }
 
     #[test]
+    fn chaos_and_trace_dump_subcommands_parse() {
+        assert_eq!(
+            Arguments::parse(["chaos", "run", "--incidents", "2"])
+                .unwrap()
+                .command,
+            Command::ChaosRun
+        );
+        let dump = Arguments::parse(["trace", "dump", "--out", "x.jsonl"]).unwrap();
+        assert_eq!(dump.command, Command::TraceDump);
+        assert_eq!(dump.get("out"), Some("x.jsonl"));
+        assert!(Arguments::parse(["chaos", "break"]).is_err());
+        assert!(Arguments::parse(["chaos"]).is_err());
+    }
+
+    #[test]
     fn usage_mentions_all_commands() {
         let u = usage();
         for cmd in [
@@ -379,6 +429,8 @@ mod tests {
             "knn",
             "trace analyze",
             "trace watch",
+            "trace dump",
+            "chaos run",
             "privacy report",
             "store init",
             "store ingest",

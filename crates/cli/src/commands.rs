@@ -9,7 +9,9 @@ use privtopk_core::groups::grouped_max;
 use privtopk_core::{derive_batch_seed, ProtocolConfig, RoundPolicy, ServiceStats};
 use privtopk_datagen::{DataDistribution, DatasetBuilder, PrivateDatabase};
 use privtopk_domain::{NodeId, TopKVector, Value, ValueDomain};
-use privtopk_federation::{Federation, QueryBatch, QueryKind, QuerySpec};
+use privtopk_federation::{
+    ChaosPlan, Federation, QueryBatch, QueryKind, QuerySpec, DEFAULT_HEAL_BUDGET,
+};
 use privtopk_knn::{centralized_knn, KnnConfig, LabeledPoint, PrivateKnnClassifier};
 use privtopk_observe::{
     analyze, AnalyzerConfig, CollectedTrace, PrivacyLedger, Recorder, TraceCollector,
@@ -45,6 +47,8 @@ pub fn run(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
         Command::Query { audit } => run_query(args, audit, out),
         Command::TraceAnalyze => run_trace_analyze(args, out),
         Command::TraceWatch => run_trace_watch(args, out),
+        Command::TraceDump => run_trace_dump(args, out),
+        Command::ChaosRun => run_chaos_run(args, out),
         Command::PrivacyReport => run_privacy_report(args, out),
         Command::StoreInit => run_store_init(args, out),
         Command::StoreIngest => run_store_ingest(args, out),
@@ -349,8 +353,12 @@ fn run_trace_analyze(args: &Arguments, out: &mut impl Write) -> Result<(), CliEr
         let accountant = account_trace(args, &trace)?;
         trace.privacy = Some(ledger_from_snapshot(&accountant.snapshot()));
     }
+    let defaults = AnalyzerConfig::default();
+    let bytes_hint: f64 = args.parse_or("bytes-per-frame", 0.0)?;
     let config = AnalyzerConfig {
-        stall_multiplier: args.parse_or("stall-multiplier", 3.0)?,
+        stall_multiplier: args.parse_or("stall-multiplier", defaults.stall_multiplier)?,
+        incident_gap_us: args.parse_or("incident-gap-us", defaults.incident_gap_us)?,
+        bytes_per_frame_hint: (bytes_hint > 0.0).then_some(bytes_hint),
     };
     let analysis = analyze(&trace, &config);
     if args.has("json") {
@@ -380,7 +388,10 @@ fn run_trace_analyze(args: &Arguments, out: &mut impl Write) -> Result<(), CliEr
 }
 
 /// `privtopk trace watch --addr HOST:PORT` — poll a live service
-/// metrics endpoint, printing each scrape's samples.
+/// metrics endpoint, printing each scrape's samples and any firing
+/// SLO burn-rate alerts. Transient scrape failures are retried with
+/// bounded exponential backoff; `--max-misses` consecutive misses
+/// (default 3) end the watch with an error.
 fn run_trace_watch(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
     let raw_addr = args.get("addr").ok_or(CliError::BadFlag {
         flag: "--addr".into(),
@@ -391,18 +402,25 @@ fn run_trace_watch(args: &Arguments, out: &mut impl Write) -> Result<(), CliErro
     })?;
     let interval = std::time::Duration::from_millis(args.parse_or("interval-ms", 1000u64)?);
     let count: u64 = args.parse_or("count", 0u64)?;
+    let max_misses: u32 = args.parse_or("max-misses", 3u32)?.max(1);
     let lop_alert = parse_lop_alert(args)?;
     let mut poll = 0u64;
+    let mut misses = 0u32;
     loop {
-        poll += 1;
         match privtopk_observe::scrape(&addr) {
             Ok(body) => {
+                misses = 0;
+                poll += 1;
                 let mut text = format!("--- poll {poll} ---\n");
                 for line in body
                     .lines()
                     .filter(|l| !l.starts_with('#') && !l.is_empty())
                 {
                     text.push_str(line);
+                    text.push('\n');
+                }
+                for alert in parse_slo_alerts(&body) {
+                    text.push_str(&alert);
                     text.push('\n');
                 }
                 if let Some(threshold) = lop_alert {
@@ -415,21 +433,56 @@ fn run_trace_watch(args: &Arguments, out: &mut impl Write) -> Result<(), CliErro
                     }
                 }
                 write_out(out, &text)?;
+                if count > 0 && poll >= count {
+                    return Ok(());
+                }
+                std::thread::sleep(interval);
             }
-            Err(e) if poll == 1 => {
-                // Nothing ever answered: surface it as an error.
-                return Err(CliError::Execution(format!("cannot scrape {addr}: {e}")));
-            }
-            Err(_) => {
-                // The service went away mid-watch: stop cleanly.
-                return write_out(out, &format!("--- poll {poll}: endpoint closed ---\n"));
+            Err(e) => {
+                misses += 1;
+                if misses >= max_misses {
+                    // Budget exhausted: final error either way, so a
+                    // flapping endpoint cannot wedge the watch forever.
+                    return Err(CliError::Execution(if poll == 0 {
+                        format!("cannot scrape {addr}: {e} ({misses} consecutive misses)")
+                    } else {
+                        format!("lost {addr} after {poll} polls: {e} ({misses} consecutive misses)")
+                    }));
+                }
+                write_out(
+                    out,
+                    &format!("--- miss {misses}/{max_misses}: {e}; retrying ---\n"),
+                )?;
+                // Bounded backoff: 1x, 2x, 4x ... the poll interval,
+                // capped at 8x so recovery detection stays prompt.
+                let factor = 2u32.saturating_pow(misses - 1).min(8);
+                std::thread::sleep(interval * factor);
             }
         }
-        if count > 0 && poll >= count {
-            return Ok(());
-        }
-        std::thread::sleep(interval);
     }
+}
+
+/// Pulls firing SLO alerts out of a scrape body: when a
+/// `privtopk_slo_*_alert` gauge reads 1, render the matching burn-rate
+/// line from the `_burn_short`/`_burn_long` gauges next to it.
+fn parse_slo_alerts(body: &str) -> Vec<String> {
+    let gauge = |name: &str| -> Option<f64> {
+        body.lines().find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+    };
+    let mut alerts = Vec::new();
+    for objective in ["latency", "availability"] {
+        if gauge(&format!("privtopk_slo_{objective}_alert ")) == Some(1.0) {
+            let short = gauge(&format!("privtopk_slo_{objective}_burn_short ")).unwrap_or(0.0);
+            let long = gauge(&format!("privtopk_slo_{objective}_burn_long ")).unwrap_or(0.0);
+            alerts.push(format!(
+                "SLO ALERT {objective}: burn {short:.2}x short / {long:.2}x long"
+            ));
+        }
+    }
+    alerts
 }
 
 /// Pulls `(node, lop)` pairs out of a Prometheus scrape body's
@@ -448,6 +501,171 @@ fn parse_lop_node_gauges(body: &str) -> Vec<(u32, f64)> {
         }
     }
     gauges
+}
+
+/// `privtopk chaos run` — execute a seeded incident schedule (node
+/// crash, ring partition, sustained loss) against a standing service
+/// while a query workload flows, prove every answer bit-identical to a
+/// fault-free run, and report the analyzer's per-incident healing cost.
+fn run_chaos_run(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    let nodes: usize = args.parse_or("nodes", 5)?;
+    let k: usize = args.parse_or("k", 3)?;
+    let incidents: usize = args.parse_or("incidents", 2)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let depth: usize = args.parse_or("pipeline", 8)?;
+    let dbs = DatasetBuilder::new(nodes)
+        .rows_per_node((k.max(2)) * 4)
+        .seed(seed)
+        .build()
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    let federation = Federation::new(dbs).map_err(|e| CliError::Execution(e.to_string()))?;
+    let spec = QuerySpec::top_k("value", k);
+    let plan = ChaosPlan::seeded(seed, nodes as u32, incidents);
+    plan.validate(DEFAULT_HEAL_BUDGET)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+
+    let recorder = Recorder::new();
+    let (mut chaotic, state) = federation
+        .serve_chaos_traced(&spec, depth, recorder.clone(), &plan)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    state.arm();
+    // Waves of queries until every incident window has opened and
+    // closed, so the whole schedule hits live traffic.
+    let mut seeds = Vec::new();
+    let mut outcomes = Vec::new();
+    let mut wave = 0u64;
+    while !state.quiescent() || wave == 0 {
+        let batch: Vec<u64> = (0..depth as u64)
+            .map(|i| derive_batch_seed(seed ^ wave.wrapping_mul(0x9E37), i))
+            .collect();
+        outcomes.extend(
+            chaotic
+                .query_many(&batch)
+                .map_err(|e| CliError::Execution(e.to_string()))?,
+        );
+        seeds.extend(batch);
+        wave += 1;
+    }
+    let stats = chaotic.stats();
+    let flight = chaotic.dump_flight_recorder();
+    chaotic
+        .shutdown()
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+
+    // The same seeds on a fault-free standing service must produce
+    // byte-identical values and transcripts.
+    let mut clean = federation
+        .serve(&spec, NetworkKind::InMemory, depth)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    let baseline = clean
+        .query_many(&seeds)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    clean
+        .shutdown()
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    let identical = outcomes.len() == baseline.len()
+        && outcomes.iter().zip(&baseline).all(|(chaos, clean)| {
+            chaos.values() == clean.values()
+                && chaos.transcript().steps() == clean.transcript().steps()
+        });
+    if !identical {
+        return Err(CliError::Execution(
+            "chaos run diverged from the fault-free baseline".into(),
+        ));
+    }
+
+    let mut collector = TraceCollector::new();
+    collector.ingest_recorder("chaos", &recorder);
+    let config = AnalyzerConfig {
+        bytes_per_frame_hint: Some(stats.bytes_sent as f64 / stats.frames_sent.max(1) as f64),
+        ..AnalyzerConfig::default()
+    };
+    let analysis = analyze(&collector.finish(), &config);
+
+    if let Some(path) = args.get("flight-out") {
+        std::fs::write(path, &flight).map_err(|e| CliError::Execution(format!("{path}: {e}")))?;
+    }
+
+    if args.has("json") {
+        let mut json = String::from("{");
+        json.push_str(&format!(
+            "\"nodes\":{nodes},\"k\":{k},\"pipeline\":{depth},\"seed\":{seed},\
+             \"incidents_scheduled\":{},\"queries\":{},\"frames_dropped\":{},\
+             \"retransmissions\":{},\"re_acks\":{},\"bit_identical\":true,\"analysis\":{}",
+            plan.incidents.len(),
+            outcomes.len(),
+            state.dropped(),
+            stats.retransmissions,
+            stats.re_acks,
+            analysis.to_json(),
+        ));
+        json.push('}');
+        return write_out(out, &format!("{json}\n"));
+    }
+
+    let mut text = format!(
+        "chaos run: {nodes} nodes, depth {depth}, {} scheduled incidents, seed {seed}\n",
+        plan.incidents.len()
+    );
+    for incident in &plan.incidents {
+        text.push_str(&format!(
+            "  t+{}ms for {}ms: {}\n",
+            incident.at.as_millis(),
+            incident.duration.as_millis(),
+            incident.event.describe()
+        ));
+    }
+    text.push_str(&format!(
+        "workload: {} queries, {} frames dropped by chaos, {} retransmissions, {} re-acks\n\
+         bit-identity: OK — every answer and transcript matches the fault-free run\n",
+        outcomes.len(),
+        state.dropped(),
+        stats.retransmissions,
+        stats.re_acks,
+    ));
+    write_out(out, &text)?;
+    write_out(out, &analysis.to_string())
+}
+
+/// `privtopk trace dump --out PATH` — run a short standing-service
+/// workload with full tracing off and dump the recorder's always-on
+/// flight ring (the most recent spans) to JSONL for `trace analyze`.
+fn run_trace_dump(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
+    let path = args.get("out").ok_or(CliError::BadFlag {
+        flag: "--out".into(),
+    })?;
+    let nodes: usize = args.parse_or("nodes", 5)?;
+    let k: usize = args.parse_or("k", 3)?;
+    let queries: u64 = args.parse_or("queries", 16)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let dbs = DatasetBuilder::new(nodes)
+        .rows_per_node((k.max(2)) * 4)
+        .seed(seed)
+        .build()
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    let federation = Federation::new(dbs).map_err(|e| CliError::Execution(e.to_string()))?;
+    let spec = QuerySpec::top_k("value", k);
+    // stats_only: no full trace buffer — the dump proves the flight
+    // ring is always on regardless of the tracing mode.
+    let mut service = federation
+        .serve_traced(&spec, NetworkKind::InMemory, 4, Recorder::stats_only())
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    let seeds: Vec<u64> = (0..queries).map(|i| derive_batch_seed(seed, i)).collect();
+    service
+        .query_many(&seeds)
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    let dump = service.dump_flight_recorder();
+    service
+        .shutdown()
+        .map_err(|e| CliError::Execution(e.to_string()))?;
+    std::fs::write(path, &dump).map_err(|e| CliError::Execution(format!("{path}: {e}")))?;
+    write_out(
+        out,
+        &format!(
+            "wrote {} flight-recorder events to {path} ({queries} queries served)\n",
+            dump.lines().count(),
+        ),
+    )
 }
 
 fn run_knn(args: &Arguments, out: &mut impl Write) -> Result<(), CliError> {
@@ -741,11 +959,15 @@ fn run_query(args: &Arguments, audit: bool, out: &mut impl Write) -> Result<(), 
     // Telemetry is opt-in and additive: the recorder only exists when
     // `--trace-out` or `--stats` asked for it, and the default stdout is
     // byte-identical either way (tracing never changes transcripts).
+    // A scrape endpoint still needs a live counter/gauge registry, so
+    // `--metrics-addr` alone gets the stats-only tier.
     let stats_requested = args.has("stats");
     let trace_out = args.get("trace-out").map(str::to_string);
     let telemetry = stats_requested || trace_out.is_some();
     let recorder = if telemetry {
         Recorder::new()
+    } else if args.get("metrics-addr").is_some() {
+        Recorder::stats_only()
     } else {
         Recorder::disabled()
     };
@@ -1833,6 +2055,149 @@ mod tests {
             run_to_string(&["trace", "watch", "--addr", "127.0.0.1:1", "--count", "1"]).is_err()
         );
         assert!(run_to_string(&["trace", "watch", "--count", "1"]).is_err());
+    }
+
+    #[test]
+    fn trace_watch_retries_transient_misses_with_bounded_backoff() {
+        use std::io::{Read as _, Write as _};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A flapping endpoint: the first connection is slammed shut (a
+        // transient miss), the next two answer like a healthy server.
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 512];
+                let _ = stream.read(&mut buf);
+                let body = "privtopk_demo_total 7\n";
+                let _ = stream.write_all(
+                    format!(
+                        "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\
+                         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+            }
+        });
+        let out = run_to_string(&[
+            "trace",
+            "watch",
+            "--addr",
+            &addr.to_string(),
+            "--interval-ms",
+            "1",
+            "--count",
+            "2",
+            "--max-misses",
+            "3",
+        ])
+        .unwrap();
+        handle.join().unwrap();
+        assert!(out.contains("miss 1/3"), "{out}");
+        assert!(out.contains("--- poll 1 ---"), "{out}");
+        assert!(out.contains("--- poll 2 ---"), "{out}");
+        assert!(out.contains("privtopk_demo_total 7"), "{out}");
+    }
+
+    #[test]
+    fn trace_watch_prints_slo_alert_lines() {
+        let server = privtopk_observe::MetricsServer::bind("127.0.0.1:0", || {
+            "privtopk_slo_latency_alert 1\n\
+             privtopk_slo_latency_burn_short 3.5\n\
+             privtopk_slo_latency_burn_long 2.25\n\
+             privtopk_slo_availability_alert 0\n"
+                .to_string()
+        })
+        .unwrap();
+        let out = run_to_string(&[
+            "trace",
+            "watch",
+            "--addr",
+            &server.addr().to_string(),
+            "--interval-ms",
+            "1",
+            "--count",
+            "1",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("SLO ALERT latency: burn 3.50x short / 2.25x long"),
+            "{out}"
+        );
+        assert!(!out.contains("SLO ALERT availability"), "{out}");
+    }
+
+    #[test]
+    fn chaos_run_proves_bit_identity_and_reports_healing() {
+        let flight = temp_trace_path("chaos_flight");
+        let out = run_to_string(&[
+            "chaos",
+            "run",
+            "--nodes",
+            "4",
+            "--incidents",
+            "1",
+            "--seed",
+            "7",
+            "--pipeline",
+            "4",
+            "--flight-out",
+            flight.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("chaos run: 4 nodes"), "{out}");
+        assert!(out.contains("outage(") || out.contains("partition(") || out.contains("loss("));
+        assert!(out.contains("bit-identity: OK"), "{out}");
+        assert!(out.contains("incident 1:"), "{out}");
+        // The dumped flight ring feeds straight back into trace analyze.
+        let report = run_to_string(&["trace", "analyze", flight.to_str().unwrap()]).unwrap();
+        assert!(report.contains("trace analysis:"), "{report}");
+        std::fs::remove_file(&flight).unwrap();
+    }
+
+    #[test]
+    fn chaos_run_json_carries_the_gates() {
+        let json = run_to_string(&[
+            "chaos",
+            "run",
+            "--nodes",
+            "4",
+            "--incidents",
+            "1",
+            "--seed",
+            "9",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"bit_identical\":true"), "{json}");
+        assert!(json.contains("\"incidents_scheduled\":1"), "{json}");
+        assert!(json.contains("\"frames_dropped\":"), "{json}");
+        assert!(json.contains("\"analysis\":{"), "{json}");
+        assert!(json.contains("\"incidents\":["), "{json}");
+    }
+
+    #[test]
+    fn trace_dump_writes_flight_jsonl_for_analyze() {
+        let path = temp_trace_path("flight_dump");
+        let out = run_to_string(&[
+            "trace",
+            "dump",
+            "--out",
+            path.to_str().unwrap(),
+            "--nodes",
+            "4",
+            "--queries",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("flight-recorder events"), "{out}");
+        let report = run_to_string(&["trace", "analyze", path.to_str().unwrap()]).unwrap();
+        assert!(report.contains("trace analysis:"), "{report}");
+        std::fs::remove_file(&path).unwrap();
+        assert!(run_to_string(&["trace", "dump"]).is_err());
     }
 
     #[test]

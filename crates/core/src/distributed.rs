@@ -14,6 +14,7 @@ use std::time::Duration;
 use privtopk_domain::rng::SeedSpec;
 use privtopk_domain::{NodeId, RingPosition, TopKVector};
 use privtopk_observe::{Ctx, Phase, Recorder};
+use privtopk_ring::chaos::{ChaosEndpoint, ChaosState};
 use privtopk_ring::faults::{FaultyEndpoint, ReliableEndpoint};
 use privtopk_ring::transport::{
     send_value_many_traced, send_value_traced, FramePool, InMemoryNetwork, TcpNetwork, Transport,
@@ -345,6 +346,34 @@ pub(crate) fn build_endpoints(
             )
         }
     })
+}
+
+/// Builds one endpoint per node with a [`ChaosEndpoint`] injecting the
+/// shared [`ChaosState`]'s scheduled incidents underneath the usual
+/// reliability layer. The stack mirrors the lossy substrate — chaos
+/// drops frames, stop-and-wait heals them, and both the metrics and the
+/// recorder see every retransmission and re-ACK of the healing storm.
+pub(crate) fn build_chaos_endpoints(
+    n: usize,
+    seed: u64,
+    recorder: &Recorder,
+    state: &Arc<ChaosState>,
+) -> (Vec<Box<dyn Transport>>, TransportMetrics) {
+    let net = InMemoryNetwork::new(n);
+    let metrics = net.metrics();
+    (
+        net.endpoints()
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let chaotic = ChaosEndpoint::new(e, Arc::clone(state), seed ^ (i as u64) << 8);
+                let reliable =
+                    ReliableEndpoint::new(chaotic).with_observer(metrics.clone(), recorder.clone());
+                Box::new(reliable) as Box<dyn Transport>
+            })
+            .collect(),
+        metrics,
+    )
 }
 
 /// Lossy transports need a shutdown drain: a finished worker keeps

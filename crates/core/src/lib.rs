@@ -72,3 +72,9 @@ pub use service::{
     ShardedService,
 };
 pub use transcript::{StepRecord, Transcript};
+
+/// Chaos scenario types, re-exported from the ring substrate so service
+/// embedders can build plans without a direct `privtopk-ring` dependency.
+pub use privtopk_ring::chaos::{
+    ChaosEvent, ChaosIncident, ChaosPlan, ChaosState, DEFAULT_HEAL_BUDGET,
+};

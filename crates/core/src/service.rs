@@ -36,9 +36,11 @@ use privtopk_ring::transport::{send_value_traced, FramePool, Transport};
 use privtopk_ring::wire::decode_from_bytes;
 use privtopk_ring::{MetricsSnapshot, RingError, RingTopology, TransportMetrics};
 
+use privtopk_ring::chaos::{ChaosPlan, ChaosState, DEFAULT_HEAL_BUDGET};
+
 use crate::distributed::{
-    build_endpoints, derive_topology, drain_endpoint, drain_window, NetworkKind, NodeWorker,
-    WorkerReport, RECV_TIMEOUT,
+    build_chaos_endpoints, build_endpoints, derive_topology, drain_endpoint, drain_window,
+    NetworkKind, NodeWorker, WorkerReport, RECV_TIMEOUT,
 };
 use crate::local::TopkScratch;
 use crate::messages::SlotMessage;
@@ -75,6 +77,16 @@ pub struct ServiceOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryTicket {
     query: u64,
+}
+
+impl QueryTicket {
+    /// The scheduler-assigned query id this ticket redeems — the same
+    /// id the query's trace spans carry, so embedders can correlate a
+    /// collected outcome with its telemetry.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.query
+    }
 }
 
 /// Everything a worker needs to open a slot for one query.
@@ -733,6 +745,76 @@ impl ServiceRuntime {
         depth: usize,
         recorder: Recorder,
     ) -> Result<ServiceRuntime, ProtocolError> {
+        let (n, k) = Self::validate(locals, depth)?;
+        let (endpoints, metrics) = build_endpoints(network, n, FAULT_SEED, &recorder)?;
+        let drain_on_exit = drain_window(network);
+        Self::start_with_endpoints(
+            locals,
+            k,
+            depth,
+            endpoints,
+            metrics,
+            drain_on_exit,
+            recorder,
+        )
+    }
+
+    /// [`start_traced`](Self::start_traced) over an in-memory network
+    /// with the plan's chaos incidents injected under the reliability
+    /// layer. Returns the shared [`ChaosState`] so the caller can arm
+    /// the chaos clock when traffic starts and read drop counts.
+    ///
+    /// Chaos only delays delivery — dropped frames are retransmitted
+    /// verbatim and no protocol RNG stream is consulted — so every
+    /// query's transcript stays bit-identical to a fault-free run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`start`](Self::start), plus [`ProtocolError::Ring`] for
+    /// a plan the reliability layer could not heal.
+    pub fn start_chaos_traced(
+        locals: &[TopKVector],
+        depth: usize,
+        recorder: Recorder,
+        plan: &ChaosPlan,
+    ) -> Result<(ServiceRuntime, Arc<ChaosState>), ProtocolError> {
+        plan.validate(DEFAULT_HEAL_BUDGET)?;
+        let state = ChaosState::new(plan.clone());
+        let runtime = Self::start_with_chaos_state(locals, depth, recorder, &state)?;
+        Ok((runtime, state))
+    }
+
+    /// Starts a runtime whose endpoints consult an existing shared
+    /// [`ChaosState`] — the building block that lets a
+    /// [`ShardedService`] subject all its rings to the same incident
+    /// schedule on one clock.
+    ///
+    /// # Errors
+    ///
+    /// As for [`start`](Self::start).
+    pub fn start_with_chaos_state(
+        locals: &[TopKVector],
+        depth: usize,
+        recorder: Recorder,
+        state: &Arc<ChaosState>,
+    ) -> Result<ServiceRuntime, ProtocolError> {
+        let (n, k) = Self::validate(locals, depth)?;
+        let (endpoints, metrics) = build_chaos_endpoints(n, FAULT_SEED, &recorder, state);
+        // Same shutdown drain as a lossy network: finished workers keep
+        // re-ACKing retransmissions for a grace window.
+        let drain_on_exit = Some(Duration::from_secs(1));
+        Self::start_with_endpoints(
+            locals,
+            k,
+            depth,
+            endpoints,
+            metrics,
+            drain_on_exit,
+            recorder,
+        )
+    }
+
+    fn validate(locals: &[TopKVector], depth: usize) -> Result<(usize, usize), ProtocolError> {
         if depth == 0 {
             return Err(ProtocolError::InvalidService {
                 reason: "pipeline depth must be at least 1",
@@ -751,8 +833,19 @@ impl ServiceRuntime {
                 });
             }
         }
-        let (endpoints, metrics) = build_endpoints(network, n, FAULT_SEED, &recorder)?;
-        let drain_on_exit = drain_window(network);
+        Ok((n, k))
+    }
+
+    fn start_with_endpoints(
+        locals: &[TopKVector],
+        k: usize,
+        depth: usize,
+        endpoints: Vec<Box<dyn Transport>>,
+        metrics: TransportMetrics,
+        drain_on_exit: Option<Duration>,
+        recorder: Recorder,
+    ) -> Result<ServiceRuntime, ProtocolError> {
+        let n = locals.len();
         let (report_tx, report_rx) = unbounded();
         let mut controls = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -1201,6 +1294,37 @@ impl ShardedService {
             .map(|_| ServiceRuntime::start_traced(locals, network, depth, recorder.clone()))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ShardedService { shards })
+    }
+
+    /// [`start_traced`](Self::start_traced) with every shard's network
+    /// subjected to the same chaos plan on one shared clock: an
+    /// incident hits all rings simultaneously, as a real outage would.
+    /// Returns the shared [`ChaosState`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`start`](Self::start), plus [`ProtocolError::Ring`] for
+    /// a plan the reliability layer could not heal.
+    pub fn start_chaos_traced(
+        locals: &[TopKVector],
+        depth: usize,
+        workers: usize,
+        recorder: Recorder,
+        plan: &ChaosPlan,
+    ) -> Result<(ShardedService, Arc<ChaosState>), ProtocolError> {
+        if workers == 0 {
+            return Err(ProtocolError::InvalidService {
+                reason: "worker count must be at least 1",
+            });
+        }
+        plan.validate(DEFAULT_HEAL_BUDGET)?;
+        let state = ChaosState::new(plan.clone());
+        let shards = (0..workers)
+            .map(|_| {
+                ServiceRuntime::start_with_chaos_state(locals, depth, recorder.clone(), &state)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((ShardedService { shards }, state))
     }
 
     /// [`start`](Self::start) over [`LocalTopkSource`] backends: each

@@ -4,18 +4,21 @@ use privtopk_core::distributed::{
     run_distributed, run_distributed_batch, run_distributed_batch_traced, run_distributed_traced,
     NetworkKind,
 };
+use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use privtopk_core::service::{QueryTicket, ServiceRuntime, ServiceStats, ServiceStatsHandle};
 use privtopk_core::{
-    derive_batch_seed, run_simulated_batch, run_simulated_batch_traced, BatchJob, ProtocolConfig,
-    RoundPolicy, SimulationEngine, Transcript,
+    derive_batch_seed, run_simulated_batch, run_simulated_batch_traced, BatchJob, ChaosPlan,
+    ChaosState, ProtocolConfig, RoundPolicy, SimulationEngine, Transcript,
 };
 use privtopk_datagen::PrivateDatabase;
 use privtopk_domain::{TopKVector, Value, ValueDomain};
 use privtopk_observe::{
-    render_summary, write_counter, write_gauge, write_gauge_f64, write_gauge_f64_series,
-    write_histogram, MetricsServer, Recorder,
+    render_summary, write_build_info, write_counter, write_gauge, write_gauge_f64,
+    write_gauge_f64_series, write_histogram, MetricsServer, Recorder, SloConfig, SloEngine,
+    SloReport,
 };
 use privtopk_privacy::{AccountantSnapshot, LopAccountant};
 use privtopk_ring::TransportMetrics;
@@ -170,13 +173,51 @@ impl Federation {
         recorder: Recorder,
     ) -> Result<FederationService, FederationError> {
         let (config, locals, mirrored) = self.compile(spec)?;
-        let mut runtime = ServiceRuntime::start_traced(&locals, network, depth, recorder)?;
+        let runtime = ServiceRuntime::start_traced(&locals, network, depth, recorder)?;
+        Ok(self.finish_serve(spec, config, mirrored, runtime))
+    }
+
+    /// [`Federation::serve_traced`] over an in-memory network with the
+    /// plan's chaos incidents — node outages, ring partitions, loss
+    /// windows — injected under the reliability layer on a seeded
+    /// schedule. Returns the shared [`ChaosState`] so the caller can
+    /// arm the chaos clock and read drop counts.
+    ///
+    /// Chaos only delays delivery, so every outcome stays bit-identical
+    /// to the same seeds on a fault-free service; the healing cost
+    /// shows up in the recorder's retry/re-ACK spans instead.
+    ///
+    /// # Errors
+    ///
+    /// As [`Federation::serve`], plus
+    /// [`privtopk_core::ProtocolError::Ring`] for a plan the
+    /// reliability layer could not heal.
+    pub fn serve_chaos_traced(
+        &self,
+        spec: &QuerySpec,
+        depth: usize,
+        recorder: Recorder,
+        plan: &ChaosPlan,
+    ) -> Result<(FederationService, Arc<ChaosState>), FederationError> {
+        let (config, locals, mirrored) = self.compile(spec)?;
+        let (runtime, state) = ServiceRuntime::start_chaos_traced(&locals, depth, recorder, plan)
+            .map_err(FederationError::from)?;
+        Ok((self.finish_serve(spec, config, mirrored, runtime), state))
+    }
+
+    fn finish_serve(
+        &self,
+        spec: &QuerySpec,
+        config: ProtocolConfig,
+        mirrored: bool,
+        mut runtime: ServiceRuntime,
+    ) -> FederationService {
         // Privacy accounting is always on: the accountant consumes only
         // data-independent protocol coordinates (n, k, schedule, rounds),
         // so it costs a few counter bumps per query and can never leak.
         let accountant = Arc::new(LopAccountant::new());
         runtime.set_observer(Arc::clone(&accountant) as _);
-        Ok(FederationService {
+        FederationService {
             federation: self.clone(),
             runtime,
             spec: spec.clone(),
@@ -184,7 +225,9 @@ impl Federation {
             mirrored,
             metrics_server: None,
             accountant,
-        })
+            slo: Arc::new(SloEngine::new(SloConfig::default())),
+            started: HashMap::new(),
+        }
     }
 
     /// Executes a batch of independent queries in one protocol execution,
@@ -501,6 +544,12 @@ pub struct FederationService {
     mirrored: bool,
     metrics_server: Option<MetricsServer>,
     accountant: Arc<LopAccountant>,
+    /// Rolling latency/availability objectives, fed by every collected
+    /// query and rendered as burn-rate gauges on the exposition.
+    slo: Arc<SloEngine>,
+    /// Submission instants of in-flight tickets, consumed at collect
+    /// time to feed the SLO engine.
+    started: HashMap<u64, Instant>,
 }
 
 /// Renders the live exposition body a [`FederationService`] metrics
@@ -512,8 +561,18 @@ fn render_service_metrics(
     recorder: &Recorder,
     handle: &ServiceStatsHandle,
     accountant: &LopAccountant,
+    slo: &SloEngine,
 ) -> String {
     let mut body = render_summary(&recorder.summary());
+    write_build_info(&mut body);
+    if let Some(uptime) = recorder.uptime() {
+        write_gauge_f64(
+            &mut body,
+            "privtopk_service_uptime_seconds",
+            "Seconds since this service's recorder started observing.",
+            uptime.as_secs_f64(),
+        );
+    }
     let stats = handle.stats();
     write_gauge(
         &mut body,
@@ -593,6 +652,7 @@ fn render_service_metrics(
         "Duplicate frames re-acknowledged.",
         stats.re_acks,
     );
+    slo.evaluate().write_prometheus(&mut body);
     write_privacy_metrics(&mut body, &accountant.snapshot());
     body
 }
@@ -701,6 +761,33 @@ impl FederationService {
         self.runtime.recorder()
     }
 
+    /// Replaces the SLO objectives this service evaluates. Call before
+    /// [`metrics_endpoint`](Self::metrics_endpoint): the endpoint
+    /// captures the engine at bind time, so a later swap needs a
+    /// rebind to show up in scrapes.
+    pub fn set_slo(&mut self, config: SloConfig) {
+        self.slo = Arc::new(SloEngine::new(config));
+    }
+
+    /// Evaluates the service's SLOs right now: burn rates for the
+    /// latency and availability objectives over both rolling windows,
+    /// plus the overall health verdict.
+    #[must_use]
+    pub fn slo(&self) -> SloReport {
+        self.slo.evaluate()
+    }
+
+    /// Dumps the recorder's always-on flight ring — the most recent
+    /// span events, oldest first — as JSONL suitable for
+    /// `privtopk trace analyze` or the [`privtopk_observe::analyze`]
+    /// healing-cost analyzer. Available in every enabled recorder mode,
+    /// including `stats_only` and sampled, because the flight ring is
+    /// fed before sampling.
+    #[must_use]
+    pub fn dump_flight_recorder(&self) -> String {
+        self.runtime.recorder().flight_jsonl()
+    }
+
     /// Starts a live metrics endpoint on `addr` (Prometheus text
     /// exposition v0.0.4 over plain TCP; bind `127.0.0.1:0` for an
     /// ephemeral port) and returns the bound address.
@@ -720,9 +807,13 @@ impl FederationService {
         let recorder = self.runtime.recorder().clone();
         let handle = self.runtime.stats_handle();
         let accountant = Arc::clone(&self.accountant);
-        let server = MetricsServer::bind(addr, move || {
-            render_service_metrics(&recorder, &handle, &accountant)
-        })?;
+        let slo = Arc::clone(&self.slo);
+        let health_slo = Arc::clone(&self.slo);
+        let server = MetricsServer::bind_with_health(
+            addr,
+            move || render_service_metrics(&recorder, &handle, &accountant, &slo),
+            move || health_slo.evaluate().health_body(),
+        )?;
         let bound = server.addr();
         self.metrics_server = Some(server);
         Ok(bound)
@@ -753,7 +844,9 @@ impl FederationService {
     ///
     /// As [`query`](Self::query).
     pub fn submit(&mut self, seed: u64) -> Result<QueryTicket, FederationError> {
-        Ok(self.runtime.submit(&self.config, seed)?)
+        let ticket = self.runtime.submit(&self.config, seed)?;
+        self.started.insert(ticket.id(), Instant::now());
+        Ok(ticket)
     }
 
     /// Redeems a ticket from [`submit`](Self::submit).
@@ -764,7 +857,13 @@ impl FederationService {
     /// [`privtopk_core::ProtocolError::InvalidService`] for a ticket
     /// already collected.
     pub fn collect(&mut self, ticket: QueryTicket) -> Result<QueryOutcome, FederationError> {
-        let outcome = self.runtime.collect(ticket)?;
+        let began = self.started.remove(&ticket.id());
+        let collected = self.runtime.collect(ticket);
+        if let Some(t0) = began {
+            let latency = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.slo.record(latency, collected.is_ok());
+        }
+        let outcome = collected?;
         Ok(self
             .federation
             .finish(&self.spec, outcome.transcript, self.mirrored))

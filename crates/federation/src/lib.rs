@@ -41,3 +41,8 @@ pub use federation::{
 pub use query::{QueryKind, QuerySpec};
 
 pub use privtopk_datagen::PrivateDatabase;
+
+/// Chaos scenario types, re-exported so embedders can schedule
+/// incidents against a [`FederationService`] without depending on the
+/// protocol crates directly.
+pub use privtopk_core::{ChaosEvent, ChaosIncident, ChaosPlan, ChaosState, DEFAULT_HEAL_BUDGET};

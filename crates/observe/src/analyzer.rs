@@ -23,12 +23,23 @@ pub struct AnalyzerConfig {
     /// A hop stalls when its total latency exceeds this multiple of the
     /// query's median hop latency.
     pub stall_multiplier: f64,
+    /// Healing events (retries, re-ACKs) closer together than this gap
+    /// belong to the same incident; a longer quiet period closes the
+    /// incident and returns the timeline to steady state.
+    pub incident_gap_us: u64,
+    /// Mean wire bytes per frame for this run, when the caller knows it
+    /// (e.g. `bytes_sent / frames_sent` from transport counters). Used
+    /// only to estimate per-incident byte overhead from frame counts —
+    /// a run-level aggregate, so no per-event size ever enters a trace.
+    pub bytes_per_frame_hint: Option<f64>,
 }
 
 impl Default for AnalyzerConfig {
     fn default() -> Self {
         AnalyzerConfig {
             stall_multiplier: 3.0,
+            incident_gap_us: 200_000,
+            bytes_per_frame_hint: None,
         }
     }
 }
@@ -95,6 +106,70 @@ pub struct QueryPath {
     pub complete: bool,
 }
 
+/// One node's share of one incident's healing cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeHealingCost {
+    /// Node index.
+    pub node: u32,
+    /// Frames this node retransmitted during the incident.
+    pub retransmissions: u64,
+    /// Duplicate frames this node re-acknowledged.
+    pub re_acks: u64,
+    /// Time the node spent waiting out lost frames (the summed
+    /// durations of its retry spans), in nanoseconds.
+    pub backoff_ns: u64,
+}
+
+impl NodeHealingCost {
+    /// Extra frames the incident put on the wire through this node.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.retransmissions + self.re_acks
+    }
+}
+
+/// One reconstructed degradation incident: a cluster of healing events
+/// (retransmissions and re-ACKs) separated from the next cluster by at
+/// least [`AnalyzerConfig::incident_gap_us`] of quiet.
+///
+/// The timeline reads detect -> storm -> steady state: the first
+/// healing event marks detection (`start_us`), the retransmit/re-ACK
+/// storm runs until its last event finishes (`end_us`, which for a
+/// crash-and-reconstruct scenario is when the ring has re-formed), and
+/// steady state resumes after the configured quiet gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Incident ordinal, from 1, in timeline order.
+    pub index: usize,
+    /// Trace timestamp of the first healing event (detection).
+    pub start_us: u64,
+    /// Trace timestamp at which the last healing event finished.
+    pub end_us: u64,
+    /// Healing latency: detection to last healing event end, in
+    /// nanoseconds (a single retry still has its wait duration, so a
+    /// real incident's healing cost is never zero).
+    pub healing_ns: u64,
+    /// Frames retransmitted during the incident.
+    pub retransmissions: u64,
+    /// Duplicate frames re-acknowledged during the incident.
+    pub re_acks: u64,
+    /// Summed retry-wait time across all nodes, in nanoseconds.
+    pub backoff_ns: u64,
+    /// Estimated extra wire bytes, when the caller supplied
+    /// [`AnalyzerConfig::bytes_per_frame_hint`].
+    pub overhead_bytes_est: Option<u64>,
+    /// Per-node decomposition, sorted by node index.
+    pub nodes: Vec<NodeHealingCost>,
+}
+
+impl Incident {
+    /// Extra frames the incident put on the wire in total.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.retransmissions + self.re_acks
+    }
+}
+
 /// One node's share of the trace's total busy time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeLoad {
@@ -119,6 +194,8 @@ pub struct Analysis {
     pub retransmissions: u64,
     /// Total re-acknowledgements seen (duplicate suppression).
     pub re_acks: u64,
+    /// Reconstructed degradation incidents, in timeline order.
+    pub incidents: Vec<Incident>,
     /// Diagnostics carried over from collection/validation.
     pub diagnostics: Vec<Diagnostic>,
     /// Privacy-accounting figures carried over from collection, when a
@@ -205,9 +282,98 @@ pub fn analyze(trace: &CollectedTrace, config: &AnalyzerConfig) -> Analysis {
         node_load,
         retransmissions,
         re_acks,
+        incidents: reconstruct_incidents(trace, config),
         diagnostics: trace.diagnostics.clone(),
         privacy: trace.privacy.clone(),
     }
+}
+
+/// Clusters the trace's healing events (retry spans, re-ACK ticks) into
+/// [`Incident`]s: events within `incident_gap_us` of each other belong
+/// to one incident, a longer quiet period starts the next.
+fn reconstruct_incidents(trace: &CollectedTrace, config: &AnalyzerConfig) -> Vec<Incident> {
+    struct HealingEvent {
+        t_us: u64,
+        dur_ns: u64,
+        node: Option<u32>,
+        retry: bool,
+    }
+    let mut healing: Vec<HealingEvent> = trace
+        .spans
+        .iter()
+        .filter(|span| matches!(span.event.phase, Phase::Retry | Phase::Ack))
+        .map(|span| HealingEvent {
+            t_us: span.event.t_us,
+            dur_ns: span.event.dur_ns,
+            node: span.event.ctx.node,
+            retry: span.event.phase == Phase::Retry,
+        })
+        .collect();
+    healing.sort_by_key(|e| e.t_us);
+
+    let mut incidents: Vec<Incident> = Vec::new();
+    let mut current: Vec<&HealingEvent> = Vec::new();
+    let flush = |group: &mut Vec<&HealingEvent>, incidents: &mut Vec<Incident>| {
+        if group.is_empty() {
+            return;
+        }
+        let start_us = group.first().map_or(0, |e| e.t_us);
+        let end_us = group
+            .iter()
+            .map(|e| e.t_us + e.dur_ns.div_ceil(1000))
+            .max()
+            .unwrap_or(start_us);
+        let mut nodes: BTreeMap<u32, NodeHealingCost> = BTreeMap::new();
+        let mut retransmissions = 0u64;
+        let mut re_acks = 0u64;
+        let mut backoff_ns = 0u64;
+        for event in group.iter() {
+            let cost = event.node.map(|node| {
+                nodes.entry(node).or_insert_with(|| NodeHealingCost {
+                    node,
+                    ..NodeHealingCost::default()
+                })
+            });
+            if event.retry {
+                retransmissions += 1;
+                backoff_ns += event.dur_ns;
+                if let Some(cost) = cost {
+                    cost.retransmissions += 1;
+                    cost.backoff_ns += event.dur_ns;
+                }
+            } else {
+                re_acks += 1;
+                if let Some(cost) = cost {
+                    cost.re_acks += 1;
+                }
+            }
+        }
+        let frames = retransmissions + re_acks;
+        incidents.push(Incident {
+            index: incidents.len() + 1,
+            start_us,
+            end_us,
+            healing_ns: (end_us - start_us).saturating_mul(1000).max(backoff_ns),
+            retransmissions,
+            re_acks,
+            backoff_ns,
+            overhead_bytes_est: config
+                .bytes_per_frame_hint
+                .map(|mean| (mean * frames as f64).round() as u64),
+            nodes: nodes.into_values().collect(),
+        });
+        group.clear();
+    };
+    let mut last_end_us = 0u64;
+    for event in &healing {
+        if !current.is_empty() && event.t_us.saturating_sub(last_end_us) > config.incident_gap_us {
+            flush(&mut current, &mut incidents);
+        }
+        last_end_us = last_end_us.max(event.t_us + event.dur_ns.div_ceil(1000));
+        current.push(event);
+    }
+    flush(&mut current, &mut incidents);
+    incidents
 }
 
 fn analyze_query(trace: &CollectedTrace, query: Option<u64>, config: &AnalyzerConfig) -> QueryPath {
@@ -422,6 +588,40 @@ impl std::fmt::Display for Analysis {
                 writeln!(f, " ({})", attributed.join(", "))?;
             }
         }
+        for incident in &self.incidents {
+            write!(
+                f,
+                "incident {}: detect t+{} -> storm {} ({} retransmissions, {} re-acks, \
+                 backoff {}{}) -> steady at t+{}",
+                incident.index,
+                fmt_ns(incident.start_us.saturating_mul(1000)),
+                fmt_ns(incident.healing_ns),
+                incident.retransmissions,
+                incident.re_acks,
+                fmt_ns(incident.backoff_ns),
+                incident
+                    .overhead_bytes_est
+                    .map_or_else(String::new, |b| format!(", ~{b} B overhead")),
+                fmt_ns(incident.end_us.saturating_mul(1000)),
+            )?;
+            let per_node: Vec<String> = incident
+                .nodes
+                .iter()
+                .map(|n| {
+                    format!(
+                        "n{}: {} frames, backoff {}",
+                        n.node,
+                        n.frames(),
+                        fmt_ns(n.backoff_ns)
+                    )
+                })
+                .collect();
+            if per_node.is_empty() {
+                writeln!(f)?;
+            } else {
+                writeln!(f, "\n  {}", per_node.join("; "))?;
+            }
+        }
         if let Some(privacy) = &self.privacy {
             writeln!(
                 f,
@@ -511,6 +711,38 @@ impl Analysis {
             self.retransmissions,
             self.re_acks
         ));
+        out.push_str(",\"incidents\":[");
+        for (i, incident) in self.incidents.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{},\"start_us\":{},\"end_us\":{},\"healing_ns\":{},\
+                 \"retransmissions\":{},\"re_acks\":{},\"backoff_ns\":{}",
+                incident.index,
+                incident.start_us,
+                incident.end_us,
+                incident.healing_ns,
+                incident.retransmissions,
+                incident.re_acks,
+                incident.backoff_ns,
+            ));
+            if let Some(bytes) = incident.overhead_bytes_est {
+                out.push_str(&format!(",\"overhead_bytes_est\":{bytes}"));
+            }
+            out.push_str(",\"nodes\":[");
+            for (j, node) in incident.nodes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"node\":{},\"retransmissions\":{},\"re_acks\":{},\"backoff_ns\":{}}}",
+                    node.node, node.retransmissions, node.re_acks, node.backoff_ns
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
         if let Some(privacy) = &self.privacy {
             out.push_str(&format!(
                 ",\"privacy\":{{\"queries_accounted\":{},\"average_lop\":{:.6},\"worst_lop\":{:.6},\"worst_class\":\"{}\",\"nodes\":[",
@@ -625,6 +857,7 @@ mod tests {
             &trace,
             &AnalyzerConfig {
                 stall_multiplier: 1000.0,
+                ..AnalyzerConfig::default()
             },
         );
         assert!(lax.queries[0].stalls.is_empty());
@@ -745,6 +978,145 @@ mod tests {
         let analysis = analyze(&trace, &AnalyzerConfig::default());
         assert!(analysis.queries.is_empty());
         assert!(analysis.node_load.is_empty());
+        assert!(analysis.incidents.is_empty());
         assert_eq!(analysis.load_skew(), 0.0);
+        // Rendering an empty analysis is well-formed in both shapes.
+        assert!(analysis
+            .to_string()
+            .starts_with("trace analysis: 0 queries"));
+        assert!(analysis.to_json().contains("\"incidents\":[]"));
+    }
+
+    #[test]
+    fn single_query_zero_retry_trace_has_no_incidents() {
+        let trace = synthetic_trace(None);
+        let analysis = analyze(&trace, &AnalyzerConfig::default());
+        assert_eq!(analysis.queries.len(), 1);
+        assert_eq!(analysis.retransmissions, 0);
+        assert!(analysis.incidents.is_empty());
+        assert!(!analysis.to_string().contains("incident"));
+    }
+
+    #[test]
+    fn uniformly_slow_trace_flags_no_stalls_and_survives_zero_medians() {
+        // Every hop equally slow: stall detection is relative to the
+        // query's own median, so nothing should be flagged.
+        let mut lines = Vec::new();
+        for hop in 0..3u32 {
+            lines.push(format!(
+                "{{\"t_us\":{},\"phase\":\"step\",\"query\":0,\"node\":{hop},\"round\":1,\"hop\":{hop},\"dur_ns\":80000000}}",
+                100 + hop as u64 * 100_000
+            ));
+        }
+        let mut collector = TraceCollector::new();
+        collector.ingest_jsonl("slow.jsonl", &lines.join("\n"));
+        let analysis = analyze(&collector.finish(), &AnalyzerConfig::default());
+        assert!(analysis.queries[0].stalls.is_empty());
+
+        // All-zero durations drive the median to zero; the threshold
+        // guard must not divide by it (or flag every hop).
+        let mut zero = Vec::new();
+        for hop in 0..3u32 {
+            zero.push(format!(
+                "{{\"t_us\":{},\"phase\":\"step\",\"query\":0,\"node\":{hop},\"round\":1,\"hop\":{hop},\"dur_ns\":0}}",
+                100 + hop as u64
+            ));
+        }
+        let mut collector = TraceCollector::new();
+        collector.ingest_jsonl("zero.jsonl", &zero.join("\n"));
+        let analysis = analyze(&collector.finish(), &AnalyzerConfig::default());
+        assert!(analysis.queries[0].stalls.is_empty());
+        assert!(analysis.load_skew().is_finite());
+    }
+
+    /// A trace with two retry storms separated by a quiet second, plus
+    /// one re-ACK inside the first storm.
+    fn two_incident_trace() -> CollectedTrace {
+        // Storm 1 at t=10ms: node 1 retries twice (50ms waits each),
+        // node 2 re-acks a duplicate. Storm 2 at t=2s: node 0 retries
+        // once.
+        let lines = [
+            "{\"t_us\":10000,\"phase\":\"retry\",\"node\":1,\"dur_ns\":50000000}",
+            "{\"t_us\":60000,\"phase\":\"retry\",\"node\":1,\"dur_ns\":50000000}",
+            "{\"t_us\":61000,\"phase\":\"ack\",\"node\":2,\"dur_ns\":0}",
+            "{\"t_us\":2000000,\"phase\":\"retry\",\"node\":0,\"dur_ns\":50000000}",
+        ];
+        let mut collector = TraceCollector::new();
+        collector.ingest_jsonl("chaos.jsonl", &lines.join("\n"));
+        collector.finish()
+    }
+
+    #[test]
+    fn healing_events_cluster_into_incidents_with_per_node_costs() {
+        let analysis = analyze(&two_incident_trace(), &AnalyzerConfig::default());
+        assert_eq!(analysis.incidents.len(), 2);
+        let first = &analysis.incidents[0];
+        assert_eq!(first.index, 1);
+        assert_eq!(first.retransmissions, 2);
+        assert_eq!(first.re_acks, 1);
+        assert_eq!(first.frames(), 3);
+        assert_eq!(first.backoff_ns, 100_000_000);
+        assert!(first.healing_ns >= 100_000_000, "got {}", first.healing_ns);
+        assert_eq!(first.start_us, 10_000);
+        assert_eq!(first.nodes.len(), 2);
+        let n1 = first.nodes.iter().find(|n| n.node == 1).unwrap();
+        assert_eq!(n1.retransmissions, 2);
+        assert_eq!(n1.backoff_ns, 100_000_000);
+        let n2 = first.nodes.iter().find(|n| n.node == 2).unwrap();
+        assert_eq!(n2.re_acks, 1);
+        assert_eq!(n2.frames(), 1);
+        let second = &analysis.incidents[1];
+        assert_eq!(second.index, 2);
+        assert_eq!(second.retransmissions, 1);
+        // A lone retry still attributes its wait as healing cost.
+        assert!(second.healing_ns > 0);
+    }
+
+    #[test]
+    fn incident_gap_controls_clustering() {
+        // A huge gap folds both storms into one incident.
+        let merged = analyze(
+            &two_incident_trace(),
+            &AnalyzerConfig {
+                incident_gap_us: 10_000_000,
+                ..AnalyzerConfig::default()
+            },
+        );
+        assert_eq!(merged.incidents.len(), 1);
+        assert_eq!(merged.incidents[0].retransmissions, 3);
+        // A tiny gap still keeps storm 1 whole — its events chain with
+        // no quiet time between retry windows — while storm 2 stays
+        // separate.
+        let split = analyze(
+            &two_incident_trace(),
+            &AnalyzerConfig {
+                incident_gap_us: 10,
+                ..AnalyzerConfig::default()
+            },
+        );
+        assert_eq!(split.incidents.len(), 2);
+        assert_eq!(split.incidents[0].frames(), 3);
+    }
+
+    #[test]
+    fn incident_renderings_cover_text_and_json() {
+        let config = AnalyzerConfig {
+            bytes_per_frame_hint: Some(128.0),
+            ..AnalyzerConfig::default()
+        };
+        let analysis = analyze(&two_incident_trace(), &config);
+        let text = analysis.to_string();
+        assert!(text.contains("incident 1: detect t+"), "text:\n{text}");
+        assert!(text.contains("2 retransmissions, 1 re-acks"));
+        assert!(text.contains("~384 B overhead"));
+        assert!(text.contains("n1: 2 frames"));
+        let json = analysis.to_json();
+        assert!(json.contains("\"incidents\":[{\"index\":1"));
+        assert!(json.contains("\"healing_ns\":"));
+        assert!(json.contains("\"overhead_bytes_est\":384"));
+        assert!(json.contains("{\"node\":1,\"retransmissions\":2"));
+        // Without the hint the byte estimate is absent, not zero.
+        let bare = analyze(&two_incident_trace(), &AnalyzerConfig::default());
+        assert!(!bare.to_json().contains("overhead_bytes_est"));
     }
 }

@@ -50,17 +50,26 @@ mod collector;
 mod histogram;
 mod prometheus;
 mod recorder;
+mod slo;
 
-pub use analyzer::{analyze, Analysis, AnalyzerConfig, HopBreakdown, NodeLoad, QueryPath, Stall};
+pub use analyzer::{
+    analyze, Analysis, AnalyzerConfig, HopBreakdown, Incident, NodeHealingCost, NodeLoad,
+    QueryPath, Stall,
+};
 pub use collector::{
     parse_trace_line, CollectedSpan, CollectedTrace, Diagnostic, PrivacyLedger, TraceCollector,
 };
 pub use histogram::{bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
 pub use prometheus::{
-    render_summary, sanitize_metric_name, scrape, scrape_timeout, write_counter, write_gauge,
-    write_gauge_f64, write_gauge_f64_series, write_histogram, MetricsServer, SCRAPE_TIMEOUT,
+    render_summary, sanitize_metric_name, scrape, scrape_path, scrape_timeout, write_build_info,
+    write_counter, write_gauge, write_gauge_f64, write_gauge_f64_series, write_histogram,
+    MetricsServer, SCRAPE_TIMEOUT,
 };
-pub use recorder::{GaugeF64Snapshot, GaugeSnapshot, NodeSummary, Recorder, Summary, TraceEvent};
+pub use recorder::{
+    GaugeF64Snapshot, GaugeSnapshot, NodeSummary, Recorder, Summary, TraceEvent,
+    DEFAULT_EVENT_CAPACITY, DEFAULT_FLIGHT_CAPACITY,
+};
+pub use slo::{BurnRate, SloConfig, SloEngine, SloReport, SloStatus, WindowReport};
 
 /// A phase label for one timed span of protocol work.
 ///

@@ -7,9 +7,11 @@
 //! private value or rank ever reaches a label or sample.
 //!
 //! The server is deliberately small: a blocking accept loop on a
-//! `std::net::TcpListener` answering every request with `200 OK` and
-//! the current exposition body. No HTTP parsing beyond draining the
-//! request head; no external dependency.
+//! `std::net::TcpListener` with just enough HTTP to be well-formed for
+//! standard clients — it parses the request path, answers `/metrics`
+//! (and `/`) with the exposition, `/healthz` with a health summary, and
+//! anything else with `404`, always with a status line, `Content-Type`
+//! and `Content-Length`. No external dependency.
 
 use std::fmt::Write as _;
 use std::io::{Read, Write};
@@ -88,6 +90,16 @@ pub fn write_counter(out: &mut String, name: &str, help: &str, value: u64) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} counter");
     let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends the `privtopk_build_info` series: a constant-1 gauge whose
+/// labels carry build metadata, the conventional way to join dashboards
+/// against a version without putting strings in sample values.
+pub fn write_build_info(out: &mut String) {
+    let name = "privtopk_build_info";
+    let _ = writeln!(out, "# HELP {name} Build metadata; the value is always 1.");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name}{{version=\"{}\"}} 1", env!("CARGO_PKG_VERSION"));
 }
 
 /// Appends one gauge sample.
@@ -204,10 +216,26 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// serves `render()` to every connection.
+    /// serves `render()` to every `/metrics` request; `/healthz`
+    /// answers a plain `ok`.
     pub fn bind<F>(addr: &str, render: F) -> std::io::Result<MetricsServer>
     where
         F: Fn() -> String + Send + 'static,
+    {
+        MetricsServer::bind_with_health(addr, render, || "ok\n".to_string())
+    }
+
+    /// [`bind`](MetricsServer::bind) with a custom `/healthz` body —
+    /// how a service surfaces its live SLO verdict
+    /// (`crate::SloReport::health_body`) next to its metrics.
+    pub fn bind_with_health<F, H>(
+        addr: &str,
+        render: F,
+        health: H,
+    ) -> std::io::Result<MetricsServer>
+    where
+        F: Fn() -> String + Send + 'static,
+        H: Fn() -> String + Send + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -223,7 +251,7 @@ impl MetricsServer {
                     let Ok(stream) = stream else { continue };
                     // Render outside any lock the callback may take and
                     // serve; a failed client write only drops this scrape.
-                    let _ = serve_one(stream, &render());
+                    let _ = serve_one(stream, &render, &health);
                 }
             })?;
         Ok(MetricsServer {
@@ -256,15 +284,49 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Drains the request head and writes one `200 OK` exposition reply.
-fn serve_one(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
+/// Extracts the request path from an HTTP request head, with the query
+/// string stripped. An unparsable head (a crude client that sent
+/// nothing yet) defaults to `/metrics` so bare-socket scrapers keep
+/// working.
+fn request_path(head: &[u8]) -> &str {
+    let text = std::str::from_utf8(head).unwrap_or("");
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some(_method), Some(target)) if target.starts_with('/') => {
+            target.split('?').next().unwrap_or(target)
+        }
+        _ => "/metrics",
+    }
+}
+
+/// Reads the request head, routes on its path, and writes one
+/// well-formed HTTP/1.1 reply (status line, `Content-Type`,
+/// `Content-Length`, `Connection: close`).
+fn serve_one(
+    mut stream: TcpStream,
+    render: &dyn Fn() -> String,
+    health: &dyn Fn() -> String,
+) -> std::io::Result<()> {
     // Read whatever request bytes arrive promptly; scrape clients send
-    // the GET line immediately and we never need its contents.
+    // the GET line immediately and the first 1024 bytes always hold it.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut buf = [0u8; 1024];
-    let _ = stream.read(&mut buf);
+    let n = stream.read(&mut buf).unwrap_or(0);
+    let (status, content_type, body) = match request_path(&buf[..n]) {
+        "/metrics" | "/" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", health()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
     let header = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(header.as_bytes())?;
@@ -288,14 +350,29 @@ pub fn scrape(addr: &SocketAddr) -> std::io::Result<String> {
 /// request and each read. A server that accepts but never responds
 /// yields a timeout error instead of hanging the caller.
 pub fn scrape_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<String> {
+    scrape_path(addr, "/metrics", timeout)
+}
+
+/// Fetches an arbitrary path from a metrics server (e.g. `/healthz`)
+/// and returns the body of a `200` reply; any other status is an
+/// `InvalidData` error carrying the status line.
+pub fn scrape_path(addr: &SocketAddr, path: &str, timeout: Duration) -> std::io::Result<String> {
     let mut stream = TcpStream::connect_timeout(addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: privtopk\r\nConnection: close\r\n\r\n")?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: privtopk\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
     match response.split_once("\r\n\r\n") {
         Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "scrape of {path} answered: {}",
+                head.lines().next().unwrap_or("<empty status line>")
+            ),
+        )),
         _ => Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "malformed scrape response",
@@ -494,5 +571,74 @@ mod tests {
         server.stop();
         server.stop(); // idempotent
         assert!(scrape(&addr).is_err() || scrape(&addr).is_err());
+    }
+
+    /// Issues a raw request and returns the full response (head + body),
+    /// so header assertions see exactly the bytes on the wire.
+    fn raw_request(addr: &SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn responses_are_well_formed_http() {
+        let server = MetricsServer::bind("127.0.0.1:0", || "metric_a 1\n".to_string()).unwrap();
+        let addr = server.addr();
+        let response = raw_request(&addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"));
+        assert!(head.contains(&format!("Content-Length: {}", body.len())));
+        assert!(head.contains("Connection: close"));
+        assert_eq!(body, "metric_a 1\n");
+    }
+
+    #[test]
+    fn unknown_paths_get_a_404_and_healthz_answers() {
+        let server = MetricsServer::bind_with_health(
+            "127.0.0.1:0",
+            || "metric_a 1\n".to_string(),
+            || "ok\ncustom health\n".to_string(),
+        )
+        .unwrap();
+        let addr = server.addr();
+        let missing = raw_request(&addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found"));
+        assert!(missing.contains("Content-Length: 10"));
+        assert!(missing.ends_with("not found\n"));
+        let health = scrape_path(&addr, "/healthz", SCRAPE_TIMEOUT).unwrap();
+        assert_eq!(health, "ok\ncustom health\n");
+        // scrape_path surfaces non-200 statuses in the error text.
+        let err = scrape_path(&addr, "/nope", SCRAPE_TIMEOUT).unwrap_err();
+        assert!(err.to_string().contains("404"), "got {err}");
+        // The root path and query strings still reach the exposition.
+        assert!(scrape_path(&addr, "/", SCRAPE_TIMEOUT)
+            .unwrap()
+            .contains("metric_a 1"));
+        assert!(scrape_path(&addr, "/metrics?x=1", SCRAPE_TIMEOUT)
+            .unwrap()
+            .contains("metric_a 1"));
+    }
+
+    #[test]
+    fn request_path_parses_and_defaults() {
+        assert_eq!(request_path(b"GET /healthz HTTP/1.1\r\n"), "/healthz");
+        assert_eq!(request_path(b"GET /metrics?a=b HTTP/1.1\r\n"), "/metrics");
+        assert_eq!(request_path(b""), "/metrics");
+        assert_eq!(request_path(b"garbage"), "/metrics");
+    }
+
+    #[test]
+    fn build_info_is_a_constant_one_with_a_version_label() {
+        let mut out = String::new();
+        write_build_info(&mut out);
+        assert!(out.contains("# TYPE privtopk_build_info gauge"));
+        assert!(out.contains(&format!(
+            "privtopk_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )));
     }
 }

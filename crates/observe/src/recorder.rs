@@ -17,6 +17,16 @@ use crate::{Ctx, Phase};
 /// Overflow is counted, never silent: see [`Recorder::events_dropped`].
 pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 18;
 
+/// Default capacity of the always-on flight recorder (~160 KB).
+///
+/// The flight recorder keeps the *most recent* spans and ticks in a
+/// bounded ring, in every enabled mode — including
+/// [`Recorder::stats_only`] and [`Recorder::sampled`], which buffer no
+/// full trace. After an incident the last few thousand events are what
+/// an operator needs to reconstruct the degradation timeline; see
+/// [`Recorder::flight_events`].
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1 << 12;
+
 /// One serialized trace record: a phase, protocol coordinates, timing.
 ///
 /// By construction this is the *entire* vocabulary of a trace line — there
@@ -129,6 +139,49 @@ impl GaugeF64Cell {
     }
 }
 
+/// The always-on bounded ring behind [`Recorder::flight_events`]: the
+/// newest event overwrites the oldest once `capacity` is reached, so
+/// memory stays fixed no matter how long the service runs.
+struct FlightRing {
+    capacity: usize,
+    buf: Vec<TraceEvent>,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+    total: u64,
+}
+
+impl FlightRing {
+    fn new(capacity: usize) -> Self {
+        FlightRing {
+            capacity,
+            buf: Vec::new(),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.next] = event;
+            self.next = (self.next + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+
+    /// The retained events, oldest first.
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
+
 struct Inner {
     epoch: Instant,
     capture_events: bool,
@@ -138,6 +191,7 @@ struct Inner {
     phases: [Histogram; Phase::ALL.len()],
     events: Mutex<Vec<TraceEvent>>,
     events_dropped: AtomicU64,
+    flight: Mutex<FlightRing>,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
     gauges_f64: Mutex<BTreeMap<String, Arc<GaugeF64Cell>>>,
@@ -217,7 +271,14 @@ impl Recorder {
     /// span.
     #[must_use]
     pub fn stats_only() -> Self {
-        Recorder::build(false, 0, 0)
+        Recorder::build(false, 0, 0, DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// A stats-only recorder with an explicit flight-recorder capacity
+    /// (events retained in the always-on ring; 0 disables the ring).
+    #[must_use]
+    pub fn with_flight_capacity(capacity: usize) -> Self {
+        Recorder::build(false, 0, 0, capacity)
     }
 
     /// A stats-only recorder that keeps one timed span out of every
@@ -232,16 +293,26 @@ impl Recorder {
     /// sampling keeps quantile estimates at well under 2% overhead.
     #[must_use]
     pub fn sampled(shift: u32) -> Self {
-        Recorder::build(false, 0, (1u64 << shift.min(63)) - 1)
+        Recorder::build(
+            false,
+            0,
+            (1u64 << shift.min(63)) - 1,
+            DEFAULT_FLIGHT_CAPACITY,
+        )
     }
 
     /// A full recorder with an explicit event-buffer cap.
     #[must_use]
     pub fn with_event_capacity(max_events: usize) -> Self {
-        Recorder::build(true, max_events, 0)
+        Recorder::build(true, max_events, 0, DEFAULT_FLIGHT_CAPACITY)
     }
 
-    fn build(capture_events: bool, max_events: usize, sample_mask: u64) -> Self {
+    fn build(
+        capture_events: bool,
+        max_events: usize,
+        sample_mask: u64,
+        flight_capacity: usize,
+    ) -> Self {
         Recorder {
             span_seq: AtomicU64::new(0),
             inner: Some(Arc::new(Inner {
@@ -252,6 +323,7 @@ impl Recorder {
                 phases: std::array::from_fn(|_| Histogram::new()),
                 events: Mutex::new(Vec::new()),
                 events_dropped: AtomicU64::new(0),
+                flight: Mutex::new(FlightRing::new(flight_capacity)),
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 gauges_f64: Mutex::new(BTreeMap::new()),
@@ -265,6 +337,14 @@ impl Recorder {
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Time elapsed since this recorder was created — the service
+    /// uptime behind `privtopk_service_uptime_seconds`. `None` when
+    /// disabled (a disabled recorder has no epoch to measure from).
+    #[must_use]
+    pub fn uptime(&self) -> Option<Duration> {
+        self.inner.as_deref().map(|inner| inner.epoch.elapsed())
     }
 
     /// Reads the clock — but only when enabled and this span is sampled.
@@ -471,6 +551,45 @@ impl Recorder {
             .unwrap_or_default()
     }
 
+    /// The flight recorder's retained events, oldest first.
+    ///
+    /// Unlike the full trace buffer this ring is populated in *every*
+    /// enabled mode (including [`stats_only`](Recorder::stats_only) and
+    /// [`sampled`](Recorder::sampled)), holding the most recent
+    /// [`DEFAULT_FLIGHT_CAPACITY`] events so a post-incident dump always
+    /// has the moments leading up to the incident. Same vocabulary as
+    /// every other recorder surface: coordinates and timings only.
+    #[must_use]
+    pub fn flight_events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_deref()
+            .map(|inner| inner.flight.lock().snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Lifetime count of events that passed through the flight ring
+    /// (retained or since overwritten).
+    #[must_use]
+    pub fn flight_total(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map(|inner| inner.flight.lock().total)
+            .unwrap_or(0)
+    }
+
+    /// The flight recorder's retained events as JSONL, oldest first —
+    /// the same schema as [`trace_jsonl`](Recorder::trace_jsonl), so a
+    /// dump feeds straight into the trace analyzer.
+    #[must_use]
+    pub fn flight_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.flight_events() {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Per-node phase digests: the summary each ring member ships back
     /// to the initiator at query completion, sorted by node index.
     ///
@@ -563,15 +682,19 @@ impl Inner {
         if let Some(node) = ctx.node {
             self.node_phases(node)[phase.index()].record(dur_ns);
         }
+        let t_us = u64::try_from(started.saturating_duration_since(self.epoch).as_micros())
+            .unwrap_or(u64::MAX);
+        let event = TraceEvent {
+            t_us,
+            phase,
+            ctx,
+            dur_ns,
+        };
+        // The flight recorder sees every event that reaches the sink,
+        // in every enabled mode — a fixed-size ring, so the push is one
+        // short critical section and never allocates in steady state.
+        self.flight.lock().push(event);
         if self.capture_events {
-            let t_us = u64::try_from(started.saturating_duration_since(self.epoch).as_micros())
-                .unwrap_or(u64::MAX);
-            let event = TraceEvent {
-                t_us,
-                phase,
-                ctx,
-                dur_ns,
-            };
             let mut events = self.events.lock();
             if events.len() < self.max_events {
                 events.push(event);
@@ -1082,6 +1205,43 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert!(events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
         assert!(Recorder::disabled().events().is_empty());
+    }
+
+    #[test]
+    fn flight_ring_is_always_on_and_keeps_the_newest_events() {
+        // stats_only buffers no trace, yet the flight ring still fills.
+        let rec = Recorder::stats_only();
+        rec.tick(Phase::Retry, Ctx::default().with_node(1));
+        rec.record(Phase::Step, Ctx::default().with_node(0), rec.clock());
+        assert_eq!(rec.events_recorded(), 0);
+        assert_eq!(rec.flight_total(), 2);
+        let events = rec.flight_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].phase, Phase::Retry);
+        let jsonl = rec.flight_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"phase\":\"retry\""));
+        assert!(Recorder::disabled().flight_events().is_empty());
+        assert_eq!(Recorder::disabled().flight_total(), 0);
+    }
+
+    #[test]
+    fn flight_ring_overwrites_oldest_at_capacity() {
+        let rec = Recorder::with_flight_capacity(4);
+        for round in 0..10u32 {
+            rec.tick(Phase::Retry, Ctx::default().with_round(round));
+        }
+        assert_eq!(rec.flight_total(), 10);
+        let events = rec.flight_events();
+        assert_eq!(events.len(), 4);
+        // Oldest-first order, holding exactly the last four rounds.
+        let rounds: Vec<u32> = events.iter().map(|e| e.ctx.round.unwrap()).collect();
+        assert_eq!(rounds, vec![6, 7, 8, 9]);
+        // A zero-capacity ring records nothing but stays counted-out.
+        let off = Recorder::with_flight_capacity(0);
+        off.tick(Phase::Retry, Ctx::default());
+        assert!(off.flight_events().is_empty());
+        assert_eq!(off.flight_total(), 0);
     }
 
     #[test]

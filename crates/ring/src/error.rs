@@ -35,6 +35,11 @@ pub enum RingError {
         /// What went wrong.
         reason: &'static str,
     },
+    /// An invalid configuration (e.g. an unhealable chaos plan).
+    Config {
+        /// What is wrong with it.
+        reason: &'static str,
+    },
     /// The peer endpoint disconnected or the channel closed.
     Disconnected,
     /// A receive timed out.
@@ -53,6 +58,7 @@ impl fmt::Display for RingError {
             RingError::NodeFailed { node } => write!(f, "node {node} has failed"),
             RingError::RingWouldBeEmpty => write!(f, "cannot remove the last ring node"),
             RingError::Decode { reason } => write!(f, "frame decode failed: {reason}"),
+            RingError::Config { reason } => write!(f, "invalid configuration: {reason}"),
             RingError::Disconnected => write!(f, "peer disconnected"),
             RingError::Timeout => write!(f, "receive timed out"),
             RingError::Io(e) => write!(f, "transport i/o error: {e}"),
@@ -94,6 +100,7 @@ mod tests {
             },
             RingError::RingWouldBeEmpty,
             RingError::Decode { reason: "short" },
+            RingError::Config { reason: "bad" },
             RingError::Disconnected,
             RingError::Timeout,
             RingError::Io(io::Error::other("boom")),

@@ -12,7 +12,11 @@
 # floor, and finally the persistent node store (local top-k latency vs
 # row count up to 10^6, cold opens, service under concurrent ingest)
 # into BENCH_store.json, asserting the sublinear-latency gate and
-# frozen-snapshot transcript identity. Every BENCH_*.json carries a
+# frozen-snapshot transcript identity, and the chaos observability run
+# (seeded crash + partition schedule against a standing service) into
+# BENCH_chaos.json, asserting bit-identity under chaos, reconstructed
+# healing p50/p99, and the <2% always-on observability overhead gate.
+# Every BENCH_*.json carries a
 # "machine" block (logical cores, cargo profile) so figures are never
 # compared across machines blindly.
 #
@@ -194,3 +198,29 @@ grep -q '"accounting"' "$PRIVACY_OUT" \
 grep -q '"outcomes_identical_on_off": true' "$PRIVACY_OUT" \
     || { echo "error: on/off identity gate missing from $PRIVACY_OUT" >&2; exit 1; }
 echo "wrote $PRIVACY_OUT"
+
+# --- chaos observability ---------------------------------------------
+# A seeded crash + partition schedule against a standing depth-16
+# service. The binary asserts bit-identity with the fault-free run for
+# every query answered mid-incident, at least one analyzer-reconstructed
+# incident with nonzero healing cost, and the paired recorder-off vs
+# always-on overhead gate (<2%) — a successful exit IS the acceptance
+# check. Healing p50/p99 and the byte-overhead estimate land in the
+# "healing" block of BENCH_chaos.json.
+CHAOS_BIN="$REPO_ROOT/target/release/chaos"
+CHAOS_OUT="$REPO_ROOT/BENCH_chaos.json"
+
+command -v cargo >/dev/null 2>&1 && cargo build --release -p privtopk-bench --bin chaos
+[ -x "$CHAOS_BIN" ] || { echo "error: $CHAOS_BIN not built" >&2; exit 1; }
+
+echo "benchmarking chaos observability ..."
+"$CHAOS_BIN" 6 8 "$CHAOS_OUT"
+grep -q '"machine"' "$CHAOS_OUT" \
+    || { echo "error: machine block missing from $CHAOS_OUT" >&2; exit 1; }
+grep -q '"bit_identical": true' "$CHAOS_OUT" \
+    || { echo "error: chaos bit-identity gate missing from $CHAOS_OUT" >&2; exit 1; }
+grep -q '"p99_ms"' "$CHAOS_OUT" \
+    || { echo "error: healing p50/p99 missing from $CHAOS_OUT" >&2; exit 1; }
+grep -q '"observability_overhead"' "$CHAOS_OUT" \
+    || { echo "error: overhead gate block missing from $CHAOS_OUT" >&2; exit 1; }
+echo "wrote $CHAOS_OUT"

@@ -56,6 +56,17 @@ cargo test --test privacy_accounting live_accountant_matches_offline_measure_lop
 echo "==> cargo test --test privacy_accounting privacy_accounting_no_leak"
 cargo test --test privacy_accounting privacy_accounting_no_leak
 
+# Chaos observability gates, run by name so they can never be silently
+# skipped: a seeded crash + partition + loss schedule against a standing
+# depth-16 service must answer every query bit-identical to the
+# fault-free run, with the analyzer attributing nonzero healing cost to
+# reconstructed incidents; and the always-on flight ring must feed the
+# analyzer even in stats-only mode.
+echo "==> cargo test --test chaos_observability chaos_run_is_bit_identical_with_attributed_healing_cost"
+cargo test --test chaos_observability chaos_run_is_bit_identical_with_attributed_healing_cost
+echo "==> cargo test --test chaos_observability flight_recorder_feeds_the_analyzer_even_in_stats_only_mode"
+cargo test --test chaos_observability flight_recorder_feeds_the_analyzer_even_in_stats_only_mode
+
 # Trace tooling smoke: export a fresh 2-query distributed (service-mode)
 # trace through the CLI and analyze it back — the reconstructed critical
 # path must be non-empty for both queries.
@@ -74,6 +85,18 @@ echo "    critical paths reconstructed for both queries"
 grep -q "privacy report: 2 queries accounted" "$TRACE_DIR/privacy.txt" \
     || { echo "error: privacy report missed the 2 traced queries" >&2; cat "$TRACE_DIR/privacy.txt" >&2; exit 1; }
 echo "    privacy report accounted both queries"
+
+# Chaos smoke: a seeded 2-incident schedule injected through the CLI
+# against a standing service must come back bit-identical to the
+# fault-free baseline and reconstruct the incidents from the trace.
+echo "==> privtopk chaos run smoke"
+./target/release/privtopk chaos run --nodes 5 --incidents 2 --seed 42 \
+    --pipeline 8 > "$TRACE_DIR/chaos.txt"
+grep -q "bit-identity: OK" "$TRACE_DIR/chaos.txt" \
+    || { echo "error: chaos run lost bit-identity" >&2; cat "$TRACE_DIR/chaos.txt" >&2; exit 1; }
+grep -q "incident 1:" "$TRACE_DIR/chaos.txt" \
+    || { echo "error: chaos run reconstructed no incident" >&2; cat "$TRACE_DIR/chaos.txt" >&2; exit 1; }
+echo "    chaos run bit-identical with reconstructed incidents"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -396,3 +396,83 @@ fn store_metric_series_are_data_independent() {
         assert!(a.contains(required), "missing store series {required}");
     }
 }
+
+/// Property 6 (service exposition): the full `--metrics-addr` surface —
+/// build info, uptime, SLO burn-rate gauges, telemetry and privacy
+/// series — exposes an identical *set of series* over different private
+/// data. Burn rates and uptime are functions of timings and outcomes,
+/// never of a value; the build-info line is a constant and must be
+/// byte-identical.
+#[test]
+fn slo_and_service_series_are_data_independent() {
+    use privtopk::observe::scrape;
+
+    let spec = QuerySpec::top_k("value", K);
+    let bodies: Vec<String> = [
+        (DataDistribution::Uniform, 0xC0FFEEu64),
+        (DataDistribution::classic_zipf(), 0xBEEF),
+    ]
+    .into_iter()
+    .map(|(dist, seed)| {
+        let federation = federation(dist, seed);
+        let mut service = federation
+            .serve_traced(&spec, NetworkKind::InMemory, 2, Recorder::new())
+            .unwrap();
+        let addr = service.metrics_endpoint("127.0.0.1:0").unwrap();
+        service.query_many(&[11, 12, 13, 14]).unwrap();
+        let body = scrape(&addr).unwrap();
+        service.shutdown().unwrap();
+        body
+    })
+    .collect();
+
+    let series_names = |body: &str| -> BTreeSet<String> {
+        body.lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .map(|l| {
+                let (series, _) = l.rsplit_once(' ').expect("sample line");
+                assert!(series.starts_with("privtopk_"), "unprefixed series: {l}");
+                series.to_string()
+            })
+            .collect()
+    };
+    let a = series_names(&bodies[0]);
+    let b = series_names(&bodies[1]);
+    // Occupied histogram buckets vary with timing; everything else —
+    // the structural surface — must match exactly.
+    let structural = |names: &BTreeSet<String>| -> BTreeSet<String> {
+        names
+            .iter()
+            .filter(|n| !n.contains("_ns"))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(
+        structural(&a),
+        structural(&b),
+        "exposed service series depend on private data"
+    );
+    for required in [
+        "privtopk_slo_latency_burn_short",
+        "privtopk_slo_latency_burn_long",
+        "privtopk_slo_availability_burn_short",
+        "privtopk_slo_availability_burn_long",
+        "privtopk_slo_latency_alert",
+        "privtopk_slo_availability_alert",
+        "privtopk_slo_healthy",
+        "privtopk_service_uptime_seconds",
+    ] {
+        assert!(a.contains(required), "missing service series {required}");
+    }
+    fn build_line(body: &str) -> Vec<&str> {
+        body.lines()
+            .filter(|l| l.starts_with("privtopk_build_info"))
+            .collect()
+    }
+    assert!(!build_line(&bodies[0]).is_empty(), "build info missing");
+    assert_eq!(
+        build_line(&bodies[0]),
+        build_line(&bodies[1]),
+        "build info must be constant"
+    );
+}
